@@ -1,0 +1,86 @@
+// Regenerates the paper's Bokhari counter-example (section 2.2,
+// Figs. 7-12): an assignment that is optimal under Bokhari's *cardinality*
+// measure is not optimal in total execution time.
+//
+// Where the paper compares two hand-picked assignments (A1: cardinality 8,
+// total 23; A2: cardinality 7, total 21), we certify the claim over ALL
+// 8! = 40320 assignments by exhaustive search on the reconstructed
+// instance (DESIGN.md section 6).
+#include <cstdio>
+
+#include "analysis/gantt.hpp"
+#include "baseline/bokhari.hpp"
+#include "baseline/exhaustive.hpp"
+#include "core/ideal_graph.hpp"
+#include "topology/topology.hpp"
+
+using namespace mimdmap;
+
+namespace {
+
+Clustering identity_clustering(NodeId n) {
+  std::vector<NodeId> cluster_of(idx(n));
+  for (NodeId i = 0; i < n; ++i) cluster_of[idx(i)] = i;
+  return Clustering(std::move(cluster_of), n);
+}
+
+TaskGraph make_problem() {
+  TaskGraph g(8);
+  const Weight weights[8] = {3, 1, 5, 1, 1, 1, 1, 3};
+  for (NodeId v = 0; v < 8; ++v) g.set_node_weight(v, weights[idx(v)]);
+  g.add_edge(0, 1, 1);
+  g.add_edge(0, 2, 5);
+  g.add_edge(1, 3, 3);
+  g.add_edge(2, 3, 1);
+  g.add_edge(2, 4, 3);
+  g.add_edge(2, 5, 4);
+  g.add_edge(4, 6, 1);
+  g.add_edge(5, 7, 4);
+  g.add_edge(6, 7, 2);
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Bokhari counter-example (paper Figs. 7-12) ==\n\n");
+  const TaskGraph g = make_problem();
+  const SystemGraph q3 = make_hypercube(3);
+  const MappingInstance inst(g, identity_clustering(8), q3);
+
+  std::printf("problem graph: 8 nodes, 9 edges, node 3 (paper id) has degree %d\n",
+              g.degree(2));
+  std::printf("system graph: %s, 3-regular — so cardinality is capped at 8 of 9\n\n",
+              q3.name().c_str());
+
+  const ExhaustiveObjectiveResult card = exhaustive_best_cardinality(inst);
+  const ExhaustiveResult best = exhaustive_best_total(inst);
+  const Weight lb = compute_ideal_schedule(inst).lower_bound;
+
+  std::printf("exhaustive scan over all 8! assignments:\n");
+  std::printf("  maximum cardinality:                     %lld\n",
+              static_cast<long long>(card.best_objective));
+  std::printf("  best total among cardinality-optimal:    %lld  (the paper's 'A1': 23)\n",
+              static_cast<long long>(card.best_total_at_objective));
+  std::printf("  global optimum total:                    %lld  (the paper's 'A2': 21)\n",
+              static_cast<long long>(best.total_time));
+  std::printf("  cardinality of the time-optimal mapping: %lld\n",
+              static_cast<long long>(cardinality(inst, best.assignment)));
+  std::printf("  ideal-graph lower bound:                 %lld\n\n",
+              static_cast<long long>(lb));
+
+  const bool gap = card.best_total_at_objective > best.total_time;
+  std::printf("claim '%s': %s\n",
+              "cardinality-optimal assignments are never total-time optimal",
+              gap ? "CONFIRMED" : "NOT REPRODUCED");
+
+  std::printf("\ntime-optimal schedule (the analogue of paper Fig. 12):\n%s",
+              render_gantt(inst, best.assignment,
+                           evaluate(inst, best.assignment))
+                  .c_str());
+  std::printf("\ncardinality-optimal schedule (the analogue of paper Fig. 10):\n%s",
+              render_gantt(inst, card.best_assignment_at_objective,
+                           evaluate(inst, card.best_assignment_at_objective))
+                  .c_str());
+  return gap ? 0 : 1;
+}

@@ -1,0 +1,126 @@
+// Micro-benchmarks (google-benchmark) for the paper's complexity claims
+// (section 4.3.3): evaluating a schedule is O(np^2)-bounded work, the full
+// refinement is O(ns * np^2), and the supporting kernels scale accordingly.
+#include <benchmark/benchmark.h>
+
+#include "baseline/random_mapping.hpp"
+#include "cluster/strategies.hpp"
+#include "core/mapper.hpp"
+#include "graph/shortest_paths.hpp"
+#include "topology/topology.hpp"
+#include "workload/random_dag.hpp"
+
+namespace mimdmap {
+namespace {
+
+MappingInstance make_instance(NodeId np, NodeId ns) {
+  LayeredDagParams p;
+  p.num_tasks = np;
+  p.avg_out_degree = 1.5;
+  TaskGraph g = make_layered_dag(p, 42);
+  Clustering c = block_clustering(g, ns);
+  return MappingInstance(std::move(g), std::move(c), make_hypercube([ns]() {
+                           NodeId d = 0;
+                           while ((NodeId{1} << d) < ns) ++d;
+                           return d;
+                         }()));
+}
+
+void BM_IdealSchedule(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<NodeId>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_ideal_schedule(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IdealSchedule)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+void BM_Evaluate(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<NodeId>(state.range(0)), 8);
+  const Assignment a = Assignment::identity(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate(inst, a));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Evaluate)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+void BM_FindCritical(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<NodeId>(state.range(0)), 8);
+  const IdealSchedule ideal = compute_ideal_schedule(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_critical(inst, ideal));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FindCritical)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+void BM_InitialAssignment(benchmark::State& state) {
+  const auto inst = make_instance(256, static_cast<NodeId>(state.range(0)));
+  const IdealSchedule ideal = compute_ideal_schedule(inst);
+  const CriticalInfo critical = find_critical(inst, ideal);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(initial_assignment(inst, critical));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_InitialAssignment)->RangeMultiplier(2)->Range(4, 32)->Complexity();
+
+void BM_FullPipeline(benchmark::State& state) {
+  // O(ns * np^2): the refinement dominates.
+  const auto inst = make_instance(static_cast<NodeId>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map_instance(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullPipeline)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+void BM_RefinementThreads(benchmark::State& state) {
+  // Deterministic parallel refinement: wall-clock scaling of the ns-trial
+  // evaluation fan-out (results are bit-identical for any thread count).
+  const auto inst = make_instance(384, 8);
+  const IdealSchedule ideal = compute_ideal_schedule(inst);
+  const CriticalInfo critical = find_critical(inst, ideal);
+  const InitialAssignmentResult initial = initial_assignment(inst, critical);
+  RefineOptions opts;
+  opts.max_trials = 256;
+  opts.use_termination_condition = false;
+  opts.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(refine(inst, ideal, initial, opts));
+  }
+}
+BENCHMARK(BM_RefinementThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_RandomMappingBaseline(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<NodeId>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_random_mappings(inst, 10, 7));
+  }
+}
+BENCHMARK(BM_RandomMappingBaseline)->Arg(64)->Arg(256);
+
+void BM_AllPairsHops(benchmark::State& state) {
+  const SystemGraph g = make_random_connected(static_cast<NodeId>(state.range(0)), 0.2, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(all_pairs_hops(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AllPairsHops)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+
+void BM_LayeredDagGeneration(benchmark::State& state) {
+  LayeredDagParams p;
+  p.num_tasks = static_cast<NodeId>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_layered_dag(p, ++seed));
+  }
+}
+BENCHMARK(BM_LayeredDagGeneration)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace mimdmap
+
+BENCHMARK_MAIN();

@@ -1,0 +1,18 @@
+// Regenerates paper Table 2 + Fig. 26: mapping random problem graphs onto
+// 2-D meshes.
+//
+// Paper reference values: our approach 100-112%, random 132-153%,
+// improvements 32-48 points, 7/11 experiments stopped by the termination
+// condition.
+#include "suite.hpp"
+
+int main() {
+  using namespace mimdmap;
+  using namespace mimdmap::bench;
+  const std::vector<std::string> topologies = {
+      "mesh-2x2", "mesh-2x3", "mesh-2x4", "mesh-3x3", "mesh-3x4", "mesh-4x4",
+      "mesh-4x5", "mesh-5x5", "mesh-5x6", "mesh-6x6", "mesh-3x5"};
+  run_and_print("Table 2 / Fig. 26: mapping to meshes", "Fig. 26",
+                make_suite(topologies, "block", 202));
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Extensions tour: a heterogeneous interconnect (weighted links), the
+// store-and-forward contention model, and a Cholesky factorization DAG.
+//
+// The paper assumes homogeneous unit links and contention-free routing;
+// this example shows the two extension knobs on a machine whose backbone
+// links are fast (cost 1) and whose leaf links are slow (cost 3):
+//
+//        P0 ══ P1            ══  backbone, cost 1
+//       ╱│      │╲            —  leaf links, cost 3
+//     P2 P3    P4 P5
+//
+// Usage: heterogeneous_network [tiles] [seed]     defaults: 6  1
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/metrics.hpp"
+#include "analysis/table.hpp"
+#include "cluster/strategies.hpp"
+#include "core/mapper.hpp"
+#include "workload/structured.hpp"
+
+using namespace mimdmap;
+
+int main(int argc, char** argv) {
+  const NodeId tiles = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 6;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  // The machine: two fast backbone routers, four slow leaves.
+  SystemGraph machine(6, "dumbbell-6");
+  machine.add_link(0, 1, 1);  // backbone
+  machine.add_link(0, 2, 3);
+  machine.add_link(0, 3, 3);
+  machine.add_link(1, 4, 3);
+  machine.add_link(1, 5, 3);
+
+  StructuredWeights weights;
+  weights.node_weight = {3, 8};
+  weights.edge_weight = {1, 5};
+  weights.seed = seed;
+  const TaskGraph cholesky = make_cholesky(tiles, weights);
+
+  std::printf("== tiled Cholesky (%d tiles, %d tasks) on a heterogeneous machine ==\n\n",
+              tiles, cholesky.node_count());
+
+  Clustering clustering = linear_clustering(cholesky, machine.node_count());
+
+  TextTable table({"distance model", "contention", "lower bound", "total", "% over bound",
+                   "optimal?"});
+  for (const DistanceModel model : {DistanceModel::kHops, DistanceModel::kWeightedLinks}) {
+    const MappingInstance instance(cholesky, clustering, machine, model);
+    for (const bool contention : {false, true}) {
+      MapperOptions opts;
+      opts.refine.eval.link_contention = contention;
+      opts.refine.seed = seed + 99;
+      const MappingReport report = map_instance(instance, opts);
+      table.add_row({model == DistanceModel::kHops ? "hops (paper)" : "weighted links",
+                     contention ? "store-and-forward" : "none (paper)",
+                     std::to_string(report.lower_bound), std::to_string(report.total_time()),
+                     std::to_string(report.percent_over_lower_bound()),
+                     report.reached_lower_bound ? "yes" : "no"});
+    }
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "notes:\n"
+      " * 'hops' charges every link one unit (the paper's model) — it cannot tell\n"
+      "   the fast backbone from the slow leaf links;\n"
+      " * 'weighted links' routes through Floyd-Warshall costs, so the bound and\n"
+      "   the mapping react to the slow leaves;\n"
+      " * the contention rows serialize messages sharing a physical link, which\n"
+      "   penalizes mappings that funnel traffic through the backbone.\n");
+  return 0;
+}

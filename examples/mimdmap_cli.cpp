@@ -1,0 +1,14 @@
+// The mimdmap command-line driver — see `mimdmap_cli help` or
+// src/cli/commands.hpp for the full command set. A typical session:
+//
+//   mimdmap_cli generate --workload cholesky --tiles 6 --out prog.txt
+//   mimdmap_cli topology --spec hypercube-3 --out machine.txt
+//   mimdmap_cli map --problem prog.txt --system machine.txt \
+//                   --strategy linear --random-trials 10 --gantt
+#include <iostream>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  return mimdmap::cli::run(argc, argv, std::cout, std::cerr);
+}

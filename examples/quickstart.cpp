@@ -1,0 +1,86 @@
+// Quickstart: the complete mimdmap pipeline on the paper's running example
+// (11 tasks, 4 clusters, 4-processor cycle — sections 2-4 of the paper).
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// Walks through every stage: the ideal schedule and its lower bound, the
+// critical edges, the critical-edge-guided initial assignment, and the
+// refinement with the lower-bound termination condition.
+#include <cstdio>
+
+#include "analysis/gantt.hpp"
+#include "cluster/clustering.hpp"
+#include "core/mapper.hpp"
+#include "graph/graph_io.hpp"
+#include "topology/topology.hpp"
+
+using namespace mimdmap;
+
+int main() {
+  // ---- 1. Describe the parallel program (problem graph, paper Fig. 2) ----
+  TaskGraph program(11);
+  const Weight task_times[11] = {1, 1, 2, 3, 3, 1, 3, 2, 2, 3, 1};
+  for (NodeId v = 0; v < 11; ++v) program.set_node_weight(v, task_times[idx(v)]);
+  // add_edge(from, to, communication_time)
+  program.add_edge(0, 1, 1);
+  program.add_edge(0, 2, 2);
+  program.add_edge(0, 3, 2);
+  program.add_edge(2, 4, 1);
+  program.add_edge(3, 5, 3);
+  program.add_edge(2, 6, 2);
+  program.add_edge(3, 7, 3);
+  program.add_edge(6, 8, 2);
+  program.add_edge(4, 8, 1);
+  program.add_edge(5, 8, 1);
+  program.add_edge(6, 9, 2);
+  program.add_edge(9, 10, 1);
+  program.add_edge(5, 10, 1);
+
+  // ---- 2. Cluster the tasks (paper assumes an external clustering) ----
+  Clustering clustering({0, 1, 2, 0, 3, 1, 0, 3, 2, 0, 0}, 4);
+
+  // ---- 3. Describe the machine (system graph, paper Fig. 5-a) ----
+  SystemGraph machine = make_ring(4);
+
+  // ---- 4. Map ----
+  MappingInstance instance(program, clustering, machine);
+  const MappingReport report = map_instance(instance);
+
+  std::printf("== mimdmap quickstart ==\n\n");
+  std::printf("problem graph: %d tasks, %zu edges\n", program.node_count(),
+              program.edge_count());
+  std::printf("system graph:  %s (%d processors)\n\n", machine.name().c_str(),
+              machine.node_count());
+
+  std::printf("ideal schedule on the fully connected closure (paper Fig. 6):\n%s\n",
+              render_ideal_gantt(instance, report.ideal).c_str());
+
+  std::printf("lower bound on total time: %lld\n",
+              static_cast<long long>(report.lower_bound));
+  std::printf("critical problem edges (zero-slack chains to the latest task):\n");
+  for (const TaskEdge& e : report.critical.critical_edges) {
+    std::printf("  task %d -> task %d (weight %lld)\n", e.from, e.to,
+                static_cast<long long>(e.weight));
+  }
+
+  std::printf("\nfinal assignment (cluster -> processor):\n");
+  for (NodeId c = 0; c < 4; ++c) {
+    std::printf("  cluster %d -> P%d%s\n", c, report.assignment.host_of(c),
+                report.pinned[idx(c)] ? "  [pinned: critical abstract node]" : "");
+  }
+
+  std::printf("\nmapped schedule (paper Fig. 24):\n%s\n",
+              render_gantt(instance, report.assignment, report.schedule).c_str());
+
+  std::printf("total time: %lld (%lld%% of the lower bound)\n",
+              static_cast<long long>(report.total_time()),
+              static_cast<long long>(report.percent_over_lower_bound()));
+  if (report.reached_lower_bound) {
+    std::printf("the termination condition fired: this mapping is provably optimal "
+                "(Theorem 3); %lld refinement trials were needed\n",
+                static_cast<long long>(report.refinement_trials));
+  }
+  return 0;
+}

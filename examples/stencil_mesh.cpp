@@ -1,0 +1,79 @@
+// Mapping a stencil (wavefront) computation onto a 2-D processor mesh.
+//
+// A rows x cols diamond DAG — cell (i,j) feeds (i+1,j) and (i,j+1) — is the
+// dependence structure of wavefront kernels (triangular solves, dynamic
+// programming, Gauss-Seidel sweeps). Blocks of the iteration space become
+// clusters; this example maps them onto a mesh whose shape matches and
+// compares the paper's mapper against random placement, also showing the
+// serialized-processor evaluation extension.
+//
+// Usage: stencil_mesh [grid] [mesh_rows] [mesh_cols] [seed]
+//        defaults:     8      2           3           1
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/gantt.hpp"
+#include "analysis/metrics.hpp"
+#include "baseline/random_mapping.hpp"
+#include "cluster/strategies.hpp"
+#include "core/mapper.hpp"
+#include "topology/topology.hpp"
+#include "workload/structured.hpp"
+
+using namespace mimdmap;
+
+int main(int argc, char** argv) {
+  const NodeId grid = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 8;
+  const NodeId mesh_rows = argc > 2 ? static_cast<NodeId>(std::atoi(argv[2])) : 2;
+  const NodeId mesh_cols = argc > 3 ? static_cast<NodeId>(std::atoi(argv[3])) : 3;
+  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+
+  StructuredWeights weights;
+  weights.node_weight = {3, 5};
+  weights.edge_weight = {1, 4};
+  weights.seed = seed;
+  const TaskGraph stencil = make_diamond(grid, grid, weights);
+  const SystemGraph mesh = make_mesh(mesh_rows, mesh_cols);
+
+  std::printf("== %dx%d stencil wavefront on %s ==\n", grid, grid, mesh.name().c_str());
+
+  // Block clustering keeps spatially close cells together — the natural
+  // decomposition for a stencil.
+  Clustering clustering = block_clustering(stencil, mesh.node_count());
+  MappingInstance instance(stencil, std::move(clustering), mesh);
+
+  const MappingReport report = map_instance(instance);
+  const RandomMappingStats random = evaluate_random_mappings(instance, 20, seed + 5);
+
+  const std::int64_t ours_pct =
+      percent_over_lower_bound(report.total_time(), report.lower_bound);
+  const std::int64_t rand_pct = percent_over_lower_bound(random.mean(), report.lower_bound);
+
+  std::printf("tasks: %d   inter-cluster traffic: %lld units\n", stencil.node_count(),
+              static_cast<long long>(
+                  inter_cluster_traffic(instance.problem(), instance.clustering())));
+  std::printf("lower bound:        %lld\n", static_cast<long long>(report.lower_bound));
+  std::printf("critical edges:     %zu (guide the initial assignment)\n",
+              report.critical.critical_edges.size());
+  std::printf("initial assignment: %lld\n", static_cast<long long>(report.initial_total));
+  std::printf("after refinement:   %lld  (%lld%% of bound, %lld trials%s)\n",
+              static_cast<long long>(report.total_time()), static_cast<long long>(ours_pct),
+              static_cast<long long>(report.refinement_trials),
+              report.reached_lower_bound ? ", provably optimal" : "");
+  std::printf("random mapping:     %.1f on average over 20 trials (%lld%%)\n", random.mean(),
+              static_cast<long long>(rand_pct));
+  std::printf("improvement:        %lld percentage points\n\n",
+              static_cast<long long>(improvement_points(ours_pct, rand_pct)));
+
+  // The paper's model lets same-processor tasks overlap; the serialized
+  // extension forbids that. Compare both readings of the final mapping.
+  const Weight serialized = total_time(instance, report.assignment,
+                                       EvalOptions{.serialize_within_processor = true});
+  std::printf("model check: paper model %lld vs serialized-processor extension %lld\n\n",
+              static_cast<long long>(report.total_time()),
+              static_cast<long long>(serialized));
+
+  std::printf("first time units of the mapped schedule:\n%s",
+              render_gantt(instance, report.assignment, report.schedule, 24).c_str());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// One workload, many machines: how interconnect topology affects the
+// mapped execution time.
+//
+// The paper evaluates hypercubes, meshes and random topologies (section 5).
+// This example fixes one random problem graph + clustering and maps it onto
+// eight different 8-processor interconnects, reporting the topology
+// diameter, mean distance, and the mapped total time against the (topology-
+// independent) lower bound.
+//
+// Usage: topology_showdown [num_tasks] [seed]
+//        defaults:          120         3
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/metrics.hpp"
+#include "analysis/table.hpp"
+#include "baseline/random_mapping.hpp"
+#include "cluster/strategies.hpp"
+#include "core/mapper.hpp"
+#include "graph/shortest_paths.hpp"
+#include "topology/factory.hpp"
+#include "workload/random_dag.hpp"
+
+using namespace mimdmap;
+
+int main(int argc, char** argv) {
+  const NodeId num_tasks = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 120;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+
+  LayeredDagParams params;
+  params.num_tasks = num_tasks;
+  params.num_layers = 10;
+  const TaskGraph program = make_layered_dag(params, seed);
+
+  const char* specs[] = {"hypercube-3", "mesh-2x4",  "torus-2x4",     "ring-8",
+                         "star-8",      "chain-8",   "random-8-30-7", "complete-8"};
+
+  std::printf("== one workload (%d tasks), eight 8-processor machines ==\n\n", num_tasks);
+  TextTable table({"topology", "links", "diameter", "mean dist", "ours", "ours %",
+                   "random %", "optimal?"});
+
+  for (const char* spec : specs) {
+    const SystemGraph machine = make_topology(spec);
+    // Same clustering for every machine: the lower bound is identical, so
+    // the 'ours %' column isolates the topology's effect.
+    Clustering clustering = random_clustering(program, machine.node_count(), seed + 11);
+    MappingInstance instance(program, std::move(clustering), machine);
+    const MappingReport report = map_instance(instance);
+    const RandomMappingStats random = evaluate_random_mappings(instance, 10, seed + 13);
+
+    char mean_dist[16];
+    std::snprintf(mean_dist, sizeof mean_dist, "%.2f",
+                  static_cast<double>(mean_distance_milli(machine)) / 1000.0);
+    table.add_row(
+        {machine.name(), std::to_string(machine.link_count()),
+         std::to_string(diameter(machine)), mean_dist, std::to_string(report.total_time()),
+         std::to_string(percent_over_lower_bound(report.total_time(), report.lower_bound)),
+         std::to_string(percent_over_lower_bound(random.mean(), report.lower_bound)),
+         report.reached_lower_bound ? "yes" : "no"});
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("the complete machine always reaches the lower bound (Theorem 3: it *is*\n"
+              "the closure); sparser machines pay for multi-hop messages, and the gap\n"
+              "to random mapping widens with the mean distance.\n");
+  return 0;
+}

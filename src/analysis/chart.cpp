@@ -1,0 +1,61 @@
+#include "analysis/chart.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace mimdmap {
+
+std::string render_range_chart(const ChartSeries& series, std::int64_t y_step) {
+  if (series.ours_pct.size() != series.random_pct.size()) {
+    throw std::invalid_argument("render_range_chart: series size mismatch");
+  }
+  if (y_step <= 0) throw std::invalid_argument("render_range_chart: y_step must be positive");
+  const std::size_t n = series.ours_pct.size();
+  if (n == 0) return "(no data)\n";
+
+  std::int64_t top = 100;
+  for (std::size_t i = 0; i < n; ++i) {
+    top = std::max({top, series.ours_pct[i], series.random_pct[i]});
+  }
+  // Round up to the next step boundary.
+  top = ((top + y_step - 1) / y_step) * y_step;
+
+  std::ostringstream os;
+  os << "% over lower bound\n";
+  constexpr int kColWidth = 4;
+  for (std::int64_t y = top; y >= 100; y -= y_step) {
+    std::string label = std::to_string(y);
+    os << std::string(5 - std::min<std::size_t>(5, label.size()), ' ') << label << " |";
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t lo = series.ours_pct[i];
+      const std::int64_t hi = series.random_pct[i];
+      char mark = ' ';
+      // A row covers (y - y_step, y]; the endpoint marks win over the dash.
+      const auto in_row = [y, y_step](std::int64_t v) {
+        return v <= y && v > y - y_step;
+      };
+      if (in_row(hi)) {
+        mark = 'x';
+      } else if (in_row(lo) || (y == 100 && lo <= 100)) {
+        mark = 'o';
+      } else if (lo < y && y < hi) {
+        mark = ':';
+      }
+      os << std::string(kColWidth - 1, ' ') << mark;
+    }
+    os << "\n";
+  }
+  os << "      +" << std::string(n * kColWidth, '-') << "\n";
+  os << "       ";
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string label = std::to_string(i + 1);
+    if (label.size() > kColWidth - 1) label.resize(kColWidth - 1);
+    os << std::string(kColWidth - label.size(), ' ') << label;
+  }
+  os << "  (experiment)\n";
+  os << "       o = our approach, x = random mapping\n";
+  return os.str();
+}
+
+}  // namespace mimdmap

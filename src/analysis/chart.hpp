@@ -1,0 +1,28 @@
+// ASCII range charts in the style of the paper's Figs. 25-27.
+//
+// Each experiment is one column; a vertical dashed segment runs from the
+// mapped result ('o', lower end — our approach) up to the random-mapping
+// result ('x', higher end), both as percent over the lower bound. "For
+// example, a lower end value of 110 and an upper end value of 160 mean that
+// a program mapped by using our approach requires only 10% more time than
+// the lower bound, while a random mapping would result in a 60% increase."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mimdmap {
+
+struct ChartSeries {
+  /// Percent-over-lower-bound per experiment, ours and random.
+  std::vector<std::int64_t> ours_pct;
+  std::vector<std::int64_t> random_pct;
+};
+
+/// Renders the histogram; `y_step` is the percent granularity per text row
+/// (the paper's figures use 5-10%).
+[[nodiscard]] std::string render_range_chart(const ChartSeries& series,
+                                             std::int64_t y_step = 5);
+
+}  // namespace mimdmap

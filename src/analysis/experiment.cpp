@@ -1,0 +1,133 @@
+#include "analysis/experiment.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/metrics.hpp"
+#include "analysis/table.hpp"
+#include "baseline/random_mapping.hpp"
+#include "cluster/strategies.hpp"
+#include "core/instance.hpp"
+#include "topology/factory.hpp"
+#include "workload/rng.hpp"
+
+namespace mimdmap {
+
+ExperimentRow run_experiment(const ExperimentConfig& config, int id) {
+  // Independent deterministic sub-seeds for each random component.
+  std::uint64_t sm = config.seed;
+  const std::uint64_t workload_seed = splitmix64(sm);
+  const std::uint64_t clustering_seed = splitmix64(sm);
+  const std::uint64_t refine_seed = splitmix64(sm);
+  const std::uint64_t random_baseline_seed = splitmix64(sm);
+
+  SystemGraph system = make_topology(config.topology);
+  TaskGraph problem = [&]() {
+    switch (config.workload_kind) {
+      case WorkloadKind::kErdosRenyi:
+        return make_erdos_renyi_dag(config.erdos, workload_seed);
+      case WorkloadKind::kSeriesParallel:
+        return make_series_parallel(config.series_parallel, workload_seed);
+      case WorkloadKind::kLayered:
+        break;
+    }
+    return make_layered_dag(config.workload, workload_seed);
+  }();
+  Clustering clustering =
+      make_clustering(config.clustering, problem, system.node_count(), clustering_seed);
+
+  MappingInstance instance(std::move(problem), std::move(clustering), std::move(system));
+
+  MapperOptions mapper = config.mapper;
+  mapper.refine.seed = refine_seed;
+  const MappingReport report = map_instance(instance, mapper);
+
+  const RandomMappingStats random_stats = evaluate_random_mappings(
+      instance, config.random_trials, random_baseline_seed, mapper.refine.eval);
+
+  ExperimentRow row;
+  row.id = id;
+  row.topology = instance.system().name();
+  row.np = instance.num_tasks();
+  row.ns = instance.num_processors();
+  row.lower_bound = report.lower_bound;
+  row.ours_total = report.total_time();
+  row.random_mean = random_stats.mean();
+  row.ours_pct = percent_over_lower_bound(row.ours_total, row.lower_bound);
+  row.random_pct = percent_over_lower_bound(row.random_mean, row.lower_bound);
+  row.improvement = improvement_points(row.ours_pct, row.random_pct);
+  row.reached_lower_bound = report.reached_lower_bound;
+  row.terminated_early = report.terminated_early;
+  row.refinement_trials = report.refinement_trials;
+  return row;
+}
+
+std::vector<ExperimentRow> run_suite(const std::vector<ExperimentConfig>& configs) {
+  std::vector<ExperimentRow> rows;
+  rows.reserve(configs.size());
+  int id = 1;
+  for (const ExperimentConfig& config : configs) rows.push_back(run_experiment(config, id++));
+  return rows;
+}
+
+std::string format_paper_table(const std::vector<ExperimentRow>& rows) {
+  TextTable table({"expts", "our approach", "random", "improvement"});
+  for (const ExperimentRow& row : rows) {
+    table.add_row({std::to_string(row.id), std::to_string(row.ours_pct),
+                   std::to_string(row.random_pct), std::to_string(row.improvement)});
+  }
+  return table.to_string();
+}
+
+std::string format_csv(const std::vector<ExperimentRow>& rows) {
+  TextTable table({"expt", "topology", "np", "ns", "lower_bound", "ours_total", "random_mean",
+                   "ours_pct", "random_pct", "improvement", "reached_lb", "terminated_early",
+                   "refine_trials"});
+  for (const ExperimentRow& row : rows) {
+    std::ostringstream mean;
+    mean << row.random_mean;
+    table.add_row({std::to_string(row.id), row.topology, std::to_string(row.np),
+                   std::to_string(row.ns), std::to_string(row.lower_bound),
+                   std::to_string(row.ours_total), mean.str(), std::to_string(row.ours_pct),
+                   std::to_string(row.random_pct), std::to_string(row.improvement),
+                   row.reached_lower_bound ? "1" : "0", row.terminated_early ? "1" : "0",
+                   std::to_string(row.refinement_trials)});
+  }
+  return table.to_csv();
+}
+
+std::string render_figure(const std::vector<ExperimentRow>& rows) {
+  ChartSeries series;
+  for (const ExperimentRow& row : rows) {
+    series.ours_pct.push_back(row.ours_pct);
+    series.random_pct.push_back(row.random_pct);
+  }
+  return render_range_chart(series);
+}
+
+std::string summarize_suite(const std::vector<ExperimentRow>& rows) {
+  if (rows.empty()) return "(no experiments)\n";
+  std::int64_t min_impr = rows.front().improvement;
+  std::int64_t max_impr = rows.front().improvement;
+  std::int64_t sum_ours = 0;
+  std::int64_t sum_random = 0;
+  std::size_t lb_hits = 0;
+  std::size_t early = 0;
+  for (const ExperimentRow& row : rows) {
+    min_impr = std::min(min_impr, row.improvement);
+    max_impr = std::max(max_impr, row.improvement);
+    sum_ours += row.ours_pct;
+    sum_random += row.random_pct;
+    if (row.reached_lower_bound) ++lb_hits;
+    if (row.terminated_early) ++early;
+  }
+  const auto n = static_cast<std::int64_t>(rows.size());
+  std::ostringstream os;
+  os << "experiments: " << n << ", mean ours: " << sum_ours / n
+     << "%, mean random: " << sum_random / n << "%, improvement: " << min_impr << ".."
+     << max_impr << " points, reached lower bound: " << lb_hits << "/" << n
+     << ", early termination: " << early << "/" << n << "\n";
+  return os.str();
+}
+
+}  // namespace mimdmap

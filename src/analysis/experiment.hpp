@@ -1,0 +1,89 @@
+// Experiment harness: regenerates the paper's evaluation protocol
+// (section 5).
+//
+// One experiment =
+//   1. generate a random problem graph (np in [30, 300], random weights),
+//   2. cluster it randomly into ns clusters (the paper's random clustering
+//      program),
+//   3. build the instance against the chosen topology,
+//   4. run our mapping pipeline,
+//   5. run `random_trials` random mappings and average their total times,
+//   6. report both as percent over the ideal-graph lower bound plus the
+//      improvement (the columns of Tables 1-3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/chart.hpp"
+#include "core/mapper.hpp"
+#include "workload/random_dag.hpp"
+
+namespace mimdmap {
+
+/// Which random problem-graph generator an experiment draws from.
+enum class WorkloadKind {
+  kLayered,
+  kErdosRenyi,
+  kSeriesParallel,
+};
+
+struct ExperimentConfig {
+  /// Topology spec for make_topology ("hypercube-4", "mesh-3x4",
+  /// "random-12-20-7", ...).
+  std::string topology;
+  /// Generator family; the matching parameter block below is used.
+  WorkloadKind workload_kind = WorkloadKind::kLayered;
+  /// Problem-graph generator parameters; num_tasks is taken as-is.
+  LayeredDagParams workload;
+  ErdosRenyiDagParams erdos;
+  SeriesParallelParams series_parallel;
+  /// Clustering strategy name for make_clustering (the paper uses
+  /// "random").
+  std::string clustering = "random";
+  /// Master seed; workload, clustering, refinement and the random baseline
+  /// derive independent streams from it.
+  std::uint64_t seed = 1;
+  /// Random mappings averaged for the baseline column (paper: "several").
+  std::int64_t random_trials = 10;
+  MapperOptions mapper;
+};
+
+struct ExperimentRow {
+  int id = 0;
+  std::string topology;
+  NodeId np = 0;
+  NodeId ns = 0;
+  Weight lower_bound = 0;
+  Weight ours_total = 0;
+  double random_mean = 0.0;
+  std::int64_t ours_pct = 0;    // column "our approach"
+  std::int64_t random_pct = 0;  // column "random"
+  std::int64_t improvement = 0; // column "improvement"
+  bool reached_lower_bound = false;
+  bool terminated_early = false;
+  std::int64_t refinement_trials = 0;
+};
+
+/// Runs one experiment.
+[[nodiscard]] ExperimentRow run_experiment(const ExperimentConfig& config, int id);
+
+/// Runs a batch.
+[[nodiscard]] std::vector<ExperimentRow> run_suite(const std::vector<ExperimentConfig>& configs);
+
+/// Renders rows in the layout of the paper's Tables 1-3.
+[[nodiscard]] std::string format_paper_table(const std::vector<ExperimentRow>& rows);
+
+/// CSV with full diagnostics.
+[[nodiscard]] std::string format_csv(const std::vector<ExperimentRow>& rows);
+
+/// Renders the matching figure (paper Figs. 25-27).
+[[nodiscard]] std::string render_figure(const std::vector<ExperimentRow>& rows);
+
+/// Aggregate line: mean percentages, improvement range, lower-bound hits —
+/// the quantities the paper quotes in prose ("improvements ranging from 29
+/// to 77%", "in 2 out of 10 cases, our results reached the lower bound").
+[[nodiscard]] std::string summarize_suite(const std::vector<ExperimentRow>& rows);
+
+}  // namespace mimdmap

@@ -1,0 +1,94 @@
+#include "analysis/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace mimdmap {
+namespace {
+
+/// Shared renderer: `column_of[task]` gives the drawing column; times come
+/// from start/end vectors.
+std::string render(const TaskGraph& problem, const std::vector<NodeId>& column_of,
+                   NodeId num_columns, const std::vector<Weight>& start,
+                   const std::vector<Weight>& end, const std::string& column_title,
+                   std::size_t max_rows) {
+  const NodeId np = problem.node_count();
+  Weight horizon = 0;
+  for (const Weight e : end) horizon = std::max(horizon, e);
+
+  constexpr int kCellWidth = 5;
+  std::ostringstream os;
+
+  // Header.
+  os << "time |";
+  for (NodeId c = 0; c < num_columns; ++c) {
+    std::string label = column_title + std::to_string(c);
+    if (label.size() > kCellWidth - 1) label.resize(kCellWidth - 1);
+    os << std::string(kCellWidth - label.size(), ' ') << label;
+  }
+  os << "\n-----+" << std::string(idx(num_columns) * kCellWidth, '-') << "\n";
+
+  const auto rows = static_cast<std::size_t>(horizon);
+  const std::size_t shown = std::min(rows, max_rows);
+
+  // cells[t][c] holds the rendering for time unit t, column c.
+  std::vector<std::vector<std::string>> cells(shown,
+                                              std::vector<std::string>(idx(num_columns)));
+  // Draw longer-running tasks first so later-starting tasks overwrite and
+  // overlaps become visible.
+  std::vector<NodeId> order(idx(np));
+  for (NodeId v = 0; v < np; ++v) order[idx(v)] = v;
+  std::stable_sort(order.begin(), order.end(), [&start](NodeId a, NodeId b) {
+    return start[idx(a)] < start[idx(b)];
+  });
+
+  for (const NodeId v : order) {
+    const NodeId c = column_of[idx(v)];
+    for (Weight t = start[idx(v)]; t < end[idx(v)]; ++t) {
+      if (static_cast<std::size_t>(t) >= shown) break;
+      std::string& cell = cells[static_cast<std::size_t>(t)][idx(c)];
+      std::string drawn = (t == start[idx(v)]) ? std::to_string(v) : "|";
+      if (!cell.empty()) drawn += "+";  // overlap marker
+      cell = std::move(drawn);
+    }
+  }
+
+  for (std::size_t t = 0; t < shown; ++t) {
+    std::string label = std::to_string(t);
+    os << std::string(5 - std::min<std::size_t>(5, label.size()), ' ') << label << "|";
+    for (NodeId c = 0; c < num_columns; ++c) {
+      std::string cell = cells[t][idx(c)];
+      if (cell.size() > kCellWidth - 1) cell.resize(kCellWidth - 1);
+      os << std::string(kCellWidth - cell.size(), ' ') << cell;
+    }
+    os << "\n";
+  }
+  if (shown < rows) os << "  ... (" << rows - shown << " more time units)\n";
+  os << "total time: " << horizon << "\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_gantt(const MappingInstance& instance, const Assignment& assignment,
+                         const ScheduleResult& schedule, std::size_t max_rows) {
+  const NodeId np = instance.num_tasks();
+  std::vector<NodeId> column_of(idx(np));
+  for (NodeId v = 0; v < np; ++v) {
+    column_of[idx(v)] = assignment.host_of(instance.clustering().cluster_of(v));
+  }
+  return render(instance.problem(), column_of, instance.num_processors(), schedule.start,
+                schedule.end, "P", max_rows);
+}
+
+std::string render_ideal_gantt(const MappingInstance& instance, const IdealSchedule& ideal,
+                               std::size_t max_rows) {
+  const NodeId np = instance.num_tasks();
+  std::vector<NodeId> column_of(idx(np));
+  for (NodeId v = 0; v < np; ++v) column_of[idx(v)] = instance.clustering().cluster_of(v);
+  return render(instance.problem(), column_of, instance.num_processors(), ideal.start,
+                ideal.end, "C", max_rows);
+}
+
+}  // namespace mimdmap

@@ -1,0 +1,31 @@
+// ASCII Gantt (time-line) charts in the style of the paper's Figs. 6, 10,
+// 12 and 24: processors across, time units down, each task drawn from its
+// start to its end time in its processor's column.
+//
+// Because the paper's evaluation model does not serialise tasks sharing a
+// processor, two tasks may overlap in one column; the later-starting task
+// wins the cell and the overlap is marked with '+'.
+#pragma once
+
+#include <string>
+
+#include "core/evaluation.hpp"
+#include "core/ideal_graph.hpp"
+#include "core/instance.hpp"
+
+namespace mimdmap {
+
+/// Gantt chart of a schedule under an assignment. Rows beyond `max_rows`
+/// are elided with a trailing "..." line.
+[[nodiscard]] std::string render_gantt(const MappingInstance& instance,
+                                       const Assignment& assignment,
+                                       const ScheduleResult& schedule,
+                                       std::size_t max_rows = 100);
+
+/// Gantt chart of the ideal schedule (paper Fig. 6): clusters play the role
+/// of processors of the fully connected closure.
+[[nodiscard]] std::string render_ideal_gantt(const MappingInstance& instance,
+                                             const IdealSchedule& ideal,
+                                             std::size_t max_rows = 100);
+
+}  // namespace mimdmap

@@ -1,0 +1,23 @@
+#include "analysis/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mimdmap {
+
+std::int64_t percent_over_lower_bound(Weight total, Weight lower_bound) {
+  if (lower_bound <= 0) throw std::invalid_argument("percent_over_lower_bound: bound <= 0");
+  return (total * 100 + lower_bound / 2) / lower_bound;
+}
+
+std::int64_t percent_over_lower_bound(double total, Weight lower_bound) {
+  if (lower_bound <= 0) throw std::invalid_argument("percent_over_lower_bound: bound <= 0");
+  return static_cast<std::int64_t>(
+      std::llround(total * 100.0 / static_cast<double>(lower_bound)));
+}
+
+std::int64_t improvement_points(std::int64_t ours_pct, std::int64_t random_pct) {
+  return random_pct - ours_pct;
+}
+
+}  // namespace mimdmap

@@ -1,0 +1,27 @@
+// Quality metrics for mappings.
+//
+// The paper's tables report total times normalised by the ideal-graph lower
+// bound: "the lower bound is used as the basis for comparisons and is set
+// to 100 percent" (section 5). A value of 104 means the mapped program
+// needs 4% more time than the lower bound; the improvement column is the
+// difference between the random-mapping percentage and ours.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace mimdmap {
+
+/// round(100 * total / lower_bound) — the unit of Tables 1-3. Requires
+/// lower_bound > 0.
+[[nodiscard]] std::int64_t percent_over_lower_bound(Weight total, Weight lower_bound);
+
+/// Same, for a fractional total (the random-mapping column averages several
+/// trials).
+[[nodiscard]] std::int64_t percent_over_lower_bound(double total, Weight lower_bound);
+
+/// The paper's "improvement" column: random% - ours% (percentage points).
+[[nodiscard]] std::int64_t improvement_points(std::int64_t ours_pct, std::int64_t random_pct);
+
+}  // namespace mimdmap

@@ -1,0 +1,69 @@
+#include "analysis/replication.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "analysis/table.hpp"
+#include "workload/rng.hpp"
+
+namespace mimdmap {
+namespace {
+
+std::string mean_pm_std(const Summary& s) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%.1f +/- %.1f", s.mean, s.stddev);
+  return buffer;
+}
+
+}  // namespace
+
+ReplicatedRow run_replicated(const ExperimentConfig& config, int id, int replicas) {
+  if (replicas <= 0) throw std::invalid_argument("run_replicated: replicas must be > 0");
+  ReplicatedRow row;
+  row.id = id;
+  row.replicas = replicas;
+
+  std::vector<double> ours;
+  std::vector<double> random;
+  std::vector<double> improvement;
+  std::uint64_t chain = config.seed;
+  for (int r = 0; r < replicas; ++r) {
+    ExperimentConfig replica = config;
+    replica.seed = splitmix64(chain);
+    const ExperimentRow result = run_experiment(replica, id);
+    row.topology = result.topology;
+    ours.push_back(static_cast<double>(result.ours_pct));
+    random.push_back(static_cast<double>(result.random_pct));
+    improvement.push_back(static_cast<double>(result.improvement));
+    if (result.reached_lower_bound) ++row.lower_bound_hits;
+  }
+  row.ours_pct = summarize(ours);
+  row.random_pct = summarize(random);
+  row.improvement = summarize(improvement);
+  return row;
+}
+
+std::vector<ReplicatedRow> run_replicated_suite(const std::vector<ExperimentConfig>& configs,
+                                                int replicas) {
+  std::vector<ReplicatedRow> rows;
+  rows.reserve(configs.size());
+  int id = 1;
+  for (const ExperimentConfig& config : configs) {
+    rows.push_back(run_replicated(config, id++, replicas));
+  }
+  return rows;
+}
+
+std::string format_replicated_table(const std::vector<ReplicatedRow>& rows) {
+  TextTable table(
+      {"expts", "topology", "our approach", "random", "improvement", "lb hits"});
+  for (const ReplicatedRow& row : rows) {
+    table.add_row({std::to_string(row.id), row.topology, mean_pm_std(row.ours_pct),
+                   mean_pm_std(row.random_pct), mean_pm_std(row.improvement),
+                   std::to_string(row.lower_bound_hits) + "/" +
+                       std::to_string(row.replicas)});
+  }
+  return table.to_string();
+}
+
+}  // namespace mimdmap

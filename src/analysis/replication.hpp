@@ -1,0 +1,37 @@
+// Replicated experiments: the paper's tables are single runs per row; for
+// statistically defensible comparisons each configuration can be replayed
+// under several derived seeds and summarised as mean +/- sample stddev.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "analysis/stats.hpp"
+
+namespace mimdmap {
+
+struct ReplicatedRow {
+  int id = 0;
+  std::string topology;
+  int replicas = 0;
+  Summary ours_pct;
+  Summary random_pct;
+  Summary improvement;
+  /// Runs whose final total equalled the lower bound.
+  int lower_bound_hits = 0;
+};
+
+/// Runs `replicas` copies of the configuration with seeds derived from
+/// config.seed (SplitMix64 chain), aggregating the paper's three columns.
+[[nodiscard]] ReplicatedRow run_replicated(const ExperimentConfig& config, int id,
+                                           int replicas);
+
+/// Runs a batch of configurations.
+[[nodiscard]] std::vector<ReplicatedRow> run_replicated_suite(
+    const std::vector<ExperimentConfig>& configs, int replicas);
+
+/// "mean +/- std" table in the layout of the paper's Tables 1-3.
+[[nodiscard]] std::string format_replicated_table(const std::vector<ReplicatedRow>& rows);
+
+}  // namespace mimdmap

@@ -1,0 +1,30 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mimdmap {
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count > 1) {
+    double sq = 0.0;
+    for (const double v : values) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(s.count - 1));
+  }
+  return s;
+}
+
+Summary summarize(const std::vector<long long>& values) {
+  std::vector<double> d(values.begin(), values.end());
+  return summarize(d);
+}
+
+}  // namespace mimdmap

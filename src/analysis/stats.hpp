@@ -1,0 +1,20 @@
+// Small descriptive-statistics helpers for experiment summaries.
+#pragma once
+
+#include <vector>
+
+namespace mimdmap {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Summary of a sample; all-zero for an empty vector.
+[[nodiscard]] Summary summarize(const std::vector<double>& values);
+[[nodiscard]] Summary summarize(const std::vector<long long>& values);
+
+}  // namespace mimdmap

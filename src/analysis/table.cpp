@@ -1,0 +1,53 @@
+#include "analysis/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace mimdmap {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("TextTable: need at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable: row has wrong number of cells");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::string(width[c] - row[c].size(), ' ') << row[c];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : width) total += w + 2;
+  os << std::string(total - 2, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) os << (c == 0 ? "" : ",") << row[c];
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace mimdmap

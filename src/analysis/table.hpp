@@ -1,0 +1,29 @@
+// Fixed-width text tables and CSV output for bench/experiment reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mimdmap {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Right-aligned fixed-width rendering with a header separator.
+  [[nodiscard]] std::string to_string() const;
+
+  /// RFC-4180-lite CSV (no quoting needed for our numeric content).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mimdmap

@@ -1,0 +1,71 @@
+#include "baseline/annealing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "baseline/random_mapping.hpp"
+#include "workload/rng.hpp"
+
+namespace mimdmap {
+
+AnnealingResult anneal_mapping(const MappingInstance& instance, const Assignment& start,
+                               const AnnealingOptions& options) {
+  if (options.cooling <= 0.0 || options.cooling >= 1.0) {
+    throw std::invalid_argument("anneal_mapping: cooling must be in (0, 1)");
+  }
+  const NodeId n = instance.num_processors();
+  Rng rng(options.seed);
+
+  AnnealingResult result;
+  result.assignment = start;
+  result.total_time = total_time(instance, start, options.eval);
+
+  if (n < 2) return result;
+
+  Assignment current = start;
+  Weight current_total = result.total_time;
+
+  double temperature = options.initial_temperature;
+  if (temperature <= 0.0) {
+    // Estimate the energy scale from a handful of random assignments.
+    Rng probe = rng.split();
+    Weight lo = current_total;
+    Weight hi = current_total;
+    for (int i = 0; i < 8; ++i) {
+      const Weight t = total_time(instance, random_assignment(n, probe), options.eval);
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+    temperature = std::max(1.0, static_cast<double>(hi - lo));
+  }
+
+  const std::int64_t moves = options.moves_per_step > 0
+                                 ? options.moves_per_step
+                                 : static_cast<std::int64_t>(n) * (n - 1) / 2;
+
+  for (std::int64_t step = 0; step < options.steps; ++step) {
+    for (std::int64_t m = 0; m < moves; ++m) {
+      ++result.moves_tried;
+      const NodeId p = static_cast<NodeId>(rng.uniform(0, n - 1));
+      NodeId q = static_cast<NodeId>(rng.uniform(0, n - 2));
+      if (q >= p) ++q;
+      current.swap_processors(p, q);
+      const Weight cand = total_time(instance, current, options.eval);
+      const auto delta = static_cast<double>(cand - current_total);
+      if (delta <= 0.0 || rng.uniform01() < std::exp(-delta / temperature)) {
+        current_total = cand;
+        ++result.moves_accepted;
+        if (cand < result.total_time) {
+          result.total_time = cand;
+          result.assignment = current;
+        }
+      } else {
+        current.swap_processors(p, q);  // reject: undo
+      }
+    }
+    temperature *= options.cooling;
+  }
+  return result;
+}
+
+}  // namespace mimdmap

@@ -1,0 +1,46 @@
+// Simulated-annealing mapping (paper refs [3] Kirkpatrick et al. and [14]
+// Lee & Bic, "Comparing Quenching and Slow Simulated Annealing in the
+// Mapping Problem").
+//
+// A stronger-but-slower comparator for the paper's refinement stage: moves
+// are processor swaps; total execution time is the energy. Included so the
+// ablation benches can show where the paper's cheap ns-trial refinement
+// stands between random mapping and an expensive metaheuristic.
+#pragma once
+
+#include <cstdint>
+
+#include "core/assignment.hpp"
+#include "core/evaluation.hpp"
+#include "core/instance.hpp"
+
+namespace mimdmap {
+
+struct AnnealingOptions {
+  /// Initial temperature; <= 0 derives one from the spread of a few random
+  /// assignments.
+  double initial_temperature = -1.0;
+  /// Geometric cooling factor per temperature step.
+  double cooling = 0.95;
+  /// Swap attempts per temperature step; <= 0 means ns * (ns - 1) / 2.
+  std::int64_t moves_per_step = -1;
+  /// Temperature steps.
+  std::int64_t steps = 60;
+  std::uint64_t seed = 0xdecafbadULL;
+  EvalOptions eval;
+};
+
+struct AnnealingResult {
+  Assignment assignment;
+  Weight total_time = 0;
+  std::int64_t moves_tried = 0;
+  std::int64_t moves_accepted = 0;
+};
+
+/// Anneals from the given starting assignment (typically the identity or
+/// the paper's initial assignment).
+[[nodiscard]] AnnealingResult anneal_mapping(const MappingInstance& instance,
+                                             const Assignment& start,
+                                             const AnnealingOptions& options = {});
+
+}  // namespace mimdmap

@@ -1,0 +1,92 @@
+#include "baseline/bokhari.hpp"
+
+#include <stdexcept>
+
+#include "baseline/random_mapping.hpp"
+#include "workload/rng.hpp"
+
+namespace mimdmap {
+namespace {
+
+/// Shared pairwise-interchange ascent: repeatedly applies the best
+/// improving swap until none exists.
+template <typename Objective>
+void hill_climb(const MappingInstance& instance, Assignment& a, Objective&& score) {
+  const NodeId n = instance.num_processors();
+  bool improved = true;
+  auto current = score(a);
+  while (improved) {
+    improved = false;
+    NodeId best_p = -1;
+    NodeId best_q = -1;
+    auto best = current;
+    for (NodeId p = 0; p < n; ++p) {
+      for (NodeId q = p + 1; q < n; ++q) {
+        a.swap_processors(p, q);
+        const auto s = score(a);
+        if (s > best) {
+          best = s;
+          best_p = p;
+          best_q = q;
+        }
+        a.swap_processors(p, q);  // undo
+      }
+    }
+    if (best_p >= 0) {
+      a.swap_processors(best_p, best_q);
+      current = best;
+      improved = true;
+    }
+  }
+}
+
+}  // namespace
+
+std::int64_t cardinality(const MappingInstance& instance, const Assignment& assignment) {
+  std::int64_t count = 0;
+  const Clustering& clustering = instance.clustering();
+  for (const TaskEdge& e : instance.problem().edges()) {
+    const NodeId ca = clustering.cluster_of(e.from);
+    const NodeId cb = clustering.cluster_of(e.to);
+    if (ca == cb) continue;
+    const Weight d = instance.hops()(idx(assignment.host_of(ca)), idx(assignment.host_of(cb)));
+    if (d == 1) ++count;
+  }
+  return count;
+}
+
+Weight weighted_cardinality(const MappingInstance& instance, const Assignment& assignment) {
+  Weight sum = 0;
+  const Clustering& clustering = instance.clustering();
+  for (const TaskEdge& e : instance.problem().edges()) {
+    const NodeId ca = clustering.cluster_of(e.from);
+    const NodeId cb = clustering.cluster_of(e.to);
+    if (ca == cb) continue;
+    const Weight d = instance.hops()(idx(assignment.host_of(ca)), idx(assignment.host_of(cb)));
+    if (d == 1) sum += e.weight;
+  }
+  return sum;
+}
+
+BokhariResult bokhari_mapping(const MappingInstance& instance, std::int64_t restarts,
+                              std::uint64_t seed) {
+  if (restarts <= 0) throw std::invalid_argument("bokhari_mapping: restarts must be > 0");
+  Rng rng(seed);
+  BokhariResult best;
+  best.cardinality = -1;
+  for (std::int64_t r = 0; r < restarts; ++r) {
+    Assignment a = (r == 0) ? Assignment::identity(instance.num_processors())
+                            : random_assignment(instance.num_processors(), rng);
+    hill_climb(instance, a,
+               [&instance](const Assignment& x) { return cardinality(instance, x); });
+    const std::int64_t card = cardinality(instance, a);
+    if (card > best.cardinality) {
+      best.assignment = a;
+      best.cardinality = card;
+    }
+    ++best.restarts_used;
+  }
+  return best;
+}
+
+}  // namespace mimdmap

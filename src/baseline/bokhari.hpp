@@ -1,0 +1,44 @@
+// Bokhari-style cardinality mapping (paper section 2.2; Bokhari, "On the
+// Mapping Problem", IEEE ToC 1981 — the paper's ref [1]).
+//
+// Bokhari evaluates a mapping by its *cardinality*: the number of problem
+// edges that fall on system edges (hop distance exactly 1). The paper's
+// Figs. 7-12 show that a cardinality-optimal assignment may be strictly
+// worse in total execution time; this module supplies the objective and a
+// pairwise-interchange hill climber in the spirit of Bokhari's algorithm so
+// benches can regenerate that comparison.
+#pragma once
+
+#include <cstdint>
+
+#include "core/assignment.hpp"
+#include "core/instance.hpp"
+
+namespace mimdmap {
+
+/// Number of clustered problem edges whose endpoint clusters sit on
+/// adjacent processors. Bokhari counts problem edges (all his problem edges
+/// have equal weight); with a clustering in place the clustered edges play
+/// that role.
+[[nodiscard]] std::int64_t cardinality(const MappingInstance& instance,
+                                       const Assignment& assignment);
+
+/// Weighted variant: sums the weights of clustered edges falling on single
+/// system edges (gives heavier messages more pull).
+[[nodiscard]] Weight weighted_cardinality(const MappingInstance& instance,
+                                          const Assignment& assignment);
+
+struct BokhariResult {
+  Assignment assignment;
+  std::int64_t cardinality = 0;
+  std::int64_t restarts_used = 0;
+};
+
+/// Maximises cardinality by steepest-ascent pairwise interchange with
+/// random restarts (Bokhari's original algorithm alternates pairwise
+/// interchanges with probabilistic jumps; restarts play the role of the
+/// jumps). Deterministic in (instance, restarts, seed).
+[[nodiscard]] BokhariResult bokhari_mapping(const MappingInstance& instance,
+                                            std::int64_t restarts, std::uint64_t seed);
+
+}  // namespace mimdmap

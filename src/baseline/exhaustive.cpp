@@ -1,0 +1,83 @@
+#include "baseline/exhaustive.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "baseline/bokhari.hpp"
+#include "baseline/lee.hpp"
+
+namespace mimdmap {
+
+void for_each_assignment(NodeId n, const std::function<void(const Assignment&)>& fn) {
+  if (n < 0 || n > 10) {
+    throw std::invalid_argument("for_each_assignment: n must be in [0, 10]");
+  }
+  std::vector<NodeId> perm(idx(n));
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  do {
+    fn(Assignment::from_cluster_on(perm));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+ExhaustiveResult exhaustive_best_total(const MappingInstance& instance,
+                                       const EvalOptions& eval) {
+  ExhaustiveResult best;
+  best.total_time = kUnreachable;
+  for_each_assignment(instance.num_processors(), [&](const Assignment& a) {
+    const Weight t = total_time(instance, a, eval);
+    if (t < best.total_time) {
+      best.total_time = t;
+      best.assignment = a;
+    }
+  });
+  return best;
+}
+
+namespace {
+
+/// Shared scan: keep the best objective value (per `better`), and among
+/// ties the smallest total time.
+template <typename Objective, typename Better>
+ExhaustiveObjectiveResult scan(const MappingInstance& instance, const EvalOptions& eval,
+                               Objective&& objective, Better&& better, Weight worst_init) {
+  ExhaustiveObjectiveResult result;
+  result.best_objective = worst_init;
+  result.best_total_at_objective = kUnreachable;
+  for_each_assignment(instance.num_processors(), [&](const Assignment& a) {
+    const Weight obj = objective(a);
+    if (better(obj, result.best_objective)) {
+      result.best_objective = obj;
+      result.best_total_at_objective = kUnreachable;
+    }
+    if (obj == result.best_objective) {
+      const Weight t = total_time(instance, a, eval);
+      if (t < result.best_total_at_objective) {
+        result.best_total_at_objective = t;
+        result.best_assignment_at_objective = a;
+      }
+    }
+  });
+  return result;
+}
+
+}  // namespace
+
+ExhaustiveObjectiveResult exhaustive_best_cardinality(const MappingInstance& instance,
+                                                      const EvalOptions& eval) {
+  return scan(
+      instance, eval,
+      [&instance](const Assignment& a) { return static_cast<Weight>(cardinality(instance, a)); },
+      [](Weight a, Weight b) { return a > b; }, std::numeric_limits<Weight>::min());
+}
+
+ExhaustiveObjectiveResult exhaustive_best_comm_cost(const MappingInstance& instance,
+                                                    const EvalOptions& eval) {
+  return scan(
+      instance, eval,
+      [&instance](const Assignment& a) { return phase_comm_cost(instance, a); },
+      [](Weight a, Weight b) { return a < b; }, kUnreachable);
+}
+
+}  // namespace mimdmap

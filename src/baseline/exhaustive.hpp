@@ -1,0 +1,54 @@
+// Exhaustive search over all ns! assignments.
+//
+// Ground truth for small instances: certifies optimality claims (the
+// termination-condition property tests), and regenerates the paper's
+// counter-examples exactly — "the cardinality-optimal assignment is not
+// total-time optimal" (Figs. 7-12) and "the comm-cost-optimal assignment is
+// not total-time optimal" (Figs. 13-17) are existence claims over the whole
+// assignment space, which only enumeration can certify.
+//
+// Guarded to ns <= 10 (10! = 3.6M schedules); the intended sizes are the
+// paper's 8-processor examples.
+#pragma once
+
+#include <functional>
+
+#include "core/assignment.hpp"
+#include "core/evaluation.hpp"
+#include "core/instance.hpp"
+
+namespace mimdmap {
+
+/// Calls fn for every complete assignment of n clusters to n processors.
+/// Throws std::invalid_argument for n > 10.
+void for_each_assignment(NodeId n, const std::function<void(const Assignment&)>& fn);
+
+struct ExhaustiveResult {
+  Assignment assignment;
+  Weight total_time = 0;
+};
+
+/// Assignment with the minimum total execution time.
+[[nodiscard]] ExhaustiveResult exhaustive_best_total(const MappingInstance& instance,
+                                                     const EvalOptions& eval = {});
+
+struct ExhaustiveObjectiveResult {
+  /// Best (optimal) objective value over all assignments.
+  Weight best_objective = 0;
+  /// Minimum total time among objective-optimal assignments, and one
+  /// assignment achieving it.
+  Assignment best_assignment_at_objective;
+  Weight best_total_at_objective = 0;
+};
+
+/// Maximum Bokhari cardinality, plus the best total time attainable while
+/// staying cardinality-optimal.
+[[nodiscard]] ExhaustiveObjectiveResult exhaustive_best_cardinality(
+    const MappingInstance& instance, const EvalOptions& eval = {});
+
+/// Minimum Lee phase communication cost, plus the best total time
+/// attainable while staying comm-cost-optimal.
+[[nodiscard]] ExhaustiveObjectiveResult exhaustive_best_comm_cost(
+    const MappingInstance& instance, const EvalOptions& eval = {});
+
+}  // namespace mimdmap

@@ -1,0 +1,69 @@
+#include "baseline/greedy.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace mimdmap {
+
+Weight weighted_distance_cost(const MappingInstance& instance, const Assignment& assignment) {
+  const AbstractGraph& abs = instance.abstract();
+  Weight cost = 0;
+  for (NodeId a = 0; a < abs.node_count(); ++a) {
+    for (const NodeId b : abs.neighbors(a)) {
+      if (b <= a) continue;  // each undirected abstract edge once
+      cost += abs.edge_traffic(a, b) *
+              instance.hops()(idx(assignment.host_of(a)), idx(assignment.host_of(b)));
+    }
+  }
+  return cost;
+}
+
+GreedyResult greedy_traffic_mapping(const MappingInstance& instance) {
+  const AbstractGraph& abs = instance.abstract();
+  const SystemGraph& sys = instance.system();
+  const NodeId n = instance.num_processors();
+
+  // Placement order: descending communication intensity, ties by id.
+  std::vector<NodeId> order(idx(n));
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::stable_sort(order.begin(), order.end(), [&abs](NodeId a, NodeId b) {
+    return abs.mca(a) > abs.mca(b);
+  });
+
+  Assignment assignment = Assignment::partial(n);
+  std::vector<bool> proc_used(idx(n), false);
+
+  for (const NodeId cluster : order) {
+    NodeId best_proc = -1;
+    Weight best_cost = 0;
+    NodeId best_degree = -1;
+    for (NodeId p = 0; p < n; ++p) {
+      if (proc_used[idx(p)]) continue;
+      // Incremental cost against already placed neighbours.
+      Weight cost = 0;
+      for (const NodeId nb : abs.neighbors(cluster)) {
+        const NodeId host = assignment.host_of(nb);
+        if (host == Assignment::kUnassigned) continue;
+        cost += abs.edge_traffic(cluster, nb) * instance.hops()(idx(p), idx(host));
+      }
+      // Prefer lower cost; among equals the higher-degree processor (more
+      // room for future neighbours), then the smaller id.
+      if (best_proc < 0 || cost < best_cost ||
+          (cost == best_cost && sys.degree(p) > best_degree)) {
+        best_proc = p;
+        best_cost = cost;
+        best_degree = sys.degree(p);
+      }
+    }
+    assignment.place(cluster, best_proc);
+    proc_used[idx(best_proc)] = true;
+  }
+
+  GreedyResult result;
+  result.weighted_distance_cost = weighted_distance_cost(instance, assignment);
+  result.assignment = std::move(assignment);
+  return result;
+}
+
+}  // namespace mimdmap

@@ -1,0 +1,31 @@
+// Greedy traffic-driven constructive mapping.
+//
+// A classical constructive baseline in the spirit of Sadayappan & Ercal's
+// nearest-neighbor mapping (the paper's ref [7]): clusters are placed in
+// descending communication-intensity (mca) order; each goes onto the free
+// processor that minimises the traffic-weighted distance to its already
+// placed abstract neighbours. Unlike the paper's initial assignment it
+// ignores criticality and slack entirely — the ablation benches use it to
+// isolate how much the critical-edge guidance specifically contributes.
+#pragma once
+
+#include "core/assignment.hpp"
+#include "core/instance.hpp"
+
+namespace mimdmap {
+
+struct GreedyResult {
+  Assignment assignment;
+  /// Sum over abstract edges of traffic * distance under the final
+  /// placement (the objective the construction greedily minimises).
+  Weight weighted_distance_cost = 0;
+};
+
+/// Deterministic: ties break toward smaller ids.
+[[nodiscard]] GreedyResult greedy_traffic_mapping(const MappingInstance& instance);
+
+/// The construction's objective for any complete assignment.
+[[nodiscard]] Weight weighted_distance_cost(const MappingInstance& instance,
+                                            const Assignment& assignment);
+
+}  // namespace mimdmap

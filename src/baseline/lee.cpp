@@ -1,0 +1,89 @@
+#include "baseline/lee.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "baseline/random_mapping.hpp"
+#include "graph/topological.hpp"
+#include "workload/rng.hpp"
+
+namespace mimdmap {
+
+std::vector<NodeId> communication_phases(const MappingInstance& instance) {
+  const auto levels = topological_levels(instance.problem());
+  const auto& edges = instance.problem().edges();
+  std::vector<NodeId> phase(edges.size(), -1);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (!instance.clustering().same_cluster(edges[i].from, edges[i].to)) {
+      phase[i] = levels[idx(edges[i].from)];
+    }
+  }
+  return phase;
+}
+
+Weight phase_comm_cost(const MappingInstance& instance, const Assignment& assignment) {
+  const auto phases = communication_phases(instance);
+  const auto& edges = instance.problem().edges();
+  const Clustering& clustering = instance.clustering();
+
+  NodeId max_phase = -1;
+  for (const NodeId p : phases) max_phase = std::max(max_phase, p);
+  std::vector<Weight> phase_max(idx(max_phase + 1), 0);
+
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (phases[i] < 0) continue;
+    const NodeId pa = assignment.host_of(clustering.cluster_of(edges[i].from));
+    const NodeId pb = assignment.host_of(clustering.cluster_of(edges[i].to));
+    const Weight cost = edges[i].weight * instance.hops()(idx(pa), idx(pb));
+    phase_max[idx(phases[i])] = std::max(phase_max[idx(phases[i])], cost);
+  }
+  Weight sum = 0;
+  for (const Weight m : phase_max) sum += m;
+  return sum;
+}
+
+LeeResult lee_mapping(const MappingInstance& instance, std::int64_t restarts,
+                      std::uint64_t seed) {
+  if (restarts <= 0) throw std::invalid_argument("lee_mapping: restarts must be > 0");
+  const NodeId n = instance.num_processors();
+  Rng rng(seed);
+  LeeResult best;
+  best.comm_cost = kUnreachable;
+
+  for (std::int64_t r = 0; r < restarts; ++r) {
+    Assignment a = (r == 0) ? Assignment::identity(n) : random_assignment(n, rng);
+    Weight current = phase_comm_cost(instance, a);
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      NodeId best_p = -1;
+      NodeId best_q = -1;
+      Weight best_cost = current;
+      for (NodeId p = 0; p < n; ++p) {
+        for (NodeId q = p + 1; q < n; ++q) {
+          a.swap_processors(p, q);
+          const Weight c = phase_comm_cost(instance, a);
+          if (c < best_cost) {
+            best_cost = c;
+            best_p = p;
+            best_q = q;
+          }
+          a.swap_processors(p, q);
+        }
+      }
+      if (best_p >= 0) {
+        a.swap_processors(best_p, best_q);
+        current = best_cost;
+        improved = true;
+      }
+    }
+    if (current < best.comm_cost) {
+      best.assignment = a;
+      best.comm_cost = current;
+    }
+    ++best.restarts_used;
+  }
+  return best;
+}
+
+}  // namespace mimdmap

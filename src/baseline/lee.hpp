@@ -1,0 +1,47 @@
+// Lee-Aggarwal-style phase communication-cost mapping (paper section 2.2;
+// Lee & Aggarwal, "A Mapping Strategy for Parallel Processing", IEEE ToC
+// 1987 — the paper's ref [2]).
+//
+// Lee groups communications into *phases*; all communications of a phase
+// are assumed to start simultaneously, so a phase costs as much as its most
+// expensive message (weight x hop distance), and the objective is the sum
+// of the phase costs. The paper's Figs. 13-17 show that a comm-cost-optimal
+// assignment may lose in total execution time.
+//
+// Lee's phases come from the application; as a deterministic,
+// assignment-independent proxy we put a clustered edge into the phase given
+// by the topological level of its source task (the paper's Fig. 15 example
+// decomposes into per-wavefront phases in exactly this way, modulo the
+// ordering of independent communications).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/assignment.hpp"
+#include "core/instance.hpp"
+
+namespace mimdmap {
+
+/// Phase index of every clustered edge (insertion order of
+/// problem().edges(), entries for intra-cluster edges = -1).
+[[nodiscard]] std::vector<NodeId> communication_phases(const MappingInstance& instance);
+
+/// Sum over phases of the maximum (weight x hops) within the phase —
+/// Lee's objective function (paper Fig. 15: "sum of commu. cost").
+[[nodiscard]] Weight phase_comm_cost(const MappingInstance& instance,
+                                     const Assignment& assignment);
+
+struct LeeResult {
+  Assignment assignment;
+  Weight comm_cost = 0;
+  std::int64_t restarts_used = 0;
+};
+
+/// Minimises the phase communication cost by steepest-descent pairwise
+/// interchange with random restarts. Deterministic in (instance, restarts,
+/// seed).
+[[nodiscard]] LeeResult lee_mapping(const MappingInstance& instance, std::int64_t restarts,
+                                    std::uint64_t seed);
+
+}  // namespace mimdmap

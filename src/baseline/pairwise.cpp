@@ -1,0 +1,140 @@
+#include "baseline/pairwise.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "workload/rng.hpp"
+
+namespace mimdmap {
+namespace {
+
+/// Processors whose clusters are allowed to move.
+std::vector<NodeId> free_processors(const MappingInstance& instance,
+                                    const InitialAssignmentResult& initial,
+                                    const RefineOptions& options) {
+  std::vector<NodeId> procs;
+  for (NodeId c = 0; c < instance.num_processors(); ++c) {
+    if (options.respect_pinned && initial.pinned[idx(c)]) continue;
+    procs.push_back(initial.assignment.host_of(c));
+  }
+  return procs;
+}
+
+RefineResult start_result(const MappingInstance& instance, const IdealSchedule& ideal,
+                          const InitialAssignmentResult& initial,
+                          const RefineOptions& options) {
+  if (!initial.assignment.complete()) {
+    throw std::invalid_argument("pairwise refine: initial assignment is incomplete");
+  }
+  RefineResult r;
+  r.assignment = initial.assignment;
+  r.schedule = evaluate(instance, r.assignment, options.eval);
+  r.lower_bound = ideal.lower_bound;
+  r.initial_total = r.schedule.total_time;
+  return r;
+}
+
+}  // namespace
+
+RefineResult pairwise_exchange_refine(const MappingInstance& instance,
+                                      const IdealSchedule& ideal,
+                                      const InitialAssignmentResult& initial,
+                                      const RefineOptions& options) {
+  RefineResult result = start_result(instance, ideal, initial, options);
+  if (options.use_termination_condition &&
+      result.schedule.total_time == result.lower_bound) {
+    result.reached_lower_bound = true;
+    result.terminated_early = true;
+    return result;
+  }
+
+  const auto procs = free_processors(instance, initial, options);
+  const std::int64_t budget = options.max_trials >= 0
+                                  ? options.max_trials
+                                  : static_cast<std::int64_t>(instance.num_processors());
+  if (procs.size() < 2) {
+    result.reached_lower_bound = result.schedule.total_time == result.lower_bound;
+    return result;
+  }
+
+  Rng rng(options.seed);
+  const auto m = static_cast<std::int64_t>(procs.size());
+  for (std::int64_t trial = 0; trial < budget; ++trial) {
+    ++result.trials_used;
+    const auto i = rng.uniform(0, m - 1);
+    auto j = rng.uniform(0, m - 2);
+    if (j >= i) ++j;
+    Assignment candidate = result.assignment;
+    candidate.swap_processors(procs[static_cast<std::size_t>(i)],
+                              procs[static_cast<std::size_t>(j)]);
+    const ScheduleResult cand = evaluate(instance, candidate, options.eval);
+    if (options.use_termination_condition && cand.total_time == result.lower_bound) {
+      result.assignment = candidate;
+      result.schedule = cand;
+      result.reached_lower_bound = true;
+      result.terminated_early = trial + 1 < budget;
+      ++result.improvements;
+      return result;
+    }
+    if (cand.total_time < result.schedule.total_time) {
+      result.assignment = candidate;
+      result.schedule = cand;
+      ++result.improvements;
+    }
+  }
+  result.reached_lower_bound = result.schedule.total_time == result.lower_bound;
+  return result;
+}
+
+RefineResult pairwise_sweep_refine(const MappingInstance& instance, const IdealSchedule& ideal,
+                                   const InitialAssignmentResult& initial,
+                                   const RefineOptions& options) {
+  RefineResult result = start_result(instance, ideal, initial, options);
+  if (options.use_termination_condition &&
+      result.schedule.total_time == result.lower_bound) {
+    result.reached_lower_bound = true;
+    result.terminated_early = true;
+    return result;
+  }
+
+  const auto procs = free_processors(instance, initial, options);
+  const std::int64_t budget = options.max_trials >= 0
+                                  ? options.max_trials
+                                  : static_cast<std::int64_t>(instance.num_processors());
+  bool improved = true;
+  while (improved && result.trials_used < budget) {
+    improved = false;
+    std::size_t best_i = 0;
+    std::size_t best_j = 0;
+    Weight best_total = result.schedule.total_time;
+    for (std::size_t i = 0; i < procs.size() && result.trials_used < budget; ++i) {
+      for (std::size_t j = i + 1; j < procs.size() && result.trials_used < budget; ++j) {
+        ++result.trials_used;
+        Assignment candidate = result.assignment;
+        candidate.swap_processors(procs[i], procs[j]);
+        const Weight t = total_time(instance, candidate, options.eval);
+        if (t < best_total) {
+          best_total = t;
+          best_i = i;
+          best_j = j;
+          improved = true;
+        }
+      }
+    }
+    if (improved) {
+      result.assignment.swap_processors(procs[best_i], procs[best_j]);
+      result.schedule = evaluate(instance, result.assignment, options.eval);
+      ++result.improvements;
+      if (options.use_termination_condition &&
+          result.schedule.total_time == result.lower_bound) {
+        result.reached_lower_bound = true;
+        result.terminated_early = true;
+        return result;
+      }
+    }
+  }
+  result.reached_lower_bound = result.schedule.total_time == result.lower_bound;
+  return result;
+}
+
+}  // namespace mimdmap

@@ -1,0 +1,32 @@
+#include "baseline/random_mapping.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mimdmap {
+
+Assignment random_assignment(NodeId n, Rng& rng) {
+  return Assignment::from_cluster_on(rng.permutation(n));
+}
+
+RandomMappingStats evaluate_random_mappings(const MappingInstance& instance,
+                                            std::int64_t trials, std::uint64_t seed,
+                                            const EvalOptions& eval) {
+  if (trials <= 0) throw std::invalid_argument("evaluate_random_mappings: trials must be > 0");
+  Rng rng(seed);
+  RandomMappingStats stats;
+  stats.totals.reserve(static_cast<std::size_t>(trials));
+  Weight sum = 0;
+  for (std::int64_t t = 0; t < trials; ++t) {
+    const Assignment a = random_assignment(instance.num_processors(), rng);
+    const Weight total = total_time(instance, a, eval);
+    stats.totals.push_back(total);
+    sum += total;
+  }
+  stats.min = *std::min_element(stats.totals.begin(), stats.totals.end());
+  stats.max = *std::max_element(stats.totals.begin(), stats.totals.end());
+  stats.mean_milli = sum * 1000 / trials;
+  return stats;
+}
+
+}  // namespace mimdmap

@@ -1,0 +1,44 @@
+// Random mapping — the paper's experimental comparator (section 5).
+//
+// "To avoid criticism for having used only several special examples
+// particularly suited to our approach, random mapping was chosen to be
+// compared with our mapping strategy. ... we performed several random
+// mappings of the same problem graph to the same system graph and take the
+// average of the total times."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/assignment.hpp"
+#include "core/evaluation.hpp"
+#include "core/instance.hpp"
+#include "workload/rng.hpp"
+
+namespace mimdmap {
+
+/// A uniformly random complete assignment of n clusters to n processors.
+[[nodiscard]] Assignment random_assignment(NodeId n, Rng& rng);
+
+struct RandomMappingStats {
+  /// Total time of each trial.
+  std::vector<Weight> totals;
+  Weight min = 0;
+  Weight max = 0;
+  /// Mean total time in integer thousandths (the library is integer-only;
+  /// divide by 1000.0 for a double).
+  Weight mean_milli = 0;
+
+  [[nodiscard]] double mean() const noexcept {
+    return static_cast<double>(mean_milli) / 1000.0;
+  }
+};
+
+/// Evaluates `trials` independent random assignments (paper: "several") and
+/// aggregates their total times.
+[[nodiscard]] RandomMappingStats evaluate_random_mappings(const MappingInstance& instance,
+                                                          std::int64_t trials,
+                                                          std::uint64_t seed,
+                                                          const EvalOptions& eval = {});
+
+}  // namespace mimdmap

@@ -1,0 +1,340 @@
+#include "cli/commands.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/gantt.hpp"
+#include "analysis/metrics.hpp"
+#include "baseline/random_mapping.hpp"
+#include "cluster/cluster_io.hpp"
+#include "cluster/strategies.hpp"
+#include "core/mapper.hpp"
+#include "core/validate.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/shortest_paths.hpp"
+#include "graph/topological.hpp"
+#include "topology/factory.hpp"
+#include "workload/random_dag.hpp"
+#include "workload/structured.hpp"
+
+namespace mimdmap::cli {
+namespace {
+
+/// Writes `text` to the --out path, or to `fallback` when none given.
+void emit(Flags& flags, std::ostream& fallback, const std::string& text) {
+  const std::string path = flags.get_string("out", "");
+  if (path.empty()) {
+    fallback << text;
+    return;
+  }
+  std::ofstream file(path);
+  if (!file) throw std::invalid_argument("cannot open output file '" + path + "'");
+  file << text;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::invalid_argument("cannot open input file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+TaskGraph load_problem(Flags& flags) {
+  return task_graph_from_text(slurp(flags.require_string("problem")));
+}
+
+SystemGraph load_system(Flags& flags) {
+  // Either a file (--system path) or a factory spec (--spec).
+  if (flags.has("system")) return system_graph_from_text(slurp(flags.require_string("system")));
+  return make_topology(flags.require_string("spec"));
+}
+
+/// Shared weight-range flags for the generators.
+WeightRange node_range(Flags& flags) {
+  return {flags.get_int("node-min", 1), flags.get_int("node-max", 10)};
+}
+WeightRange edge_range(Flags& flags) {
+  return {flags.get_int("edge-min", 1), flags.get_int("edge-max", 10)};
+}
+
+int reject_unused(Flags& flags, std::ostream& err) {
+  (void)flags.get_string("out", "");  // emit() reads it after this check
+  const auto unknown = flags.unused();
+  if (unknown.empty()) return 0;
+  err << "unknown flag(s):";
+  for (const std::string& name : unknown) err << " --" << name;
+  err << "\n";
+  return 2;
+}
+
+EvalOptions eval_options(Flags& flags) {
+  EvalOptions opts;
+  opts.serialize_within_processor = flags.get_bool("serialize");
+  opts.link_contention = flags.get_bool("contention");
+  return opts;
+}
+
+}  // namespace
+
+int cmd_generate(Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::string workload = flags.get_string("workload", "layered");
+  const std::uint64_t seed = flags.get_seed("seed", 1);
+  StructuredWeights sw{node_range(flags), edge_range(flags), seed};
+
+  TaskGraph graph = [&]() -> TaskGraph {
+    if (workload == "layered") {
+      LayeredDagParams p;
+      p.num_tasks = static_cast<NodeId>(flags.get_int("tasks", 60));
+      p.num_layers = static_cast<NodeId>(flags.get_int("layers", 8));
+      p.avg_out_degree = static_cast<double>(flags.get_int("degree10", 20)) / 10.0;
+      p.node_weight = sw.node_weight;
+      p.edge_weight = sw.edge_weight;
+      return make_layered_dag(p, seed);
+    }
+    if (workload == "erdos") {
+      ErdosRenyiDagParams p;
+      p.num_tasks = static_cast<NodeId>(flags.get_int("tasks", 60));
+      p.edge_probability = static_cast<double>(flags.get_int("percent", 5)) / 100.0;
+      p.node_weight = sw.node_weight;
+      p.edge_weight = sw.edge_weight;
+      return make_erdos_renyi_dag(p, seed);
+    }
+    if (workload == "series-parallel") {
+      SeriesParallelParams p;
+      p.depth = static_cast<NodeId>(flags.get_int("depth", 5));
+      p.node_weight = sw.node_weight;
+      p.edge_weight = sw.edge_weight;
+      return make_series_parallel(p, seed);
+    }
+    if (workload == "fork-join") {
+      return make_fork_join(static_cast<NodeId>(flags.get_int("width", 8)),
+                            static_cast<NodeId>(flags.get_int("stages", 2)), sw);
+    }
+    if (workload == "pipeline") {
+      return make_pipeline(static_cast<NodeId>(flags.get_int("length", 16)), sw);
+    }
+    if (workload == "diamond") {
+      return make_diamond(static_cast<NodeId>(flags.get_int("rows", 6)),
+                          static_cast<NodeId>(flags.get_int("cols", 6)), sw);
+    }
+    if (workload == "fft") {
+      return make_fft(static_cast<NodeId>(flags.get_int("points", 8)), sw);
+    }
+    if (workload == "gaussian") {
+      return make_gaussian_elimination(static_cast<NodeId>(flags.get_int("order", 8)), sw);
+    }
+    if (workload == "cholesky") {
+      return make_cholesky(static_cast<NodeId>(flags.get_int("tiles", 6)), sw);
+    }
+    if (workload == "lu") {
+      return make_lu(static_cast<NodeId>(flags.get_int("tiles", 5)), sw);
+    }
+    throw std::invalid_argument("unknown --workload '" + workload + "'");
+  }();
+
+  const bool dot = flags.get_bool("dot");
+  if (const int rc = reject_unused(flags, err); rc != 0) return rc;
+  emit(flags, out, dot ? to_dot(graph) : to_text(graph));
+  return 0;
+}
+
+int cmd_topology(Flags& flags, std::ostream& out, std::ostream& err) {
+  const SystemGraph machine = make_topology(flags.require_string("spec"));
+  const bool dot = flags.get_bool("dot");
+  if (const int rc = reject_unused(flags, err); rc != 0) return rc;
+  emit(flags, out, dot ? to_dot(machine) : to_text(machine));
+  return 0;
+}
+
+int cmd_cluster(Flags& flags, std::ostream& out, std::ostream& err) {
+  const TaskGraph problem = load_problem(flags);
+  const auto clusters = static_cast<NodeId>(flags.get_int("clusters", 8));
+  const std::string strategy = flags.get_string("strategy", "block");
+  const std::uint64_t seed = flags.get_seed("seed", 1);
+  const Clustering clustering = make_clustering(strategy, problem, clusters, seed);
+  if (const int rc = reject_unused(flags, err); rc != 0) return rc;
+  emit(flags, out, to_text(clustering));
+  return 0;
+}
+
+int cmd_map(Flags& flags, std::ostream& out, std::ostream& err) {
+  TaskGraph problem = load_problem(flags);
+  SystemGraph machine = load_system(flags);
+
+  Clustering clustering = [&]() {
+    if (flags.has("clustering")) {
+      return clustering_from_text(slurp(flags.require_string("clustering")));
+    }
+    return make_clustering(flags.get_string("strategy", "block"), problem,
+                           machine.node_count(), flags.get_seed("seed", 1));
+  }();
+
+  const DistanceModel model = flags.get_bool("weighted-links")
+                                  ? DistanceModel::kWeightedLinks
+                                  : DistanceModel::kHops;
+  const MappingInstance instance(std::move(problem), std::move(clustering),
+                                 std::move(machine), model);
+
+  MapperOptions opts;
+  opts.refine.eval = eval_options(flags);
+  opts.refine.seed = flags.get_seed("refine-seed", 0x9e3779b97f4a7c15ULL);
+  opts.refine.max_trials = flags.get_int("trials", -1);
+  opts.refine.num_threads = static_cast<int>(flags.get_int("threads", 1));
+  opts.critical.propagate_through_intra_cluster = flags.get_bool("extended-critical");
+
+  const bool show_gantt = flags.get_bool("gantt");
+  const auto random_trials = flags.get_int("random-trials", 0);
+  const std::uint64_t random_seed = flags.get_seed("random-seed", 99);
+  if (const int rc = reject_unused(flags, err); rc != 0) return rc;
+
+  const MappingReport report = map_instance(instance, opts);
+
+  std::ostringstream os;
+  os << "instance: np=" << instance.num_tasks() << " ns=" << instance.num_processors()
+     << " system=" << instance.system().name() << "\n";
+  os << "lower bound:        " << report.lower_bound << "\n";
+  os << "critical edges:     " << report.critical.critical_edges.size() << "\n";
+  os << "initial total:      " << report.initial_total << "\n";
+  os << "final total:        " << report.total_time() << "  ("
+     << report.percent_over_lower_bound() << "% of bound)\n";
+  os << "refinement trials:  " << report.refinement_trials << "\n";
+  os << "optimal:            " << (report.reached_lower_bound ? "yes (termination condition)"
+                                                              : "not proven") << "\n";
+  os << "assignment (cluster on each processor): ";
+  for (NodeId p = 0; p < instance.num_processors(); ++p) {
+    os << (p == 0 ? "" : ",") << report.assignment.cluster_on(p);
+  }
+  os << "\n";
+  if (random_trials > 0) {
+    const RandomMappingStats random =
+        evaluate_random_mappings(instance, random_trials, random_seed, opts.refine.eval);
+    os << "random mapping mean over " << random_trials << " trials: " << random.mean()
+       << "  (" << percent_over_lower_bound(random.mean(), report.lower_bound)
+       << "% of bound)\n";
+  }
+  if (show_gantt) {
+    os << "\n" << render_gantt(instance, report.assignment, report.schedule);
+  }
+  emit(flags, out, os.str());
+  return 0;
+}
+
+int cmd_eval(Flags& flags, std::ostream& out, std::ostream& err) {
+  TaskGraph problem = load_problem(flags);
+  SystemGraph machine = load_system(flags);
+  Clustering clustering = clustering_from_text(slurp(flags.require_string("clustering")));
+  const std::vector<NodeId> cluster_on = parse_id_list(flags.require_string("assignment"));
+
+  const MappingInstance instance(std::move(problem), std::move(clustering),
+                                 std::move(machine));
+  const Assignment assignment = Assignment::from_cluster_on(cluster_on);
+  const EvalOptions opts = eval_options(flags);
+  const bool show_gantt = flags.get_bool("gantt");
+  if (const int rc = reject_unused(flags, err); rc != 0) return rc;
+
+  const ScheduleResult schedule = evaluate(instance, assignment, opts);
+  validate_schedule(instance, assignment, schedule, opts);
+  const Weight lb = compute_ideal_schedule(instance).lower_bound;
+
+  std::ostringstream os;
+  os << "total time:  " << schedule.total_time << "\n";
+  os << "lower bound: " << lb << "  (" << percent_over_lower_bound(schedule.total_time, lb)
+     << "%)\n";
+  if (show_gantt) os << "\n" << render_gantt(instance, assignment, schedule);
+  emit(flags, out, os.str());
+  return 0;
+}
+
+int cmd_info(Flags& flags, std::ostream& out, std::ostream& err) {
+  std::ostringstream os;
+  if (flags.has("problem")) {
+    const TaskGraph g = load_problem(flags);
+    os << "task graph: " << g.node_count() << " tasks, " << g.edge_count() << " edges\n";
+    os << "total work: " << g.total_work() << ", total traffic: " << g.total_traffic()
+       << "\n";
+    os << "critical path: " << critical_path_length(g) << "\n";
+    const auto levels = topological_levels(g);
+    NodeId depth = 0;
+    for (const NodeId l : levels) depth = std::max(depth, l);
+    os << "depth: " << depth + 1 << " levels\n";
+  } else {
+    const SystemGraph g = load_system(flags);
+    os << "system graph '" << g.name() << "': " << g.node_count() << " processors, "
+       << g.link_count() << " links\n";
+    os << "max degree: " << g.max_degree() << ", diameter: " << diameter(g)
+       << ", mean distance: "
+       << static_cast<double>(mean_distance_milli(g)) / 1000.0 << "\n";
+  }
+  if (const int rc = reject_unused(flags, err); rc != 0) return rc;
+  emit(flags, out, os.str());
+  return 0;
+}
+
+std::string help_text() {
+  return R"(mimdmap_cli — critical-edge task mapping for MIMD computers (Yang/Bic/Nicolau 1991)
+
+usage: mimdmap_cli <command> [--flag value ...]
+
+commands:
+  generate  make a problem graph
+            --workload layered|erdos|series-parallel|fork-join|pipeline|
+                       diamond|fft|gaussian|cholesky|lu     (default layered)
+            size flags per workload: --tasks --layers --depth --width --stages
+            --length --rows --cols --points --order --tiles
+            --node-min/--node-max --edge-min/--edge-max --seed
+            [--dot] [--out file]
+  topology  make a system graph
+            --spec hypercube-3|mesh-4x4|torus-3x3|ring-8|star-8|chain-6|
+                   complete-6|tree-2x3|random-N-PCT-SEED|mesh3d-2x2x2|
+                   debruijn-4|ccc-3|chordal-12-4|bipartite-3x4
+            [--dot] [--out file]
+  cluster   partition a problem graph
+            --problem file --clusters N
+            [--strategy random|round-robin|block|level|list|edge-zeroing|linear]
+            [--seed S] [--out file]
+  map       run the full mapping pipeline
+            --problem file (--system file | --spec topo)
+            [--clustering file | --strategy name --seed S]
+            [--trials N] [--refine-seed S] [--threads T] [--contention]
+            [--serialize] [--weighted-links] [--extended-critical] [--gantt]
+            [--random-trials N --random-seed S]   (adds the paper's baseline)
+            [--out file]
+  eval      evaluate an explicit assignment
+            --problem file (--system file | --spec topo) --clustering file
+            --assignment 0,2,3,1  [--contention] [--serialize] [--gantt]
+  info      print statistics
+            (--problem file | --system file | --spec topo)
+  help      this text
+)";
+}
+
+int run(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
+  if (argc < 2) {
+    err << help_text();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    Flags flags(argc, argv, 2);
+    if (command == "generate") return cmd_generate(flags, out, err);
+    if (command == "topology") return cmd_topology(flags, out, err);
+    if (command == "cluster") return cmd_cluster(flags, out, err);
+    if (command == "map") return cmd_map(flags, out, err);
+    if (command == "eval") return cmd_eval(flags, out, err);
+    if (command == "info") return cmd_info(flags, out, err);
+    if (command == "help" || command == "--help") {
+      out << help_text();
+      return 0;
+    }
+    err << "unknown command '" << command << "'\n\n" << help_text();
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace mimdmap::cli

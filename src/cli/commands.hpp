@@ -1,0 +1,37 @@
+// The mimdmap command-line interface, as a library so tests can drive it.
+//
+//   mimdmap_cli generate --workload layered --tasks 80 --seed 3 -o prog.txt
+//   mimdmap_cli topology --spec hypercube-3 -o machine.txt
+//   mimdmap_cli cluster  --problem prog.txt --clusters 8 --strategy block -o parts.txt
+//   mimdmap_cli map      --problem prog.txt --system machine.txt --strategy block
+//   mimdmap_cli eval     --problem prog.txt --system machine.txt \
+//                        --clustering parts.txt --assignment 0,2,3,1,4,5,6,7
+//   mimdmap_cli info     --problem prog.txt
+//
+// Every command prints to the given streams and returns a process exit
+// code; main() is a thin wrapper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cli/flags.hpp"
+
+namespace mimdmap::cli {
+
+/// Dispatches argv[1] to a command; prints usage on errors. Returns the
+/// process exit code.
+int run(int argc, const char* const* argv, std::ostream& out, std::ostream& err);
+
+/// Individual commands (flags documented in help_text()).
+int cmd_generate(Flags& flags, std::ostream& out, std::ostream& err);
+int cmd_topology(Flags& flags, std::ostream& out, std::ostream& err);
+int cmd_cluster(Flags& flags, std::ostream& out, std::ostream& err);
+int cmd_map(Flags& flags, std::ostream& out, std::ostream& err);
+int cmd_eval(Flags& flags, std::ostream& out, std::ostream& err);
+int cmd_info(Flags& flags, std::ostream& out, std::ostream& err);
+
+/// Full usage text.
+[[nodiscard]] std::string help_text();
+
+}  // namespace mimdmap::cli

@@ -1,0 +1,129 @@
+#include "cli/flags.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace mimdmap {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("flags: " + what);
+}
+
+bool looks_like_flag(const std::string& token) {
+  return token.size() > 2 && token[0] == '-' && token[1] == '-';
+}
+
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv, int start) {
+  std::vector<std::string> args;
+  for (int i = start; i < argc; ++i) args.emplace_back(argv[i]);
+  parse(args);
+}
+
+Flags::Flags(const std::vector<std::string>& args) { parse(args); }
+
+void Flags::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& token = args[i];
+    if (!looks_like_flag(token)) {
+      positional_.push_back(token);
+      continue;
+    }
+    const std::string body = token.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" unless the next token is itself a flag (or absent),
+    // in which case it is a boolean switch.
+    if (i + 1 < args.size() && !looks_like_flag(args[i + 1])) {
+      values_[body] = args[i + 1];
+      ++i;
+    } else {
+      values_[body] = "";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Flags::get_string(const std::string& name, const std::string& fallback) {
+  used_.insert(name);
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::string Flags::require_string(const std::string& name) {
+  used_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) fail("missing required flag --" + name);
+  return it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t fallback) {
+  used_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::int64_t value = 0;
+  const std::string& text = it->second;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    fail("--" + name + " expects an integer, got '" + text + "'");
+  }
+  return value;
+}
+
+std::uint64_t Flags::get_seed(const std::string& name, std::uint64_t fallback) {
+  used_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::uint64_t value = 0;
+  const std::string& text = it->second;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    fail("--" + name + " expects an unsigned integer, got '" + text + "'");
+  }
+  return value;
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) {
+  used_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  if (it->second.empty() || it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  fail("--" + name + " expects a boolean, got '" + it->second + "'");
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    if (!used_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<NodeId> parse_id_list(const std::string& text) {
+  std::vector<NodeId> ids;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string token =
+        text.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (token.empty()) fail("empty entry in id list '" + text + "'");
+    NodeId value = 0;
+    const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) {
+      fail("'" + token + "' is not a node id");
+    }
+    ids.push_back(value);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return ids;
+}
+
+}  // namespace mimdmap

@@ -1,0 +1,60 @@
+// Minimal command-line flag parser for the mimdmap CLI and benches.
+//
+// Syntax: --name value, --name=value, or bare boolean switches --name.
+// Positional arguments (no leading --) are collected in order. The parser
+// records every flag that was *read* by the command so unknown/misspelled
+// flags can be reported.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace mimdmap {
+
+class Flags {
+ public:
+  /// Parses argv[start..argc). Throws std::invalid_argument on malformed
+  /// input (e.g. a value-flag at the end with no value).
+  Flags(int argc, const char* const* argv, int start = 1);
+
+  /// Builds from explicit tokens (for tests).
+  explicit Flags(const std::vector<std::string>& args);
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// String flag with default.
+  [[nodiscard]] std::string get_string(const std::string& name, const std::string& fallback);
+  /// Required string flag; throws std::invalid_argument when missing.
+  [[nodiscard]] std::string require_string(const std::string& name);
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback);
+  [[nodiscard]] std::uint64_t get_seed(const std::string& name, std::uint64_t fallback);
+
+  /// Boolean switch: present (with no value or "true"/"1") => true.
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback = false);
+
+  /// Names given on the command line but never read by the command —
+  /// call after all get_*() calls to reject typos.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  void parse(const std::vector<std::string>& args);
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::set<std::string> used_;
+};
+
+/// Parses "0,2,3,1" into node ids; throws std::invalid_argument on junk.
+[[nodiscard]] std::vector<NodeId> parse_id_list(const std::string& text);
+
+}  // namespace mimdmap

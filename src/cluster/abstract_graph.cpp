@@ -1,0 +1,35 @@
+#include "cluster/abstract_graph.hpp"
+
+#include <stdexcept>
+
+namespace mimdmap {
+
+AbstractGraph::AbstractGraph(const TaskGraph& problem, const Clustering& clustering) {
+  if (problem.node_count() != clustering.num_tasks()) {
+    throw std::invalid_argument("AbstractGraph: task count mismatch");
+  }
+  n_ = clustering.num_clusters();
+  adj_ = Matrix<Weight>::square(idx(n_), 0);
+  traffic_ = Matrix<Weight>::square(idx(n_), 0);
+  mca_.assign(idx(n_), 0);
+  neighbors_.resize(idx(n_));
+
+  for (const TaskEdge& e : problem.edges()) {
+    const NodeId ca = clustering.cluster_of(e.from);
+    const NodeId cb = clustering.cluster_of(e.to);
+    if (ca == cb) continue;  // removed by clustering
+    traffic_(idx(ca), idx(cb)) += e.weight;
+    traffic_(idx(cb), idx(ca)) += e.weight;
+    mca_[idx(ca)] += e.weight;
+    mca_[idx(cb)] += e.weight;
+    if (adj_(idx(ca), idx(cb)) == 0) {
+      adj_(idx(ca), idx(cb)) = 1;
+      adj_(idx(cb), idx(ca)) = 1;
+      neighbors_[idx(ca)].push_back(cb);
+      neighbors_[idx(cb)].push_back(ca);
+      ++edge_count_;
+    }
+  }
+}
+
+}  // namespace mimdmap

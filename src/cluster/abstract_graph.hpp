@@ -1,0 +1,57 @@
+// AbstractGraph: the paper's abstract graph Ga (section 2.1, Fig. 4).
+//
+// Each cluster becomes one abstract node; all clustered problem edges
+// between the same pair of clusters collapse into one abstract edge. The
+// abstract graph also carries the communication-intensity vector mca
+// (paper Fig. 20-c): mca[i] is the sum of the weights of all clustered
+// problem edges incident to cluster i.
+#pragma once
+
+#include <vector>
+
+#include "cluster/clustering.hpp"
+#include "graph/matrix.hpp"
+#include "graph/task_graph.hpp"
+
+namespace mimdmap {
+
+class AbstractGraph {
+ public:
+  AbstractGraph() = default;
+
+  /// Builds the abstraction of (problem, clustering).
+  AbstractGraph(const TaskGraph& problem, const Clustering& clustering);
+
+  [[nodiscard]] NodeId node_count() const noexcept { return n_; }
+
+  /// 1 iff any clustered problem edge connects the two clusters (in either
+  /// direction) — the paper's abs_edge[na][na] (Fig. 20-a). Symmetric.
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const { return adj_(idx(a), idx(b)) != 0; }
+
+  /// Total clustered-edge weight between two clusters (both directions).
+  [[nodiscard]] Weight edge_traffic(NodeId a, NodeId b) const {
+    return traffic_(idx(a), idx(b));
+  }
+
+  /// Communication intensity of a cluster (paper's mca[i]).
+  [[nodiscard]] Weight mca(NodeId a) const { return mca_.at(idx(a)); }
+  [[nodiscard]] const std::vector<Weight>& mca_vector() const noexcept { return mca_; }
+
+  /// Abstract neighbours of a cluster.
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId a) const {
+    return neighbors_.at(idx(a));
+  }
+
+  /// Number of (undirected) abstract edges.
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+ private:
+  NodeId n_ = 0;
+  Matrix<Weight> adj_;      // 0/1 abstract adjacency
+  Matrix<Weight> traffic_;  // summed clustered edge weights per cluster pair
+  std::vector<Weight> mca_;
+  std::vector<std::vector<NodeId>> neighbors_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace mimdmap

@@ -1,0 +1,73 @@
+#include "cluster/cluster_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mimdmap {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("cluster_io: line " + std::to_string(line) + ": " + what);
+}
+
+bool next_line(std::istream& is, std::string& out, std::size_t& line_no) {
+  while (std::getline(is, out)) {
+    ++line_no;
+    const auto first = out.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (out[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_text(std::ostream& os, const Clustering& clustering) {
+  os << "clustering " << clustering.num_tasks() << " " << clustering.num_clusters() << "\n";
+  for (NodeId t = 0; t < clustering.num_tasks(); ++t) {
+    os << "task " << t << " " << clustering.cluster_of(t) << "\n";
+  }
+}
+
+std::string to_text(const Clustering& clustering) {
+  std::ostringstream os;
+  write_text(os, clustering);
+  return os.str();
+}
+
+Clustering read_clustering(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 0;
+  if (!next_line(is, line, line_no)) fail(line_no, "empty input");
+  std::istringstream header(line);
+  std::string tag;
+  NodeId np = 0;
+  NodeId na = 0;
+  if (!(header >> tag >> np >> na) || tag != "clustering" || np < 0 || na < 0) {
+    fail(line_no, "expected 'clustering <np> <na>'");
+  }
+  std::vector<NodeId> cluster_of(idx(np), -1);
+  for (NodeId expected = 0; expected < np; ++expected) {
+    if (!next_line(is, line, line_no)) fail(line_no, "unexpected EOF in task list");
+    std::istringstream ls(line);
+    NodeId id = 0;
+    NodeId cluster = 0;
+    if (!(ls >> tag >> id >> cluster) || tag != "task") {
+      fail(line_no, "expected 'task <id> <cluster>'");
+    }
+    if (id != expected) fail(line_no, "task ids must be consecutive from 0");
+    cluster_of[idx(id)] = cluster;
+  }
+  return Clustering(std::move(cluster_of), na);  // validates cluster ranges
+}
+
+Clustering clustering_from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_clustering(is);
+}
+
+}  // namespace mimdmap

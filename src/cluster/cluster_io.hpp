@@ -1,0 +1,24 @@
+// Text serialization of clusterings (and, in core, assignments reuse the
+// same style): lets experiments be stored, diffed and replayed alongside
+// the graph files from graph/graph_io.hpp.
+//
+//   clustering <np> <na>
+//   task <id> <cluster>     (np lines, ids consecutive from 0)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cluster/clustering.hpp"
+
+namespace mimdmap {
+
+void write_text(std::ostream& os, const Clustering& clustering);
+[[nodiscard]] std::string to_text(const Clustering& clustering);
+
+/// Parses the text format; throws std::invalid_argument with a line number
+/// on malformed input.
+[[nodiscard]] Clustering read_clustering(std::istream& is);
+[[nodiscard]] Clustering clustering_from_text(const std::string& text);
+
+}  // namespace mimdmap

@@ -1,0 +1,49 @@
+#include "cluster/clustering.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace mimdmap {
+
+Clustering::Clustering(std::vector<NodeId> cluster_of, NodeId num_clusters)
+    : cluster_of_(std::move(cluster_of)), num_clusters_(num_clusters) {
+  if (num_clusters_ < 0) throw std::invalid_argument("Clustering: negative cluster count");
+  members_.resize(idx(num_clusters_));
+  for (std::size_t task = 0; task < cluster_of_.size(); ++task) {
+    const NodeId c = cluster_of_[task];
+    if (c < 0 || c >= num_clusters_) {
+      throw std::invalid_argument("Clustering: task " + std::to_string(task) +
+                                  " has invalid cluster " + std::to_string(c));
+    }
+    members_[idx(c)].push_back(node_id(task));
+  }
+}
+
+NodeId Clustering::non_empty_clusters() const {
+  NodeId count = 0;
+  for (const auto& m : members_) {
+    if (!m.empty()) ++count;
+  }
+  return count;
+}
+
+Matrix<Weight> clustered_edge_matrix(const TaskGraph& problem, const Clustering& clustering) {
+  if (problem.node_count() != clustering.num_tasks()) {
+    throw std::invalid_argument("clustered_edge_matrix: task count mismatch");
+  }
+  auto m = Matrix<Weight>::square(idx(problem.node_count()), 0);
+  for (const TaskEdge& e : problem.edges()) {
+    if (!clustering.same_cluster(e.from, e.to)) m(idx(e.from), idx(e.to)) = e.weight;
+  }
+  return m;
+}
+
+Weight inter_cluster_traffic(const TaskGraph& problem, const Clustering& clustering) {
+  Weight sum = 0;
+  for (const TaskEdge& e : problem.edges()) {
+    if (!clustering.same_cluster(e.from, e.to)) sum += e.weight;
+  }
+  return sum;
+}
+
+}  // namespace mimdmap

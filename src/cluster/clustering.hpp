@@ -1,0 +1,66 @@
+// Clustering: the partition of problem-graph tasks into clusters.
+//
+// The paper's first scheduling step (section 1) combines the np problem
+// nodes into na groups where na equals the number of system nodes ns; the
+// paper *assumes* an existing clustering technique (refs [8]-[11]) and its
+// experiments use a random clustering program. This module provides the
+// partition data structure (the paper's clus_pnode[na][np] matrix, Fig.
+// 19-b) and the derived clustered-problem-graph edge matrix (clus_edge,
+// Fig. 19-a). Concrete clustering strategies live in strategies.hpp.
+#pragma once
+
+#include <vector>
+
+#include "graph/matrix.hpp"
+#include "graph/task_graph.hpp"
+#include "graph/types.hpp"
+
+namespace mimdmap {
+
+class Clustering {
+ public:
+  Clustering() = default;
+
+  /// Partition described by `cluster_of[task] = cluster`. Cluster ids must
+  /// lie in [0, num_clusters); clusters may be empty (a processor that
+  /// receives no work). Throws std::invalid_argument otherwise.
+  Clustering(std::vector<NodeId> cluster_of, NodeId num_clusters);
+
+  [[nodiscard]] NodeId num_tasks() const noexcept { return node_id(cluster_of_.size()); }
+  [[nodiscard]] NodeId num_clusters() const noexcept { return num_clusters_; }
+
+  /// Cluster (abstract node) containing the given task.
+  [[nodiscard]] NodeId cluster_of(NodeId task) const { return cluster_of_.at(idx(task)); }
+  [[nodiscard]] const std::vector<NodeId>& cluster_map() const noexcept { return cluster_of_; }
+
+  /// Tasks inside one cluster — one row of the paper's clus_pnode matrix.
+  [[nodiscard]] const std::vector<NodeId>& members(NodeId cluster) const {
+    return members_.at(idx(cluster));
+  }
+
+  /// True iff tasks a and b live in the same cluster.
+  [[nodiscard]] bool same_cluster(NodeId a, NodeId b) const {
+    return cluster_of(a) == cluster_of(b);
+  }
+
+  /// Number of clusters with at least one task.
+  [[nodiscard]] NodeId non_empty_clusters() const;
+
+ private:
+  std::vector<NodeId> cluster_of_;
+  std::vector<std::vector<NodeId>> members_;
+  NodeId num_clusters_ = 0;
+};
+
+/// The clustered-problem-graph edge matrix (paper Fig. 19-a): identical to
+/// the problem edge matrix except that intra-cluster entries are zeroed —
+/// "the edges connecting problem nodes within the same group are removed".
+[[nodiscard]] Matrix<Weight> clustered_edge_matrix(const TaskGraph& problem,
+                                                   const Clustering& clustering);
+
+/// Total weight of inter-cluster (surviving) edges — the communication the
+/// mapping stage must place.
+[[nodiscard]] Weight inter_cluster_traffic(const TaskGraph& problem,
+                                           const Clustering& clustering);
+
+}  // namespace mimdmap

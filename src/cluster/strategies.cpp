@@ -1,0 +1,223 @@
+#include "cluster/strategies.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/topological.hpp"
+#include "workload/rng.hpp"
+
+namespace mimdmap {
+namespace {
+
+void require_clusters(const TaskGraph& problem, NodeId num_clusters) {
+  if (num_clusters <= 0) throw std::invalid_argument("clustering: num_clusters must be positive");
+  if (problem.node_count() == 0) throw std::invalid_argument("clustering: empty problem graph");
+}
+
+}  // namespace
+
+Clustering random_clustering(const TaskGraph& problem, NodeId num_clusters, std::uint64_t seed,
+                             bool ensure_non_empty) {
+  require_clusters(problem, num_clusters);
+  Rng rng(seed);
+  const NodeId np = problem.node_count();
+  std::vector<NodeId> cluster_of(idx(np), 0);
+  if (ensure_non_empty && np >= num_clusters) {
+    // Deal one random task to every cluster, then the rest uniformly.
+    const std::vector<NodeId> perm = rng.permutation(np);
+    for (NodeId c = 0; c < num_clusters; ++c) cluster_of[idx(perm[idx(c)])] = c;
+    for (NodeId i = num_clusters; i < np; ++i) {
+      cluster_of[idx(perm[idx(i)])] = static_cast<NodeId>(rng.uniform(0, num_clusters - 1));
+    }
+  } else {
+    for (NodeId t = 0; t < np; ++t) {
+      cluster_of[idx(t)] = static_cast<NodeId>(rng.uniform(0, num_clusters - 1));
+    }
+  }
+  return Clustering(std::move(cluster_of), num_clusters);
+}
+
+Clustering round_robin_clustering(const TaskGraph& problem, NodeId num_clusters) {
+  require_clusters(problem, num_clusters);
+  std::vector<NodeId> cluster_of(idx(problem.node_count()));
+  for (NodeId t = 0; t < problem.node_count(); ++t) cluster_of[idx(t)] = t % num_clusters;
+  return Clustering(std::move(cluster_of), num_clusters);
+}
+
+Clustering block_clustering(const TaskGraph& problem, NodeId num_clusters) {
+  require_clusters(problem, num_clusters);
+  const auto order = topological_order(problem);
+  if (!order) throw std::invalid_argument("block_clustering: problem graph has a cycle");
+  const NodeId np = problem.node_count();
+  const NodeId block = (np + num_clusters - 1) / num_clusters;  // ceil
+  std::vector<NodeId> cluster_of(idx(np));
+  for (NodeId pos = 0; pos < np; ++pos) {
+    cluster_of[idx((*order)[idx(pos)])] = std::min<NodeId>(pos / block, num_clusters - 1);
+  }
+  return Clustering(std::move(cluster_of), num_clusters);
+}
+
+Clustering level_clustering(const TaskGraph& problem, NodeId num_clusters) {
+  require_clusters(problem, num_clusters);
+  const auto levels = topological_levels(problem);
+  std::vector<NodeId> cluster_of(idx(problem.node_count()));
+  for (NodeId t = 0; t < problem.node_count(); ++t) {
+    cluster_of[idx(t)] = levels[idx(t)] % num_clusters;
+  }
+  return Clustering(std::move(cluster_of), num_clusters);
+}
+
+Clustering list_scheduling_clustering(const TaskGraph& problem, NodeId num_clusters) {
+  require_clusters(problem, num_clusters);
+  const auto order = topological_order(problem);
+  if (!order) throw std::invalid_argument("list_scheduling_clustering: cycle");
+  const NodeId np = problem.node_count();
+  std::vector<NodeId> cluster_of(idx(np), -1);
+  std::vector<Weight> proc_free(idx(num_clusters), 0);
+  std::vector<Weight> task_end(idx(np), 0);
+
+  for (const NodeId v : *order) {
+    Weight best_start = kUnreachable;
+    NodeId best_proc = 0;
+    for (NodeId p = 0; p < num_clusters; ++p) {
+      Weight ready = 0;
+      for (const auto& [pred, w] : problem.predecessors(v)) {
+        const Weight comm = (cluster_of[idx(pred)] == p) ? 0 : w;
+        ready = std::max(ready, task_end[idx(pred)] + comm);
+      }
+      const Weight start = std::max(ready, proc_free[idx(p)]);
+      if (start < best_start) {
+        best_start = start;
+        best_proc = p;
+      }
+    }
+    cluster_of[idx(v)] = best_proc;
+    task_end[idx(v)] = best_start + problem.node_weight(v);
+    proc_free[idx(best_proc)] = task_end[idx(v)];
+  }
+  return Clustering(std::move(cluster_of), num_clusters);
+}
+
+Clustering edge_zeroing_clustering(const TaskGraph& problem, NodeId num_clusters) {
+  require_clusters(problem, num_clusters);
+  const NodeId np = problem.node_count();
+
+  // Union-find over tasks.
+  std::vector<NodeId> parent(idx(np));
+  std::iota(parent.begin(), parent.end(), NodeId{0});
+  const auto find = [&parent](NodeId v) {
+    while (parent[idx(v)] != v) {
+      parent[idx(v)] = parent[idx(parent[idx(v)])];
+      v = parent[idx(v)];
+    }
+    return v;
+  };
+
+  NodeId groups = np;
+  if (groups > num_clusters) {
+    // Merge across the heaviest edges first (stable order: weight desc,
+    // then insertion order).
+    std::vector<TaskEdge> edges = problem.edges();
+    std::stable_sort(edges.begin(), edges.end(),
+                     [](const TaskEdge& a, const TaskEdge& b) { return a.weight > b.weight; });
+    for (const TaskEdge& e : edges) {
+      if (groups <= num_clusters) break;
+      const NodeId ra = find(e.from);
+      const NodeId rb = find(e.to);
+      if (ra != rb) {
+        parent[idx(rb)] = ra;
+        --groups;
+      }
+    }
+  }
+  // If the problem graph has several weakly connected components, edges may
+  // run out before reaching ns groups; merge the smallest groups pairwise.
+  while (groups > num_clusters) {
+    std::vector<NodeId> size(idx(np), 0);
+    for (NodeId t = 0; t < np; ++t) ++size[idx(find(t))];
+    NodeId smallest = -1;
+    NodeId second = -1;
+    for (NodeId r = 0; r < np; ++r) {
+      if (size[idx(r)] == 0) continue;
+      if (smallest < 0 || size[idx(r)] < size[idx(smallest)]) {
+        second = smallest;
+        smallest = r;
+      } else if (second < 0 || size[idx(r)] < size[idx(second)]) {
+        second = r;
+      }
+    }
+    parent[idx(second)] = smallest;
+    --groups;
+  }
+
+  // Compact root ids to 0..groups-1 and pad to exactly num_clusters ids
+  // (possibly leaving empty clusters when np < ns).
+  std::vector<NodeId> label(idx(np), -1);
+  NodeId next = 0;
+  std::vector<NodeId> cluster_of(idx(np));
+  for (NodeId t = 0; t < np; ++t) {
+    const NodeId r = find(t);
+    if (label[idx(r)] < 0) label[idx(r)] = next++;
+    cluster_of[idx(t)] = label[idx(r)];
+  }
+  return Clustering(std::move(cluster_of), num_clusters);
+}
+
+Clustering linear_clustering(const TaskGraph& problem, NodeId num_clusters) {
+  require_clusters(problem, num_clusters);
+  const auto order = topological_order(problem);
+  if (!order) throw std::invalid_argument("linear_clustering: problem graph has a cycle");
+  const NodeId np = problem.node_count();
+  std::vector<NodeId> cluster_of(idx(np), -1);
+  std::vector<char> assigned(idx(np), 0);
+
+  NodeId path_index = 0;
+  NodeId remaining = np;
+  std::vector<Weight> best(idx(np));
+  std::vector<NodeId> best_pred(idx(np));
+  while (remaining > 0) {
+    // Longest path (node + edge weights) over the unassigned subgraph.
+    NodeId tail = -1;
+    for (const NodeId v : *order) {
+      if (assigned[idx(v)]) continue;
+      best[idx(v)] = problem.node_weight(v);
+      best_pred[idx(v)] = -1;
+      for (const auto& [pred, w] : problem.predecessors(v)) {
+        if (assigned[idx(pred)]) continue;
+        const Weight via = best[idx(pred)] + w + problem.node_weight(v);
+        if (via > best[idx(v)]) {
+          best[idx(v)] = via;
+          best_pred[idx(v)] = pred;
+        }
+      }
+      if (tail < 0 || best[idx(v)] > best[idx(tail)]) tail = v;
+    }
+    // Peel the path off.
+    for (NodeId v = tail; v >= 0; v = best_pred[idx(v)]) {
+      cluster_of[idx(v)] = path_index % num_clusters;
+      assigned[idx(v)] = 1;
+      --remaining;
+    }
+    ++path_index;
+  }
+  return Clustering(std::move(cluster_of), num_clusters);
+}
+
+Clustering make_clustering(const std::string& strategy, const TaskGraph& problem,
+                           NodeId num_clusters, std::uint64_t seed) {
+  if (strategy == "random") return random_clustering(problem, num_clusters, seed);
+  if (strategy == "round-robin") return round_robin_clustering(problem, num_clusters);
+  if (strategy == "block") return block_clustering(problem, num_clusters);
+  if (strategy == "level") return level_clustering(problem, num_clusters);
+  if (strategy == "list") return list_scheduling_clustering(problem, num_clusters);
+  if (strategy == "edge-zeroing") return edge_zeroing_clustering(problem, num_clusters);
+  if (strategy == "linear") return linear_clustering(problem, num_clusters);
+  throw std::invalid_argument("make_clustering: unknown strategy '" + strategy + "'");
+}
+
+std::vector<std::string> clustering_strategies() {
+  return {"random", "round-robin", "block", "level", "list", "edge-zeroing", "linear"};
+}
+
+}  // namespace mimdmap

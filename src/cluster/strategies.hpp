@@ -1,0 +1,74 @@
+// Clustering strategies.
+//
+// The paper treats clustering as an external step (section 1: "we assume
+// that an existing technique is first applied"); its experiments use a
+// random clustering program. We provide that plus several classical
+// strategies from the literature the paper cites, so examples and benches
+// can explore how clustering quality interacts with the mapping stage:
+//
+//  * random          — the paper's experimental setup (section 5)
+//  * round-robin     — task i -> cluster i mod ns
+//  * block           — contiguous blocks in topological order (locality)
+//  * level           — topological level l -> cluster l mod ns (wavefronts)
+//  * list-scheduling — ETF-flavoured greedy over ns virtual processors
+//                      (paper refs [9], [10])
+//  * edge-zeroing    — Sarkar-flavoured heavy-edge merging until exactly ns
+//                      clusters remain (paper ref [8])
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/clustering.hpp"
+#include "graph/task_graph.hpp"
+
+namespace mimdmap {
+
+/// Uniform random clustering. When `ensure_non_empty` and np >= ns, one
+/// random task is dealt to every cluster first so no processor is idle by
+/// construction (the paper's generator produces np >> ns, where empty
+/// clusters are vanishingly rare anyway).
+[[nodiscard]] Clustering random_clustering(const TaskGraph& problem, NodeId num_clusters,
+                                           std::uint64_t seed, bool ensure_non_empty = true);
+
+/// Task i -> cluster i mod ns.
+[[nodiscard]] Clustering round_robin_clustering(const TaskGraph& problem, NodeId num_clusters);
+
+/// Contiguous blocks of ceil(np/ns) tasks in topological order.
+[[nodiscard]] Clustering block_clustering(const TaskGraph& problem, NodeId num_clusters);
+
+/// Topological level l -> cluster l mod ns; keeps each dependence wavefront
+/// together.
+[[nodiscard]] Clustering level_clustering(const TaskGraph& problem, NodeId num_clusters);
+
+/// Greedy list scheduling onto ns virtual processors: tasks are visited in
+/// topological order; each goes to the processor minimising its earliest
+/// start time, counting an edge's communication weight only when the
+/// predecessor sits on a different processor. The processor index is the
+/// cluster id.
+[[nodiscard]] Clustering list_scheduling_clustering(const TaskGraph& problem,
+                                                    NodeId num_clusters);
+
+/// Heavy-edge merging: every task starts in its own cluster; edges are
+/// scanned by descending weight and their endpoint clusters merged while
+/// more than ns clusters remain; leftover clusters are merged smallest-
+/// first. A simplified Sarkar edge-zeroing pass.
+[[nodiscard]] Clustering edge_zeroing_clustering(const TaskGraph& problem, NodeId num_clusters);
+
+/// Linear (longest-path) clustering in the style of Kim & Browne:
+/// repeatedly peel the heaviest remaining path (node + edge weights) off
+/// the DAG and make it a cluster; the i-th path goes to cluster i mod ns.
+/// Keeps the dominant dependence chains communication-free.
+[[nodiscard]] Clustering linear_clustering(const TaskGraph& problem, NodeId num_clusters);
+
+/// Dispatch by name: "random" (uses seed), "round-robin", "block",
+/// "level", "list", "edge-zeroing", "linear". Throws std::invalid_argument
+/// on an unknown name.
+[[nodiscard]] Clustering make_clustering(const std::string& strategy, const TaskGraph& problem,
+                                         NodeId num_clusters, std::uint64_t seed);
+
+/// All strategy names accepted by make_clustering.
+[[nodiscard]] std::vector<std::string> clustering_strategies();
+
+}  // namespace mimdmap

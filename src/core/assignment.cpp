@@ -1,0 +1,95 @@
+#include "core/assignment.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace mimdmap {
+
+Assignment Assignment::identity(NodeId n) {
+  Assignment a = partial(n);
+  for (NodeId i = 0; i < n; ++i) {
+    a.cluster_on_[idx(i)] = i;
+    a.host_of_[idx(i)] = i;
+  }
+  return a;
+}
+
+Assignment Assignment::partial(NodeId n) {
+  if (n < 0) throw std::invalid_argument("Assignment: negative size");
+  Assignment a;
+  a.cluster_on_.assign(idx(n), kUnassigned);
+  a.host_of_.assign(idx(n), kUnassigned);
+  return a;
+}
+
+Assignment Assignment::from_cluster_on(std::vector<NodeId> on_processor) {
+  const NodeId n = node_id(on_processor.size());
+  Assignment a = partial(n);
+  a.cluster_on_ = std::move(on_processor);
+  for (NodeId p = 0; p < n; ++p) {
+    const NodeId c = a.cluster_on_[idx(p)];
+    if (c < 0 || c >= n) {
+      throw std::invalid_argument("Assignment: cluster id out of range");
+    }
+    if (a.host_of_[idx(c)] != kUnassigned) {
+      throw std::invalid_argument("Assignment: cluster " + std::to_string(c) +
+                                  " appears on two processors");
+    }
+    a.host_of_[idx(c)] = p;
+  }
+  return a;
+}
+
+Assignment Assignment::from_host_of(std::vector<NodeId> host) {
+  const NodeId n = node_id(host.size());
+  Assignment a = partial(n);
+  a.host_of_ = std::move(host);
+  for (NodeId c = 0; c < n; ++c) {
+    const NodeId p = a.host_of_[idx(c)];
+    if (p < 0 || p >= n) {
+      throw std::invalid_argument("Assignment: processor id out of range");
+    }
+    if (a.cluster_on_[idx(p)] != kUnassigned) {
+      throw std::invalid_argument("Assignment: processor " + std::to_string(p) +
+                                  " hosts two clusters");
+    }
+    a.cluster_on_[idx(p)] = c;
+  }
+  return a;
+}
+
+void Assignment::place(NodeId cluster, NodeId processor) {
+  if (cluster < 0 || idx(cluster) >= host_of_.size() || processor < 0 ||
+      idx(processor) >= cluster_on_.size()) {
+    throw std::out_of_range("Assignment::place: id out of range");
+  }
+  if (host_of_[idx(cluster)] != kUnassigned) {
+    throw std::invalid_argument("Assignment::place: cluster already placed");
+  }
+  if (cluster_on_[idx(processor)] != kUnassigned) {
+    throw std::invalid_argument("Assignment::place: processor already occupied");
+  }
+  host_of_[idx(cluster)] = processor;
+  cluster_on_[idx(processor)] = cluster;
+}
+
+void Assignment::swap_processors(NodeId p1, NodeId p2) {
+  const NodeId c1 = cluster_on(p1);
+  const NodeId c2 = cluster_on(p2);
+  if (c1 == kUnassigned || c2 == kUnassigned) {
+    throw std::invalid_argument("Assignment::swap_processors: empty processor");
+  }
+  cluster_on_[idx(p1)] = c2;
+  cluster_on_[idx(p2)] = c1;
+  host_of_[idx(c1)] = p2;
+  host_of_[idx(c2)] = p1;
+}
+
+bool Assignment::complete() const {
+  for (const NodeId c : cluster_on_) {
+    if (c == kUnassigned) return false;
+  }
+  return true;
+}
+
+}  // namespace mimdmap

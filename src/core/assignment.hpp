@@ -1,0 +1,71 @@
+// Assignment: the bijection between abstract nodes (clusters) and system
+// nodes (processors) — the paper's assi[ns] matrix (section 3.7, Fig. 23).
+//
+// Since na == ns, a complete assignment is a permutation. We maintain both
+// directions (assi[s] = cluster on processor s, and its inverse
+// host_of[c] = processor hosting cluster c) so lookups are O(1) either way.
+// The initial-assignment algorithm grows a *partial* assignment one pair at
+// a time; unpaired slots hold kUnassigned (-1).
+#pragma once
+
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace mimdmap {
+
+class Assignment {
+ public:
+  /// Marks an unpaired slot in a partial assignment.
+  static constexpr NodeId kUnassigned = -1;
+
+  Assignment() = default;
+
+  /// Identity assignment: cluster i on processor i.
+  static Assignment identity(NodeId n);
+
+  /// All-unassigned partial assignment of the given size.
+  static Assignment partial(NodeId n);
+
+  /// From the paper's representation: on_processor[s] is the cluster
+  /// mapped to system node s. Throws std::invalid_argument unless the
+  /// vector is a permutation of 0..n-1.
+  static Assignment from_cluster_on(std::vector<NodeId> on_processor);
+
+  /// From the inverse representation: host[c] is the processor hosting
+  /// cluster c.
+  static Assignment from_host_of(std::vector<NodeId> host);
+
+  [[nodiscard]] NodeId size() const noexcept { return node_id(cluster_on_.size()); }
+
+  /// Cluster occupying the given processor (the paper's assi[s]);
+  /// kUnassigned if the processor is still free.
+  [[nodiscard]] NodeId cluster_on(NodeId processor) const {
+    return cluster_on_.at(idx(processor));
+  }
+  /// Processor hosting the given cluster; kUnassigned if not yet placed.
+  [[nodiscard]] NodeId host_of(NodeId cluster) const { return host_of_.at(idx(cluster)); }
+
+  [[nodiscard]] const std::vector<NodeId>& cluster_on_vector() const noexcept {
+    return cluster_on_;
+  }
+  [[nodiscard]] const std::vector<NodeId>& host_of_vector() const noexcept { return host_of_; }
+
+  /// Places `cluster` on `processor`; both must currently be unpaired.
+  void place(NodeId cluster, NodeId processor);
+
+  /// Exchanges the clusters hosted by two processors (both must be
+  /// occupied).
+  void swap_processors(NodeId p1, NodeId p2);
+
+  /// True once every cluster has a processor.
+  [[nodiscard]] bool complete() const;
+
+  friend bool operator==(const Assignment&, const Assignment&) = default;
+
+ private:
+  std::vector<NodeId> cluster_on_;
+  std::vector<NodeId> host_of_;
+};
+
+}  // namespace mimdmap

@@ -1,0 +1,90 @@
+#include "core/critical.hpp"
+
+#include <vector>
+
+namespace mimdmap {
+
+CriticalInfo find_critical(const MappingInstance& instance, const IdealSchedule& ideal,
+                           const CriticalOptions& options) {
+  const TaskGraph& problem = instance.problem();
+  const Matrix<Weight>& clus = instance.clus_edge();
+  const NodeId np = problem.node_count();
+  const NodeId na = instance.num_processors();
+
+  CriticalInfo info;
+  info.crit_edge = Matrix<Weight>::square(idx(np), 0);
+  info.c_abs_edge = Matrix<Weight>::square(idx(na), 0);
+  info.critical_degree.assign(idx(na), 0);
+
+  // Worklist LS, seeded with the latest tasks (paper algorithm I, step 1).
+  std::vector<char> in_ls(idx(np), 0);
+  std::vector<NodeId> worklist;
+  for (const NodeId v : ideal.latest_tasks) {
+    in_ls[idx(v)] = 1;
+    worklist.push_back(v);
+  }
+
+  // Step 2: walk backward through zero-slack edges.
+  while (!worklist.empty()) {
+    const NodeId i = worklist.back();
+    worklist.pop_back();
+    for (const auto& [j, prob_w] : problem.predecessors(i)) {
+      const Weight cw = clus(idx(j), idx(i));
+      if (cw > 0) {
+        // Inter-cluster edge: critical iff i_edge[j][i] == clus_edge[j][i],
+        // i.e. end[j] + cw == start[i] (zero slack).
+        if (ideal.end[idx(j)] + cw == ideal.start[idx(i)]) {
+          if (info.crit_edge(idx(j), idx(i)) == 0) {
+            info.crit_edge(idx(j), idx(i)) = cw;
+            info.critical_edges.push_back(TaskEdge{j, i, cw});
+          }
+          if (!in_ls[idx(j)]) {
+            in_ls[idx(j)] = 1;
+            worklist.push_back(j);
+          }
+        }
+      } else if (options.propagate_through_intra_cluster) {
+        // Intra-cluster precedence (weight removed by clustering): it can
+        // never itself be critical, but a zero-slack one transmits delay
+        // upstream exactly like Lemma 1 with zero communication.
+        if (ideal.end[idx(j)] == ideal.start[idx(i)] && !in_ls[idx(j)]) {
+          in_ls[idx(j)] = 1;
+          worklist.push_back(j);
+        }
+      }
+    }
+  }
+
+  // Algorithms II-III: aggregate to abstract edges and critical degrees.
+  const Clustering& clustering = instance.clustering();
+  for (const TaskEdge& e : info.critical_edges) {
+    const NodeId ca = clustering.cluster_of(e.from);
+    const NodeId cb = clustering.cluster_of(e.to);
+    info.c_abs_edge(idx(ca), idx(cb)) += e.weight;
+    info.c_abs_edge(idx(cb), idx(ca)) += e.weight;
+  }
+  for (NodeId a = 0; a < na; ++a) {
+    Weight sum = 0;
+    for (NodeId b = 0; b < na; ++b) sum += info.c_abs_edge(idx(a), idx(b));
+    info.critical_degree[idx(a)] = sum;
+  }
+  return info;
+}
+
+std::vector<TaskEdge> critical_edges_oracle(const TaskGraph& problem,
+                                            const Matrix<Weight>& clus_edge) {
+  const Weight base = compute_ideal_schedule(problem, clus_edge).lower_bound;
+  std::vector<TaskEdge> critical;
+  Matrix<Weight> perturbed = clus_edge;
+  for (const TaskEdge& e : problem.edges()) {
+    Weight& cell = perturbed(idx(e.from), idx(e.to));
+    if (cell == 0) continue;  // intra-cluster: not part of the clustered graph
+    cell += 1;
+    const Weight bumped = compute_ideal_schedule(problem, perturbed).lower_bound;
+    cell -= 1;
+    if (bumped > base) critical.push_back(TaskEdge{e.from, e.to, cell});
+  }
+  return critical;
+}
+
+}  // namespace mimdmap

@@ -1,0 +1,77 @@
+// Critical problem edges, critical abstract edges and critical degrees
+// (paper section 4.2, Theorems 1-2, Lemmas 1-3).
+//
+// A clustered edge is *critical* when increasing its weight by any amount
+// lengthens the total time of the ideal graph. Theorems 1-2 characterise
+// the critical set recursively: an ideal edge is critical iff it has zero
+// slack (i_edge == clus_edge) and either ends at a latest task or feeds a
+// task with an outgoing critical edge. The paper's algorithm walks backward
+// from the latest tasks through zero-slack *clustered* edges.
+//
+// Two deliberate knobs beyond the paper:
+//  * CriticalOptions::propagate_through_intra_cluster — the paper's walk
+//    only passes through clustered (inter-cluster) edges; a zero-slack
+//    *intra-cluster* precedence also transmits delay (Lemma 1's argument
+//    applies with communication 0), so the paper's set can be incomplete.
+//    Enabling this flag yields the exact critical set. Default off
+//    (paper-faithful).
+//  * critical_edges_oracle — brute-force ground truth by perturbing each
+//    clustered edge weight by +1 and recomputing the ideal schedule. Used
+//    by the test suite to verify both modes (schedule makespan is a
+//    max-of-path-sums, i.e. piecewise linear with slope 0/1 in each single
+//    weight, so "+1 increases makespan" is equivalent to "any increase
+//    increases makespan").
+#pragma once
+
+#include <vector>
+
+#include "core/ideal_graph.hpp"
+#include "core/instance.hpp"
+#include "graph/matrix.hpp"
+#include "graph/task_graph.hpp"
+
+namespace mimdmap {
+
+struct CriticalOptions {
+  /// Also propagate criticality through zero-slack intra-cluster
+  /// precedences (exact mode). Off = paper's published algorithm.
+  bool propagate_through_intra_cluster = false;
+};
+
+struct CriticalInfo {
+  /// crit_edge[np][np] (paper Fig. 22-c): the clustered weight where the
+  /// edge is critical, 0 elsewhere.
+  Matrix<Weight> crit_edge;
+
+  /// The critical problem edges as a list (from, to, clustered weight).
+  std::vector<TaskEdge> critical_edges;
+
+  /// c_abs_edge[na][na] (paper Fig. 20-b, first na columns): summed
+  /// critical problem-edge weight between each pair of clusters.
+  /// Symmetric.
+  Matrix<Weight> c_abs_edge;
+
+  /// Critical degree of each abstract node (the paper's extra column of
+  /// c_abs_edge): row sums of c_abs_edge.
+  std::vector<Weight> critical_degree;
+
+  [[nodiscard]] bool has_critical_edges() const noexcept { return !critical_edges.empty(); }
+
+  /// True iff at least one critical problem edge connects clusters a and b.
+  [[nodiscard]] bool abstract_edge_critical(NodeId a, NodeId b) const {
+    return c_abs_edge(idx(a), idx(b)) > 0;
+  }
+};
+
+/// Runs the paper's algorithms I-III of section 4.2 on an instance whose
+/// ideal schedule has already been computed.
+[[nodiscard]] CriticalInfo find_critical(const MappingInstance& instance,
+                                         const IdealSchedule& ideal,
+                                         const CriticalOptions& options = {});
+
+/// Ground-truth critical edges by perturbation (see file comment). Returns
+/// edges in problem-edge insertion order. O(E * (V + E)).
+[[nodiscard]] std::vector<TaskEdge> critical_edges_oracle(const TaskGraph& problem,
+                                                          const Matrix<Weight>& clus_edge);
+
+}  // namespace mimdmap

@@ -1,0 +1,111 @@
+#include "core/evaluation.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "graph/routing.hpp"
+#include "graph/topological.hpp"
+
+namespace mimdmap {
+namespace {
+
+void check_assignment(const MappingInstance& instance, const Assignment& assignment) {
+  if (assignment.size() != instance.num_processors() || !assignment.complete()) {
+    throw std::invalid_argument("evaluate: assignment is not a complete mapping of all clusters");
+  }
+}
+
+}  // namespace
+
+Matrix<Weight> communication_matrix(const MappingInstance& instance,
+                                    const Assignment& assignment) {
+  check_assignment(instance, assignment);
+  const TaskGraph& problem = instance.problem();
+  const Clustering& clustering = instance.clustering();
+  auto comm = Matrix<Weight>::square(idx(problem.node_count()), 0);
+  for (const TaskEdge& e : problem.edges()) {
+    const NodeId ca = clustering.cluster_of(e.from);
+    const NodeId cb = clustering.cluster_of(e.to);
+    if (ca == cb) continue;
+    const NodeId pa = assignment.host_of(ca);
+    const NodeId pb = assignment.host_of(cb);
+    comm(idx(e.from), idx(e.to)) = e.weight * instance.hops()(idx(pa), idx(pb));
+  }
+  return comm;
+}
+
+ScheduleResult evaluate(const MappingInstance& instance, const Assignment& assignment,
+                        const EvalOptions& options) {
+  check_assignment(instance, assignment);
+  const TaskGraph& problem = instance.problem();
+  const Clustering& clustering = instance.clustering();
+  const Matrix<Weight>& clus = instance.clus_edge();
+  const Matrix<Weight>& hops = instance.hops();
+
+  const auto order = topological_order(problem);
+  if (!order) throw std::invalid_argument("evaluate: problem graph has a cycle");
+
+  const NodeId np = problem.node_count();
+  ScheduleResult r;
+  r.start.assign(idx(np), 0);
+  r.end.assign(idx(np), 0);
+
+  std::vector<Weight> proc_free(idx(instance.num_processors()), 0);
+
+  // Contention state (extension): one busy-until time per physical link.
+  std::unique_ptr<RoutingTable> routing;
+  std::vector<Weight> link_free;
+  if (options.link_contention) {
+    routing = std::make_unique<RoutingTable>(instance.system());
+    link_free.assign(routing->link_count(), 0);
+  }
+
+  for (const NodeId v : *order) {
+    const NodeId cv = clustering.cluster_of(v);
+    const NodeId pv = assignment.host_of(cv);
+    Weight start = 0;
+    for (const auto& [pred, w] : problem.predecessors(v)) {
+      // Communication cost: clustered weight times hop distance between the
+      // hosting processors (0 for intra-cluster precedences).
+      const Weight cw = clus(idx(pred), idx(v));
+      Weight arrival = r.end[idx(pred)];
+      if (cw > 0) {
+        const NodeId pp = assignment.host_of(clustering.cluster_of(pred));
+        if (options.link_contention) {
+          // Store-and-forward along the fixed route; each hop holds its
+          // link exclusively for the message's full weight.
+          const std::vector<NodeId> path = routing->route(pp, pv);
+          for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+            const auto li = static_cast<std::size_t>(
+                routing->link_index(path[k], path[k + 1]));
+            const Weight depart = std::max(arrival, link_free[li]);
+            arrival = depart + cw;
+            link_free[li] = arrival;
+          }
+        } else {
+          arrival += cw * hops(idx(pp), idx(pv));
+        }
+      }
+      start = std::max(start, arrival);
+    }
+    if (options.serialize_within_processor) {
+      start = std::max(start, proc_free[idx(pv)]);
+    }
+    r.start[idx(v)] = start;
+    r.end[idx(v)] = start + problem.node_weight(v);
+    proc_free[idx(pv)] = std::max(proc_free[idx(pv)], r.end[idx(v)]);
+    r.total_time = std::max(r.total_time, r.end[idx(v)]);
+  }
+  for (NodeId v = 0; v < np; ++v) {
+    if (r.end[idx(v)] == r.total_time) r.latest_tasks.push_back(v);
+  }
+  return r;
+}
+
+Weight total_time(const MappingInstance& instance, const Assignment& assignment,
+                  const EvalOptions& options) {
+  return evaluate(instance, assignment, options).total_time;
+}
+
+}  // namespace mimdmap

@@ -1,0 +1,68 @@
+// Total-time evaluation of an assignment (paper section 4.3.4).
+//
+// Under an assignment, a message between tasks i and j costs
+// clus_edge[i][j] * hops(host(i), host(j)) — the paper's communication
+// matrix comm[np][np] (algorithm I, Fig. 23-c). Scheduling then follows the
+// same recurrence as the ideal graph (algorithm II); the total time is the
+// latest end time (algorithm III).
+//
+// The paper's model starts a task as soon as its precedence+communication
+// constraints allow, even if another task of the same cluster is still
+// running (processors are not serialised — visible in Fig. 24 where tasks
+// of one cluster simply stack by dependence). `EvalOptions::
+// serialize_within_processor` adds the realistic constraint that one
+// processor executes one task at a time (list scheduling in topological
+// order), as an extension; all paper benches leave it off.
+#pragma once
+
+#include <vector>
+
+#include "core/assignment.hpp"
+#include "core/instance.hpp"
+#include "graph/matrix.hpp"
+
+namespace mimdmap {
+
+struct EvalOptions {
+  /// Extension: serialise tasks that share a processor (earliest-ready
+  /// first in deterministic topological order).
+  bool serialize_within_processor = false;
+
+  /// Extension: store-and-forward link contention. The paper charges a
+  /// k-hop message k * weight time units regardless of traffic; with this
+  /// flag each message follows a fixed deterministic shortest route
+  /// (RoutingTable) and every link carries one message at a time, so
+  /// messages sharing a link serialise. Without competing traffic the cost
+  /// reduces exactly to the paper's k * weight. Messages claim links in
+  /// deterministic order (receivers in topological order, predecessors in
+  /// edge-insertion order).
+  bool link_contention = false;
+};
+
+/// Schedule of the clustered problem graph under a concrete assignment —
+/// the paper's start[np] / end[np] matrices (Fig. 23-d).
+struct ScheduleResult {
+  std::vector<Weight> start;
+  std::vector<Weight> end;
+  /// The paper's total_time = max end (algorithm III).
+  Weight total_time = 0;
+  /// Tasks whose end time equals total_time.
+  std::vector<NodeId> latest_tasks;
+};
+
+/// The communication matrix comm[np][np] under an assignment (algorithm I).
+/// comm[i][j] = clus_edge[i][j] * hops(host(i), host(j)); intra-cluster
+/// pairs and non-edges are 0.
+[[nodiscard]] Matrix<Weight> communication_matrix(const MappingInstance& instance,
+                                                  const Assignment& assignment);
+
+/// Evaluates the total time of an assignment (algorithms I-III).
+[[nodiscard]] ScheduleResult evaluate(const MappingInstance& instance,
+                                      const Assignment& assignment,
+                                      const EvalOptions& options = {});
+
+/// Convenience: just the total time.
+[[nodiscard]] Weight total_time(const MappingInstance& instance, const Assignment& assignment,
+                                const EvalOptions& options = {});
+
+}  // namespace mimdmap

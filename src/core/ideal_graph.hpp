@@ -1,0 +1,55 @@
+// Ideal graph Gi and the lower bound (paper sections 2.1, 4.1).
+//
+// The ideal graph is the schedule of the clustered problem graph on the
+// *system graph closure* (fully connected topology): every inter-cluster
+// message costs exactly its clustered edge weight, so
+//
+//     i_start[i] = max over predecessors j of (i_end[j] + clus_edge[j][i])
+//     i_end[i]   = i_start[i] + task_size[i]
+//
+// Predecessors come from the *problem* graph — an intra-cluster edge is
+// removed from clus_edge but its precedence still constrains the schedule
+// with zero communication (paper's worked example: task 4 depends on task 1
+// through a removed edge).
+//
+// The makespan of this schedule is a lower bound on the total time of any
+// assignment (Theorem 3) and drives the refinement termination condition.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "graph/matrix.hpp"
+
+namespace mimdmap {
+
+/// Start/end times of every task on the closure; the paper's i_start[np] /
+/// i_end[np] matrices (Fig. 22-b).
+struct IdealSchedule {
+  std::vector<Weight> start;
+  std::vector<Weight> end;
+  /// max over tasks of end time — the lower bound on total time.
+  Weight lower_bound = 0;
+  /// The paper's "latest tasks": all tasks whose end time equals the lower
+  /// bound (Fig. 6 has two, tasks 9 and 11).
+  std::vector<NodeId> latest_tasks;
+};
+
+/// Computes the ideal schedule for an instance (paper algorithm I/II of
+/// section 4.1).
+[[nodiscard]] IdealSchedule compute_ideal_schedule(const MappingInstance& instance);
+
+/// As above but against an explicit clustered-edge matrix; used internally
+/// and by the criticality oracle, which perturbs single entries.
+[[nodiscard]] IdealSchedule compute_ideal_schedule(const TaskGraph& problem,
+                                                   const Matrix<Weight>& clus_edge);
+
+/// The ideal edge matrix i_edge[np][np] (paper algorithm III, Fig. 22-a):
+/// for every clustered edge (j, i), i_edge[j][i] = i_start[i] - i_end[j].
+/// Entries for absent or intra-cluster edges stay 0. Every entry satisfies
+/// i_edge[j][i] >= clus_edge[j][i] (slack is non-negative).
+[[nodiscard]] Matrix<Weight> ideal_edge_matrix(const TaskGraph& problem,
+                                               const Matrix<Weight>& clus_edge,
+                                               const IdealSchedule& schedule);
+
+}  // namespace mimdmap

@@ -1,0 +1,50 @@
+// Initial assignment (paper section 4.3.2).
+//
+// Greedy three-step construction guided by critical abstract edges:
+//
+//  1. Seed: the abstract node with the maximum critical degree goes onto
+//     the system node with the maximum degree.
+//  2. Critical growth: repeatedly take the unvisited abstract node with the
+//     maximum critical degree that touches a placed node through a critical
+//     abstract edge; put it on an unvisited system node *adjacent* to that
+//     anchor's processor (maximum degree preferred). If no adjacent
+//     processor is free, use the closest free one. Nodes placed adjacently
+//     across a critical edge are marked as *critical abstract nodes*
+//     (paper definition 5) — the refinement stage pins them.
+//  3. Remainder: place the remaining abstract nodes the same way, ranked by
+//     communication intensity mca and anchored through ordinary abstract
+//     edges; no pinning.
+//
+// Where the paper says "select any qualifying node arbitrarily" we take the
+// smallest id, making the construction deterministic.
+//
+// Documented fallbacks for cases the paper leaves open (each exercised by
+// unit tests):
+//  * disconnected critical subgraph / abstract graph: the best-ranked
+//    unvisited abstract node seeds a new region on the best free system
+//    node;
+//  * no critical edges at all: step 2 is empty and nothing is pinned
+//    (the paper's step 1 would pin the seed; definition 5 requires a
+//    critical edge, so we pin the seed only when its critical degree is
+//    positive).
+#pragma once
+
+#include <vector>
+
+#include "core/assignment.hpp"
+#include "core/critical.hpp"
+#include "core/instance.hpp"
+
+namespace mimdmap {
+
+struct InitialAssignmentResult {
+  Assignment assignment;
+  /// pinned[cluster] — true for critical abstract nodes (definition 5);
+  /// the refinement stage never moves them.
+  std::vector<bool> pinned;
+};
+
+[[nodiscard]] InitialAssignmentResult initial_assignment(const MappingInstance& instance,
+                                                         const CriticalInfo& critical);
+
+}  // namespace mimdmap

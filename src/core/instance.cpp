@@ -1,0 +1,30 @@
+#include "core/instance.hpp"
+
+#include <stdexcept>
+
+#include "graph/shortest_paths.hpp"
+
+namespace mimdmap {
+
+MappingInstance::MappingInstance(TaskGraph problem, Clustering clustering, SystemGraph system,
+                                 DistanceModel distance_model)
+    : problem_(std::move(problem)),
+      clustering_(std::move(clustering)),
+      system_(std::move(system)),
+      distance_model_(distance_model) {
+  problem_.validate();
+  system_.validate();
+  if (clustering_.num_tasks() != problem_.node_count()) {
+    throw std::invalid_argument("MappingInstance: clustering covers wrong task count");
+  }
+  if (clustering_.num_clusters() != system_.node_count()) {
+    throw std::invalid_argument(
+        "MappingInstance: cluster count must equal processor count (na == ns)");
+  }
+  abstract_ = AbstractGraph(problem_, clustering_);
+  clus_edge_ = clustered_edge_matrix(problem_, clustering_);
+  hops_ = distance_model_ == DistanceModel::kHops ? all_pairs_hops(system_)
+                                                  : floyd_warshall(system_);
+}
+
+}  // namespace mimdmap

@@ -1,0 +1,72 @@
+// MappingInstance: one complete mapping problem.
+//
+// Bundles the paper's inputs — problem graph Gp, clustering (defining the
+// clustered problem graph Gc and abstract graph Ga), and system graph Gs —
+// together with the derived matrices every algorithm consumes:
+// clus_edge[np][np] (Fig. 19-a) and shortest[ns][ns] (Fig. 21-b).
+//
+// Construction validates the paper's structural preconditions:
+//  * the problem graph is a DAG with positive weights,
+//  * the clustering covers exactly the problem's tasks,
+//  * na == ns ("the second step only deals with graphs having the same
+//    number of nodes", section 1),
+//  * the system graph is connected.
+#pragma once
+
+#include "cluster/abstract_graph.hpp"
+#include "cluster/clustering.hpp"
+#include "graph/matrix.hpp"
+#include "graph/system_graph.hpp"
+#include "graph/task_graph.hpp"
+
+namespace mimdmap {
+
+/// How inter-processor distances are measured.
+enum class DistanceModel {
+  /// Hop counts (the paper's model: a k-hop message costs k * weight).
+  kHops,
+  /// Weighted shortest paths over the link weights (extension for
+  /// heterogeneous interconnects; reduces to kHops on unit links).
+  kWeightedLinks,
+};
+
+class MappingInstance {
+ public:
+  MappingInstance(TaskGraph problem, Clustering clustering, SystemGraph system,
+                  DistanceModel distance_model = DistanceModel::kHops);
+
+  [[nodiscard]] const TaskGraph& problem() const noexcept { return problem_; }
+  [[nodiscard]] const Clustering& clustering() const noexcept { return clustering_; }
+  [[nodiscard]] const SystemGraph& system() const noexcept { return system_; }
+  [[nodiscard]] const AbstractGraph& abstract() const noexcept { return abstract_; }
+
+  /// Clustered-problem-graph edge matrix (paper's clus_edge).
+  [[nodiscard]] const Matrix<Weight>& clus_edge() const noexcept { return clus_edge_; }
+
+  /// All-pairs distances in the system graph (paper's shortest matrix).
+  /// Hop counts under DistanceModel::kHops, weighted path costs under
+  /// kWeightedLinks.
+  [[nodiscard]] const Matrix<Weight>& hops() const noexcept { return hops_; }
+
+  [[nodiscard]] DistanceModel distance_model() const noexcept { return distance_model_; }
+
+  [[nodiscard]] NodeId num_tasks() const noexcept { return problem_.node_count(); }
+  [[nodiscard]] NodeId num_processors() const noexcept { return system_.node_count(); }
+
+  /// Clustered communication weight between two tasks (0 when they share a
+  /// cluster or are not connected).
+  [[nodiscard]] Weight clustered_weight(NodeId from, NodeId to) const {
+    return clus_edge_(idx(from), idx(to));
+  }
+
+ private:
+  TaskGraph problem_;
+  Clustering clustering_;
+  SystemGraph system_;
+  AbstractGraph abstract_;
+  Matrix<Weight> clus_edge_;
+  Matrix<Weight> hops_;
+  DistanceModel distance_model_ = DistanceModel::kHops;
+};
+
+}  // namespace mimdmap

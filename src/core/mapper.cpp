@@ -1,0 +1,32 @@
+#include "core/mapper.hpp"
+
+namespace mimdmap {
+
+std::int64_t MappingReport::percent_over_lower_bound() const {
+  if (lower_bound <= 0) return 0;
+  return (schedule.total_time * 100 + lower_bound / 2) / lower_bound;
+}
+
+MappingReport map_instance(const MappingInstance& instance, const MapperOptions& options) {
+  MappingReport report;
+  report.ideal = compute_ideal_schedule(instance);
+  report.lower_bound = report.ideal.lower_bound;
+  report.critical = find_critical(instance, report.ideal, options.critical);
+
+  const InitialAssignmentResult initial = initial_assignment(instance, report.critical);
+  report.initial_assignment = initial.assignment;
+  report.pinned = initial.pinned;
+  report.initial_total =
+      evaluate(instance, initial.assignment, options.refine.eval).total_time;
+
+  const RefineResult refined = refine(instance, report.ideal, initial, options.refine);
+  report.assignment = refined.assignment;
+  report.schedule = refined.schedule;
+  report.reached_lower_bound = refined.reached_lower_bound;
+  report.terminated_early = refined.terminated_early;
+  report.refinement_trials = refined.trials_used;
+  report.improvements = refined.improvements;
+  return report;
+}
+
+}  // namespace mimdmap

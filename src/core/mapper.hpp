@@ -1,0 +1,59 @@
+// Mapper facade: the complete pipeline of paper Fig. 1.
+//
+//   clustered problem graph + system graph
+//     -> ideal schedule (lower bound)
+//     -> critical problem / abstract edges
+//     -> initial assignment
+//     -> refinement with termination condition
+//     -> final assignment + schedule + diagnostics
+//
+// This is the one-call public entry point used by the examples and the
+// experiment harness.
+#pragma once
+
+#include <cstdint>
+
+#include "core/critical.hpp"
+#include "core/evaluation.hpp"
+#include "core/ideal_graph.hpp"
+#include "core/initial_assignment.hpp"
+#include "core/instance.hpp"
+#include "core/refinement.hpp"
+
+namespace mimdmap {
+
+struct MapperOptions {
+  CriticalOptions critical;
+  RefineOptions refine;
+};
+
+/// Everything the pipeline produced, for inspection and reporting.
+struct MappingReport {
+  IdealSchedule ideal;
+  CriticalInfo critical;
+
+  Assignment initial_assignment;
+  Weight initial_total = 0;
+  std::vector<bool> pinned;
+
+  Assignment assignment;    // final
+  ScheduleResult schedule;  // final
+
+  Weight lower_bound = 0;
+  bool reached_lower_bound = false;
+  bool terminated_early = false;
+  std::int64_t refinement_trials = 0;
+  std::int64_t improvements = 0;
+
+  [[nodiscard]] Weight total_time() const noexcept { return schedule.total_time; }
+
+  /// Total time as percent of the lower bound, rounded to the nearest
+  /// integer — the unit of the paper's Tables 1-3 (100 == optimal).
+  [[nodiscard]] std::int64_t percent_over_lower_bound() const;
+};
+
+/// Runs the full mapping pipeline on an instance.
+[[nodiscard]] MappingReport map_instance(const MappingInstance& instance,
+                                         const MapperOptions& options = {});
+
+}  // namespace mimdmap

@@ -1,0 +1,93 @@
+#include "core/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace mimdmap {
+
+std::vector<std::string> schedule_violations(const MappingInstance& instance,
+                                             const Assignment& assignment,
+                                             const ScheduleResult& schedule,
+                                             const EvalOptions& options) {
+  std::vector<std::string> violations;
+  const auto complain = [&violations](const std::string& what) { violations.push_back(what); };
+
+  const TaskGraph& problem = instance.problem();
+  const NodeId np = problem.node_count();
+  if (schedule.start.size() != idx(np) || schedule.end.size() != idx(np)) {
+    complain("start/end tables have the wrong size");
+    return violations;
+  }
+  if (!assignment.complete() || assignment.size() != instance.num_processors()) {
+    complain("assignment is not a complete bijection");
+    return violations;
+  }
+
+  Weight max_end = 0;
+  for (NodeId v = 0; v < np; ++v) {
+    if (schedule.start[idx(v)] < 0) {
+      complain("task " + std::to_string(v) + " starts before time 0");
+    }
+    if (schedule.end[idx(v)] != schedule.start[idx(v)] + problem.node_weight(v)) {
+      complain("task " + std::to_string(v) + " does not run for exactly its weight");
+    }
+    max_end = std::max(max_end, schedule.end[idx(v)]);
+  }
+  if (schedule.total_time != max_end) {
+    complain("total_time is not the maximum end time");
+  }
+  for (const NodeId v : schedule.latest_tasks) {
+    if (v < 0 || v >= np || schedule.end[idx(v)] != schedule.total_time) {
+      complain("latest_tasks contains a non-latest task");
+      break;
+    }
+  }
+
+  // Precedence + minimum communication.
+  for (const TaskEdge& e : problem.edges()) {
+    Weight comm = 0;
+    const Weight cw = instance.clus_edge()(idx(e.from), idx(e.to));
+    if (cw > 0) {
+      const NodeId pa = assignment.host_of(instance.clustering().cluster_of(e.from));
+      const NodeId pb = assignment.host_of(instance.clustering().cluster_of(e.to));
+      comm = cw * instance.hops()(idx(pa), idx(pb));
+    }
+    if (schedule.start[idx(e.to)] < schedule.end[idx(e.from)] + comm) {
+      std::ostringstream os;
+      os << "edge (" << e.from << "," << e.to << ") violated: start " << schedule.start[idx(e.to)]
+         << " < " << schedule.end[idx(e.from)] << " + " << comm;
+      complain(os.str());
+    }
+  }
+
+  if (options.serialize_within_processor) {
+    // Tasks sharing a processor must not overlap in time.
+    for (NodeId a = 0; a < np; ++a) {
+      for (NodeId b = a + 1; b < np; ++b) {
+        const NodeId pa = assignment.host_of(instance.clustering().cluster_of(a));
+        const NodeId pb = assignment.host_of(instance.clustering().cluster_of(b));
+        if (pa != pb) continue;
+        const bool overlap = schedule.start[idx(a)] < schedule.end[idx(b)] &&
+                             schedule.start[idx(b)] < schedule.end[idx(a)];
+        if (overlap) {
+          complain("tasks " + std::to_string(a) + " and " + std::to_string(b) +
+                   " overlap on processor " + std::to_string(pa));
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+void validate_schedule(const MappingInstance& instance, const Assignment& assignment,
+                       const ScheduleResult& schedule, const EvalOptions& options) {
+  const auto violations = schedule_violations(instance, assignment, schedule, options);
+  if (!violations.empty()) {
+    std::string message = "invalid schedule:";
+    for (const std::string& v : violations) message += "\n  " + v;
+    throw std::logic_error(message);
+  }
+}
+
+}  // namespace mimdmap

@@ -1,0 +1,37 @@
+// Schedule feasibility checking.
+//
+// Independent re-verification of a ScheduleResult against the model's
+// constraints — used by the property tests as an oracle and available to
+// users who build schedules by other means:
+//
+//  * every task runs for exactly its weight,
+//  * no task starts before any predecessor's end plus the *minimum*
+//    communication cost (clustered weight x hop distance; this is
+//    necessary under every supported model, since contention and
+//    serialization only delay),
+//  * total_time and latest_tasks are consistent with the start/end tables,
+//  * under serialize_within_processor, tasks sharing a processor do not
+//    overlap.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/assignment.hpp"
+#include "core/evaluation.hpp"
+#include "core/instance.hpp"
+
+namespace mimdmap {
+
+/// Returns human-readable descriptions of every violated constraint;
+/// empty means the schedule is feasible.
+[[nodiscard]] std::vector<std::string> schedule_violations(const MappingInstance& instance,
+                                                           const Assignment& assignment,
+                                                           const ScheduleResult& schedule,
+                                                           const EvalOptions& options = {});
+
+/// Throws std::logic_error listing the violations, if any.
+void validate_schedule(const MappingInstance& instance, const Assignment& assignment,
+                       const ScheduleResult& schedule, const EvalOptions& options = {});
+
+}  // namespace mimdmap

@@ -1,0 +1,81 @@
+// Dense row-major matrix.
+//
+// The paper's internal representation (section 3) is matrix based:
+// prob_edge[np][np], clus_edge[np][np], i_edge[np][np], comm[np][np],
+// sys_edge[ns][ns], shortest[ns][ns], c_abs_edge[na][na+1]. Matrix<T> is the
+// common substrate for all of them.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace mimdmap {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, every element initialised to `init`.
+  Matrix(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  /// Square n x n matrix.
+  static Matrix square(std::size_t n, T init = T{}) { return Matrix(n, n, init); }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  /// Unchecked-in-release element access (asserted in debug builds).
+  [[nodiscard]] T& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const T& operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Checked element access.
+  [[nodiscard]] T& at(std::size_t r, std::size_t c) {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const T& at(std::size_t r, std::size_t c) const {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+
+  /// Contiguous view of one row.
+  [[nodiscard]] std::span<T> row(std::size_t r) {
+    check(r, 0);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const T> row(std::size_t r) const {
+    check(r, 0);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  void fill(const T& value) { data_.assign(data_.size(), value); }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  void check(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || (cols_ > 0 && c >= cols_)) {
+      throw std::out_of_range("Matrix index out of range");
+    }
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace mimdmap

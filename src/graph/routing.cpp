@@ -1,0 +1,63 @@
+#include "graph/routing.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace mimdmap {
+
+RoutingTable::RoutingTable(const SystemGraph& g)
+    : n_(g.node_count()),
+      link_count_(g.link_count()),
+      dist_(idx(n_), idx(n_), kUnreachable),
+      parent_(idx(n_), idx(n_), NodeId{-1}),
+      link_index_(idx(n_), idx(n_), std::int32_t{-1}) {
+  for (std::size_t i = 0; i < g.links().size(); ++i) {
+    const SystemLink& l = g.links()[i];
+    link_index_(idx(l.a), idx(l.b)) = static_cast<std::int32_t>(i);
+    link_index_(idx(l.b), idx(l.a)) = static_cast<std::int32_t>(i);
+  }
+
+  // Sorted adjacency gives smallest-id tie-breaking and thus one canonical
+  // BFS tree per source.
+  std::vector<std::vector<NodeId>> sorted_adj(idx(n_));
+  for (NodeId v = 0; v < n_; ++v) {
+    for (const auto& [nb, w] : g.neighbors(v)) sorted_adj[idx(v)].push_back(nb);
+    std::sort(sorted_adj[idx(v)].begin(), sorted_adj[idx(v)].end());
+  }
+
+  for (NodeId src = 0; src < n_; ++src) {
+    std::queue<NodeId> q;
+    dist_(idx(src), idx(src)) = 0;
+    q.push(src);
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      for (const NodeId nb : sorted_adj[idx(v)]) {
+        if (dist_(idx(src), idx(nb)) == kUnreachable) {
+          dist_(idx(src), idx(nb)) = dist_(idx(src), idx(v)) + 1;
+          parent_(idx(src), idx(nb)) = v;
+          q.push(nb);
+        }
+      }
+    }
+    for (NodeId v = 0; v < n_; ++v) {
+      if (dist_(idx(src), idx(v)) == kUnreachable) {
+        throw std::invalid_argument("RoutingTable: system graph is disconnected");
+      }
+    }
+  }
+}
+
+std::vector<NodeId> RoutingTable::route(NodeId from, NodeId to) const {
+  if (from < 0 || from >= n_ || to < 0 || to >= n_) {
+    throw std::out_of_range("RoutingTable::route: node out of range");
+  }
+  std::vector<NodeId> nodes;
+  for (NodeId v = to; v != from; v = parent_(idx(from), idx(v))) nodes.push_back(v);
+  nodes.push_back(from);
+  std::reverse(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+}  // namespace mimdmap

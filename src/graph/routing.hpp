@@ -1,0 +1,54 @@
+// Deterministic shortest-path routing over a system graph.
+//
+// The paper's cost model only needs hop *counts* (section 4.3.4); the
+// contention-aware evaluation extension additionally needs the concrete
+// links a message crosses. RoutingTable fixes one shortest route per
+// ordered processor pair — BFS trees with smallest-id tie-breaking, so
+// routes are platform-independent and stable across runs (the analogue of
+// deterministic e-cube/XY routing on regular topologies).
+#pragma once
+
+#include <vector>
+
+#include "graph/matrix.hpp"
+#include "graph/system_graph.hpp"
+#include "graph/types.hpp"
+
+namespace mimdmap {
+
+class RoutingTable {
+ public:
+  /// Precomputes BFS parents from every source. Throws
+  /// std::invalid_argument if the graph is disconnected.
+  explicit RoutingTable(const SystemGraph& g);
+
+  [[nodiscard]] NodeId node_count() const noexcept { return n_; }
+
+  /// Hop distance (same values as all_pairs_hops).
+  [[nodiscard]] Weight hops(NodeId from, NodeId to) const {
+    return dist_(idx(from), idx(to));
+  }
+
+  /// The fixed route from -> to as a node sequence including both
+  /// endpoints; a single-element sequence when from == to.
+  [[nodiscard]] std::vector<NodeId> route(NodeId from, NodeId to) const;
+
+  /// Index of the undirected link {a, b} in SystemGraph::links();
+  /// -1 when the processors are not adjacent.
+  [[nodiscard]] std::int32_t link_index(NodeId a, NodeId b) const {
+    return link_index_(idx(a), idx(b));
+  }
+
+  /// Number of links (valid link indices are [0, link_count)).
+  [[nodiscard]] std::size_t link_count() const noexcept { return link_count_; }
+
+ private:
+  NodeId n_ = 0;
+  std::size_t link_count_ = 0;
+  Matrix<Weight> dist_;
+  // parent_(src, v): predecessor of v on the fixed shortest path from src.
+  Matrix<NodeId> parent_;
+  Matrix<std::int32_t> link_index_;
+};
+
+}  // namespace mimdmap

@@ -1,0 +1,116 @@
+#include "graph/shortest_paths.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace mimdmap {
+
+std::vector<Weight> bfs_hops(const SystemGraph& g, NodeId src) {
+  const NodeId n = g.node_count();
+  if (src < 0 || src >= n) throw std::out_of_range("bfs_hops: source out of range");
+  std::vector<Weight> dist(idx(n), kUnreachable);
+  std::queue<NodeId> q;
+  dist[idx(src)] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (const auto& [nb, w] : g.neighbors(v)) {
+      if (dist[idx(nb)] == kUnreachable) {
+        dist[idx(nb)] = dist[idx(v)] + 1;
+        q.push(nb);
+      }
+    }
+  }
+  return dist;
+}
+
+Matrix<Weight> all_pairs_hops(const SystemGraph& g) {
+  const NodeId n = g.node_count();
+  auto m = Matrix<Weight>::square(idx(n), 0);
+  for (NodeId s = 0; s < n; ++s) {
+    const auto dist = bfs_hops(g, s);
+    for (NodeId t = 0; t < n; ++t) {
+      if (dist[idx(t)] == kUnreachable) {
+        throw std::invalid_argument("all_pairs_hops: system graph is disconnected");
+      }
+      m(idx(s), idx(t)) = dist[idx(t)];
+    }
+  }
+  return m;
+}
+
+std::vector<Weight> dijkstra(const SystemGraph& g, NodeId src) {
+  const NodeId n = g.node_count();
+  if (src < 0 || src >= n) throw std::out_of_range("dijkstra: source out of range");
+  std::vector<Weight> dist(idx(n), kUnreachable);
+  using Item = std::pair<Weight, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[idx(src)] = 0;
+  heap.emplace(0, src);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[idx(v)]) continue;
+    for (const auto& [nb, w] : g.neighbors(v)) {
+      const Weight nd = d + w;
+      if (nd < dist[idx(nb)]) {
+        dist[idx(nb)] = nd;
+        heap.emplace(nd, nb);
+      }
+    }
+  }
+  return dist;
+}
+
+Matrix<Weight> floyd_warshall(const SystemGraph& g) {
+  const std::size_t n = idx(g.node_count());
+  Matrix<Weight> d(n, n, kUnreachable);
+  for (std::size_t v = 0; v < n; ++v) d(v, v) = 0;
+  for (const SystemLink& l : g.links()) {
+    d(idx(l.a), idx(l.b)) = std::min(d(idx(l.a), idx(l.b)), l.weight);
+    d(idx(l.b), idx(l.a)) = std::min(d(idx(l.b), idx(l.a)), l.weight);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (d(i, k) == kUnreachable) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (d(k, j) == kUnreachable) continue;
+        d(i, j) = std::min(d(i, j), d(i, k) + d(k, j));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (d(i, j) == kUnreachable) {
+        throw std::invalid_argument("floyd_warshall: system graph is disconnected");
+      }
+    }
+  }
+  return d;
+}
+
+Weight diameter(const SystemGraph& g) {
+  const auto m = all_pairs_hops(g);
+  Weight best = 0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) best = std::max(best, m(i, j));
+  }
+  return best;
+}
+
+Weight mean_distance_milli(const SystemGraph& g) {
+  const auto m = all_pairs_hops(g);
+  const std::size_t n = m.rows();
+  if (n < 2) return 0;
+  Weight sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) sum += m(i, j);
+    }
+  }
+  return sum * 1000 / static_cast<Weight>(n * (n - 1));
+}
+
+}  // namespace mimdmap

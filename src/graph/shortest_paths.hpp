@@ -1,0 +1,40 @@
+// All-pairs shortest paths over system graphs.
+//
+// The paper's evaluation model (section 4.3.4, algorithm I) multiplies each
+// clustered-edge weight by the *number of system edges on the shortest path*
+// between the two hosting processors — the shortest[ns][ns] matrix of
+// Fig. 21-b. For unit links that is plain BFS; Dijkstra and Floyd-Warshall
+// support the weighted-link extension.
+#pragma once
+
+#include <vector>
+
+#include "graph/matrix.hpp"
+#include "graph/system_graph.hpp"
+#include "graph/types.hpp"
+
+namespace mimdmap {
+
+/// Hop distances from src (ignores link weights). Unreachable nodes get
+/// kUnreachable.
+[[nodiscard]] std::vector<Weight> bfs_hops(const SystemGraph& g, NodeId src);
+
+/// All-pairs hop-count matrix — the paper's shortest[ns][ns]. Throws
+/// std::invalid_argument if the graph is disconnected.
+[[nodiscard]] Matrix<Weight> all_pairs_hops(const SystemGraph& g);
+
+/// Weighted single-source shortest path costs (binary-heap Dijkstra).
+[[nodiscard]] std::vector<Weight> dijkstra(const SystemGraph& g, NodeId src);
+
+/// All-pairs weighted shortest path costs via Floyd-Warshall. Throws
+/// std::invalid_argument if the graph is disconnected.
+[[nodiscard]] Matrix<Weight> floyd_warshall(const SystemGraph& g);
+
+/// Longest shortest-path (hop) distance — the topology diameter.
+[[nodiscard]] Weight diameter(const SystemGraph& g);
+
+/// Mean hop distance over all ordered pairs of distinct nodes (x1000,
+/// returned as integer thousandths to keep the library integer-only).
+[[nodiscard]] Weight mean_distance_milli(const SystemGraph& g);
+
+}  // namespace mimdmap

@@ -1,0 +1,107 @@
+#include "graph/system_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace mimdmap {
+
+SystemGraph::SystemGraph(NodeId n, std::string name) : name_(std::move(name)) {
+  if (n < 0) throw std::invalid_argument("SystemGraph: negative node count");
+  adj_.resize(idx(n));
+}
+
+void SystemGraph::add_link(NodeId a, NodeId b, Weight w) {
+  check_node(a);
+  check_node(b);
+  if (a == b) throw std::invalid_argument("SystemGraph: self loop");
+  if (w <= 0) throw std::invalid_argument("SystemGraph: link weight must be positive");
+  if (has_link(a, b)) {
+    throw std::invalid_argument("SystemGraph: duplicate link (" + std::to_string(a) + "," +
+                                std::to_string(b) + ")");
+  }
+  adj_[idx(a)].emplace_back(b, w);
+  adj_[idx(b)].emplace_back(a, w);
+  links_.push_back(SystemLink{std::min(a, b), std::max(a, b), w});
+}
+
+bool SystemGraph::has_link(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  for (const auto& [nb, w] : adj_[idx(a)]) {
+    if (nb == b) return true;
+  }
+  return false;
+}
+
+Weight SystemGraph::link_weight(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  for (const auto& [nb, w] : adj_[idx(a)]) {
+    if (nb == b) return w;
+  }
+  return 0;
+}
+
+std::vector<NodeId> SystemGraph::degrees() const {
+  std::vector<NodeId> d(idx(node_count()));
+  for (NodeId v = 0; v < node_count(); ++v) d[idx(v)] = degree(v);
+  return d;
+}
+
+NodeId SystemGraph::max_degree() const {
+  NodeId best = 0;
+  for (NodeId v = 0; v < node_count(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+bool SystemGraph::is_connected() const {
+  const NodeId n = node_count();
+  if (n == 0) return true;
+  std::vector<char> seen(idx(n), 0);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = 1;
+  NodeId reached = 1;
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (const auto& [nb, w] : adj_[idx(v)]) {
+      if (!seen[idx(nb)]) {
+        seen[idx(nb)] = 1;
+        ++reached;
+        q.push(nb);
+      }
+    }
+  }
+  return reached == n;
+}
+
+Matrix<Weight> SystemGraph::adjacency_matrix() const {
+  auto m = Matrix<Weight>::square(idx(node_count()), 0);
+  for (const SystemLink& l : links_) {
+    m(idx(l.a), idx(l.b)) = l.weight;
+    m(idx(l.b), idx(l.a)) = l.weight;
+  }
+  return m;
+}
+
+SystemGraph SystemGraph::closure() const {
+  SystemGraph c(node_count(), name_ + "-closure");
+  for (NodeId a = 0; a < node_count(); ++a) {
+    for (NodeId b = a + 1; b < node_count(); ++b) c.add_link(a, b, 1);
+  }
+  return c;
+}
+
+void SystemGraph::validate() const {
+  if (!is_connected()) throw std::invalid_argument("SystemGraph: not connected");
+}
+
+void SystemGraph::check_node(NodeId v) const {
+  if (v < 0 || idx(v) >= adj_.size()) {
+    throw std::out_of_range("SystemGraph: node id " + std::to_string(v) + " out of range");
+  }
+}
+
+}  // namespace mimdmap

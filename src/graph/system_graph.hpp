@@ -1,0 +1,91 @@
+// SystemGraph: the paper's *system graph* Gs = {Vs, Es} (section 2.1,
+// Fig. 5-a) — the interconnection topology of a parallel machine with
+// homogeneous processing elements.
+//
+// Links are undirected. By default every link has unit cost (the paper's
+// model: a message over k hops costs k times its weight, section 4.3.4);
+// per-link weights are supported as an extension for heterogeneous
+// interconnects (used with the Dijkstra/Floyd-Warshall path routines).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/matrix.hpp"
+#include "graph/types.hpp"
+
+namespace mimdmap {
+
+/// One undirected, weighted link of a SystemGraph (stored once with
+/// from < to).
+struct SystemLink {
+  NodeId a = 0;
+  NodeId b = 0;
+  Weight weight = 1;
+
+  friend bool operator==(const SystemLink&, const SystemLink&) = default;
+};
+
+class SystemGraph {
+ public:
+  SystemGraph() = default;
+
+  /// Creates `n` processors with no links.
+  explicit SystemGraph(NodeId n, std::string name = "custom");
+
+  [[nodiscard]] NodeId node_count() const noexcept { return node_id(adj_.size()); }
+  [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
+
+  /// Human-readable topology name ("hypercube-3", "mesh-4x4", ...). Set by
+  /// the topology factory; purely informational.
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Adds an undirected link {a, b} with the given cost (default 1 hop).
+  /// Throws std::invalid_argument on self loops, duplicates, or w <= 0.
+  void add_link(NodeId a, NodeId b, Weight w = 1);
+
+  [[nodiscard]] bool has_link(NodeId a, NodeId b) const;
+  /// Link cost; 0 when the link does not exist (paper's sys_edge matrix
+  /// convention, Fig. 21-a).
+  [[nodiscard]] Weight link_weight(NodeId a, NodeId b) const;
+
+  /// Neighbours of v with link weights.
+  [[nodiscard]] const std::vector<std::pair<NodeId, Weight>>& neighbors(NodeId v) const {
+    return adj_.at(idx(v));
+  }
+
+  /// All links (a < b) in insertion order.
+  [[nodiscard]] const std::vector<SystemLink>& links() const noexcept { return links_; }
+
+  /// Node degree — the paper's deg[ns] matrix (Fig. 21-c).
+  [[nodiscard]] NodeId degree(NodeId v) const { return node_id(adj_.at(idx(v)).size()); }
+  [[nodiscard]] std::vector<NodeId> degrees() const;
+  [[nodiscard]] NodeId max_degree() const;
+
+  /// True iff every processor can reach every other.
+  [[nodiscard]] bool is_connected() const;
+
+  /// Dense ns x ns adjacency matrix — the paper's sys_edge[ns][ns].
+  [[nodiscard]] Matrix<Weight> adjacency_matrix() const;
+
+  /// The fully connected *closure* of this graph (paper Fig. 5-b): same
+  /// nodes, a unit link between every pair. Used to define the ideal graph.
+  [[nodiscard]] SystemGraph closure() const;
+
+  /// Throws std::invalid_argument unless the graph is connected — every
+  /// mapping routine requires connectivity.
+  void validate() const;
+
+  friend bool operator==(const SystemGraph&, const SystemGraph&) = default;
+
+ private:
+  void check_node(NodeId v) const;
+
+  std::string name_ = "custom";
+  std::vector<std::vector<std::pair<NodeId, Weight>>> adj_;
+  std::vector<SystemLink> links_;
+};
+
+}  // namespace mimdmap

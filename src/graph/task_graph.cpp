@@ -1,0 +1,91 @@
+#include "graph/task_graph.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "graph/topological.hpp"
+
+namespace mimdmap {
+
+TaskGraph::TaskGraph(NodeId n) {
+  if (n < 0) throw std::invalid_argument("TaskGraph: negative node count");
+  weights_.assign(idx(n), Weight{1});
+  out_.resize(idx(n));
+  in_.resize(idx(n));
+}
+
+NodeId TaskGraph::add_node(Weight exec_time) {
+  if (exec_time <= 0) throw std::invalid_argument("TaskGraph: task weight must be positive");
+  weights_.push_back(exec_time);
+  out_.emplace_back();
+  in_.emplace_back();
+  return node_id(weights_.size() - 1);
+}
+
+void TaskGraph::set_node_weight(NodeId v, Weight exec_time) {
+  check_node(v);
+  if (exec_time <= 0) throw std::invalid_argument("TaskGraph: task weight must be positive");
+  weights_[idx(v)] = exec_time;
+}
+
+void TaskGraph::add_edge(NodeId from, NodeId to, Weight w) {
+  check_node(from);
+  check_node(to);
+  if (from == to) throw std::invalid_argument("TaskGraph: self loop");
+  if (w <= 0) throw std::invalid_argument("TaskGraph: edge weight must be positive");
+  if (has_edge(from, to)) {
+    throw std::invalid_argument("TaskGraph: duplicate edge (" + std::to_string(from) + "," +
+                                std::to_string(to) + ")");
+  }
+  out_[idx(from)].emplace_back(to, w);
+  in_[idx(to)].emplace_back(from, w);
+  edges_.push_back(TaskEdge{from, to, w});
+}
+
+bool TaskGraph::has_edge(NodeId from, NodeId to) const {
+  check_node(from);
+  check_node(to);
+  for (const auto& [succ, w] : out_[idx(from)]) {
+    if (succ == to) return true;
+  }
+  return false;
+}
+
+Weight TaskGraph::edge_weight(NodeId from, NodeId to) const {
+  check_node(from);
+  check_node(to);
+  for (const auto& [succ, w] : out_[idx(from)]) {
+    if (succ == to) return w;
+  }
+  return 0;
+}
+
+Matrix<Weight> TaskGraph::edge_matrix() const {
+  auto m = Matrix<Weight>::square(idx(node_count()), 0);
+  for (const TaskEdge& e : edges_) m(idx(e.from), idx(e.to)) = e.weight;
+  return m;
+}
+
+Weight TaskGraph::total_work() const {
+  Weight sum = 0;
+  for (Weight w : weights_) sum += w;
+  return sum;
+}
+
+Weight TaskGraph::total_traffic() const {
+  Weight sum = 0;
+  for (const TaskEdge& e : edges_) sum += e.weight;
+  return sum;
+}
+
+void TaskGraph::validate() const {
+  if (!is_dag(*this)) throw std::invalid_argument("TaskGraph: cycle detected");
+}
+
+void TaskGraph::check_node(NodeId v) const {
+  if (v < 0 || idx(v) >= weights_.size()) {
+    throw std::out_of_range("TaskGraph: node id " + std::to_string(v) + " out of range");
+  }
+}
+
+}  // namespace mimdmap

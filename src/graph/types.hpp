@@ -1,0 +1,41 @@
+// Fundamental identifier and weight types shared by every mimdmap module.
+//
+// The paper (Yang/Bic/Nicolau, ICPP'91) measures task execution times and
+// communication times in integral "time units" (section 2.1); we follow that
+// model with 64-bit integers so that perturbation-based test oracles can
+// rescale weights without overflow.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace mimdmap {
+
+/// Identifier of a node in any of the paper's five graphs (problem,
+/// clustered, abstract, ideal, system). 0-based; the paper numbers tasks
+/// from 1, so figure reconstructions subtract one.
+using NodeId = std::int32_t;
+
+/// Execution or communication time measured in the paper's integral
+/// "time units". Also used for hop counts and path lengths.
+using Weight = std::int64_t;
+
+/// Sentinel for "no value yet" in start/end-time tables.
+inline constexpr Weight kUnknownTime = std::numeric_limits<Weight>::min();
+
+/// Sentinel distance for unreachable node pairs.
+inline constexpr Weight kUnreachable = std::numeric_limits<Weight>::max();
+
+/// Converts a node id to a container index. Centralised so that the
+/// (checked) narrowing cast appears exactly once.
+[[nodiscard]] constexpr std::size_t idx(NodeId v) noexcept {
+  return static_cast<std::size_t>(v);
+}
+
+/// Converts a container size/index back to a NodeId.
+[[nodiscard]] constexpr NodeId node_id(std::size_t i) noexcept {
+  return static_cast<NodeId>(i);
+}
+
+}  // namespace mimdmap

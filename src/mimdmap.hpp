@@ -1,0 +1,46 @@
+// Umbrella header: pulls in the entire mimdmap public API.
+//
+// Fine-grained headers remain the recommended include style inside larger
+// projects; this header is for quick starts and example code.
+#pragma once
+
+#include "analysis/chart.hpp"        // IWYU pragma: export
+#include "analysis/experiment.hpp"   // IWYU pragma: export
+#include "analysis/gantt.hpp"        // IWYU pragma: export
+#include "analysis/metrics.hpp"      // IWYU pragma: export
+#include "analysis/stats.hpp"        // IWYU pragma: export
+#include "analysis/table.hpp"        // IWYU pragma: export
+#include "baseline/annealing.hpp"    // IWYU pragma: export
+#include "baseline/bokhari.hpp"      // IWYU pragma: export
+#include "baseline/exhaustive.hpp"   // IWYU pragma: export
+#include "baseline/lee.hpp"          // IWYU pragma: export
+#include "baseline/pairwise.hpp"     // IWYU pragma: export
+#include "baseline/random_mapping.hpp"  // IWYU pragma: export
+#include "cli/commands.hpp"          // IWYU pragma: export
+#include "cli/flags.hpp"             // IWYU pragma: export
+#include "cluster/abstract_graph.hpp"   // IWYU pragma: export
+#include "cluster/cluster_io.hpp"    // IWYU pragma: export
+#include "cluster/clustering.hpp"    // IWYU pragma: export
+#include "cluster/strategies.hpp"    // IWYU pragma: export
+#include "core/assignment.hpp"       // IWYU pragma: export
+#include "core/critical.hpp"         // IWYU pragma: export
+#include "core/evaluation.hpp"       // IWYU pragma: export
+#include "core/ideal_graph.hpp"      // IWYU pragma: export
+#include "core/initial_assignment.hpp"  // IWYU pragma: export
+#include "core/instance.hpp"         // IWYU pragma: export
+#include "core/mapper.hpp"           // IWYU pragma: export
+#include "core/refinement.hpp"       // IWYU pragma: export
+#include "core/validate.hpp"         // IWYU pragma: export
+#include "graph/graph_io.hpp"        // IWYU pragma: export
+#include "graph/matrix.hpp"          // IWYU pragma: export
+#include "graph/routing.hpp"         // IWYU pragma: export
+#include "graph/shortest_paths.hpp"  // IWYU pragma: export
+#include "graph/system_graph.hpp"    // IWYU pragma: export
+#include "graph/task_graph.hpp"      // IWYU pragma: export
+#include "graph/topological.hpp"     // IWYU pragma: export
+#include "graph/types.hpp"           // IWYU pragma: export
+#include "topology/factory.hpp"      // IWYU pragma: export
+#include "topology/topology.hpp"     // IWYU pragma: export
+#include "workload/random_dag.hpp"   // IWYU pragma: export
+#include "workload/rng.hpp"          // IWYU pragma: export
+#include "workload/structured.hpp"   // IWYU pragma: export

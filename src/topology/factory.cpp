@@ -1,0 +1,123 @@
+#include "topology/factory.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "topology/topology.hpp"
+
+namespace mimdmap {
+namespace {
+
+[[noreturn]] void fail(const std::string& spec, const std::string& why) {
+  throw std::invalid_argument("make_topology: bad spec '" + spec + "': " + why);
+}
+
+/// Splits "a-b-c" into {"a", "b", "c"}.
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::int64_t parse_int(const std::string& spec, const std::string& token) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    fail(spec, "'" + token + "' is not an integer");
+  }
+  return value;
+}
+
+/// Parses "RxC" into two integers.
+std::pair<NodeId, NodeId> parse_dims(const std::string& spec, const std::string& token) {
+  const auto x = token.find('x');
+  if (x == std::string::npos) fail(spec, "expected '<rows>x<cols>', got '" + token + "'");
+  return {static_cast<NodeId>(parse_int(spec, token.substr(0, x))),
+          static_cast<NodeId>(parse_int(spec, token.substr(x + 1)))};
+}
+
+}  // namespace
+
+SystemGraph make_topology(const std::string& spec) {
+  const auto parts = split(spec, '-');
+  const std::string& family = parts[0];
+  const std::size_t args = parts.size() - 1;
+
+  if (family == "hypercube" && args == 1) {
+    return make_hypercube(static_cast<NodeId>(parse_int(spec, parts[1])));
+  }
+  if (family == "mesh" && args == 1) {
+    const auto [r, c] = parse_dims(spec, parts[1]);
+    return make_mesh(r, c);
+  }
+  if (family == "torus" && args == 1) {
+    const auto [r, c] = parse_dims(spec, parts[1]);
+    return make_torus(r, c);
+  }
+  if (family == "ring" && args == 1) {
+    return make_ring(static_cast<NodeId>(parse_int(spec, parts[1])));
+  }
+  if (family == "star" && args == 1) {
+    return make_star(static_cast<NodeId>(parse_int(spec, parts[1])));
+  }
+  if (family == "chain" && args == 1) {
+    return make_chain(static_cast<NodeId>(parse_int(spec, parts[1])));
+  }
+  if (family == "complete" && args == 1) {
+    return make_complete(static_cast<NodeId>(parse_int(spec, parts[1])));
+  }
+  if (family == "tree" && args == 1) {
+    const auto [depth, branching] = parse_dims(spec, parts[1]);
+    return make_balanced_tree(depth, branching);
+  }
+  if (family == "random" && args == 3) {
+    const auto n = static_cast<NodeId>(parse_int(spec, parts[1]));
+    const auto percent = parse_int(spec, parts[2]);
+    const auto seed = static_cast<std::uint64_t>(parse_int(spec, parts[3]));
+    if (percent < 0 || percent > 100) fail(spec, "probability percent must be in [0, 100]");
+    return make_random_connected(n, static_cast<double>(percent) / 100.0, seed);
+  }
+  if (family == "mesh3d" && args == 1) {
+    const auto first = parts[1].find('x');
+    const auto second = parts[1].find('x', first == std::string::npos ? 0 : first + 1);
+    if (first == std::string::npos || second == std::string::npos) {
+      fail(spec, "expected '<x>x<y>x<z>'");
+    }
+    return make_mesh3d(
+        static_cast<NodeId>(parse_int(spec, parts[1].substr(0, first))),
+        static_cast<NodeId>(parse_int(spec, parts[1].substr(first + 1, second - first - 1))),
+        static_cast<NodeId>(parse_int(spec, parts[1].substr(second + 1))));
+  }
+  if (family == "debruijn" && args == 1) {
+    return make_de_bruijn(static_cast<NodeId>(parse_int(spec, parts[1])));
+  }
+  if (family == "ccc" && args == 1) {
+    return make_cube_connected_cycles(static_cast<NodeId>(parse_int(spec, parts[1])));
+  }
+  if (family == "chordal" && args == 2) {
+    return make_chordal_ring(static_cast<NodeId>(parse_int(spec, parts[1])),
+                             static_cast<NodeId>(parse_int(spec, parts[2])));
+  }
+  if (family == "bipartite" && args == 1) {
+    const auto [a, b] = parse_dims(spec, parts[1]);
+    return make_complete_bipartite(a, b);
+  }
+  fail(spec, "unknown family or wrong argument count");
+}
+
+std::vector<std::string> topology_families() {
+  return {"hypercube-D", "mesh-RxC",   "torus-RxC",  "ring-N",
+          "star-N",      "chain-N",    "complete-N", "tree-DxB",
+          "random-N-PCT-SEED",         "mesh3d-XxYxZ",
+          "debruijn-D",  "ccc-D",      "chordal-N-C", "bipartite-AxB"};
+}
+
+}  // namespace mimdmap

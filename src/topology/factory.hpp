@@ -1,0 +1,32 @@
+// String-spec topology factory.
+//
+// Benches and examples accept topology specs on the command line; the
+// factory turns a spec into a SystemGraph:
+//
+//   "hypercube-3"        2^3-node hypercube
+//   "mesh-4x5"           4 x 5 mesh
+//   "torus-3x3"          3 x 3 torus
+//   "ring-8"             8-node ring
+//   "star-8"             8-node star
+//   "chain-6"            6-node chain
+//   "complete-6"         fully connected, 6 nodes
+//   "tree-2x3"           balanced tree, depth 2, branching 3
+//   "random-16-25-42"    16 nodes, extra-edge probability 25%, seed 42
+//                        (probability given as integer percent)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/system_graph.hpp"
+
+namespace mimdmap {
+
+/// Builds the topology described by `spec`; throws std::invalid_argument
+/// with a descriptive message on malformed specs.
+[[nodiscard]] SystemGraph make_topology(const std::string& spec);
+
+/// Names of all supported topology families (for --help output).
+[[nodiscard]] std::vector<std::string> topology_families();
+
+}  // namespace mimdmap

@@ -1,0 +1,206 @@
+#include "topology/topology.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "workload/rng.hpp"
+
+namespace mimdmap {
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(std::string("topology: ") + what);
+}
+
+}  // namespace
+
+SystemGraph make_hypercube(NodeId dim) {
+  require(dim >= 0 && dim < 20, "hypercube dimension must be in [0, 20)");
+  const NodeId n = NodeId{1} << dim;
+  SystemGraph g(n, "hypercube-" + std::to_string(dim));
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId b = 0; b < dim; ++b) {
+      const NodeId u = v ^ (NodeId{1} << b);
+      if (v < u) g.add_link(v, u);
+    }
+  }
+  return g;
+}
+
+SystemGraph make_mesh(NodeId rows, NodeId cols) {
+  require(rows > 0 && cols > 0, "mesh dimensions must be positive");
+  SystemGraph g(rows * cols, "mesh-" + std::to_string(rows) + "x" + std::to_string(cols));
+  const auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (r + 1 < rows) g.add_link(id(r, c), id(r + 1, c));
+      if (c + 1 < cols) g.add_link(id(r, c), id(r, c + 1));
+    }
+  }
+  return g;
+}
+
+SystemGraph make_torus(NodeId rows, NodeId cols) {
+  require(rows > 0 && cols > 0, "torus dimensions must be positive");
+  SystemGraph g(rows * cols, "torus-" + std::to_string(rows) + "x" + std::to_string(cols));
+  const auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      const NodeId down = id((r + 1) % rows, c);
+      const NodeId right = id(r, (c + 1) % cols);
+      if (!g.has_link(id(r, c), down)) g.add_link(id(r, c), down);
+      if (!g.has_link(id(r, c), right)) g.add_link(id(r, c), right);
+    }
+  }
+  return g;
+}
+
+SystemGraph make_ring(NodeId n) {
+  require(n >= 3, "ring needs at least 3 nodes");
+  SystemGraph g(n, "ring-" + std::to_string(n));
+  for (NodeId v = 0; v < n; ++v) g.add_link(v, (v + 1) % n);
+  return g;
+}
+
+SystemGraph make_star(NodeId n) {
+  require(n >= 2, "star needs at least 2 nodes");
+  SystemGraph g(n, "star-" + std::to_string(n));
+  for (NodeId v = 1; v < n; ++v) g.add_link(0, v);
+  return g;
+}
+
+SystemGraph make_complete(NodeId n) {
+  require(n >= 1, "complete graph needs at least 1 node");
+  SystemGraph g(n, "complete-" + std::to_string(n));
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) g.add_link(a, b);
+  }
+  return g;
+}
+
+SystemGraph make_chain(NodeId n) {
+  require(n >= 1, "chain needs at least 1 node");
+  SystemGraph g(n, "chain-" + std::to_string(n));
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_link(v, v + 1);
+  return g;
+}
+
+SystemGraph make_balanced_tree(NodeId depth, NodeId branching) {
+  require(depth >= 0, "tree depth must be non-negative");
+  require(branching >= 1, "tree branching must be positive");
+  // Count nodes: 1 + b + b^2 + ... + b^depth.
+  NodeId n = 1;
+  NodeId level_size = 1;
+  for (NodeId d = 0; d < depth; ++d) {
+    level_size *= branching;
+    n += level_size;
+  }
+  SystemGraph g(n, "tree-" + std::to_string(depth) + "x" + std::to_string(branching));
+  // Children of node v are v*b+1 .. v*b+b in BFS numbering.
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId c = 0; c < branching; ++c) {
+      const NodeId child = v * branching + 1 + c;
+      if (child < n) g.add_link(v, child);
+    }
+  }
+  return g;
+}
+
+SystemGraph make_random_connected(NodeId n, double extra_edge_probability, std::uint64_t seed) {
+  require(n >= 1, "random topology needs at least 1 node");
+  require(extra_edge_probability >= 0.0 && extra_edge_probability <= 1.0,
+          "edge probability must be in [0, 1]");
+  Rng rng(seed);
+  SystemGraph g(n, "random-" + std::to_string(n));
+  // Random spanning tree: attach each node (in random order) to a random
+  // already-attached node.
+  const std::vector<NodeId> order = rng.permutation(n);
+  for (NodeId i = 1; i < n; ++i) {
+    const auto j = static_cast<std::size_t>(rng.uniform(0, i - 1));
+    g.add_link(order[idx(i)], order[j]);
+  }
+  // Sprinkle extra links.
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      if (!g.has_link(a, b) && rng.bernoulli(extra_edge_probability)) g.add_link(a, b);
+    }
+  }
+  return g;
+}
+
+SystemGraph make_mesh3d(NodeId x, NodeId y, NodeId z) {
+  require(x > 0 && y > 0 && z > 0, "3-D mesh dimensions must be positive");
+  SystemGraph g(x * y * z, "mesh3d-" + std::to_string(x) + "x" + std::to_string(y) + "x" +
+                               std::to_string(z));
+  const auto id = [y, z](NodeId i, NodeId j, NodeId k) { return (i * y + j) * z + k; };
+  for (NodeId i = 0; i < x; ++i) {
+    for (NodeId j = 0; j < y; ++j) {
+      for (NodeId k = 0; k < z; ++k) {
+        if (i + 1 < x) g.add_link(id(i, j, k), id(i + 1, j, k));
+        if (j + 1 < y) g.add_link(id(i, j, k), id(i, j + 1, k));
+        if (k + 1 < z) g.add_link(id(i, j, k), id(i, j, k + 1));
+      }
+    }
+  }
+  return g;
+}
+
+SystemGraph make_de_bruijn(NodeId dim) {
+  require(dim >= 1 && dim < 20, "de Bruijn dimension must be in [1, 20)");
+  const NodeId n = NodeId{1} << dim;
+  SystemGraph g(n, "debruijn-" + std::to_string(dim));
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId bit = 0; bit <= 1; ++bit) {
+      const NodeId u = (2 * v + bit) % n;
+      if (u != v && !g.has_link(v, u)) g.add_link(v, u);
+    }
+  }
+  return g;
+}
+
+SystemGraph make_cube_connected_cycles(NodeId dim) {
+  require(dim >= 1 && dim < 16, "CCC dimension must be in [1, 16)");
+  const NodeId corners = NodeId{1} << dim;
+  SystemGraph g(corners * dim, "ccc-" + std::to_string(dim));
+  // Node (w, i) has id w * dim + i.
+  const auto id = [dim](NodeId w, NodeId i) { return w * dim + i; };
+  for (NodeId w = 0; w < corners; ++w) {
+    // Cycle links (a dim-cycle per hypercube corner; dim < 3 degenerates).
+    for (NodeId i = 0; i < dim; ++i) {
+      const NodeId next = (i + 1) % dim;
+      if (next != i && !g.has_link(id(w, i), id(w, next))) {
+        g.add_link(id(w, i), id(w, next));
+      }
+    }
+    // Cube links along dimension i.
+    for (NodeId i = 0; i < dim; ++i) {
+      const NodeId u = w ^ (NodeId{1} << i);
+      if (w < u) g.add_link(id(w, i), id(u, i));
+    }
+  }
+  return g;
+}
+
+SystemGraph make_chordal_ring(NodeId n, NodeId chord) {
+  require(n >= 3, "chordal ring needs at least 3 nodes");
+  require(chord >= 2 && chord < n, "chord must be in [2, n)");
+  SystemGraph g(n, "chordal-" + std::to_string(n) + "-" + std::to_string(chord));
+  for (NodeId v = 0; v < n; ++v) g.add_link(v, (v + 1) % n);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId u = (v + chord) % n;
+    if (!g.has_link(v, u)) g.add_link(v, u);
+  }
+  return g;
+}
+
+SystemGraph make_complete_bipartite(NodeId a, NodeId b) {
+  require(a >= 1 && b >= 1, "bipartite sides must be positive");
+  SystemGraph g(a + b, "bipartite-" + std::to_string(a) + "x" + std::to_string(b));
+  for (NodeId left = 0; left < a; ++left) {
+    for (NodeId right = a; right < a + b; ++right) g.add_link(left, right);
+  }
+  return g;
+}
+
+}  // namespace mimdmap

@@ -1,0 +1,73 @@
+// System-graph (topology) generators.
+//
+// The paper evaluates mapping onto hypercubes (Table 1), meshes (Table 2)
+// and randomly produced topologies (Table 3) with 4-40 processors. We also
+// provide the standard families used by the mapping literature the paper
+// builds on (ring, star, tree, torus, complete) — the complete graph doubles
+// as the system-graph *closure* (paper Fig. 5-b).
+//
+// Every generator returns a connected SystemGraph with unit link weights
+// and a descriptive name.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/system_graph.hpp"
+
+namespace mimdmap {
+
+/// Binary hypercube of 2^dim processors; node i links to i ^ (1 << b).
+[[nodiscard]] SystemGraph make_hypercube(NodeId dim);
+
+/// rows x cols 2-D mesh (no wraparound).
+[[nodiscard]] SystemGraph make_mesh(NodeId rows, NodeId cols);
+
+/// rows x cols 2-D torus (mesh with wraparound links).
+[[nodiscard]] SystemGraph make_torus(NodeId rows, NodeId cols);
+
+/// Cycle of n >= 3 processors.
+[[nodiscard]] SystemGraph make_ring(NodeId n);
+
+/// Node 0 is the hub connected to every other processor (n >= 2).
+[[nodiscard]] SystemGraph make_star(NodeId n);
+
+/// Fully connected graph on n processors.
+[[nodiscard]] SystemGraph make_complete(NodeId n);
+
+/// Linear chain of n processors.
+[[nodiscard]] SystemGraph make_chain(NodeId n);
+
+/// Balanced tree: `depth` levels below the root, `branching` children per
+/// node.
+[[nodiscard]] SystemGraph make_balanced_tree(NodeId depth, NodeId branching);
+
+/// Random connected topology: a random spanning tree (guaranteeing
+/// connectivity) plus each remaining pair linked with probability
+/// `extra_edge_probability`. Deterministic in (n, p, seed). This mirrors
+/// the paper's "randomly produced system architectures" (Table 3).
+[[nodiscard]] SystemGraph make_random_connected(NodeId n, double extra_edge_probability,
+                                                std::uint64_t seed);
+
+/// x * y * z 3-D mesh (no wraparound).
+[[nodiscard]] SystemGraph make_mesh3d(NodeId x, NodeId y, NodeId z);
+
+/// Binary de Bruijn graph on 2^dim nodes: v links to (2v) mod n and
+/// (2v + 1) mod n (undirected; self-loops and parallel links collapsed).
+/// Diameter dim with degree <= 4 — a classic low-degree alternative to the
+/// hypercube.
+[[nodiscard]] SystemGraph make_de_bruijn(NodeId dim);
+
+/// Cube-connected cycles CCC(dim): each hypercube corner is replaced by a
+/// dim-cycle; node (w, i) has cycle links to (w, i±1) and a cube link to
+/// (w ^ 2^i, i). 3-regular for dim >= 3.
+[[nodiscard]] SystemGraph make_cube_connected_cycles(NodeId dim);
+
+/// Ring of n nodes plus chords v -- (v + chord) mod n. Requires
+/// 2 <= chord < n.
+[[nodiscard]] SystemGraph make_chordal_ring(NodeId n, NodeId chord);
+
+/// Complete bipartite graph K(a, b): nodes 0..a-1 on the left, a..a+b-1 on
+/// the right, all cross links.
+[[nodiscard]] SystemGraph make_complete_bipartite(NodeId a, NodeId b);
+
+}  // namespace mimdmap

@@ -1,0 +1,136 @@
+#include "workload/random_dag.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace mimdmap {
+
+TaskGraph make_layered_dag(const LayeredDagParams& params, std::uint64_t seed) {
+  if (params.num_tasks <= 0) throw std::invalid_argument("make_layered_dag: num_tasks <= 0");
+  if (params.avg_out_degree < 0) {
+    throw std::invalid_argument("make_layered_dag: negative avg_out_degree");
+  }
+  Rng rng(seed);
+  const NodeId n = params.num_tasks;
+  const NodeId layers = std::clamp<NodeId>(params.num_layers, 1, n);
+
+  TaskGraph g(n);
+  for (NodeId v = 0; v < n; ++v) g.set_node_weight(v, params.node_weight.sample(rng));
+
+  // Assign every task to a layer: one guaranteed task per layer, the rest
+  // uniformly, then sort so ids ascend with layers (cosmetic but makes the
+  // generated graphs easier to read in DOT dumps).
+  std::vector<NodeId> layer_of(idx(n));
+  for (NodeId v = 0; v < n; ++v) {
+    layer_of[idx(v)] = (v < layers) ? v : static_cast<NodeId>(rng.uniform(0, layers - 1));
+  }
+  std::sort(layer_of.begin(), layer_of.end());
+
+  // Buckets of task ids per layer.
+  std::vector<std::vector<NodeId>> bucket(idx(layers));
+  for (NodeId v = 0; v < n; ++v) bucket[idx(layer_of[idx(v)])].push_back(v);
+
+  // Attach forward edges.
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId lv = layer_of[idx(v)];
+    if (lv + 1 >= layers) continue;
+    // Sample the out-degree around the requested average.
+    const auto hi = static_cast<std::int64_t>(2.0 * params.avg_out_degree + 0.5);
+    const auto want = rng.uniform(0, std::max<std::int64_t>(hi, 0));
+    for (std::int64_t k = 0; k < want; ++k) {
+      NodeId target_layer = lv + 1;
+      while (target_layer + 1 < layers && rng.bernoulli(params.skip_probability)) {
+        ++target_layer;
+      }
+      const auto& candidates = bucket[idx(target_layer)];
+      if (candidates.empty()) continue;
+      const NodeId to =
+          candidates[static_cast<std::size_t>(rng.uniform(
+              0, static_cast<std::int64_t>(candidates.size()) - 1))];
+      if (!g.has_edge(v, to)) g.add_edge(v, to, params.edge_weight.sample(rng));
+    }
+  }
+
+  if (params.connect_orphans) {
+    // Every non-layer-0 task gets at least one predecessor from the
+    // previous layer, keeping the DAG free of isolated late tasks.
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId lv = layer_of[idx(v)];
+      if (lv == 0 || g.in_degree(v) > 0) continue;
+      const auto& candidates = bucket[idx(lv - 1)];
+      const NodeId from =
+          candidates[static_cast<std::size_t>(rng.uniform(
+              0, static_cast<std::int64_t>(candidates.size()) - 1))];
+      g.add_edge(from, v, params.edge_weight.sample(rng));
+    }
+  }
+
+  g.validate();
+  return g;
+}
+
+TaskGraph make_erdos_renyi_dag(const ErdosRenyiDagParams& params, std::uint64_t seed) {
+  if (params.num_tasks <= 0) throw std::invalid_argument("make_erdos_renyi_dag: num_tasks <= 0");
+  Rng rng(seed);
+  const NodeId n = params.num_tasks;
+  TaskGraph g(n);
+  for (NodeId v = 0; v < n; ++v) g.set_node_weight(v, params.node_weight.sample(rng));
+
+  // Random topological order; edges only from earlier to later position.
+  const std::vector<NodeId> order = rng.permutation(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(params.edge_probability)) {
+        g.add_edge(order[idx(i)], order[idx(j)], params.edge_weight.sample(rng));
+      }
+    }
+  }
+  g.validate();
+  return g;
+}
+
+namespace {
+
+/// Recursive series-parallel builder; returns {entry, exit} of the
+/// sub-graph just created.
+std::pair<NodeId, NodeId> build_sp(TaskGraph& g, const SeriesParallelParams& params,
+                                   Rng& rng, NodeId depth) {
+  if (depth <= 0) {
+    const NodeId v = g.add_node(params.node_weight.sample(rng));
+    return {v, v};
+  }
+  if (rng.bernoulli(params.parallel_probability)) {
+    // Parallel: fork -> branches -> join.
+    const NodeId fork = g.add_node(params.node_weight.sample(rng));
+    const NodeId join = g.add_node(params.node_weight.sample(rng));
+    const auto branches = rng.uniform(2, std::max<std::int64_t>(2, params.max_branches));
+    for (std::int64_t k = 0; k < branches; ++k) {
+      const auto [entry, exit] = build_sp(g, params, rng, depth - 1);
+      g.add_edge(fork, entry, params.edge_weight.sample(rng));
+      g.add_edge(exit, join, params.edge_weight.sample(rng));
+    }
+    return {fork, join};
+  }
+  // Series: first then second.
+  const auto [e1, x1] = build_sp(g, params, rng, depth - 1);
+  const auto [e2, x2] = build_sp(g, params, rng, depth - 1);
+  g.add_edge(x1, e2, params.edge_weight.sample(rng));
+  return {e1, x2};
+}
+
+}  // namespace
+
+TaskGraph make_series_parallel(const SeriesParallelParams& params, std::uint64_t seed) {
+  if (params.depth < 0) throw std::invalid_argument("make_series_parallel: negative depth");
+  if (params.max_branches < 2) {
+    throw std::invalid_argument("make_series_parallel: max_branches must be >= 2");
+  }
+  Rng rng(seed);
+  TaskGraph g;
+  build_sp(g, params, rng, params.depth);
+  g.validate();
+  return g;
+}
+
+}  // namespace mimdmap

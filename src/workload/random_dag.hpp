@@ -1,0 +1,71 @@
+// Random problem-graph generators.
+//
+// The paper's experiments (section 5) map "random problem graphs" with
+// 30-300 nodes onto system graphs with 4-40 nodes; node and edge weights are
+// produced randomly. The paper does not publish its generator, so we provide
+// two standard ones:
+//
+//  * LayeredDagParams — tasks are arranged into layers; edges only go from
+//    earlier to later layers, preferring adjacent layers. This produces the
+//    "parallel program"-shaped DAGs (fan-out / fan-in phases) that static
+//    task-scheduling papers of the era evaluate on.
+//  * ErdosRenyiDagParams — each forward pair (i < j in a random topological
+//    order) is an edge with probability p; the classic G(n, p) DAG.
+//
+// Both guarantee the stated node count, strictly positive weights, and
+// acyclicity by construction.
+#pragma once
+
+#include "graph/task_graph.hpp"
+#include "workload/rng.hpp"
+
+namespace mimdmap {
+
+struct LayeredDagParams {
+  NodeId num_tasks = 60;
+  /// Number of layers; clamped to [1, num_tasks].
+  NodeId num_layers = 8;
+  /// Average number of outgoing edges attached to each non-sink task.
+  double avg_out_degree = 2.0;
+  /// Probability that an edge skips beyond the next layer.
+  double skip_probability = 0.15;
+  WeightRange node_weight = {1, 10};
+  WeightRange edge_weight = {1, 10};
+  /// When true, every non-source task is guaranteed at least one
+  /// predecessor, so the DAG has no spurious isolated components.
+  bool connect_orphans = true;
+};
+
+/// Generates a layered random DAG. Deterministic in (params, seed).
+[[nodiscard]] TaskGraph make_layered_dag(const LayeredDagParams& params, std::uint64_t seed);
+
+struct ErdosRenyiDagParams {
+  NodeId num_tasks = 60;
+  /// Probability of each forward edge.
+  double edge_probability = 0.05;
+  WeightRange node_weight = {1, 10};
+  WeightRange edge_weight = {1, 10};
+};
+
+/// Generates a G(n, p) DAG over a random topological order.
+[[nodiscard]] TaskGraph make_erdos_renyi_dag(const ErdosRenyiDagParams& params,
+                                             std::uint64_t seed);
+
+struct SeriesParallelParams {
+  /// Recursion depth: depth 0 is a single task; each level either chains
+  /// two sub-graphs (series) or joins 2..max_branches of them between a
+  /// fork and a join node (parallel).
+  NodeId depth = 5;
+  /// Probability of a parallel composition at each level.
+  double parallel_probability = 0.5;
+  NodeId max_branches = 3;
+  WeightRange node_weight = {1, 10};
+  WeightRange edge_weight = {1, 10};
+};
+
+/// Random series-parallel DAG (single source, single sink) — the structured
+/// control-flow shape of divide-and-conquer and task-parallel programs.
+[[nodiscard]] TaskGraph make_series_parallel(const SeriesParallelParams& params,
+                                             std::uint64_t seed);
+
+}  // namespace mimdmap

@@ -1,0 +1,74 @@
+#include "workload/rng.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mimdmap {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform: lo > hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo);
+  if (span == ~0ULL) return static_cast<std::int64_t>(next_u64());
+  // Rejection sampling for exact uniformity.
+  const std::uint64_t bound = span + 1;
+  const std::uint64_t limit = ~0ULL - (~0ULL % bound);
+  std::uint64_t r = next_u64();
+  while (r >= limit) r = next_u64();
+  return lo + static_cast<std::int64_t>(r % bound);
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::vector<NodeId> Rng::permutation(NodeId n) {
+  std::vector<NodeId> perm(idx(n));
+  for (NodeId i = 0; i < n; ++i) perm[idx(i)] = i;
+  shuffle(perm);
+  return perm;
+}
+
+Rng Rng::split() noexcept {
+  std::uint64_t seed = next_u64();
+  std::uint64_t sm = seed;
+  return Rng(splitmix64(sm));
+}
+
+}  // namespace mimdmap

@@ -1,0 +1,77 @@
+// Deterministic random number generation.
+//
+// Every randomized component in mimdmap (problem-graph generators, random
+// clustering, the refinement stage's random re-placements, the random
+// mapping baseline) takes an explicit 64-bit seed so that experiments are
+// bit-reproducible across runs and platforms — a requirement for
+// regenerating the paper's tables. We implement xoshiro256** seeded through
+// SplitMix64 rather than relying on std::mt19937 so the stream is identical
+// on every standard library.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace mimdmap {
+
+/// SplitMix64 step — used to expand a single seed into xoshiro state and to
+/// derive independent child seeds.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** 1.0 (Blackman & Vigna) with convenience sampling helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Raw 64 random bits.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept;
+
+  /// True with probability p (clamped to [0, 1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    shuffle(std::span<T>(items));
+  }
+
+  /// Uniformly random permutation of 0..n-1.
+  [[nodiscard]] std::vector<NodeId> permutation(NodeId n);
+
+  /// Derives a statistically independent child generator; advancing the
+  /// child never perturbs the parent stream.
+  [[nodiscard]] Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Inclusive integer range for sampling node / edge weights. The paper's
+/// generator produces "random" weights without stating bounds; the
+/// experiment harness defaults to [1, 10] for both.
+struct WeightRange {
+  Weight min = 1;
+  Weight max = 10;
+
+  [[nodiscard]] Weight sample(Rng& rng) const { return rng.uniform(min, max); }
+};
+
+}  // namespace mimdmap

@@ -1,0 +1,283 @@
+#include "workload/structured.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace mimdmap {
+namespace {
+
+/// All generators share the same skeleton: build nodes/edges with weights
+/// drawn from `w`, then validate.
+class Builder {
+ public:
+  explicit Builder(const StructuredWeights& w) : w_(w), rng_(w.seed) {}
+
+  NodeId node() { return g_.add_node(w_.node_weight.sample(rng_)); }
+  void edge(NodeId from, NodeId to) { g_.add_edge(from, to, w_.edge_weight.sample(rng_)); }
+
+  TaskGraph finish() {
+    g_.validate();
+    return std::move(g_);
+  }
+
+ private:
+  StructuredWeights w_;
+  Rng rng_;
+  TaskGraph g_;
+};
+
+void require_positive(NodeId v, const char* what) {
+  if (v <= 0) throw std::invalid_argument(std::string("structured generator: ") + what);
+}
+
+}  // namespace
+
+TaskGraph make_fork_join(NodeId width, NodeId stages, const StructuredWeights& w) {
+  require_positive(width, "width must be positive");
+  require_positive(stages, "stages must be positive");
+  Builder b(w);
+  NodeId source = b.node();
+  for (NodeId s = 0; s < stages; ++s) {
+    std::vector<NodeId> mid(idx(width));
+    for (NodeId i = 0; i < width; ++i) {
+      mid[idx(i)] = b.node();
+      b.edge(source, mid[idx(i)]);
+    }
+    const NodeId sink = b.node();
+    for (NodeId i = 0; i < width; ++i) b.edge(mid[idx(i)], sink);
+    source = sink;  // next stage forks from this join
+  }
+  return b.finish();
+}
+
+TaskGraph make_out_tree(NodeId depth, NodeId branching, const StructuredWeights& w) {
+  require_positive(depth, "depth must be positive");
+  require_positive(branching, "branching must be positive");
+  Builder b(w);
+  std::vector<NodeId> frontier{b.node()};
+  for (NodeId d = 0; d < depth; ++d) {
+    std::vector<NodeId> next;
+    for (const NodeId parent : frontier) {
+      for (NodeId c = 0; c < branching; ++c) {
+        const NodeId child = b.node();
+        b.edge(parent, child);
+        next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return b.finish();
+}
+
+TaskGraph make_in_tree(NodeId depth, NodeId branching, const StructuredWeights& w) {
+  require_positive(depth, "depth must be positive");
+  require_positive(branching, "branching must be positive");
+  // Build the mirrored out-tree shape, but point edges child -> parent.
+  Builder b(w);
+  std::vector<NodeId> frontier{b.node()};
+  for (NodeId d = 0; d < depth; ++d) {
+    std::vector<NodeId> next;
+    for (const NodeId parent : frontier) {
+      for (NodeId c = 0; c < branching; ++c) {
+        const NodeId child = b.node();
+        b.edge(child, parent);
+        next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return b.finish();
+}
+
+TaskGraph make_diamond(NodeId rows, NodeId cols, const StructuredWeights& w) {
+  require_positive(rows, "rows must be positive");
+  require_positive(cols, "cols must be positive");
+  Builder b(w);
+  Matrix<NodeId> id(idx(rows), idx(cols));
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) id(idx(r), idx(c)) = b.node();
+  }
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (r + 1 < rows) b.edge(id(idx(r), idx(c)), id(idx(r + 1), idx(c)));
+      if (c + 1 < cols) b.edge(id(idx(r), idx(c)), id(idx(r), idx(c + 1)));
+    }
+  }
+  return b.finish();
+}
+
+TaskGraph make_pipeline(NodeId length, const StructuredWeights& w) {
+  require_positive(length, "length must be positive");
+  Builder b(w);
+  NodeId prev = b.node();
+  for (NodeId i = 1; i < length; ++i) {
+    const NodeId cur = b.node();
+    b.edge(prev, cur);
+    prev = cur;
+  }
+  return b.finish();
+}
+
+TaskGraph make_fft(NodeId points, const StructuredWeights& w) {
+  require_positive(points, "points must be positive");
+  if ((points & (points - 1)) != 0) {
+    throw std::invalid_argument("make_fft: points must be a power of two");
+  }
+  Builder b(w);
+  NodeId ranks = 0;
+  for (NodeId p = points; p > 1; p >>= 1) ++ranks;
+  // (ranks + 1) rows of `points` nodes each.
+  std::vector<std::vector<NodeId>> grid(idx(ranks + 1), std::vector<NodeId>(idx(points)));
+  for (NodeId r = 0; r <= ranks; ++r) {
+    for (NodeId i = 0; i < points; ++i) grid[idx(r)][idx(i)] = b.node();
+  }
+  for (NodeId r = 0; r < ranks; ++r) {
+    for (NodeId i = 0; i < points; ++i) {
+      const NodeId partner = i ^ (NodeId{1} << r);
+      b.edge(grid[idx(r)][idx(i)], grid[idx(r + 1)][idx(i)]);
+      b.edge(grid[idx(r)][idx(i)], grid[idx(r + 1)][idx(partner)]);
+    }
+  }
+  return b.finish();
+}
+
+TaskGraph make_gaussian_elimination(NodeId n, const StructuredWeights& w) {
+  if (n < 2) throw std::invalid_argument("make_gaussian_elimination: n must be >= 2");
+  Builder b(w);
+  // id(k, j) for 0 <= k < j < n.
+  Matrix<NodeId> id(idx(n), idx(n), NodeId{-1});
+  for (NodeId k = 0; k + 1 < n; ++k) {
+    for (NodeId j = k + 1; j < n; ++j) id(idx(k), idx(j)) = b.node();
+  }
+  for (NodeId k = 0; k + 2 < n; ++k) {
+    // Pivot task of step k is T(k, k+1); it feeds every task of step k+1.
+    const NodeId pivot = id(idx(k), idx(k + 1));
+    for (NodeId j = k + 2; j < n; ++j) {
+      b.edge(pivot, id(idx(k + 1), idx(j)));
+      b.edge(id(idx(k), idx(j)), id(idx(k + 1), idx(j)));
+    }
+  }
+  return b.finish();
+}
+
+TaskGraph make_divide_and_conquer(NodeId depth, const StructuredWeights& w) {
+  require_positive(depth, "depth must be positive");
+  Builder b(w);
+  // Split phase: binary out-tree.
+  std::vector<NodeId> frontier{b.node()};
+  std::vector<std::vector<NodeId>> levels{frontier};
+  for (NodeId d = 0; d < depth; ++d) {
+    std::vector<NodeId> next;
+    for (const NodeId parent : frontier) {
+      for (int c = 0; c < 2; ++c) {
+        const NodeId child = b.node();
+        b.edge(parent, child);
+        next.push_back(child);
+      }
+    }
+    levels.push_back(next);
+    frontier = std::move(next);
+  }
+  // Merge phase: mirrored binary reduction back to one task.
+  while (frontier.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < frontier.size(); i += 2) {
+      const NodeId merged = b.node();
+      b.edge(frontier[i], merged);
+      b.edge(frontier[i + 1], merged);
+      next.push_back(merged);
+    }
+    frontier = std::move(next);
+  }
+  return b.finish();
+}
+
+TaskGraph make_cholesky(NodeId tiles, const StructuredWeights& w) {
+  require_positive(tiles, "tiles must be positive");
+  Builder b(w);
+  const NodeId T = tiles;
+  // Task id tables; -1 = absent.
+  Matrix<NodeId> potrf(idx(T), 1, NodeId{-1});
+  Matrix<NodeId> trsm(idx(T), idx(T), NodeId{-1});  // (i, k), i > k
+  Matrix<NodeId> syrk(idx(T), idx(T), NodeId{-1});  // (i, k), i > k
+  // gemm(i, j, k) stored per k in a map-free dense cube via vector.
+  std::vector<Matrix<NodeId>> gemm(idx(T), Matrix<NodeId>(idx(T), idx(T), NodeId{-1}));
+
+  for (NodeId k = 0; k < T; ++k) {
+    potrf(idx(k), 0) = b.node();
+    if (k > 0) b.edge(syrk(idx(k), idx(k - 1)), potrf(idx(k), 0));
+    for (NodeId i = k + 1; i < T; ++i) {
+      trsm(idx(i), idx(k)) = b.node();
+      b.edge(potrf(idx(k), 0), trsm(idx(i), idx(k)));
+      if (k > 0) b.edge(gemm[idx(k - 1)](idx(i), idx(k)), trsm(idx(i), idx(k)));
+    }
+    for (NodeId i = k + 1; i < T; ++i) {
+      syrk(idx(i), idx(k)) = b.node();
+      b.edge(trsm(idx(i), idx(k)), syrk(idx(i), idx(k)));
+      if (k > 0) b.edge(syrk(idx(i), idx(k - 1)), syrk(idx(i), idx(k)));
+      for (NodeId j = k + 1; j < i; ++j) {
+        gemm[idx(k)](idx(i), idx(j)) = b.node();
+        b.edge(trsm(idx(i), idx(k)), gemm[idx(k)](idx(i), idx(j)));
+        b.edge(trsm(idx(j), idx(k)), gemm[idx(k)](idx(i), idx(j)));
+        if (k > 0) b.edge(gemm[idx(k - 1)](idx(i), idx(j)), gemm[idx(k)](idx(i), idx(j)));
+      }
+    }
+  }
+  return b.finish();
+}
+
+TaskGraph make_lu(NodeId tiles, const StructuredWeights& w) {
+  require_positive(tiles, "tiles must be positive");
+  Builder b(w);
+  const NodeId T = tiles;
+  Matrix<NodeId> getrf(idx(T), 1, NodeId{-1});
+  Matrix<NodeId> trsm_row(idx(T), idx(T), NodeId{-1});  // (k, j), j > k
+  Matrix<NodeId> trsm_col(idx(T), idx(T), NodeId{-1});  // (i, k), i > k
+  std::vector<Matrix<NodeId>> gemm(idx(T), Matrix<NodeId>(idx(T), idx(T), NodeId{-1}));
+
+  for (NodeId k = 0; k < T; ++k) {
+    getrf(idx(k), 0) = b.node();
+    if (k > 0) b.edge(gemm[idx(k - 1)](idx(k), idx(k)), getrf(idx(k), 0));
+    for (NodeId j = k + 1; j < T; ++j) {
+      trsm_row(idx(k), idx(j)) = b.node();
+      b.edge(getrf(idx(k), 0), trsm_row(idx(k), idx(j)));
+      if (k > 0) b.edge(gemm[idx(k - 1)](idx(k), idx(j)), trsm_row(idx(k), idx(j)));
+    }
+    for (NodeId i = k + 1; i < T; ++i) {
+      trsm_col(idx(i), idx(k)) = b.node();
+      b.edge(getrf(idx(k), 0), trsm_col(idx(i), idx(k)));
+      if (k > 0) b.edge(gemm[idx(k - 1)](idx(i), idx(k)), trsm_col(idx(i), idx(k)));
+    }
+    for (NodeId i = k + 1; i < T; ++i) {
+      for (NodeId j = k + 1; j < T; ++j) {
+        gemm[idx(k)](idx(i), idx(j)) = b.node();
+        b.edge(trsm_col(idx(i), idx(k)), gemm[idx(k)](idx(i), idx(j)));
+        b.edge(trsm_row(idx(k), idx(j)), gemm[idx(k)](idx(i), idx(j)));
+        if (k > 0) b.edge(gemm[idx(k - 1)](idx(i), idx(j)), gemm[idx(k)](idx(i), idx(j)));
+      }
+    }
+  }
+  return b.finish();
+}
+
+TaskGraph make_map_reduce(NodeId mappers, NodeId reducers, const StructuredWeights& w) {
+  require_positive(mappers, "mappers must be positive");
+  require_positive(reducers, "reducers must be positive");
+  Builder b(w);
+  const NodeId source = b.node();
+  std::vector<NodeId> map_ids(idx(mappers));
+  for (NodeId i = 0; i < mappers; ++i) {
+    map_ids[idx(i)] = b.node();
+    b.edge(source, map_ids[idx(i)]);
+  }
+  std::vector<NodeId> red_ids(idx(reducers));
+  for (NodeId i = 0; i < reducers; ++i) red_ids[idx(i)] = b.node();
+  for (const NodeId m : map_ids) {
+    for (const NodeId r : red_ids) b.edge(m, r);
+  }
+  const NodeId sink = b.node();
+  for (const NodeId r : red_ids) b.edge(r, sink);
+  return b.finish();
+}
+
+}  // namespace mimdmap

@@ -1,0 +1,70 @@
+// Structured task-graph generators.
+//
+// The paper motivates static mapping with classic parallel workloads and
+// cites Gaussian elimination DAG scheduling ([10], [11]) as a clustering
+// source. These generators produce the standard benchmark DAG families used
+// throughout the task-scheduling literature; the examples and benches use
+// them as realistic problem graphs. Structure is deterministic; node/edge
+// weights are sampled from the given ranges with the given seed (pass a
+// range with min == max for fixed weights).
+#pragma once
+
+#include "graph/task_graph.hpp"
+#include "workload/rng.hpp"
+
+namespace mimdmap {
+
+/// Weight configuration shared by all structured generators.
+struct StructuredWeights {
+  WeightRange node_weight = {1, 10};
+  WeightRange edge_weight = {1, 10};
+  std::uint64_t seed = 1;
+};
+
+/// source -> `width` parallel tasks -> sink, repeated `stages` times
+/// (the sink of one stage is the source of the next).
+[[nodiscard]] TaskGraph make_fork_join(NodeId width, NodeId stages, const StructuredWeights& w);
+
+/// Rooted tree with edges pointing away from the root (fan-out /
+/// broadcast). `depth` levels below the root, `branching` children each.
+[[nodiscard]] TaskGraph make_out_tree(NodeId depth, NodeId branching, const StructuredWeights& w);
+
+/// Reduction tree: edges point from the leaves toward the root.
+[[nodiscard]] TaskGraph make_in_tree(NodeId depth, NodeId branching, const StructuredWeights& w);
+
+/// rows x cols grid where cell (i, j) precedes (i+1, j) and (i, j+1) —
+/// the wavefront / stencil dependence pattern.
+[[nodiscard]] TaskGraph make_diamond(NodeId rows, NodeId cols, const StructuredWeights& w);
+
+/// Linear chain of `length` tasks.
+[[nodiscard]] TaskGraph make_pipeline(NodeId length, const StructuredWeights& w);
+
+/// FFT butterfly on `points` inputs (must be a power of two): log2(points)
+/// ranks; node r,i feeds nodes r+1,i and r+1,i^bit(r).
+[[nodiscard]] TaskGraph make_fft(NodeId points, const StructuredWeights& w);
+
+/// Gaussian-elimination DAG for an n x n matrix (paper ref [11]): task
+/// T(k,j) updates column j at elimination step k (0 <= k < j < n). The
+/// pivot task T(k,k+1) precedes every T(k+1,j), and T(k,j) precedes
+/// T(k+1,j). Produces n*(n-1)/2 tasks.
+[[nodiscard]] TaskGraph make_gaussian_elimination(NodeId n, const StructuredWeights& w);
+
+/// Balanced binary divide-and-conquer: out-tree of `depth` splits followed
+/// by the mirrored reduction.
+[[nodiscard]] TaskGraph make_divide_and_conquer(NodeId depth, const StructuredWeights& w);
+
+/// source -> mappers -> reducers (complete bipartite) -> sink.
+[[nodiscard]] TaskGraph make_map_reduce(NodeId mappers, NodeId reducers,
+                                        const StructuredWeights& w);
+
+/// Tiled Cholesky factorization DAG on a tiles x tiles matrix: kernels
+/// POTRF(k), TRSM(i,k), SYRK(i,k), GEMM(i,j,k) with the standard
+/// dependence pattern. tiles >= 1; produces
+/// tiles + tiles*(tiles-1) + C(tiles,3) tasks.
+[[nodiscard]] TaskGraph make_cholesky(NodeId tiles, const StructuredWeights& w);
+
+/// Tiled LU factorization DAG (no pivoting): GETRF(k), row/column TRSMs and
+/// trailing GEMM updates. tiles >= 1.
+[[nodiscard]] TaskGraph make_lu(NodeId tiles, const StructuredWeights& w);
+
+}  // namespace mimdmap

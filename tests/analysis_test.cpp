@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "analysis/chart.hpp"
+#include "analysis/gantt.hpp"
+#include "analysis/metrics.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "core/mapper.hpp"
+#include "paper_example.hpp"
+
+namespace mimdmap {
+namespace {
+
+// ----------------------------------------------------------------- metrics
+
+TEST(MetricsTest, PercentOverLowerBound) {
+  EXPECT_EQ(percent_over_lower_bound(Weight{14}, Weight{14}), 100);
+  EXPECT_EQ(percent_over_lower_bound(Weight{21}, Weight{14}), 150);
+  EXPECT_EQ(percent_over_lower_bound(Weight{15}, Weight{14}), 107);  // 107.1 rounds down
+  EXPECT_EQ(percent_over_lower_bound(Weight{22}, Weight{14}), 157);  // 157.1
+}
+
+TEST(MetricsTest, PercentOverLowerBoundFractional) {
+  EXPECT_EQ(percent_over_lower_bound(14.0, Weight{14}), 100);
+  EXPECT_EQ(percent_over_lower_bound(20.3, Weight{14}), 145);
+}
+
+TEST(MetricsTest, PercentThrowsOnBadBound) {
+  EXPECT_THROW(percent_over_lower_bound(Weight{5}, Weight{0}), std::invalid_argument);
+  EXPECT_THROW(percent_over_lower_bound(5.0, Weight{-1}), std::invalid_argument);
+}
+
+TEST(MetricsTest, ImprovementPoints) {
+  EXPECT_EQ(improvement_points(104, 148), 44);  // paper Table 1, row 1
+  EXPECT_EQ(improvement_points(100, 177), 77);  // the headline "up to 77 percent"
+}
+
+// ------------------------------------------------------------------- stats
+
+TEST(StatsTest, EmptySample) {
+  const Summary s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(StatsTest, SingleValue) {
+  const Summary s = summarize(std::vector<double>{5.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.mean, 5.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.min, 5.0);
+  EXPECT_EQ(s.max, 5.0);
+}
+
+TEST(StatsTest, KnownSample) {
+  const Summary s = summarize(std::vector<double>{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_NEAR(s.mean, 5.0, 1e-12);
+  EXPECT_NEAR(s.stddev, 2.138089935299395, 1e-9);  // sample stddev
+  EXPECT_EQ(s.min, 2.0);
+  EXPECT_EQ(s.max, 9.0);
+}
+
+TEST(StatsTest, IntegerOverload) {
+  const Summary s = summarize(std::vector<long long>{1, 2, 3});
+  EXPECT_NEAR(s.mean, 2.0, 1e-12);
+}
+
+// ------------------------------------------------------------------- table
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable t({"a", "long-header"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  TextTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(TableTest, RowArityEnforced) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- chart
+
+TEST(ChartTest, RendersMarksAndAxis) {
+  ChartSeries s;
+  s.ours_pct = {104, 115, 100};
+  s.random_pct = {148, 178, 160};
+  const std::string out = render_range_chart(s);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find('x'), std::string::npos);
+  EXPECT_NE(out.find("180"), std::string::npos);  // top of the y axis
+  EXPECT_NE(out.find("100"), std::string::npos);
+  EXPECT_NE(out.find("experiment"), std::string::npos);
+}
+
+TEST(ChartTest, EmptySeries) {
+  EXPECT_EQ(render_range_chart(ChartSeries{}), "(no data)\n");
+}
+
+TEST(ChartTest, MismatchedSeriesThrows) {
+  ChartSeries s;
+  s.ours_pct = {100};
+  EXPECT_THROW(render_range_chart(s), std::invalid_argument);
+}
+
+TEST(ChartTest, BadStepThrows) {
+  ChartSeries s;
+  s.ours_pct = {100};
+  s.random_pct = {120};
+  EXPECT_THROW(render_range_chart(s, 0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- gantt
+
+TEST(GanttTest, RunningExampleIdealChart) {
+  const auto ex = testing::make_running_example();
+  const MappingInstance inst = ex.instance();
+  const IdealSchedule ideal = compute_ideal_schedule(inst);
+  const std::string chart = render_ideal_gantt(inst, ideal);
+  EXPECT_NE(chart.find("C0"), std::string::npos);
+  EXPECT_NE(chart.find("C3"), std::string::npos);
+  EXPECT_NE(chart.find("total time: 14"), std::string::npos);
+}
+
+TEST(GanttTest, AssignmentChartShowsProcessors) {
+  const auto ex = testing::make_running_example();
+  const MappingInstance inst = ex.instance();
+  const MappingReport r = map_instance(inst);
+  const std::string chart = render_gantt(inst, r.assignment, r.schedule);
+  EXPECT_NE(chart.find("P0"), std::string::npos);
+  EXPECT_NE(chart.find("total time: 14"), std::string::npos);
+}
+
+TEST(GanttTest, ElidesLongSchedules) {
+  const auto ex = testing::make_running_example();
+  const MappingInstance inst = ex.instance();
+  const IdealSchedule ideal = compute_ideal_schedule(inst);
+  const std::string chart = render_ideal_gantt(inst, ideal, 5);
+  EXPECT_NE(chart.find("more time units"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mimdmap

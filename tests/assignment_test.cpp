@@ -1,0 +1,84 @@
+#include "core/assignment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mimdmap {
+namespace {
+
+TEST(AssignmentTest, Identity) {
+  const Assignment a = Assignment::identity(4);
+  EXPECT_EQ(a.size(), 4);
+  EXPECT_TRUE(a.complete());
+  for (NodeId i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.cluster_on(i), i);
+    EXPECT_EQ(a.host_of(i), i);
+  }
+}
+
+TEST(AssignmentTest, FromClusterOnMatchesPaperExample) {
+  // Paper Fig. 23-b: assi = [0 1 3 2] — abstract node 3 on system node 2.
+  const Assignment a = Assignment::from_cluster_on({0, 1, 3, 2});
+  EXPECT_EQ(a.cluster_on(2), 3);
+  EXPECT_EQ(a.host_of(3), 2);
+  EXPECT_EQ(a.host_of(2), 3);
+  EXPECT_TRUE(a.complete());
+}
+
+TEST(AssignmentTest, FromHostOfIsInverse) {
+  const Assignment a = Assignment::from_cluster_on({2, 0, 1});
+  const Assignment b = Assignment::from_host_of(a.host_of_vector());
+  EXPECT_EQ(a, b);
+}
+
+TEST(AssignmentTest, RejectsNonPermutations) {
+  EXPECT_THROW(Assignment::from_cluster_on({0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(Assignment::from_cluster_on({0, 3, 1}), std::invalid_argument);
+  EXPECT_THROW(Assignment::from_host_of({1, 1}), std::invalid_argument);
+  EXPECT_THROW(Assignment::from_host_of({-1, 0}), std::invalid_argument);
+}
+
+TEST(AssignmentTest, PartialGrowsByPlace) {
+  Assignment a = Assignment::partial(3);
+  EXPECT_FALSE(a.complete());
+  EXPECT_EQ(a.cluster_on(0), Assignment::kUnassigned);
+  a.place(2, 0);
+  EXPECT_EQ(a.cluster_on(0), 2);
+  EXPECT_EQ(a.host_of(2), 0);
+  EXPECT_FALSE(a.complete());
+  a.place(0, 1);
+  a.place(1, 2);
+  EXPECT_TRUE(a.complete());
+}
+
+TEST(AssignmentTest, PlaceRejectsDoubleBooking) {
+  Assignment a = Assignment::partial(3);
+  a.place(0, 0);
+  EXPECT_THROW(a.place(0, 1), std::invalid_argument);  // cluster reused
+  EXPECT_THROW(a.place(1, 0), std::invalid_argument);  // processor reused
+  EXPECT_THROW(a.place(5, 1), std::out_of_range);
+}
+
+TEST(AssignmentTest, SwapProcessors) {
+  Assignment a = Assignment::identity(4);
+  a.swap_processors(1, 3);
+  EXPECT_EQ(a.cluster_on(1), 3);
+  EXPECT_EQ(a.cluster_on(3), 1);
+  EXPECT_EQ(a.host_of(3), 1);
+  EXPECT_EQ(a.host_of(1), 3);
+  // Swap back restores identity.
+  a.swap_processors(1, 3);
+  EXPECT_EQ(a, Assignment::identity(4));
+}
+
+TEST(AssignmentTest, SwapRejectsEmptyProcessor) {
+  Assignment a = Assignment::partial(3);
+  a.place(0, 0);
+  EXPECT_THROW(a.swap_processors(0, 1), std::invalid_argument);
+}
+
+TEST(AssignmentTest, NegativeSizeThrows) {
+  EXPECT_THROW(Assignment::partial(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mimdmap

@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include "baseline/annealing.hpp"
+#include "baseline/bokhari.hpp"
+#include "baseline/exhaustive.hpp"
+#include "baseline/lee.hpp"
+#include "baseline/pairwise.hpp"
+#include "baseline/random_mapping.hpp"
+#include "cluster/strategies.hpp"
+#include "core/mapper.hpp"
+#include "paper_example.hpp"
+#include "topology/topology.hpp"
+#include "workload/random_dag.hpp"
+
+namespace mimdmap {
+namespace {
+
+using testing::identity_clustering;
+
+MappingInstance random_instance(NodeId np, NodeId ns, const SystemGraph& sys,
+                                std::uint64_t seed) {
+  LayeredDagParams p;
+  p.num_tasks = np;
+  TaskGraph g = make_layered_dag(p, seed);
+  Clustering c = random_clustering(g, ns, seed + 1);
+  return MappingInstance(std::move(g), std::move(c), sys);
+}
+
+// --------------------------------------------------------- random mapping
+
+TEST(RandomMappingTest, AssignmentIsPermutation) {
+  Rng rng(1);
+  const Assignment a = random_assignment(8, rng);
+  EXPECT_TRUE(a.complete());
+  std::vector<bool> seen(8, false);
+  for (NodeId p = 0; p < 8; ++p) {
+    EXPECT_FALSE(seen[idx(a.cluster_on(p))]);
+    seen[idx(a.cluster_on(p))] = true;
+  }
+}
+
+TEST(RandomMappingTest, StatsAggregateCorrectly) {
+  const MappingInstance inst = random_instance(40, 6, make_ring(6), 2);
+  const RandomMappingStats stats = evaluate_random_mappings(inst, 20, 3);
+  EXPECT_EQ(stats.totals.size(), 20u);
+  EXPECT_LE(stats.min, stats.max);
+  EXPECT_GE(stats.mean(), static_cast<double>(stats.min));
+  EXPECT_LE(stats.mean(), static_cast<double>(stats.max));
+  Weight sum = 0;
+  for (const Weight t : stats.totals) sum += t;
+  EXPECT_NEAR(stats.mean(), static_cast<double>(sum) / 20.0, 0.001);
+}
+
+TEST(RandomMappingTest, DeterministicPerSeed) {
+  const MappingInstance inst = random_instance(40, 6, make_ring(6), 2);
+  const auto a = evaluate_random_mappings(inst, 10, 7);
+  const auto b = evaluate_random_mappings(inst, 10, 7);
+  EXPECT_EQ(a.totals, b.totals);
+}
+
+TEST(RandomMappingTest, RejectsNonPositiveTrials) {
+  const MappingInstance inst = random_instance(30, 4, make_ring(4), 2);
+  EXPECT_THROW(evaluate_random_mappings(inst, 0, 1), std::invalid_argument);
+}
+
+TEST(RandomMappingTest, BoundedBelowByLowerBound) {
+  const MappingInstance inst = random_instance(50, 8, make_hypercube(3), 5);
+  const Weight lb = compute_ideal_schedule(inst).lower_bound;
+  const RandomMappingStats stats = evaluate_random_mappings(inst, 30, 9);
+  EXPECT_GE(stats.min, lb);
+}
+
+// ----------------------------------------------------------------- Bokhari
+
+TEST(BokhariTest, CardinalityCountsAdjacentEdgesOnly) {
+  // Two tasks adjacent, one pair two hops apart on a chain.
+  TaskGraph g(3);
+  g.add_edge(0, 1, 5);
+  g.add_edge(0, 2, 7);
+  const MappingInstance inst(g, identity_clustering(3), make_chain(3));
+  const Assignment a = Assignment::identity(3);
+  EXPECT_EQ(cardinality(inst, a), 1);
+  EXPECT_EQ(weighted_cardinality(inst, a), 5);
+}
+
+TEST(BokhariTest, IntraClusterEdgesDoNotCount) {
+  TaskGraph g(2);
+  g.add_edge(0, 1, 5);
+  const MappingInstance inst(g, Clustering({0, 0}, 2), make_chain(2));
+  EXPECT_EQ(cardinality(inst, Assignment::identity(2)), 0);
+}
+
+TEST(BokhariTest, HillClimbReachesPerfectCardinalityWhenEmbeddable) {
+  // A 4-cycle problem graph embeds perfectly into the 4-cycle system graph.
+  TaskGraph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 3, 1);
+  g.add_edge(0, 3, 1);
+  const MappingInstance inst(g, identity_clustering(4), make_ring(4));
+  const BokhariResult r = bokhari_mapping(inst, 4, 1);
+  EXPECT_EQ(r.cardinality, 4);
+}
+
+TEST(BokhariTest, CardinalityNeverExceedsEdgeCount) {
+  const MappingInstance inst = random_instance(40, 8, make_hypercube(3), 6);
+  const BokhariResult r = bokhari_mapping(inst, 3, 2);
+  std::int64_t inter = 0;
+  for (const TaskEdge& e : inst.problem().edges()) {
+    if (!inst.clustering().same_cluster(e.from, e.to)) ++inter;
+  }
+  EXPECT_LE(r.cardinality, inter);
+  EXPECT_GE(r.cardinality, 0);
+}
+
+TEST(BokhariTest, MoreRestartsNeverHurt) {
+  const MappingInstance inst = random_instance(50, 8, make_ring(8), 7);
+  const BokhariResult one = bokhari_mapping(inst, 1, 3);
+  const BokhariResult many = bokhari_mapping(inst, 8, 3);
+  EXPECT_GE(many.cardinality, one.cardinality);
+}
+
+TEST(BokhariTest, RejectsNonPositiveRestarts) {
+  const MappingInstance inst = random_instance(30, 4, make_ring(4), 8);
+  EXPECT_THROW(bokhari_mapping(inst, 0, 1), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- Lee
+
+TEST(LeeTest, PhasesFollowSourceLevels) {
+  const auto lee = testing::make_lee_problem();
+  const MappingInstance inst(lee, identity_clustering(8), make_hypercube(3));
+  const auto phases = communication_phases(inst);
+  const auto& edges = inst.problem().edges();
+  ASSERT_EQ(phases.size(), edges.size());
+  // Paper Fig. 15 decomposition: (1,3),(2,3),(2,7) in phase 0 (sources are
+  // level-0 tasks 1,2); (3,4),(3,5) in phase 1; (4,6),(5,8) in phase 2.
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (edges[i].from == 0 || edges[i].from == 1) EXPECT_EQ(phases[i], 0);
+    if (edges[i].from == 2) EXPECT_EQ(phases[i], 1);
+    if (edges[i].from == 3 || edges[i].from == 4) EXPECT_EQ(phases[i], 2);
+  }
+}
+
+TEST(LeeTest, PhaseCostIsSumOfPhaseMaxima) {
+  // Chain topology, identity assignment: hop distance |i - j|.
+  const auto lee = testing::make_lee_problem();
+  const MappingInstance inst(lee, identity_clustering(8), make_chain(8));
+  const Assignment a = Assignment::identity(8);
+  // phase 0: (0,2) 3*2=6, (1,2) 3*1=3, (1,6) 2*5=10 -> max 10
+  // phase 1: (2,3) 4*1=4, (2,4) 2*2=4 -> max 4
+  // phase 2: (3,5) 1*2=2, (4,7) 3*3=9 -> max 9
+  EXPECT_EQ(phase_comm_cost(inst, a), 10 + 4 + 9);
+}
+
+TEST(LeeTest, IntraClusterEdgesExcludedFromPhases) {
+  TaskGraph g(3);
+  g.add_edge(0, 1, 5);  // intra
+  g.add_edge(1, 2, 2);
+  const MappingInstance inst(g, Clustering({0, 0, 1}, 2), make_chain(2));
+  const auto phases = communication_phases(inst);
+  EXPECT_EQ(phases[0], -1);
+  EXPECT_EQ(phases[1], 1);
+  EXPECT_EQ(phase_comm_cost(inst, Assignment::identity(2)), 2);
+}
+
+TEST(LeeTest, OptimizerNeverWorseThanIdentity) {
+  const MappingInstance inst = random_instance(50, 8, make_hypercube(3), 9);
+  const LeeResult r = lee_mapping(inst, 4, 5);
+  EXPECT_LE(r.comm_cost, phase_comm_cost(inst, Assignment::identity(8)));
+}
+
+// ---------------------------------------------------------------- pairwise
+
+TEST(PairwiseTest, ExchangeNeverWorseThanInitial) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const MappingInstance inst = random_instance(60, 8, make_hypercube(3), seed);
+    const IdealSchedule ideal = compute_ideal_schedule(inst);
+    const auto initial = initial_assignment(inst, find_critical(inst, ideal));
+    const RefineResult r = pairwise_exchange_refine(inst, ideal, initial);
+    EXPECT_LE(r.schedule.total_time, r.initial_total);
+    EXPECT_GE(r.schedule.total_time, r.lower_bound);
+  }
+}
+
+TEST(PairwiseTest, SweepReachesLocalMinimum) {
+  const MappingInstance inst = random_instance(60, 8, make_ring(8), 21);
+  const IdealSchedule ideal = compute_ideal_schedule(inst);
+  const auto initial = initial_assignment(inst, find_critical(inst, ideal));
+  RefineOptions opts;
+  opts.max_trials = 100000;  // effectively unlimited
+  const RefineResult r = pairwise_sweep_refine(inst, ideal, initial, opts);
+  // Verify no single unpinned swap improves further.
+  for (NodeId p = 0; p < 8; ++p) {
+    for (NodeId q = p + 1; q < 8; ++q) {
+      const NodeId cp = r.assignment.cluster_on(p);
+      const NodeId cq = r.assignment.cluster_on(q);
+      if (initial.pinned[idx(cp)] || initial.pinned[idx(cq)]) continue;
+      Assignment probe = r.assignment;
+      probe.swap_processors(p, q);
+      EXPECT_GE(total_time(inst, probe), r.schedule.total_time);
+    }
+  }
+}
+
+TEST(PairwiseTest, RespectsPinning) {
+  const MappingInstance inst = random_instance(50, 8, make_mesh(2, 4), 23);
+  const IdealSchedule ideal = compute_ideal_schedule(inst);
+  const auto initial = initial_assignment(inst, find_critical(inst, ideal));
+  RefineOptions opts;
+  opts.max_trials = 60;
+  const RefineResult r = pairwise_exchange_refine(inst, ideal, initial, opts);
+  for (NodeId c = 0; c < 8; ++c) {
+    if (initial.pinned[idx(c)]) {
+      EXPECT_EQ(r.assignment.host_of(c), initial.assignment.host_of(c));
+    }
+  }
+}
+
+// --------------------------------------------------------------- annealing
+
+TEST(AnnealingTest, NeverWorseThanStart) {
+  const MappingInstance inst = random_instance(60, 8, make_hypercube(3), 31);
+  const Assignment start = Assignment::identity(8);
+  AnnealingOptions opts;
+  opts.steps = 20;
+  const AnnealingResult r = anneal_mapping(inst, start, opts);
+  EXPECT_LE(r.total_time, total_time(inst, start));
+  EXPECT_EQ(r.total_time, total_time(inst, r.assignment));
+  EXPECT_GT(r.moves_tried, 0);
+}
+
+TEST(AnnealingTest, RejectsBadCooling) {
+  const MappingInstance inst = random_instance(30, 4, make_ring(4), 32);
+  AnnealingOptions opts;
+  opts.cooling = 1.5;
+  EXPECT_THROW(anneal_mapping(inst, Assignment::identity(4), opts), std::invalid_argument);
+}
+
+TEST(AnnealingTest, SingleProcessorNoMoves) {
+  TaskGraph g(3);
+  const MappingInstance inst(g, Clustering({0, 0, 0}, 1), make_complete(1));
+  const AnnealingResult r = anneal_mapping(inst, Assignment::identity(1));
+  EXPECT_EQ(r.moves_tried, 0);
+}
+
+// -------------------------------------------------------------- exhaustive
+
+TEST(ExhaustiveTest, EnumeratesAllPermutations) {
+  int count = 0;
+  for_each_assignment(4, [&count](const Assignment& a) {
+    EXPECT_TRUE(a.complete());
+    ++count;
+  });
+  EXPECT_EQ(count, 24);
+}
+
+TEST(ExhaustiveTest, RejectsLargeN) {
+  EXPECT_THROW(for_each_assignment(11, [](const Assignment&) {}), std::invalid_argument);
+}
+
+TEST(ExhaustiveTest, BestTotalIsGlobalMinimum) {
+  const MappingInstance inst = random_instance(30, 5, make_ring(5), 41);
+  const ExhaustiveResult best = exhaustive_best_total(inst);
+  for_each_assignment(5, [&](const Assignment& a) {
+    EXPECT_GE(total_time(inst, a), best.total_time);
+  });
+  EXPECT_GE(best.total_time, compute_ideal_schedule(inst).lower_bound);
+}
+
+TEST(ExhaustiveTest, MapperNeverBeatsExhaustive) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const MappingInstance inst = random_instance(40, 6, make_ring(6), seed + 50);
+    const ExhaustiveResult best = exhaustive_best_total(inst);
+    const MappingReport r = map_instance(inst);
+    EXPECT_GE(r.total_time(), best.total_time);
+  }
+}
+
+TEST(ExhaustiveTest, CardinalityScanIsConsistent) {
+  const MappingInstance inst = random_instance(30, 5, make_chain(5), 43);
+  const auto scan = exhaustive_best_cardinality(inst);
+  EXPECT_EQ(static_cast<Weight>(cardinality(inst, scan.best_assignment_at_objective)),
+            scan.best_objective);
+  EXPECT_EQ(total_time(inst, scan.best_assignment_at_objective),
+            scan.best_total_at_objective);
+  for_each_assignment(5, [&](const Assignment& a) {
+    EXPECT_LE(static_cast<Weight>(cardinality(inst, a)), scan.best_objective);
+  });
+}
+
+TEST(ExhaustiveTest, CommCostScanIsConsistent) {
+  const MappingInstance inst = random_instance(30, 5, make_chain(5), 44);
+  const auto scan = exhaustive_best_comm_cost(inst);
+  EXPECT_EQ(phase_comm_cost(inst, scan.best_assignment_at_objective), scan.best_objective);
+  for_each_assignment(5, [&](const Assignment& a) {
+    EXPECT_GE(phase_comm_cost(inst, a), scan.best_objective);
+  });
+}
+
+}  // namespace
+}  // namespace mimdmap

@@ -1,0 +1,220 @@
+// End-to-end tests for the CLI command layer, driving the same code paths
+// as the mimdmap_cli binary through in-memory streams and temp files.
+#include "cli/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mimdmap::cli {
+namespace {
+
+/// Runs a command line (already split into tokens) and captures output.
+struct CliResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliResult run_cli(const std::vector<std::string>& args) {
+  std::vector<const char*> argv;
+  argv.push_back("mimdmap_cli");
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run(static_cast<int>(argv.size()), argv.data(), out, err);
+  return {code, out.str(), err.str()};
+}
+
+/// Temp file helper (removed on destruction).
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(::testing::TempDir() + "mimdmap_" + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::string read() const {
+    std::ifstream in(path_);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+
+ private:
+  std::string path_;
+};
+
+TEST(CliTest, HelpCommand) {
+  const CliResult r = run_cli({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("usage:"), std::string::npos);
+  EXPECT_NE(r.out.find("generate"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  const CliResult r = run_cli({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, NoArgsPrintsUsage) {
+  const CliResult r = run_cli({});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST(CliTest, GenerateToStdout) {
+  const CliResult r = run_cli({"generate", "--workload", "pipeline", "--length", "5"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("taskgraph 5"), std::string::npos);
+}
+
+TEST(CliTest, GenerateDotOutput) {
+  const CliResult r = run_cli({"generate", "--workload", "fft", "--points", "4", "--dot"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("digraph"), std::string::npos);
+}
+
+TEST(CliTest, GenerateUnknownWorkloadFails) {
+  const CliResult r = run_cli({"generate", "--workload", "nope"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown --workload"), std::string::npos);
+}
+
+TEST(CliTest, GenerateRejectsTypo) {
+  const CliResult r = run_cli({"generate", "--workload", "pipeline", "--lenght", "5"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--lenght"), std::string::npos);
+}
+
+TEST(CliTest, TopologyToFile) {
+  TempFile file("machine.txt");
+  const CliResult r = run_cli({"topology", "--spec", "mesh-2x3", "--out", file.path()});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(file.read().find("systemgraph 6 mesh-2x3"), std::string::npos);
+}
+
+TEST(CliTest, FullPipelineThroughFiles) {
+  TempFile prog("prog.txt");
+  TempFile machine("machine.txt");
+  TempFile parts("parts.txt");
+
+  ASSERT_EQ(run_cli({"generate", "--workload", "gaussian", "--order", "7", "--seed", "3",
+                     "--out", prog.path()})
+                .code,
+            0);
+  ASSERT_EQ(run_cli({"topology", "--spec", "hypercube-3", "--out", machine.path()}).code, 0);
+  ASSERT_EQ(run_cli({"cluster", "--problem", prog.path(), "--clusters", "8", "--strategy",
+                     "linear", "--out", parts.path()})
+                .code,
+            0);
+  EXPECT_NE(parts.read().find("clustering 21 8"), std::string::npos);
+
+  const CliResult mapped = run_cli({"map", "--problem", prog.path(), "--system",
+                                    machine.path(), "--clustering", parts.path(),
+                                    "--random-trials", "5"});
+  ASSERT_EQ(mapped.code, 0) << mapped.err;
+  EXPECT_NE(mapped.out.find("lower bound:"), std::string::npos);
+  EXPECT_NE(mapped.out.find("final total:"), std::string::npos);
+  EXPECT_NE(mapped.out.find("random mapping mean"), std::string::npos);
+}
+
+TEST(CliTest, MapWithSpecAndStrategy) {
+  TempFile prog("prog2.txt");
+  ASSERT_EQ(run_cli({"generate", "--workload", "diamond", "--rows", "4", "--cols", "4",
+                     "--out", prog.path()})
+                .code,
+            0);
+  const CliResult r = run_cli({"map", "--problem", prog.path(), "--spec", "ring-4",
+                               "--strategy", "block", "--gantt"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("system=ring-4"), std::string::npos);
+  EXPECT_NE(r.out.find("total time:"), std::string::npos);  // gantt footer
+}
+
+TEST(CliTest, MapExtensionsFlagsAccepted) {
+  TempFile prog("prog3.txt");
+  ASSERT_EQ(run_cli({"generate", "--workload", "lu", "--tiles", "4", "--out", prog.path()})
+                .code,
+            0);
+  const CliResult r =
+      run_cli({"map", "--problem", prog.path(), "--spec", "mesh-2x2", "--strategy", "level",
+               "--contention", "--serialize", "--weighted-links", "--extended-critical"});
+  ASSERT_EQ(r.code, 0) << r.err;
+}
+
+TEST(CliTest, EvalExplicitAssignment) {
+  TempFile prog("prog4.txt");
+  TempFile parts("parts4.txt");
+  ASSERT_EQ(run_cli({"generate", "--workload", "fork-join", "--width", "3", "--stages", "1",
+                     "--out", prog.path()})
+                .code,
+            0);
+  ASSERT_EQ(run_cli({"cluster", "--problem", prog.path(), "--clusters", "4", "--strategy",
+                     "round-robin", "--out", parts.path()})
+                .code,
+            0);
+  const CliResult r = run_cli({"eval", "--problem", prog.path(), "--spec", "ring-4",
+                               "--clustering", parts.path(), "--assignment", "0,1,2,3"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("total time:"), std::string::npos);
+  EXPECT_NE(r.out.find("lower bound:"), std::string::npos);
+}
+
+TEST(CliTest, EvalRejectsBadAssignment) {
+  TempFile prog("prog5.txt");
+  TempFile parts("parts5.txt");
+  ASSERT_EQ(run_cli({"generate", "--workload", "pipeline", "--length", "4", "--out",
+                     prog.path()})
+                .code,
+            0);
+  ASSERT_EQ(run_cli({"cluster", "--problem", prog.path(), "--clusters", "2", "--strategy",
+                     "block", "--out", parts.path()})
+                .code,
+            0);
+  const CliResult r = run_cli({"eval", "--problem", prog.path(), "--spec", "chain-2",
+                               "--clustering", parts.path(), "--assignment", "0,0"});
+  EXPECT_EQ(r.code, 1);  // not a permutation
+}
+
+TEST(CliTest, InfoProblemAndSystem) {
+  TempFile prog("prog6.txt");
+  ASSERT_EQ(run_cli({"generate", "--workload", "cholesky", "--tiles", "4", "--out",
+                     prog.path()})
+                .code,
+            0);
+  const CliResult p = run_cli({"info", "--problem", prog.path()});
+  ASSERT_EQ(p.code, 0);
+  EXPECT_NE(p.out.find("critical path:"), std::string::npos);
+
+  const CliResult s = run_cli({"info", "--spec", "debruijn-3"});
+  ASSERT_EQ(s.code, 0);
+  EXPECT_NE(s.out.find("diameter:"), std::string::npos);
+}
+
+TEST(CliTest, MissingFileReportsError) {
+  const CliResult r = run_cli({"info", "--problem", "/nonexistent/file.txt"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST(CliTest, MapIsDeterministic) {
+  TempFile prog("prog7.txt");
+  ASSERT_EQ(run_cli({"generate", "--workload", "layered", "--tasks", "50", "--seed", "5",
+                     "--out", prog.path()})
+                .code,
+            0);
+  const std::vector<std::string> cmd = {"map",        "--problem", prog.path(),
+                                        "--spec",     "mesh-2x3",  "--strategy",
+                                        "block",      "--refine-seed", "42"};
+  const CliResult a = run_cli(cmd);
+  const CliResult b = run_cli(cmd);
+  ASSERT_EQ(a.code, 0) << a.err;
+  EXPECT_EQ(a.out, b.out);
+}
+
+}  // namespace
+}  // namespace mimdmap::cli

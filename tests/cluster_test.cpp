@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "cluster/abstract_graph.hpp"
+#include "cluster/clustering.hpp"
+#include "cluster/strategies.hpp"
+#include "workload/random_dag.hpp"
+#include "workload/structured.hpp"
+
+namespace mimdmap {
+namespace {
+
+TaskGraph small_graph() {
+  // 0 -> 1 (w2), 0 -> 2 (w3), 1 -> 3 (w4), 2 -> 3 (w5)
+  TaskGraph g(4);
+  g.add_edge(0, 1, 2);
+  g.add_edge(0, 2, 3);
+  g.add_edge(1, 3, 4);
+  g.add_edge(2, 3, 5);
+  return g;
+}
+
+// ------------------------------------------------------------- Clustering
+
+TEST(ClusteringTest, BasicPartition) {
+  Clustering c({0, 1, 0, 1}, 2);
+  EXPECT_EQ(c.num_tasks(), 4);
+  EXPECT_EQ(c.num_clusters(), 2);
+  EXPECT_EQ(c.cluster_of(2), 0);
+  EXPECT_TRUE(c.same_cluster(0, 2));
+  EXPECT_FALSE(c.same_cluster(0, 1));
+  EXPECT_EQ(c.members(0), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(c.members(1), (std::vector<NodeId>{1, 3}));
+}
+
+TEST(ClusteringTest, EmptyClustersAllowed) {
+  Clustering c({0, 0}, 3);
+  EXPECT_EQ(c.non_empty_clusters(), 1);
+  EXPECT_TRUE(c.members(2).empty());
+}
+
+TEST(ClusteringTest, RejectsOutOfRangeClusterIds) {
+  EXPECT_THROW(Clustering({0, 3}, 3), std::invalid_argument);
+  EXPECT_THROW(Clustering({0, -1}, 3), std::invalid_argument);
+}
+
+TEST(ClusteringTest, ClusteredEdgeMatrixRemovesIntraClusterEdges) {
+  const TaskGraph g = small_graph();
+  const Clustering c({0, 0, 1, 1}, 2);
+  const auto m = clustered_edge_matrix(g, c);
+  EXPECT_EQ(m(0, 1), 0);  // intra cluster 0: removed
+  EXPECT_EQ(m(0, 2), 3);  // inter
+  EXPECT_EQ(m(1, 3), 4);  // inter
+  EXPECT_EQ(m(2, 3), 0);  // intra cluster 1: removed
+}
+
+TEST(ClusteringTest, ClusteredEdgeMatrixSizeMismatchThrows) {
+  const TaskGraph g = small_graph();
+  const Clustering c({0, 1}, 2);
+  EXPECT_THROW(clustered_edge_matrix(g, c), std::invalid_argument);
+}
+
+TEST(ClusteringTest, InterClusterTraffic) {
+  const TaskGraph g = small_graph();
+  EXPECT_EQ(inter_cluster_traffic(g, Clustering({0, 0, 1, 1}, 2)), 3 + 4);
+  EXPECT_EQ(inter_cluster_traffic(g, Clustering({0, 0, 0, 0}, 1)), 0);
+  EXPECT_EQ(inter_cluster_traffic(g, Clustering({0, 1, 2, 3}, 4)), 14);
+}
+
+// ----------------------------------------------------------- AbstractGraph
+
+TEST(AbstractGraphTest, CollapsesParallelEdges) {
+  TaskGraph g(4);
+  g.add_edge(0, 2, 2);
+  g.add_edge(1, 3, 3);  // same cluster pair as (0,2)
+  g.add_edge(0, 3, 5);
+  const Clustering c({0, 0, 1, 1}, 2);
+  const AbstractGraph a(g, c);
+  EXPECT_EQ(a.node_count(), 2);
+  EXPECT_EQ(a.edge_count(), 1u);
+  EXPECT_TRUE(a.has_edge(0, 1));
+  EXPECT_TRUE(a.has_edge(1, 0));
+  EXPECT_EQ(a.edge_traffic(0, 1), 10);
+  EXPECT_EQ(a.mca(0), 10);
+  EXPECT_EQ(a.mca(1), 10);
+}
+
+TEST(AbstractGraphTest, IgnoresIntraClusterEdges) {
+  TaskGraph g(3);
+  g.add_edge(0, 1, 9);  // intra
+  g.add_edge(1, 2, 1);
+  const Clustering c({0, 0, 1}, 2);
+  const AbstractGraph a(g, c);
+  EXPECT_EQ(a.edge_count(), 1u);
+  EXPECT_EQ(a.mca(0), 1);
+  EXPECT_EQ(a.neighbors(0), (std::vector<NodeId>{1}));
+}
+
+TEST(AbstractGraphTest, RunningExampleMcaMirrorsPaperShape) {
+  // mca is the row-sum of clustered traffic (paper Fig. 20-c semantics).
+  const TaskGraph g = small_graph();
+  const Clustering c({0, 1, 2, 3}, 4);
+  const AbstractGraph a(g, c);
+  EXPECT_EQ(a.mca(0), 5);   // edges (0,1)+(0,2)
+  EXPECT_EQ(a.mca(3), 9);   // edges (1,3)+(2,3)
+  Weight total = 0;
+  for (NodeId i = 0; i < 4; ++i) total += a.mca(i);
+  EXPECT_EQ(total, 2 * g.total_traffic());  // each edge counted at both ends
+}
+
+// ------------------------------------------------------------- strategies
+
+TEST(StrategiesTest, RandomClusteringCoversAllClusters) {
+  LayeredDagParams p;
+  p.num_tasks = 50;
+  const TaskGraph g = make_layered_dag(p, 1);
+  const Clustering c = random_clustering(g, 8, 42);
+  EXPECT_EQ(c.num_tasks(), 50);
+  EXPECT_EQ(c.num_clusters(), 8);
+  EXPECT_EQ(c.non_empty_clusters(), 8);  // ensure_non_empty default
+}
+
+TEST(StrategiesTest, RandomClusteringDeterministic) {
+  LayeredDagParams p;
+  const TaskGraph g = make_layered_dag(p, 1);
+  const Clustering a = random_clustering(g, 6, 9);
+  const Clustering b = random_clustering(g, 6, 9);
+  EXPECT_EQ(a.cluster_map(), b.cluster_map());
+}
+
+TEST(StrategiesTest, RandomClusteringFewerTasksThanClusters) {
+  const TaskGraph g = make_pipeline(3, StructuredWeights{});
+  const Clustering c = random_clustering(g, 5, 1);
+  EXPECT_EQ(c.num_clusters(), 5);
+  EXPECT_LE(c.non_empty_clusters(), 3);
+}
+
+TEST(StrategiesTest, RoundRobin) {
+  const TaskGraph g = make_pipeline(7, StructuredWeights{});
+  const Clustering c = round_robin_clustering(g, 3);
+  EXPECT_EQ(c.cluster_of(0), 0);
+  EXPECT_EQ(c.cluster_of(1), 1);
+  EXPECT_EQ(c.cluster_of(2), 2);
+  EXPECT_EQ(c.cluster_of(3), 0);
+  EXPECT_EQ(c.non_empty_clusters(), 3);
+}
+
+TEST(StrategiesTest, BlockClusteringKeepsTopologicalPrefixes) {
+  const TaskGraph g = make_pipeline(9, StructuredWeights{});
+  const Clustering c = block_clustering(g, 3);
+  // pipeline: topological order is 0..8, blocks of 3
+  EXPECT_EQ(c.cluster_of(0), 0);
+  EXPECT_EQ(c.cluster_of(2), 0);
+  EXPECT_EQ(c.cluster_of(3), 1);
+  EXPECT_EQ(c.cluster_of(8), 2);
+}
+
+TEST(StrategiesTest, LevelClusteringGroupsWavefronts) {
+  const TaskGraph g = make_fork_join(4, 1, StructuredWeights{{1, 1}, {1, 1}, 1});
+  const Clustering c = level_clustering(g, 3);
+  // source level 0, middles level 1, sink level 2
+  EXPECT_EQ(c.cluster_of(0), 0);
+  for (NodeId v = 1; v <= 4; ++v) EXPECT_EQ(c.cluster_of(v), 1);
+  EXPECT_EQ(c.cluster_of(5), 2);
+}
+
+TEST(StrategiesTest, ListSchedulingProducesValidClustering) {
+  LayeredDagParams p;
+  p.num_tasks = 60;
+  const TaskGraph g = make_layered_dag(p, 3);
+  const Clustering c = list_scheduling_clustering(g, 6);
+  EXPECT_EQ(c.num_tasks(), 60);
+  EXPECT_GE(c.non_empty_clusters(), 1);
+}
+
+TEST(StrategiesTest, ListSchedulingBalancesIndependentTasks) {
+  TaskGraph g(4);  // 4 independent unit tasks on 4 processors
+  const Clustering c = list_scheduling_clustering(g, 4);
+  EXPECT_EQ(c.non_empty_clusters(), 4);
+}
+
+TEST(StrategiesTest, EdgeZeroingReachesExactClusterCount) {
+  LayeredDagParams p;
+  p.num_tasks = 40;
+  const TaskGraph g = make_layered_dag(p, 5);
+  const Clustering c = edge_zeroing_clustering(g, 5);
+  EXPECT_EQ(c.non_empty_clusters(), 5);
+}
+
+TEST(StrategiesTest, EdgeZeroingMergesHeaviestEdgeFirst) {
+  TaskGraph g(4);
+  g.add_edge(0, 1, 100);  // must be zeroed first
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 3, 1);
+  const Clustering c = edge_zeroing_clustering(g, 3);
+  EXPECT_TRUE(c.same_cluster(0, 1));
+}
+
+TEST(StrategiesTest, EdgeZeroingHandlesDisconnectedComponents) {
+  TaskGraph g(6);  // no edges at all
+  const Clustering c = edge_zeroing_clustering(g, 2);
+  EXPECT_EQ(c.non_empty_clusters(), 2);
+}
+
+TEST(StrategiesTest, LinearClusteringPeelsHeaviestPath) {
+  // Heavy chain 0 -> 1 -> 2 plus a light stray task: the chain must land in
+  // one cluster (the first peeled path).
+  TaskGraph g(4);
+  g.set_node_weight(0, 5);
+  g.set_node_weight(1, 5);
+  g.set_node_weight(2, 5);
+  g.set_node_weight(3, 1);
+  g.add_edge(0, 1, 9);
+  g.add_edge(1, 2, 9);
+  g.add_edge(0, 3, 1);
+  const Clustering c = linear_clustering(g, 2);
+  EXPECT_TRUE(c.same_cluster(0, 1));
+  EXPECT_TRUE(c.same_cluster(1, 2));
+  EXPECT_FALSE(c.same_cluster(0, 3));
+}
+
+TEST(StrategiesTest, LinearClusteringZeroesTheCriticalPathCommunication) {
+  // The lower bound with linear clustering can never exceed the one where
+  // every task is its own cluster, because the heaviest chain pays no
+  // communication.
+  LayeredDagParams p;
+  p.num_tasks = 50;
+  const TaskGraph g = make_layered_dag(p, 8);
+  const Clustering c = linear_clustering(g, 6);
+  EXPECT_EQ(c.num_tasks(), 50);
+  EXPECT_LE(inter_cluster_traffic(g, c), g.total_traffic());
+}
+
+TEST(StrategiesTest, LinearClusteringCoversEveryTask) {
+  LayeredDagParams p;
+  p.num_tasks = 80;
+  const TaskGraph g = make_layered_dag(p, 13);
+  const Clustering c = linear_clustering(g, 7);
+  for (NodeId t = 0; t < 80; ++t) {
+    EXPECT_GE(c.cluster_of(t), 0);
+    EXPECT_LT(c.cluster_of(t), 7);
+  }
+}
+
+TEST(StrategiesTest, DispatchByName) {
+  const TaskGraph g = make_pipeline(12, StructuredWeights{});
+  for (const std::string& name : clustering_strategies()) {
+    const Clustering c = make_clustering(name, g, 4, 11);
+    EXPECT_EQ(c.num_tasks(), 12) << name;
+    EXPECT_EQ(c.num_clusters(), 4) << name;
+  }
+  EXPECT_THROW(make_clustering("nope", g, 4, 1), std::invalid_argument);
+}
+
+TEST(StrategiesTest, RejectNonPositiveClusterCount) {
+  const TaskGraph g = make_pipeline(4, StructuredWeights{});
+  EXPECT_THROW(random_clustering(g, 0, 1), std::invalid_argument);
+  EXPECT_THROW(round_robin_clustering(g, -2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mimdmap

@@ -1,0 +1,151 @@
+// Tests for the store-and-forward link-contention evaluation extension
+// (EvalOptions::link_contention). The paper's model charges k*w per k-hop
+// message regardless of traffic; the extension serialises messages sharing
+// a physical link.
+#include <gtest/gtest.h>
+
+#include "baseline/random_mapping.hpp"
+#include "cluster/strategies.hpp"
+#include "core/evaluation.hpp"
+#include "core/ideal_graph.hpp"
+#include "core/mapper.hpp"
+#include "topology/topology.hpp"
+#include "workload/random_dag.hpp"
+
+namespace mimdmap {
+namespace {
+
+Clustering identity_clustering(NodeId n) {
+  std::vector<NodeId> cluster_of(idx(n));
+  for (NodeId i = 0; i < n; ++i) cluster_of[idx(i)] = i;
+  return Clustering(std::move(cluster_of), n);
+}
+
+constexpr EvalOptions kContention{.serialize_within_processor = false,
+                                  .link_contention = true};
+
+TEST(ContentionTest, SingleMessageCostsSameAsPaperModel) {
+  // One 3-unit message over 2 hops: both models charge 6.
+  TaskGraph g(2);
+  g.add_edge(0, 1, 3);
+  const MappingInstance inst(g, Clustering({0, 2}, 4), make_ring(4));
+  const Assignment a = Assignment::identity(4);
+  EXPECT_EQ(total_time(inst, a), 1 + 6 + 1);
+  EXPECT_EQ(total_time(inst, a, kContention), 1 + 6 + 1);
+}
+
+TEST(ContentionTest, CompetingMessagesSerialiseOnSharedLink) {
+  // Two senders on P0, two receivers on P1 (chain-2, one link). Messages
+  // (0->2) and (1->3), weight 4 each, both ready at t=1. The paper's model
+  // delivers both at t=5; with contention one waits for the link.
+  TaskGraph g(4);
+  g.add_edge(0, 2, 4);
+  g.add_edge(1, 3, 4);
+  const MappingInstance inst(g, Clustering({0, 0, 1, 1}, 2), make_chain(2));
+  const Assignment a = Assignment::identity(2);
+
+  const ScheduleResult paper = evaluate(inst, a);
+  EXPECT_EQ(paper.start[2], 5);
+  EXPECT_EQ(paper.start[3], 5);
+  EXPECT_EQ(paper.total_time, 6);
+
+  const ScheduleResult contended = evaluate(inst, a, kContention);
+  // Deterministic claim order: task 2 before task 3 (topological order).
+  EXPECT_EQ(contended.start[2], 5);
+  EXPECT_EQ(contended.start[3], 9);  // waits for the link to free up
+  EXPECT_EQ(contended.total_time, 10);
+}
+
+TEST(ContentionTest, DisjointRoutesDoNotInterfere) {
+  // Same two messages but across disjoint links of a 4-chain.
+  TaskGraph g(4);
+  g.add_edge(0, 2, 4);
+  g.add_edge(1, 3, 4);
+  // clusters: 0 -> P0, sends to P1; 1 -> P2 sends to P3.
+  const MappingInstance inst(g, Clustering({0, 2, 1, 3}, 4), make_chain(4));
+  const Assignment a = Assignment::identity(4);
+  const ScheduleResult contended = evaluate(inst, a, kContention);
+  EXPECT_EQ(contended.start[2], 5);
+  EXPECT_EQ(contended.start[3], 5);
+}
+
+TEST(ContentionTest, StoreAndForwardPipelinesAcrossHops) {
+  // A 2-hop message behind a 1-hop message on the first link: the second
+  // hop starts only after the first completes (store and forward).
+  TaskGraph g(3);
+  g.add_edge(0, 1, 2);  // P0 -> P1 (link 0-1)
+  g.add_edge(0, 2, 2);  // P0 -> P2 (links 0-1, 1-2)
+  const MappingInstance inst(g, Clustering({0, 1, 2}, 3), make_chain(3));
+  const Assignment a = Assignment::identity(3);
+  const ScheduleResult s = evaluate(inst, a, kContention);
+  // Task 1's message claims link (0,1) first (insertion order): arrives 3.
+  EXPECT_EQ(s.start[1], 3);
+  // Task 2's message departs link (0,1) at 3, arrives P1 at 5, then link
+  // (1,2) 5->7.
+  EXPECT_EQ(s.start[2], 7);
+}
+
+TEST(ContentionTest, ContentionNeverFasterThanPaperModel) {
+  LayeredDagParams p;
+  p.num_tasks = 60;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const TaskGraph g = make_layered_dag(p, seed);
+    const Clustering c = random_clustering(g, 8, seed + 3);
+    const MappingInstance inst(g, c, make_hypercube(3));
+    Rng rng(seed);
+    for (int t = 0; t < 4; ++t) {
+      const Assignment a = random_assignment(8, rng);
+      EXPECT_GE(total_time(inst, a, kContention), total_time(inst, a))
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(ContentionTest, LowerBoundStillHolds) {
+  // The ideal-graph bound is a fortiori valid under the harsher model.
+  LayeredDagParams p;
+  p.num_tasks = 50;
+  const TaskGraph g = make_layered_dag(p, 11);
+  const Clustering c = random_clustering(g, 6, 12);
+  const MappingInstance inst(g, c, make_ring(6));
+  const Weight lb = compute_ideal_schedule(inst).lower_bound;
+  Rng rng(1);
+  for (int t = 0; t < 10; ++t) {
+    EXPECT_GE(total_time(inst, random_assignment(6, rng), kContention), lb);
+  }
+}
+
+TEST(ContentionTest, MapperRunsUnderContentionModel) {
+  LayeredDagParams p;
+  p.num_tasks = 70;
+  const TaskGraph g = make_layered_dag(p, 21);
+  const Clustering c = block_clustering(g, 8);
+  const MappingInstance inst(g, c, make_hypercube(3));
+  MapperOptions opts;
+  opts.refine.eval.link_contention = true;
+  const MappingReport r = map_instance(inst, opts);
+  EXPECT_GE(r.total_time(), r.lower_bound);
+  EXPECT_LE(r.total_time(), r.initial_total);
+  // The reported schedule really is the contention-model schedule.
+  EXPECT_EQ(r.total_time(), total_time(inst, r.assignment, kContention));
+}
+
+TEST(ContentionTest, IntraClusterTrafficUsesNoLinks) {
+  TaskGraph g(2);
+  g.add_edge(0, 1, 9);
+  const MappingInstance inst(g, Clustering({0, 0}, 2), make_chain(2));
+  const ScheduleResult s = evaluate(inst, Assignment::identity(2), kContention);
+  EXPECT_EQ(s.start[1], 1);
+}
+
+TEST(ContentionTest, CombinesWithProcessorSerialization) {
+  TaskGraph g(3);  // three independent unit tasks in one cluster
+  const MappingInstance inst(g, Clustering({0, 0, 0}, 1), make_complete(1));
+  EvalOptions both;
+  both.link_contention = true;
+  both.serialize_within_processor = true;
+  EXPECT_EQ(total_time(inst, Assignment::identity(1), both), 3);
+}
+
+}  // namespace
+}  // namespace mimdmap

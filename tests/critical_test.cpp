@@ -1,0 +1,208 @@
+#include "core/critical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cluster/strategies.hpp"
+#include "paper_example.hpp"
+#include "topology/topology.hpp"
+#include "workload/random_dag.hpp"
+
+namespace mimdmap {
+namespace {
+
+using testing::identity_clustering;
+using testing::make_running_example;
+
+using EdgeSet = std::set<std::pair<NodeId, NodeId>>;
+
+EdgeSet to_set(const std::vector<TaskEdge>& edges) {
+  EdgeSet s;
+  for (const TaskEdge& e : edges) s.emplace(e.from, e.to);
+  return s;
+}
+
+TEST(CriticalTest, RunningExamplePaperAlgorithm) {
+  const auto ex = make_running_example();
+  const MappingInstance inst = ex.instance();
+  const IdealSchedule ideal = compute_ideal_schedule(inst);
+  const CriticalInfo info = find_critical(inst, ideal);
+
+  // The chain 1 -> 3 -> 7 -> 9 (paper ids) is critical.
+  const EdgeSet expected{{0, 2}, {2, 6}, {6, 8}};
+  EXPECT_EQ(to_set(info.critical_edges), expected);
+
+  // e79 carries weight 2 in crit_edge (Fig. 22-c semantics).
+  EXPECT_EQ(info.crit_edge(6, 8), 2);
+  // e59 is not critical (the text's counter-example).
+  EXPECT_EQ(info.crit_edge(4, 8), 0);
+}
+
+TEST(CriticalTest, RunningExampleAbstractAggregation) {
+  const auto ex = make_running_example();
+  const MappingInstance inst = ex.instance();
+  const CriticalInfo info = find_critical(inst, compute_ideal_schedule(inst));
+
+  // All three critical edges run between clusters 0 and 2 -> the only
+  // critical abstract edge, total weight 6 (Fig. 20-b has positive entries
+  // only in rows/cols touching cluster 0).
+  EXPECT_EQ(info.c_abs_edge(0, 2), 6);
+  EXPECT_EQ(info.c_abs_edge(2, 0), 6);
+  EXPECT_EQ(info.c_abs_edge(0, 1), 0);
+  EXPECT_EQ(info.c_abs_edge(1, 3), 0);
+  EXPECT_TRUE(info.abstract_edge_critical(0, 2));
+  EXPECT_FALSE(info.abstract_edge_critical(0, 1));
+
+  EXPECT_EQ(info.critical_degree, (std::vector<Weight>{6, 0, 6, 0}));
+  EXPECT_TRUE(info.has_critical_edges());
+}
+
+TEST(CriticalTest, NoCriticalEdgesWhenBottleneckIsIntraCluster) {
+  // Latest task fed only through an intra-cluster precedence: the paper's
+  // walk finds nothing (and pins nothing).
+  TaskGraph g(3);
+  g.set_node_weight(0, 1);
+  g.set_node_weight(1, 5);
+  g.set_node_weight(2, 5);
+  g.add_edge(0, 1, 1);  // inter, plenty of slack
+  g.add_edge(1, 2, 1);  // intra (same cluster)
+  const Clustering c({0, 1, 1}, 3);
+  const MappingInstance inst(g, c, make_complete(3));
+  const IdealSchedule ideal = compute_ideal_schedule(inst);
+  const CriticalInfo paper_mode = find_critical(inst, ideal);
+  EXPECT_FALSE(paper_mode.has_critical_edges());
+
+  // The perturbation oracle shows (0,1) *is* critical: the paper's
+  // algorithm is sound but incomplete (DESIGN.md section 6).
+  const auto oracle = critical_edges_oracle(g, inst.clus_edge());
+  EXPECT_EQ(to_set(oracle), (EdgeSet{{0, 1}}));
+
+  // Extended mode recovers it.
+  const CriticalInfo extended =
+      find_critical(inst, ideal, CriticalOptions{.propagate_through_intra_cluster = true});
+  EXPECT_EQ(to_set(extended.critical_edges), to_set(oracle));
+}
+
+TEST(CriticalTest, ForkWithSlackOnOneBranch) {
+  TaskGraph g(4);
+  g.set_node_weight(0, 1);
+  g.set_node_weight(1, 5);
+  g.set_node_weight(2, 1);
+  g.set_node_weight(3, 1);
+  g.add_edge(0, 1, 2);  // tight branch: 0 ends 1, 1 starts 3, ends 8
+  g.add_edge(0, 2, 2);  // slack branch: 2 ends 4
+  g.add_edge(1, 3, 1);  // 3 starts 9, ends 10 (latest)
+  g.add_edge(2, 3, 1);  // 4 + 1 = 5 < 9: slack
+  const MappingInstance inst(g, identity_clustering(4), make_complete(4));
+  const CriticalInfo info = find_critical(inst, compute_ideal_schedule(inst));
+  EXPECT_EQ(to_set(info.critical_edges), (EdgeSet{{0, 1}, {1, 3}}));
+}
+
+TEST(CriticalTest, TiedPredecessorsAreBothCritical) {
+  TaskGraph g(3);
+  g.add_edge(0, 2, 3);
+  g.add_edge(1, 2, 3);
+  const MappingInstance inst(g, identity_clustering(3), make_complete(3));
+  const CriticalInfo info = find_critical(inst, compute_ideal_schedule(inst));
+  EXPECT_EQ(to_set(info.critical_edges), (EdgeSet{{0, 2}, {1, 2}}));
+}
+
+TEST(CriticalTest, OracleMatchesRunningExample) {
+  const auto ex = make_running_example();
+  const MappingInstance inst = ex.instance();
+  const auto oracle = critical_edges_oracle(inst.problem(), inst.clus_edge());
+  const CriticalInfo info = find_critical(inst, compute_ideal_schedule(inst));
+  EXPECT_EQ(to_set(info.critical_edges), to_set(oracle));
+}
+
+// Property sweep: on random instances, the paper algorithm's critical set
+// is a subset of the oracle set, and extended mode equals the oracle.
+struct CriticalSweepParam {
+  NodeId np;
+  NodeId ns;
+  std::uint64_t seed;
+
+  friend void PrintTo(const CriticalSweepParam& p, std::ostream* os) {
+    *os << "np" << p.np << "_ns" << p.ns << "_seed" << p.seed;
+  }
+};
+
+class CriticalSweep : public ::testing::TestWithParam<CriticalSweepParam> {};
+
+TEST_P(CriticalSweep, PaperSubsetOfOracleAndExtendedExact) {
+  const auto param = GetParam();
+  LayeredDagParams p;
+  p.num_tasks = param.np;
+  const TaskGraph g = make_layered_dag(p, param.seed);
+  const Clustering c = random_clustering(g, param.ns, param.seed * 7 + 1);
+  const MappingInstance inst(g, c, make_complete(param.ns));
+  const IdealSchedule ideal = compute_ideal_schedule(inst);
+
+  const EdgeSet paper_set = to_set(find_critical(inst, ideal).critical_edges);
+  const EdgeSet extended_set = to_set(
+      find_critical(inst, ideal, CriticalOptions{.propagate_through_intra_cluster = true})
+          .critical_edges);
+  const EdgeSet oracle_set = to_set(critical_edges_oracle(g, inst.clus_edge()));
+
+  EXPECT_TRUE(std::includes(oracle_set.begin(), oracle_set.end(), paper_set.begin(),
+                            paper_set.end()))
+      << "paper algorithm reported a non-critical edge";
+  EXPECT_EQ(extended_set, oracle_set);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, CriticalSweep,
+    ::testing::Values(CriticalSweepParam{20, 4, 1}, CriticalSweepParam{20, 4, 2},
+                      CriticalSweepParam{30, 5, 3}, CriticalSweepParam{40, 6, 4},
+                      CriticalSweepParam{50, 8, 5}, CriticalSweepParam{60, 8, 6},
+                      CriticalSweepParam{80, 10, 7}, CriticalSweepParam{100, 12, 8},
+                      CriticalSweepParam{35, 7, 9}, CriticalSweepParam{45, 9, 10}));
+
+TEST(CriticalTest, CriticalDegreeIsRowSum) {
+  LayeredDagParams p;
+  p.num_tasks = 60;
+  const TaskGraph g = make_layered_dag(p, 17);
+  const Clustering c = random_clustering(g, 6, 18);
+  const MappingInstance inst(g, c, make_complete(6));
+  const CriticalInfo info = find_critical(inst, compute_ideal_schedule(inst));
+  for (NodeId a = 0; a < 6; ++a) {
+    Weight sum = 0;
+    for (NodeId b = 0; b < 6; ++b) sum += info.c_abs_edge(idx(a), idx(b));
+    EXPECT_EQ(info.critical_degree[idx(a)], sum);
+  }
+}
+
+TEST(CriticalTest, CAbsEdgeIsSymmetric) {
+  LayeredDagParams p;
+  p.num_tasks = 70;
+  const TaskGraph g = make_layered_dag(p, 21);
+  const Clustering c = random_clustering(g, 7, 22);
+  const MappingInstance inst(g, c, make_complete(7));
+  const CriticalInfo info = find_critical(inst, compute_ideal_schedule(inst));
+  for (NodeId a = 0; a < 7; ++a) {
+    for (NodeId b = 0; b < 7; ++b) {
+      EXPECT_EQ(info.c_abs_edge(idx(a), idx(b)), info.c_abs_edge(idx(b), idx(a)));
+    }
+  }
+}
+
+TEST(CriticalTest, EveryCriticalEdgeHasZeroSlack) {
+  LayeredDagParams p;
+  p.num_tasks = 80;
+  const TaskGraph g = make_layered_dag(p, 31);
+  const Clustering c = random_clustering(g, 8, 32);
+  const MappingInstance inst(g, c, make_complete(8));
+  const IdealSchedule ideal = compute_ideal_schedule(inst);
+  const CriticalInfo info = find_critical(inst, ideal);
+  for (const TaskEdge& e : info.critical_edges) {
+    const Weight cw = inst.clus_edge()(idx(e.from), idx(e.to));
+    EXPECT_GT(cw, 0);
+    EXPECT_EQ(ideal.end[idx(e.from)] + cw, ideal.start[idx(e.to)]);
+    EXPECT_EQ(e.weight, cw);
+  }
+}
+
+}  // namespace
+}  // namespace mimdmap

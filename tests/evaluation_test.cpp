@@ -1,0 +1,153 @@
+#include "core/evaluation.hpp"
+
+#include "core/ideal_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/strategies.hpp"
+#include "paper_example.hpp"
+#include "topology/topology.hpp"
+#include "workload/random_dag.hpp"
+
+namespace mimdmap {
+namespace {
+
+using testing::identity_clustering;
+using testing::make_running_example;
+
+TEST(EvaluationTest, CommMatrixMultipliesByHops) {
+  // 3 tasks in 3 clusters on a chain: 0 - 1 - 2.
+  TaskGraph g(3);
+  g.add_edge(0, 1, 4);
+  g.add_edge(0, 2, 5);
+  const MappingInstance inst(g, identity_clustering(3), make_chain(3));
+  const Assignment a = Assignment::identity(3);
+  const auto comm = communication_matrix(inst, a);
+  EXPECT_EQ(comm(0, 1), 4 * 1);
+  EXPECT_EQ(comm(0, 2), 5 * 2);  // two hops (the paper's "1*2" notation)
+  EXPECT_EQ(comm(1, 2), 0);
+}
+
+TEST(EvaluationTest, CommMatrixIgnoresIntraClusterEdges) {
+  TaskGraph g(2);
+  g.add_edge(0, 1, 9);
+  const MappingInstance inst(g, Clustering({0, 0}, 2), make_chain(2));
+  const auto comm = communication_matrix(inst, Assignment::identity(2));
+  EXPECT_EQ(comm(0, 1), 0);
+}
+
+TEST(EvaluationTest, ChainScheduleByHand) {
+  // tasks: w=2,3,1; edges (0,1) w4, (1,2) w5; clusters singleton; chain
+  // topology 0-1-2 with identity assignment: comm (0,1) = 4, (1,2) = 5.
+  TaskGraph g(3);
+  g.set_node_weight(0, 2);
+  g.set_node_weight(1, 3);
+  g.set_node_weight(2, 1);
+  g.add_edge(0, 1, 4);
+  g.add_edge(1, 2, 5);
+  const MappingInstance inst(g, identity_clustering(3), make_chain(3));
+  const ScheduleResult s = evaluate(inst, Assignment::identity(3));
+  EXPECT_EQ(s.start, (std::vector<Weight>{0, 6, 14}));
+  EXPECT_EQ(s.end, (std::vector<Weight>{2, 9, 15}));
+  EXPECT_EQ(s.total_time, 15);
+
+  // Swap clusters of processors 0 and 2: comm (0,1) stays 1 hop away? No —
+  // host(0)=2, host(1)=1, host(2)=0: both edges still single-hop.
+  const Assignment swapped = Assignment::from_cluster_on({2, 1, 0});
+  EXPECT_EQ(total_time(inst, swapped), 15);
+}
+
+TEST(EvaluationTest, LongerPathsStretchTheSchedule) {
+  // The same two communicating tasks cost more when their hosts are two
+  // hops apart than when adjacent.
+  TaskGraph near_graph(2);
+  near_graph.add_edge(0, 1, 3);
+  const MappingInstance near(near_graph, Clustering({0, 1}, 2), make_chain(2));
+  EXPECT_EQ(total_time(near, Assignment::identity(2)), 1 + 3 + 1);
+
+  TaskGraph far_graph(2);
+  far_graph.add_edge(0, 1, 3);
+  // Clusters 0 and 2 sit on opposite corners of the 4-cycle under identity.
+  const MappingInstance far(far_graph, Clustering({0, 2}, 4), make_ring(4));
+  EXPECT_EQ(total_time(far, Assignment::identity(4)), 1 + 3 * 2 + 1);
+}
+
+TEST(EvaluationTest, OnCompleteTopologyEqualsIdealLowerBound) {
+  // Theorem 3's premise: on the closure every assignment achieves the
+  // ideal-graph bound.
+  LayeredDagParams p;
+  p.num_tasks = 50;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const TaskGraph g = make_layered_dag(p, seed);
+    const Clustering c = random_clustering(g, 6, seed + 100);
+    const MappingInstance inst(g, c, make_complete(6));
+    const Weight lb = compute_ideal_schedule(inst).lower_bound;
+    Rng rng(seed);
+    for (int t = 0; t < 5; ++t) {
+      const Assignment a = Assignment::from_cluster_on(rng.permutation(6));
+      EXPECT_EQ(total_time(inst, a), lb);
+    }
+  }
+}
+
+TEST(EvaluationTest, RunningExampleOptimalAssignmentReachesLowerBound) {
+  // The hand-verified placement (clusters 0,2,3,1 on processors 0,1,2,3)
+  // achieves total time 14 == lower bound on the 4-cycle.
+  const auto ex = make_running_example();
+  const MappingInstance inst = ex.instance();
+  const Assignment a = Assignment::from_cluster_on({0, 2, 3, 1});
+  const ScheduleResult s = evaluate(inst, a);
+  EXPECT_EQ(s.total_time, 14);
+  EXPECT_EQ(s.total_time, compute_ideal_schedule(inst).lower_bound);
+}
+
+TEST(EvaluationTest, RunningExampleWorsePlacementIsSlower) {
+  const auto ex = make_running_example();
+  const MappingInstance inst = ex.instance();
+  // Put the critical pair (clusters 0 and 2) on opposite corners.
+  const Assignment bad = Assignment::from_cluster_on({0, 1, 2, 3});
+  EXPECT_GT(total_time(inst, bad), 14);
+}
+
+TEST(EvaluationTest, SerializedModeNeverFasterAndSerializesSharedProcessors) {
+  TaskGraph g(3);  // three independent unit tasks, all in one cluster
+  std::vector<NodeId> cl = {0, 0, 0};
+  const MappingInstance inst(g, Clustering(cl, 1), make_complete(1));
+  const Assignment a = Assignment::identity(1);
+  EXPECT_EQ(total_time(inst, a), 1);  // paper model: tasks overlap
+  EXPECT_EQ(total_time(inst, a, EvalOptions{.serialize_within_processor = true}), 3);
+}
+
+TEST(EvaluationTest, SerializedModeUpperBoundsPaperModel) {
+  LayeredDagParams p;
+  p.num_tasks = 40;
+  const TaskGraph g = make_layered_dag(p, 9);
+  const Clustering c = random_clustering(g, 5, 10);
+  const MappingInstance inst(g, c, make_ring(5));
+  const Assignment a = Assignment::identity(5);
+  EXPECT_LE(total_time(inst, a),
+            total_time(inst, a, EvalOptions{.serialize_within_processor = true}));
+}
+
+TEST(EvaluationTest, IncompleteAssignmentThrows) {
+  TaskGraph g(2);
+  g.add_edge(0, 1, 1);
+  const MappingInstance inst(g, identity_clustering(2), make_chain(2));
+  EXPECT_THROW(evaluate(inst, Assignment::partial(2)), std::invalid_argument);
+  EXPECT_THROW(evaluate(inst, Assignment::identity(3)), std::invalid_argument);
+}
+
+TEST(EvaluationTest, LatestTasksReported) {
+  TaskGraph g(3);
+  g.set_node_weight(0, 1);
+  g.set_node_weight(1, 2);
+  g.set_node_weight(2, 2);
+  g.add_edge(0, 1, 1);
+  g.add_edge(0, 2, 1);
+  const MappingInstance inst(g, identity_clustering(3), make_complete(3));
+  const ScheduleResult s = evaluate(inst, Assignment::identity(3));
+  EXPECT_EQ(s.latest_tasks, (std::vector<NodeId>{1, 2}));
+}
+
+}  // namespace
+}  // namespace mimdmap

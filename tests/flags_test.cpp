@@ -1,0 +1,90 @@
+#include "cli/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mimdmap {
+namespace {
+
+TEST(FlagsTest, NameValuePairs) {
+  Flags flags({"--tasks", "80", "--strategy", "block"});
+  EXPECT_EQ(flags.get_int("tasks", 0), 80);
+  EXPECT_EQ(flags.get_string("strategy", ""), "block");
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Flags flags({"--tasks=42", "--name=hello"});
+  EXPECT_EQ(flags.get_int("tasks", 0), 42);
+  EXPECT_EQ(flags.get_string("name", ""), "hello");
+}
+
+TEST(FlagsTest, BooleanSwitches) {
+  Flags flags({"--gantt", "--contention", "--flag=false"});
+  EXPECT_TRUE(flags.get_bool("gantt"));
+  EXPECT_TRUE(flags.get_bool("contention"));
+  EXPECT_FALSE(flags.get_bool("flag"));
+  EXPECT_FALSE(flags.get_bool("absent"));
+  EXPECT_TRUE(flags.get_bool("absent", true));
+}
+
+TEST(FlagsTest, BooleanBeforeAnotherFlag) {
+  Flags flags({"--verbose", "--tasks", "5"});
+  EXPECT_TRUE(flags.get_bool("verbose"));
+  EXPECT_EQ(flags.get_int("tasks", 0), 5);
+}
+
+TEST(FlagsTest, Positional) {
+  Flags flags({"map", "--tasks", "5", "extra"});
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"map", "extra"}));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Flags flags({});
+  EXPECT_EQ(flags.get_int("n", 7), 7);
+  EXPECT_EQ(flags.get_string("s", "d"), "d");
+  EXPECT_EQ(flags.get_seed("seed", 9), 9u);
+  EXPECT_FALSE(flags.has("n"));
+}
+
+TEST(FlagsTest, RequireStringThrowsWhenMissing) {
+  Flags flags({});
+  EXPECT_THROW((void)flags.require_string("problem"), std::invalid_argument);
+}
+
+TEST(FlagsTest, BadIntegerThrows) {
+  Flags flags({"--tasks", "abc"});
+  EXPECT_THROW((void)flags.get_int("tasks", 0), std::invalid_argument);
+}
+
+TEST(FlagsTest, BadBooleanThrows) {
+  Flags flags({"--flag", "maybe"});
+  EXPECT_THROW((void)flags.get_bool("flag"), std::invalid_argument);
+}
+
+TEST(FlagsTest, UnusedDetection) {
+  Flags flags({"--tasks", "5", "--typo", "x"});
+  (void)flags.get_int("tasks", 0);
+  EXPECT_EQ(flags.unused(), (std::vector<std::string>{"typo"}));
+  (void)flags.get_string("typo", "");
+  EXPECT_TRUE(flags.unused().empty());
+}
+
+TEST(FlagsTest, ArgvConstructor) {
+  const char* argv[] = {"prog", "map", "--tasks", "9"};
+  Flags flags(4, argv, 2);
+  EXPECT_EQ(flags.get_int("tasks", 0), 9);
+  EXPECT_TRUE(flags.positional().empty());
+}
+
+TEST(ParseIdListTest, ValidLists) {
+  EXPECT_EQ(parse_id_list("0,2,3,1"), (std::vector<NodeId>{0, 2, 3, 1}));
+  EXPECT_EQ(parse_id_list("7"), (std::vector<NodeId>{7}));
+}
+
+TEST(ParseIdListTest, RejectsJunk) {
+  EXPECT_THROW(parse_id_list("1,,2"), std::invalid_argument);
+  EXPECT_THROW(parse_id_list("a,b"), std::invalid_argument);
+  EXPECT_THROW(parse_id_list(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mimdmap

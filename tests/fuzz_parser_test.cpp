@@ -1,0 +1,103 @@
+// Robustness fuzzing for the text parsers: random mutations of valid
+// inputs must either parse into a valid object or throw
+// std::invalid_argument — never crash, hang or corrupt memory.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "cluster/cluster_io.hpp"
+#include "graph/graph_io.hpp"
+#include "topology/topology.hpp"
+#include "workload/random_dag.hpp"
+#include "workload/rng.hpp"
+
+namespace mimdmap {
+namespace {
+
+/// Applies `count` random single-character mutations (replace, delete,
+/// insert) to `text`.
+std::string mutate(const std::string& text, Rng& rng, int count) {
+  std::string out = text;
+  const std::string alphabet = "0123456789 \n\t-abcxyz#";
+  for (int i = 0; i < count && !out.empty(); ++i) {
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(out.size()) - 1));
+    const char c = alphabet[static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(alphabet.size()) - 1))];
+    switch (rng.uniform(0, 2)) {
+      case 0:
+        out[pos] = c;
+        break;
+      case 1:
+        out.erase(pos, 1);
+        break;
+      default:
+        out.insert(pos, 1, c);
+        break;
+    }
+  }
+  return out;
+}
+
+TEST(FuzzParserTest, TaskGraphParserNeverCrashes) {
+  LayeredDagParams p;
+  p.num_tasks = 25;
+  const std::string valid = to_text(make_layered_dag(p, 3));
+  Rng rng(101);
+  int parsed = 0;
+  for (int i = 0; i < 400; ++i) {
+    const std::string input = mutate(valid, rng, static_cast<int>(rng.uniform(1, 12)));
+    try {
+      const TaskGraph g = task_graph_from_text(input);
+      // Anything that parses must be a structurally valid DAG.
+      EXPECT_NO_THROW(g.validate());
+      ++parsed;
+    } catch (const std::invalid_argument&) {
+      // expected for broken inputs
+    } catch (const std::out_of_range&) {
+      // node-id range errors surface as out_of_range; also acceptable
+    }
+  }
+  // Light mutations leave many inputs valid; make sure both paths ran.
+  EXPECT_GT(parsed, 0);
+}
+
+TEST(FuzzParserTest, SystemGraphParserNeverCrashes) {
+  const std::string valid = to_text(make_random_connected(12, 0.3, 7));
+  Rng rng(202);
+  for (int i = 0; i < 400; ++i) {
+    const std::string input = mutate(valid, rng, static_cast<int>(rng.uniform(1, 12)));
+    try {
+      const SystemGraph g = system_graph_from_text(input);
+      EXPECT_GE(g.node_count(), 0);
+    } catch (const std::invalid_argument&) {
+    } catch (const std::out_of_range&) {
+    }
+  }
+}
+
+TEST(FuzzParserTest, ClusteringParserNeverCrashes) {
+  const Clustering clustering({0, 1, 2, 0, 1, 2, 1, 0}, 3);
+  const std::string valid = to_text(clustering);
+  Rng rng(303);
+  for (int i = 0; i < 400; ++i) {
+    const std::string input = mutate(valid, rng, static_cast<int>(rng.uniform(1, 10)));
+    try {
+      const Clustering c = clustering_from_text(input);
+      EXPECT_GE(c.num_clusters(), 0);
+    } catch (const std::invalid_argument&) {
+    } catch (const std::out_of_range&) {
+    }
+  }
+}
+
+TEST(FuzzParserTest, GarbageInputsRejectedCleanly) {
+  for (const char* junk : {"", "\n\n\n", "taskgraph", "taskgraph -5", "systemgraph x",
+                           "clustering 1", "\0x01\x02", "taskgraph 999999999999999999999"}) {
+    EXPECT_THROW((void)task_graph_from_text(junk), std::invalid_argument) << junk;
+  }
+}
+
+}  // namespace
+}  // namespace mimdmap

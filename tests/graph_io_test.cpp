@@ -1,0 +1,94 @@
+#include "graph/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/topology.hpp"
+
+namespace mimdmap {
+namespace {
+
+TaskGraph sample_task_graph() {
+  TaskGraph g(3);
+  g.set_node_weight(0, 2);
+  g.set_node_weight(1, 3);
+  g.set_node_weight(2, 4);
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 2, 6);
+  return g;
+}
+
+TEST(GraphIoTest, TaskGraphTextRoundTrip) {
+  const TaskGraph g = sample_task_graph();
+  const TaskGraph parsed = task_graph_from_text(to_text(g));
+  EXPECT_EQ(g, parsed);
+}
+
+TEST(GraphIoTest, SystemGraphTextRoundTrip) {
+  const SystemGraph g = make_mesh(2, 3);
+  const SystemGraph parsed = system_graph_from_text(to_text(g));
+  EXPECT_EQ(g, parsed);
+}
+
+TEST(GraphIoTest, TextFormatIgnoresCommentsAndBlankLines) {
+  const std::string text =
+      "# a comment\n"
+      "taskgraph 2\n"
+      "\n"
+      "node 0 1\n"
+      "  # indented comment\n"
+      "node 1 2\n"
+      "edge 0 1 3\n";
+  const TaskGraph g = task_graph_from_text(text);
+  EXPECT_EQ(g.node_count(), 2);
+  EXPECT_EQ(g.edge_weight(0, 1), 3);
+}
+
+TEST(GraphIoTest, ParseRejectsBadHeader) {
+  EXPECT_THROW(task_graph_from_text("wrong 3\n"), std::invalid_argument);
+  EXPECT_THROW(system_graph_from_text("taskgraph 3\n"), std::invalid_argument);
+  EXPECT_THROW(task_graph_from_text(""), std::invalid_argument);
+}
+
+TEST(GraphIoTest, ParseRejectsNonConsecutiveNodeIds) {
+  EXPECT_THROW(task_graph_from_text("taskgraph 2\nnode 0 1\nnode 2 1\n"),
+               std::invalid_argument);
+}
+
+TEST(GraphIoTest, ParseRejectsMalformedEdge) {
+  EXPECT_THROW(task_graph_from_text("taskgraph 1\nnode 0 1\nedge 0\n"),
+               std::invalid_argument);
+}
+
+TEST(GraphIoTest, ParseRejectsCyclicGraph) {
+  const std::string text =
+      "taskgraph 2\nnode 0 1\nnode 1 1\nedge 0 1 1\nedge 1 0 1\n";
+  EXPECT_THROW(task_graph_from_text(text), std::invalid_argument);
+}
+
+TEST(GraphIoTest, SystemGraphNamePersists) {
+  SystemGraph g(2, "mytopo");
+  g.add_link(0, 1);
+  const SystemGraph parsed = system_graph_from_text(to_text(g));
+  EXPECT_EQ(parsed.name(), "mytopo");
+}
+
+TEST(GraphIoTest, SystemGraphDefaultNameWhenOmitted) {
+  const SystemGraph parsed = system_graph_from_text("systemgraph 2\nlink 0 1 1\n");
+  EXPECT_EQ(parsed.name(), "custom");
+}
+
+TEST(GraphIoTest, DotOutputMentionsNodesAndEdges) {
+  const std::string dot = to_dot(sample_task_graph());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("t0 -> t1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"5\""), std::string::npos);
+}
+
+TEST(GraphIoTest, DotOutputForSystemGraph) {
+  const std::string dot = to_dot(make_ring(3));
+  EXPECT_NE(dot.find("graph \"ring-3\""), std::string::npos);
+  EXPECT_NE(dot.find("p0 -- p1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mimdmap

@@ -1,0 +1,84 @@
+#include "baseline/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/exhaustive.hpp"
+#include "cluster/strategies.hpp"
+#include "core/evaluation.hpp"
+#include "topology/topology.hpp"
+#include "workload/random_dag.hpp"
+
+namespace mimdmap {
+namespace {
+
+MappingInstance random_instance(NodeId np, NodeId ns, const SystemGraph& sys,
+                                std::uint64_t seed) {
+  LayeredDagParams p;
+  p.num_tasks = np;
+  TaskGraph g = make_layered_dag(p, seed);
+  Clustering c = random_clustering(g, ns, seed + 1);
+  return MappingInstance(std::move(g), std::move(c), sys);
+}
+
+TEST(GreedyTest, ProducesCompleteBijection) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const MappingInstance inst = random_instance(50, 8, make_hypercube(3), seed);
+    const GreedyResult r = greedy_traffic_mapping(inst);
+    ASSERT_TRUE(r.assignment.complete());
+    std::vector<bool> used(8, false);
+    for (NodeId c = 0; c < 8; ++c) {
+      EXPECT_FALSE(used[idx(r.assignment.host_of(c))]);
+      used[idx(r.assignment.host_of(c))] = true;
+    }
+  }
+}
+
+TEST(GreedyTest, Deterministic) {
+  const MappingInstance inst = random_instance(60, 8, make_mesh(2, 4), 7);
+  EXPECT_EQ(greedy_traffic_mapping(inst).assignment,
+            greedy_traffic_mapping(inst).assignment);
+}
+
+TEST(GreedyTest, CostIsConsistentWithReportedAssignment) {
+  const MappingInstance inst = random_instance(50, 6, make_ring(6), 9);
+  const GreedyResult r = greedy_traffic_mapping(inst);
+  EXPECT_EQ(r.weighted_distance_cost, weighted_distance_cost(inst, r.assignment));
+}
+
+TEST(GreedyTest, HeaviestPairPlacedAdjacent) {
+  // Two clusters exchange almost all the traffic; greedy must put them on
+  // adjacent processors of a ring.
+  TaskGraph g(4);
+  g.add_edge(0, 1, 100);  // clusters 0 -> 1: dominant
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 3, 1);
+  const MappingInstance inst(g, Clustering({0, 1, 2, 3}, 4), make_ring(4));
+  const GreedyResult r = greedy_traffic_mapping(inst);
+  EXPECT_EQ(inst.hops()(idx(r.assignment.host_of(0)), idx(r.assignment.host_of(1))), 1);
+}
+
+TEST(GreedyTest, NearOptimalCostOnSmallInstances) {
+  // Greedy has no guarantee, but its weighted-distance cost should stay
+  // within 2x of the exhaustive optimum on small instances.
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const MappingInstance inst = random_instance(30, 5, make_chain(5), seed + 40);
+    const GreedyResult r = greedy_traffic_mapping(inst);
+    Weight best = kUnreachable;
+    for_each_assignment(5, [&](const Assignment& a) {
+      best = std::min(best, weighted_distance_cost(inst, a));
+    });
+    EXPECT_LE(r.weighted_distance_cost, 2 * best) << "seed " << seed;
+    EXPECT_GE(r.weighted_distance_cost, best);
+  }
+}
+
+TEST(GreedyTest, CostZeroWhenNoInterClusterTraffic) {
+  TaskGraph g(4);
+  g.add_edge(0, 1, 5);
+  const MappingInstance inst(g, Clustering({0, 0, 1, 2}, 4), make_ring(4));
+  const GreedyResult r = greedy_traffic_mapping(inst);
+  EXPECT_EQ(r.weighted_distance_cost, 0);
+}
+
+}  // namespace
+}  // namespace mimdmap

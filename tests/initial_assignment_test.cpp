@@ -1,0 +1,179 @@
+#include "core/initial_assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/strategies.hpp"
+#include "core/evaluation.hpp"
+#include "paper_example.hpp"
+#include "topology/topology.hpp"
+#include "workload/random_dag.hpp"
+
+namespace mimdmap {
+namespace {
+
+using testing::make_running_example;
+
+InitialAssignmentResult run_initial(const MappingInstance& inst,
+                                    const CriticalOptions& opts = {}) {
+  const IdealSchedule ideal = compute_ideal_schedule(inst);
+  const CriticalInfo critical = find_critical(inst, ideal, opts);
+  return initial_assignment(inst, critical);
+}
+
+TEST(InitialAssignmentTest, RunningExamplePlacement) {
+  // Hand-traced walk (see tests/paper_example.hpp): cluster 0 seeds
+  // processor 0, the critical partner cluster 2 lands adjacent on
+  // processor 1, then clusters 1 and 3 fill in by communication intensity.
+  const auto ex = make_running_example();
+  const MappingInstance inst = ex.instance();
+  const InitialAssignmentResult r = run_initial(inst);
+  ASSERT_TRUE(r.assignment.complete());
+  EXPECT_EQ(r.assignment.host_of(0), 0);
+  EXPECT_EQ(r.assignment.host_of(2), 1);
+  EXPECT_EQ(r.assignment.host_of(1), 3);
+  EXPECT_EQ(r.assignment.host_of(3), 2);
+}
+
+TEST(InitialAssignmentTest, RunningExamplePinsTheCriticalPair) {
+  const auto ex = make_running_example();
+  const MappingInstance inst = ex.instance();
+  const InitialAssignmentResult r = run_initial(inst);
+  EXPECT_EQ(r.pinned, (std::vector<bool>{true, false, true, false}));
+}
+
+TEST(InitialAssignmentTest, RunningExampleReachesLowerBoundLikeFig24) {
+  // The paper's Fig. 24: the initial assignment is already optimal.
+  const auto ex = make_running_example();
+  const MappingInstance inst = ex.instance();
+  const InitialAssignmentResult r = run_initial(inst);
+  EXPECT_EQ(total_time(inst, r.assignment), compute_ideal_schedule(inst).lower_bound);
+}
+
+TEST(InitialAssignmentTest, CriticalEdgeLandsOnSingleSystemEdge) {
+  const auto ex = make_running_example();
+  const MappingInstance inst = ex.instance();
+  const InitialAssignmentResult r = run_initial(inst);
+  // Clusters 0 and 2 share the only critical abstract edge; their hosts
+  // must be adjacent.
+  EXPECT_EQ(inst.hops()(idx(r.assignment.host_of(0)), idx(r.assignment.host_of(2))), 1);
+}
+
+TEST(InitialAssignmentTest, SeedGoesToMaxDegreeProcessor) {
+  // Star topology: the hub has degree n-1 and must host the seed cluster.
+  LayeredDagParams p;
+  p.num_tasks = 30;
+  const TaskGraph g = make_layered_dag(p, 3);
+  const Clustering c = random_clustering(g, 6, 4);
+  const MappingInstance inst(g, c, make_star(6));
+  const IdealSchedule ideal = compute_ideal_schedule(inst);
+  const CriticalInfo critical = find_critical(inst, ideal);
+  // Seed cluster = max critical degree (smallest id on ties).
+  NodeId seed = 0;
+  for (NodeId a = 1; a < 6; ++a) {
+    if (critical.critical_degree[idx(a)] > critical.critical_degree[idx(seed)]) seed = a;
+  }
+  const InitialAssignmentResult r = initial_assignment(inst, critical);
+  EXPECT_EQ(r.assignment.host_of(seed), 0);  // hub
+}
+
+TEST(InitialAssignmentTest, NoCriticalEdgesPinsNothing) {
+  // Two independent equal chains in separate clusters: slack everywhere is
+  // impossible — instead build slack by unequal chains so no clustered edge
+  // is tight... Simplest guaranteed case: no inter-cluster edges at all.
+  TaskGraph g(4);
+  g.add_edge(0, 1, 5);  // intra cluster 0
+  g.add_edge(2, 3, 5);  // intra cluster 1
+  const MappingInstance inst(g, Clustering({0, 0, 1, 1}, 2), make_chain(2));
+  const InitialAssignmentResult r = run_initial(inst);
+  EXPECT_TRUE(r.assignment.complete());
+  EXPECT_EQ(r.pinned, (std::vector<bool>{false, false}));
+}
+
+TEST(InitialAssignmentTest, DisconnectedAbstractGraphStillCompletes) {
+  // Four clusters, no inter-cluster communication at all.
+  TaskGraph g(4);
+  const MappingInstance inst(g, Clustering({0, 1, 2, 3}, 4), make_ring(4));
+  const InitialAssignmentResult r = run_initial(inst);
+  EXPECT_TRUE(r.assignment.complete());
+}
+
+TEST(InitialAssignmentTest, DisconnectedCriticalSubgraphSeedsNewRegion) {
+  // Two independent tight chains in four clusters: the critical subgraph
+  // has two components {0,1} and {2,3}.
+  TaskGraph g(4);
+  g.set_node_weight(0, 1);
+  g.set_node_weight(1, 1);
+  g.set_node_weight(2, 1);
+  g.set_node_weight(3, 1);
+  g.add_edge(0, 1, 5);  // clusters 0 -> 1, tight
+  g.add_edge(2, 3, 5);  // clusters 2 -> 3, tight
+  const MappingInstance inst(g, Clustering({0, 1, 2, 3}, 4), make_ring(4));
+  const IdealSchedule ideal = compute_ideal_schedule(inst);
+  const CriticalInfo critical = find_critical(inst, ideal);
+  EXPECT_TRUE(critical.abstract_edge_critical(0, 1));
+  EXPECT_TRUE(critical.abstract_edge_critical(2, 3));
+  const InitialAssignmentResult r = initial_assignment(inst, critical);
+  EXPECT_TRUE(r.assignment.complete());
+  // Both tight pairs must sit on adjacent processors (ring-4 allows it).
+  EXPECT_EQ(inst.hops()(idx(r.assignment.host_of(0)), idx(r.assignment.host_of(1))), 1);
+  EXPECT_EQ(inst.hops()(idx(r.assignment.host_of(2)), idx(r.assignment.host_of(3))), 1);
+}
+
+TEST(InitialAssignmentTest, SingleProcessorInstance) {
+  TaskGraph g(3);
+  g.add_edge(0, 1, 1);
+  const MappingInstance inst(g, Clustering({0, 0, 0}, 1), make_complete(1));
+  const InitialAssignmentResult r = run_initial(inst);
+  EXPECT_TRUE(r.assignment.complete());
+  EXPECT_EQ(r.assignment.host_of(0), 0);
+}
+
+struct SweepParam {
+  NodeId np;
+  NodeId ns;
+  const char* topology_kind;
+  std::uint64_t seed;
+
+  friend void PrintTo(const SweepParam& p, std::ostream* os) {
+    *os << p.topology_kind << "_np" << p.np << "_ns" << p.ns << "_seed" << p.seed;
+  }
+};
+
+class InitialAssignmentSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(InitialAssignmentSweep, AlwaysProducesCompleteBijection) {
+  const auto param = GetParam();
+  SystemGraph sys = [&]() -> SystemGraph {
+    const std::string kind = param.topology_kind;
+    if (kind == "ring") return make_ring(param.ns);
+    if (kind == "star") return make_star(param.ns);
+    if (kind == "random") return make_random_connected(param.ns, 0.25, param.seed);
+    return make_complete(param.ns);
+  }();
+  LayeredDagParams p;
+  p.num_tasks = param.np;
+  const TaskGraph g = make_layered_dag(p, param.seed);
+  const Clustering c = random_clustering(g, param.ns, param.seed + 1000);
+  const MappingInstance inst(g, c, sys);
+  const InitialAssignmentResult r = run_initial(inst);
+  ASSERT_TRUE(r.assignment.complete());
+  // Bijection check: every processor hosts exactly one cluster.
+  std::vector<bool> used(idx(param.ns), false);
+  for (NodeId cl = 0; cl < param.ns; ++cl) {
+    const NodeId host = r.assignment.host_of(cl);
+    ASSERT_GE(host, 0);
+    ASSERT_LT(host, param.ns);
+    EXPECT_FALSE(used[idx(host)]);
+    used[idx(host)] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, InitialAssignmentSweep,
+    ::testing::Values(SweepParam{30, 4, "ring", 1}, SweepParam{40, 6, "star", 2},
+                      SweepParam{60, 8, "random", 3}, SweepParam{80, 10, "random", 4},
+                      SweepParam{50, 7, "ring", 5}, SweepParam{100, 12, "random", 6},
+                      SweepParam{35, 5, "complete", 7}, SweepParam{90, 9, "star", 8}));
+
+}  // namespace
+}  // namespace mimdmap

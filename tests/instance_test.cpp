@@ -1,0 +1,97 @@
+#include "core/instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "core/ideal_graph.hpp"
+#include "topology/topology.hpp"
+
+namespace mimdmap {
+namespace {
+
+TaskGraph two_task_graph() {
+  TaskGraph g(2);
+  g.add_edge(0, 1, 3);
+  return g;
+}
+
+TEST(InstanceTest, ValidConstruction) {
+  const MappingInstance inst(two_task_graph(), Clustering({0, 1}, 2), make_chain(2));
+  EXPECT_EQ(inst.num_tasks(), 2);
+  EXPECT_EQ(inst.num_processors(), 2);
+  EXPECT_EQ(inst.clustered_weight(0, 1), 3);
+  EXPECT_EQ(inst.hops()(0, 1), 1);
+  EXPECT_EQ(inst.distance_model(), DistanceModel::kHops);
+}
+
+TEST(InstanceTest, RejectsCyclicProblem) {
+  TaskGraph g(2);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 0, 1);
+  EXPECT_THROW(MappingInstance(g, Clustering({0, 1}, 2), make_chain(2)),
+               std::invalid_argument);
+}
+
+TEST(InstanceTest, RejectsDisconnectedSystem) {
+  SystemGraph disconnected(2);
+  EXPECT_THROW(MappingInstance(two_task_graph(), Clustering({0, 1}, 2), disconnected),
+               std::invalid_argument);
+}
+
+TEST(InstanceTest, RejectsClusteringSizeMismatch) {
+  EXPECT_THROW(MappingInstance(two_task_graph(), Clustering({0, 1, 0}, 2), make_chain(2)),
+               std::invalid_argument);
+}
+
+TEST(InstanceTest, RejectsClusterCountNotEqualProcessorCount) {
+  // The paper's precondition na == ns (section 1).
+  EXPECT_THROW(MappingInstance(two_task_graph(), Clustering({0, 1}, 2), make_ring(3)),
+               std::invalid_argument);
+}
+
+TEST(InstanceTest, IntraClusterWeightIsZero) {
+  TaskGraph g(3);
+  g.add_edge(0, 1, 7);
+  g.add_edge(1, 2, 4);
+  const MappingInstance inst(g, Clustering({0, 0, 1}, 2), make_chain(2));
+  EXPECT_EQ(inst.clustered_weight(0, 1), 0);
+  EXPECT_EQ(inst.clustered_weight(1, 2), 4);
+}
+
+TEST(InstanceTest, WeightedLinkDistanceModel) {
+  SystemGraph sys(3, "weighted");
+  sys.add_link(0, 1, 5);
+  sys.add_link(1, 2, 5);
+  sys.add_link(0, 2, 30);
+
+  TaskGraph g(3);
+  g.add_edge(0, 2, 2);
+
+  const MappingInstance hops(g, Clustering({0, 1, 2}, 3), sys, DistanceModel::kHops);
+  // Hop model: direct link = 1 hop.
+  EXPECT_EQ(hops.hops()(0, 2), 1);
+
+  const MappingInstance weighted(g, Clustering({0, 1, 2}, 3), sys,
+                                 DistanceModel::kWeightedLinks);
+  // Weighted model: 5 + 5 through node 1 beats the direct 30.
+  EXPECT_EQ(weighted.hops()(0, 2), 10);
+  EXPECT_EQ(weighted.distance_model(), DistanceModel::kWeightedLinks);
+
+  // The evaluation inherits the distances: message of weight 2 costs 2 vs 20.
+  EXPECT_EQ(total_time(hops, Assignment::identity(3)), 1 + 2 * 1 + 1);
+  EXPECT_EQ(total_time(weighted, Assignment::identity(3)), 1 + 2 * 10 + 1);
+}
+
+TEST(InstanceTest, WeightedModelEqualsHopsOnUnitLinks) {
+  TaskGraph g(4);
+  g.add_edge(0, 3, 2);
+  g.add_edge(1, 2, 1);
+  const Clustering c({0, 1, 2, 3}, 4);
+  const MappingInstance a(g, c, make_ring(4), DistanceModel::kHops);
+  const MappingInstance b(g, c, make_ring(4), DistanceModel::kWeightedLinks);
+  EXPECT_EQ(a.hops(), b.hops());
+  EXPECT_EQ(compute_ideal_schedule(a).lower_bound, compute_ideal_schedule(b).lower_bound);
+}
+
+}  // namespace
+}  // namespace mimdmap

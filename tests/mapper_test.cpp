@@ -1,0 +1,125 @@
+#include "core/mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/strategies.hpp"
+#include "paper_example.hpp"
+#include "topology/factory.hpp"
+#include "topology/topology.hpp"
+#include "workload/random_dag.hpp"
+
+namespace mimdmap {
+namespace {
+
+using testing::make_running_example;
+
+MappingInstance random_instance(NodeId np, NodeId ns, const SystemGraph& sys,
+                                std::uint64_t seed) {
+  LayeredDagParams p;
+  p.num_tasks = np;
+  TaskGraph g = make_layered_dag(p, seed);
+  Clustering c = random_clustering(g, ns, seed + 1);
+  return MappingInstance(std::move(g), std::move(c), sys);
+}
+
+TEST(MapperTest, RunningExampleEndToEnd) {
+  const auto ex = make_running_example();
+  const MappingInstance inst = ex.instance();
+  const MappingReport report = map_instance(inst);
+  EXPECT_EQ(report.lower_bound, 14);
+  EXPECT_EQ(report.total_time(), 14);
+  EXPECT_TRUE(report.reached_lower_bound);
+  EXPECT_EQ(report.refinement_trials, 0);  // optimal at the initial assignment
+  EXPECT_EQ(report.percent_over_lower_bound(), 100);
+}
+
+TEST(MapperTest, ReportInvariants) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const MappingInstance inst = random_instance(60, 8, make_hypercube(3), seed);
+    const MappingReport r = map_instance(inst);
+    EXPECT_GE(r.total_time(), r.lower_bound);
+    EXPECT_GE(r.percent_over_lower_bound(), 100);
+    EXPECT_LE(r.total_time(), r.initial_total);
+    EXPECT_EQ(r.reached_lower_bound, r.total_time() == r.lower_bound);
+    EXPECT_EQ(r.total_time(), total_time(inst, r.assignment));
+    EXPECT_EQ(r.ideal.lower_bound, r.lower_bound);
+    EXPECT_EQ(r.pinned.size(), 8u);
+  }
+}
+
+TEST(MapperTest, DeterministicGivenOptions) {
+  const MappingInstance inst = random_instance(70, 8, make_mesh(2, 4), 9);
+  MapperOptions opts;
+  opts.refine.seed = 555;
+  const MappingReport a = map_instance(inst, opts);
+  const MappingReport b = map_instance(inst, opts);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.total_time(), b.total_time());
+}
+
+TEST(MapperTest, ExtendedCriticalModeStillValid) {
+  const MappingInstance inst = random_instance(60, 8, make_hypercube(3), 10);
+  MapperOptions opts;
+  opts.critical.propagate_through_intra_cluster = true;
+  const MappingReport r = map_instance(inst, opts);
+  EXPECT_GE(r.total_time(), r.lower_bound);
+  EXPECT_TRUE(r.assignment.complete());
+}
+
+TEST(MapperTest, CompleteTopologyAlwaysOptimal) {
+  const MappingInstance inst = random_instance(50, 6, make_complete(6), 11);
+  const MappingReport r = map_instance(inst);
+  EXPECT_TRUE(r.reached_lower_bound);
+  EXPECT_EQ(r.percent_over_lower_bound(), 100);
+}
+
+TEST(MapperTest, PercentRounding) {
+  MappingReport r;
+  r.lower_bound = 3;
+  r.schedule.total_time = 4;  // 133.33 -> 133
+  EXPECT_EQ(r.percent_over_lower_bound(), 133);
+  r.schedule.total_time = 5;  // 166.67 -> 167
+  EXPECT_EQ(r.percent_over_lower_bound(), 167);
+}
+
+struct MapperSweepParam {
+  const char* topology;
+  NodeId np;
+  std::uint64_t seed;
+
+  friend void PrintTo(const MapperSweepParam& p, std::ostream* os) {
+    *os << p.topology << "_np" << p.np << "_seed" << p.seed;
+  }
+};
+
+class MapperSweep : public ::testing::TestWithParam<MapperSweepParam> {};
+
+TEST_P(MapperSweep, PipelineInvariantsAcrossTopologies) {
+  const auto param = GetParam();
+  const SystemGraph sys = make_topology(param.topology);
+  const MappingInstance inst = random_instance(param.np, sys.node_count(), sys, param.seed);
+  const MappingReport r = map_instance(inst);
+  EXPECT_GE(r.total_time(), r.lower_bound);
+  EXPECT_LE(r.total_time(), r.initial_total);
+  EXPECT_TRUE(r.assignment.complete());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, MapperSweep,
+    ::testing::Values(MapperSweepParam{"hypercube-3", 60, 1},
+                      MapperSweepParam{"hypercube-4", 120, 2},
+                      MapperSweepParam{"mesh-3x3", 70, 3}, MapperSweepParam{"mesh-4x4", 130, 4},
+                      MapperSweepParam{"torus-3x3", 80, 5}, MapperSweepParam{"ring-6", 40, 6},
+                      MapperSweepParam{"star-8", 60, 7}, MapperSweepParam{"tree-2x2", 50, 8},
+                      MapperSweepParam{"random-10-25-3", 80, 9},
+                      MapperSweepParam{"random-16-15-5", 100, 10},
+                      MapperSweepParam{"chain-5", 45, 11},
+                      MapperSweepParam{"random-24-10-8", 150, 12},
+                      MapperSweepParam{"mesh3d-2x2x2", 70, 13},
+                      MapperSweepParam{"debruijn-3", 65, 14},
+                      MapperSweepParam{"ccc-3", 120, 15},
+                      MapperSweepParam{"chordal-10-4", 75, 16},
+                      MapperSweepParam{"bipartite-3x4", 55, 17}));
+
+}  // namespace
+}  // namespace mimdmap

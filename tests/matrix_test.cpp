@@ -1,0 +1,97 @@
+#include "graph/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/types.hpp"
+
+namespace mimdmap {
+namespace {
+
+TEST(MatrixTest, DefaultConstructedIsEmpty) {
+  Matrix<int> m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ConstructionInitialises) {
+  Matrix<int> m(2, 3, 7);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.empty());
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 7);
+  }
+}
+
+TEST(MatrixTest, SquareFactory) {
+  auto m = Matrix<Weight>::square(4, -1);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m(3, 3), -1);
+}
+
+TEST(MatrixTest, ElementWrite) {
+  Matrix<int> m(3, 3);
+  m(1, 2) = 42;
+  EXPECT_EQ(m(1, 2), 42);
+  EXPECT_EQ(m(2, 1), 0);
+}
+
+TEST(MatrixTest, AtThrowsOutOfRange) {
+  Matrix<int> m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(MatrixTest, ConstAtThrowsOutOfRange) {
+  const Matrix<int> m(2, 2);
+  EXPECT_THROW(m.at(5, 5), std::out_of_range);
+  EXPECT_EQ(m.at(0, 0), 0);
+}
+
+TEST(MatrixTest, RowSpanViewsContiguousData) {
+  Matrix<int> m(2, 3);
+  m(1, 0) = 1;
+  m(1, 1) = 2;
+  m(1, 2) = 3;
+  auto row = m.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], 1);
+  EXPECT_EQ(row[1], 2);
+  EXPECT_EQ(row[2], 3);
+  row[0] = 9;
+  EXPECT_EQ(m(1, 0), 9);
+}
+
+TEST(MatrixTest, RowThrowsOutOfRange) {
+  Matrix<int> m(2, 3);
+  EXPECT_THROW(m.row(2), std::out_of_range);
+}
+
+TEST(MatrixTest, Fill) {
+  Matrix<int> m(2, 2, 1);
+  m.fill(5);
+  EXPECT_EQ(m(0, 0), 5);
+  EXPECT_EQ(m(1, 1), 5);
+}
+
+TEST(MatrixTest, Equality) {
+  Matrix<int> a(2, 2, 1);
+  Matrix<int> b(2, 2, 1);
+  EXPECT_EQ(a, b);
+  b(0, 1) = 2;
+  EXPECT_FALSE(a == b);
+  Matrix<int> c(2, 3, 1);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(TypesTest, IdxRoundTrip) {
+  EXPECT_EQ(idx(5), 5u);
+  EXPECT_EQ(node_id(7u), 7);
+  EXPECT_EQ(node_id(idx(123)), 123);
+}
+
+}  // namespace
+}  // namespace mimdmap

@@ -1,0 +1,102 @@
+// Tests for the deterministic parallel refinement (RefineOptions::
+// num_threads): any thread count must yield bit-identical results to the
+// sequential run, because candidates depend only on the RNG stream and are
+// scanned in order.
+#include <gtest/gtest.h>
+
+#include "cluster/strategies.hpp"
+#include "core/mapper.hpp"
+#include "topology/topology.hpp"
+#include "workload/random_dag.hpp"
+
+namespace mimdmap {
+namespace {
+
+struct Pipeline {
+  MappingInstance instance;
+  IdealSchedule ideal;
+  InitialAssignmentResult initial;
+};
+
+Pipeline build_pipeline(NodeId np, NodeId ns, const SystemGraph& sys, std::uint64_t seed) {
+  LayeredDagParams p;
+  p.num_tasks = np;
+  TaskGraph g = make_layered_dag(p, seed);
+  Clustering c = random_clustering(g, ns, seed + 1);
+  MappingInstance inst(std::move(g), std::move(c), sys);
+  IdealSchedule ideal = compute_ideal_schedule(inst);
+  InitialAssignmentResult initial = initial_assignment(inst, find_critical(inst, ideal));
+  return Pipeline{std::move(inst), std::move(ideal), std::move(initial)};
+}
+
+TEST(ParallelRefineTest, IdenticalToSequentialAcrossThreadCounts) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Pipeline pl = build_pipeline(70, 8, make_hypercube(3), seed);
+    RefineOptions sequential;
+    sequential.seed = seed * 11 + 1;
+    sequential.max_trials = 64;
+    const RefineResult base = refine(pl.instance, pl.ideal, pl.initial, sequential);
+
+    for (const int threads : {2, 4, 8}) {
+      RefineOptions parallel = sequential;
+      parallel.num_threads = threads;
+      const RefineResult r = refine(pl.instance, pl.ideal, pl.initial, parallel);
+      EXPECT_EQ(r.assignment, base.assignment) << "threads=" << threads << " seed=" << seed;
+      EXPECT_EQ(r.schedule.total_time, base.schedule.total_time);
+      EXPECT_EQ(r.improvements, base.improvements);
+      EXPECT_EQ(r.reached_lower_bound, base.reached_lower_bound);
+    }
+  }
+}
+
+TEST(ParallelRefineTest, TerminationAccountingMatchesSequential) {
+  // On the closure every candidate hits the bound; both modes must report
+  // the same trial count and early-termination flag.
+  Pipeline pl = build_pipeline(40, 6, make_complete(6), 9);
+  // Force a non-optimal start so at least one trial runs: un-pin and use a
+  // pessimal initial? On complete topology everything is optimal — the
+  // pipelines terminate at trial 0 regardless; just assert agreement.
+  RefineOptions sequential;
+  sequential.seed = 3;
+  const RefineResult a = refine(pl.instance, pl.ideal, pl.initial, sequential);
+  RefineOptions parallel = sequential;
+  parallel.num_threads = 4;
+  const RefineResult b = refine(pl.instance, pl.ideal, pl.initial, parallel);
+  EXPECT_EQ(a.trials_used, b.trials_used);
+  EXPECT_EQ(a.terminated_early, b.terminated_early);
+  EXPECT_EQ(a.reached_lower_bound, b.reached_lower_bound);
+}
+
+TEST(ParallelRefineTest, WorksUnderContentionModel) {
+  Pipeline pl = build_pipeline(60, 8, make_mesh(2, 4), 5);
+  RefineOptions opts;
+  opts.seed = 77;
+  opts.eval.link_contention = true;
+  const RefineResult seq = refine(pl.instance, pl.ideal, pl.initial, opts);
+  opts.num_threads = 4;
+  const RefineResult par = refine(pl.instance, pl.ideal, pl.initial, opts);
+  EXPECT_EQ(seq.assignment, par.assignment);
+  EXPECT_EQ(seq.schedule.total_time, par.schedule.total_time);
+}
+
+TEST(ParallelRefineTest, MapperExposesThreadOption) {
+  LayeredDagParams p;
+  p.num_tasks = 80;
+  TaskGraph g = make_layered_dag(p, 13);
+  Clustering c = block_clustering(g, 8);
+  const MappingInstance inst(std::move(g), std::move(c), make_hypercube(3));
+
+  MapperOptions sequential;
+  sequential.refine.seed = 21;
+  sequential.refine.max_trials = 32;
+  MapperOptions parallel = sequential;
+  parallel.refine.num_threads = 4;
+
+  const MappingReport a = map_instance(inst, sequential);
+  const MappingReport b = map_instance(inst, parallel);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.total_time(), b.total_time());
+}
+
+}  // namespace
+}  // namespace mimdmap

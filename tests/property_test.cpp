@@ -1,0 +1,194 @@
+// Cross-module property tests for the paper's theorems on randomly
+// generated instances.
+#include <gtest/gtest.h>
+
+#include "baseline/exhaustive.hpp"
+#include "baseline/random_mapping.hpp"
+#include "cluster/strategies.hpp"
+#include "core/mapper.hpp"
+#include "topology/topology.hpp"
+#include "workload/random_dag.hpp"
+#include "workload/structured.hpp"
+
+namespace mimdmap {
+namespace {
+
+struct PropertyParam {
+  NodeId np;
+  NodeId ns;
+  const char* topology;
+  std::uint64_t seed;
+  const char* workload = "layered";
+
+  friend void PrintTo(const PropertyParam& p, std::ostream* os) {
+    *os << p.workload << "_" << p.topology << "_np" << p.np << "_ns" << p.ns << "_seed"
+        << p.seed;
+  }
+};
+
+SystemGraph build(const PropertyParam& p) {
+  const std::string kind = p.topology;
+  if (kind == "ring") return make_ring(p.ns);
+  if (kind == "chain") return make_chain(p.ns);
+  if (kind == "star") return make_star(p.ns);
+  if (kind == "random") return make_random_connected(p.ns, 0.3, p.seed + 77);
+  if (kind == "hypercube") return make_hypercube(3);  // ns must be 8
+  return make_complete(p.ns);
+}
+
+MappingInstance make_instance(const PropertyParam& p) {
+  const std::string workload = p.workload;
+  TaskGraph g = [&]() {
+    if (workload == "erdos") {
+      ErdosRenyiDagParams wp;
+      wp.num_tasks = p.np;
+      wp.edge_probability = 0.08;
+      return make_erdos_renyi_dag(wp, p.seed);
+    }
+    if (workload == "series-parallel") {
+      SeriesParallelParams wp;
+      wp.depth = 5;
+      return make_series_parallel(wp, p.seed);
+    }
+    LayeredDagParams wp;
+    wp.num_tasks = p.np;
+    return make_layered_dag(wp, p.seed);
+  }();
+  Clustering c = random_clustering(g, p.ns, p.seed + 1);
+  return MappingInstance(std::move(g), std::move(c), build(p));
+}
+
+class PropertySweep : public ::testing::TestWithParam<PropertyParam> {};
+
+// Theorem 3's premise: the ideal-graph makespan lower-bounds EVERY
+// assignment's total time (verified exhaustively for ns <= 6, sampled
+// otherwise).
+TEST_P(PropertySweep, LowerBoundHoldsForAllAssignments) {
+  const MappingInstance inst = make_instance(GetParam());
+  const Weight lb = compute_ideal_schedule(inst).lower_bound;
+  if (inst.num_processors() <= 6) {
+    for_each_assignment(inst.num_processors(), [&](const Assignment& a) {
+      EXPECT_GE(total_time(inst, a), lb);
+    });
+  } else {
+    Rng rng(GetParam().seed + 2);
+    for (int t = 0; t < 50; ++t) {
+      EXPECT_GE(total_time(inst, random_assignment(inst.num_processors(), rng)), lb);
+    }
+  }
+}
+
+// Theorem 3 itself: if the pipeline's termination condition fired, the
+// assignment is optimal — certified by exhaustive search.
+TEST_P(PropertySweep, TerminationConditionImpliesOptimality) {
+  const MappingInstance inst = make_instance(GetParam());
+  if (inst.num_processors() > 6) GTEST_SKIP() << "exhaustive check limited to ns <= 6";
+  const MappingReport r = map_instance(inst);
+  if (r.reached_lower_bound) {
+    const ExhaustiveResult best = exhaustive_best_total(inst);
+    EXPECT_EQ(r.total_time(), best.total_time);
+  }
+}
+
+// Refinement is monotone: the final mapping never loses to the initial one.
+TEST_P(PropertySweep, PipelineMonotone) {
+  const MappingInstance inst = make_instance(GetParam());
+  const MappingReport r = map_instance(inst);
+  EXPECT_LE(r.total_time(), r.initial_total);
+  EXPECT_GE(r.total_time(), r.lower_bound);
+}
+
+// The communication matrix is consistent with clustered weights and hop
+// distances.
+TEST_P(PropertySweep, CommMatrixConsistency) {
+  const MappingInstance inst = make_instance(GetParam());
+  Rng rng(GetParam().seed + 3);
+  const Assignment a = random_assignment(inst.num_processors(), rng);
+  const auto comm = communication_matrix(inst, a);
+  for (const TaskEdge& e : inst.problem().edges()) {
+    const Weight cw = inst.clus_edge()(idx(e.from), idx(e.to));
+    if (cw == 0) {
+      EXPECT_EQ(comm(idx(e.from), idx(e.to)), 0);
+    } else {
+      const NodeId pa = a.host_of(inst.clustering().cluster_of(e.from));
+      const NodeId pb = a.host_of(inst.clustering().cluster_of(e.to));
+      EXPECT_EQ(comm(idx(e.from), idx(e.to)), cw * inst.hops()(idx(pa), idx(pb)));
+      EXPECT_GE(comm(idx(e.from), idx(e.to)), cw);  // closure is the floor
+    }
+  }
+}
+
+// Start times respect every precedence under any assignment.
+TEST_P(PropertySweep, SchedulesRespectPrecedences) {
+  const MappingInstance inst = make_instance(GetParam());
+  Rng rng(GetParam().seed + 4);
+  const Assignment a = random_assignment(inst.num_processors(), rng);
+  const ScheduleResult s = evaluate(inst, a);
+  const auto comm = communication_matrix(inst, a);
+  for (const TaskEdge& e : inst.problem().edges()) {
+    EXPECT_GE(s.start[idx(e.to)], s.end[idx(e.from)] + comm(idx(e.from), idx(e.to)));
+  }
+  for (NodeId v = 0; v < inst.num_tasks(); ++v) {
+    EXPECT_EQ(s.end[idx(v)], s.start[idx(v)] + inst.problem().node_weight(v));
+    EXPECT_GE(s.start[idx(v)], 0);
+  }
+}
+
+// The mapped total can never beat the ideal schedule even with the
+// serialized-processor extension disabled/enabled.
+TEST_P(PropertySweep, SerializedModeDominatesPaperModel) {
+  const MappingInstance inst = make_instance(GetParam());
+  Rng rng(GetParam().seed + 5);
+  const Assignment a = random_assignment(inst.num_processors(), rng);
+  EXPECT_LE(total_time(inst, a),
+            total_time(inst, a, EvalOptions{.serialize_within_processor = true}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Instances, PropertySweep,
+    ::testing::Values(PropertyParam{20, 4, "ring", 1}, PropertyParam{30, 5, "chain", 2},
+                      PropertyParam{30, 5, "star", 3}, PropertyParam{40, 6, "random", 4},
+                      PropertyParam{40, 6, "ring", 5}, PropertyParam{50, 8, "hypercube", 6},
+                      PropertyParam{60, 8, "random", 7}, PropertyParam{25, 4, "complete", 8},
+                      PropertyParam{45, 6, "random", 9}, PropertyParam{70, 8, "hypercube", 10},
+                      PropertyParam{35, 5, "ring", 11}, PropertyParam{55, 6, "chain", 12},
+                      PropertyParam{40, 6, "ring", 13, "erdos"},
+                      PropertyParam{50, 5, "random", 14, "erdos"},
+                      PropertyParam{60, 8, "hypercube", 15, "erdos"},
+                      PropertyParam{0, 6, "random", 16, "series-parallel"},
+                      PropertyParam{0, 4, "ring", 17, "series-parallel"},
+                      PropertyParam{0, 8, "hypercube", 18, "series-parallel"}));
+
+// Structured workloads keep the pipeline invariants too.
+class StructuredPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StructuredPropertyTest, PipelineInvariantsOnStructuredGraphs) {
+  const int which = GetParam();
+  StructuredWeights w{{1, 5}, {1, 5}, static_cast<std::uint64_t>(which + 10)};
+  TaskGraph g = [&]() {
+    switch (which) {
+      case 0: return make_fork_join(6, 2, w);
+      case 1: return make_out_tree(3, 2, w);
+      case 2: return make_in_tree(3, 2, w);
+      case 3: return make_diamond(4, 4, w);
+      case 4: return make_fft(8, w);
+      case 5: return make_gaussian_elimination(6, w);
+      case 6: return make_divide_and_conquer(3, w);
+      default: return make_map_reduce(4, 3, w);
+    }
+  }();
+  const NodeId ns = 6;
+  Clustering c = random_clustering(g, ns, static_cast<std::uint64_t>(which) + 99);
+  const MappingInstance inst(std::move(g), std::move(c), make_mesh(2, 3));
+  const MappingReport r = map_instance(inst);
+  EXPECT_GE(r.total_time(), r.lower_bound);
+  EXPECT_LE(r.total_time(), r.initial_total);
+  const ExhaustiveResult best = exhaustive_best_total(inst);
+  EXPECT_GE(r.total_time(), best.total_time);
+  EXPECT_GE(best.total_time, r.lower_bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, StructuredPropertyTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace mimdmap

@@ -1,0 +1,169 @@
+#include "core/refinement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/strategies.hpp"
+#include "paper_example.hpp"
+#include "topology/topology.hpp"
+#include "workload/random_dag.hpp"
+
+namespace mimdmap {
+namespace {
+
+using testing::make_running_example;
+
+struct Pipeline {
+  MappingInstance instance;
+  IdealSchedule ideal;
+  InitialAssignmentResult initial;
+};
+
+Pipeline build_pipeline(NodeId np, NodeId ns, const SystemGraph& sys, std::uint64_t seed) {
+  LayeredDagParams p;
+  p.num_tasks = np;
+  TaskGraph g = make_layered_dag(p, seed);
+  Clustering c = random_clustering(g, ns, seed + 1);
+  MappingInstance inst(std::move(g), std::move(c), sys);
+  IdealSchedule ideal = compute_ideal_schedule(inst);
+  const CriticalInfo critical = find_critical(inst, ideal);
+  InitialAssignmentResult initial = initial_assignment(inst, critical);
+  return Pipeline{std::move(inst), std::move(ideal), std::move(initial)};
+}
+
+TEST(RefinementTest, TerminatesImmediatelyAtLowerBound) {
+  // The running example's initial assignment is optimal (paper Fig. 24):
+  // refinement must stop before spending any trial.
+  const auto ex = make_running_example();
+  Pipeline pl{ex.instance(), {}, {}};
+  pl.ideal = compute_ideal_schedule(pl.instance);
+  pl.initial = initial_assignment(pl.instance, find_critical(pl.instance, pl.ideal));
+  const RefineResult r = refine(pl.instance, pl.ideal, pl.initial);
+  EXPECT_TRUE(r.reached_lower_bound);
+  EXPECT_TRUE(r.terminated_early);
+  EXPECT_EQ(r.trials_used, 0);
+  EXPECT_EQ(r.schedule.total_time, 14);
+}
+
+TEST(RefinementTest, NeverWorseThanInitial) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Pipeline pl = build_pipeline(60, 8, make_hypercube(3), seed);
+    const RefineResult r = refine(pl.instance, pl.ideal, pl.initial);
+    EXPECT_LE(r.schedule.total_time, r.initial_total) << "seed " << seed;
+    EXPECT_GE(r.schedule.total_time, r.lower_bound) << "seed " << seed;
+  }
+}
+
+TEST(RefinementTest, DefaultBudgetIsNs) {
+  Pipeline pl = build_pipeline(60, 8, make_ring(8), 3);
+  RefineOptions opts;
+  opts.use_termination_condition = false;  // force the full budget
+  const RefineResult r = refine(pl.instance, pl.ideal, pl.initial, opts);
+  EXPECT_EQ(r.trials_used, 8);
+}
+
+TEST(RefinementTest, ExplicitBudgetHonored) {
+  Pipeline pl = build_pipeline(60, 8, make_ring(8), 3);
+  RefineOptions opts;
+  opts.max_trials = 25;
+  opts.use_termination_condition = false;
+  const RefineResult r = refine(pl.instance, pl.ideal, pl.initial, opts);
+  EXPECT_EQ(r.trials_used, 25);
+}
+
+TEST(RefinementTest, PinnedClustersNeverMove) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Pipeline pl = build_pipeline(50, 8, make_mesh(2, 4), seed);
+    RefineOptions opts;
+    opts.max_trials = 40;
+    const RefineResult r = refine(pl.instance, pl.ideal, pl.initial, opts);
+    for (NodeId c = 0; c < 8; ++c) {
+      if (pl.initial.pinned[idx(c)]) {
+        EXPECT_EQ(r.assignment.host_of(c), pl.initial.assignment.host_of(c))
+            << "pinned cluster " << c << " moved (seed " << seed << ")";
+      }
+    }
+  }
+}
+
+TEST(RefinementTest, UnpinnedModeMayMoveEverything) {
+  Pipeline pl = build_pipeline(50, 8, make_mesh(2, 4), 5);
+  RefineOptions opts;
+  opts.respect_pinned = false;
+  opts.max_trials = 40;
+  const RefineResult r = refine(pl.instance, pl.ideal, pl.initial, opts);
+  EXPECT_LE(r.schedule.total_time, r.initial_total);
+}
+
+TEST(RefinementTest, DeterministicPerSeed) {
+  Pipeline pl = build_pipeline(60, 8, make_hypercube(3), 7);
+  RefineOptions opts;
+  opts.seed = 123;
+  const RefineResult a = refine(pl.instance, pl.ideal, pl.initial, opts);
+  const RefineResult b = refine(pl.instance, pl.ideal, pl.initial, opts);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.schedule.total_time, b.schedule.total_time);
+  EXPECT_EQ(a.trials_used, b.trials_used);
+}
+
+TEST(RefinementTest, ResultConsistentWithReportedSchedule) {
+  Pipeline pl = build_pipeline(70, 8, make_hypercube(3), 11);
+  const RefineResult r = refine(pl.instance, pl.ideal, pl.initial);
+  EXPECT_EQ(r.schedule.total_time, total_time(pl.instance, r.assignment));
+  EXPECT_EQ(r.reached_lower_bound, r.schedule.total_time == r.lower_bound);
+}
+
+TEST(RefinementTest, AllPinnedFallsBackToMovingEverything) {
+  // Force every cluster pinned: pin saturation. Refinement must fall back
+  // to full re-placement rather than silently doing nothing, and can never
+  // regress below the initial assignment.
+  Pipeline pl = build_pipeline(40, 4, make_ring(4), 13);
+  pl.initial.pinned.assign(4, true);
+  RefineOptions opts;
+  opts.use_termination_condition = false;
+  const RefineResult r = refine(pl.instance, pl.ideal, pl.initial, opts);
+  EXPECT_EQ(r.trials_used, 4);  // full ns budget on the fallback pool
+  EXPECT_LE(r.schedule.total_time, r.initial_total);
+}
+
+TEST(RefinementTest, PinSaturationFallbackCanEscapeBadInitial) {
+  // A dense instance that pins 7/8 clusters (found by probing): without the
+  // fallback the refinement would run zero trials and keep a poor initial
+  // assignment.
+  Pipeline pl = build_pipeline(215, 8, make_hypercube(3), 99);
+  pl.initial.pinned.assign(8, true);  // simulate full saturation
+  RefineOptions opts;
+  opts.max_trials = 32;
+  const RefineResult r = refine(pl.instance, pl.ideal, pl.initial, opts);
+  EXPECT_GT(r.trials_used, 0);
+  EXPECT_LE(r.schedule.total_time, r.initial_total);
+}
+
+TEST(RefinementTest, TerminationConditionSavesTrials) {
+  // On the closure (complete graph) every assignment hits the lower bound,
+  // so the very first check terminates.
+  Pipeline pl = build_pipeline(50, 6, make_complete(6), 17);
+  const RefineResult with_tc = refine(pl.instance, pl.ideal, pl.initial);
+  EXPECT_TRUE(with_tc.reached_lower_bound);
+  EXPECT_EQ(with_tc.trials_used, 0);
+
+  RefineOptions no_tc;
+  no_tc.use_termination_condition = false;
+  no_tc.respect_pinned = false;  // guarantee movable clusters exist
+  const RefineResult without = refine(pl.instance, pl.ideal, pl.initial, no_tc);
+  EXPECT_EQ(without.trials_used, 6);  // the full ns budget is wasted
+  // Still optimal, of course — just wasted work.
+  EXPECT_EQ(without.schedule.total_time, without.lower_bound);
+  EXPECT_TRUE(without.reached_lower_bound);
+  EXPECT_FALSE(without.terminated_early);
+}
+
+TEST(RefinementTest, IncompleteInitialThrows) {
+  Pipeline pl = build_pipeline(30, 4, make_ring(4), 19);
+  InitialAssignmentResult broken;
+  broken.assignment = Assignment::partial(4);
+  broken.pinned.assign(4, false);
+  EXPECT_THROW(refine(pl.instance, pl.ideal, broken), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mimdmap

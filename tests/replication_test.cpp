@@ -1,0 +1,61 @@
+#include "analysis/replication.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mimdmap {
+namespace {
+
+ExperimentConfig base_config() {
+  ExperimentConfig cfg;
+  cfg.topology = "mesh-2x3";
+  cfg.workload.num_tasks = 40;
+  cfg.seed = 5;
+  cfg.random_trials = 5;
+  return cfg;
+}
+
+TEST(ReplicationTest, AggregatesAllReplicas) {
+  const ReplicatedRow row = run_replicated(base_config(), 3, 4);
+  EXPECT_EQ(row.id, 3);
+  EXPECT_EQ(row.replicas, 4);
+  EXPECT_EQ(row.ours_pct.count, 4u);
+  EXPECT_EQ(row.topology, "mesh-2x3");
+  EXPECT_GE(row.ours_pct.mean, 100.0);
+  EXPECT_GE(row.random_pct.mean, row.ours_pct.mean - 1e9);  // sanity
+  EXPECT_GE(row.lower_bound_hits, 0);
+  EXPECT_LE(row.lower_bound_hits, 4);
+}
+
+TEST(ReplicationTest, Deterministic) {
+  const ReplicatedRow a = run_replicated(base_config(), 1, 3);
+  const ReplicatedRow b = run_replicated(base_config(), 1, 3);
+  EXPECT_EQ(a.ours_pct.mean, b.ours_pct.mean);
+  EXPECT_EQ(a.random_pct.stddev, b.random_pct.stddev);
+}
+
+TEST(ReplicationTest, ReplicasActuallyDiffer) {
+  // Derived seeds must give distinct instances: with 4 replicas the ours%
+  // values should not all coincide (stddev > 0) for a random workload.
+  const ReplicatedRow row = run_replicated(base_config(), 1, 4);
+  EXPECT_GT(row.ours_pct.max - row.ours_pct.min + row.random_pct.max - row.random_pct.min,
+            0.0);
+}
+
+TEST(ReplicationTest, RejectsNonPositiveReplicas) {
+  EXPECT_THROW(run_replicated(base_config(), 1, 0), std::invalid_argument);
+}
+
+TEST(ReplicationTest, SuiteAndTable) {
+  std::vector<ExperimentConfig> configs(2, base_config());
+  configs[1].topology = "ring-6";
+  const auto rows = run_replicated_suite(configs, 2);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].id, 1);
+  EXPECT_EQ(rows[1].topology, "ring-6");
+  const std::string table = format_replicated_table(rows);
+  EXPECT_NE(table.find("+/-"), std::string::npos);
+  EXPECT_NE(table.find("lb hits"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mimdmap

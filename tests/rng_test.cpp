@@ -1,0 +1,133 @@
+#include "workload/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace mimdmap {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(4, 4), 4);
+}
+
+TEST(RngTest, UniformRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(3, 2), std::invalid_argument);
+}
+
+TEST(RngTest, UniformHitsAllValues) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, Uniform01Bounds) {
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_GT(hits, 2700);
+  EXPECT_LT(hits, 3300);
+}
+
+TEST(RngTest, PermutationIsValid) {
+  Rng rng(19);
+  const auto p = rng.permutation(20);
+  std::vector<NodeId> sorted = p;
+  std::sort(sorted.begin(), sorted.end());
+  for (NodeId i = 0; i < 20; ++i) EXPECT_EQ(sorted[idx(i)], i);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(23);
+  std::vector<int> v{1, 1, 2, 3, 5, 8, 13};
+  std::vector<int> original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  std::sort(original.begin(), original.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(29);
+  Rng child = parent.split();
+  // Advancing the child must not disturb the parent relative to a replay.
+  Rng replay(29);
+  Rng replay_child = replay.split();
+  for (int i = 0; i < 10; ++i) (void)child.next_u64();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(parent.next_u64(), replay.next_u64());
+  (void)replay_child;
+}
+
+TEST(RngTest, SplitmixIsDeterministic) {
+  std::uint64_t s1 = 5;
+  std::uint64_t s2 = 5;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(WeightRangeTest, SampleWithinBounds) {
+  Rng rng(31);
+  const WeightRange range{3, 9};
+  for (int i = 0; i < 500; ++i) {
+    const Weight w = range.sample(rng);
+    EXPECT_GE(w, 3);
+    EXPECT_LE(w, 9);
+  }
+}
+
+TEST(WeightRangeTest, FixedRange) {
+  Rng rng(37);
+  const WeightRange range{5, 5};
+  EXPECT_EQ(range.sample(rng), 5);
+}
+
+}  // namespace
+}  // namespace mimdmap

@@ -1,0 +1,84 @@
+#include "graph/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/shortest_paths.hpp"
+#include "topology/topology.hpp"
+
+namespace mimdmap {
+namespace {
+
+TEST(RoutingTest, HopsMatchAllPairs) {
+  const SystemGraph g = make_random_connected(14, 0.2, 3);
+  const RoutingTable table(g);
+  const auto m = all_pairs_hops(g);
+  for (NodeId a = 0; a < 14; ++a) {
+    for (NodeId b = 0; b < 14; ++b) {
+      EXPECT_EQ(table.hops(a, b), m(idx(a), idx(b)));
+    }
+  }
+}
+
+TEST(RoutingTest, RouteEndpointsAndLength) {
+  const SystemGraph g = make_mesh(3, 3);
+  const RoutingTable table(g);
+  for (NodeId a = 0; a < 9; ++a) {
+    for (NodeId b = 0; b < 9; ++b) {
+      const auto path = table.route(a, b);
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.front(), a);
+      EXPECT_EQ(path.back(), b);
+      EXPECT_EQ(static_cast<Weight>(path.size()) - 1, table.hops(a, b));
+      // every step is a real link
+      for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+        EXPECT_TRUE(g.has_link(path[k], path[k + 1]));
+        EXPECT_GE(table.link_index(path[k], path[k + 1]), 0);
+      }
+    }
+  }
+}
+
+TEST(RoutingTest, SelfRouteIsSingleton) {
+  const RoutingTable table(make_ring(5));
+  EXPECT_EQ(table.route(2, 2), (std::vector<NodeId>{2}));
+}
+
+TEST(RoutingTest, DeterministicTieBreaking) {
+  // On the 4-cycle both directions to the opposite corner have 2 hops;
+  // smallest-id BFS must always pick the same one.
+  const RoutingTable a(make_ring(4));
+  const RoutingTable b(make_ring(4));
+  EXPECT_EQ(a.route(0, 2), b.route(0, 2));
+  EXPECT_EQ(a.route(0, 2), (std::vector<NodeId>{0, 1, 2}));  // via smaller id 1, not 3
+}
+
+TEST(RoutingTest, LinkIndexSymmetricAndDense) {
+  const SystemGraph g = make_hypercube(3);
+  const RoutingTable table(g);
+  EXPECT_EQ(table.link_count(), g.link_count());
+  std::vector<bool> seen(g.link_count(), false);
+  for (const SystemLink& l : g.links()) {
+    const auto i = table.link_index(l.a, l.b);
+    ASSERT_GE(i, 0);
+    ASSERT_LT(static_cast<std::size_t>(i), g.link_count());
+    EXPECT_EQ(i, table.link_index(l.b, l.a));
+    EXPECT_FALSE(seen[static_cast<std::size_t>(i)]);
+    seen[static_cast<std::size_t>(i)] = true;
+  }
+  EXPECT_EQ(table.link_index(0, 3), -1);  // 0 and 3 differ in two bits
+}
+
+TEST(RoutingTest, DisconnectedThrows) {
+  SystemGraph g(3);
+  g.add_link(0, 1);
+  EXPECT_THROW(RoutingTable{g}, std::invalid_argument);
+}
+
+TEST(RoutingTest, OutOfRangeThrows) {
+  const RoutingTable table(make_ring(4));
+  EXPECT_THROW(table.route(0, 4), std::out_of_range);
+  EXPECT_THROW(table.route(-1, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mimdmap

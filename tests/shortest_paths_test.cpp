@@ -1,0 +1,132 @@
+#include "graph/shortest_paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/topology.hpp"
+
+namespace mimdmap {
+namespace {
+
+TEST(ShortestPathsTest, BfsOnChain) {
+  const SystemGraph g = make_chain(4);
+  const auto d = bfs_hops(g, 0);
+  EXPECT_EQ(d, (std::vector<Weight>{0, 1, 2, 3}));
+}
+
+TEST(ShortestPathsTest, BfsUnreachable) {
+  SystemGraph g(3);
+  g.add_link(0, 1);
+  const auto d = bfs_hops(g, 0);
+  EXPECT_EQ(d[2], kUnreachable);
+}
+
+TEST(ShortestPathsTest, AllPairsMatchesPaperFig21) {
+  // The paper's Fig. 5-a system graph is the 4-cycle; Fig. 21-b gives its
+  // shortest-path matrix: opposite corners at distance 2, neighbours at 1.
+  const SystemGraph g = make_ring(4);
+  const auto m = all_pairs_hops(g);
+  EXPECT_EQ(m(0, 0), 0);
+  EXPECT_EQ(m(0, 1), 1);
+  EXPECT_EQ(m(0, 2), 2);
+  EXPECT_EQ(m(0, 3), 1);
+  EXPECT_EQ(m(1, 3), 2);
+}
+
+TEST(ShortestPathsTest, AllPairsIsSymmetric) {
+  const SystemGraph g = make_random_connected(12, 0.2, 99);
+  const auto m = all_pairs_hops(g);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      EXPECT_EQ(m(i, j), m(j, i));
+    }
+  }
+}
+
+TEST(ShortestPathsTest, AllPairsThrowsOnDisconnected) {
+  SystemGraph g(3);
+  g.add_link(0, 1);
+  EXPECT_THROW(all_pairs_hops(g), std::invalid_argument);
+}
+
+TEST(ShortestPathsTest, TriangleInequality) {
+  const SystemGraph g = make_random_connected(10, 0.3, 7);
+  const auto m = all_pairs_hops(g);
+  const std::size_t n = m.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        EXPECT_LE(m(i, j), m(i, k) + m(k, j));
+      }
+    }
+  }
+}
+
+TEST(ShortestPathsTest, DijkstraEqualsBfsOnUnitWeights) {
+  const SystemGraph g = make_mesh(3, 3);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    EXPECT_EQ(dijkstra(g, s), bfs_hops(g, s));
+  }
+}
+
+TEST(ShortestPathsTest, DijkstraUsesLinkWeights) {
+  SystemGraph g(3);
+  g.add_link(0, 1, 10);
+  g.add_link(1, 2, 10);
+  g.add_link(0, 2, 5);
+  const auto d = dijkstra(g, 0);
+  EXPECT_EQ(d[1], 10);
+  EXPECT_EQ(d[2], 5);
+}
+
+TEST(ShortestPathsTest, DijkstraPrefersMultiHopWhenCheaper) {
+  SystemGraph g(3);
+  g.add_link(0, 1, 2);
+  g.add_link(1, 2, 2);
+  g.add_link(0, 2, 100);
+  EXPECT_EQ(dijkstra(g, 0)[2], 4);
+}
+
+TEST(ShortestPathsTest, FloydWarshallMatchesDijkstra) {
+  SystemGraph g(5);
+  g.add_link(0, 1, 3);
+  g.add_link(1, 2, 4);
+  g.add_link(2, 3, 1);
+  g.add_link(3, 4, 2);
+  g.add_link(0, 4, 9);
+  g.add_link(1, 3, 2);
+  const auto fw = floyd_warshall(g);
+  for (NodeId s = 0; s < 5; ++s) {
+    const auto d = dijkstra(g, s);
+    for (NodeId t = 0; t < 5; ++t) EXPECT_EQ(fw(idx(s), idx(t)), d[idx(t)]);
+  }
+}
+
+TEST(ShortestPathsTest, FloydWarshallThrowsOnDisconnected) {
+  SystemGraph g(2);
+  EXPECT_THROW(floyd_warshall(g), std::invalid_argument);
+}
+
+TEST(ShortestPathsTest, DiameterOfKnownTopologies) {
+  EXPECT_EQ(diameter(make_hypercube(3)), 3);
+  EXPECT_EQ(diameter(make_ring(6)), 3);
+  EXPECT_EQ(diameter(make_mesh(3, 4)), 5);
+  EXPECT_EQ(diameter(make_complete(5)), 1);
+  EXPECT_EQ(diameter(make_star(6)), 2);
+}
+
+TEST(ShortestPathsTest, MeanDistanceOfCompleteGraph) {
+  EXPECT_EQ(mean_distance_milli(make_complete(6)), 1000);
+}
+
+TEST(ShortestPathsTest, MeanDistanceSingleton) {
+  EXPECT_EQ(mean_distance_milli(make_complete(1)), 0);
+}
+
+TEST(ShortestPathsTest, SourceOutOfRangeThrows) {
+  const SystemGraph g = make_ring(4);
+  EXPECT_THROW(bfs_hops(g, 4), std::out_of_range);
+  EXPECT_THROW(dijkstra(g, -1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mimdmap

@@ -1,0 +1,121 @@
+#include "graph/system_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mimdmap {
+namespace {
+
+TEST(SystemGraphTest, Construction) {
+  SystemGraph g(3, "test");
+  EXPECT_EQ(g.node_count(), 3);
+  EXPECT_EQ(g.link_count(), 0u);
+  EXPECT_EQ(g.name(), "test");
+}
+
+TEST(SystemGraphTest, DefaultName) {
+  SystemGraph g(2);
+  EXPECT_EQ(g.name(), "custom");
+  g.set_name("renamed");
+  EXPECT_EQ(g.name(), "renamed");
+}
+
+TEST(SystemGraphTest, LinksAreUndirected) {
+  SystemGraph g(3);
+  g.add_link(0, 1);
+  EXPECT_TRUE(g.has_link(0, 1));
+  EXPECT_TRUE(g.has_link(1, 0));
+  EXPECT_EQ(g.link_weight(0, 1), 1);
+  EXPECT_EQ(g.link_weight(1, 0), 1);
+  EXPECT_EQ(g.link_weight(0, 2), 0);
+}
+
+TEST(SystemGraphTest, LinkStoredCanonically) {
+  SystemGraph g(3);
+  g.add_link(2, 0, 5);
+  ASSERT_EQ(g.links().size(), 1u);
+  EXPECT_EQ(g.links()[0].a, 0);
+  EXPECT_EQ(g.links()[0].b, 2);
+  EXPECT_EQ(g.links()[0].weight, 5);
+}
+
+TEST(SystemGraphTest, SelfLoopAndDuplicateThrow) {
+  SystemGraph g(3);
+  g.add_link(0, 1);
+  EXPECT_THROW(g.add_link(1, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_link(1, 0), std::invalid_argument);  // duplicate, reversed
+  EXPECT_THROW(g.add_link(0, 2, 0), std::invalid_argument);
+}
+
+TEST(SystemGraphTest, Degrees) {
+  SystemGraph g(4);
+  g.add_link(0, 1);
+  g.add_link(0, 2);
+  g.add_link(0, 3);
+  EXPECT_EQ(g.degree(0), 3);
+  EXPECT_EQ(g.degree(1), 1);
+  EXPECT_EQ(g.max_degree(), 3);
+  const auto d = g.degrees();
+  EXPECT_EQ(d, (std::vector<NodeId>{3, 1, 1, 1}));
+}
+
+TEST(SystemGraphTest, Connectivity) {
+  SystemGraph g(4);
+  g.add_link(0, 1);
+  g.add_link(2, 3);
+  EXPECT_FALSE(g.is_connected());
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+  g.add_link(1, 2);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(SystemGraphTest, EmptyAndSingletonAreConnected) {
+  EXPECT_TRUE(SystemGraph(0).is_connected());
+  EXPECT_TRUE(SystemGraph(1).is_connected());
+}
+
+TEST(SystemGraphTest, AdjacencyMatrixIsSymmetric) {
+  SystemGraph g(3);
+  g.add_link(0, 1, 2);
+  g.add_link(1, 2, 3);
+  const auto m = g.adjacency_matrix();
+  EXPECT_EQ(m(0, 1), 2);
+  EXPECT_EQ(m(1, 0), 2);
+  EXPECT_EQ(m(1, 2), 3);
+  EXPECT_EQ(m(2, 1), 3);
+  EXPECT_EQ(m(0, 2), 0);
+  EXPECT_EQ(m(0, 0), 0);
+}
+
+TEST(SystemGraphTest, ClosureIsFullyConnected) {
+  SystemGraph g(4, "ring");
+  g.add_link(0, 1);
+  const SystemGraph c = g.closure();
+  EXPECT_EQ(c.node_count(), 4);
+  EXPECT_EQ(c.link_count(), 6u);  // C(4,2)
+  for (NodeId a = 0; a < 4; ++a) {
+    for (NodeId b = 0; b < 4; ++b) {
+      if (a != b) EXPECT_TRUE(c.has_link(a, b));
+    }
+  }
+  EXPECT_EQ(c.name(), "ring-closure");
+}
+
+TEST(SystemGraphTest, NeighborLists) {
+  SystemGraph g(3);
+  g.add_link(0, 1);
+  g.add_link(0, 2);
+  ASSERT_EQ(g.neighbors(0).size(), 2u);
+  EXPECT_EQ(g.neighbors(0)[0].first, 1);
+  EXPECT_EQ(g.neighbors(0)[1].first, 2);
+  EXPECT_EQ(g.neighbors(1).size(), 1u);
+}
+
+TEST(SystemGraphTest, OutOfRangeThrows) {
+  SystemGraph g(2);
+  EXPECT_THROW(g.add_link(0, 2), std::out_of_range);
+  EXPECT_THROW(g.degree(-1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mimdmap

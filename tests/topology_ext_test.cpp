@@ -1,0 +1,132 @@
+// Tests for the extended topology families (3-D mesh, de Bruijn,
+// cube-connected cycles, chordal ring, complete bipartite).
+#include <gtest/gtest.h>
+
+#include "graph/shortest_paths.hpp"
+#include "topology/factory.hpp"
+#include "topology/topology.hpp"
+
+namespace mimdmap {
+namespace {
+
+TEST(Mesh3dTest, NodeAndLinkCounts) {
+  const SystemGraph m = make_mesh3d(2, 3, 4);
+  EXPECT_EQ(m.node_count(), 24);
+  // links: (2-1)*3*4 + 2*(3-1)*4 + 2*3*(4-1) = 12 + 16 + 18
+  EXPECT_EQ(m.link_count(), 46u);
+  EXPECT_TRUE(m.is_connected());
+}
+
+TEST(Mesh3dTest, DistanceIsManhattan3d) {
+  const SystemGraph m = make_mesh3d(3, 3, 3);
+  const auto d = all_pairs_hops(m);
+  const auto coord = [](NodeId v) {
+    return std::tuple<NodeId, NodeId, NodeId>{v / 9, (v / 3) % 3, v % 3};
+  };
+  for (NodeId a = 0; a < 27; ++a) {
+    for (NodeId b = 0; b < 27; ++b) {
+      const auto [ax, ay, az] = coord(a);
+      const auto [bx, by, bz] = coord(b);
+      EXPECT_EQ(d(idx(a), idx(b)),
+                std::abs(ax - bx) + std::abs(ay - by) + std::abs(az - bz));
+    }
+  }
+}
+
+TEST(Mesh3dTest, DegenerateDimensionsEqualMesh2d) {
+  const SystemGraph flat = make_mesh3d(1, 3, 4);
+  const SystemGraph mesh = make_mesh(3, 4);
+  EXPECT_EQ(flat.node_count(), mesh.node_count());
+  EXPECT_EQ(flat.link_count(), mesh.link_count());
+  EXPECT_EQ(diameter(flat), diameter(mesh));
+}
+
+TEST(DeBruijnTest, BasicProperties) {
+  const SystemGraph g = make_de_bruijn(4);  // 16 nodes
+  EXPECT_EQ(g.node_count(), 16);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_LE(g.max_degree(), 4);
+  // de Bruijn diameter equals the dimension.
+  EXPECT_EQ(diameter(g), 4);
+}
+
+TEST(DeBruijnTest, ShiftNeighborsExist) {
+  const SystemGraph g = make_de_bruijn(3);  // 8 nodes
+  for (NodeId v = 0; v < 8; ++v) {
+    for (NodeId bit = 0; bit <= 1; ++bit) {
+      const NodeId u = (2 * v + bit) % 8;
+      if (u != v) EXPECT_TRUE(g.has_link(v, u)) << v << " -> " << u;
+    }
+  }
+}
+
+TEST(CccTest, NodeCountAndRegularity) {
+  const SystemGraph g = make_cube_connected_cycles(3);  // 8 corners x 3
+  EXPECT_EQ(g.node_count(), 24);
+  EXPECT_TRUE(g.is_connected());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(g.degree(v), 3) << "CCC(3) must be 3-regular";
+  }
+  EXPECT_EQ(g.link_count(), 36u);  // 3n/2
+}
+
+TEST(CccTest, SmallDimensionsDegenerate) {
+  // CCC(1): 2 corners x 1 node each; only the cube link remains.
+  const SystemGraph g1 = make_cube_connected_cycles(1);
+  EXPECT_EQ(g1.node_count(), 2);
+  EXPECT_EQ(g1.link_count(), 1u);
+  EXPECT_TRUE(g1.is_connected());
+  const SystemGraph g2 = make_cube_connected_cycles(2);
+  EXPECT_EQ(g2.node_count(), 8);
+  EXPECT_TRUE(g2.is_connected());
+}
+
+TEST(ChordalRingTest, RingPlusChords) {
+  const SystemGraph g = make_chordal_ring(8, 3);
+  EXPECT_EQ(g.node_count(), 8);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(g.has_link(0, 1));  // ring
+  EXPECT_TRUE(g.has_link(0, 3));  // chord
+  // Chords shrink the diameter below the plain ring's.
+  EXPECT_LT(diameter(g), diameter(make_ring(8)));
+}
+
+TEST(ChordalRingTest, RejectsBadChord) {
+  EXPECT_THROW(make_chordal_ring(8, 1), std::invalid_argument);
+  EXPECT_THROW(make_chordal_ring(8, 8), std::invalid_argument);
+}
+
+TEST(ChordalRingTest, OppositeChordCollapsesDuplicates) {
+  // chord == n/2 creates each chord twice (v and v+chord agree); must not
+  // produce duplicate links.
+  const SystemGraph g = make_chordal_ring(6, 3);
+  EXPECT_EQ(g.link_count(), 6u + 3u);
+}
+
+TEST(BipartiteTest, CompleteBipartiteShape) {
+  const SystemGraph g = make_complete_bipartite(3, 4);
+  EXPECT_EQ(g.node_count(), 7);
+  EXPECT_EQ(g.link_count(), 12u);
+  for (NodeId l = 0; l < 3; ++l) EXPECT_EQ(g.degree(l), 4);
+  for (NodeId r = 3; r < 7; ++r) EXPECT_EQ(g.degree(r), 3);
+  EXPECT_EQ(diameter(g), 2);
+  EXPECT_FALSE(g.has_link(0, 1));
+  EXPECT_FALSE(g.has_link(3, 4));
+}
+
+TEST(TopologyFactoryExtTest, BuildsNewFamilies) {
+  EXPECT_EQ(make_topology("mesh3d-2x2x2").node_count(), 8);
+  EXPECT_EQ(make_topology("debruijn-3").node_count(), 8);
+  EXPECT_EQ(make_topology("ccc-3").node_count(), 24);
+  EXPECT_EQ(make_topology("chordal-10-4").node_count(), 10);
+  EXPECT_EQ(make_topology("bipartite-2x3").node_count(), 5);
+}
+
+TEST(TopologyFactoryExtTest, RejectsMalformedNewSpecs) {
+  EXPECT_THROW(make_topology("mesh3d-2x2"), std::invalid_argument);
+  EXPECT_THROW(make_topology("chordal-10"), std::invalid_argument);
+  EXPECT_THROW(make_topology("ccc-0"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mimdmap

@@ -1,0 +1,177 @@
+#include "topology/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/shortest_paths.hpp"
+#include "topology/factory.hpp"
+
+namespace mimdmap {
+namespace {
+
+TEST(TopologyTest, HypercubeBasics) {
+  const SystemGraph q3 = make_hypercube(3);
+  EXPECT_EQ(q3.node_count(), 8);
+  EXPECT_EQ(q3.link_count(), 12u);  // n * d / 2
+  for (NodeId v = 0; v < 8; ++v) EXPECT_EQ(q3.degree(v), 3);
+  EXPECT_TRUE(q3.is_connected());
+  EXPECT_EQ(q3.name(), "hypercube-3");
+}
+
+TEST(TopologyTest, HypercubeDistanceIsHammingDistance) {
+  const SystemGraph q4 = make_hypercube(4);
+  const auto m = all_pairs_hops(q4);
+  for (NodeId a = 0; a < 16; ++a) {
+    for (NodeId b = 0; b < 16; ++b) {
+      const int hamming = __builtin_popcount(static_cast<unsigned>(a ^ b));
+      EXPECT_EQ(m(idx(a), idx(b)), hamming);
+    }
+  }
+}
+
+TEST(TopologyTest, HypercubeDimensionZeroIsSingleton) {
+  const SystemGraph q0 = make_hypercube(0);
+  EXPECT_EQ(q0.node_count(), 1);
+  EXPECT_EQ(q0.link_count(), 0u);
+}
+
+TEST(TopologyTest, MeshBasics) {
+  const SystemGraph m = make_mesh(3, 4);
+  EXPECT_EQ(m.node_count(), 12);
+  // links: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8
+  EXPECT_EQ(m.link_count(), 17u);
+  EXPECT_TRUE(m.is_connected());
+  EXPECT_EQ(m.degree(0), 2);   // corner
+  EXPECT_EQ(m.degree(5), 4);   // interior (row 1, col 1)
+}
+
+TEST(TopologyTest, MeshDistanceIsManhattan) {
+  const SystemGraph m = make_mesh(4, 5);
+  const auto d = all_pairs_hops(m);
+  for (NodeId a = 0; a < 20; ++a) {
+    for (NodeId b = 0; b < 20; ++b) {
+      const NodeId ra = a / 5, ca = a % 5, rb = b / 5, cb = b % 5;
+      EXPECT_EQ(d(idx(a), idx(b)), std::abs(ra - rb) + std::abs(ca - cb));
+    }
+  }
+}
+
+TEST(TopologyTest, TorusBasics) {
+  const SystemGraph t = make_torus(3, 3);
+  EXPECT_EQ(t.node_count(), 9);
+  EXPECT_EQ(t.link_count(), 18u);  // 2 per node
+  for (NodeId v = 0; v < 9; ++v) EXPECT_EQ(t.degree(v), 4);
+  EXPECT_EQ(diameter(t), 2);
+}
+
+TEST(TopologyTest, TorusDegenerateDimensionsDoNotDuplicateLinks) {
+  const SystemGraph t = make_torus(2, 2);
+  EXPECT_EQ(t.node_count(), 4);
+  // wraparound == direct link for size 2: must not double-add
+  EXPECT_EQ(t.link_count(), 4u);
+}
+
+TEST(TopologyTest, RingBasics) {
+  const SystemGraph r = make_ring(5);
+  EXPECT_EQ(r.node_count(), 5);
+  EXPECT_EQ(r.link_count(), 5u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(r.degree(v), 2);
+  EXPECT_EQ(diameter(r), 2);
+  EXPECT_THROW(make_ring(2), std::invalid_argument);
+}
+
+TEST(TopologyTest, StarBasics) {
+  const SystemGraph s = make_star(6);
+  EXPECT_EQ(s.degree(0), 5);
+  for (NodeId v = 1; v < 6; ++v) EXPECT_EQ(s.degree(v), 1);
+  EXPECT_EQ(diameter(s), 2);
+}
+
+TEST(TopologyTest, CompleteBasics) {
+  const SystemGraph k = make_complete(6);
+  EXPECT_EQ(k.link_count(), 15u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(k.degree(v), 5);
+}
+
+TEST(TopologyTest, CompleteEqualsOwnClosurePattern) {
+  // closure() of any graph on n nodes has the same links as complete-n.
+  const SystemGraph ring = make_ring(5);
+  const SystemGraph k = make_complete(5);
+  const SystemGraph c = ring.closure();
+  EXPECT_EQ(c.link_count(), k.link_count());
+  for (NodeId a = 0; a < 5; ++a) {
+    for (NodeId b = 0; b < 5; ++b) {
+      EXPECT_EQ(c.has_link(a, b), k.has_link(a, b));
+    }
+  }
+}
+
+TEST(TopologyTest, ChainBasics) {
+  const SystemGraph c = make_chain(4);
+  EXPECT_EQ(c.link_count(), 3u);
+  EXPECT_EQ(diameter(c), 3);
+  EXPECT_EQ(make_chain(1).node_count(), 1);
+}
+
+TEST(TopologyTest, BalancedTreeBasics) {
+  const SystemGraph t = make_balanced_tree(2, 3);  // 1 + 3 + 9
+  EXPECT_EQ(t.node_count(), 13);
+  EXPECT_EQ(t.link_count(), 12u);  // tree: n - 1
+  EXPECT_TRUE(t.is_connected());
+  EXPECT_EQ(t.degree(0), 3);
+}
+
+TEST(TopologyTest, BalancedTreeDepthZero) {
+  const SystemGraph t = make_balanced_tree(0, 2);
+  EXPECT_EQ(t.node_count(), 1);
+}
+
+TEST(TopologyTest, RandomConnectedIsConnectedAcrossSeeds) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const SystemGraph g = make_random_connected(15, 0.1, seed);
+    EXPECT_EQ(g.node_count(), 15);
+    EXPECT_TRUE(g.is_connected()) << "seed " << seed;
+    EXPECT_GE(g.link_count(), 14u);  // at least the spanning tree
+  }
+}
+
+TEST(TopologyTest, RandomConnectedIsDeterministic) {
+  const SystemGraph a = make_random_connected(10, 0.3, 42);
+  const SystemGraph b = make_random_connected(10, 0.3, 42);
+  EXPECT_EQ(a, b);
+  const SystemGraph c = make_random_connected(10, 0.3, 43);
+  EXPECT_FALSE(a == c);  // overwhelmingly likely to differ
+}
+
+TEST(TopologyTest, RandomConnectedProbabilityOneIsComplete) {
+  const SystemGraph g = make_random_connected(6, 1.0, 1);
+  EXPECT_EQ(g.link_count(), 15u);
+}
+
+TEST(TopologyFactoryTest, BuildsEveryFamily) {
+  EXPECT_EQ(make_topology("hypercube-3").node_count(), 8);
+  EXPECT_EQ(make_topology("mesh-3x4").node_count(), 12);
+  EXPECT_EQ(make_topology("torus-3x3").node_count(), 9);
+  EXPECT_EQ(make_topology("ring-7").node_count(), 7);
+  EXPECT_EQ(make_topology("star-5").node_count(), 5);
+  EXPECT_EQ(make_topology("chain-4").node_count(), 4);
+  EXPECT_EQ(make_topology("complete-6").node_count(), 6);
+  EXPECT_EQ(make_topology("tree-2x2").node_count(), 7);
+  EXPECT_EQ(make_topology("random-12-25-9").node_count(), 12);
+}
+
+TEST(TopologyFactoryTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(make_topology("nosuch-3"), std::invalid_argument);
+  EXPECT_THROW(make_topology("hypercube"), std::invalid_argument);
+  EXPECT_THROW(make_topology("mesh-3"), std::invalid_argument);
+  EXPECT_THROW(make_topology("mesh-3y4"), std::invalid_argument);
+  EXPECT_THROW(make_topology("ring-x"), std::invalid_argument);
+  EXPECT_THROW(make_topology("random-12-150-9"), std::invalid_argument);
+  EXPECT_THROW(make_topology("random-12-25"), std::invalid_argument);
+}
+
+TEST(TopologyFactoryTest, FamiliesListNonEmpty) {
+  EXPECT_FALSE(topology_families().empty());
+}
+
+}  // namespace
+}  // namespace mimdmap

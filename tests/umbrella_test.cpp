@@ -1,0 +1,31 @@
+// Compile-and-smoke test for the umbrella header: every public API must be
+// reachable through a single include.
+#include "mimdmap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mimdmap {
+namespace {
+
+TEST(UmbrellaTest, EndToEndThroughSingleInclude) {
+  TaskGraph program(4);
+  program.add_edge(0, 1, 2);
+  program.add_edge(0, 2, 3);
+  program.add_edge(1, 3, 1);
+  program.add_edge(2, 3, 4);
+
+  const SystemGraph machine = make_ring(4);
+  const Clustering clusters = round_robin_clustering(program, machine.node_count());
+  const MappingInstance instance(program, clusters, machine);
+  const MappingReport report = map_instance(instance);
+
+  EXPECT_GE(report.total_time(), report.lower_bound);
+  EXPECT_TRUE(schedule_violations(instance, report.assignment, report.schedule).empty());
+  EXPECT_FALSE(render_gantt(instance, report.assignment, report.schedule).empty());
+  EXPECT_FALSE(to_dot(program).empty());
+  EXPECT_FALSE(topology_families().empty());
+  EXPECT_FALSE(clustering_strategies().empty());
+}
+
+}  // namespace
+}  // namespace mimdmap

@@ -1,0 +1,138 @@
+#include "core/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/strategies.hpp"
+#include "core/ideal_graph.hpp"
+#include "core/mapper.hpp"
+#include "topology/topology.hpp"
+#include "workload/random_dag.hpp"
+
+namespace mimdmap {
+namespace {
+
+MappingInstance small_instance() {
+  TaskGraph g(4);
+  g.set_node_weight(0, 2);
+  g.set_node_weight(1, 3);
+  g.set_node_weight(2, 1);
+  g.set_node_weight(3, 2);
+  g.add_edge(0, 1, 2);
+  g.add_edge(0, 2, 1);
+  g.add_edge(1, 3, 2);
+  g.add_edge(2, 3, 3);
+  return MappingInstance(g, Clustering({0, 1, 2, 3}, 4), make_ring(4));
+}
+
+TEST(ValidateTest, EvaluateOutputIsAlwaysValid) {
+  const MappingInstance inst = small_instance();
+  const Assignment a = Assignment::identity(4);
+  const ScheduleResult s = evaluate(inst, a);
+  EXPECT_TRUE(schedule_violations(inst, a, s).empty());
+  EXPECT_NO_THROW(validate_schedule(inst, a, s));
+}
+
+TEST(ValidateTest, DetectsWrongDuration) {
+  const MappingInstance inst = small_instance();
+  const Assignment a = Assignment::identity(4);
+  ScheduleResult s = evaluate(inst, a);
+  s.end[1] += 1;
+  const auto violations = schedule_violations(inst, a, s);
+  EXPECT_FALSE(violations.empty());
+  EXPECT_THROW(validate_schedule(inst, a, s), std::logic_error);
+}
+
+TEST(ValidateTest, DetectsPrecedenceViolation) {
+  const MappingInstance inst = small_instance();
+  const Assignment a = Assignment::identity(4);
+  ScheduleResult s = evaluate(inst, a);
+  // Start task 3 too early (shift the whole task to keep duration valid).
+  s.start[3] = 0;
+  s.end[3] = 2;
+  bool precedence_flagged = false;
+  for (const std::string& v : schedule_violations(inst, a, s)) {
+    if (v.find("edge") != std::string::npos) precedence_flagged = true;
+  }
+  EXPECT_TRUE(precedence_flagged);
+}
+
+TEST(ValidateTest, DetectsWrongTotalTime) {
+  const MappingInstance inst = small_instance();
+  const Assignment a = Assignment::identity(4);
+  ScheduleResult s = evaluate(inst, a);
+  s.total_time += 5;
+  EXPECT_FALSE(schedule_violations(inst, a, s).empty());
+}
+
+TEST(ValidateTest, DetectsNegativeStart) {
+  const MappingInstance inst = small_instance();
+  const Assignment a = Assignment::identity(4);
+  ScheduleResult s = evaluate(inst, a);
+  s.start[0] = -1;
+  s.end[0] = 1;
+  EXPECT_FALSE(schedule_violations(inst, a, s).empty());
+}
+
+TEST(ValidateTest, DetectsBadLatestTasks) {
+  const MappingInstance inst = small_instance();
+  const Assignment a = Assignment::identity(4);
+  ScheduleResult s = evaluate(inst, a);
+  s.latest_tasks = {0};  // task 0 is certainly not latest
+  EXPECT_FALSE(schedule_violations(inst, a, s).empty());
+}
+
+TEST(ValidateTest, DetectsWrongTableSizes) {
+  const MappingInstance inst = small_instance();
+  const Assignment a = Assignment::identity(4);
+  ScheduleResult s = evaluate(inst, a);
+  s.start.pop_back();
+  EXPECT_FALSE(schedule_violations(inst, a, s).empty());
+}
+
+TEST(ValidateTest, DetectsIncompleteAssignment) {
+  const MappingInstance inst = small_instance();
+  const ScheduleResult s = evaluate(inst, Assignment::identity(4));
+  EXPECT_FALSE(schedule_violations(inst, Assignment::partial(4), s).empty());
+}
+
+TEST(ValidateTest, SerializedModeOverlapDetection) {
+  // Two unit tasks in one cluster; paper model overlaps them, which the
+  // serialized validator must flag.
+  TaskGraph g(2);
+  const MappingInstance inst(g, Clustering({0, 0}, 1), make_complete(1));
+  const Assignment a = Assignment::identity(1);
+  const ScheduleResult overlap = evaluate(inst, a);  // both run at [0,1)
+  EvalOptions serialized;
+  serialized.serialize_within_processor = true;
+  EXPECT_TRUE(schedule_violations(inst, a, overlap).empty());
+  EXPECT_FALSE(schedule_violations(inst, a, overlap, serialized).empty());
+  // The serialized evaluator's own output is clean.
+  const ScheduleResult ok = evaluate(inst, a, serialized);
+  EXPECT_TRUE(schedule_violations(inst, a, ok, serialized).empty());
+}
+
+TEST(ValidateTest, PipelineOutputsValidateAcrossModels) {
+  LayeredDagParams p;
+  p.num_tasks = 50;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const TaskGraph g = make_layered_dag(p, seed);
+    const Clustering c = block_clustering(g, 6);
+    const MappingInstance inst(g, c, make_mesh(2, 3));
+    for (const bool contention : {false, true}) {
+      for (const bool serialize : {false, true}) {
+        EvalOptions opts;
+        opts.link_contention = contention;
+        opts.serialize_within_processor = serialize;
+        MapperOptions mopts;
+        mopts.refine.eval = opts;
+        const MappingReport r = map_instance(inst, mopts);
+        EXPECT_TRUE(schedule_violations(inst, r.assignment, r.schedule, opts).empty())
+            << "seed=" << seed << " contention=" << contention
+            << " serialize=" << serialize;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mimdmap

@@ -1,0 +1,134 @@
+// Tests for the extended workload generators: tiled Cholesky, tiled LU,
+// and random series-parallel DAGs.
+#include <gtest/gtest.h>
+
+#include "graph/topological.hpp"
+#include "workload/random_dag.hpp"
+#include "workload/structured.hpp"
+
+namespace mimdmap {
+namespace {
+
+StructuredWeights unit_weights() { return StructuredWeights{{1, 1}, {1, 1}, 1}; }
+
+NodeId choose3(NodeId n) { return n * (n - 1) * (n - 2) / 6; }
+
+TEST(CholeskyTest, TaskCountFormula) {
+  for (NodeId t = 1; t <= 7; ++t) {
+    const TaskGraph g = make_cholesky(t, unit_weights());
+    // POTRF: t, TRSM: t(t-1)/2, SYRK: t(t-1)/2, GEMM: C(t,3)
+    EXPECT_EQ(g.node_count(), t + t * (t - 1) + choose3(t)) << "tiles=" << t;
+    EXPECT_TRUE(is_dag(g));
+  }
+}
+
+TEST(CholeskyTest, SingleTileIsOneTask) {
+  const TaskGraph g = make_cholesky(1, unit_weights());
+  EXPECT_EQ(g.node_count(), 1);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(CholeskyTest, CriticalPathGrowsLinearlyInTiles) {
+  // The POTRF -> TRSM -> SYRK -> POTRF spine makes depth Theta(tiles).
+  const Weight d4 = critical_path_length(make_cholesky(4, unit_weights()));
+  const Weight d8 = critical_path_length(make_cholesky(8, unit_weights()));
+  EXPECT_GT(d8, d4);
+  EXPECT_GE(d8, 2 * d4 - 4);  // roughly linear growth
+}
+
+TEST(CholeskyTest, FirstPanelDependencies) {
+  // For tiles=3: POTRF(0) is task 0 and must feed both TRSMs of column 0.
+  const TaskGraph g = make_cholesky(3, unit_weights());
+  EXPECT_EQ(g.in_degree(0), 0);
+  EXPECT_GE(g.out_degree(0), 2);
+}
+
+TEST(LuTest, TaskCountFormula) {
+  for (NodeId t = 1; t <= 6; ++t) {
+    const TaskGraph g = make_lu(t, unit_weights());
+    // GETRF: t, TRSMs: 2 * sum(T-1-k) = t(t-1), GEMM: sum (t-1-k)^2
+    NodeId gemms = 0;
+    for (NodeId k = 0; k < t; ++k) gemms += (t - 1 - k) * (t - 1 - k);
+    EXPECT_EQ(g.node_count(), t + t * (t - 1) + gemms) << "tiles=" << t;
+    EXPECT_TRUE(is_dag(g));
+  }
+}
+
+TEST(LuTest, SingleTileIsOneTask) {
+  EXPECT_EQ(make_lu(1, unit_weights()).node_count(), 1);
+}
+
+TEST(LuTest, GetrfIsSequentialSpine) {
+  // Every GETRF(k>0) transitively depends on GETRF(0) == task 0.
+  const TaskGraph g = make_lu(4, unit_weights());
+  const auto levels = topological_levels(g);
+  EXPECT_EQ(levels[0], 0);
+  // The last task created (a GEMM of the final step) has depth >= 3 steps.
+  EXPECT_GE(levels[idx(g.node_count() - 1)], 3);
+}
+
+TEST(SeriesParallelTest, DepthZeroIsSingleTask) {
+  SeriesParallelParams p;
+  p.depth = 0;
+  const TaskGraph g = make_series_parallel(p, 1);
+  EXPECT_EQ(g.node_count(), 1);
+}
+
+TEST(SeriesParallelTest, SingleSourceSingleSink) {
+  SeriesParallelParams p;
+  p.depth = 6;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const TaskGraph g = make_series_parallel(p, seed);
+    EXPECT_TRUE(is_dag(g));
+    NodeId sources = 0;
+    NodeId sinks = 0;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (g.in_degree(v) == 0) ++sources;
+      if (g.out_degree(v) == 0) ++sinks;
+    }
+    EXPECT_EQ(sources, 1) << "seed " << seed;
+    EXPECT_EQ(sinks, 1) << "seed " << seed;
+  }
+}
+
+TEST(SeriesParallelTest, AllSeriesIsAChain) {
+  SeriesParallelParams p;
+  p.depth = 3;
+  p.parallel_probability = 0.0;  // 2^3 = 8 base tasks chained
+  const TaskGraph g = make_series_parallel(p, 5);
+  EXPECT_EQ(g.node_count(), 8);
+  EXPECT_EQ(g.edge_count(), 7u);
+  for (NodeId v = 0; v < 8; ++v) EXPECT_LE(g.out_degree(v), 1);
+}
+
+TEST(SeriesParallelTest, AllParallelForksEveryLevel) {
+  SeriesParallelParams p;
+  p.depth = 2;
+  p.parallel_probability = 1.0;
+  p.max_branches = 2;
+  const TaskGraph g = make_series_parallel(p, 7);
+  // level 2: fork + join + 2 x (fork + join + 2 leaves) = 2 + 2*4 = 10
+  EXPECT_EQ(g.node_count(), 10);
+  NodeId sources = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (g.in_degree(v) == 0) ++sources;
+  }
+  EXPECT_EQ(sources, 1);
+}
+
+TEST(SeriesParallelTest, DeterministicPerSeed) {
+  SeriesParallelParams p;
+  EXPECT_EQ(make_series_parallel(p, 9), make_series_parallel(p, 9));
+}
+
+TEST(SeriesParallelTest, RejectsBadParams) {
+  SeriesParallelParams p;
+  p.max_branches = 1;
+  EXPECT_THROW(make_series_parallel(p, 1), std::invalid_argument);
+  p.max_branches = 2;
+  p.depth = -1;
+  EXPECT_THROW(make_series_parallel(p, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mimdmap

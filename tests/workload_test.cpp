@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "graph/topological.hpp"
+#include "workload/random_dag.hpp"
+#include "workload/structured.hpp"
+
+namespace mimdmap {
+namespace {
+
+// ---------------------------------------------------------------- layered
+
+TEST(LayeredDagTest, NodeCountAndAcyclicity) {
+  LayeredDagParams p;
+  p.num_tasks = 80;
+  const TaskGraph g = make_layered_dag(p, 1);
+  EXPECT_EQ(g.node_count(), 80);
+  EXPECT_TRUE(is_dag(g));
+}
+
+TEST(LayeredDagTest, Deterministic) {
+  LayeredDagParams p;
+  EXPECT_EQ(make_layered_dag(p, 5), make_layered_dag(p, 5));
+  EXPECT_FALSE(make_layered_dag(p, 5) == make_layered_dag(p, 6));
+}
+
+TEST(LayeredDagTest, WeightsWithinRange) {
+  LayeredDagParams p;
+  p.node_weight = {2, 6};
+  p.edge_weight = {3, 7};
+  const TaskGraph g = make_layered_dag(p, 2);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_GE(g.node_weight(v), 2);
+    EXPECT_LE(g.node_weight(v), 6);
+  }
+  for (const TaskEdge& e : g.edges()) {
+    EXPECT_GE(e.weight, 3);
+    EXPECT_LE(e.weight, 7);
+  }
+}
+
+TEST(LayeredDagTest, ConnectOrphansGuaranteesPredecessors) {
+  LayeredDagParams p;
+  p.num_tasks = 60;
+  p.avg_out_degree = 0.0;  // no organic edges: every non-source needs rescue
+  p.connect_orphans = true;
+  const TaskGraph g = make_layered_dag(p, 3);
+  const auto levels = topological_levels(g);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (g.in_degree(v) == 0) {
+      // Only genuine first-layer tasks may lack predecessors.
+      EXPECT_EQ(levels[idx(v)], 0);
+    }
+  }
+}
+
+TEST(LayeredDagTest, RejectsBadParams) {
+  LayeredDagParams p;
+  p.num_tasks = 0;
+  EXPECT_THROW(make_layered_dag(p, 1), std::invalid_argument);
+  p.num_tasks = 5;
+  p.avg_out_degree = -1.0;
+  EXPECT_THROW(make_layered_dag(p, 1), std::invalid_argument);
+}
+
+TEST(LayeredDagTest, SingleLayerHasNoEdges) {
+  LayeredDagParams p;
+  p.num_tasks = 10;
+  p.num_layers = 1;
+  const TaskGraph g = make_layered_dag(p, 4);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+struct LayeredSweepParam {
+  NodeId tasks;
+  NodeId layers;
+  double degree;
+
+  friend void PrintTo(const LayeredSweepParam& p, std::ostream* os) {
+    *os << "tasks" << p.tasks << "_layers" << p.layers << "_deg" << p.degree;
+  }
+};
+
+class LayeredDagSweep : public ::testing::TestWithParam<LayeredSweepParam> {};
+
+TEST_P(LayeredDagSweep, AlwaysValidDag) {
+  LayeredDagParams p;
+  p.num_tasks = GetParam().tasks;
+  p.num_layers = GetParam().layers;
+  p.avg_out_degree = GetParam().degree;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const TaskGraph g = make_layered_dag(p, seed);
+    EXPECT_EQ(g.node_count(), p.num_tasks);
+    EXPECT_TRUE(is_dag(g));
+    for (NodeId v = 0; v < g.node_count(); ++v) EXPECT_GT(g.node_weight(v), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, LayeredDagSweep,
+    ::testing::Values(LayeredSweepParam{1, 1, 2.0}, LayeredSweepParam{2, 5, 1.0},
+                      LayeredSweepParam{30, 4, 2.0}, LayeredSweepParam{100, 12, 3.0},
+                      LayeredSweepParam{300, 20, 2.5}, LayeredSweepParam{50, 50, 1.0}));
+
+// ------------------------------------------------------------ Erdos-Renyi
+
+TEST(ErdosRenyiDagTest, ZeroProbabilityMeansNoEdges) {
+  ErdosRenyiDagParams p;
+  p.num_tasks = 20;
+  p.edge_probability = 0.0;
+  EXPECT_EQ(make_erdos_renyi_dag(p, 1).edge_count(), 0u);
+}
+
+TEST(ErdosRenyiDagTest, FullProbabilityMeansTournament) {
+  ErdosRenyiDagParams p;
+  p.num_tasks = 10;
+  p.edge_probability = 1.0;
+  EXPECT_EQ(make_erdos_renyi_dag(p, 1).edge_count(), 45u);  // C(10,2)
+}
+
+TEST(ErdosRenyiDagTest, AcyclicAcrossSeeds) {
+  ErdosRenyiDagParams p;
+  p.num_tasks = 40;
+  p.edge_probability = 0.15;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    EXPECT_TRUE(is_dag(make_erdos_renyi_dag(p, seed)));
+  }
+}
+
+TEST(ErdosRenyiDagTest, Deterministic) {
+  ErdosRenyiDagParams p;
+  EXPECT_EQ(make_erdos_renyi_dag(p, 9), make_erdos_renyi_dag(p, 9));
+}
+
+// -------------------------------------------------------------- structured
+
+StructuredWeights unit_weights() {
+  return StructuredWeights{{1, 1}, {1, 1}, 1};
+}
+
+TEST(StructuredTest, ForkJoinShape) {
+  const TaskGraph g = make_fork_join(4, 1, unit_weights());
+  EXPECT_EQ(g.node_count(), 6);  // source + 4 + sink
+  EXPECT_EQ(g.edge_count(), 8u);
+  EXPECT_EQ(g.out_degree(0), 4);
+  EXPECT_EQ(g.in_degree(5), 4);
+}
+
+TEST(StructuredTest, ForkJoinStagesChain) {
+  const TaskGraph g = make_fork_join(3, 2, unit_weights());
+  EXPECT_EQ(g.node_count(), 1 + 3 + 1 + 3 + 1);
+  EXPECT_TRUE(is_dag(g));
+}
+
+TEST(StructuredTest, OutTreeShape) {
+  const TaskGraph g = make_out_tree(2, 2, unit_weights());
+  EXPECT_EQ(g.node_count(), 7);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_EQ(g.in_degree(0), 0);
+  for (NodeId v = 1; v < 7; ++v) EXPECT_EQ(g.in_degree(v), 1);
+}
+
+TEST(StructuredTest, InTreeIsReversedOutTree) {
+  const TaskGraph g = make_in_tree(2, 2, unit_weights());
+  EXPECT_EQ(g.node_count(), 7);
+  EXPECT_EQ(g.out_degree(0), 0);
+  EXPECT_EQ(g.in_degree(0), 2);
+  // leaves have no predecessors
+  NodeId sources = 0;
+  for (NodeId v = 0; v < 7; ++v) {
+    if (g.in_degree(v) == 0) ++sources;
+  }
+  EXPECT_EQ(sources, 4);
+}
+
+TEST(StructuredTest, DiamondShape) {
+  const TaskGraph g = make_diamond(3, 4, unit_weights());
+  EXPECT_EQ(g.node_count(), 12);
+  // edges: 3*(4-1) + (3-1)*4 = 17
+  EXPECT_EQ(g.edge_count(), 17u);
+  EXPECT_TRUE(is_dag(g));
+  const auto levels = topological_levels(g);
+  EXPECT_EQ(levels[idx(11)], 5);  // corner to corner
+}
+
+TEST(StructuredTest, PipelineShape) {
+  const TaskGraph g = make_pipeline(5, unit_weights());
+  EXPECT_EQ(g.node_count(), 5);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(critical_path_length(g), 9);  // 5 nodes + 4 unit edges
+}
+
+TEST(StructuredTest, PipelineSingleton) {
+  const TaskGraph g = make_pipeline(1, unit_weights());
+  EXPECT_EQ(g.node_count(), 1);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(StructuredTest, FftShape) {
+  const TaskGraph g = make_fft(4, unit_weights());
+  // (log2(4)+1) ranks x 4 points
+  EXPECT_EQ(g.node_count(), 12);
+  EXPECT_EQ(g.edge_count(), 16u);  // 2 ranks x 4 points x 2 edges
+  EXPECT_TRUE(is_dag(g));
+}
+
+TEST(StructuredTest, FftRejectsNonPowerOfTwo) {
+  EXPECT_THROW(make_fft(6, unit_weights()), std::invalid_argument);
+}
+
+TEST(StructuredTest, GaussianEliminationShape) {
+  const TaskGraph g = make_gaussian_elimination(5, unit_weights());
+  EXPECT_EQ(g.node_count(), 10);  // n(n-1)/2
+  EXPECT_TRUE(is_dag(g));
+  // the first pivot T(0,1) feeds all of step 1
+  EXPECT_EQ(g.out_degree(0), 3);
+}
+
+TEST(StructuredTest, GaussianEliminationMinimumSize) {
+  EXPECT_EQ(make_gaussian_elimination(2, unit_weights()).node_count(), 1);
+  EXPECT_THROW(make_gaussian_elimination(1, unit_weights()), std::invalid_argument);
+}
+
+TEST(StructuredTest, DivideAndConquerShape) {
+  const TaskGraph g = make_divide_and_conquer(2, unit_weights());
+  // split: 1 + 2 + 4; merge: 2 + 1
+  EXPECT_EQ(g.node_count(), 10);
+  EXPECT_TRUE(is_dag(g));
+  NodeId sinks = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (g.out_degree(v) == 0) ++sinks;
+  }
+  EXPECT_EQ(sinks, 1);
+}
+
+TEST(StructuredTest, MapReduceShape) {
+  const TaskGraph g = make_map_reduce(3, 2, unit_weights());
+  EXPECT_EQ(g.node_count(), 1 + 3 + 2 + 1);
+  EXPECT_EQ(g.edge_count(), 3u + 6u + 2u);
+  EXPECT_TRUE(is_dag(g));
+}
+
+TEST(StructuredTest, GeneratorsRejectNonPositiveSizes) {
+  EXPECT_THROW(make_fork_join(0, 1, unit_weights()), std::invalid_argument);
+  EXPECT_THROW(make_out_tree(1, 0, unit_weights()), std::invalid_argument);
+  EXPECT_THROW(make_diamond(0, 3, unit_weights()), std::invalid_argument);
+  EXPECT_THROW(make_pipeline(0, unit_weights()), std::invalid_argument);
+  EXPECT_THROW(make_map_reduce(3, 0, unit_weights()), std::invalid_argument);
+}
+
+TEST(StructuredTest, RandomWeightsAreDeterministicPerSeed) {
+  StructuredWeights w{{1, 9}, {1, 9}, 77};
+  EXPECT_EQ(make_diamond(3, 3, w), make_diamond(3, 3, w));
+  StructuredWeights w2 = w;
+  w2.seed = 78;
+  EXPECT_FALSE(make_diamond(3, 3, w) == make_diamond(3, 3, w2));
+}
+
+}  // namespace
+}  // namespace mimdmap
