@@ -5,6 +5,7 @@
 
 #include "baseline/random_mapping.hpp"
 #include "cluster/strategies.hpp"
+#include "core/eval_engine.hpp"
 #include "core/mapper.hpp"
 #include "graph/shortest_paths.hpp"
 #include "topology/topology.hpp"
@@ -44,6 +45,83 @@ void BM_Evaluate(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_Evaluate)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+// --- engine-vs-legacy evaluation (the PR's acceptance numbers) -------------
+//
+// BM_EvaluateLegacy* is the retained reference path (topological sort,
+// fresh buffers, and — under contention — a fresh RoutingTable per call);
+// BM_EvaluateEngine* reuses one precomputed EvalEngine and a warm
+// workspace, the configuration every search loop now runs in.
+
+void BM_EvaluateLegacy(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<NodeId>(state.range(0)), 8);
+  const Assignment a = Assignment::identity(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_reference(inst, a));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EvaluateLegacy)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+void BM_EvaluateEngine(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<NodeId>(state.range(0)), 8);
+  const EvalEngine engine(inst);
+  const Assignment a = Assignment::identity(8);
+  EvalWorkspace ws;
+  const EvalOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.trial_total_time(a.host_of_vector(), opts, ws));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EvaluateEngine)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+void BM_EvaluateLegacyContention(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<NodeId>(state.range(0)), 8);
+  const Assignment a = Assignment::identity(8);
+  const EvalOptions opts{.link_contention = true};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_reference(inst, a, opts));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EvaluateLegacyContention)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+void BM_EvaluateEngineContention(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<NodeId>(state.range(0)), 8);
+  const EvalEngine engine(inst);
+  const Assignment a = Assignment::identity(8);
+  EvalWorkspace ws;
+  const EvalOptions opts{.link_contention = true};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.trial_total_time(a.host_of_vector(), opts, ws));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EvaluateEngineContention)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+void BM_RefineThroughput(benchmark::State& state) {
+  // End-to-end refinement trial throughput (trials/sec) on a shared
+  // engine — the number the ROADMAP's mapper-throughput goal tracks.
+  const auto inst = make_instance(512, 8);
+  const EvalEngine engine(inst);
+  const IdealSchedule ideal = compute_ideal_schedule(inst);
+  const CriticalInfo critical = find_critical(inst, ideal);
+  const InitialAssignmentResult initial = initial_assignment(inst, critical);
+  RefineOptions opts;
+  opts.max_trials = 128;
+  opts.use_termination_condition = false;
+  opts.num_threads = static_cast<int>(state.range(0));
+  std::int64_t trials = 0;
+  for (auto _ : state) {
+    const RefineResult r = refine(engine, ideal, initial, opts);
+    trials += r.trials_used;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["trials_per_sec"] =
+      benchmark::Counter(static_cast<double>(trials), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RefineThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_FindCritical(benchmark::State& state) {
   const auto inst = make_instance(static_cast<NodeId>(state.range(0)), 8);

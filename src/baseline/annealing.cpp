@@ -8,17 +8,19 @@
 
 namespace mimdmap {
 
-AnnealingResult anneal_mapping(const MappingInstance& instance, const Assignment& start,
+AnnealingResult anneal_mapping(const EvalEngine& engine, const Assignment& start,
                                const AnnealingOptions& options) {
   if (options.cooling <= 0.0 || options.cooling >= 1.0) {
     throw std::invalid_argument("anneal_mapping: cooling must be in (0, 1)");
   }
+  const MappingInstance& instance = engine.instance();
   const NodeId n = instance.num_processors();
   Rng rng(options.seed);
+  EvalWorkspace& ws = engine.caller_workspace();
 
   AnnealingResult result;
   result.assignment = start;
-  result.total_time = total_time(instance, start, options.eval);
+  result.total_time = engine.evaluate(start, options.eval).total_time;
 
   if (n < 2) return result;
 
@@ -32,7 +34,8 @@ AnnealingResult anneal_mapping(const MappingInstance& instance, const Assignment
     Weight lo = current_total;
     Weight hi = current_total;
     for (int i = 0; i < 8; ++i) {
-      const Weight t = total_time(instance, random_assignment(n, probe), options.eval);
+      const Weight t = engine.trial_total_time(
+          random_assignment(n, probe).host_of_vector(), options.eval, ws);
       lo = std::min(lo, t);
       hi = std::max(hi, t);
     }
@@ -50,7 +53,7 @@ AnnealingResult anneal_mapping(const MappingInstance& instance, const Assignment
       NodeId q = static_cast<NodeId>(rng.uniform(0, n - 2));
       if (q >= p) ++q;
       current.swap_processors(p, q);
-      const Weight cand = total_time(instance, current, options.eval);
+      const Weight cand = engine.trial_total_time(current.host_of_vector(), options.eval, ws);
       const auto delta = static_cast<double>(cand - current_total);
       if (delta <= 0.0 || rng.uniform01() < std::exp(-delta / temperature)) {
         current_total = cand;
@@ -66,6 +69,12 @@ AnnealingResult anneal_mapping(const MappingInstance& instance, const Assignment
     temperature *= options.cooling;
   }
   return result;
+}
+
+AnnealingResult anneal_mapping(const MappingInstance& instance, const Assignment& start,
+                               const AnnealingOptions& options) {
+  const EvalEngine engine(instance);
+  return anneal_mapping(engine, start, options);
 }
 
 }  // namespace mimdmap

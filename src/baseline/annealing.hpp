@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "core/assignment.hpp"
+#include "core/eval_engine.hpp"
 #include "core/evaluation.hpp"
 #include "core/instance.hpp"
 
@@ -38,7 +39,10 @@ struct AnnealingResult {
 };
 
 /// Anneals from the given starting assignment (typically the identity or
-/// the paper's initial assignment).
+/// the paper's initial assignment). Moves are scored on the engine's
+/// zero-allocation trial kernel.
+[[nodiscard]] AnnealingResult anneal_mapping(const EvalEngine& engine, const Assignment& start,
+                                             const AnnealingOptions& options = {});
 [[nodiscard]] AnnealingResult anneal_mapping(const MappingInstance& instance,
                                              const Assignment& start,
                                              const AnnealingOptions& options = {});

@@ -21,12 +21,12 @@ void for_each_assignment(NodeId n, const std::function<void(const Assignment&)>&
   } while (std::next_permutation(perm.begin(), perm.end()));
 }
 
-ExhaustiveResult exhaustive_best_total(const MappingInstance& instance,
-                                       const EvalOptions& eval) {
+ExhaustiveResult exhaustive_best_total(const EvalEngine& engine, const EvalOptions& eval) {
   ExhaustiveResult best;
   best.total_time = kUnreachable;
-  for_each_assignment(instance.num_processors(), [&](const Assignment& a) {
-    const Weight t = total_time(instance, a, eval);
+  EvalWorkspace& ws = engine.caller_workspace();
+  for_each_assignment(engine.instance().num_processors(), [&](const Assignment& a) {
+    const Weight t = engine.trial_total_time(a.host_of_vector(), eval, ws);
     if (t < best.total_time) {
       best.total_time = t;
       best.assignment = a;
@@ -35,24 +35,31 @@ ExhaustiveResult exhaustive_best_total(const MappingInstance& instance,
   return best;
 }
 
+ExhaustiveResult exhaustive_best_total(const MappingInstance& instance,
+                                       const EvalOptions& eval) {
+  const EvalEngine engine(instance);
+  return exhaustive_best_total(engine, eval);
+}
+
 namespace {
 
 /// Shared scan: keep the best objective value (per `better`), and among
 /// ties the smallest total time.
 template <typename Objective, typename Better>
-ExhaustiveObjectiveResult scan(const MappingInstance& instance, const EvalOptions& eval,
+ExhaustiveObjectiveResult scan(const EvalEngine& engine, const EvalOptions& eval,
                                Objective&& objective, Better&& better, Weight worst_init) {
   ExhaustiveObjectiveResult result;
   result.best_objective = worst_init;
   result.best_total_at_objective = kUnreachable;
-  for_each_assignment(instance.num_processors(), [&](const Assignment& a) {
+  EvalWorkspace& ws = engine.caller_workspace();
+  for_each_assignment(engine.instance().num_processors(), [&](const Assignment& a) {
     const Weight obj = objective(a);
     if (better(obj, result.best_objective)) {
       result.best_objective = obj;
       result.best_total_at_objective = kUnreachable;
     }
     if (obj == result.best_objective) {
-      const Weight t = total_time(instance, a, eval);
+      const Weight t = engine.trial_total_time(a.host_of_vector(), eval, ws);
       if (t < result.best_total_at_objective) {
         result.best_total_at_objective = t;
         result.best_assignment_at_objective = a;
@@ -64,20 +71,34 @@ ExhaustiveObjectiveResult scan(const MappingInstance& instance, const EvalOption
 
 }  // namespace
 
-ExhaustiveObjectiveResult exhaustive_best_cardinality(const MappingInstance& instance,
+ExhaustiveObjectiveResult exhaustive_best_cardinality(const EvalEngine& engine,
                                                       const EvalOptions& eval) {
+  const MappingInstance& instance = engine.instance();
   return scan(
-      instance, eval,
+      engine, eval,
       [&instance](const Assignment& a) { return static_cast<Weight>(cardinality(instance, a)); },
       [](Weight a, Weight b) { return a > b; }, std::numeric_limits<Weight>::min());
 }
 
-ExhaustiveObjectiveResult exhaustive_best_comm_cost(const MappingInstance& instance,
+ExhaustiveObjectiveResult exhaustive_best_cardinality(const MappingInstance& instance,
+                                                      const EvalOptions& eval) {
+  const EvalEngine engine(instance);
+  return exhaustive_best_cardinality(engine, eval);
+}
+
+ExhaustiveObjectiveResult exhaustive_best_comm_cost(const EvalEngine& engine,
                                                     const EvalOptions& eval) {
+  const MappingInstance& instance = engine.instance();
   return scan(
-      instance, eval,
+      engine, eval,
       [&instance](const Assignment& a) { return phase_comm_cost(instance, a); },
       [](Weight a, Weight b) { return a < b; }, kUnreachable);
+}
+
+ExhaustiveObjectiveResult exhaustive_best_comm_cost(const MappingInstance& instance,
+                                                    const EvalOptions& eval) {
+  const EvalEngine engine(instance);
+  return exhaustive_best_comm_cost(engine, eval);
 }
 
 }  // namespace mimdmap

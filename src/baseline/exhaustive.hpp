@@ -14,6 +14,7 @@
 #include <functional>
 
 #include "core/assignment.hpp"
+#include "core/eval_engine.hpp"
 #include "core/evaluation.hpp"
 #include "core/instance.hpp"
 
@@ -28,7 +29,10 @@ struct ExhaustiveResult {
   Weight total_time = 0;
 };
 
-/// Assignment with the minimum total execution time.
+/// Assignment with the minimum total execution time. The engine overload
+/// scans all ns! schedules on the zero-allocation trial kernel.
+[[nodiscard]] ExhaustiveResult exhaustive_best_total(const EvalEngine& engine,
+                                                     const EvalOptions& eval = {});
 [[nodiscard]] ExhaustiveResult exhaustive_best_total(const MappingInstance& instance,
                                                      const EvalOptions& eval = {});
 
@@ -44,10 +48,14 @@ struct ExhaustiveObjectiveResult {
 /// Maximum Bokhari cardinality, plus the best total time attainable while
 /// staying cardinality-optimal.
 [[nodiscard]] ExhaustiveObjectiveResult exhaustive_best_cardinality(
+    const EvalEngine& engine, const EvalOptions& eval = {});
+[[nodiscard]] ExhaustiveObjectiveResult exhaustive_best_cardinality(
     const MappingInstance& instance, const EvalOptions& eval = {});
 
 /// Minimum Lee phase communication cost, plus the best total time
 /// attainable while staying comm-cost-optimal.
+[[nodiscard]] ExhaustiveObjectiveResult exhaustive_best_comm_cost(
+    const EvalEngine& engine, const EvalOptions& eval = {});
 [[nodiscard]] ExhaustiveObjectiveResult exhaustive_best_comm_cost(
     const MappingInstance& instance, const EvalOptions& eval = {});
 

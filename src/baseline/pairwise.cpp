@@ -20,7 +20,7 @@ std::vector<NodeId> free_processors(const MappingInstance& instance,
   return procs;
 }
 
-RefineResult start_result(const MappingInstance& instance, const IdealSchedule& ideal,
+RefineResult start_result(const EvalEngine& engine, const IdealSchedule& ideal,
                           const InitialAssignmentResult& initial,
                           const RefineOptions& options) {
   if (!initial.assignment.complete()) {
@@ -28,7 +28,7 @@ RefineResult start_result(const MappingInstance& instance, const IdealSchedule& 
   }
   RefineResult r;
   r.assignment = initial.assignment;
-  r.schedule = evaluate(instance, r.assignment, options.eval);
+  r.schedule = engine.evaluate(r.assignment, options.eval);
   r.lower_bound = ideal.lower_bound;
   r.initial_total = r.schedule.total_time;
   return r;
@@ -36,11 +36,11 @@ RefineResult start_result(const MappingInstance& instance, const IdealSchedule& 
 
 }  // namespace
 
-RefineResult pairwise_exchange_refine(const MappingInstance& instance,
-                                      const IdealSchedule& ideal,
+RefineResult pairwise_exchange_refine(const EvalEngine& engine, const IdealSchedule& ideal,
                                       const InitialAssignmentResult& initial,
                                       const RefineOptions& options) {
-  RefineResult result = start_result(instance, ideal, initial, options);
+  const MappingInstance& instance = engine.instance();
+  RefineResult result = start_result(engine, ideal, initial, options);
   if (options.use_termination_condition &&
       result.schedule.total_time == result.lower_bound) {
     result.reached_lower_bound = true;
@@ -59,37 +59,48 @@ RefineResult pairwise_exchange_refine(const MappingInstance& instance,
 
   Rng rng(options.seed);
   const auto m = static_cast<std::int64_t>(procs.size());
+  Assignment best = result.assignment;
+  Weight best_total = result.schedule.total_time;
+  Assignment candidate = best;  // scratch reused across trials
+  bool improved_any = false;
   for (std::int64_t trial = 0; trial < budget; ++trial) {
     ++result.trials_used;
     const auto i = rng.uniform(0, m - 1);
     auto j = rng.uniform(0, m - 2);
     if (j >= i) ++j;
-    Assignment candidate = result.assignment;
+    candidate = best;
     candidate.swap_processors(procs[static_cast<std::size_t>(i)],
                               procs[static_cast<std::size_t>(j)]);
-    const ScheduleResult cand = evaluate(instance, candidate, options.eval);
-    if (options.use_termination_condition && cand.total_time == result.lower_bound) {
+    const Weight cand_total = engine.trial_total_time(candidate.host_of_vector(), options.eval,
+                                                      engine.caller_workspace());
+    if (options.use_termination_condition && cand_total == result.lower_bound) {
       result.assignment = candidate;
-      result.schedule = cand;
+      result.schedule = engine.evaluate(candidate, options.eval);
       result.reached_lower_bound = true;
       result.terminated_early = trial + 1 < budget;
       ++result.improvements;
       return result;
     }
-    if (cand.total_time < result.schedule.total_time) {
-      result.assignment = candidate;
-      result.schedule = cand;
+    if (cand_total < best_total) {
+      best = candidate;
+      best_total = cand_total;
+      improved_any = true;
       ++result.improvements;
     }
+  }
+  if (improved_any) {
+    result.assignment = best;
+    result.schedule = engine.evaluate(best, options.eval);
   }
   result.reached_lower_bound = result.schedule.total_time == result.lower_bound;
   return result;
 }
 
-RefineResult pairwise_sweep_refine(const MappingInstance& instance, const IdealSchedule& ideal,
+RefineResult pairwise_sweep_refine(const EvalEngine& engine, const IdealSchedule& ideal,
                                    const InitialAssignmentResult& initial,
                                    const RefineOptions& options) {
-  RefineResult result = start_result(instance, ideal, initial, options);
+  const MappingInstance& instance = engine.instance();
+  RefineResult result = start_result(engine, ideal, initial, options);
   if (options.use_termination_condition &&
       result.schedule.total_time == result.lower_bound) {
     result.reached_lower_bound = true;
@@ -102,6 +113,7 @@ RefineResult pairwise_sweep_refine(const MappingInstance& instance, const IdealS
                                   ? options.max_trials
                                   : static_cast<std::int64_t>(instance.num_processors());
   bool improved = true;
+  Assignment candidate = result.assignment;  // scratch reused across trials
   while (improved && result.trials_used < budget) {
     improved = false;
     std::size_t best_i = 0;
@@ -110,9 +122,10 @@ RefineResult pairwise_sweep_refine(const MappingInstance& instance, const IdealS
     for (std::size_t i = 0; i < procs.size() && result.trials_used < budget; ++i) {
       for (std::size_t j = i + 1; j < procs.size() && result.trials_used < budget; ++j) {
         ++result.trials_used;
-        Assignment candidate = result.assignment;
+        candidate = result.assignment;
         candidate.swap_processors(procs[i], procs[j]);
-        const Weight t = total_time(instance, candidate, options.eval);
+        const Weight t = engine.trial_total_time(candidate.host_of_vector(), options.eval,
+                                                 engine.caller_workspace());
         if (t < best_total) {
           best_total = t;
           best_i = i;
@@ -123,7 +136,7 @@ RefineResult pairwise_sweep_refine(const MappingInstance& instance, const IdealS
     }
     if (improved) {
       result.assignment.swap_processors(procs[best_i], procs[best_j]);
-      result.schedule = evaluate(instance, result.assignment, options.eval);
+      result.schedule = engine.evaluate(result.assignment, options.eval);
       ++result.improvements;
       if (options.use_termination_condition &&
           result.schedule.total_time == result.lower_bound) {
@@ -135,6 +148,21 @@ RefineResult pairwise_sweep_refine(const MappingInstance& instance, const IdealS
   }
   result.reached_lower_bound = result.schedule.total_time == result.lower_bound;
   return result;
+}
+
+RefineResult pairwise_exchange_refine(const MappingInstance& instance,
+                                      const IdealSchedule& ideal,
+                                      const InitialAssignmentResult& initial,
+                                      const RefineOptions& options) {
+  const EvalEngine engine(instance);
+  return pairwise_exchange_refine(engine, ideal, initial, options);
+}
+
+RefineResult pairwise_sweep_refine(const MappingInstance& instance, const IdealSchedule& ideal,
+                                   const InitialAssignmentResult& initial,
+                                   const RefineOptions& options) {
+  const EvalEngine engine(instance);
+  return pairwise_sweep_refine(engine, ideal, initial, options);
 }
 
 }  // namespace mimdmap

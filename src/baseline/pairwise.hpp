@@ -22,12 +22,21 @@
 namespace mimdmap {
 
 /// Random-pair exchange under the same options/diagnostics as refine().
+/// Trials run on the engine's zero-allocation kernel.
+[[nodiscard]] RefineResult pairwise_exchange_refine(const EvalEngine& engine,
+                                                    const IdealSchedule& ideal,
+                                                    const InitialAssignmentResult& initial,
+                                                    const RefineOptions& options = {});
 [[nodiscard]] RefineResult pairwise_exchange_refine(const MappingInstance& instance,
                                                     const IdealSchedule& ideal,
                                                     const InitialAssignmentResult& initial,
                                                     const RefineOptions& options = {});
 
 /// Steepest-descent sweeps until local minimum or trial budget exhaustion.
+[[nodiscard]] RefineResult pairwise_sweep_refine(const EvalEngine& engine,
+                                                 const IdealSchedule& ideal,
+                                                 const InitialAssignmentResult& initial,
+                                                 const RefineOptions& options = {});
 [[nodiscard]] RefineResult pairwise_sweep_refine(const MappingInstance& instance,
                                                  const IdealSchedule& ideal,
                                                  const InitialAssignmentResult& initial,

@@ -9,17 +9,17 @@ Assignment random_assignment(NodeId n, Rng& rng) {
   return Assignment::from_cluster_on(rng.permutation(n));
 }
 
-RandomMappingStats evaluate_random_mappings(const MappingInstance& instance,
-                                            std::int64_t trials, std::uint64_t seed,
-                                            const EvalOptions& eval) {
+RandomMappingStats evaluate_random_mappings(const EvalEngine& engine, std::int64_t trials,
+                                            std::uint64_t seed, const EvalOptions& eval) {
   if (trials <= 0) throw std::invalid_argument("evaluate_random_mappings: trials must be > 0");
   Rng rng(seed);
   RandomMappingStats stats;
   stats.totals.reserve(static_cast<std::size_t>(trials));
+  EvalWorkspace& ws = engine.caller_workspace();
   Weight sum = 0;
   for (std::int64_t t = 0; t < trials; ++t) {
-    const Assignment a = random_assignment(instance.num_processors(), rng);
-    const Weight total = total_time(instance, a, eval);
+    const Assignment a = random_assignment(engine.instance().num_processors(), rng);
+    const Weight total = engine.trial_total_time(a.host_of_vector(), eval, ws);
     stats.totals.push_back(total);
     sum += total;
   }
@@ -27,6 +27,13 @@ RandomMappingStats evaluate_random_mappings(const MappingInstance& instance,
   stats.max = *std::max_element(stats.totals.begin(), stats.totals.end());
   stats.mean_milli = sum * 1000 / trials;
   return stats;
+}
+
+RandomMappingStats evaluate_random_mappings(const MappingInstance& instance,
+                                            std::int64_t trials, std::uint64_t seed,
+                                            const EvalOptions& eval) {
+  const EvalEngine engine(instance);
+  return evaluate_random_mappings(engine, trials, seed, eval);
 }
 
 }  // namespace mimdmap

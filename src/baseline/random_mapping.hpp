@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/assignment.hpp"
+#include "core/eval_engine.hpp"
 #include "core/evaluation.hpp"
 #include "core/instance.hpp"
 #include "workload/rng.hpp"
@@ -35,7 +36,12 @@ struct RandomMappingStats {
 };
 
 /// Evaluates `trials` independent random assignments (paper: "several") and
-/// aggregates their total times.
+/// aggregates their total times. The engine overload runs the trials on the
+/// zero-allocation kernel.
+[[nodiscard]] RandomMappingStats evaluate_random_mappings(const EvalEngine& engine,
+                                                          std::int64_t trials,
+                                                          std::uint64_t seed,
+                                                          const EvalOptions& eval = {});
 [[nodiscard]] RandomMappingStats evaluate_random_mappings(const MappingInstance& instance,
                                                           std::int64_t trials,
                                                           std::uint64_t seed,

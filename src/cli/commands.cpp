@@ -10,6 +10,7 @@
 #include "baseline/random_mapping.hpp"
 #include "cluster/cluster_io.hpp"
 #include "cluster/strategies.hpp"
+#include "core/eval_engine.hpp"
 #include "core/mapper.hpp"
 #include "core/validate.hpp"
 #include "graph/graph_io.hpp"
@@ -190,7 +191,10 @@ int cmd_map(Flags& flags, std::ostream& out, std::ostream& err) {
   const std::uint64_t random_seed = flags.get_seed("random-seed", 99);
   if (const int rc = reject_unused(flags, err); rc != 0) return rc;
 
-  const MappingReport report = map_instance(instance, opts);
+  // One engine serves the whole command: the mapping pipeline, and the
+  // random-mapping baseline below when requested.
+  const EvalEngine engine(instance);
+  const MappingReport report = map_instance(engine, opts);
 
   std::ostringstream os;
   os << "instance: np=" << instance.num_tasks() << " ns=" << instance.num_processors()
@@ -210,7 +214,7 @@ int cmd_map(Flags& flags, std::ostream& out, std::ostream& err) {
   os << "\n";
   if (random_trials > 0) {
     const RandomMappingStats random =
-        evaluate_random_mappings(instance, random_trials, random_seed, opts.refine.eval);
+        evaluate_random_mappings(engine, random_trials, random_seed, opts.refine.eval);
     os << "random mapping mean over " << random_trials << " trials: " << random.mean()
        << "  (" << percent_over_lower_bound(random.mean(), report.lower_bound)
        << "% of bound)\n";
@@ -235,7 +239,8 @@ int cmd_eval(Flags& flags, std::ostream& out, std::ostream& err) {
   const bool show_gantt = flags.get_bool("gantt");
   if (const int rc = reject_unused(flags, err); rc != 0) return rc;
 
-  const ScheduleResult schedule = evaluate(instance, assignment, opts);
+  const EvalEngine engine(instance);
+  const ScheduleResult schedule = engine.evaluate(assignment, opts);
   validate_schedule(instance, assignment, schedule, opts);
   const Weight lb = compute_ideal_schedule(instance).lower_bound;
 

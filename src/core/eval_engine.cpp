@@ -1,0 +1,261 @@
+#include "core/eval_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/topological.hpp"
+
+namespace mimdmap {
+
+// ---------------------------------------------------------------------------
+// WorkerPool
+
+EvalEngine::WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void EvalEngine::WorkerPool::worker_main(int slot) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    // Workers beyond the job's requested lane count sit this one out (the
+    // job posted participants_ before bumping generation_, so the check is
+    // race-free under the lock).
+    if (slot >= participants_ || job_ == nullptr) continue;
+    const auto* job = job_;
+    const std::size_t count = count_;
+    lock.unlock();
+    while (true) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      (*job)(i, slot + 1);
+    }
+    lock.lock();
+    if (--pending_ == 0) done_cv_.notify_all();
+  }
+}
+
+void EvalEngine::WorkerPool::run(std::size_t count, int lanes,
+                                 const std::function<void(std::size_t, int)>& fn) {
+  const std::size_t max_workers = count > 0 ? count - 1 : 0;
+  const int workers = static_cast<int>(
+      std::min<std::size_t>(lanes > 1 ? static_cast<std::size_t>(lanes - 1) : 0, max_workers));
+  if (workers <= 0) {
+    for (std::size_t i = 0; i < count; ++i) fn(i, 0);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    while (static_cast<int>(threads_.size()) < workers) {
+      const int slot = static_cast<int>(threads_.size());
+      threads_.emplace_back([this, slot] { worker_main(slot); });
+    }
+    job_ = &fn;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    participants_ = workers;
+    pending_ = workers;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller drives lane 0 alongside the pool.
+  while (true) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) break;
+    fn(i, 0);
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// EvalEngine
+
+EvalEngine::EvalEngine(const MappingInstance& instance) : instance_(instance) {
+  const TaskGraph& problem = instance.problem();
+  const auto order = topological_order(problem);
+  if (!order) throw std::invalid_argument("evaluate: problem graph has a cycle");
+  topo_order_ = *order;
+
+  cluster_of_ = instance.clustering().cluster_map();
+  node_weight_ = problem.node_weights();
+
+  const NodeId np = problem.node_count();
+  const Matrix<Weight>& clus = instance.clus_edge();
+  std::size_t total_arcs = 0;
+  for (NodeId v = 0; v < np; ++v) total_arcs += problem.predecessors(v).size();
+  pred_arcs_.reserve(total_arcs);
+  pred_offset_.assign(idx(np) + 1, 0);
+  for (NodeId v = 0; v < np; ++v) {
+    pred_offset_[idx(v)] = static_cast<std::uint32_t>(pred_arcs_.size());
+    // Same edge-insertion order as TaskGraph::predecessors(v) — the legacy
+    // evaluation's iteration order, which link_contention results depend on.
+    for (const auto& [pred, edge_w] : problem.predecessors(v)) {
+      (void)edge_w;
+      pred_arcs_.push_back({pred, cluster_of_[idx(pred)], clus(idx(pred), idx(v))});
+    }
+  }
+  pred_offset_[idx(np)] = static_cast<std::uint32_t>(pred_arcs_.size());
+}
+
+EvalEngine::~EvalEngine() = default;
+
+void EvalEngine::ensure_routing() const {
+  std::call_once(routing_once_, [&] {
+    routing_ = std::make_unique<RoutingTable>(instance_.system());
+    const NodeId ns = instance_.num_processors();
+    route_offset_.assign(idx(ns) * idx(ns) + 1, 0);
+    std::vector<std::int32_t> links;
+    for (NodeId a = 0; a < ns; ++a) {
+      for (NodeId b = 0; b < ns; ++b) {
+        route_offset_[idx(a) * idx(ns) + idx(b)] = static_cast<std::uint32_t>(links.size());
+        const std::vector<NodeId> path = routing_->route(a, b);
+        for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+          links.push_back(routing_->link_index(path[k], path[k + 1]));
+        }
+      }
+    }
+    route_offset_.back() = static_cast<std::uint32_t>(links.size());
+    route_links_ = std::move(links);
+  });
+}
+
+void EvalEngine::ensure_workspace(EvalWorkspace& ws, bool link_contention) const {
+  const std::size_t np = idx(instance_.num_tasks());
+  const std::size_t ns = idx(instance_.num_processors());
+  if (ws.start.size() < np) ws.start.resize(np);
+  if (ws.end.size() < np) ws.end.resize(np);
+  if (ws.proc_free.size() < ns) ws.proc_free.resize(ns);
+  if (link_contention && ws.link_free.size() < routing_->link_count()) {
+    ws.link_free.resize(routing_->link_count());
+  }
+}
+
+Weight EvalEngine::run_schedule(std::span<const NodeId> host_of, const EvalOptions& options,
+                                EvalWorkspace& ws) const {
+  const bool contention = options.link_contention;
+  const bool serialize = options.serialize_within_processor;
+  if (contention) ensure_routing();
+  ensure_workspace(ws, contention);
+  if (serialize) std::fill(ws.proc_free.begin(), ws.proc_free.end(), Weight{0});
+  if (contention) std::fill(ws.link_free.begin(), ws.link_free.end(), Weight{0});
+
+  const Matrix<Weight>& hops = instance_.hops();
+  const std::size_t ns = idx(instance_.num_processors());
+  Weight* const start = ws.start.data();
+  Weight* const end = ws.end.data();
+  Weight* const proc_free = ws.proc_free.data();
+  Weight* const link_free = ws.link_free.data();
+  const PredArc* const arcs = pred_arcs_.data();
+
+  Weight total = 0;
+  for (const NodeId v : topo_order_) {
+    const NodeId pv = host_of[idx(cluster_of_[idx(v)])];
+    Weight st = 0;
+    const std::uint32_t lo = pred_offset_[idx(v)];
+    const std::uint32_t hi = pred_offset_[idx(v) + 1];
+    for (std::uint32_t a = lo; a < hi; ++a) {
+      const PredArc& arc = arcs[a];
+      Weight arrival = end[idx(arc.pred)];
+      if (arc.weight > 0) {
+        const NodeId pp = host_of[idx(arc.pred_cluster)];
+        if (contention) {
+          // Store-and-forward along the pre-flattened route; each hop holds
+          // its link exclusively for the message's full weight.
+          const std::size_t r = idx(pp) * ns + idx(pv);
+          const std::uint32_t rlo = route_offset_[r];
+          const std::uint32_t rhi = route_offset_[r + 1];
+          for (std::uint32_t k = rlo; k < rhi; ++k) {
+            const auto li = static_cast<std::size_t>(route_links_[k]);
+            const Weight depart = std::max(arrival, link_free[li]);
+            arrival = depart + arc.weight;
+            link_free[li] = arrival;
+          }
+        } else {
+          arrival += arc.weight * hops(idx(pp), idx(pv));
+        }
+      }
+      st = std::max(st, arrival);
+    }
+    if (serialize) st = std::max(st, proc_free[idx(pv)]);
+    start[idx(v)] = st;
+    const Weight en = st + node_weight_[idx(v)];
+    end[idx(v)] = en;
+    if (serialize) proc_free[idx(pv)] = en;
+    total = std::max(total, en);
+  }
+  return total;
+}
+
+Weight EvalEngine::trial_total_time(std::span<const NodeId> host_of, const EvalOptions& options,
+                                    EvalWorkspace& ws) const {
+  return run_schedule(host_of, options, ws);
+}
+
+ScheduleResult EvalEngine::workspace_to_result(const EvalWorkspace& ws, Weight total) const {
+  const std::size_t np = idx(instance_.num_tasks());
+  ScheduleResult r;
+  r.start.assign(ws.start.begin(), ws.start.begin() + static_cast<std::ptrdiff_t>(np));
+  r.end.assign(ws.end.begin(), ws.end.begin() + static_cast<std::ptrdiff_t>(np));
+  r.total_time = total;
+  for (std::size_t v = 0; v < np; ++v) {
+    if (r.end[v] == total) r.latest_tasks.push_back(node_id(v));
+  }
+  return r;
+}
+
+ScheduleResult EvalEngine::evaluate(const Assignment& assignment,
+                                    const EvalOptions& options) const {
+  if (assignment.size() != instance_.num_processors() || !assignment.complete()) {
+    throw std::invalid_argument("evaluate: assignment is not a complete mapping of all clusters");
+  }
+  return evaluate(std::span<const NodeId>(assignment.host_of_vector()), options, caller_ws_);
+}
+
+ScheduleResult EvalEngine::evaluate(std::span<const NodeId> host_of, const EvalOptions& options,
+                                    EvalWorkspace& ws) const {
+  const Weight total = run_schedule(host_of, options, ws);
+  return workspace_to_result(ws, total);
+}
+
+void EvalEngine::for_each_parallel(
+    std::size_t count, int num_threads,
+    const std::function<void(std::size_t, EvalWorkspace&)>& fn) const {
+  if (num_threads < 2 || count < 2) {
+    for (std::size_t i = 0; i < count; ++i) fn(i, caller_ws_);
+    return;
+  }
+  // Lane workspaces are (re)sized while the pool is idle, so workers only
+  // ever see stable storage.
+  const std::size_t lanes = std::min<std::size_t>(static_cast<std::size_t>(num_threads), count);
+  if (lane_ws_.size() < lanes - 1) lane_ws_.resize(lanes - 1);
+  pool_.run(count, static_cast<int>(lanes), [&](std::size_t i, int lane) {
+    fn(i, lane == 0 ? caller_ws_ : lane_ws_[static_cast<std::size_t>(lane - 1)]);
+  });
+}
+
+void EvalEngine::batch_total_times(std::span<const std::vector<NodeId>> hosts,
+                                   const EvalOptions& options, int num_threads,
+                                   std::span<Weight> totals) const {
+  if (totals.size() < hosts.size()) {
+    throw std::invalid_argument("batch_total_times: totals span too small");
+  }
+  // Contention tables are built once up front so pooled lanes never race on
+  // first use (call_once would serialise them anyway; this keeps the lanes'
+  // first trials warm).
+  if (options.link_contention) ensure_routing();
+  for_each_parallel(hosts.size(), num_threads, [&](std::size_t i, EvalWorkspace& ws) {
+    totals[i] = trial_total_time(hosts[i], options, ws);
+  });
+}
+
+}  // namespace mimdmap

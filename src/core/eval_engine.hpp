@@ -1,0 +1,170 @@
+// EvalEngine: the precomputed schedule-evaluation engine.
+//
+// The whole mapping pipeline (paper sections 4.3.1-4.3.4) is "generate a
+// candidate assignment, evaluate its total time, keep iff better" — so
+// evaluation throughput *is* mapper throughput. The free evaluate() in
+// evaluation.hpp recomputes the topological order, re-walks pointer-chasing
+// adjacency lists, reallocates every schedule buffer and (under
+// link_contention) rebuilds a RoutingTable on every call. EvalEngine hoists
+// all of that per-*instance* work out of the per-*trial* loop:
+//
+//  * the topological order of the problem graph (fixed per instance),
+//  * a flat CSR predecessor array whose arcs carry pre-resolved
+//    (pred, cluster_of(pred), clus_edge(pred, v)) triples — one contiguous
+//    scan per trial instead of nested vector-of-pair walks plus two matrix
+//    lookups per precedence,
+//  * a flat cluster_of / node-weight lookup,
+//  * one shared RoutingTable with every route pre-flattened to a link-index
+//    sequence (built lazily, only when link_contention is first requested),
+//  * a persistent worker pool so parallel search loops stop paying
+//    thread-spawn latency per call,
+//  * per-lane EvalWorkspace scratch buffers, so steady-state trial
+//    evaluation performs ZERO heap allocations.
+//
+// Determinism guarantee: the trial kernel visits tasks in exactly the order
+// the legacy evaluate() did (topological order, ties by node id;
+// predecessors in edge-insertion order), so every result is bit-identical
+// to evaluate_reference() in all three modes (plain,
+// serialize_within_processor, link_contention) — the equivalence suite in
+// tests/eval_engine_test.cpp enforces this.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/assignment.hpp"
+#include "core/evaluation.hpp"
+#include "core/instance.hpp"
+#include "graph/routing.hpp"
+
+namespace mimdmap {
+
+/// Reusable scratch buffers for one evaluation lane. Sized by the engine on
+/// first use and reused for every subsequent trial; after warm-up a trial
+/// touches no allocator. One workspace must never be shared by two
+/// concurrent evaluations.
+struct EvalWorkspace {
+  std::vector<Weight> start;
+  std::vector<Weight> end;
+  std::vector<Weight> proc_free;
+  std::vector<Weight> link_free;
+};
+
+class EvalEngine {
+ public:
+  /// Precomputes the evaluation tables for `instance`. The instance must
+  /// outlive the engine (the engine keeps a reference).
+  explicit EvalEngine(const MappingInstance& instance);
+  ~EvalEngine();
+
+  EvalEngine(const EvalEngine&) = delete;
+  EvalEngine& operator=(const EvalEngine&) = delete;
+
+  [[nodiscard]] const MappingInstance& instance() const noexcept { return instance_; }
+
+  /// Full schedule of a complete assignment — same checks and bit-identical
+  /// results as the legacy free evaluate(). Writes through the shared
+  /// caller workspace, so despite being const it must not be called from
+  /// two threads concurrently on one engine; concurrent evaluators must use
+  /// the span overload below with private workspaces (the engine's own
+  /// pool already does).
+  [[nodiscard]] ScheduleResult evaluate(const Assignment& assignment,
+                                        const EvalOptions& options = {}) const;
+
+  /// As above against an explicit host_of vector (host[c] = processor of
+  /// cluster c), writing through the caller's workspace.
+  [[nodiscard]] ScheduleResult evaluate(std::span<const NodeId> host_of,
+                                        const EvalOptions& options, EvalWorkspace& ws) const;
+
+  /// Hot path: total time only. No argument validation, no allocations at
+  /// steady state. `host_of` must be a complete cluster -> processor map;
+  /// concurrent callers must each bring a private workspace.
+  [[nodiscard]] Weight trial_total_time(std::span<const NodeId> host_of,
+                                        const EvalOptions& options, EvalWorkspace& ws) const;
+
+  /// A workspace for the calling thread (lane 0 of the pool). Not
+  /// thread-safe: concurrent callers must bring their own EvalWorkspace.
+  [[nodiscard]] EvalWorkspace& caller_workspace() const noexcept { return caller_ws_; }
+
+  /// Runs fn(i, workspace) for every i in [0, count) across the persistent
+  /// worker pool: the caller participates plus up to num_threads - 1 pooled
+  /// workers, each with a private lane workspace. Blocks until all indices
+  /// are done. Iteration order across lanes is unspecified, so fn must only
+  /// write to per-index slots; with num_threads < 2 it degenerates to an
+  /// inline sequential loop.
+  void for_each_parallel(std::size_t count, int num_threads,
+                         const std::function<void(std::size_t, EvalWorkspace&)>& fn) const;
+
+  /// Convenience batch used by the search loops: totals[i] =
+  /// trial_total_time(hosts[i]). Deterministic for any thread count.
+  void batch_total_times(std::span<const std::vector<NodeId>> hosts, const EvalOptions& options,
+                         int num_threads, std::span<Weight> totals) const;
+
+ private:
+  /// One pre-resolved precedence arc into a task.
+  struct PredArc {
+    NodeId pred = 0;          // predecessor task
+    NodeId pred_cluster = 0;  // cluster_of(pred)
+    Weight weight = 0;        // clus_edge(pred, task); 0 for intra-cluster
+  };
+
+  /// Persistent worker pool: threads are spawned on the first parallel call
+  /// and parked on a condition variable between jobs, replacing the legacy
+  /// per-call std::thread spawning in evaluate_parallel().
+  class WorkerPool {
+   public:
+    ~WorkerPool();
+    /// Runs fn(index, lane) for index in [0, count); the caller drives lane
+    /// 0 and pooled workers drive lanes [1, lanes).
+    void run(std::size_t count, int lanes, const std::function<void(std::size_t, int)>& fn);
+
+   private:
+    void worker_main(int slot);
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    std::vector<std::thread> threads_;
+    const std::function<void(std::size_t, int)>* job_ = nullptr;
+    std::atomic<std::size_t> next_{0};
+    std::size_t count_ = 0;
+    std::uint64_t generation_ = 0;
+    int participants_ = 0;  // pooled workers admitted to the current job
+    int pending_ = 0;       // admitted workers not yet finished
+    bool shutdown_ = false;
+  };
+
+  void ensure_workspace(EvalWorkspace& ws, bool link_contention) const;
+  void ensure_routing() const;
+  /// Shared kernel: schedules every task, filling ws.start / ws.end, and
+  /// returns the makespan.
+  Weight run_schedule(std::span<const NodeId> host_of, const EvalOptions& options,
+                      EvalWorkspace& ws) const;
+  ScheduleResult workspace_to_result(const EvalWorkspace& ws, Weight total) const;
+
+  const MappingInstance& instance_;
+  std::vector<NodeId> topo_order_;
+  std::vector<std::uint32_t> pred_offset_;  // CSR: arcs of task v are
+  std::vector<PredArc> pred_arcs_;          // pred_arcs_[pred_offset_[v] .. [v+1])
+  std::vector<NodeId> cluster_of_;
+  std::vector<Weight> node_weight_;
+
+  // Lazily built contention tables (plain evaluations never pay for them).
+  mutable std::once_flag routing_once_;
+  mutable std::unique_ptr<RoutingTable> routing_;
+  mutable std::vector<std::uint32_t> route_offset_;  // CSR over (from * ns + to)
+  mutable std::vector<std::int32_t> route_links_;    // link indices along each route
+
+  mutable WorkerPool pool_;
+  mutable EvalWorkspace caller_ws_;
+  mutable std::vector<EvalWorkspace> lane_ws_;  // lane i >= 1 -> lane_ws_[i - 1]
+};
+
+}  // namespace mimdmap

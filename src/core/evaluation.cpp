@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "core/eval_engine.hpp"
 #include "graph/routing.hpp"
 #include "graph/topological.hpp"
 
@@ -37,6 +38,12 @@ Matrix<Weight> communication_matrix(const MappingInstance& instance,
 
 ScheduleResult evaluate(const MappingInstance& instance, const Assignment& assignment,
                         const EvalOptions& options) {
+  const EvalEngine engine(instance);
+  return engine.evaluate(assignment, options);
+}
+
+ScheduleResult evaluate_reference(const MappingInstance& instance, const Assignment& assignment,
+                                  const EvalOptions& options) {
   check_assignment(instance, assignment);
   const TaskGraph& problem = instance.problem();
   const Clustering& clustering = instance.clustering();

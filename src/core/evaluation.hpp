@@ -57,6 +57,10 @@ struct ScheduleResult {
                                                   const Assignment& assignment);
 
 /// Evaluates the total time of an assignment (algorithms I-III).
+///
+/// Thin wrapper that builds a one-shot EvalEngine (core/eval_engine.hpp);
+/// search loops that evaluate many assignments of one instance should build
+/// the engine once and reuse it.
 [[nodiscard]] ScheduleResult evaluate(const MappingInstance& instance,
                                       const Assignment& assignment,
                                       const EvalOptions& options = {});
@@ -64,5 +68,15 @@ struct ScheduleResult {
 /// Convenience: just the total time.
 [[nodiscard]] Weight total_time(const MappingInstance& instance, const Assignment& assignment,
                                 const EvalOptions& options = {});
+
+/// The original straight-line evaluation, retained verbatim as the oracle
+/// for the engine-equivalence suite (tests/eval_engine_test.cpp) and the
+/// legacy side of the bench/micro_core.cpp engine-vs-legacy benchmarks.
+/// Recomputes the topological order, reallocates every buffer and (under
+/// link_contention) rebuilds a RoutingTable per call; bit-identical results
+/// to evaluate() in all three modes.
+[[nodiscard]] ScheduleResult evaluate_reference(const MappingInstance& instance,
+                                                const Assignment& assignment,
+                                                const EvalOptions& options = {});
 
 }  // namespace mimdmap

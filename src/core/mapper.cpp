@@ -8,6 +8,12 @@ std::int64_t MappingReport::percent_over_lower_bound() const {
 }
 
 MappingReport map_instance(const MappingInstance& instance, const MapperOptions& options) {
+  const EvalEngine engine(instance);
+  return map_instance(engine, options);
+}
+
+MappingReport map_instance(const EvalEngine& engine, const MapperOptions& options) {
+  const MappingInstance& instance = engine.instance();
   MappingReport report;
   report.ideal = compute_ideal_schedule(instance);
   report.lower_bound = report.ideal.lower_bound;
@@ -17,9 +23,9 @@ MappingReport map_instance(const MappingInstance& instance, const MapperOptions&
   report.initial_assignment = initial.assignment;
   report.pinned = initial.pinned;
   report.initial_total =
-      evaluate(instance, initial.assignment, options.refine.eval).total_time;
+      engine.evaluate(initial.assignment, options.refine.eval).total_time;
 
-  const RefineResult refined = refine(instance, report.ideal, initial, options.refine);
+  const RefineResult refined = refine(engine, report.ideal, initial, options.refine);
   report.assignment = refined.assignment;
   report.schedule = refined.schedule;
   report.reached_lower_bound = refined.reached_lower_bound;

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "core/critical.hpp"
+#include "core/eval_engine.hpp"
 #include "core/evaluation.hpp"
 #include "core/ideal_graph.hpp"
 #include "core/initial_assignment.hpp"
@@ -54,6 +55,12 @@ struct MappingReport {
 
 /// Runs the full mapping pipeline on an instance.
 [[nodiscard]] MappingReport map_instance(const MappingInstance& instance,
+                                         const MapperOptions& options = {});
+
+/// As above, reusing a caller-owned evaluation engine (and its worker pool)
+/// across the whole pipeline — the entry point for callers that map one
+/// instance repeatedly or follow up with baselines on the same engine.
+[[nodiscard]] MappingReport map_instance(const EvalEngine& engine,
                                          const MapperOptions& options = {});
 
 }  // namespace mimdmap

@@ -1,50 +1,23 @@
 #include "core/refinement.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <stdexcept>
-#include <thread>
 #include <vector>
 
 #include "workload/rng.hpp"
 
 namespace mimdmap {
-namespace {
 
-/// Evaluates `candidates` with `num_threads` workers; results land at the
-/// matching indices. Each evaluate() call only reads shared state, so plain
-/// index partitioning by an atomic counter is race-free.
-std::vector<ScheduleResult> evaluate_parallel(const MappingInstance& instance,
-                                              const std::vector<Assignment>& candidates,
-                                              const EvalOptions& eval, int num_threads) {
-  std::vector<ScheduleResult> results(candidates.size());
-  std::atomic<std::size_t> next{0};
-  const auto worker = [&]() {
-    while (true) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= candidates.size()) return;
-      results[i] = evaluate(instance, candidates[i], eval);
-    }
-  };
-  const int workers = std::min<int>(num_threads, static_cast<int>(candidates.size()));
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-  return results;
-}
-
-}  // namespace
-
-RefineResult refine(const MappingInstance& instance, const IdealSchedule& ideal,
+RefineResult refine(const EvalEngine& engine, const IdealSchedule& ideal,
                     const InitialAssignmentResult& initial, const RefineOptions& options) {
+  const MappingInstance& instance = engine.instance();
   if (!initial.assignment.complete()) {
     throw std::invalid_argument("refine: initial assignment is incomplete");
   }
 
   RefineResult result;
   result.assignment = initial.assignment;
-  result.schedule = evaluate(instance, result.assignment, options.eval);
+  result.schedule = engine.evaluate(result.assignment, options.eval);
   result.lower_bound = ideal.lower_bound;
   result.initial_total = result.schedule.total_time;
 
@@ -94,56 +67,78 @@ RefineResult refine(const MappingInstance& instance, const IdealSchedule& ideal,
 
   // Step 4a: the candidate re-placements depend only on the RNG stream
   // (the paper re-places the free clusters afresh each trial, not relative
-  // to the current assignment), so they can all be generated up front.
-  std::vector<Assignment> candidates;
-  candidates.reserve(static_cast<std::size_t>(budget));
-  for (std::int64_t trial = 0; trial < budget; ++trial) {
-    rng.shuffle(shuffled);
-    std::vector<NodeId> host = initial.assignment.host_of_vector();
-    for (std::size_t k = 0; k < shuffled.size(); ++k) {
-      host[idx(shuffled[k])] = free_procs[k];
-    }
-    candidates.push_back(Assignment::from_host_of(std::move(host)));
-  }
+  // to the current assignment), so candidates can be generated ahead of
+  // their scan — but only one chunk at a time, reusing the same scratch
+  // host vectors, so memory stays O(chunk) instead of O(budget * n) and
+  // early termination skips the trailing chunks entirely. Every pinned
+  // slot keeps its initial host and every free slot is rewritten each
+  // trial, so recycling a scratch vector never leaks a previous candidate.
+  const int threads = std::max(1, options.num_threads);
+  const std::size_t chunk_capacity =
+      threads > 1 ? static_cast<std::size_t>(threads) * 4 : std::size_t{1};
+  const std::vector<NodeId>& initial_host = initial.assignment.host_of_vector();
+  std::vector<std::vector<NodeId>> chunk(chunk_capacity, initial_host);
+  std::vector<Weight> totals(chunk_capacity, 0);
 
-  // Step 4b: evaluate. Parallel mode evaluates every candidate
-  // speculatively (trading the termination condition's evaluation savings
-  // for wall-clock speed); sequential mode evaluates lazily so the early
-  // exit still saves work. Both produce identical results.
-  std::vector<ScheduleResult> evaluated;
-  const bool parallel = options.num_threads > 1 && candidates.size() > 1;
-  if (parallel) {
-    evaluated = evaluate_parallel(instance, candidates, options.eval, options.num_threads);
-  }
+  std::vector<NodeId> best_host = initial_host;
+  Weight best_total = result.initial_total;
+  bool improved_any = false;
 
-  for (std::int64_t trial = 0; trial < budget; ++trial) {
-    ++result.trials_used;
-    const auto i = static_cast<std::size_t>(trial);
-    const Assignment& candidate = candidates[i];
-    const ScheduleResult cand_schedule =
-        parallel ? std::move(evaluated[i]) : evaluate(instance, candidate, options.eval);
-
-    // Step 4c: termination condition.
-    if (options.use_termination_condition &&
-        cand_schedule.total_time == result.lower_bound) {
-      result.assignment = candidate;
-      result.schedule = cand_schedule;
-      result.reached_lower_bound = true;
-      result.terminated_early = trial + 1 < budget;
-      ++result.improvements;
-      return result;
+  for (std::int64_t done = 0; done < budget;) {
+    const std::size_t m = static_cast<std::size_t>(
+        std::min<std::int64_t>(static_cast<std::int64_t>(chunk_capacity), budget - done));
+    for (std::size_t i = 0; i < m; ++i) {
+      rng.shuffle(shuffled);
+      std::vector<NodeId>& host = chunk[i];
+      for (std::size_t k = 0; k < shuffled.size(); ++k) {
+        host[idx(shuffled[k])] = free_procs[k];
+      }
     }
 
-    // Step 4d: keep iff strictly better.
-    if (cand_schedule.total_time < result.schedule.total_time) {
-      result.assignment = candidate;
-      result.schedule = cand_schedule;
-      ++result.improvements;
+    // Step 4b: evaluate the chunk. Parallel mode fans the trials across the
+    // engine's persistent worker pool; sequential mode (chunk size 1)
+    // evaluates lazily so the early exit saves every skipped evaluation.
+    // Both orders of evaluation feed the same in-order scan below, so the
+    // accept sequence is bit-identical for any thread count.
+    engine.batch_total_times(std::span(chunk.data(), m), options.eval, threads,
+                             std::span(totals.data(), m));
+
+    for (std::size_t i = 0; i < m; ++i) {
+      ++result.trials_used;
+
+      // Step 4c: termination condition.
+      if (options.use_termination_condition && totals[i] == result.lower_bound) {
+        result.assignment = Assignment::from_host_of(chunk[i]);
+        result.schedule = engine.evaluate(result.assignment, options.eval);
+        result.reached_lower_bound = true;
+        result.terminated_early = result.trials_used < budget;
+        ++result.improvements;
+        return result;
+      }
+
+      // Step 4d: keep iff strictly better.
+      if (totals[i] < best_total) {
+        best_total = totals[i];
+        best_host = chunk[i];
+        improved_any = true;
+        ++result.improvements;
+      }
     }
+    done += static_cast<std::int64_t>(m);
   }
 
+  if (improved_any) {
+    result.assignment = Assignment::from_host_of(best_host);
+    result.schedule = engine.evaluate(result.assignment, options.eval);
+  }
   result.reached_lower_bound = result.schedule.total_time == result.lower_bound;
   return result;
+}
+
+RefineResult refine(const MappingInstance& instance, const IdealSchedule& ideal,
+                    const InitialAssignmentResult& initial, const RefineOptions& options) {
+  const EvalEngine engine(instance);
+  return refine(engine, ideal, initial, options);
 }
 
 }  // namespace mimdmap

@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "core/assignment.hpp"
+#include "core/eval_engine.hpp"
 #include "core/evaluation.hpp"
 #include "core/ideal_graph.hpp"
 #include "core/initial_assignment.hpp"
@@ -48,9 +49,11 @@ struct RefineOptions {
 
   /// Worker threads for trial evaluation. The candidate re-placements
   /// depend only on the RNG stream — never on which trials were accepted —
-  /// so they can be pre-generated and evaluated speculatively in parallel,
-  /// then scanned in order; the result is bit-identical to the sequential
-  /// run for any thread count. Values < 2 run sequentially.
+  /// so they are generated lazily in fixed-size chunks and evaluated
+  /// speculatively in parallel on the engine's persistent pool, then
+  /// scanned in order; the result is bit-identical to the sequential run
+  /// for any thread count, and early termination still skips the chunks it
+  /// never reaches. Values < 2 run sequentially (chunk size 1, fully lazy).
   int num_threads = 1;
 };
 
@@ -70,7 +73,14 @@ struct RefineResult {
 };
 
 /// Runs the refinement procedure of section 4.3.3 from a given initial
-/// assignment.
+/// assignment, hammering the given evaluation engine. Trial evaluation
+/// performs zero steady-state heap allocations; candidates are generated in
+/// chunks that reuse one scratch host vector per lane.
+[[nodiscard]] RefineResult refine(const EvalEngine& engine, const IdealSchedule& ideal,
+                                  const InitialAssignmentResult& initial,
+                                  const RefineOptions& options = {});
+
+/// Convenience overload that builds a one-shot engine for the instance.
 [[nodiscard]] RefineResult refine(const MappingInstance& instance, const IdealSchedule& ideal,
                                   const InitialAssignmentResult& initial,
                                   const RefineOptions& options = {});

@@ -24,6 +24,7 @@
 #include "cluster/strategies.hpp"    // IWYU pragma: export
 #include "core/assignment.hpp"       // IWYU pragma: export
 #include "core/critical.hpp"         // IWYU pragma: export
+#include "core/eval_engine.hpp"      // IWYU pragma: export
 #include "core/evaluation.hpp"       // IWYU pragma: export
 #include "core/ideal_graph.hpp"      // IWYU pragma: export
 #include "core/initial_assignment.hpp"  // IWYU pragma: export
