@@ -1,0 +1,369 @@
+// Delta-vs-full trial microbench (the PR acceptance numbers for the
+// incremental evaluator): on the 512-task / 8-processor layered-DAG
+// instance, measures ns/trial of the full zero-allocation kernel against
+// DeltaEval for single-cluster moves (try_move), cluster swaps (try_swap)
+// and a greedy accept-if-better loop (try_swap + commit), in the plain,
+// serialize and link-contention modes. Emits JSON (stdout or --out file)
+// recorded at the repo root as BENCH_delta.json; --smoke shrinks the
+// iteration counts for CI while still verifying delta/full bit-identity.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/strategies.hpp"
+#include "core/eval_engine.hpp"
+#include "topology/topology.hpp"
+#include "workload/random_dag.hpp"
+#include "workload/rng.hpp"
+
+namespace {
+
+using namespace mimdmap;
+
+MappingInstance make_instance(NodeId np, NodeId ns, const SystemGraph& sys) {
+  LayeredDagParams p;
+  p.num_tasks = np;
+  p.avg_out_degree = 1.5;
+  TaskGraph g = make_layered_dag(p, 42);
+  Clustering c = block_clustering(g, ns);
+  return MappingInstance(std::move(g), std::move(c), sys);
+}
+
+struct MoveSpec {
+  NodeId a = 0;  // cluster
+  NodeId b = 0;  // second cluster (swap) or processor (move)
+};
+
+std::vector<MoveSpec> make_specs(NodeId ns, std::int64_t count, bool swap, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<MoveSpec> specs(static_cast<std::size_t>(count));
+  for (MoveSpec& s : specs) {
+    s.a = static_cast<NodeId>(rng.uniform(0, ns - 1));
+    if (swap) {
+      s.b = static_cast<NodeId>(rng.uniform(0, ns - 2));
+      if (s.b >= s.a) ++s.b;  // distinct clusters
+    } else {
+      s.b = static_cast<NodeId>(rng.uniform(0, ns - 1));  // any target processor
+    }
+  }
+  return specs;
+}
+
+/// Move stream of the paper's pinned refinement on a star: the cluster on
+/// the hub is critical (it carries every route) and stays pinned, so the
+/// search only relocates leaf clusters across leaf processors. Cluster
+/// `pinned` never moves and processor 0 (the hub) is never a target.
+std::vector<MoveSpec> make_pinned_specs(NodeId ns, std::int64_t count, bool swap,
+                                        NodeId pinned, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<MoveSpec> specs(static_cast<std::size_t>(count));
+  for (MoveSpec& s : specs) {
+    do {
+      s.a = static_cast<NodeId>(rng.uniform(0, ns - 1));
+    } while (s.a == pinned);
+    if (swap) {
+      do {
+        s.b = static_cast<NodeId>(rng.uniform(0, ns - 1));
+      } while (s.b == pinned || s.b == s.a);
+    } else {
+      s.b = static_cast<NodeId>(rng.uniform(1, ns - 1));  // leaf processors only
+    }
+  }
+  return specs;
+}
+
+double time_ns_per_trial(const std::function<Weight(const MoveSpec&)>& trial,
+                         const std::vector<MoveSpec>& specs, Weight& checksum) {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  Weight sum = 0;
+  for (const MoveSpec& s : specs) sum += trial(s);
+  const auto dt = std::chrono::duration<double, std::nano>(clock::now() - t0).count();
+  checksum += sum;
+  return dt / static_cast<double>(specs.size());
+}
+
+struct OpResult {
+  std::string topology;
+  std::string mode;
+  std::string op;
+  double full_ns = 0;
+  double delta_ns = 0;
+  double avg_rescheduled = 0;
+  double avg_scanned = 0;
+  std::int64_t fallbacks = 0;
+  std::int64_t trials = 0;
+};
+
+std::string json_escape_free(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+int run(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_micro_delta [--smoke] [--out file]\n";
+      return 2;
+    }
+  }
+
+  const NodeId np = 512;
+  const NodeId ns = 8;
+
+  struct Mode {
+    std::string name;
+    EvalOptions eval;
+    std::int64_t iters;
+  };
+  const std::vector<Mode> modes = {
+      {"plain", {}, smoke ? 300 : 20000},
+      {"serialize", {.serialize_within_processor = true}, smoke ? 300 : 20000},
+      {"link_contention", {.link_contention = true}, smoke ? 100 : 4000},
+  };
+  // Two interconnects spanning the distance-structure spectrum: on the
+  // hypercube most moves change several hop distances, so the schedule
+  // suffix genuinely shifts (the incremental floor is the cascade size);
+  // on the star all leaf<->leaf distances are equal, so most moves change
+  // nothing and the delta path proves it in O(boundary arcs).
+  struct Topo {
+    std::string name;
+    SystemGraph sys;
+  };
+  const std::vector<Topo> topologies = {{"hypercube-3", make_hypercube(3)},
+                                        {"star-8", make_star(8)}};
+
+  const Assignment start = Assignment::identity(ns);
+  std::vector<OpResult> results;
+  Weight checksum = 0;
+
+  for (const Topo& topo : topologies) {
+  const MappingInstance inst = make_instance(np, ns, topo.sys);
+  const EvalEngine engine(inst);
+  for (const Mode& mode : modes) {
+    // Bit-identity spot check before timing anything.
+    {
+      DeltaEval verify = engine.begin_delta(start, mode.eval);
+      EvalWorkspace ws;
+      std::vector<NodeId> host = start.host_of_vector();
+      Rng rng(7);
+      for (int i = 0; i < (smoke ? 50 : 200); ++i) {
+        const NodeId c1 = static_cast<NodeId>(rng.uniform(0, ns - 1));
+        NodeId c2 = static_cast<NodeId>(rng.uniform(0, ns - 2));
+        if (c2 >= c1) ++c2;
+        const Weight got = verify.try_swap(c1, c2);
+        std::vector<NodeId> trial = host;
+        std::swap(trial[idx(c1)], trial[idx(c2)]);
+        const Weight want = engine.trial_total_time(trial, mode.eval, ws);
+        if (got != want) {
+          std::cerr << "MISMATCH mode=" << mode.name << " trial " << i << ": delta=" << got
+                    << " full=" << want << "\n";
+          return 1;
+        }
+        if (i % 4 == 0) {
+          verify.commit();
+          host = trial;
+        }
+      }
+    }
+
+    EvalWorkspace ws;
+    std::vector<NodeId> host = start.host_of_vector();
+    // Warm the kernel and the routing tables.
+    for (int i = 0; i < 16; ++i) (void)engine.trial_total_time(host, mode.eval, ws);
+
+    // --- single-cluster move (the acceptance criterion) --------------------
+    {
+      OpResult r;
+      r.topology = topo.name;
+      r.mode = mode.name;
+      r.op = "move1";
+      const auto specs = make_specs(ns, mode.iters, /*swap=*/false, 1001);
+      r.trials = mode.iters;
+      r.full_ns = time_ns_per_trial(
+          [&](const MoveSpec& s) {
+            const NodeId saved = host[idx(s.a)];
+            host[idx(s.a)] = s.b;
+            const Weight t = engine.trial_total_time(host, mode.eval, ws);
+            host[idx(s.a)] = saved;
+            return t;
+          },
+          specs, checksum);
+      DeltaEval delta = engine.begin_delta(start, mode.eval);
+      r.delta_ns = time_ns_per_trial(
+          [&](const MoveSpec& s) { return delta.try_move(s.a, s.b); }, specs, checksum);
+      r.avg_rescheduled = static_cast<double>(delta.stats().tasks_rescheduled) /
+                          static_cast<double>(std::max<std::int64_t>(1, delta.stats().delta_trials));
+      r.avg_scanned = static_cast<double>(delta.stats().positions_scanned) /
+                      static_cast<double>(std::max<std::int64_t>(1, delta.stats().delta_trials));
+      r.fallbacks = delta.stats().full_fallbacks;
+      results.push_back(r);
+    }
+
+    // --- two-cluster swap --------------------------------------------------
+    {
+      OpResult r;
+      r.topology = topo.name;
+      r.mode = mode.name;
+      r.op = "swap";
+      const auto specs = make_specs(ns, mode.iters, /*swap=*/true, 2002);
+      r.trials = mode.iters;
+      r.full_ns = time_ns_per_trial(
+          [&](const MoveSpec& s) {
+            std::swap(host[idx(s.a)], host[idx(s.b)]);
+            const Weight t = engine.trial_total_time(host, mode.eval, ws);
+            std::swap(host[idx(s.a)], host[idx(s.b)]);
+            return t;
+          },
+          specs, checksum);
+      DeltaEval delta = engine.begin_delta(start, mode.eval);
+      r.delta_ns = time_ns_per_trial(
+          [&](const MoveSpec& s) { return delta.try_swap(s.a, s.b); }, specs, checksum);
+      r.avg_rescheduled = static_cast<double>(delta.stats().tasks_rescheduled) /
+                          static_cast<double>(std::max<std::int64_t>(1, delta.stats().delta_trials));
+      r.avg_scanned = static_cast<double>(delta.stats().positions_scanned) /
+                      static_cast<double>(std::max<std::int64_t>(1, delta.stats().delta_trials));
+      r.fallbacks = delta.stats().full_fallbacks;
+      results.push_back(r);
+    }
+
+    // --- greedy hill-climb: swap + commit-if-better (the pairwise shape) ---
+    {
+      OpResult r;
+      r.topology = topo.name;
+      r.mode = mode.name;
+      r.op = "swap_greedy";
+      const auto specs = make_specs(ns, mode.iters, /*swap=*/true, 3003);
+      r.trials = mode.iters;
+      // Zero-allocation baseline matching the pre-delta pairwise loop: one
+      // scratch host vector, swap in place, keep iff better else undo.
+      std::vector<NodeId> full_best = start.host_of_vector();
+      Weight full_best_total = engine.trial_total_time(full_best, mode.eval, ws);
+      r.full_ns = time_ns_per_trial(
+          [&](const MoveSpec& s) {
+            std::swap(full_best[idx(s.a)], full_best[idx(s.b)]);
+            const Weight t = engine.trial_total_time(full_best, mode.eval, ws);
+            if (t < full_best_total) {
+              full_best_total = t;
+            } else {
+              std::swap(full_best[idx(s.a)], full_best[idx(s.b)]);
+            }
+            return t;
+          },
+          specs, checksum);
+      DeltaEval delta = engine.begin_delta(start, mode.eval);
+      r.delta_ns = time_ns_per_trial(
+          [&](const MoveSpec& s) {
+            const Weight t = delta.try_swap(s.a, s.b);
+            if (t < delta.committed_total()) delta.commit();
+            return t;
+          },
+          specs, checksum);
+      r.avg_rescheduled = static_cast<double>(delta.stats().tasks_rescheduled) /
+                          static_cast<double>(std::max<std::int64_t>(1, delta.stats().delta_trials));
+      r.avg_scanned = static_cast<double>(delta.stats().positions_scanned) /
+                      static_cast<double>(std::max<std::int64_t>(1, delta.stats().delta_trials));
+      r.fallbacks = delta.stats().full_fallbacks;
+      results.push_back(r);
+    }
+
+    // --- the paper's pinned refinement move stream (star only) -------------
+    // The hub cluster is critical (every route crosses the hub) and stays
+    // pinned, as the paper's refinement pins critical abstract nodes; the
+    // search relocates leaf clusters across leaf processors, where all hop
+    // distances are equal — the distribution the delta evaluator's
+    // distance-change masks are built for.
+    if (topo.name == "star-8") {
+      const NodeId pinned = start.cluster_on(0);
+      const auto run_pinned = [&](const char* op, bool swap, std::uint64_t seed) {
+        OpResult r;
+        r.topology = topo.name;
+        r.mode = mode.name;
+        r.op = op;
+        const auto specs = make_pinned_specs(ns, mode.iters, swap, pinned, seed);
+        r.trials = mode.iters;
+        r.full_ns = time_ns_per_trial(
+            [&](const MoveSpec& s) {
+              if (swap) {
+                std::swap(host[idx(s.a)], host[idx(s.b)]);
+                const Weight t = engine.trial_total_time(host, mode.eval, ws);
+                std::swap(host[idx(s.a)], host[idx(s.b)]);
+                return t;
+              }
+              const NodeId saved = host[idx(s.a)];
+              host[idx(s.a)] = s.b;
+              const Weight t = engine.trial_total_time(host, mode.eval, ws);
+              host[idx(s.a)] = saved;
+              return t;
+            },
+            specs, checksum);
+        DeltaEval delta = engine.begin_delta(start, mode.eval);
+        r.delta_ns = time_ns_per_trial(
+            [&](const MoveSpec& s) {
+              return swap ? delta.try_swap(s.a, s.b) : delta.try_move(s.a, s.b);
+            },
+            specs, checksum);
+        r.avg_rescheduled =
+            static_cast<double>(delta.stats().tasks_rescheduled) /
+            static_cast<double>(std::max<std::int64_t>(1, delta.stats().delta_trials));
+        r.avg_scanned =
+            static_cast<double>(delta.stats().positions_scanned) /
+            static_cast<double>(std::max<std::int64_t>(1, delta.stats().delta_trials));
+        r.fallbacks = delta.stats().full_fallbacks;
+        results.push_back(r);
+      };
+      run_pinned("move1_pinned_hub", /*swap=*/false, 4004);
+      run_pinned("swap_pinned_hub", /*swap=*/true, 5005);
+    }
+  }
+  }
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"bench\": \"micro_delta\",\n";
+  os << "  \"instance\": {\"np\": " << np << ", \"ns\": " << ns
+     << ", \"workload\": \"layered avg_out=1.5 seed=42\"},\n";
+  os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  os << "  \"checksum\": " << checksum << ",\n";
+  os << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const OpResult& r = results[i];
+    os << "    {\"topology\": \"" << r.topology << "\", \"mode\": \"" << r.mode << "\", \"op\": \"" << r.op << "\", \"trials\": "
+       << r.trials << ", \"full_ns_per_trial\": " << json_escape_free(r.full_ns)
+       << ", \"delta_ns_per_trial\": " << json_escape_free(r.delta_ns)
+       << ", \"speedup\": " << json_escape_free(r.full_ns / r.delta_ns)
+       << ", \"avg_tasks_rescheduled\": " << json_escape_free(r.avg_rescheduled)
+       << ", \"avg_positions_scanned\": " << json_escape_free(r.avg_scanned)
+       << ", \"full_fallbacks\": " << r.fallbacks << "}" << (i + 1 < results.size() ? "," : "")
+       << "\n";
+  }
+  os << "  ]\n}\n";
+
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    if (!f) {
+      std::cerr << "cannot open " << out_path << "\n";
+      return 1;
+    }
+    f << os.str();
+  }
+  std::cout << os.str();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

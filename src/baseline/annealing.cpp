@@ -46,28 +46,33 @@ AnnealingResult anneal_mapping(const EvalEngine& engine, const Assignment& start
                                  ? options.moves_per_step
                                  : static_cast<std::int64_t>(n) * (n - 1) / 2;
 
+  // Swap moves are scored incrementally against the accepted state: an
+  // accepted move is committed, a rejected one is never applied (no undo
+  // swap needed). Delta totals are bit-identical to the full kernel, so
+  // the accept/reject stream matches the pre-delta implementation.
+  DeltaEval delta_eval = engine.begin_delta(current, options.eval);
   for (std::int64_t step = 0; step < options.steps; ++step) {
     for (std::int64_t m = 0; m < moves; ++m) {
       ++result.moves_tried;
       const NodeId p = static_cast<NodeId>(rng.uniform(0, n - 1));
       NodeId q = static_cast<NodeId>(rng.uniform(0, n - 2));
       if (q >= p) ++q;
-      current.swap_processors(p, q);
-      const Weight cand = engine.trial_total_time(current.host_of_vector(), options.eval, ws);
+      const Weight cand = delta_eval.try_swap(current.cluster_on(p), current.cluster_on(q));
       const auto delta = static_cast<double>(cand - current_total);
       if (delta <= 0.0 || rng.uniform01() < std::exp(-delta / temperature)) {
+        delta_eval.commit();
+        current.swap_processors(p, q);
         current_total = cand;
         ++result.moves_accepted;
         if (cand < result.total_time) {
           result.total_time = cand;
           result.assignment = current;
         }
-      } else {
-        current.swap_processors(p, q);  // reject: undo
       }
     }
     temperature *= options.cooling;
   }
+  result.delta = delta_eval.stats();
   return result;
 }
 

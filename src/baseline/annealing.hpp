@@ -36,11 +36,14 @@ struct AnnealingResult {
   Weight total_time = 0;
   std::int64_t moves_tried = 0;
   std::int64_t moves_accepted = 0;
+  /// Incremental-evaluation counters (swap moves run on a DeltaEval).
+  DeltaStats delta;
 };
 
 /// Anneals from the given starting assignment (typically the identity or
-/// the paper's initial assignment). Moves are scored on the engine's
-/// zero-allocation trial kernel.
+/// the paper's initial assignment). Swap moves are scored on the engine's
+/// incremental delta evaluator (bit-identical totals to the full kernel),
+/// so per-move cost scales with the affected suffix, not with np.
 [[nodiscard]] AnnealingResult anneal_mapping(const EvalEngine& engine, const Assignment& start,
                                              const AnnealingOptions& options = {});
 [[nodiscard]] AnnealingResult anneal_mapping(const MappingInstance& instance,

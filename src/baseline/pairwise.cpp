@@ -61,28 +61,33 @@ RefineResult pairwise_exchange_refine(const EvalEngine& engine, const IdealSched
   const auto m = static_cast<std::int64_t>(procs.size());
   Assignment best = result.assignment;
   Weight best_total = result.schedule.total_time;
-  Assignment candidate = best;  // scratch reused across trials
+  // Every trial is a two-cluster swap against the incumbent, so it runs on
+  // the incremental delta evaluator: accepted swaps are committed, rejected
+  // ones are simply never applied. Totals are bit-identical to the full
+  // kernel, so the accept sequence matches the pre-delta implementation.
+  DeltaEval delta = engine.begin_delta(best, options.eval);
   bool improved_any = false;
   for (std::int64_t trial = 0; trial < budget; ++trial) {
     ++result.trials_used;
     const auto i = rng.uniform(0, m - 1);
     auto j = rng.uniform(0, m - 2);
     if (j >= i) ++j;
-    candidate = best;
-    candidate.swap_processors(procs[static_cast<std::size_t>(i)],
-                              procs[static_cast<std::size_t>(j)]);
-    const Weight cand_total = engine.trial_total_time(candidate.host_of_vector(), options.eval,
-                                                      engine.caller_workspace());
+    const NodeId pi = procs[static_cast<std::size_t>(i)];
+    const NodeId pj = procs[static_cast<std::size_t>(j)];
+    const Weight cand_total = delta.try_swap(best.cluster_on(pi), best.cluster_on(pj));
     if (options.use_termination_condition && cand_total == result.lower_bound) {
-      result.assignment = candidate;
-      result.schedule = engine.evaluate(candidate, options.eval);
+      best.swap_processors(pi, pj);
+      result.assignment = best;
+      result.schedule = engine.evaluate(best, options.eval);
       result.reached_lower_bound = true;
       result.terminated_early = trial + 1 < budget;
       ++result.improvements;
+      result.delta = delta.stats();
       return result;
     }
     if (cand_total < best_total) {
-      best = candidate;
+      delta.commit();
+      best.swap_processors(pi, pj);
       best_total = cand_total;
       improved_any = true;
       ++result.improvements;
@@ -93,6 +98,7 @@ RefineResult pairwise_exchange_refine(const EvalEngine& engine, const IdealSched
     result.schedule = engine.evaluate(best, options.eval);
   }
   result.reached_lower_bound = result.schedule.total_time == result.lower_bound;
+  result.delta = delta.stats();
   return result;
 }
 
@@ -113,19 +119,24 @@ RefineResult pairwise_sweep_refine(const EvalEngine& engine, const IdealSchedule
                                   ? options.max_trials
                                   : static_cast<std::int64_t>(instance.num_processors());
   bool improved = true;
-  Assignment candidate = result.assignment;  // scratch reused across trials
+  bool improved_any = false;
+  // Sweep trials are all swaps against the current assignment: score them
+  // incrementally, then re-score and commit the winning pair (the extra
+  // trial is not charged against the budget). The committed DeltaEval
+  // total is bit-identical to a full evaluation, so the schedule is only
+  // materialized once, on exit.
+  DeltaEval delta = engine.begin_delta(result.assignment, options.eval);
+  Weight current_total = result.schedule.total_time;
   while (improved && result.trials_used < budget) {
     improved = false;
     std::size_t best_i = 0;
     std::size_t best_j = 0;
-    Weight best_total = result.schedule.total_time;
+    Weight best_total = current_total;
     for (std::size_t i = 0; i < procs.size() && result.trials_used < budget; ++i) {
       for (std::size_t j = i + 1; j < procs.size() && result.trials_used < budget; ++j) {
         ++result.trials_used;
-        candidate = result.assignment;
-        candidate.swap_processors(procs[i], procs[j]);
-        const Weight t = engine.trial_total_time(candidate.host_of_vector(), options.eval,
-                                                 engine.caller_workspace());
+        const Weight t = delta.try_swap(result.assignment.cluster_on(procs[i]),
+                                        result.assignment.cluster_on(procs[j]));
         if (t < best_total) {
           best_total = t;
           best_i = i;
@@ -135,18 +146,27 @@ RefineResult pairwise_sweep_refine(const EvalEngine& engine, const IdealSchedule
       }
     }
     if (improved) {
+      (void)delta.try_swap(result.assignment.cluster_on(procs[best_i]),
+                           result.assignment.cluster_on(procs[best_j]));
+      delta.commit();
       result.assignment.swap_processors(procs[best_i], procs[best_j]);
-      result.schedule = engine.evaluate(result.assignment, options.eval);
+      current_total = delta.committed_total();
+      improved_any = true;
       ++result.improvements;
-      if (options.use_termination_condition &&
-          result.schedule.total_time == result.lower_bound) {
+      if (options.use_termination_condition && current_total == result.lower_bound) {
+        result.schedule = engine.evaluate(result.assignment, options.eval);
         result.reached_lower_bound = true;
         result.terminated_early = true;
+        result.delta = delta.stats();
         return result;
       }
     }
   }
+  if (improved_any) {
+    result.schedule = engine.evaluate(result.assignment, options.eval);
+  }
   result.reached_lower_bound = result.schedule.total_time == result.lower_bound;
+  result.delta = delta.stats();
   return result;
 }
 

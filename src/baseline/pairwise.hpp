@@ -22,7 +22,9 @@
 namespace mimdmap {
 
 /// Random-pair exchange under the same options/diagnostics as refine().
-/// Trials run on the engine's zero-allocation kernel.
+/// Trials run on the engine's incremental delta evaluator (suffix
+/// rescheduling; bit-identical totals to the full kernel), with counters
+/// reported in RefineResult::delta.
 [[nodiscard]] RefineResult pairwise_exchange_refine(const EvalEngine& engine,
                                                     const IdealSchedule& ideal,
                                                     const InitialAssignmentResult& initial,

@@ -205,6 +205,9 @@ int cmd_map(Flags& flags, std::ostream& out, std::ostream& err) {
   os << "final total:        " << report.total_time() << "  ("
      << report.percent_over_lower_bound() << "% of bound)\n";
   os << "refinement trials:  " << report.refinement_trials << "\n";
+  const int threads_used = engine.resolve_num_threads(opts.refine.num_threads, opts.refine.eval);
+  os << "eval threads:       " << threads_used
+     << (opts.refine.num_threads == 0 ? " (auto)" : "") << "\n";
   os << "optimal:            " << (report.reached_lower_bound ? "yes (termination condition)"
                                                               : "not proven") << "\n";
   os << "assignment (cluster on each processor): ";
@@ -303,7 +306,7 @@ commands:
   map       run the full mapping pipeline
             --problem file (--system file | --spec topo)
             [--clustering file | --strategy name --seed S]
-            [--trials N] [--refine-seed S] [--threads T] [--contention]
+            [--trials N] [--refine-seed S] [--threads T (0 = auto)] [--contention]
             [--serialize] [--weighted-links] [--extended-critical] [--gantt]
             [--random-trials N --random-seed S]   (adds the paper's baseline)
             [--out file]

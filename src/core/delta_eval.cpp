@@ -1,0 +1,599 @@
+// DeltaEval: incremental suffix rescheduling for local-move search loops.
+//
+// See the class comment in core/eval_engine.hpp for the design. The
+// invariants this file maintains:
+//
+//  * start_/end_/committed_total_ are always bit-identical to what
+//    evaluate_reference() produces for the committed host map — commits
+//    fold in trial values computed with the exact full-kernel arithmetic,
+//    or (after a fallback) copy the full kernel's own output;
+//  * during a trial, host_ temporarily holds the *trial* hosts (restored
+//    before try_* returns); committed hosts of the <= 2 moved clusters are
+//    recoverable through committed_host_during_trial();
+//  * every epoch-stamped scratch array is invalidated wholesale by bumping
+//    epoch_, and the plain-mode dirty bitmask is self-cleaning (all-zero
+//    between trials), so steady-state trials never touch the allocator;
+//  * the per-mode dirty analysis is conservative, never tight: a task is
+//    recomputed when (a) it is seeded (an inter-cluster arc of its own
+//    changed cost or route) or a predecessor's end time changed, (b) in
+//    serialize mode its processor carries a dirty flag, or (c) in
+//    contention mode any link of its committed claims carries a dirty
+//    flag. Clean tasks keep their committed values verbatim.
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "core/eval_engine.hpp"
+
+namespace mimdmap {
+
+DeltaEval::DeltaEval(const EvalEngine& engine, std::span<const NodeId> host_of,
+                     const EvalOptions& options, const DeltaOptions& delta_options)
+    : engine_(&engine),
+      options_(options),
+      dopt_(delta_options),
+      np_(idx(engine.instance().num_tasks())),
+      ns_(idx(engine.instance().num_processors())) {
+  if (host_of.size() != ns_) {
+    throw std::invalid_argument("begin_delta: host map has the wrong size");
+  }
+  for (const NodeId p : host_of) {
+    if (p < 0 || idx(p) >= ns_) {
+      throw std::invalid_argument("begin_delta: host map is incomplete");
+    }
+  }
+  host_.assign(host_of.begin(), host_of.end());
+  if (options_.link_contention) engine_->ensure_routing();
+
+  dirty_bits_.assign((np_ + 63) / 64, 0);
+  dirty_stamp_.assign(np_, 0);
+  trial_start_.assign(np_, 0);
+  trial_end_.assign(np_, 0);
+  proc_dirty_stamp_.assign(ns_, 0);
+  proc_free_.assign(ns_, 0);
+  if (options_.link_contention) {
+    link_dirty_stamp_.assign(engine_->routing_->link_count(), 0);
+    link_free_.assign(engine_->routing_->link_count(), 0);
+  }
+  touched_.reserve(np_);
+  touched_old_end_.reserve(np_);
+  in_changed_.assign(ns_, 0);
+  out_changed_.assign(ns_, 0);
+
+  // Committed schedule: one full-kernel pass, then the auxiliary tables
+  // (the claims replay in rebuild_committed_aux needs link_free_ sized).
+  EvalWorkspace ws;
+  committed_total_ = engine_->run_schedule(host_, options_, ws);
+  start_.assign(ws.start.begin(), ws.start.begin() + static_cast<std::ptrdiff_t>(np_));
+  end_.assign(ws.end.begin(), ws.end.begin() + static_cast<std::ptrdiff_t>(np_));
+  prefix_max_end_.assign(np_ + 1, 0);
+  claim_pos_offset_.assign(options_.link_contention ? np_ + 1 : 0, 0);
+  rebuild_committed_aux();
+}
+
+void DeltaEval::rebuild_committed_aux() {
+  const std::vector<NodeId>& topo = engine_->topo_order_;
+  Weight total = 0;
+  for (std::size_t i = 0; i < np_; ++i) {
+    prefix_max_end_[i] = total;
+    total = std::max(total, end_[idx(topo[i])]);
+  }
+  prefix_max_end_[np_] = total;
+  committed_total_ = total;
+  count_at_max_ = 0;
+  for (std::size_t v = 0; v < np_; ++v) {
+    if (end_[v] == total) ++count_at_max_;
+  }
+
+  if (!options_.link_contention) return;
+  // Replay every message's link claims in kernel order (receivers in
+  // topological order, arcs in edge-insertion order, hops along the fixed
+  // route) so a clean message can later be replayed as stored (link, value)
+  // pairs without redoing the max/add chain.
+  claim_links_.clear();
+  claim_values_.clear();
+  std::fill(link_free_.begin(), link_free_.end(), Weight{0});
+  const EvalEngine::PredArc* const arcs = engine_->pred_arcs_.data();
+  for (std::size_t pos = 0; pos < np_; ++pos) {
+    claim_pos_offset_[pos] = static_cast<std::uint32_t>(claim_links_.size());
+    const NodeId v = topo[pos];
+    const NodeId pv = host_[idx(engine_->cluster_of_[idx(v)])];
+    const std::uint32_t lo = engine_->pred_offset_[idx(v)];
+    const std::uint32_t hi = engine_->pred_offset_[idx(v) + 1];
+    for (std::uint32_t a = lo; a < hi; ++a) {
+      const EvalEngine::PredArc& arc = arcs[a];
+      if (arc.weight <= 0) continue;
+      const NodeId pp = host_[idx(arc.pred_cluster)];
+      Weight arrival = end_[idx(arc.pred)];
+      const std::size_t r = idx(pp) * ns_ + idx(pv);
+      const std::uint32_t rlo = engine_->route_offset_[r];
+      const std::uint32_t rhi = engine_->route_offset_[r + 1];
+      for (std::uint32_t k = rlo; k < rhi; ++k) {
+        const auto li = static_cast<std::size_t>(engine_->route_links_[k]);
+        const Weight depart = std::max(arrival, link_free_[li]);
+        arrival = depart + arc.weight;
+        link_free_[li] = arrival;
+        claim_links_.push_back(engine_->route_links_[k]);
+        claim_values_.push_back(arrival);
+      }
+    }
+  }
+  claim_pos_offset_[np_] = static_cast<std::uint32_t>(claim_links_.size());
+}
+
+void DeltaEval::apply_pending_hosts() {
+  for (int i = 0; i < moved_count_; ++i) {
+    host_[idx(moved_clusters_[i])] = moved_new_hosts_[i];
+  }
+}
+
+void DeltaEval::restore_committed_hosts() {
+  for (int i = 0; i < moved_count_; ++i) {
+    host_[idx(moved_clusters_[i])] = moved_old_hosts_[i];
+  }
+}
+
+Weight DeltaEval::try_move(NodeId cluster, NodeId processor) {
+  if (cluster < 0 || idx(cluster) >= ns_ || processor < 0 || idx(processor) >= ns_) {
+    throw std::invalid_argument("try_move: cluster or processor out of range");
+  }
+  ++stats_.trials;
+  if (host_[idx(cluster)] == processor) {
+    // No-op move: the committed schedule is the trial schedule.
+    pending_ = Pending::kDelta;
+    moved_count_ = 0;
+    moved_clusters_[0] = moved_clusters_[1] = -1;
+    pending_total_ = committed_total_;
+    touched_.clear();
+    ++epoch_;
+    ++stats_.delta_trials;
+    return committed_total_;
+  }
+  moved_count_ = 1;
+  moved_clusters_[0] = cluster;
+  moved_clusters_[1] = -1;
+  moved_old_hosts_[0] = host_[idx(cluster)];
+  moved_new_hosts_[0] = processor;
+  return run_trial();
+}
+
+Weight DeltaEval::try_swap(NodeId c1, NodeId c2) {
+  if (c1 < 0 || idx(c1) >= ns_ || c2 < 0 || idx(c2) >= ns_) {
+    throw std::invalid_argument("try_swap: cluster out of range");
+  }
+  if (c1 == c2 || host_[idx(c1)] == host_[idx(c2)]) return try_move(c1, host_[idx(c1)]);
+  ++stats_.trials;
+  moved_count_ = 2;
+  moved_clusters_[0] = c1;
+  moved_clusters_[1] = c2;
+  moved_old_hosts_[0] = host_[idx(c1)];
+  moved_old_hosts_[1] = host_[idx(c2)];
+  moved_new_hosts_[0] = moved_old_hosts_[1];
+  moved_new_hosts_[1] = moved_old_hosts_[0];
+  return run_trial();
+}
+
+Weight DeltaEval::run_full_trial() {
+  ++stats_.full_fallbacks;
+  // host_ already holds the trial hosts; the kernel writes the complete
+  // trial schedule into full_ws_, which commit() can adopt wholesale.
+  // run_trial() rolls back the in-place end_ writes and host_.
+  pending_total_ = engine_->run_schedule(host_, options_, full_ws_);
+  pending_ = Pending::kFull;
+  return pending_total_;
+}
+
+std::size_t DeltaEval::seed_dirty() {
+  // Per-arc seeding over the engine's precomputed per-cluster boundary-arc
+  // lists: an arc's cost term changes only when the hop distance between
+  // its endpoints' hosts differs between the committed and the trial
+  // placement — under link contention any inter-cluster arc of a moved
+  // cluster counts, since the message's *route* changes even at equal hop
+  // distance. Whether a distance changed depends only on the (moved
+  // cluster, other cluster, direction) triple, so those <= 2 * ns compares
+  // are hoisted out of the arc loop into two masks per moved cluster; on
+  // distance-regular interconnects (star, complete) most trials resolve to
+  // empty masks and never touch an arc. host_ already holds the trial
+  // hosts.
+  const bool contention = options_.link_contention;
+  const Matrix<Weight>& hops = engine_->instance_.hops();
+  const EvalEngine::ClusterArc* const carcs = engine_->cluster_arcs_.data();
+  const bool plain_bits = !options_.serialize_within_processor && !contention;
+
+  std::size_t min_pos = np_;
+  seed_count_ = 0;
+  for (int m = 0; m < moved_count_; ++m) {
+    const NodeId c = moved_clusters_[m];
+    const NodeId old_pv = moved_old_hosts_[m];
+    const NodeId new_pv = moved_new_hosts_[m];
+    // In serialize mode the processor task-sets change at every member's
+    // position, so the scan must anchor no later than the first member
+    // even when no arc cost changes.
+    if (options_.serialize_within_processor) {
+      min_pos = std::min(min_pos,
+                         static_cast<std::size_t>(engine_->cluster_min_pos_[idx(c)]));
+    }
+
+    const std::uint32_t lo = engine_->cluster_arc_offset_[idx(c)];
+    const std::uint32_t hi = engine_->cluster_arc_offset_[idx(c) + 1];
+    bool any_changed = hi > lo;  // contention: any boundary arc reroutes
+    if (!contention) {
+      any_changed = false;
+      for (NodeId oc = 0; oc < node_id(ns_); ++oc) {
+        const NodeId o_old = committed_host_during_trial(oc);
+        const NodeId o_new = host_[idx(oc)];
+        const bool in_ch = hops(idx(o_old), idx(old_pv)) != hops(idx(o_new), idx(new_pv));
+        const bool out_ch = hops(idx(old_pv), idx(o_old)) != hops(idx(new_pv), idx(o_new));
+        in_changed_[idx(oc)] = in_ch;
+        out_changed_[idx(oc)] = out_ch;
+        any_changed |= in_ch | out_ch;
+      }
+    }
+    if (!any_changed) continue;
+    if (conservative_) {
+      // Adaptive guard: this instance's moves have been cascading into
+      // full-kernel fallbacks, so don't bother seeding — any distance
+      // change goes straight to the full kernel (zero-dirt trials above
+      // still short-circuit for free).
+      seed_count_ = np_;
+      return 0;
+    }
+    for (std::uint32_t a = lo; a < hi; ++a) {
+      const EvalEngine::ClusterArc& arc = carcs[a];
+      if (!contention &&
+          !(arc.incoming ? in_changed_[idx(arc.other_cluster)]
+                         : out_changed_[idx(arc.other_cluster)])) {
+        continue;
+      }
+      const std::size_t pos = arc.head_pos;
+      if (plain_bits) {
+        const std::uint64_t bit = std::uint64_t{1} << (pos & 63);
+        std::uint64_t& word = dirty_bits_[pos >> 6];
+        seed_count_ += (word & bit) == 0;
+        word |= bit;
+      } else {
+        seed_count_ += dirty_stamp_[idx(arc.head)] != epoch_;
+        dirty_stamp_[idx(arc.head)] = epoch_;
+      }
+      min_pos = std::min(min_pos, pos);
+    }
+  }
+  return min_pos;
+}
+
+Weight DeltaEval::run_trial() {
+  pending_ = Pending::kNone;  // discard any previous (uncommitted) trial
+  apply_pending_hosts();      // host_ holds the trial hosts until try_* returns
+  ++epoch_;
+  touched_.clear();
+  touched_old_end_.clear();
+  // Self-correcting economics: when most structure-changing trials have
+  // been cascading into full-kernel fallbacks anyway, stop paying for the
+  // aborted partial scans and reschedule only the provably-unaffected
+  // (zero-dirt) trials incrementally. Zero-dirt trials keep the ratio
+  // honest, so distance-regular instances never flip into this mode; the
+  // flag is sticky so a ratio hovering at the boundary cannot flap between
+  // the cheap and the aborting regime.
+  if (!conservative_) {
+    conservative_ = dopt_.fallback_fraction < 1.0 && stats_.trials >= 64 &&
+                    stats_.full_fallbacks * 5 > stats_.trials * 2;
+  }
+  const std::size_t anchor = seed_dirty();
+  if (anchor == np_) {
+    // No arc changed cost and no shared-resource anchor: the committed
+    // schedule is the trial schedule (e.g. an isolated or empty cluster
+    // moved, or a swap whose hop distances all match).
+    pending_ = Pending::kDelta;
+    pending_total_ = committed_total_;
+    ++stats_.delta_trials;
+    restore_committed_hosts();
+    return committed_total_;
+  }
+  const bool plain = !options_.serialize_within_processor && !options_.link_contention;
+  const auto threshold =
+      static_cast<std::size_t>(dopt_.fallback_fraction * static_cast<double>(np_));
+  // Scan economics: under contention a clean suffix position still replays
+  // its link claims (about the price of the kernel's own route walk), and
+  // under serialization it replays its proc_free contribution, so when the
+  // projected suffix work rivals a full pass the full kernel wins outright.
+  const double clean_cost = options_.link_contention ? 1.0 : 0.35;
+  const bool scan_uneconomic =
+      !plain && dopt_.fallback_fraction < 1.0 &&
+      clean_cost * static_cast<double>(np_ - anchor) + static_cast<double>(seed_count_) >=
+          static_cast<double>(np_);
+  if (seed_count_ > threshold || scan_uneconomic) {
+    // The seeds alone already exceed the reschedule budget: go straight to
+    // the full kernel instead of burning a partial scan first.
+    if (plain) std::fill(dirty_bits_.begin(), dirty_bits_.end(), std::uint64_t{0});
+    (void)run_full_trial();
+    restore_committed_hosts();
+    return pending_total_;
+  }
+  scan_anchor_ = anchor;
+  const Weight total = plain ? run_trial_plain() : run_trial_scan();
+  // Roll back the in-place end_ writes (trial values survive in
+  // trial_start_/trial_end_ for commit) and the trial hosts.
+  for (std::size_t i = 0; i < touched_.size(); ++i) {
+    end_[idx(touched_[i])] = touched_old_end_[i];
+  }
+  restore_committed_hosts();
+  if (pending_ == Pending::kFull) return pending_total_;  // fell back mid-trial
+  ++stats_.delta_trials;
+  stats_.tasks_rescheduled += static_cast<std::int64_t>(touched_.size());
+  pending_ = Pending::kDelta;
+  pending_total_ = total;
+  return total;
+}
+
+Weight DeltaEval::run_trial_plain() {
+  // Sparse worklist: dirty topological positions live in dirty_bits_;
+  // popping the lowest set bit processes tasks in topological order, and
+  // successor marks always land at higher positions, so one forward pass
+  // over the words drains the frontier. Clean tasks are never visited.
+  const std::vector<NodeId>& topo = engine_->topo_order_;
+  const std::uint32_t* const topo_pos = engine_->topo_pos_.data();
+  const EvalEngine::PredArc* const arcs = engine_->pred_arcs_.data();
+  const EvalEngine::SuccArc* const succ_arcs = engine_->succ_arcs_.data();
+  const std::uint32_t* const pred_offset = engine_->pred_offset_.data();
+  const std::uint32_t* const succ_offset = engine_->succ_offset_.data();
+  const NodeId* const cluster_of = engine_->cluster_of_.data();
+  const Weight* const node_weight = engine_->node_weight_.data();
+  const NodeId* const host = host_.data();
+  Weight* const end = end_.data();
+  const Matrix<Weight>& hops = engine_->instance_.hops();
+
+  const auto threshold =
+      static_cast<std::size_t>(dopt_.fallback_fraction * static_cast<double>(np_));
+  std::size_t rescheduled = 0;
+  std::size_t removed_at_max = 0;
+  Weight touched_max = 0;
+
+  const std::size_t words = dirty_bits_.size();
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t bits;
+    while ((bits = dirty_bits_[w]) != 0) {
+      const auto b = static_cast<std::size_t>(std::countr_zero(bits));
+      dirty_bits_[w] = bits & (bits - 1);
+      const std::size_t pos = (w << 6) | b;
+      const NodeId v = topo[pos];
+
+      if (++rescheduled > threshold) {
+        // Too much of the graph went dirty: clear the remaining marks so
+        // the bitmask stays self-cleaning, then run the full kernel.
+        for (std::size_t ww = w; ww < words; ++ww) dirty_bits_[ww] = 0;
+        stats_.positions_scanned += static_cast<std::int64_t>(rescheduled);
+        return run_full_trial();
+      }
+
+      Weight st = 0;
+      const NodeId pv = host[idx(cluster_of[idx(v)])];
+      const std::uint32_t lo = pred_offset[idx(v)];
+      const std::uint32_t hi = pred_offset[idx(v) + 1];
+      for (std::uint32_t a = lo; a < hi; ++a) {
+        const EvalEngine::PredArc& arc = arcs[a];
+        Weight arrival = end[idx(arc.pred)];  // trial value if pred recomputed
+        if (arc.weight > 0) {
+          arrival += arc.weight * hops(idx(host[idx(arc.pred_cluster)]), idx(pv));
+        }
+        st = std::max(st, arrival);
+      }
+      const Weight en = st + node_weight[idx(v)];
+      const Weight old_end = end[idx(v)];
+      trial_start_[idx(v)] = st;
+      trial_end_[idx(v)] = en;
+      end[idx(v)] = en;
+      touched_.push_back(v);
+      touched_old_end_.push_back(old_end);
+      touched_max = std::max(touched_max, en);
+      if (en != old_end) {
+        if (old_end == committed_total_) ++removed_at_max;
+        const std::uint32_t slo = succ_offset[idx(v)];
+        const std::uint32_t shi = succ_offset[idx(v) + 1];
+        for (std::uint32_t s = slo; s < shi; ++s) {
+          const std::size_t sp = topo_pos[idx(succ_arcs[s].succ)];
+          dirty_bits_[sp >> 6] |= std::uint64_t{1} << (sp & 63);
+        }
+      }
+    }
+  }
+  stats_.positions_scanned += static_cast<std::int64_t>(rescheduled);
+
+  // Makespan: every untouched task keeps its committed end, so as long as
+  // one committed makespan holder went untouched the old total still
+  // stands on the untouched side; otherwise re-derive the max over end_,
+  // which at this point holds trial values for touched tasks and committed
+  // values everywhere else.
+  if (removed_at_max < count_at_max_) return std::max(committed_total_, touched_max);
+  Weight m = touched_max;
+  for (std::size_t v = 0; v < np_; ++v) m = std::max(m, end[v]);
+  return m;
+}
+
+Weight DeltaEval::run_trial_scan() {
+  const bool serialize = options_.serialize_within_processor;
+  const bool contention = options_.link_contention;
+  const std::vector<NodeId>& topo = engine_->topo_order_;
+  const EvalEngine::PredArc* const arcs = engine_->pred_arcs_.data();
+  const EvalEngine::SuccArc* const succ_arcs = engine_->succ_arcs_.data();
+  const std::uint32_t* const pred_offset = engine_->pred_offset_.data();
+  const std::uint32_t* const succ_offset = engine_->succ_offset_.data();
+  const NodeId* const cluster_of = engine_->cluster_of_.data();
+  const Weight* const node_weight = engine_->node_weight_.data();
+  const Matrix<Weight>& hops = engine_->instance_.hops();
+
+  // The scan anchor set by run_trial(): the earliest seeded position, or
+  // (serialize) the earliest member of a moved cluster — nothing before it
+  // can change in any mode.
+  const std::size_t min_pos = scan_anchor_;
+
+  // Mode widening seeds: both the vacated and the newly occupied processor
+  // of each moved cluster carry changed task sets from min_pos onward.
+  if (serialize) {
+    for (int m = 0; m < moved_count_; ++m) {
+      proc_dirty_stamp_[idx(moved_old_hosts_[m])] = epoch_;
+      proc_dirty_stamp_[idx(moved_new_hosts_[m])] = epoch_;
+    }
+    // Running proc_free state at min_pos: the prefix is untouched (no
+    // moved-cluster task precedes min_pos), so replay committed end times.
+    std::fill(proc_free_.begin(), proc_free_.end(), Weight{0});
+    for (std::size_t pos = 0; pos < min_pos; ++pos) {
+      const NodeId v = topo[pos];
+      Weight& free = proc_free_[idx(host_[idx(cluster_of[idx(v)])])];
+      free = std::max(free, end_[idx(v)]);
+    }
+  }
+  if (contention) {
+    // Running link_free state at min_pos: replay the stored prefix claims.
+    std::fill(link_free_.begin(), link_free_.end(), Weight{0});
+    const std::uint32_t prefix_claims = claim_pos_offset_[min_pos];
+    for (std::uint32_t k = 0; k < prefix_claims; ++k) {
+      link_free_[static_cast<std::size_t>(claim_links_[k])] = claim_values_[k];
+    }
+  }
+
+  const auto threshold =
+      static_cast<std::size_t>(dopt_.fallback_fraction * static_cast<double>(np_));
+  std::size_t rescheduled = 0;
+  std::size_t scanned = 0;
+  Weight total = prefix_max_end_[min_pos];
+
+  for (std::size_t pos = min_pos; pos < np_; ++pos) {
+    ++scanned;
+    const NodeId v = topo[pos];
+    const NodeId pv = host_[idx(cluster_of[idx(v)])];
+    const std::uint32_t clo = contention ? claim_pos_offset_[pos] : 0;
+    const std::uint32_t chi = contention ? claim_pos_offset_[pos + 1] : 0;
+
+    bool recompute = dirty_stamp_[idx(v)] == epoch_;
+    if (!recompute && serialize && proc_dirty_stamp_[idx(pv)] == epoch_) recompute = true;
+    if (!recompute && contention) {
+      for (std::uint32_t k = clo; k < chi; ++k) {
+        if (link_dirty_stamp_[static_cast<std::size_t>(claim_links_[k])] == epoch_) {
+          recompute = true;
+          break;
+        }
+      }
+    }
+
+    if (!recompute) {
+      // Clean: the committed values stand; replay their shared-resource
+      // contributions so later dirty tasks see the right running state.
+      if (serialize) {
+        Weight& free = proc_free_[idx(pv)];
+        free = std::max(free, end_[idx(v)]);
+      }
+      for (std::uint32_t k = clo; k < chi; ++k) {
+        link_free_[static_cast<std::size_t>(claim_links_[k])] = claim_values_[k];
+      }
+      total = std::max(total, end_[idx(v)]);
+      continue;
+    }
+
+    if (++rescheduled > threshold) {
+      stats_.positions_scanned += static_cast<std::int64_t>(scanned);
+      return run_full_trial();
+    }
+
+    // Recompute v with the exact full-kernel arithmetic.
+    Weight st = 0;
+    std::uint32_t cursor = clo;  // cursor through v's committed claims
+    const std::uint32_t lo = pred_offset[idx(v)];
+    const std::uint32_t hi = pred_offset[idx(v) + 1];
+    for (std::uint32_t a = lo; a < hi; ++a) {
+      const EvalEngine::PredArc& arc = arcs[a];
+      Weight arrival = end_[idx(arc.pred)];  // trial value if pred recomputed
+      if (arc.weight > 0) {
+        const NodeId pp = host_[idx(arc.pred_cluster)];
+        if (contention) {
+          const bool route_changed =
+              cluster_moved(arc.pred_cluster) || cluster_moved(cluster_of[idx(v)]);
+          const std::size_t r = idx(pp) * ns_ + idx(pv);
+          const std::uint32_t rlo = engine_->route_offset_[r];
+          const std::uint32_t rhi = engine_->route_offset_[r + 1];
+          if (!route_changed) {
+            // Same route as committed: claims align 1:1 — a claim that
+            // lands on a different busy-until time dirties its link.
+            for (std::uint32_t k = rlo; k < rhi; ++k) {
+              const auto li = static_cast<std::size_t>(engine_->route_links_[k]);
+              const Weight depart = std::max(arrival, link_free_[li]);
+              arrival = depart + arc.weight;
+              link_free_[li] = arrival;
+              if (arrival != claim_values_[cursor]) link_dirty_stamp_[li] = epoch_;
+              ++cursor;
+            }
+          } else {
+            // Route changed: the committed claims evaporate from their
+            // links and new claims land on the trial route — both link
+            // sets diverge.
+            const NodeId old_pp = committed_host_during_trial(arc.pred_cluster);
+            const NodeId old_pv = committed_host_during_trial(cluster_of[idx(v)]);
+            const std::size_t ro = idx(old_pp) * ns_ + idx(old_pv);
+            const std::uint32_t old_len =
+                engine_->route_offset_[ro + 1] - engine_->route_offset_[ro];
+            for (std::uint32_t k = 0; k < old_len; ++k) {
+              link_dirty_stamp_[static_cast<std::size_t>(claim_links_[cursor + k])] = epoch_;
+            }
+            cursor += old_len;
+            for (std::uint32_t k = rlo; k < rhi; ++k) {
+              const auto li = static_cast<std::size_t>(engine_->route_links_[k]);
+              const Weight depart = std::max(arrival, link_free_[li]);
+              arrival = depart + arc.weight;
+              link_free_[li] = arrival;
+              link_dirty_stamp_[li] = epoch_;
+            }
+          }
+        } else {
+          arrival += arc.weight * hops(idx(pp), idx(pv));
+        }
+      }
+      st = std::max(st, arrival);
+    }
+    if (serialize) st = std::max(st, proc_free_[idx(pv)]);
+    const Weight en = st + node_weight[idx(v)];
+    const Weight old_end = end_[idx(v)];
+    trial_start_[idx(v)] = st;
+    trial_end_[idx(v)] = en;
+    end_[idx(v)] = en;
+    touched_.push_back(v);
+    touched_old_end_.push_back(old_end);
+    if (serialize) proc_free_[idx(pv)] = en;
+
+    if (en != old_end) {
+      // End time moved: successors must re-derive their starts, and (in
+      // serialize mode) so must every later task on this processor.
+      const std::uint32_t slo = succ_offset[idx(v)];
+      const std::uint32_t shi = succ_offset[idx(v) + 1];
+      for (std::uint32_t s = slo; s < shi; ++s) {
+        dirty_stamp_[idx(succ_arcs[s].succ)] = epoch_;
+      }
+      if (serialize) proc_dirty_stamp_[idx(pv)] = epoch_;
+    }
+    total = std::max(total, en);
+  }
+
+  stats_.positions_scanned += static_cast<std::int64_t>(scanned);
+  return total;
+}
+
+void DeltaEval::commit() {
+  if (pending_ == Pending::kNone) {
+    throw std::logic_error("DeltaEval::commit: no pending trial");
+  }
+  ++stats_.commits;
+  apply_pending_hosts();
+  if (pending_ == Pending::kFull) {
+    std::copy_n(full_ws_.start.begin(), np_, start_.begin());
+    std::copy_n(full_ws_.end.begin(), np_, end_.begin());
+  } else {
+    for (const NodeId v : touched_) {
+      start_[idx(v)] = trial_start_[idx(v)];
+      end_[idx(v)] = trial_end_[idx(v)];
+    }
+  }
+  rebuild_committed_aux();
+  committed_total_ = pending_total_;
+  pending_ = Pending::kNone;
+  moved_count_ = 0;
+}
+
+}  // namespace mimdmap

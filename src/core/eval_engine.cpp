@@ -1,6 +1,9 @@
 #include "core/eval_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
+#include <numeric>
 #include <stdexcept>
 
 #include "graph/topological.hpp"
@@ -77,6 +80,11 @@ void EvalEngine::WorkerPool::run(std::size_t count, int lanes,
   job_ = nullptr;
 }
 
+int EvalEngine::WorkerPool::thread_count() noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(threads_.size());
+}
+
 // ---------------------------------------------------------------------------
 // EvalEngine
 
@@ -105,6 +113,50 @@ EvalEngine::EvalEngine(const MappingInstance& instance) : instance_(instance) {
     }
   }
   pred_offset_[idx(np)] = static_cast<std::uint32_t>(pred_arcs_.size());
+
+  topo_pos_.assign(idx(np), 0);
+  for (std::size_t pos = 0; pos < topo_order_.size(); ++pos) {
+    topo_pos_[idx(topo_order_[pos])] = static_cast<std::uint32_t>(pos);
+  }
+
+  // Successor CSR mirroring the predecessor CSR — the delta evaluator's
+  // dirty-set propagation walks it forward, and seeds per arc off the
+  // pre-resolved successor cluster.
+  succ_arcs_.reserve(total_arcs);
+  succ_offset_.assign(idx(np) + 1, 0);
+  for (NodeId v = 0; v < np; ++v) {
+    succ_offset_[idx(v)] = static_cast<std::uint32_t>(succ_arcs_.size());
+    for (const auto& [succ, edge_w] : problem.successors(v)) {
+      (void)edge_w;
+      succ_arcs_.push_back({succ, cluster_of_[idx(succ)]});
+    }
+  }
+  succ_offset_[idx(np)] = static_cast<std::uint32_t>(succ_arcs_.size());
+
+  // Per-cluster inter-cluster arc lists plus earliest member position —
+  // the delta evaluator's seed scan touches exactly these arcs instead of
+  // walking every member's adjacency.
+  const NodeId nc = instance.num_processors();
+  cluster_min_pos_.assign(idx(nc), static_cast<std::uint32_t>(idx(np)));
+  for (NodeId v = 0; v < np; ++v) {
+    std::uint32_t& mp = cluster_min_pos_[idx(cluster_of_[idx(v)])];
+    mp = std::min(mp, topo_pos_[idx(v)]);
+  }
+  std::vector<std::vector<ClusterArc>> by_cluster(idx(nc));
+  for (const TaskEdge& e : problem.edges()) {
+    const NodeId cu = cluster_of_[idx(e.from)];
+    const NodeId cv = cluster_of_[idx(e.to)];
+    if (cu == cv) continue;
+    by_cluster[idx(cv)].push_back({e.to, topo_pos_[idx(e.to)], cu, true});
+    by_cluster[idx(cu)].push_back({e.to, topo_pos_[idx(e.to)], cv, false});
+  }
+  cluster_arc_offset_.assign(idx(nc) + 1, 0);
+  for (NodeId c = 0; c < nc; ++c) {
+    cluster_arc_offset_[idx(c)] = static_cast<std::uint32_t>(cluster_arcs_.size());
+    cluster_arcs_.insert(cluster_arcs_.end(), by_cluster[idx(c)].begin(),
+                         by_cluster[idx(c)].end());
+  }
+  cluster_arc_offset_[idx(nc)] = static_cast<std::uint32_t>(cluster_arcs_.size());
 }
 
 EvalEngine::~EvalEngine() = default;
@@ -227,20 +279,93 @@ ScheduleResult EvalEngine::evaluate(std::span<const NodeId> host_of, const EvalO
   return workspace_to_result(ws, total);
 }
 
+namespace {
+
+/// Hardware lane budget; hardware_concurrency() may legitimately return 0
+/// ("unknown"), which we treat as "no clamp".
+int hardware_lane_limit() noexcept {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? std::numeric_limits<int>::max() : static_cast<int>(hc);
+}
+
+}  // namespace
+
 void EvalEngine::for_each_parallel(
     std::size_t count, int num_threads,
     const std::function<void(std::size_t, EvalWorkspace&)>& fn) const {
+  // Clamp to the batch size and to the hardware: lanes beyond count would
+  // spawn (or wake) workers with nothing to do, and lanes beyond the core
+  // count only add scheduler churn.
+  num_threads = std::min(num_threads, hardware_lane_limit());
+  if (count < static_cast<std::size_t>(std::numeric_limits<int>::max())) {
+    num_threads = std::min(num_threads, static_cast<int>(count));
+  }
   if (num_threads < 2 || count < 2) {
     for (std::size_t i = 0; i < count; ++i) fn(i, caller_ws_);
     return;
   }
   // Lane workspaces are (re)sized while the pool is idle, so workers only
   // ever see stable storage.
-  const std::size_t lanes = std::min<std::size_t>(static_cast<std::size_t>(num_threads), count);
+  const std::size_t lanes = static_cast<std::size_t>(num_threads);
   if (lane_ws_.size() < lanes - 1) lane_ws_.resize(lanes - 1);
   pool_.run(count, static_cast<int>(lanes), [&](std::size_t i, int lane) {
     fn(i, lane == 0 ? caller_ws_ : lane_ws_[static_cast<std::size_t>(lane - 1)]);
   });
+}
+
+int EvalEngine::pool_thread_count() const noexcept { return pool_.thread_count(); }
+
+int EvalEngine::resolve_num_threads(int requested, const EvalOptions& options) const {
+  if (requested != 0) return requested;
+  const int hw = std::thread::hardware_concurrency() == 0
+                     ? 1
+                     : static_cast<int>(std::thread::hardware_concurrency());
+  if (hw < 2) return 1;
+
+  const std::lock_guard<std::mutex> lock(calib_mutex_);
+  const int mode = (options.serialize_within_processor ? 1 : 0) |
+                   (options.link_contention ? 2 : 0);
+  if (auto_threads_[mode] > 0) return auto_threads_[mode];
+
+  using clock = std::chrono::steady_clock;
+  if (options.link_contention) ensure_routing();
+
+  // Per-trial cost: a handful of warm-up trials on the caller workspace
+  // (identity host map — representative, and always a valid cluster ->
+  // processor map), minimum over a few timed batches.
+  std::vector<NodeId> host(idx(instance_.num_processors()));
+  std::iota(host.begin(), host.end(), NodeId{0});
+  for (int i = 0; i < 2; ++i) (void)trial_total_time(host, options, caller_ws_);
+  double trial_ns = std::numeric_limits<double>::max();
+  for (int rep = 0; rep < 4; ++rep) {
+    const auto t0 = clock::now();
+    for (int i = 0; i < 4; ++i) (void)trial_total_time(host, options, caller_ws_);
+    const auto dt = std::chrono::duration<double, std::nano>(clock::now() - t0).count();
+    trial_ns = std::min(trial_ns, dt / 4.0);
+  }
+
+  // Chunk-sync overhead of one pool dispatch, measured once per engine
+  // with a no-op job (first dispatch spawns the workers and is discarded).
+  if (sync_overhead_ns_ < 0) {
+    const auto noop = [](std::size_t, EvalWorkspace&) {};
+    for_each_parallel(static_cast<std::size_t>(hw), hw, noop);
+    double sync_ns = std::numeric_limits<double>::max();
+    for (int rep = 0; rep < 8; ++rep) {
+      const auto t0 = clock::now();
+      for_each_parallel(static_cast<std::size_t>(hw), hw, noop);
+      sync_ns = std::min(
+          sync_ns, std::chrono::duration<double, std::nano>(clock::now() - t0).count());
+    }
+    sync_overhead_ns_ = sync_ns;
+  }
+
+  // A refinement chunk hands 4 * lanes trials to the pool, so the extra
+  // lanes save roughly 4 * (hw - 1) trials of wall clock per dispatch;
+  // below that the sync overhead eats the gain and sequential wins
+  // (DESIGN.md 9.4).
+  const bool parallel_pays = trial_ns * 4.0 * static_cast<double>(hw - 1) > sync_overhead_ns_;
+  auto_threads_[mode] = parallel_pays ? hw : 1;
+  return auto_threads_[mode];
 }
 
 void EvalEngine::batch_total_times(std::span<const std::vector<NodeId>> hosts,
@@ -249,6 +374,7 @@ void EvalEngine::batch_total_times(std::span<const std::vector<NodeId>> hosts,
   if (totals.size() < hosts.size()) {
     throw std::invalid_argument("batch_total_times: totals span too small");
   }
+  num_threads = resolve_num_threads(num_threads, options);
   // Contention tables are built once up front so pooled lanes never race on
   // first use (call_once would serialise them anyway; this keeps the lanes'
   // first trials warm).
@@ -256,6 +382,20 @@ void EvalEngine::batch_total_times(std::span<const std::vector<NodeId>> hosts,
   for_each_parallel(hosts.size(), num_threads, [&](std::size_t i, EvalWorkspace& ws) {
     totals[i] = trial_total_time(hosts[i], options, ws);
   });
+}
+
+DeltaEval EvalEngine::begin_delta(const Assignment& committed, const EvalOptions& options,
+                                  const DeltaOptions& delta_options) const {
+  if (committed.size() != instance_.num_processors() || !committed.complete()) {
+    throw std::invalid_argument("begin_delta: assignment is not a complete mapping");
+  }
+  return begin_delta(std::span<const NodeId>(committed.host_of_vector()), options,
+                     delta_options);
+}
+
+DeltaEval EvalEngine::begin_delta(std::span<const NodeId> host_of, const EvalOptions& options,
+                                  const DeltaOptions& delta_options) const {
+  return DeltaEval(*this, host_of, options, delta_options);
 }
 
 }  // namespace mimdmap

@@ -46,6 +46,8 @@
 
 namespace mimdmap {
 
+class DeltaEval;
+
 /// Reusable scratch buffers for one evaluation lane. Sized by the engine on
 /// first use and reused for every subsequent trial; after warm-up a trial
 /// touches no allocator. One workspace must never be shared by two
@@ -55,6 +57,28 @@ struct EvalWorkspace {
   std::vector<Weight> end;
   std::vector<Weight> proc_free;
   std::vector<Weight> link_free;
+};
+
+/// Tuning knobs for the incremental delta evaluator (see DeltaEval below).
+struct DeltaOptions {
+  /// A trial falls back to the full kernel once it has rescheduled more
+  /// than this fraction of all tasks — beyond that point the incremental
+  /// bookkeeping costs more than it saves (a delta recompute carries about
+  /// 3x the per-task cost of the streaming kernel, so the break-even sits
+  /// near a third of the graph). 0 forces every trial onto the full kernel
+  /// (useful for testing); 1 disables the fallback. The result is
+  /// bit-identical either way.
+  double fallback_fraction = 0.3;
+};
+
+/// Counters accumulated by a DeltaEval across its lifetime.
+struct DeltaStats {
+  std::int64_t trials = 0;            ///< try_move + try_swap calls
+  std::int64_t delta_trials = 0;      ///< trials served by suffix rescheduling
+  std::int64_t full_fallbacks = 0;    ///< trials served by the full kernel
+  std::int64_t commits = 0;
+  std::int64_t tasks_rescheduled = 0;  ///< recomputed tasks over all delta trials
+  std::int64_t positions_scanned = 0;  ///< suffix positions visited (incl. clean)
 };
 
 class EvalEngine {
@@ -93,17 +117,48 @@ class EvalEngine {
   /// thread-safe: concurrent callers must bring their own EvalWorkspace.
   [[nodiscard]] EvalWorkspace& caller_workspace() const noexcept { return caller_ws_; }
 
+  /// Starts an incremental delta-evaluation session anchored at `committed`
+  /// (which must be a complete assignment). The returned DeltaEval scores
+  /// single-cluster moves and cluster swaps by rescheduling only the
+  /// affected suffix of the topological order — see the DeltaEval class
+  /// comment. The engine must outlive the returned object.
+  [[nodiscard]] DeltaEval begin_delta(const Assignment& committed,
+                                      const EvalOptions& options = {},
+                                      const DeltaOptions& delta_options = {}) const;
+
+  /// As above against an explicit host_of vector (host[c] = processor of
+  /// cluster c; need not be a permutation).
+  [[nodiscard]] DeltaEval begin_delta(std::span<const NodeId> host_of,
+                                      const EvalOptions& options,
+                                      const DeltaOptions& delta_options = {}) const;
+
+  /// Resolves a RefineOptions-style thread count: values > 0 pass through,
+  /// 0 means "auto" — a handful of timed warm-up trials pick between
+  /// sequential and hardware_concurrency() lanes, dropping to sequential
+  /// when the measured per-trial cost is below the measured per-lane share
+  /// of the pool's chunk-sync overhead (DESIGN.md 9.4). The decision is
+  /// cached per eval mode; results are bit-identical either way, so the
+  /// timing nondeterminism never leaks into mapping output.
+  [[nodiscard]] int resolve_num_threads(int requested, const EvalOptions& options = {}) const;
+
+  /// Number of pooled worker threads spawned so far (diagnostics; the
+  /// caller's own thread is not counted).
+  [[nodiscard]] int pool_thread_count() const noexcept;
+
   /// Runs fn(i, workspace) for every i in [0, count) across the persistent
   /// worker pool: the caller participates plus up to num_threads - 1 pooled
-  /// workers, each with a private lane workspace. Blocks until all indices
-  /// are done. Iteration order across lanes is unspecified, so fn must only
+  /// workers, each with a private lane workspace. num_threads is clamped to
+  /// count and to hardware_concurrency() so tiny batches neither spawn nor
+  /// wake more workers than they can feed. Blocks until all indices are
+  /// done. Iteration order across lanes is unspecified, so fn must only
   /// write to per-index slots; with num_threads < 2 it degenerates to an
   /// inline sequential loop.
   void for_each_parallel(std::size_t count, int num_threads,
                          const std::function<void(std::size_t, EvalWorkspace&)>& fn) const;
 
   /// Convenience batch used by the search loops: totals[i] =
-  /// trial_total_time(hosts[i]). Deterministic for any thread count.
+  /// trial_total_time(hosts[i]). Deterministic for any thread count;
+  /// num_threads = 0 resolves via resolve_num_threads().
   void batch_total_times(std::span<const std::vector<NodeId>> hosts, const EvalOptions& options,
                          int num_threads, std::span<Weight> totals) const;
 
@@ -115,6 +170,25 @@ class EvalEngine {
     Weight weight = 0;        // clus_edge(pred, task); 0 for intra-cluster
   };
 
+  /// One pre-resolved successor arc (the delta evaluator's forward mirror
+  /// of PredArc; inter-cluster iff succ_cluster != cluster_of(task)).
+  struct SuccArc {
+    NodeId succ = 0;
+    NodeId succ_cluster = 0;
+  };
+
+  /// One inter-cluster arc adjacent to a cluster, from that cluster's
+  /// perspective — the delta evaluator's seed unit. `head` is the arc's
+  /// receiver (the task whose start-time recurrence carries the cost term),
+  /// `other_cluster` the far endpoint's cluster, `incoming` whether the
+  /// cluster under consideration is the receiver side.
+  struct ClusterArc {
+    NodeId head = 0;
+    std::uint32_t head_pos = 0;  // topo position of head
+    NodeId other_cluster = 0;
+    bool incoming = false;
+  };
+
   /// Persistent worker pool: threads are spawned on the first parallel call
   /// and parked on a condition variable between jobs, replacing the legacy
   /// per-call std::thread spawning in evaluate_parallel().
@@ -124,6 +198,8 @@ class EvalEngine {
     /// Runs fn(index, lane) for index in [0, count); the caller drives lane
     /// 0 and pooled workers drive lanes [1, lanes).
     void run(std::size_t count, int lanes, const std::function<void(std::size_t, int)>& fn);
+    /// Workers spawned so far.
+    [[nodiscard]] int thread_count() noexcept;
 
    private:
     void worker_main(int slot);
@@ -151,8 +227,14 @@ class EvalEngine {
 
   const MappingInstance& instance_;
   std::vector<NodeId> topo_order_;
+  std::vector<std::uint32_t> topo_pos_;     // inverse of topo_order_
   std::vector<std::uint32_t> pred_offset_;  // CSR: arcs of task v are
   std::vector<PredArc> pred_arcs_;          // pred_arcs_[pred_offset_[v] .. [v+1])
+  std::vector<std::uint32_t> succ_offset_;  // CSR mirror of pred_offset_:
+  std::vector<SuccArc> succ_arcs_;          // successors of v, edge-insertion order
+  std::vector<std::uint32_t> cluster_arc_offset_;  // CSR over clusters:
+  std::vector<ClusterArc> cluster_arcs_;           // inter-cluster arcs of cluster c
+  std::vector<std::uint32_t> cluster_min_pos_;     // earliest member topo position
   std::vector<NodeId> cluster_of_;
   std::vector<Weight> node_weight_;
 
@@ -165,6 +247,164 @@ class EvalEngine {
   mutable WorkerPool pool_;
   mutable EvalWorkspace caller_ws_;
   mutable std::vector<EvalWorkspace> lane_ws_;  // lane i >= 1 -> lane_ws_[i - 1]
+
+  // Auto-thread calibration cache (resolve_num_threads).
+  mutable std::mutex calib_mutex_;
+  mutable double sync_overhead_ns_ = -1.0;  // per pool dispatch, measured once
+  mutable int auto_threads_[4] = {0, 0, 0, 0};  // per (serialize, contention) mode
+
+  friend class DeltaEval;
+};
+
+/// Incremental delta evaluation for local-move search loops (pairwise
+/// exchange, annealing). Holds a *committed* schedule — start/end per task,
+/// the accepted host_of map and mode-specific auxiliary state — against
+/// which a trial move (reassign one cluster, or swap two clusters) is
+/// scored by rescheduling only the affected suffix of the engine's
+/// precomputed topological order:
+///
+///  * the dirty seed set is per-arc tight: a task is seeded only when one
+///    of its inter-cluster arcs actually changes cost — the hop distance
+///    between its endpoints' hosts differs (plain/serialize), or the arc
+///    carries a message at all (contention: the route itself changes);
+///  * plain mode processes dirty tasks through a bitmask worklist in
+///    topological-position order — clean tasks are never visited, and the
+///    makespan closes in O(1) through a committed max-holder count (with
+///    an O(np) max re-scan only when every committed makespan holder was
+///    itself rescheduled);
+///  * the serialize/contention modes scan the suffix from the earliest
+///    affected position: clean tasks cost one epoch-stamp check plus the
+///    replay of their committed processor/link contributions, dirty tasks
+///    are recomputed with the exact full-kernel arithmetic;
+///  * a recomputed task whose end time is unchanged stops propagating
+///    (early cutoff);
+///  * serialize_within_processor conservatively widens the dirty set to
+///    every later task sharing a processor with a dirty task;
+///    link_contention stores the committed per-hop link claims so clean
+///    messages replay in O(1) per hop and divergence is detected per link;
+///  * once a trial reschedules more than DeltaOptions::fallback_fraction of
+///    all tasks it falls back to the full kernel, so correctness never
+///    depends on the widening analysis being tight.
+///
+/// Totals are bit-identical to evaluate_reference() on the materialized
+/// assignment in every mode (enforced by tests/delta_eval_test.cpp).
+/// Steady-state trials perform zero heap allocations; commits may allocate
+/// (they rebuild the contention claim tables).
+///
+/// Usage: t = try_swap(c1, c2); then commit() to accept (the move becomes
+/// the new committed state) or revert()/another try_* to discard. Not
+/// thread-safe; create one DeltaEval per search loop.
+class DeltaEval {
+ public:
+  DeltaEval(DeltaEval&&) = default;
+  DeltaEval& operator=(DeltaEval&&) = delete;
+  DeltaEval(const DeltaEval&) = delete;
+  DeltaEval& operator=(const DeltaEval&) = delete;
+
+  [[nodiscard]] Weight committed_total() const noexcept { return committed_total_; }
+  [[nodiscard]] std::span<const NodeId> committed_host() const noexcept { return host_; }
+  [[nodiscard]] NodeId committed_host_of(NodeId cluster) const { return host_.at(idx(cluster)); }
+  [[nodiscard]] const DeltaStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] bool has_pending() const noexcept { return pending_ != Pending::kNone; }
+  [[nodiscard]] const EvalOptions& options() const noexcept { return options_; }
+
+  /// Total time with cluster `cluster` reassigned to `processor` (every
+  /// other cluster keeps its committed host). The result may place two
+  /// clusters on one processor — evaluation is well defined on any
+  /// cluster -> processor map, not just permutations.
+  Weight try_move(NodeId cluster, NodeId processor);
+
+  /// Total time with clusters c1 and c2 exchanging their committed hosts.
+  Weight try_swap(NodeId c1, NodeId c2);
+
+  /// Folds the most recent try_move/try_swap into the committed state.
+  /// Requires has_pending().
+  void commit();
+
+  /// Discards the most recent trial (cheap; a subsequent try_* call
+  /// discards it implicitly as well).
+  void revert() noexcept { pending_ = Pending::kNone; }
+
+ private:
+  friend class EvalEngine;
+  DeltaEval(const EvalEngine& engine, std::span<const NodeId> host_of,
+            const EvalOptions& options, const DeltaOptions& delta_options);
+
+  enum class Pending : std::uint8_t { kNone, kDelta, kFull };
+
+  [[nodiscard]] bool cluster_moved(NodeId c) const noexcept {
+    return c == moved_clusters_[0] || (moved_count_ == 2 && c == moved_clusters_[1]);
+  }
+  /// Committed host of a cluster while host_ temporarily holds trial hosts.
+  [[nodiscard]] NodeId committed_host_during_trial(NodeId c) const noexcept {
+    if (c == moved_clusters_[0]) return moved_old_hosts_[0];
+    if (moved_count_ == 2 && c == moved_clusters_[1]) return moved_old_hosts_[1];
+    return host_[idx(c)];
+  }
+  Weight run_trial();          // scores host_ (holding trial hosts) vs committed state
+  Weight run_trial_plain();    // sparse bitmask-worklist path (no shared state)
+  Weight run_trial_scan();     // suffix-scan path (serialize / contention)
+  Weight run_full_trial();     // fallback: full kernel into full_ws_
+  std::size_t seed_dirty();    // marks the dirty seeds; returns scan anchor position
+  void apply_pending_hosts();
+  void restore_committed_hosts();
+  void rebuild_committed_aux();  // prefix max / max-holder count + contention claims
+
+  const EvalEngine* engine_;
+  EvalOptions options_;
+  DeltaOptions dopt_;
+  std::size_t np_ = 0;
+  std::size_t ns_ = 0;
+
+  // Committed state.
+  std::vector<NodeId> host_;    // cluster -> processor (trial hosts during run_trial)
+  std::vector<Weight> start_;   // committed schedule, bit-identical to reference
+  std::vector<Weight> end_;
+  Weight committed_total_ = 0;
+  std::size_t count_at_max_ = 0;        // tasks with end == committed_total_
+  std::vector<Weight> prefix_max_end_;  // [i] = max end over topo positions [0, i)
+  // Committed link claims (contention mode): claim k of topo position p is
+  // claim_links_/claim_values_[claim_pos_offset_[p] .. [p+1]) — the link it
+  // lands on and the link's busy-until time after the claim, in the exact
+  // order the kernel issues them.
+  std::vector<std::uint32_t> claim_pos_offset_;
+  std::vector<std::int32_t> claim_links_;
+  std::vector<Weight> claim_values_;
+
+  // Epoch-stamped trial scratch (bumping epoch_ invalidates all of it),
+  // plus the plain-mode dirty bitmask (self-cleaning: every set bit is
+  // cleared when its position is popped, so it is all-zero between trials).
+  // During a trial, recomputed tasks write their trial end times *in place*
+  // into end_ (so downstream reads are a single load) and run_trial()
+  // rolls them back from touched_old_end_ before returning; trial values
+  // survive in trial_start_/trial_end_ for commit().
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint64_t> dirty_bits_;    // plain mode, indexed by topo position
+  std::vector<std::uint32_t> dirty_stamp_;   // scan modes: task must be recomputed
+  std::vector<Weight> trial_start_;
+  std::vector<Weight> trial_end_;
+  std::vector<std::uint32_t> proc_dirty_stamp_;  // serialize widening
+  std::vector<std::uint32_t> link_dirty_stamp_;  // contention widening
+  std::vector<Weight> proc_free_;
+  std::vector<Weight> link_free_;
+  std::vector<NodeId> touched_;          // recomputed tasks of the pending trial
+  std::vector<Weight> touched_old_end_;  // their committed end times (undo log)
+  std::vector<unsigned char> in_changed_;   // per other-cluster distance-change
+  std::vector<unsigned char> out_changed_;  // masks of the current moved cluster
+  std::size_t seed_count_ = 0;   // distinct tasks seeded by the current trial
+  std::size_t scan_anchor_ = 0;  // earliest affected topo position of the trial
+  bool conservative_ = false;    // adaptive: fallbacks dominate, skip the scan
+
+  // Pending trial bookkeeping.
+  Pending pending_ = Pending::kNone;
+  int moved_count_ = 0;
+  NodeId moved_clusters_[2] = {-1, -1};
+  NodeId moved_old_hosts_[2] = {-1, -1};
+  NodeId moved_new_hosts_[2] = {-1, -1};
+  Weight pending_total_ = 0;
+  EvalWorkspace full_ws_;  // holds the schedule of a full-fallback trial
+
+  DeltaStats stats_;
 };
 
 }  // namespace mimdmap

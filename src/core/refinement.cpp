@@ -73,7 +73,7 @@ RefineResult refine(const EvalEngine& engine, const IdealSchedule& ideal,
   // early termination skips the trailing chunks entirely. Every pinned
   // slot keeps its initial host and every free slot is rewritten each
   // trial, so recycling a scratch vector never leaks a previous candidate.
-  const int threads = std::max(1, options.num_threads);
+  const int threads = std::max(1, engine.resolve_num_threads(options.num_threads, options.eval));
   const std::size_t chunk_capacity =
       threads > 1 ? static_cast<std::size_t>(threads) * 4 : std::size_t{1};
   const std::vector<NodeId>& initial_host = initial.assignment.host_of_vector();

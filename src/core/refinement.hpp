@@ -53,7 +53,11 @@ struct RefineOptions {
   /// speculatively in parallel on the engine's persistent pool, then
   /// scanned in order; the result is bit-identical to the sequential run
   /// for any thread count, and early termination still skips the chunks it
-  /// never reaches. Values < 2 run sequentially (chunk size 1, fully lazy).
+  /// never reaches. 0 means "auto": the engine calibrates with a few timed
+  /// warm-up trials and drops to sequential when the per-trial cost is
+  /// below the measured chunk-sync overhead
+  /// (EvalEngine::resolve_num_threads). Negative values and 1 run
+  /// sequentially (chunk size 1, fully lazy).
   int num_threads = 1;
 };
 
@@ -70,6 +74,11 @@ struct RefineResult {
   bool terminated_early = false;
   std::int64_t trials_used = 0;
   std::int64_t improvements = 0;
+  /// Incremental-evaluation counters, filled by the local-move refiners
+  /// (baseline/pairwise.hpp) that score trials on a DeltaEval; refine()'s
+  /// whole-assignment re-placements stay on the batched full kernel and
+  /// leave this zeroed.
+  DeltaStats delta;
 };
 
 /// Runs the refinement procedure of section 4.3.3 from a given initial

@@ -1,0 +1,483 @@
+// Equivalence and regression suite for the incremental delta evaluator.
+//
+// DeltaEval promises totals bit-identical to evaluate_reference() on the
+// materialized assignment in every evaluation mode, for any interleaving of
+// try_move / try_swap / commit / revert — including non-bijective host maps
+// produced by try_move, which the reference Assignment type cannot
+// represent (those are checked against the engine's full kernel, itself
+// pinned to the reference by tests/eval_engine_test.cpp). The suite drives
+// thousands of randomized move sequences across DAG shapes x topologies x
+// all eval modes, plus explicit fallback-threshold crossings, the
+// pre-delta pairwise/annealing replay, and the thread-clamp / auto-thread
+// satellite regressions.
+#include "core/eval_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "baseline/annealing.hpp"
+#include "baseline/pairwise.hpp"
+#include "baseline/random_mapping.hpp"
+#include "cluster/strategies.hpp"
+#include "core/refinement.hpp"
+#include "topology/topology.hpp"
+#include "workload/random_dag.hpp"
+#include "workload/rng.hpp"
+#include "workload/structured.hpp"
+
+namespace mimdmap {
+namespace {
+
+std::vector<SystemGraph> test_topologies() {
+  return {make_hypercube(3), make_mesh(2, 4), make_random_connected(8, 0.25, 3)};
+}
+
+std::vector<EvalOptions> all_modes() {
+  return {EvalOptions{},
+          EvalOptions{.serialize_within_processor = true},
+          EvalOptions{.link_contention = true},
+          EvalOptions{.serialize_within_processor = true, .link_contention = true}};
+}
+
+std::string mode_name(const EvalOptions& mode) {
+  return std::string(" serialize=") + std::to_string(mode.serialize_within_processor) +
+         " contention=" + std::to_string(mode.link_contention);
+}
+
+std::vector<TaskGraph> dag_shapes(std::uint64_t seed) {
+  std::vector<TaskGraph> shapes;
+  LayeredDagParams layered;
+  layered.num_tasks = node_id(40 + 25 * (seed % 3));
+  shapes.push_back(make_layered_dag(layered, seed));
+  StructuredWeights sw{{1, 9}, {1, 9}, seed + 3};
+  shapes.push_back(make_fork_join(6, 3, sw));
+  shapes.push_back(make_diamond(5, 5, sw));
+  return shapes;
+}
+
+bool is_permutation(const std::vector<NodeId>& host) {
+  std::vector<bool> seen(host.size(), false);
+  for (const NodeId p : host) {
+    if (p < 0 || idx(p) >= host.size() || seen[idx(p)]) return false;
+    seen[idx(p)] = true;
+  }
+  return true;
+}
+
+TEST(DeltaEvalTest, RandomizedMoveSwapCommitRevertMatchesFullKernel) {
+  // Thousands of randomized trials: every delta total must equal the full
+  // kernel on the materialized host map, and (when the map is a
+  // permutation) the legacy reference oracle as well.
+  std::int64_t checked = 0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    for (TaskGraph& g : dag_shapes(seed)) {
+      for (const SystemGraph& sys : test_topologies()) {
+        const NodeId ns = sys.node_count();
+        const Clustering c = random_clustering(g, ns, seed + 11);
+        const MappingInstance inst(g, c, sys);
+        const EvalEngine engine(inst);
+        Rng rng(seed * 101 + 13);
+        for (const EvalOptions& mode : all_modes()) {
+          std::vector<NodeId> shadow =
+              random_assignment(ns, rng).host_of_vector();  // committed oracle state
+          DeltaEval delta = engine.begin_delta(shadow, mode);
+          EvalWorkspace oracle_ws;
+          for (int op = 0; op < 30; ++op) {
+            std::vector<NodeId> trial = shadow;
+            Weight got = 0;
+            const auto kind = rng.uniform(0, 9);
+            if (kind < 5) {
+              NodeId c1 = static_cast<NodeId>(rng.uniform(0, ns - 1));
+              NodeId c2 = static_cast<NodeId>(rng.uniform(0, ns - 1));
+              got = delta.try_swap(c1, c2);
+              std::swap(trial[idx(c1)], trial[idx(c2)]);
+            } else {
+              const NodeId cl = static_cast<NodeId>(rng.uniform(0, ns - 1));
+              const NodeId p = static_cast<NodeId>(rng.uniform(0, ns - 1));
+              got = delta.try_move(cl, p);
+              trial[idx(cl)] = p;
+            }
+            const Weight want = engine.trial_total_time(trial, mode, oracle_ws);
+            ASSERT_EQ(got, want) << "seed=" << seed << mode_name(mode) << " op=" << op;
+            if (is_permutation(trial)) {
+              ASSERT_EQ(got, evaluate_reference(inst, Assignment::from_host_of(trial), mode)
+                                 .total_time)
+                  << "seed=" << seed << mode_name(mode) << " op=" << op;
+            }
+            ++checked;
+            const auto decision = rng.uniform(0, 2);
+            if (decision == 0) {
+              delta.commit();
+              shadow = trial;
+            } else if (decision == 1) {
+              delta.revert();
+            }  // else: leave pending; the next try_* discards it
+            ASSERT_EQ(delta.committed_total(),
+                      engine.trial_total_time(shadow, mode, oracle_ws))
+                << "committed state diverged, seed=" << seed << mode_name(mode);
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GE(checked, 3000);
+}
+
+TEST(DeltaEvalTest, FallbackThresholdCrossingIsBitIdentical) {
+  // fallback_fraction = 0 forces the full kernel on every non-trivial
+  // trial; 1 disables the fallback entirely. Both ends and the default must
+  // agree on every total.
+  LayeredDagParams p;
+  p.num_tasks = 80;
+  const TaskGraph g = make_layered_dag(p, 5);
+  const MappingInstance inst(g, random_clustering(g, 8, 6), make_hypercube(3));
+  const EvalEngine engine(inst);
+  for (const EvalOptions& mode : all_modes()) {
+    Rng rng(77);
+    const std::vector<NodeId> host = random_assignment(8, rng).host_of_vector();
+    DeltaEval always_full = engine.begin_delta(host, mode, DeltaOptions{.fallback_fraction = 0.0});
+    DeltaEval never_full = engine.begin_delta(host, mode, DeltaOptions{.fallback_fraction = 1.0});
+    DeltaEval defaulted = engine.begin_delta(host, mode);
+    for (int op = 0; op < 40; ++op) {
+      const NodeId c1 = static_cast<NodeId>(rng.uniform(0, 7));
+      NodeId c2 = static_cast<NodeId>(rng.uniform(0, 6));
+      if (c2 >= c1) ++c2;
+      const Weight full = always_full.try_swap(c1, c2);
+      const Weight incr = never_full.try_swap(c1, c2);
+      const Weight dflt = defaulted.try_swap(c1, c2);
+      ASSERT_EQ(full, incr) << mode_name(mode) << " op=" << op;
+      ASSERT_EQ(full, dflt) << mode_name(mode) << " op=" << op;
+      if (op % 3 == 0) {
+        always_full.commit();
+        never_full.commit();
+        defaulted.commit();
+      }
+    }
+    EXPECT_EQ(always_full.stats().full_fallbacks, always_full.stats().trials) << mode_name(mode);
+    EXPECT_EQ(never_full.stats().full_fallbacks, 0) << mode_name(mode);
+    EXPECT_GT(never_full.stats().delta_trials, 0) << mode_name(mode);
+  }
+}
+
+TEST(DeltaEvalTest, CommitAfterFallbackKeepsCommittedStateExact) {
+  // A committed full-fallback trial must leave exactly the same committed
+  // state as a committed incremental trial.
+  LayeredDagParams p;
+  p.num_tasks = 60;
+  const TaskGraph g = make_layered_dag(p, 9);
+  const MappingInstance inst(g, random_clustering(g, 8, 2), make_mesh(2, 4));
+  const EvalEngine engine(inst);
+  const EvalOptions mode{.link_contention = true};
+  Rng rng(31);
+  std::vector<NodeId> host = random_assignment(8, rng).host_of_vector();
+  DeltaEval a = engine.begin_delta(host, mode, DeltaOptions{.fallback_fraction = 0.0});
+  DeltaEval b = engine.begin_delta(host, mode, DeltaOptions{.fallback_fraction = 1.0});
+  EvalWorkspace ws;
+  for (int op = 0; op < 20; ++op) {
+    const NodeId c1 = static_cast<NodeId>(rng.uniform(0, 7));
+    NodeId c2 = static_cast<NodeId>(rng.uniform(0, 6));
+    if (c2 >= c1) ++c2;
+    ASSERT_EQ(a.try_swap(c1, c2), b.try_swap(c1, c2)) << op;
+    a.commit();
+    b.commit();
+    std::swap(host[idx(c1)], host[idx(c2)]);
+    const Weight want = engine.trial_total_time(host, mode, ws);
+    ASSERT_EQ(a.committed_total(), want) << op;
+    ASSERT_EQ(b.committed_total(), want) << op;
+  }
+}
+
+TEST(DeltaEvalTest, NoOpMovesAndEmptyClustersAreExact) {
+  // Moving a cluster onto its own processor, "swapping" a cluster with
+  // itself, and moving an empty cluster must all return the committed
+  // total and commit cleanly.
+  TaskGraph g(6);
+  for (NodeId v = 0; v + 1 < 6; ++v) g.add_edge(v, v + 1, 2);
+  // Cluster 3 is empty: four processors, tasks packed into three clusters.
+  const Clustering c({0, 0, 1, 1, 2, 2}, 4);
+  const MappingInstance inst(g, c, make_mesh(2, 2));
+  const EvalEngine engine(inst);
+  for (const EvalOptions& mode : all_modes()) {
+    DeltaEval delta = engine.begin_delta(Assignment::identity(4), mode);
+    const Weight base = delta.committed_total();
+    EXPECT_EQ(delta.try_move(1, 1), base) << mode_name(mode);
+    delta.commit();
+    EXPECT_EQ(delta.try_swap(2, 2), base) << mode_name(mode);
+    delta.commit();
+    EXPECT_EQ(delta.try_move(3, 0), base) << mode_name(mode);  // empty cluster moves
+    delta.commit();
+    EXPECT_EQ(delta.committed_host_of(3), 0) << mode_name(mode);
+    EXPECT_EQ(delta.committed_total(), base) << mode_name(mode);
+  }
+}
+
+TEST(DeltaEvalTest, RejectsInvalidArguments) {
+  TaskGraph g(2);
+  g.add_edge(0, 1, 1);
+  const MappingInstance inst(g, Clustering({0, 1}, 2), make_chain(2));
+  const EvalEngine engine(inst);
+  EXPECT_THROW((void)engine.begin_delta(Assignment::partial(2)), std::invalid_argument);
+  DeltaEval delta = engine.begin_delta(Assignment::identity(2));
+  EXPECT_THROW((void)delta.try_move(5, 0), std::invalid_argument);
+  EXPECT_THROW((void)delta.try_swap(0, 9), std::invalid_argument);
+  EXPECT_THROW(delta.commit(), std::logic_error);  // nothing pending
+  (void)delta.try_swap(0, 1);
+  delta.revert();
+  EXPECT_THROW(delta.commit(), std::logic_error);  // revert cleared it
+}
+
+// --- pre-delta behaviour replay ---------------------------------------------
+
+/// The pairwise random-exchange loop exactly as it was before the delta
+/// rewiring: full-kernel trial per candidate swap.
+RefineResult legacy_pairwise_exchange(const EvalEngine& engine, const IdealSchedule& ideal,
+                                      const InitialAssignmentResult& initial,
+                                      const RefineOptions& options) {
+  RefineResult r;
+  r.assignment = initial.assignment;
+  r.schedule = engine.evaluate(r.assignment, options.eval);
+  r.lower_bound = ideal.lower_bound;
+  r.initial_total = r.schedule.total_time;
+  std::vector<NodeId> procs;
+  for (NodeId c = 0; c < engine.instance().num_processors(); ++c) {
+    if (options.respect_pinned && initial.pinned[idx(c)]) continue;
+    procs.push_back(initial.assignment.host_of(c));
+  }
+  const std::int64_t budget =
+      options.max_trials >= 0 ? options.max_trials
+                              : static_cast<std::int64_t>(engine.instance().num_processors());
+  if (procs.size() < 2) return r;
+  Rng rng(options.seed);
+  const auto m = static_cast<std::int64_t>(procs.size());
+  Assignment best = r.assignment;
+  Weight best_total = r.schedule.total_time;
+  bool improved_any = false;
+  for (std::int64_t trial = 0; trial < budget; ++trial) {
+    ++r.trials_used;
+    const auto i = rng.uniform(0, m - 1);
+    auto j = rng.uniform(0, m - 2);
+    if (j >= i) ++j;
+    Assignment candidate = best;
+    candidate.swap_processors(procs[static_cast<std::size_t>(i)],
+                              procs[static_cast<std::size_t>(j)]);
+    const Weight t = engine.trial_total_time(candidate.host_of_vector(), options.eval,
+                                             engine.caller_workspace());
+    if (options.use_termination_condition && t == r.lower_bound) {
+      r.assignment = candidate;
+      r.schedule = engine.evaluate(candidate, options.eval);
+      r.reached_lower_bound = true;
+      r.terminated_early = trial + 1 < budget;
+      ++r.improvements;
+      return r;
+    }
+    if (t < best_total) {
+      best = candidate;
+      best_total = t;
+      improved_any = true;
+      ++r.improvements;
+    }
+  }
+  if (improved_any) {
+    r.assignment = best;
+    r.schedule = engine.evaluate(best, options.eval);
+  }
+  r.reached_lower_bound = r.schedule.total_time == r.lower_bound;
+  return r;
+}
+
+/// The annealing move loop exactly as it was before the delta rewiring.
+AnnealingResult legacy_anneal(const EvalEngine& engine, const Assignment& start,
+                              const AnnealingOptions& options) {
+  const NodeId n = engine.instance().num_processors();
+  Rng rng(options.seed);
+  EvalWorkspace& ws = engine.caller_workspace();
+  AnnealingResult result;
+  result.assignment = start;
+  result.total_time = engine.evaluate(start, options.eval).total_time;
+  if (n < 2) return result;
+  Assignment current = start;
+  Weight current_total = result.total_time;
+  double temperature = options.initial_temperature;
+  if (temperature <= 0.0) {
+    Rng probe = rng.split();
+    Weight lo = current_total;
+    Weight hi = current_total;
+    for (int i = 0; i < 8; ++i) {
+      const Weight t = engine.trial_total_time(random_assignment(n, probe).host_of_vector(),
+                                               options.eval, ws);
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+    temperature = std::max(1.0, static_cast<double>(hi - lo));
+  }
+  const std::int64_t moves = options.moves_per_step > 0
+                                 ? options.moves_per_step
+                                 : static_cast<std::int64_t>(n) * (n - 1) / 2;
+  for (std::int64_t step = 0; step < options.steps; ++step) {
+    for (std::int64_t m = 0; m < moves; ++m) {
+      ++result.moves_tried;
+      const NodeId p = static_cast<NodeId>(rng.uniform(0, n - 1));
+      NodeId q = static_cast<NodeId>(rng.uniform(0, n - 2));
+      if (q >= p) ++q;
+      current.swap_processors(p, q);
+      const Weight cand = engine.trial_total_time(current.host_of_vector(), options.eval, ws);
+      const auto delta = static_cast<double>(cand - current_total);
+      if (delta <= 0.0 || rng.uniform01() < std::exp(-delta / temperature)) {
+        current_total = cand;
+        ++result.moves_accepted;
+        if (cand < result.total_time) {
+          result.total_time = cand;
+          result.assignment = current;
+        }
+      } else {
+        current.swap_processors(p, q);
+      }
+    }
+    temperature *= options.cooling;
+  }
+  return result;
+}
+
+struct Pipeline {
+  MappingInstance instance;
+  IdealSchedule ideal;
+  InitialAssignmentResult initial;
+};
+
+Pipeline build_pipeline(NodeId np, const SystemGraph& sys, std::uint64_t seed) {
+  LayeredDagParams p;
+  p.num_tasks = np;
+  TaskGraph g = make_layered_dag(p, seed);
+  Clustering c = random_clustering(g, sys.node_count(), seed + 1);
+  MappingInstance inst(std::move(g), std::move(c), sys);
+  IdealSchedule ideal = compute_ideal_schedule(inst);
+  InitialAssignmentResult initial = initial_assignment(inst, find_critical(inst, ideal));
+  return Pipeline{std::move(inst), std::move(ideal), std::move(initial)};
+}
+
+TEST(DeltaEvalTest, PairwiseExchangeMatchesPreDeltaRuns) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    for (const SystemGraph& sys : test_topologies()) {
+      Pipeline pl = build_pipeline(70, sys, seed);
+      const EvalEngine engine(pl.instance);
+      for (const EvalOptions& mode : all_modes()) {
+        RefineOptions opts;
+        opts.seed = seed * 7 + 3;
+        opts.max_trials = 40;
+        opts.eval = mode;
+        const RefineResult now = pairwise_exchange_refine(engine, pl.ideal, pl.initial, opts);
+        const RefineResult then = legacy_pairwise_exchange(engine, pl.ideal, pl.initial, opts);
+        const std::string what = "seed=" + std::to_string(seed) + " sys=" + sys.name() +
+                                 mode_name(mode);
+        EXPECT_EQ(now.assignment, then.assignment) << what;
+        EXPECT_EQ(now.schedule.total_time, then.schedule.total_time) << what;
+        EXPECT_EQ(now.trials_used, then.trials_used) << what;
+        EXPECT_EQ(now.improvements, then.improvements) << what;
+        EXPECT_EQ(now.reached_lower_bound, then.reached_lower_bound) << what;
+        EXPECT_EQ(now.terminated_early, then.terminated_early) << what;
+        EXPECT_EQ(now.delta.trials, then.trials_used) << what;
+      }
+    }
+  }
+}
+
+TEST(DeltaEvalTest, AnnealingMatchesPreDeltaRuns) {
+  for (std::uint64_t seed = 0; seed < 2; ++seed) {
+    Pipeline pl = build_pipeline(60, make_hypercube(3), seed + 40);
+    const EvalEngine engine(pl.instance);
+    for (const EvalOptions& mode : all_modes()) {
+      AnnealingOptions opts;
+      opts.seed = seed * 5 + 1;
+      opts.steps = 12;
+      opts.moves_per_step = 20;
+      opts.eval = mode;
+      const AnnealingResult now = anneal_mapping(engine, pl.initial.assignment, opts);
+      const AnnealingResult then = legacy_anneal(engine, pl.initial.assignment, opts);
+      const std::string what = "seed=" + std::to_string(seed) + mode_name(mode);
+      EXPECT_EQ(now.assignment, then.assignment) << what;
+      EXPECT_EQ(now.total_time, then.total_time) << what;
+      EXPECT_EQ(now.moves_tried, then.moves_tried) << what;
+      EXPECT_EQ(now.moves_accepted, then.moves_accepted) << what;
+      EXPECT_EQ(now.delta.trials, then.moves_tried) << what;
+    }
+  }
+}
+
+// --- satellite regressions ---------------------------------------------------
+
+TEST(DeltaEvalTest, TinyBatchesClampLanesToCount) {
+  // Regression: batch_total_times with count < lanes must neither spawn a
+  // worker per requested lane nor mis-evaluate; the pool holds at most
+  // min(count, hardware_concurrency()) - 1 workers afterwards.
+  LayeredDagParams p;
+  p.num_tasks = 50;
+  const TaskGraph g = make_layered_dag(p, 8);
+  const MappingInstance inst(g, random_clustering(g, 8, 9), make_hypercube(3));
+  const EvalEngine engine(inst);
+  Rng rng(17);
+  std::vector<std::vector<NodeId>> hosts;
+  for (int i = 0; i < 3; ++i) hosts.push_back(random_assignment(8, rng).host_of_vector());
+  std::vector<Weight> expected(hosts.size());
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    expected[i] = evaluate_reference(inst, Assignment::from_host_of(hosts[i]), {}).total_time;
+  }
+  std::vector<Weight> totals(hosts.size(), -1);
+  engine.batch_total_times(hosts, {}, 64, totals);
+  EXPECT_EQ(totals, expected);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const int max_workers =
+      static_cast<int>(std::min<std::size_t>(hosts.size(), static_cast<std::size_t>(hw))) - 1;
+  EXPECT_LE(engine.pool_thread_count(), std::max(0, max_workers));
+}
+
+TEST(DeltaEvalTest, AutoThreadsResolvesAndStaysDeterministic) {
+  Pipeline pl = build_pipeline(60, make_mesh(2, 4), 12);
+  const EvalEngine engine(pl.instance);
+  const int resolved = engine.resolve_num_threads(0, {});
+  EXPECT_GE(resolved, 1);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_LE(resolved, static_cast<int>(hw));
+  // Cached: the second resolution returns the same decision.
+  EXPECT_EQ(engine.resolve_num_threads(0, {}), resolved);
+  // Explicit requests pass through untouched.
+  EXPECT_EQ(engine.resolve_num_threads(3, {}), 3);
+
+  RefineOptions seq;
+  seq.max_trials = 24;
+  seq.num_threads = 1;
+  RefineOptions automatic = seq;
+  automatic.num_threads = 0;
+  const RefineResult a = refine(engine, pl.ideal, pl.initial, seq);
+  const RefineResult b = refine(engine, pl.ideal, pl.initial, automatic);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.schedule.total_time, b.schedule.total_time);
+  EXPECT_EQ(a.trials_used, b.trials_used);
+}
+
+TEST(DeltaEvalTest, StatsCountersAreCoherent) {
+  Pipeline pl = build_pipeline(80, make_hypercube(3), 21);
+  const EvalEngine engine(pl.instance);
+  DeltaEval delta = engine.begin_delta(pl.initial.assignment);
+  Rng rng(5);
+  std::int64_t commits = 0;
+  for (int op = 0; op < 25; ++op) {
+    const NodeId c1 = static_cast<NodeId>(rng.uniform(0, 7));
+    NodeId c2 = static_cast<NodeId>(rng.uniform(0, 6));
+    if (c2 >= c1) ++c2;
+    (void)delta.try_swap(c1, c2);
+    if (op % 4 == 0) {
+      delta.commit();
+      ++commits;
+    }
+  }
+  EXPECT_EQ(delta.stats().trials, 25);
+  EXPECT_EQ(delta.stats().commits, commits);
+  EXPECT_EQ(delta.stats().delta_trials + delta.stats().full_fallbacks, 25);
+  EXPECT_GT(delta.stats().positions_scanned, 0);
+}
+
+}  // namespace
+}  // namespace mimdmap
