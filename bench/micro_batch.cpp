@@ -1,0 +1,203 @@
+// Batch-throughput bench (the PR acceptance numbers for MapService): a
+// batch of 32 mixed instances — four topologies x four workload families x
+// two sizes, each job carrying the paper's 8-trial random baseline — mapped
+//
+//   (a) by the legacy sequential per-instance loop (one job after another,
+//       single lane: exactly what experiment.cpp/replication.cpp did
+//       before this subsystem), and
+//   (b) by MapService at the full lane budget (jobs sharded across the
+//       shared pool).
+//
+// Emits JSON (stdout, or --out file) recorded at the repo root as
+// BENCH_batch.json. Per-job results of (b) are verified bit-identical to
+// (a) before anything is timed — a mismatch fails the run. --smoke shrinks
+// the batch for CI while keeping the identity check. The speedup column is
+// job-level parallelism, so it tracks the host's core count: on a
+// single-core container both paths are the same work and the ratio sits
+// near 1.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/strategies.hpp"
+#include "service/map_service.hpp"
+#include "topology/factory.hpp"
+#include "workload/random_dag.hpp"
+#include "workload/structured.hpp"
+
+namespace {
+
+using namespace mimdmap;
+
+struct Batch {
+  std::deque<MappingInstance> instances;
+  std::vector<MapJob> jobs;
+};
+
+Batch make_batch(bool smoke) {
+  Batch batch;
+  const StructuredWeights sw{{1, 9}, {1, 9}, 99};
+  const char* topologies[] = {"hypercube-3", "mesh-2x4", "star-8", "ring-8"};
+  const char* strategies[] = {"block", "random", "level", "round-robin"};
+  const int sizes[] = {smoke ? 48 : 128, smoke ? 80 : 256};
+  const std::size_t target = smoke ? 8 : 32;
+
+  std::uint64_t seed = 1;
+  while (batch.jobs.size() < target) {
+    for (const int np : sizes) {
+      for (int family = 0; family < 4 && batch.jobs.size() < target; ++family) {
+        TaskGraph problem = [&]() {
+          switch (family) {
+            case 0: {
+              LayeredDagParams p;
+              p.num_tasks = static_cast<NodeId>(np);
+              p.avg_out_degree = 1.8;
+              return make_layered_dag(p, seed);
+            }
+            case 1: {
+              ErdosRenyiDagParams p;
+              p.num_tasks = static_cast<NodeId>(np);
+              p.edge_probability = 0.05;
+              return make_erdos_renyi_dag(p, seed);
+            }
+            case 2:
+              return make_diamond(static_cast<NodeId>(np / 16), 16, sw);
+            default:
+              // points must be a power of two; pick by size class.
+              return make_fft(np <= 100 ? 8 : 32, sw);
+          }
+        }();
+        const char* topology = topologies[(batch.jobs.size()) % 4];
+        const char* strategy = strategies[(batch.jobs.size() / 4) % 4];
+        SystemGraph system = make_topology(topology);
+        Clustering clustering =
+            make_clustering(strategy, problem, system.node_count(), seed + 7);
+        batch.instances.emplace_back(std::move(problem), std::move(clustering),
+                                     std::move(system));
+        MapJob job;
+        job.instance = &batch.instances.back();
+        job.name = "job-" + std::to_string(batch.jobs.size());
+        job.seed = seed * 0x9e3779b97f4a7c15ULL + 1;
+        job.random_trials = 8;
+        job.random_seed = seed + 1000;
+        batch.jobs.push_back(std::move(job));
+        ++seed;
+      }
+    }
+  }
+  return batch;
+}
+
+/// The per-job fields that must be bit-identical between both paths.
+bool same_results(const std::vector<MapJobResult>& a, const std::vector<MapJobResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].report.total_time() != b[i].report.total_time() ||
+        !(a[i].report.assignment == b[i].report.assignment) ||
+        a[i].report.refinement_trials != b[i].report.refinement_trials ||
+        a[i].random.totals != b[i].random.totals) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int run(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_micro_batch [--smoke] [--out file]\n";
+      return 2;
+    }
+  }
+
+  const Batch batch = make_batch(smoke);
+  using clock = std::chrono::steady_clock;
+  const int reps = smoke ? 1 : 3;
+
+  // (a) the legacy consumer, replicated verbatim: one job after another on
+  // one lane, map_instance building its own engine and the random baseline
+  // building a second one — exactly the pre-MapService experiment loop.
+  // Results double as the identity reference. Best of a few passes.
+  std::vector<MapJobResult> reference;
+  double sequential_ms = std::numeric_limits<double>::max();
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = clock::now();
+    std::vector<MapJobResult> results;
+    results.reserve(batch.jobs.size());
+    for (const MapJob& job : batch.jobs) {
+      MapperOptions options = job.options;
+      options.refine.seed = job.seed;
+      options.refine.num_threads = 1;
+      MapJobResult r;
+      r.report = map_instance(*job.instance, options);
+      r.random = evaluate_random_mappings(*job.instance, job.random_trials, job.random_seed,
+                                          options.refine.eval);
+      results.push_back(std::move(r));
+    }
+    sequential_ms = std::min(
+        sequential_ms, std::chrono::duration<double, std::milli>(clock::now() - t0).count());
+    if (rep == 0) {
+      reference = std::move(results);
+    } else if (!same_results(results, reference)) {
+      std::cerr << "MISMATCH: sequential pass " << rep << " diverged\n";
+      return 1;
+    }
+  }
+
+  // (b) MapService at the full lane budget.
+  double service_ms = std::numeric_limits<double>::max();
+  int lane_budget = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    MapService service;
+    lane_budget = service.lane_budget();
+    const auto t0 = clock::now();
+    const std::vector<MapJobResult> results = service.map_batch(batch.jobs);
+    service_ms = std::min(
+        service_ms, std::chrono::duration<double, std::milli>(clock::now() - t0).count());
+    if (!same_results(results, reference)) {
+      std::cerr << "MISMATCH: MapService results differ from the sequential loop\n";
+      return 1;
+    }
+  }
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"bench\": \"micro_batch\",\n";
+  os << "  \"jobs\": " << batch.jobs.size() << ",\n";
+  os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  os << "  \"lane_budget\": " << lane_budget << ",\n";
+  os << "  \"sequential_ms\": " << sequential_ms << ",\n";
+  os << "  \"service_ms\": " << service_ms << ",\n";
+  os << "  \"speedup\": " << sequential_ms / service_ms << ",\n";
+  os << "  \"bit_identical\": true\n";
+  os << "}\n";
+
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    if (!f) {
+      std::cerr << "cannot open " << out_path << "\n";
+      return 1;
+    }
+    f << os.str();
+  }
+  std::cout << os.str();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
 
 #include "analysis/metrics.hpp"
 #include "analysis/table.hpp"
@@ -13,7 +14,13 @@
 
 namespace mimdmap {
 
-ExperimentRow run_experiment(const ExperimentConfig& config, int id) {
+BuiltExperiment build_experiment(const ExperimentConfig& config) {
+  // The paper's protocol always pairs the mapping with the random
+  // baseline; catch a zeroed-out config here (the legacy serial loop threw
+  // from evaluate_random_mappings) instead of tabulating random_pct = 0.
+  if (config.random_trials <= 0) {
+    throw std::invalid_argument("build_experiment: random_trials must be > 0");
+  }
   // Independent deterministic sub-seeds for each random component.
   std::uint64_t sm = config.seed;
   const std::uint64_t workload_seed = splitmix64(sm);
@@ -36,23 +43,33 @@ ExperimentRow run_experiment(const ExperimentConfig& config, int id) {
   Clustering clustering =
       make_clustering(config.clustering, problem, system.node_count(), clustering_seed);
 
-  MappingInstance instance(std::move(problem), std::move(clustering), std::move(system));
+  BuiltExperiment built{
+      MappingInstance(std::move(problem), std::move(clustering), std::move(system)),
+      config.mapper, config.random_trials, random_baseline_seed};
+  built.mapper.refine.seed = refine_seed;
+  return built;
+}
 
-  MapperOptions mapper = config.mapper;
-  mapper.refine.seed = refine_seed;
-  const MappingReport report = map_instance(instance, mapper);
+MapJob experiment_job(const BuiltExperiment& built, int id) {
+  MapJob job;
+  job.instance = &built.instance;
+  job.options = built.mapper;
+  job.name = "expt-" + std::to_string(id);
+  job.random_trials = built.random_trials;
+  job.random_seed = built.random_seed;
+  return job;
+}
 
-  const RandomMappingStats random_stats = evaluate_random_mappings(
-      instance, config.random_trials, random_baseline_seed, mapper.refine.eval);
-
+ExperimentRow assemble_row(const BuiltExperiment& built, const MapJobResult& result, int id) {
+  const MappingReport& report = result.report;
   ExperimentRow row;
   row.id = id;
-  row.topology = instance.system().name();
-  row.np = instance.num_tasks();
-  row.ns = instance.num_processors();
+  row.topology = built.instance.system().name();
+  row.np = built.instance.num_tasks();
+  row.ns = built.instance.num_processors();
   row.lower_bound = report.lower_bound;
   row.ours_total = report.total_time();
-  row.random_mean = random_stats.mean();
+  row.random_mean = result.random.mean();
   row.ours_pct = percent_over_lower_bound(row.ours_total, row.lower_bound);
   row.random_pct = percent_over_lower_bound(row.random_mean, row.lower_bound);
   row.improvement = improvement_points(row.ours_pct, row.random_pct);
@@ -62,12 +79,35 @@ ExperimentRow run_experiment(const ExperimentConfig& config, int id) {
   return row;
 }
 
-std::vector<ExperimentRow> run_suite(const std::vector<ExperimentConfig>& configs) {
+ExperimentRow run_experiment(const ExperimentConfig& config, int id) {
+  const BuiltExperiment built = build_experiment(config);
+  return assemble_row(built, run_map_job(experiment_job(built, id)), id);
+}
+
+std::vector<ExperimentRow> run_suite(const std::vector<ExperimentConfig>& configs,
+                                     MapService& service) {
+  std::vector<BuiltExperiment> built;
+  built.reserve(configs.size());
+  for (const ExperimentConfig& config : configs) built.push_back(build_experiment(config));
+
+  std::vector<MapJob> jobs;
+  jobs.reserve(built.size());
+  for (std::size_t i = 0; i < built.size(); ++i) {
+    jobs.push_back(experiment_job(built[i], static_cast<int>(i) + 1));
+  }
+  const std::vector<MapJobResult> results = service.map_batch(std::move(jobs));
+
   std::vector<ExperimentRow> rows;
-  rows.reserve(configs.size());
-  int id = 1;
-  for (const ExperimentConfig& config : configs) rows.push_back(run_experiment(config, id++));
+  rows.reserve(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    rows.push_back(assemble_row(built[i], results[i], static_cast<int>(i) + 1));
+  }
   return rows;
+}
+
+std::vector<ExperimentRow> run_suite(const std::vector<ExperimentConfig>& configs) {
+  MapService service;
+  return run_suite(configs, service);
 }
 
 std::string format_paper_table(const std::vector<ExperimentRow>& rows) {

@@ -18,6 +18,7 @@
 
 #include "analysis/chart.hpp"
 #include "core/mapper.hpp"
+#include "service/map_service.hpp"
 #include "workload/random_dag.hpp"
 
 namespace mimdmap {
@@ -66,11 +67,39 @@ struct ExperimentRow {
   std::int64_t refinement_trials = 0;
 };
 
-/// Runs one experiment.
+/// One experiment materialized and ready for mapping: the generated
+/// instance plus the derived sub-seeds, i.e. the unit MapService batches.
+struct BuiltExperiment {
+  MappingInstance instance;
+  MapperOptions mapper;
+  std::int64_t random_trials = 0;
+  std::uint64_t random_seed = 0;
+};
+
+/// Steps 1-3 of the protocol: generate workload + clustering + instance
+/// from the config's derived seeds (deterministic, cheap relative to
+/// mapping).
+[[nodiscard]] BuiltExperiment build_experiment(const ExperimentConfig& config);
+
+/// Turns a built experiment into the MapService job request that steps 4-5
+/// (mapping + random baseline) execute.
+[[nodiscard]] MapJob experiment_job(const BuiltExperiment& built, int id);
+
+/// Step 6: folds the job result into a table row.
+[[nodiscard]] ExperimentRow assemble_row(const BuiltExperiment& built,
+                                         const MapJobResult& result, int id);
+
+/// Runs one experiment (sequential; bit-identical to the batched path).
 [[nodiscard]] ExperimentRow run_experiment(const ExperimentConfig& config, int id);
 
-/// Runs a batch.
+/// Runs a batch: all rows are submitted to one MapService and mapped
+/// concurrently on the shared pool. Per-row results are bit-identical to
+/// calling run_experiment in a serial loop, for any lane count.
 [[nodiscard]] std::vector<ExperimentRow> run_suite(const std::vector<ExperimentConfig>& configs);
+
+/// As above on a caller-owned service (shared across suites).
+[[nodiscard]] std::vector<ExperimentRow> run_suite(const std::vector<ExperimentConfig>& configs,
+                                                   MapService& service);
 
 /// Renders rows in the layout of the paper's Tables 1-3.
 [[nodiscard]] std::string format_paper_table(const std::vector<ExperimentRow>& rows);

@@ -17,20 +17,18 @@ std::string mean_pm_std(const Summary& s) {
 
 }  // namespace
 
-ReplicatedRow run_replicated(const ExperimentConfig& config, int id, int replicas) {
-  if (replicas <= 0) throw std::invalid_argument("run_replicated: replicas must be > 0");
+namespace {
+
+/// Folds one configuration's replica rows into its mean +/- std row.
+ReplicatedRow aggregate_replicas(const std::vector<ExperimentRow>& results, int id) {
   ReplicatedRow row;
   row.id = id;
-  row.replicas = replicas;
+  row.replicas = static_cast<int>(results.size());
 
   std::vector<double> ours;
   std::vector<double> random;
   std::vector<double> improvement;
-  std::uint64_t chain = config.seed;
-  for (int r = 0; r < replicas; ++r) {
-    ExperimentConfig replica = config;
-    replica.seed = splitmix64(chain);
-    const ExperimentRow result = run_experiment(replica, id);
+  for (const ExperimentRow& result : results) {
     row.topology = result.topology;
     ours.push_back(static_cast<double>(result.ours_pct));
     random.push_back(static_cast<double>(result.random_pct));
@@ -43,15 +41,59 @@ ReplicatedRow run_replicated(const ExperimentConfig& config, int id, int replica
   return row;
 }
 
-std::vector<ReplicatedRow> run_replicated_suite(const std::vector<ExperimentConfig>& configs,
-                                                int replicas) {
+std::vector<ReplicatedRow> run_replicated_matrix(const std::vector<ExperimentConfig>& configs,
+                                                 int replicas, int first_id) {
+  if (replicas <= 0) throw std::invalid_argument("run_replicated: replicas must be > 0");
+
+  // The whole (configuration x replica) matrix goes to the service as one
+  // batch: every replica is an independent job (derived seed), so they map
+  // concurrently on the shared pool and the aggregation below is
+  // bit-identical to the legacy serial double loop.
+  std::vector<BuiltExperiment> built;
+  built.reserve(configs.size() * static_cast<std::size_t>(replicas));
+  for (const ExperimentConfig& config : configs) {
+    std::uint64_t chain = config.seed;
+    for (int r = 0; r < replicas; ++r) {
+      ExperimentConfig replica = config;
+      replica.seed = splitmix64(chain);
+      built.push_back(build_experiment(replica));
+    }
+  }
+
+  std::vector<MapJob> jobs;
+  jobs.reserve(built.size());
+  for (std::size_t i = 0; i < built.size(); ++i) {
+    const int id = first_id + static_cast<int>(i) / replicas;
+    MapJob job = experiment_job(built[i], id);
+    job.name += "-rep" + std::to_string(i % static_cast<std::size_t>(replicas));
+    jobs.push_back(std::move(job));
+  }
+  MapService service;
+  const std::vector<MapJobResult> results = service.map_batch(std::move(jobs));
+
   std::vector<ReplicatedRow> rows;
   rows.reserve(configs.size());
-  int id = 1;
-  for (const ExperimentConfig& config : configs) {
-    rows.push_back(run_replicated(config, id++, replicas));
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    std::vector<ExperimentRow> replica_rows;
+    replica_rows.reserve(static_cast<std::size_t>(replicas));
+    for (int r = 0; r < replicas; ++r) {
+      const std::size_t i = c * static_cast<std::size_t>(replicas) + static_cast<std::size_t>(r);
+      replica_rows.push_back(assemble_row(built[i], results[i], first_id + static_cast<int>(c)));
+    }
+    rows.push_back(aggregate_replicas(replica_rows, first_id + static_cast<int>(c)));
   }
   return rows;
+}
+
+}  // namespace
+
+ReplicatedRow run_replicated(const ExperimentConfig& config, int id, int replicas) {
+  return run_replicated_matrix({config}, replicas, id).front();
+}
+
+std::vector<ReplicatedRow> run_replicated_suite(const std::vector<ExperimentConfig>& configs,
+                                                int replicas) {
+  return run_replicated_matrix(configs, replicas, 1);
 }
 
 std::string format_replicated_table(const std::vector<ReplicatedRow>& rows) {

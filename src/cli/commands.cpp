@@ -1,12 +1,18 @@
 #include "cli/commands.hpp"
 
+#include <chrono>
+#include <deque>
 #include <fstream>
+#include <iomanip>
+#include <map>
 #include <ostream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
 #include "analysis/gantt.hpp"
 #include "analysis/metrics.hpp"
+#include "analysis/table.hpp"
 #include "baseline/random_mapping.hpp"
 #include "cluster/cluster_io.hpp"
 #include "cluster/strategies.hpp"
@@ -16,6 +22,7 @@
 #include "graph/graph_io.hpp"
 #include "graph/shortest_paths.hpp"
 #include "graph/topological.hpp"
+#include "service/map_service.hpp"
 #include "topology/factory.hpp"
 #include "workload/random_dag.hpp"
 #include "workload/structured.hpp"
@@ -281,6 +288,186 @@ int cmd_info(Flags& flags, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+namespace {
+
+/// One manifest line parsed into key=value pairs (bare keys mean "true").
+std::map<std::string, std::string> parse_manifest_line(const std::string& line, int line_no) {
+  std::map<std::string, std::string> kv;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    const auto eq = token.find('=');
+    const std::string key = token.substr(0, eq);
+    const std::string value = eq == std::string::npos ? "1" : token.substr(eq + 1);
+    if (key.empty() || !kv.emplace(key, value).second) {
+      throw std::invalid_argument("manifest line " + std::to_string(line_no) +
+                                  ": bad or duplicate token '" + token + "'");
+    }
+  }
+  return kv;
+}
+
+std::uint64_t manifest_seed(const std::map<std::string, std::string>& kv,
+                            const std::string& key, std::uint64_t fallback, int line_no) {
+  const auto it = kv.find(key);
+  if (it == kv.end()) return fallback;
+  const std::string& value = it->second;
+  // All-digits only: stoull alone would accept '5k' as 5 or wrap '-1'.
+  if (value.empty() || value.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument("manifest line " + std::to_string(line_no) + ": " + key +
+                                "='" + value + "' is not a number");
+  }
+  try {
+    return std::stoull(value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("manifest line " + std::to_string(line_no) + ": " + key +
+                                "='" + value + "' is out of range");
+  }
+}
+
+bool manifest_bool(const std::map<std::string, std::string>& kv, const std::string& key) {
+  const auto it = kv.find(key);
+  return it != kv.end() && it->second != "0" && it->second != "false";
+}
+
+}  // namespace
+
+int cmd_batch(Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::string manifest_path = flags.require_string("manifest");
+  const int lanes = static_cast<int>(flags.get_int("lanes", 0));
+  const int max_jobs = static_cast<int>(flags.get_int("jobs", 0));
+  const bool live_progress = flags.get_bool("progress");
+  const bool csv = flags.get_bool("csv");
+  if (const int rc = reject_unused(flags, err); rc != 0) return rc;
+
+  static const std::set<std::string> known_keys = {
+      "problem",       "system",      "spec",          "clustering",
+      "strategy",      "seed",        "name",          "trials",
+      "refine-seed",   "serialize",   "contention",    "weighted-links",
+      "extended-critical", "random-trials", "random-seed"};
+
+  // Instances live in a deque so MapJob pointers stay stable as lines are
+  // appended.
+  std::deque<MappingInstance> instances;
+  std::vector<MapJob> jobs;
+  std::istringstream manifest(slurp(manifest_path));
+  std::string line;
+  int line_no = 0;
+  while (std::getline(manifest, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const auto kv = parse_manifest_line(line, line_no);
+    for (const auto& [key, value] : kv) {
+      (void)value;
+      if (!known_keys.count(key)) {
+        throw std::invalid_argument("manifest line " + std::to_string(line_no) +
+                                    ": unknown key '" + key + "'");
+      }
+    }
+    const auto get = [&](const std::string& key, const std::string& fallback) {
+      const auto it = kv.find(key);
+      return it == kv.end() ? fallback : it->second;
+    };
+    const auto require = [&](const std::string& key) {
+      const auto it = kv.find(key);
+      if (it == kv.end()) {
+        throw std::invalid_argument("manifest line " + std::to_string(line_no) +
+                                    ": missing required key '" + key + "'");
+      }
+      return it->second;
+    };
+
+    if (kv.count("system") && kv.count("spec")) {
+      throw std::invalid_argument("manifest line " + std::to_string(line_no) +
+                                  ": give either system= or spec=, not both");
+    }
+    if (kv.count("clustering") && (kv.count("strategy") || kv.count("seed"))) {
+      throw std::invalid_argument("manifest line " + std::to_string(line_no) +
+                                  ": clustering= conflicts with strategy=/seed=");
+    }
+    TaskGraph problem = task_graph_from_text(slurp(require("problem")));
+    SystemGraph machine = kv.count("system") ? system_graph_from_text(slurp(kv.at("system")))
+                                             : make_topology(require("spec"));
+    Clustering clustering =
+        kv.count("clustering")
+            ? clustering_from_text(slurp(kv.at("clustering")))
+            : make_clustering(get("strategy", "block"), problem, machine.node_count(),
+                              manifest_seed(kv, "seed", 1, line_no));
+    const DistanceModel model = manifest_bool(kv, "weighted-links")
+                                    ? DistanceModel::kWeightedLinks
+                                    : DistanceModel::kHops;
+    instances.emplace_back(std::move(problem), std::move(clustering), std::move(machine),
+                           model);
+
+    MapJob job;
+    job.instance = &instances.back();
+    job.name = get("name", "job-" + std::to_string(jobs.size() + 1));
+    job.options.refine.eval.serialize_within_processor = manifest_bool(kv, "serialize");
+    job.options.refine.eval.link_contention = manifest_bool(kv, "contention");
+    job.options.refine.seed =
+        manifest_seed(kv, "refine-seed", 0x9e3779b97f4a7c15ULL, line_no);
+    job.options.refine.max_trials =
+        static_cast<std::int64_t>(manifest_seed(kv, "trials", static_cast<std::uint64_t>(-1),
+                                                line_no));
+    job.options.critical.propagate_through_intra_cluster =
+        manifest_bool(kv, "extended-critical");
+    job.random_trials =
+        static_cast<std::int64_t>(manifest_seed(kv, "random-trials", 0, line_no));
+    job.random_seed = manifest_seed(kv, "random-seed", 99, line_no);
+    jobs.push_back(std::move(job));
+  }
+  if (jobs.empty()) throw std::invalid_argument("manifest has no jobs");
+
+  MapServiceOptions service_options;
+  service_options.lanes = lanes;
+  service_options.max_concurrent_jobs = max_jobs;
+  MapService service(std::move(service_options));
+
+  std::function<void(const BatchProgress&)> progress;
+  if (live_progress) {
+    progress = [&err](const BatchProgress& p) {
+      err << "\r[" << p.completed << "/" << p.total << "] " << p.last->name << " ("
+          << std::fixed << std::setprecision(1) << p.last->wall_ms << " ms)    "
+          << std::defaultfloat << std::setprecision(6);
+      if (p.completed == p.total) err << "\n";
+      err.flush();
+    };
+  }
+
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  const std::size_t total = jobs.size();
+  const std::vector<MapJobResult> results = service.map_batch(std::move(jobs), progress);
+  const double batch_ms =
+      std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+
+  TextTable table({"job", "topology", "np", "ns", "lower_bound", "total", "pct", "optimal",
+                   "lanes", "ms"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const MapJobResult& r = results[i];
+    const MappingInstance& inst = instances[i];
+    std::ostringstream ms;
+    ms << std::fixed << std::setprecision(1) << r.wall_ms;
+    table.add_row({r.name, inst.system().name(), std::to_string(inst.num_tasks()),
+                   std::to_string(inst.num_processors()),
+                   std::to_string(r.report.lower_bound),
+                   std::to_string(r.report.total_time()),
+                   std::to_string(r.report.percent_over_lower_bound()),
+                   r.report.reached_lower_bound ? "yes" : "-", std::to_string(r.lanes),
+                   ms.str()});
+  }
+
+  std::ostringstream os;
+  os << (csv ? table.to_csv() : table.to_string());
+  os << "batch: " << total << " jobs, lane budget " << service.lane_budget()
+     << ", max concurrent " << service.max_concurrent_jobs() << ", wall " << std::fixed
+     << std::setprecision(1) << batch_ms << " ms\n";
+  emit(flags, out, os.str());
+  return 0;
+}
+
 std::string help_text() {
   return R"(mimdmap_cli — critical-edge task mapping for MIMD computers (Yang/Bic/Nicolau 1991)
 
@@ -313,6 +500,15 @@ commands:
   eval      evaluate an explicit assignment
             --problem file (--system file | --spec topo) --clustering file
             --assignment 0,2,3,1  [--contention] [--serialize] [--gantt]
+  batch     map a manifest of instances concurrently (MapService)
+            --manifest file  [--lanes L (0 = auto)] [--jobs J (0 = auto)]
+            [--progress] [--csv] [--out file]
+            manifest: one job per line of key=value tokens (# comments):
+              problem=<file> (spec=<topo> | system=<file>)
+              [clustering=<file> | strategy=<name> seed=<S>] [name=<label>]
+              [trials=N] [refine-seed=S] [serialize] [contention]
+              [weighted-links] [extended-critical]
+              [random-trials=N] [random-seed=S]
   info      print statistics
             (--problem file | --system file | --spec topo)
   help      this text
@@ -331,6 +527,7 @@ int run(int argc, const char* const* argv, std::ostream& out, std::ostream& err)
     if (command == "topology") return cmd_topology(flags, out, err);
     if (command == "cluster") return cmd_cluster(flags, out, err);
     if (command == "map") return cmd_map(flags, out, err);
+    if (command == "batch") return cmd_batch(flags, out, err);
     if (command == "eval") return cmd_eval(flags, out, err);
     if (command == "info") return cmd_info(flags, out, err);
     if (command == "help" || command == "--help") {

@@ -10,85 +10,8 @@
 
 namespace mimdmap {
 
-// ---------------------------------------------------------------------------
-// WorkerPool
-
-EvalEngine::WorkerPool::~WorkerPool() {
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    shutdown_ = true;
-  }
-  work_cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
-}
-
-void EvalEngine::WorkerPool::worker_main(int slot) {
-  std::uint64_t seen = 0;
-  std::unique_lock<std::mutex> lock(mutex_);
-  while (true) {
-    work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
-    if (shutdown_) return;
-    seen = generation_;
-    // Workers beyond the job's requested lane count sit this one out (the
-    // job posted participants_ before bumping generation_, so the check is
-    // race-free under the lock).
-    if (slot >= participants_ || job_ == nullptr) continue;
-    const auto* job = job_;
-    const std::size_t count = count_;
-    lock.unlock();
-    while (true) {
-      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) break;
-      (*job)(i, slot + 1);
-    }
-    lock.lock();
-    if (--pending_ == 0) done_cv_.notify_all();
-  }
-}
-
-void EvalEngine::WorkerPool::run(std::size_t count, int lanes,
-                                 const std::function<void(std::size_t, int)>& fn) {
-  const std::size_t max_workers = count > 0 ? count - 1 : 0;
-  const int workers = static_cast<int>(
-      std::min<std::size_t>(lanes > 1 ? static_cast<std::size_t>(lanes - 1) : 0, max_workers));
-  if (workers <= 0) {
-    for (std::size_t i = 0; i < count; ++i) fn(i, 0);
-    return;
-  }
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    while (static_cast<int>(threads_.size()) < workers) {
-      const int slot = static_cast<int>(threads_.size());
-      threads_.emplace_back([this, slot] { worker_main(slot); });
-    }
-    job_ = &fn;
-    count_ = count;
-    next_.store(0, std::memory_order_relaxed);
-    participants_ = workers;
-    pending_ = workers;
-    ++generation_;
-  }
-  work_cv_.notify_all();
-  // The caller drives lane 0 alongside the pool.
-  while (true) {
-    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= count) break;
-    fn(i, 0);
-  }
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return pending_ == 0; });
-  job_ = nullptr;
-}
-
-int EvalEngine::WorkerPool::thread_count() noexcept {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return static_cast<int>(threads_.size());
-}
-
-// ---------------------------------------------------------------------------
-// EvalEngine
-
-EvalEngine::EvalEngine(const MappingInstance& instance) : instance_(instance) {
+EvalEngine::EvalEngine(const MappingInstance& instance, std::shared_ptr<ThreadPool> pool)
+    : instance_(instance), pool_(pool ? std::move(pool) : ThreadPool::shared()) {
   const TaskGraph& problem = instance.problem();
   const auto order = topological_order(problem);
   if (!order) throw std::invalid_argument("evaluate: problem graph has a cycle");
@@ -279,24 +202,13 @@ ScheduleResult EvalEngine::evaluate(std::span<const NodeId> host_of, const EvalO
   return workspace_to_result(ws, total);
 }
 
-namespace {
-
-/// Hardware lane budget; hardware_concurrency() may legitimately return 0
-/// ("unknown"), which we treat as "no clamp".
-int hardware_lane_limit() noexcept {
-  const unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? std::numeric_limits<int>::max() : static_cast<int>(hc);
-}
-
-}  // namespace
-
 void EvalEngine::for_each_parallel(
     std::size_t count, int num_threads,
     const std::function<void(std::size_t, EvalWorkspace&)>& fn) const {
-  // Clamp to the batch size and to the hardware: lanes beyond count would
-  // spawn (or wake) workers with nothing to do, and lanes beyond the core
-  // count only add scheduler churn.
-  num_threads = std::min(num_threads, hardware_lane_limit());
+  // Clamp to the batch size and to the pool's lane budget: lanes beyond
+  // count would spawn (or wake) workers with nothing to do, and lanes
+  // beyond the budget only add scheduler churn.
+  num_threads = std::min(num_threads, pool_->lane_limit());
   if (count < static_cast<std::size_t>(std::numeric_limits<int>::max())) {
     num_threads = std::min(num_threads, static_cast<int>(count));
   }
@@ -304,23 +216,21 @@ void EvalEngine::for_each_parallel(
     for (std::size_t i = 0; i < count; ++i) fn(i, caller_ws_);
     return;
   }
-  // Lane workspaces are (re)sized while the pool is idle, so workers only
-  // ever see stable storage.
+  // Lane workspaces are (re)sized before the chunk is posted, so workers
+  // only ever see stable storage.
   const std::size_t lanes = static_cast<std::size_t>(num_threads);
   if (lane_ws_.size() < lanes - 1) lane_ws_.resize(lanes - 1);
-  pool_.run(count, static_cast<int>(lanes), [&](std::size_t i, int lane) {
+  pool_->run_chunk(count, static_cast<int>(lanes), [&](std::size_t i, int lane) {
     fn(i, lane == 0 ? caller_ws_ : lane_ws_[static_cast<std::size_t>(lane - 1)]);
   });
 }
 
-int EvalEngine::pool_thread_count() const noexcept { return pool_.thread_count(); }
+int EvalEngine::pool_thread_count() const noexcept { return pool_->thread_count(); }
 
 int EvalEngine::resolve_num_threads(int requested, const EvalOptions& options) const {
   if (requested != 0) return requested;
-  const int hw = std::thread::hardware_concurrency() == 0
-                     ? 1
-                     : static_cast<int>(std::thread::hardware_concurrency());
-  if (hw < 2) return 1;
+  const int lanes = pool_->lane_limit();
+  if (lanes < 2) return 1;
 
   const std::lock_guard<std::mutex> lock(calib_mutex_);
   const int mode = (options.serialize_within_processor ? 1 : 0) |
@@ -344,27 +254,17 @@ int EvalEngine::resolve_num_threads(int requested, const EvalOptions& options) c
     trial_ns = std::min(trial_ns, dt / 4.0);
   }
 
-  // Chunk-sync overhead of one pool dispatch, measured once per engine
-  // with a no-op job (first dispatch spawns the workers and is discarded).
-  if (sync_overhead_ns_ < 0) {
-    const auto noop = [](std::size_t, EvalWorkspace&) {};
-    for_each_parallel(static_cast<std::size_t>(hw), hw, noop);
-    double sync_ns = std::numeric_limits<double>::max();
-    for (int rep = 0; rep < 8; ++rep) {
-      const auto t0 = clock::now();
-      for_each_parallel(static_cast<std::size_t>(hw), hw, noop);
-      sync_ns = std::min(
-          sync_ns, std::chrono::duration<double, std::nano>(clock::now() - t0).count());
-    }
-    sync_overhead_ns_ = sync_ns;
-  }
+  // Chunk-sync overhead of one pool dispatch: measured once per *pool*
+  // (process-wide cache), so batch submission of many small instances
+  // doesn't re-pay the measurement per engine.
+  const double sync_overhead_ns = pool_->chunk_sync_overhead_ns();
 
   // A refinement chunk hands 4 * lanes trials to the pool, so the extra
-  // lanes save roughly 4 * (hw - 1) trials of wall clock per dispatch;
+  // lanes save roughly 4 * (lanes - 1) trials of wall clock per dispatch;
   // below that the sync overhead eats the gain and sequential wins
   // (DESIGN.md 9.4).
-  const bool parallel_pays = trial_ns * 4.0 * static_cast<double>(hw - 1) > sync_overhead_ns_;
-  auto_threads_[mode] = parallel_pays ? hw : 1;
+  const bool parallel_pays = trial_ns * 4.0 * static_cast<double>(lanes - 1) > sync_overhead_ns;
+  auto_threads_[mode] = parallel_pays ? lanes : 1;
   return auto_threads_[mode];
 }
 

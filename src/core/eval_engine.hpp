@@ -16,8 +16,10 @@
 //  * a flat cluster_of / node-weight lookup,
 //  * one shared RoutingTable with every route pre-flattened to a link-index
 //    sequence (built lazily, only when link_contention is first requested),
-//  * a persistent worker pool so parallel search loops stop paying
-//    thread-spawn latency per call,
+//  * a handle on the process-wide shared ThreadPool (service/thread_pool.hpp)
+//    so parallel search loops stop paying thread-spawn latency per call and
+//    many engines mapping concurrently shard one pool instead of
+//    oversubscribing the machine,
 //  * per-lane EvalWorkspace scratch buffers, so steady-state trial
 //    evaluation performs ZERO heap allocations.
 //
@@ -29,20 +31,18 @@
 // tests/eval_engine_test.cpp enforces this.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
-#include <thread>
 #include <vector>
 
 #include "core/assignment.hpp"
 #include "core/evaluation.hpp"
 #include "core/instance.hpp"
 #include "graph/routing.hpp"
+#include "service/thread_pool.hpp"
 
 namespace mimdmap {
 
@@ -84,8 +84,12 @@ struct DeltaStats {
 class EvalEngine {
  public:
   /// Precomputes the evaluation tables for `instance`. The instance must
-  /// outlive the engine (the engine keeps a reference).
-  explicit EvalEngine(const MappingInstance& instance);
+  /// outlive the engine (the engine keeps a reference). `pool` is the
+  /// worker pool parallel calls dispatch to — batch orchestrators
+  /// (MapService) thread one handle through every engine they create;
+  /// nullptr acquires the process-wide ThreadPool::shared().
+  explicit EvalEngine(const MappingInstance& instance,
+                      std::shared_ptr<ThreadPool> pool = nullptr);
   ~EvalEngine();
 
   EvalEngine(const EvalEngine&) = delete;
@@ -134,21 +138,25 @@ class EvalEngine {
 
   /// Resolves a RefineOptions-style thread count: values > 0 pass through,
   /// 0 means "auto" — a handful of timed warm-up trials pick between
-  /// sequential and hardware_concurrency() lanes, dropping to sequential
+  /// sequential and the pool's full lane budget, dropping to sequential
   /// when the measured per-trial cost is below the measured per-lane share
-  /// of the pool's chunk-sync overhead (DESIGN.md 9.4). The decision is
-  /// cached per eval mode; results are bit-identical either way, so the
-  /// timing nondeterminism never leaks into mapping output.
+  /// of the pool's chunk-sync overhead (DESIGN.md 9.4). The sync overhead
+  /// is measured once per *pool* (process-wide) and the per-mode decision
+  /// once per engine; results are bit-identical either way, so the timing
+  /// nondeterminism never leaks into mapping output.
   [[nodiscard]] int resolve_num_threads(int requested, const EvalOptions& options = {}) const;
 
-  /// Number of pooled worker threads spawned so far (diagnostics; the
-  /// caller's own thread is not counted).
+  /// The worker pool this engine dispatches to (shared, never null).
+  [[nodiscard]] const std::shared_ptr<ThreadPool>& pool() const noexcept { return pool_; }
+
+  /// Worker threads of the underlying shared pool spawned so far
+  /// (diagnostics; the caller's own thread is not counted).
   [[nodiscard]] int pool_thread_count() const noexcept;
 
-  /// Runs fn(i, workspace) for every i in [0, count) across the persistent
+  /// Runs fn(i, workspace) for every i in [0, count) across the shared
   /// worker pool: the caller participates plus up to num_threads - 1 pooled
   /// workers, each with a private lane workspace. num_threads is clamped to
-  /// count and to hardware_concurrency() so tiny batches neither spawn nor
+  /// count and to the pool's lane budget so tiny batches neither spawn nor
   /// wake more workers than they can feed. Blocks until all indices are
   /// done. Iteration order across lanes is unspecified, so fn must only
   /// write to per-index slots; with num_threads < 2 it degenerates to an
@@ -189,34 +197,6 @@ class EvalEngine {
     bool incoming = false;
   };
 
-  /// Persistent worker pool: threads are spawned on the first parallel call
-  /// and parked on a condition variable between jobs, replacing the legacy
-  /// per-call std::thread spawning in evaluate_parallel().
-  class WorkerPool {
-   public:
-    ~WorkerPool();
-    /// Runs fn(index, lane) for index in [0, count); the caller drives lane
-    /// 0 and pooled workers drive lanes [1, lanes).
-    void run(std::size_t count, int lanes, const std::function<void(std::size_t, int)>& fn);
-    /// Workers spawned so far.
-    [[nodiscard]] int thread_count() noexcept;
-
-   private:
-    void worker_main(int slot);
-
-    std::mutex mutex_;
-    std::condition_variable work_cv_;
-    std::condition_variable done_cv_;
-    std::vector<std::thread> threads_;
-    const std::function<void(std::size_t, int)>* job_ = nullptr;
-    std::atomic<std::size_t> next_{0};
-    std::size_t count_ = 0;
-    std::uint64_t generation_ = 0;
-    int participants_ = 0;  // pooled workers admitted to the current job
-    int pending_ = 0;       // admitted workers not yet finished
-    bool shutdown_ = false;
-  };
-
   void ensure_workspace(EvalWorkspace& ws, bool link_contention) const;
   void ensure_routing() const;
   /// Shared kernel: schedules every task, filling ws.start / ws.end, and
@@ -244,13 +224,14 @@ class EvalEngine {
   mutable std::vector<std::uint32_t> route_offset_;  // CSR over (from * ns + to)
   mutable std::vector<std::int32_t> route_links_;    // link indices along each route
 
-  mutable WorkerPool pool_;
+  std::shared_ptr<ThreadPool> pool_;  // shared, never null
   mutable EvalWorkspace caller_ws_;
   mutable std::vector<EvalWorkspace> lane_ws_;  // lane i >= 1 -> lane_ws_[i - 1]
 
-  // Auto-thread calibration cache (resolve_num_threads).
+  // Auto-thread calibration cache (resolve_num_threads). The pool-dispatch
+  // sync overhead lives in the shared ThreadPool (measured once
+  // process-wide); only the per-mode decision is cached here.
   mutable std::mutex calib_mutex_;
-  mutable double sync_overhead_ns_ = -1.0;  // per pool dispatch, measured once
   mutable int auto_threads_[4] = {0, 0, 0, 0};  // per (serialize, contention) mode
 
   friend class DeltaEval;

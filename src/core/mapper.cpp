@@ -32,6 +32,7 @@ MappingReport map_instance(const EvalEngine& engine, const MapperOptions& option
   report.terminated_early = refined.terminated_early;
   report.refinement_trials = refined.trials_used;
   report.improvements = refined.improvements;
+  report.delta = refined.delta;
   return report;
 }
 

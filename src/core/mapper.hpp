@@ -45,6 +45,9 @@ struct MappingReport {
   bool terminated_early = false;
   std::int64_t refinement_trials = 0;
   std::int64_t improvements = 0;
+  /// Incremental-evaluation counters of the refinement stage (zero for the
+  /// paper's whole-assignment re-placement, which runs on the full kernel).
+  DeltaStats delta;
 
   [[nodiscard]] Weight total_time() const noexcept { return schedule.total_time; }
 

@@ -40,6 +40,8 @@
 #include "graph/task_graph.hpp"      // IWYU pragma: export
 #include "graph/topological.hpp"     // IWYU pragma: export
 #include "graph/types.hpp"           // IWYU pragma: export
+#include "service/map_service.hpp"   // IWYU pragma: export
+#include "service/thread_pool.hpp"   // IWYU pragma: export
 #include "topology/factory.hpp"      // IWYU pragma: export
 #include "topology/topology.hpp"     // IWYU pragma: export
 #include "workload/random_dag.hpp"   // IWYU pragma: export

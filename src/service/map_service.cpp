@@ -1,0 +1,183 @@
+#include "service/map_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "core/eval_engine.hpp"
+
+namespace mimdmap {
+
+MapJobResult run_map_job(const MapJob& job, const std::shared_ptr<ThreadPool>& pool,
+                         int lanes) {
+  if (job.instance == nullptr) {
+    throw std::invalid_argument("run_map_job: job has no instance");
+  }
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+
+  MapperOptions options = job.options;
+  if (job.seed != 0) options.refine.seed = job.seed;
+  // lanes > 0 is a service sharding decision and overrides the job's own
+  // inner thread count; lanes == 0 (direct sequential callers) leaves the
+  // job's RefineOptions::num_threads in charge.
+  if (lanes > 0) options.refine.num_threads = lanes;
+
+  const EvalEngine engine(*job.instance, pool);
+  MapJobResult result;
+  result.name = job.name;
+  result.report = map_instance(engine, options);
+  // Resolved width, not the request: with lanes == 0 the job's own setting
+  // ran, which may itself have been 0 ("auto"); the resolution is cached
+  // by now, so this is a lookup.
+  result.lanes = lanes > 0
+                     ? lanes
+                     : engine.resolve_num_threads(options.refine.num_threads,
+                                                  options.refine.eval);
+  if (job.random_trials > 0) {
+    // Same engine: the baseline replays on the already-warm tables instead
+    // of building a second engine per job like the legacy serial loop did.
+    result.random =
+        evaluate_random_mappings(engine, job.random_trials, job.random_seed, options.refine.eval);
+  }
+  result.wall_ms = std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+  return result;
+}
+
+MapService::MapService(MapServiceOptions options)
+    : pool_(options.pool ? std::move(options.pool) : ThreadPool::shared()) {
+  lane_budget_ = options.lanes > 0 ? options.lanes : pool_->lane_limit();
+  lane_budget_ = std::max(1, lane_budget_);
+  max_runners_ = options.max_concurrent_jobs > 0 ? options.max_concurrent_jobs : lane_budget_;
+  max_runners_ = std::max(1, max_runners_);
+}
+
+MapService::~MapService() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : runners_) t.join();
+}
+
+void MapService::runner_main() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutdown_) return;  // drained: queued jobs finish even on shutdown
+      continue;
+    }
+    QueuedJob queued = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    // Sharding policy: split the lane budget across everything running or
+    // about to run. Small jobs flood the runners and each maps with one
+    // lane; a job starting into an empty service (a lone submission, or
+    // the batch tail) gets wide chunks.
+    const int sharers = std::min(max_runners_, active_ + static_cast<int>(queue_.size()));
+    const int lanes = std::max(1, lane_budget_ / std::max(1, sharers));
+    lock.unlock();
+
+    try {
+      MapJobResult result = run_map_job(queued.job, pool_, lanes);
+      if (queued.on_done) queued.on_done(result);
+      queued.promise.set_value(std::move(result));
+    } catch (...) {
+      queued.promise.set_exception(std::current_exception());
+    }
+
+    lock.lock();
+    --active_;
+  }
+}
+
+std::future<MapJobResult> MapService::enqueue_locked(QueuedJob queued, const char* caller) {
+  if (shutdown_) {
+    throw std::logic_error(std::string(caller) + ": service is shutting down");
+  }
+  queue_.push_back(std::move(queued));
+  std::future<MapJobResult> future = queue_.back().promise.get_future();
+  // Lazy runner spawn: one per job until the cap, so a service used for a
+  // single submission never fields an idle army.
+  const int wanted = std::min(max_runners_, active_ + static_cast<int>(queue_.size()));
+  while (static_cast<int>(runners_.size()) < wanted) {
+    runners_.emplace_back([this] { runner_main(); });
+  }
+  return future;
+}
+
+std::future<MapJobResult> MapService::submit(MapJob job) {
+  if (job.instance == nullptr) {
+    throw std::invalid_argument("MapService::submit: job has no instance");
+  }
+  std::future<MapJobResult> future;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    future = enqueue_locked(QueuedJob{std::move(job), {}, {}}, "MapService::submit");
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
+std::vector<MapJobResult> MapService::map_batch(
+    std::vector<MapJob> jobs, const std::function<void(const BatchProgress&)>& progress) {
+  struct BatchState {
+    std::mutex mutex;
+    std::size_t completed = 0;
+  };
+  const auto state = std::make_shared<BatchState>();
+  const std::size_t total = jobs.size();
+
+  for (const MapJob& job : jobs) {
+    if (job.instance == nullptr) {
+      throw std::invalid_argument("MapService::map_batch: job has no instance");
+    }
+  }
+
+  std::vector<std::future<MapJobResult>> futures;
+  futures.reserve(jobs.size());
+  {
+    // One lock for the whole batch: the first runner must not pop a job
+    // before the rest are queued, or the sharding policy would see an
+    // empty queue and grant the head job the full lane budget.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (MapJob& job : jobs) {
+      QueuedJob queued{std::move(job), {}, {}};
+      if (progress) {
+        // By value: if map_batch unwinds (a job threw), closures of
+        // still-queued jobs must not dangle into the caller's frame.
+        queued.on_done = [state, total, progress](const MapJobResult& result) {
+          const std::lock_guard<std::mutex> batch_lock(state->mutex);
+          BatchProgress p;
+          p.completed = ++state->completed;
+          p.total = total;
+          p.last = &result;
+          progress(p);
+        };
+      }
+      futures.push_back(enqueue_locked(std::move(queued), "MapService::map_batch"));
+    }
+  }
+  work_cv_.notify_all();
+
+  // Drain every future before rethrowing the first failure: submitted jobs
+  // borrow caller-owned instances, so map_batch must not unwind into the
+  // caller's frame while runners still execute against it.
+  std::vector<MapJobResult> results;
+  results.reserve(futures.size());
+  std::exception_ptr first_error;
+  for (std::future<MapJobResult>& future : futures) {
+    try {
+      results.push_back(future.get());
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace mimdmap

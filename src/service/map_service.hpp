@@ -1,0 +1,159 @@
+// MapService: the batch/portfolio mapping orchestrator.
+//
+// Single-instance mapping got fast (PR 1/2); this is how mapping is
+// *consumed* at scale — experiment tables, replication matrices, CLI batch
+// manifests, anything that answers a stream of "map this instance" job
+// requests. Submitting each job to map_instance() in a serial loop wastes
+// the machine; giving every job its own worker pool oversubscribes it.
+// MapService does neither:
+//
+//  * jobs are queued and executed by up to max_concurrent_jobs runner
+//    threads (spawned lazily);
+//  * every job's EvalEngine is constructed against ONE shared ThreadPool,
+//    so all inner parallel chunks shard the same lane budget;
+//  * lane sharding: a job starting while J runners are busy gets
+//    max(1, lane_budget / J) inner lanes — many small jobs run sequentially
+//    side by side (job-level parallelism), while a job running with the
+//    queue drained (the tail, or a lone big job) gets the full width
+//    (chunk-level parallelism). RefineOptions::num_threads is overridden
+//    by this policy;
+//  * results come back as futures carrying the full MappingReport (with
+//    per-job DeltaStats) plus wall time and the lane budget used, or
+//    collected in submission order by map_batch() with a live progress
+//    callback.
+//
+// Determinism: a job's output depends only on (instance, options, seed) —
+// per-job RNG streams are isolated, engine evaluation is bit-identical for
+// any lane count, and nothing in the service feeds timing back into
+// mapping decisions. Hence any submission order, any concurrency level and
+// any lane sharding yield bit-identical per-job results
+// (tests/map_service_test.cpp enforces this against the sequential path).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baseline/random_mapping.hpp"
+#include "core/mapper.hpp"
+#include "service/thread_pool.hpp"
+
+namespace mimdmap {
+
+/// One mapping job request. The instance is borrowed and must stay alive
+/// until the job's result has been delivered.
+struct MapJob {
+  const MappingInstance* instance = nullptr;
+  MapperOptions options;
+  /// Nonzero overrides options.refine.seed — convenience for submitters
+  /// that fan one configuration across many seeds.
+  std::uint64_t seed = 0;
+  /// Label carried through to the result (progress lines, tables).
+  std::string name;
+  /// When > 0, the job also replays this many random mappings on the same
+  /// engine (the paper's evaluation protocol pairs every mapped instance
+  /// with a random baseline).
+  std::int64_t random_trials = 0;
+  std::uint64_t random_seed = 99;
+};
+
+struct MapJobResult {
+  std::string name;
+  MappingReport report;
+  /// Filled iff the job requested random_trials > 0.
+  RandomMappingStats random;
+  double wall_ms = 0.0;
+  /// Inner lane budget the sharding policy granted this job.
+  int lanes = 1;
+};
+
+struct MapServiceOptions {
+  /// Total lane budget sharded across concurrent jobs; 0 means the pool's
+  /// lane limit.
+  int lanes = 0;
+  /// Upper bound on concurrently-executing jobs; 0 means the lane budget.
+  int max_concurrent_jobs = 0;
+  /// Pool shared by every job's engine; null acquires ThreadPool::shared().
+  std::shared_ptr<ThreadPool> pool;
+};
+
+/// Snapshot handed to the map_batch progress callback after each job.
+struct BatchProgress {
+  std::size_t completed = 0;
+  std::size_t total = 0;
+  /// The job that just finished (valid for the duration of the callback).
+  const MapJobResult* last = nullptr;
+};
+
+/// Executes one job synchronously on the calling thread — the shared
+/// kernel of MapService runners and of sequential callers
+/// (run_experiment, benches) that must stay bit-identical to the batched
+/// path. lanes > 0 overrides the job's RefineOptions::num_threads (the
+/// service's sharding policy); lanes == 0 leaves the job's own setting in
+/// charge. Null pool acquires ThreadPool::shared().
+[[nodiscard]] MapJobResult run_map_job(const MapJob& job,
+                                       const std::shared_ptr<ThreadPool>& pool = nullptr,
+                                       int lanes = 0);
+
+class MapService {
+ public:
+  explicit MapService(MapServiceOptions options = {});
+  /// Drains: blocks until every queued and running job has delivered.
+  ~MapService();
+
+  MapService(const MapService&) = delete;
+  MapService& operator=(const MapService&) = delete;
+
+  /// Enqueues one job; the future carries the result (or the job's
+  /// exception). Throws std::invalid_argument on a null instance.
+  [[nodiscard]] std::future<MapJobResult> submit(MapJob job);
+
+  /// Submits the whole batch and blocks until done, returning results in
+  /// submission order (regardless of completion order). `progress`, when
+  /// given, is invoked once per completed job from the completing runner
+  /// thread — callbacks are serialized by the service, but must not call
+  /// back into it. When jobs fail, every job still runs to completion
+  /// before the first exception is rethrown (submitted jobs borrow
+  /// caller-owned instances, so no runner may outlive this call).
+  [[nodiscard]] std::vector<MapJobResult> map_batch(
+      std::vector<MapJob> jobs,
+      const std::function<void(const BatchProgress&)>& progress = nullptr);
+
+  /// Total lane budget the sharding policy distributes.
+  [[nodiscard]] int lane_budget() const noexcept { return lane_budget_; }
+  [[nodiscard]] int max_concurrent_jobs() const noexcept { return max_runners_; }
+  [[nodiscard]] const std::shared_ptr<ThreadPool>& pool() const noexcept { return pool_; }
+
+ private:
+  struct QueuedJob {
+    MapJob job;
+    std::promise<MapJobResult> promise;
+    /// Invoked after the job completes, before the future resolves (so a
+    /// batch's last callback always precedes map_batch returning).
+    std::function<void(const MapJobResult&)> on_done;
+  };
+
+  void runner_main();
+  /// Pushes one job and tops up the runner count; mutex_ must be held.
+  std::future<MapJobResult> enqueue_locked(QueuedJob queued, const char* caller);
+
+  std::shared_ptr<ThreadPool> pool_;
+  int lane_budget_ = 1;
+  int max_runners_ = 1;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<QueuedJob> queue_;
+  std::vector<std::thread> runners_;
+  int active_ = 0;  // runners currently executing a job
+  bool shutdown_ = false;
+};
+
+}  // namespace mimdmap

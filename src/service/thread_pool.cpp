@@ -1,0 +1,151 @@
+#include "service/thread_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+namespace mimdmap {
+
+namespace {
+
+int auto_worker_count() noexcept {
+  const unsigned hc = std::thread::hardware_concurrency();
+  // hardware_concurrency() may legitimately return 0 ("unknown"); don't
+  // let that strand explicit parallelism requests on a 1-lane pool — give
+  // the pool a modest budget and let chunk lane caps do the clamping.
+  if (hc == 0) return 3;
+  return hc > 1 ? static_cast<int>(hc) - 1 : 0;
+}
+
+}  // namespace
+
+std::shared_ptr<ThreadPool> ThreadPool::shared() {
+  static std::mutex registry_mutex;
+  static std::weak_ptr<ThreadPool> registry;
+  const std::lock_guard<std::mutex> lock(registry_mutex);
+  std::shared_ptr<ThreadPool> pool = registry.lock();
+  if (!pool) {
+    pool = std::make_shared<ThreadPool>();
+    registry = pool;
+  }
+  return pool;
+}
+
+ThreadPool::ThreadPool(int workers)
+    : max_workers_(workers < 0 ? auto_worker_count() : workers) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::drain(Chunk& chunk, int lane) {
+  while (true) {
+    const std::size_t i = chunk.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= chunk.count) break;
+    (*chunk.fn)(i, lane);
+  }
+}
+
+void ThreadPool::detach_locked(Chunk* chunk) {
+  const auto it = std::find(active_.begin(), active_.end(), chunk);
+  if (it != active_.end()) active_.erase(it);
+}
+
+void ThreadPool::worker_main() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return shutdown_ || !active_.empty(); });
+    if (active_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+    Chunk* chunk = active_.front();
+    if (chunk->next.load(std::memory_order_relaxed) >= chunk->count) {
+      // Exhausted before this worker could join; stop admitting to it.
+      detach_locked(chunk);
+      continue;
+    }
+    const int lane = chunk->next_lane++;
+    ++chunk->attached;
+    ++attached_total_;
+    if (chunk->next_lane >= chunk->max_lanes) detach_locked(chunk);
+    lock.unlock();
+    drain(*chunk, lane);
+    lock.lock();
+    --attached_total_;
+    if (--chunk->attached == 0) chunk->done_cv.notify_one();
+  }
+}
+
+void ThreadPool::run_chunk(std::size_t count, int max_lanes,
+                           const std::function<void(std::size_t, int)>& fn) {
+  if (count == 0) return;
+  max_lanes = std::min(max_lanes, lane_limit());
+  if (count < static_cast<std::size_t>(std::numeric_limits<int>::max())) {
+    max_lanes = std::min(max_lanes, static_cast<int>(count));
+  }
+  if (max_lanes < 2) {
+    for (std::size_t i = 0; i < count; ++i) fn(i, 0);
+    return;
+  }
+
+  Chunk chunk;
+  chunk.fn = &fn;
+  chunk.count = count;
+  chunk.max_lanes = max_lanes;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    active_.push_back(&chunk);
+    // Lazy spawn against the *summed* demand of every admitting chunk plus
+    // the workers already busy draining (never beyond the pool-wide worker
+    // budget), so concurrent chunks field enough workers between them even
+    // when earlier chunks still hold workers.
+    int demand = attached_total_;
+    for (const Chunk* c : active_) demand += c->max_lanes - c->next_lane;
+    const int target = std::min(max_workers_, demand);
+    while (static_cast<int>(threads_.size()) < target) {
+      threads_.emplace_back([this] { worker_main(); });
+    }
+  }
+  work_cv_.notify_all();
+
+  drain(chunk, 0);  // the caller is lane 0 and always makes progress
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  detach_locked(&chunk);  // stop admitting; workers already in keep going
+  chunk.done_cv.wait(lock, [&] { return chunk.attached == 0; });
+}
+
+int ThreadPool::thread_count() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(threads_.size());
+}
+
+double ThreadPool::chunk_sync_overhead_ns() {
+  const std::lock_guard<std::mutex> lock(calib_mutex_);
+  if (sync_overhead_ns_ >= 0) return sync_overhead_ns_;
+  if (max_workers_ < 1) {
+    sync_overhead_ns_ = 0.0;  // sequential pool: dispatch is a plain loop
+    return sync_overhead_ns_;
+  }
+  using clock = std::chrono::steady_clock;
+  const auto noop = [](std::size_t, int) {};
+  const auto width = static_cast<std::size_t>(lane_limit());
+  // First dispatch spawns the workers; measure the steady state after it.
+  run_chunk(width, lane_limit(), noop);
+  double best = std::numeric_limits<double>::max();
+  for (int rep = 0; rep < 8; ++rep) {
+    const auto t0 = clock::now();
+    run_chunk(width, lane_limit(), noop);
+    best = std::min(best, std::chrono::duration<double, std::nano>(clock::now() - t0).count());
+  }
+  sync_overhead_ns_ = best;
+  return sync_overhead_ns_;
+}
+
+}  // namespace mimdmap

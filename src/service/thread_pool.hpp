@@ -1,0 +1,118 @@
+// ThreadPool: the process-wide shared worker pool behind every parallel
+// loop in the library.
+//
+// PR 1 gave each EvalEngine a private persistent pool, which is exactly
+// right for one engine hammered by one search loop — and exactly wrong the
+// moment an experiment table, a replication matrix or a batch manifest maps
+// many instances at once: E engines spawn E * (cores - 1) threads and the
+// OS scheduler thrashes (ROADMAP "Engine-level sharding / multi-instance
+// batching"). This class extracts that pool into one process-wide,
+// reference-counted instance that every engine (and MapService job) shares:
+//
+//  * chunk API: run_chunk(count, max_lanes, fn) is the same fork-join shape
+//    the engines already dispatch — the caller drives lane 0, pooled
+//    workers join as lanes 1.. and all participants pull indices from one
+//    atomic counter (work stealing at index granularity, so an uneven
+//    chunk never strands a lane);
+//  * concurrent chunks: any number of threads may be inside run_chunk at
+//    once. Each chunk admits at most max_lanes - 1 workers (its lane
+//    budget), so concurrently-running jobs shard the pool instead of
+//    oversubscribing it — workers that finish one chunk immediately pick
+//    up the next active one;
+//  * lanes are dense per chunk: fn(i, lane) always sees lane in
+//    [0, max_lanes), lane 0 being the caller, so per-lane scratch arrays
+//    (EvalWorkspace) index directly;
+//  * reference counting: ThreadPool::shared() hands out a shared_ptr to
+//    one lazily-created process-wide pool; when the last holder releases
+//    it the threads join and a later shared() builds a fresh pool;
+//  * calibration: the chunk-dispatch sync overhead is measured once per
+//    pool and cached (chunk_sync_overhead_ns), so auto-threading
+//    (EvalEngine::resolve_num_threads) in a batch of N engines no longer
+//    pays the measurement N times.
+//
+// Guarantees: run_chunk invokes fn exactly once per index; it returns only
+// after every invocation has finished; with max_lanes < 2 (or a
+// worker-less pool) it degenerates to an inline sequential loop, so a
+// caller that drives lane 0 always makes progress — nested run_chunk calls
+// cannot deadlock. fn must not throw.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mimdmap {
+
+class ThreadPool {
+ public:
+  /// The process-wide shared pool (created on first use, sized for the
+  /// hardware). Hold the returned pointer for as long as the pool is
+  /// needed; when the last holder drops it the workers join.
+  [[nodiscard]] static std::shared_ptr<ThreadPool> shared();
+
+  /// workers < 0 means "auto": hardware_concurrency() - 1 (the caller of
+  /// every chunk is itself a lane). An explicit count is honoured as given
+  /// — tests use oversized pools to exercise concurrency on small hosts,
+  /// and 0 yields an always-sequential pool.
+  explicit ThreadPool(int workers = -1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(i, lane) for every i in [0, count) across the caller (lane 0)
+  /// and up to max_lanes - 1 pooled workers (lanes 1..). Blocks until all
+  /// indices are done. Iteration order across lanes is unspecified; fn
+  /// must only write per-index state and must not throw. Thread-safe:
+  /// concurrent chunks shard the pool via their lane budgets.
+  void run_chunk(std::size_t count, int max_lanes,
+                 const std::function<void(std::size_t, int)>& fn);
+
+  /// Maximum lanes any chunk can use: the worker budget plus the caller.
+  [[nodiscard]] int lane_limit() const noexcept { return max_workers_ + 1; }
+
+  /// Workers spawned so far (lazy; never exceeds the worker budget).
+  [[nodiscard]] int thread_count();
+
+  /// Wall-clock cost of dispatching one no-op chunk at full width, in
+  /// nanoseconds — the break-even constant for "is this loop worth
+  /// parallelising". Measured once per pool and cached process-wide; a
+  /// worker-less pool reports 0 without measuring.
+  [[nodiscard]] double chunk_sync_overhead_ns();
+
+ private:
+  /// One in-flight run_chunk call. Stack-allocated by the caller; the pool
+  /// only holds a pointer while the chunk is admitting workers.
+  struct Chunk {
+    const std::function<void(std::size_t, int)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};  // shared index cursor (work stealing)
+    std::size_t count = 0;
+    int max_lanes = 1;
+    int next_lane = 1;  // lane tickets; caller holds lane 0 (guarded by pool mutex)
+    int attached = 0;   // workers currently draining (guarded by pool mutex)
+    std::condition_variable done_cv;
+  };
+
+  void worker_main();
+  static void drain(Chunk& chunk, int lane);
+  void detach_locked(Chunk* chunk);
+
+  const int max_workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::vector<std::thread> threads_;
+  std::vector<Chunk*> active_;  // chunks still admitting workers
+  int attached_total_ = 0;      // workers currently draining any chunk
+  bool shutdown_ = false;
+
+  std::mutex calib_mutex_;
+  double sync_overhead_ns_ = -1.0;
+};
+
+}  // namespace mimdmap

@@ -201,6 +201,94 @@ TEST(CliTest, MissingFileReportsError) {
   EXPECT_NE(r.err.find("cannot open"), std::string::npos);
 }
 
+TEST(CliTest, BatchMapsManifestConcurrently) {
+  TempFile prog("batch_prog.txt");
+  ASSERT_EQ(run_cli({"generate", "--workload", "layered", "--tasks", "40", "--seed", "3",
+                     "--out", prog.path()})
+                .code,
+            0);
+  TempFile manifest("batch_manifest.txt");
+  {
+    std::ofstream m(manifest.path());
+    m << "# two machines, one workload\n";
+    m << "problem=" << prog.path() << " spec=hypercube-3 strategy=block name=cube"
+      << " random-trials=3\n";
+    m << "problem=" << prog.path() << " spec=star-8 strategy=random seed=5 name=star"
+      << " serialize refine-seed=11\n";
+    m << "\n";  // blank lines are skipped
+  }
+  const CliResult r =
+      run_cli({"batch", "--manifest", manifest.path(), "--lanes", "2", "--progress"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("cube"), std::string::npos);
+  EXPECT_NE(r.out.find("star-8"), std::string::npos);
+  EXPECT_NE(r.out.find("batch: 2 jobs"), std::string::npos);
+  EXPECT_NE(r.err.find("[2/2]"), std::string::npos);  // live progress line
+
+  // Mapping output must not depend on the lane budget or the run: compare
+  // the CSV result columns (everything except the lanes/ms diagnostics and
+  // the summary line) across a 2-lane and a default run.
+  const auto result_columns = [&](const std::vector<std::string>& args) {
+    const CliResult c = run_cli(args);
+    EXPECT_EQ(c.code, 0) << c.err;
+    std::istringstream lines(c.out);
+    std::string line;
+    std::vector<std::string> rows;
+    while (std::getline(lines, line)) {
+      if (line.rfind("batch:", 0) == 0) continue;
+      std::size_t cut = line.size();
+      for (int field = 0; field < 2; ++field) {
+        const auto comma = line.rfind(',', cut - 1);
+        if (comma != std::string::npos) cut = comma;
+      }
+      rows.push_back(line.substr(0, cut));
+    }
+    return rows;
+  };
+  const auto wide = result_columns({"batch", "--manifest", manifest.path(), "--csv",
+                                    "--lanes", "4", "--jobs", "2"});
+  const auto narrow = result_columns({"batch", "--manifest", manifest.path(), "--csv"});
+  EXPECT_EQ(wide, narrow);
+}
+
+TEST(CliTest, BatchRejectsBadManifest) {
+  TempFile manifest("bad_manifest.txt");
+  {
+    std::ofstream m(manifest.path());
+    m << "problem=missing.txt spec=hypercube-3 frobnicate=1\n";
+  }
+  const CliResult unknown = run_cli({"batch", "--manifest", manifest.path()});
+  EXPECT_EQ(unknown.code, 1);
+  EXPECT_NE(unknown.err.find("unknown key 'frobnicate'"), std::string::npos);
+
+  {
+    std::ofstream m(manifest.path());
+    m << "spec=hypercube-3\n";
+  }
+  const CliResult missing = run_cli({"batch", "--manifest", manifest.path()});
+  EXPECT_EQ(missing.code, 1);
+  EXPECT_NE(missing.err.find("missing required key 'problem'"), std::string::npos);
+
+  const CliResult empty = run_cli({"batch", "--manifest", "/nonexistent/manifest.txt"});
+  EXPECT_EQ(empty.code, 1);
+
+  {
+    std::ofstream m(manifest.path());
+    m << "problem=p.txt system=a.txt spec=hypercube-3\n";
+  }
+  const CliResult both = run_cli({"batch", "--manifest", manifest.path()});
+  EXPECT_EQ(both.code, 1);
+  EXPECT_NE(both.err.find("not both"), std::string::npos);
+
+  {
+    std::ofstream m(manifest.path());
+    m << "problem=p.txt spec=hypercube-3 clustering=c.txt strategy=random\n";
+  }
+  const CliResult conflict = run_cli({"batch", "--manifest", manifest.path()});
+  EXPECT_EQ(conflict.code, 1);
+  EXPECT_NE(conflict.err.find("conflicts"), std::string::npos);
+}
+
 TEST(CliTest, MapIsDeterministic) {
   TempFile prog("prog7.txt");
   ASSERT_EQ(run_cli({"generate", "--workload", "layered", "--tasks", "50", "--seed", "5",

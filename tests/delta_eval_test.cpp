@@ -410,13 +410,15 @@ TEST(DeltaEvalTest, AnnealingMatchesPreDeltaRuns) {
 
 TEST(DeltaEvalTest, TinyBatchesClampLanesToCount) {
   // Regression: batch_total_times with count < lanes must neither spawn a
-  // worker per requested lane nor mis-evaluate; the pool holds at most
-  // min(count, hardware_concurrency()) - 1 workers afterwards.
+  // worker per requested lane nor mis-evaluate. A private pool isolates the
+  // count from other tests sharing the process-wide pool: after a batch of
+  // 3, at most min(count, lane budget) - 1 workers may have been spawned.
   LayeredDagParams p;
   p.num_tasks = 50;
   const TaskGraph g = make_layered_dag(p, 8);
   const MappingInstance inst(g, random_clustering(g, 8, 9), make_hypercube(3));
-  const EvalEngine engine(inst);
+  const auto pool = std::make_shared<ThreadPool>();
+  const EvalEngine engine(inst, pool);
   Rng rng(17);
   std::vector<std::vector<NodeId>> hosts;
   for (int i = 0; i < 3; ++i) hosts.push_back(random_assignment(8, rng).host_of_vector());
@@ -427,10 +429,11 @@ TEST(DeltaEvalTest, TinyBatchesClampLanesToCount) {
   std::vector<Weight> totals(hosts.size(), -1);
   engine.batch_total_times(hosts, {}, 64, totals);
   EXPECT_EQ(totals, expected);
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const int max_workers =
-      static_cast<int>(std::min<std::size_t>(hosts.size(), static_cast<std::size_t>(hw))) - 1;
-  EXPECT_LE(engine.pool_thread_count(), std::max(0, max_workers));
+      static_cast<int>(std::min<std::size_t>(hosts.size(),
+                                             static_cast<std::size_t>(pool->lane_limit()))) -
+      1;
+  EXPECT_LE(pool->thread_count(), std::max(0, max_workers));
 }
 
 TEST(DeltaEvalTest, AutoThreadsResolvesAndStaysDeterministic) {

@@ -1,0 +1,268 @@
+// MapService contracts, above all the one the batch API is allowed to
+// exist for: per-job results are bit-identical to the sequential
+// single-threaded path for any lane count, any concurrency level and any
+// submission order (per-job RNG streams are isolated and engine evaluation
+// is thread-count-invariant, so the orchestrator must add zero
+// nondeterminism).
+#include "service/map_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <future>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "analysis/replication.hpp"
+#include "cluster/strategies.hpp"
+#include "topology/factory.hpp"
+#include "workload/random_dag.hpp"
+#include "workload/structured.hpp"
+
+namespace mimdmap {
+namespace {
+
+/// A small heterogeneous portfolio: different topologies, workload shapes,
+/// eval modes and seeds, the mix a batch manifest would carry.
+struct Portfolio {
+  std::deque<MappingInstance> instances;  // stable addresses
+  std::vector<MapJob> jobs;
+};
+
+Portfolio make_portfolio() {
+  Portfolio p;
+  const StructuredWeights sw{{1, 9}, {1, 9}, 1234};
+
+  const auto add = [&](TaskGraph problem, const std::string& topo, const std::string& strategy,
+                       std::uint64_t cluster_seed, MapJob job) {
+    SystemGraph system = make_topology(topo);
+    Clustering clustering =
+        make_clustering(strategy, problem, system.node_count(), cluster_seed);
+    p.instances.emplace_back(std::move(problem), std::move(clustering), std::move(system));
+    job.instance = &p.instances.back();
+    job.name = "job-" + std::to_string(p.jobs.size());
+    p.jobs.push_back(std::move(job));
+  };
+
+  LayeredDagParams layered;
+  layered.num_tasks = 60;
+  MapJob plain;
+  plain.random_trials = 6;
+  plain.random_seed = 42;
+  add(make_layered_dag(layered, 11), "hypercube-3", "block", 1, plain);
+
+  MapJob serialize;
+  serialize.options.refine.eval.serialize_within_processor = true;
+  serialize.seed = 777;  // exercises the seed override
+  add(make_fft(8, sw), "mesh-2x4", "random", 5, serialize);
+
+  MapJob contention;
+  contention.options.refine.eval.link_contention = true;
+  contention.random_trials = 4;
+  add(make_diamond(5, 5, sw), "star-6", "level", 3, contention);
+
+  ErdosRenyiDagParams erdos;
+  erdos.num_tasks = 48;
+  erdos.edge_probability = 0.08;
+  MapJob budget;
+  budget.options.refine.max_trials = 40;
+  add(make_erdos_renyi_dag(erdos, 21), "ring-6", "round-robin", 9, budget);
+
+  layered.num_tasks = 90;
+  MapJob extended;
+  extended.options.critical.propagate_through_intra_cluster = true;
+  extended.random_trials = 3;
+  add(make_layered_dag(layered, 31), "tree-2x3", "block", 2, extended);
+
+  return p;
+}
+
+/// Fields that must be bit-identical across every execution strategy.
+void expect_same_result(const MapJobResult& got, const MapJobResult& want,
+                        const std::string& what) {
+  EXPECT_EQ(got.name, want.name) << what;
+  EXPECT_EQ(got.report.total_time(), want.report.total_time()) << what;
+  EXPECT_EQ(got.report.assignment, want.report.assignment) << what;
+  EXPECT_EQ(got.report.initial_total, want.report.initial_total) << what;
+  EXPECT_EQ(got.report.lower_bound, want.report.lower_bound) << what;
+  EXPECT_EQ(got.report.reached_lower_bound, want.report.reached_lower_bound) << what;
+  EXPECT_EQ(got.report.terminated_early, want.report.terminated_early) << what;
+  EXPECT_EQ(got.report.refinement_trials, want.report.refinement_trials) << what;
+  EXPECT_EQ(got.report.improvements, want.report.improvements) << what;
+  EXPECT_EQ(got.random.totals, want.random.totals) << what;
+  EXPECT_EQ(got.random.mean_milli, want.random.mean_milli) << what;
+}
+
+TEST(MapServiceTest, BatchIsBitIdenticalToSequentialForAnyLanesAndOrder) {
+  Portfolio portfolio = make_portfolio();
+
+  // Reference: the sequential single-threaded path (worker-less pool, one
+  // lane, one job at a time).
+  const auto sequential_pool = std::make_shared<ThreadPool>(0);
+  std::vector<MapJobResult> reference;
+  for (const MapJob& job : portfolio.jobs) {
+    reference.push_back(run_map_job(job, sequential_pool, 1));
+  }
+
+  // 1 lane, 1 runner.
+  {
+    MapServiceOptions options;
+    options.lanes = 1;
+    options.max_concurrent_jobs = 1;
+    MapService service(options);
+    const auto results = service.map_batch(portfolio.jobs);
+    ASSERT_EQ(results.size(), reference.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      expect_same_result(results[i], reference[i], "serial service, job " + std::to_string(i));
+    }
+  }
+
+  // Max lanes, max concurrency (an explicit 6-worker pool exercises real
+  // concurrency even on single-core hosts).
+  {
+    MapServiceOptions options;
+    options.pool = std::make_shared<ThreadPool>(6);
+    MapService service(options);
+    EXPECT_EQ(service.lane_budget(), 7);
+    const auto results = service.map_batch(portfolio.jobs);
+    ASSERT_EQ(results.size(), reference.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      expect_same_result(results[i], reference[i], "wide service, job " + std::to_string(i));
+    }
+  }
+
+  // Shuffled submission order through the future API.
+  {
+    MapServiceOptions options;
+    options.pool = std::make_shared<ThreadPool>(3);
+    MapService service(options);
+    std::vector<std::size_t> order(portfolio.jobs.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::reverse(order.begin(), order.end());
+    std::swap(order[0], order[order.size() / 2]);
+    std::vector<std::future<MapJobResult>> futures(portfolio.jobs.size());
+    for (const std::size_t i : order) futures[i] = service.submit(portfolio.jobs[i]);
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      expect_same_result(futures[i].get(), reference[i],
+                         "shuffled submission, job " + std::to_string(i));
+    }
+  }
+}
+
+TEST(MapServiceTest, SubmitDeliversFutureWithDiagnostics) {
+  Portfolio portfolio = make_portfolio();
+  MapService service;
+  std::future<MapJobResult> future = service.submit(portfolio.jobs[0]);
+  const MapJobResult result = future.get();
+  EXPECT_EQ(result.name, "job-0");
+  EXPECT_GE(result.wall_ms, 0.0);
+  EXPECT_GE(result.lanes, 1);
+  EXPECT_EQ(result.random.totals.size(), 6u);
+  EXPECT_GT(result.report.total_time(), 0);
+  // The paper's refinement runs on the full kernel, so the delta counters
+  // ride along zeroed — present for the local-move refiners.
+  EXPECT_EQ(result.report.delta.trials, 0);
+}
+
+TEST(MapServiceTest, SeedFieldOverridesRefineSeed) {
+  Portfolio portfolio = make_portfolio();
+  MapJob job = portfolio.jobs[0];
+
+  job.seed = 0;  // use options.refine.seed as-is
+  job.options.refine.seed = 0xfeedULL;
+  const MapJobResult direct = run_map_job(job);
+  job.options.refine.seed = portfolio.jobs[0].options.refine.seed;
+  job.seed = 0xfeedULL;
+  const MapJobResult via_override = run_map_job(job);
+
+  EXPECT_EQ(via_override.report.total_time(), direct.report.total_time());
+  EXPECT_EQ(via_override.report.assignment, direct.report.assignment);
+  EXPECT_EQ(via_override.report.refinement_trials, direct.report.refinement_trials);
+}
+
+TEST(MapServiceTest, NullInstanceIsRejected) {
+  MapService service;
+  EXPECT_THROW((void)service.submit(MapJob{}), std::invalid_argument);
+  EXPECT_THROW((void)run_map_job(MapJob{}), std::invalid_argument);
+}
+
+TEST(MapServiceTest, ProgressCallbackSeesEveryJobOnce) {
+  Portfolio portfolio = make_portfolio();
+  MapServiceOptions options;
+  options.pool = std::make_shared<ThreadPool>(3);
+  MapService service(options);
+  std::vector<std::string> seen;
+  std::size_t last_completed = 0;
+  const std::size_t total = portfolio.jobs.size();
+  const auto results = service.map_batch(portfolio.jobs, [&](const BatchProgress& p) {
+    // Callbacks are serialized by the service; completed is monotonic.
+    EXPECT_EQ(p.completed, last_completed + 1);
+    EXPECT_EQ(p.total, total);
+    ASSERT_NE(p.last, nullptr);
+    seen.push_back(p.last->name);
+    last_completed = p.completed;
+  });
+  EXPECT_EQ(results.size(), total);
+  ASSERT_EQ(seen.size(), total);
+  std::vector<std::string> sorted = seen;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(MapServiceTest, ExperimentRequiresRandomBaseline) {
+  // The legacy serial loop threw from evaluate_random_mappings when the
+  // baseline was zeroed out; the batched protocol must not silently
+  // tabulate random_pct = 0 instead.
+  ExperimentConfig cfg;
+  cfg.topology = "hypercube-3";
+  cfg.workload.num_tasks = 30;
+  cfg.random_trials = 0;
+  EXPECT_THROW((void)run_experiment(cfg, 1), std::invalid_argument);
+}
+
+TEST(MapServiceTest, RunSuiteMatchesSerialRunExperiment) {
+  std::vector<ExperimentConfig> configs;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    ExperimentConfig cfg;
+    cfg.topology = seed % 2 == 0 ? "hypercube-3" : "mesh-2x3";
+    cfg.workload.num_tasks = 40 + static_cast<NodeId>(seed) * 5;
+    cfg.seed = seed;
+    cfg.random_trials = 5;
+    configs.push_back(cfg);
+  }
+  const std::vector<ExperimentRow> batched = run_suite(configs);
+  ASSERT_EQ(batched.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const ExperimentRow serial = run_experiment(configs[i], static_cast<int>(i) + 1);
+    EXPECT_EQ(batched[i].ours_total, serial.ours_total) << i;
+    EXPECT_EQ(batched[i].random_mean, serial.random_mean) << i;
+    EXPECT_EQ(batched[i].lower_bound, serial.lower_bound) << i;
+    EXPECT_EQ(batched[i].refinement_trials, serial.refinement_trials) << i;
+    EXPECT_EQ(batched[i].improvement, serial.improvement) << i;
+  }
+}
+
+TEST(MapServiceTest, ReplicatedSuiteMatchesSingleRows) {
+  ExperimentConfig cfg;
+  cfg.topology = "mesh-2x3";
+  cfg.workload.num_tasks = 40;
+  cfg.seed = 5;
+  cfg.random_trials = 5;
+  ExperimentConfig other = cfg;
+  other.seed = 6;
+
+  const auto rows = run_replicated_suite({cfg, other}, 3);
+  ASSERT_EQ(rows.size(), 2u);
+  const ReplicatedRow alone = run_replicated(cfg, 1, 3);
+  EXPECT_EQ(rows[0].ours_pct.mean, alone.ours_pct.mean);
+  EXPECT_EQ(rows[0].random_pct.stddev, alone.random_pct.stddev);
+  EXPECT_EQ(rows[0].lower_bound_hits, alone.lower_bound_hits);
+  EXPECT_EQ(rows[1].id, 2);
+  EXPECT_EQ(rows[1].replicas, 3);
+}
+
+}  // namespace
+}  // namespace mimdmap

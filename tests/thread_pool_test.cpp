@@ -1,0 +1,133 @@
+// The shared ThreadPool's contracts: exactly-once index coverage, dense
+// per-chunk lanes within budget, safe concurrent and nested chunks, lazy
+// spawning, process-wide reference counting and cached calibration. Pools
+// here are given explicit worker counts so the concurrency paths are
+// exercised even on single-core hosts.
+#include "service/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace mimdmap {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  for (const std::size_t count : {0u, 1u, 2u, 3u, 7u, 100u, 1000u}) {
+    std::vector<std::atomic<int>> hits(count);
+    pool.run_chunk(count, 4, [&](std::size_t i, int) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " of " << count;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, LanesAreDenseAndWithinBudget) {
+  ThreadPool pool(7);
+  constexpr int kMaxLanes = 3;
+  std::atomic<int> max_lane{0};
+  pool.run_chunk(2000, kMaxLanes, [&](std::size_t, int lane) {
+    ASSERT_GE(lane, 0);
+    ASSERT_LT(lane, kMaxLanes);
+    int seen = max_lane.load(std::memory_order_relaxed);
+    while (lane > seen && !max_lane.compare_exchange_weak(seen, lane)) {
+    }
+  });
+  // Lane tickets are dense from 0; at most max_lanes - 1 workers joined.
+  EXPECT_LE(pool.thread_count(), kMaxLanes - 1);
+}
+
+TEST(ThreadPoolTest, SequentialFallbackSpawnsNoWorkers) {
+  ThreadPool pool(0);
+  std::vector<int> hits(50, 0);
+  pool.run_chunk(hits.size(), 8, [&](std::size_t i, int lane) {
+    EXPECT_EQ(lane, 0);
+    ++hits[i];
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_EQ(pool.thread_count(), 0);
+  EXPECT_EQ(pool.lane_limit(), 1);
+}
+
+TEST(ThreadPoolTest, TinyChunksClampLanesToCount) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  pool.run_chunk(2, 64, [&](std::size_t, int lane) {
+    EXPECT_LT(lane, 2);  // count clamps the lane budget
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_LE(pool.thread_count(), 1);  // lazy: at most count - 1 spawned
+}
+
+TEST(ThreadPoolTest, ConcurrentChunksAllComplete) {
+  // Several threads inside run_chunk at once: the pool shards its workers
+  // across the chunks and every chunk still covers its own index space.
+  const auto pool = std::make_shared<ThreadPool>(4);
+  constexpr int kCallers = 6;
+  constexpr std::size_t kCount = 400;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) {
+    std::vector<std::atomic<int>> fresh(kCount);
+    h.swap(fresh);
+  }
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      pool->run_chunk(kCount, 3, [&, c](std::size_t i, int) {
+        hits[static_cast<std::size_t>(c)][i].fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    for (std::size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(c)][i].load(), 1) << "caller " << c;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, NestedChunksMakeProgress) {
+  // A chunk body may itself dispatch a chunk (a MapService job's inner
+  // refinement loop); the caller always drives lane 0, so this completes
+  // even when every worker is busy elsewhere.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.run_chunk(4, 3, [&](std::size_t, int) {
+    pool.run_chunk(8, 2, [&](std::size_t, int) {
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 8);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsRefCountedProcessWide) {
+  const std::shared_ptr<ThreadPool> a = ThreadPool::shared();
+  const std::shared_ptr<ThreadPool> b = ThreadPool::shared();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get());  // same pool while any holder is alive
+  // At least: caller + all engines share it; a fresh acquisition after the
+  // last release must still hand out a working pool.
+  std::vector<int> hits(16, 0);
+  a->run_chunk(hits.size(), a->lane_limit(), [&](std::size_t i, int) { ++hits[i]; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, SyncOverheadCalibrationIsCachedAndSane) {
+  ThreadPool sequential(0);
+  EXPECT_EQ(sequential.chunk_sync_overhead_ns(), 0.0);
+
+  ThreadPool pool(2);
+  const double first = pool.chunk_sync_overhead_ns();
+  EXPECT_GT(first, 0.0);
+  EXPECT_EQ(pool.chunk_sync_overhead_ns(), first);  // measured once, cached
+}
+
+}  // namespace
+}  // namespace mimdmap
