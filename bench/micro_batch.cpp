@@ -25,6 +25,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/strategies.hpp"
@@ -179,6 +180,11 @@ int run(int argc, char** argv) {
   os << "  \"bench\": \"micro_batch\",\n";
   os << "  \"jobs\": " << batch.jobs.size() << ",\n";
   os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  // The speedup column is job-level parallelism, so a recording is only
+  // interpretable next to the host's core count and the lane budget the
+  // service actually granted — single-core recordings sit near 1x by
+  // construction.
+  os << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
   os << "  \"lane_budget\": " << lane_budget << ",\n";
   os << "  \"sequential_ms\": " << sequential_ms << ",\n";
   os << "  \"service_ms\": " << service_ms << ",\n";

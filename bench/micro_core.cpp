@@ -100,6 +100,54 @@ void BM_EvaluateEngineContention(benchmark::State& state) {
 }
 BENCHMARK(BM_EvaluateEngineContention)->RangeMultiplier(2)->Range(32, 512)->Complexity();
 
+// --- SoA batch kernel vs scalar engine path (BENCH_soa.json companions) ----
+//
+// BM_EvaluateEngine* above is the scalar per-candidate path; these score a
+// whole batch per iteration through evaluate_batch_soa waves at the
+// auto-tuned width. candidates_per_sec is the comparable unit.
+
+void BM_EvaluateBatchSoa(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<NodeId>(state.range(0)), 8);
+  const EvalEngine engine(inst);
+  Rng rng(7);
+  std::vector<std::vector<NodeId>> hosts;
+  for (int i = 0; i < 256; ++i) hosts.push_back(random_assignment(8, rng).host_of_vector());
+  std::vector<Weight> totals(hosts.size());
+  const EvalOptions opts;
+  std::int64_t candidates = 0;
+  for (auto _ : state) {
+    engine.batch_total_times(hosts, opts, 1, 0, totals);
+    benchmark::DoNotOptimize(totals.data());
+    candidates += static_cast<std::int64_t>(hosts.size());
+  }
+  state.counters["width"] = static_cast<double>(engine.resolve_batch_width(0, opts));
+  state.counters["candidates_per_sec"] =
+      benchmark::Counter(static_cast<double>(candidates), benchmark::Counter::kIsRate);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EvaluateBatchSoa)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+void BM_EvaluateBatchSoaContention(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<NodeId>(state.range(0)), 8);
+  const EvalEngine engine(inst);
+  Rng rng(7);
+  std::vector<std::vector<NodeId>> hosts;
+  for (int i = 0; i < 256; ++i) hosts.push_back(random_assignment(8, rng).host_of_vector());
+  std::vector<Weight> totals(hosts.size());
+  const EvalOptions opts{.link_contention = true};
+  std::int64_t candidates = 0;
+  for (auto _ : state) {
+    engine.batch_total_times(hosts, opts, 1, 0, totals);
+    benchmark::DoNotOptimize(totals.data());
+    candidates += static_cast<std::int64_t>(hosts.size());
+  }
+  state.counters["width"] = static_cast<double>(engine.resolve_batch_width(0, opts));
+  state.counters["candidates_per_sec"] =
+      benchmark::Counter(static_cast<double>(candidates), benchmark::Counter::kIsRate);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EvaluateBatchSoaContention)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
 void BM_RefineThroughput(benchmark::State& state) {
   // End-to-end refinement trial throughput (trials/sec) on a shared
   // engine — the number the ROADMAP's mapper-throughput goal tracks.

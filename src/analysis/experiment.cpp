@@ -14,59 +14,86 @@
 
 namespace mimdmap {
 
-BuiltExperiment build_experiment(const ExperimentConfig& config) {
-  // The paper's protocol always pairs the mapping with the random
-  // baseline; catch a zeroed-out config here (the legacy serial loop threw
-  // from evaluate_random_mappings) instead of tabulating random_pct = 0.
-  if (config.random_trials <= 0) {
-    throw std::invalid_argument("build_experiment: random_trials must be > 0");
-  }
-  // Independent deterministic sub-seeds for each random component.
-  std::uint64_t sm = config.seed;
-  const std::uint64_t workload_seed = splitmix64(sm);
-  const std::uint64_t clustering_seed = splitmix64(sm);
-  const std::uint64_t refine_seed = splitmix64(sm);
-  const std::uint64_t random_baseline_seed = splitmix64(sm);
+namespace {
 
+/// Independent deterministic sub-seeds for each random component of one
+/// experiment, derived from the config's master seed. Every consumer —
+/// the job options built up front and the instance built inside the job —
+/// derives through this one chain, which is what keeps them coherent.
+struct DerivedSeeds {
+  std::uint64_t workload = 0;
+  std::uint64_t clustering = 0;
+  std::uint64_t refine = 0;
+  std::uint64_t random_baseline = 0;
+};
+
+DerivedSeeds derive_seeds(std::uint64_t master) {
+  std::uint64_t sm = master;
+  DerivedSeeds seeds;
+  seeds.workload = splitmix64(sm);
+  seeds.clustering = splitmix64(sm);
+  seeds.refine = splitmix64(sm);
+  seeds.random_baseline = splitmix64(sm);
+  return seeds;
+}
+
+/// Steps 1-3 of the protocol: workload + clustering + instance.
+MappingInstance build_instance(const ExperimentConfig& config, const DerivedSeeds& seeds) {
   SystemGraph system = make_topology(config.topology);
   TaskGraph problem = [&]() {
     switch (config.workload_kind) {
       case WorkloadKind::kErdosRenyi:
-        return make_erdos_renyi_dag(config.erdos, workload_seed);
+        return make_erdos_renyi_dag(config.erdos, seeds.workload);
       case WorkloadKind::kSeriesParallel:
-        return make_series_parallel(config.series_parallel, workload_seed);
+        return make_series_parallel(config.series_parallel, seeds.workload);
       case WorkloadKind::kLayered:
         break;
     }
-    return make_layered_dag(config.workload, workload_seed);
+    return make_layered_dag(config.workload, seeds.workload);
   }();
   Clustering clustering =
-      make_clustering(config.clustering, problem, system.node_count(), clustering_seed);
-
-  BuiltExperiment built{
-      MappingInstance(std::move(problem), std::move(clustering), std::move(system)),
-      config.mapper, config.random_trials, random_baseline_seed};
-  built.mapper.refine.seed = refine_seed;
-  return built;
+      make_clustering(config.clustering, problem, system.node_count(), seeds.clustering);
+  return MappingInstance(std::move(problem), std::move(clustering), std::move(system));
 }
 
-MapJob experiment_job(const BuiltExperiment& built, int id) {
+/// The paper's protocol always pairs the mapping with the random baseline;
+/// catch a zeroed-out config at job-creation time (the legacy serial loop
+/// threw from evaluate_random_mappings) instead of tabulating
+/// random_pct = 0 — or worse, throwing from inside a runner thread.
+void require_random_baseline(const ExperimentConfig& config, const char* caller) {
+  if (config.random_trials <= 0) {
+    throw std::invalid_argument(std::string(caller) + ": random_trials must be > 0");
+  }
+}
+
+}  // namespace
+
+MapJob experiment_job(const ExperimentConfig& config, int id) {
+  require_random_baseline(config, "experiment_job");
+  const DerivedSeeds seeds = derive_seeds(config.seed);
   MapJob job;
-  job.instance = &built.instance;
-  job.options = built.mapper;
+  // Steps 1-3 run inside the job, on whichever runner picks it up; the
+  // config copy is all the closure needs, so a queued suite holds configs
+  // (bytes) instead of instances (matrices).
+  job.build = [config] { return build_instance(config, derive_seeds(config.seed)); };
+  job.options = config.mapper;
+  job.options.refine.seed = seeds.refine;
   job.name = "expt-" + std::to_string(id);
-  job.random_trials = built.random_trials;
-  job.random_seed = built.random_seed;
+  job.random_trials = config.random_trials;
+  job.random_seed = seeds.random_baseline;
   return job;
 }
 
-ExperimentRow assemble_row(const BuiltExperiment& built, const MapJobResult& result, int id) {
+namespace {
+
+ExperimentRow make_row(const MapJobResult& result, std::string topology, NodeId np, NodeId ns,
+                       int id) {
   const MappingReport& report = result.report;
   ExperimentRow row;
   row.id = id;
-  row.topology = built.instance.system().name();
-  row.np = built.instance.num_tasks();
-  row.ns = built.instance.num_processors();
+  row.topology = std::move(topology);
+  row.np = np;
+  row.ns = ns;
   row.lower_bound = report.lower_bound;
   row.ours_total = report.total_time();
   row.random_mean = result.random.mean();
@@ -79,28 +106,33 @@ ExperimentRow assemble_row(const BuiltExperiment& built, const MapJobResult& res
   return row;
 }
 
+}  // namespace
+
+ExperimentRow assemble_row(const MapJobResult& result, int id) {
+  return make_row(result, result.system_name, result.np, result.ns, id);
+}
+
 ExperimentRow run_experiment(const ExperimentConfig& config, int id) {
-  const BuiltExperiment built = build_experiment(config);
-  return assemble_row(built, run_map_job(experiment_job(built, id)), id);
+  return assemble_row(run_map_job(experiment_job(config, id)), id);
 }
 
 std::vector<ExperimentRow> run_suite(const std::vector<ExperimentConfig>& configs,
                                      MapService& service) {
-  std::vector<BuiltExperiment> built;
-  built.reserve(configs.size());
-  for (const ExperimentConfig& config : configs) built.push_back(build_experiment(config));
-
+  // Deferred-build jobs: the whole suite is submitted up front, but each
+  // instance is materialized inside its job and dropped with it, so peak
+  // instance memory tracks the service's runner concurrency, not the
+  // suite size.
   std::vector<MapJob> jobs;
-  jobs.reserve(built.size());
-  for (std::size_t i = 0; i < built.size(); ++i) {
-    jobs.push_back(experiment_job(built[i], static_cast<int>(i) + 1));
+  jobs.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    jobs.push_back(experiment_job(configs[i], static_cast<int>(i) + 1));
   }
   const std::vector<MapJobResult> results = service.map_batch(std::move(jobs));
 
   std::vector<ExperimentRow> rows;
   rows.reserve(results.size());
   for (std::size_t i = 0; i < results.size(); ++i) {
-    rows.push_back(assemble_row(built[i], results[i], static_cast<int>(i) + 1));
+    rows.push_back(assemble_row(results[i], static_cast<int>(i) + 1));
   }
   return rows;
 }

@@ -67,27 +67,18 @@ struct ExperimentRow {
   std::int64_t refinement_trials = 0;
 };
 
-/// One experiment materialized and ready for mapping: the generated
-/// instance plus the derived sub-seeds, i.e. the unit MapService batches.
-struct BuiltExperiment {
-  MappingInstance instance;
-  MapperOptions mapper;
-  std::int64_t random_trials = 0;
-  std::uint64_t random_seed = 0;
-};
+/// Steps 1-5 of the protocol as one deferred-build MapService job: the
+/// instance (steps 1-3) is generated *inside* the job (MapJob::build) from
+/// the config's derived sub-seeds and dropped before the result is
+/// delivered, so a suite's peak instance count is bounded by the service's
+/// runner concurrency instead of the matrix size (ROADMAP "windowed suite
+/// building" — enforced by the MappingInstance::peak_live_count regression
+/// test). Deterministic: the job result is a pure function of the config.
+[[nodiscard]] MapJob experiment_job(const ExperimentConfig& config, int id);
 
-/// Steps 1-3 of the protocol: generate workload + clustering + instance
-/// from the config's derived seeds (deterministic, cheap relative to
-/// mapping).
-[[nodiscard]] BuiltExperiment build_experiment(const ExperimentConfig& config);
-
-/// Turns a built experiment into the MapService job request that steps 4-5
-/// (mapping + random baseline) execute.
-[[nodiscard]] MapJob experiment_job(const BuiltExperiment& built, int id);
-
-/// Step 6: folds the job result into a table row.
-[[nodiscard]] ExperimentRow assemble_row(const BuiltExperiment& built,
-                                         const MapJobResult& result, int id);
+/// Step 6: folds the job result into a table row (the instance summary —
+/// topology, np, ns — travels in the MapJobResult).
+[[nodiscard]] ExperimentRow assemble_row(const MapJobResult& result, int id);
 
 /// Runs one experiment (sequential; bit-identical to the batched path).
 [[nodiscard]] ExperimentRow run_experiment(const ExperimentConfig& config, int id);

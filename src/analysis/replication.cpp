@@ -46,27 +46,22 @@ std::vector<ReplicatedRow> run_replicated_matrix(const std::vector<ExperimentCon
   if (replicas <= 0) throw std::invalid_argument("run_replicated: replicas must be > 0");
 
   // The whole (configuration x replica) matrix goes to the service as one
-  // batch: every replica is an independent job (derived seed), so they map
-  // concurrently on the shared pool and the aggregation below is
+  // batch: every replica is an independent deferred-build job (derived
+  // seed), so they map concurrently on the shared pool while only the
+  // running jobs hold instances — peak memory is bounded by the runner
+  // count, not the matrix size — and the aggregation below stays
   // bit-identical to the legacy serial double loop.
-  std::vector<BuiltExperiment> built;
-  built.reserve(configs.size() * static_cast<std::size_t>(replicas));
-  for (const ExperimentConfig& config : configs) {
-    std::uint64_t chain = config.seed;
-    for (int r = 0; r < replicas; ++r) {
-      ExperimentConfig replica = config;
-      replica.seed = splitmix64(chain);
-      built.push_back(build_experiment(replica));
-    }
-  }
-
   std::vector<MapJob> jobs;
-  jobs.reserve(built.size());
-  for (std::size_t i = 0; i < built.size(); ++i) {
-    const int id = first_id + static_cast<int>(i) / replicas;
-    MapJob job = experiment_job(built[i], id);
-    job.name += "-rep" + std::to_string(i % static_cast<std::size_t>(replicas));
-    jobs.push_back(std::move(job));
+  jobs.reserve(configs.size() * static_cast<std::size_t>(replicas));
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    std::uint64_t chain = configs[c].seed;
+    for (int r = 0; r < replicas; ++r) {
+      ExperimentConfig replica = configs[c];
+      replica.seed = splitmix64(chain);
+      MapJob job = experiment_job(replica, first_id + static_cast<int>(c));
+      job.name += "-rep" + std::to_string(r);
+      jobs.push_back(std::move(job));
+    }
   }
   MapService service;
   const std::vector<MapJobResult> results = service.map_batch(std::move(jobs));
@@ -78,7 +73,7 @@ std::vector<ReplicatedRow> run_replicated_matrix(const std::vector<ExperimentCon
     replica_rows.reserve(static_cast<std::size_t>(replicas));
     for (int r = 0; r < replicas; ++r) {
       const std::size_t i = c * static_cast<std::size_t>(replicas) + static_cast<std::size_t>(r);
-      replica_rows.push_back(assemble_row(built[i], results[i], first_id + static_cast<int>(c)));
+      replica_rows.push_back(assemble_row(results[i], first_id + static_cast<int>(c)));
     }
     rows.push_back(aggregate_replicas(replica_rows, first_id + static_cast<int>(c)));
   }

@@ -1,7 +1,9 @@
 #include "baseline/random_mapping.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
+#include <vector>
 
 namespace mimdmap {
 
@@ -15,13 +17,27 @@ RandomMappingStats evaluate_random_mappings(const EvalEngine& engine, std::int64
   Rng rng(seed);
   RandomMappingStats stats;
   stats.totals.reserve(static_cast<std::size_t>(trials));
-  EvalWorkspace& ws = engine.caller_workspace();
+  // Candidates are drawn from the RNG stream in the legacy per-trial order
+  // but scored in SoA waves — one topo walk per `width` mappings
+  // (EvalEngine::evaluate_batch_soa), reusing the wave's scratch vectors so
+  // memory stays O(width). Totals are bit-identical to the scalar loop.
+  const int width = std::max(1, engine.resolve_batch_width(0, eval));
+  std::vector<std::vector<NodeId>> wave(static_cast<std::size_t>(width));
+  std::vector<Weight> totals(static_cast<std::size_t>(width), 0);
   Weight sum = 0;
-  for (std::int64_t t = 0; t < trials; ++t) {
-    const Assignment a = random_assignment(engine.instance().num_processors(), rng);
-    const Weight total = engine.trial_total_time(a.host_of_vector(), eval, ws);
-    stats.totals.push_back(total);
-    sum += total;
+  for (std::int64_t t = 0; t < trials;) {
+    const std::size_t m = static_cast<std::size_t>(
+        std::min<std::int64_t>(width, trials - t));
+    for (std::size_t i = 0; i < m; ++i) {
+      wave[i] = random_assignment(engine.instance().num_processors(), rng).host_of_vector();
+    }
+    engine.batch_total_times(std::span(wave.data(), m), eval, /*num_threads=*/1, width,
+                             std::span(totals.data(), m));
+    for (std::size_t i = 0; i < m; ++i) {
+      stats.totals.push_back(totals[i]);
+      sum += totals[i];
+    }
+    t += static_cast<std::int64_t>(m);
   }
   stats.min = *std::min_element(stats.totals.begin(), stats.totals.end());
   stats.max = *std::max_element(stats.totals.begin(), stats.totals.end());

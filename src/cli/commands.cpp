@@ -191,6 +191,7 @@ int cmd_map(Flags& flags, std::ostream& out, std::ostream& err) {
   opts.refine.seed = flags.get_seed("refine-seed", 0x9e3779b97f4a7c15ULL);
   opts.refine.max_trials = flags.get_int("trials", -1);
   opts.refine.num_threads = static_cast<int>(flags.get_int("threads", 1));
+  opts.refine.eval_width = static_cast<int>(flags.get_int("width", 0));
   opts.critical.propagate_through_intra_cluster = flags.get_bool("extended-critical");
 
   const bool show_gantt = flags.get_bool("gantt");
@@ -215,6 +216,8 @@ int cmd_map(Flags& flags, std::ostream& out, std::ostream& err) {
   const int threads_used = engine.resolve_num_threads(opts.refine.num_threads, opts.refine.eval);
   os << "eval threads:       " << threads_used
      << (opts.refine.num_threads == 0 ? " (auto)" : "") << "\n";
+  os << "eval width:         " << report.eval_width
+     << (opts.refine.eval_width == 0 ? " (auto)" : "") << "\n";
   os << "optimal:            " << (report.reached_lower_bound ? "yes (termination condition)"
                                                               : "not proven") << "\n";
   os << "assignment (cluster on each processor): ";
@@ -493,8 +496,9 @@ commands:
   map       run the full mapping pipeline
             --problem file (--system file | --spec topo)
             [--clustering file | --strategy name --seed S]
-            [--trials N] [--refine-seed S] [--threads T (0 = auto)] [--contention]
-            [--serialize] [--weighted-links] [--extended-critical] [--gantt]
+            [--trials N] [--refine-seed S] [--threads T (0 = auto)]
+            [--width W (candidates per SoA wave; 0 = auto / MIMDMAP_EVAL_WIDTH)]
+            [--contention] [--serialize] [--weighted-links] [--extended-critical] [--gantt]
             [--random-trials N --random-seed S]   (adds the paper's baseline)
             [--out file]
   eval      evaluate an explicit assignment

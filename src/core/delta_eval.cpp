@@ -105,15 +105,11 @@ void DeltaEval::rebuild_committed_aux() {
       if (arc.weight <= 0) continue;
       const NodeId pp = host_[idx(arc.pred_cluster)];
       Weight arrival = end_[idx(arc.pred)];
-      const std::size_t r = idx(pp) * ns_ + idx(pv);
-      const std::uint32_t rlo = engine_->route_offset_[r];
-      const std::uint32_t rhi = engine_->route_offset_[r + 1];
-      for (std::uint32_t k = rlo; k < rhi; ++k) {
-        const auto li = static_cast<std::size_t>(engine_->route_links_[k]);
-        const Weight depart = std::max(arrival, link_free_[li]);
+      for (const std::int32_t li : engine_->route_links(pp, pv)) {
+        const Weight depart = std::max(arrival, link_free_[static_cast<std::size_t>(li)]);
         arrival = depart + arc.weight;
-        link_free_[li] = arrival;
-        claim_links_.push_back(engine_->route_links_[k]);
+        link_free_[static_cast<std::size_t>(li)] = arrival;
+        claim_links_.push_back(li);
         claim_values_.push_back(arrival);
       }
     }
@@ -507,14 +503,11 @@ Weight DeltaEval::run_trial_scan() {
         if (contention) {
           const bool route_changed =
               cluster_moved(arc.pred_cluster) || cluster_moved(cluster_of[idx(v)]);
-          const std::size_t r = idx(pp) * ns_ + idx(pv);
-          const std::uint32_t rlo = engine_->route_offset_[r];
-          const std::uint32_t rhi = engine_->route_offset_[r + 1];
           if (!route_changed) {
             // Same route as committed: claims align 1:1 — a claim that
             // lands on a different busy-until time dirties its link.
-            for (std::uint32_t k = rlo; k < rhi; ++k) {
-              const auto li = static_cast<std::size_t>(engine_->route_links_[k]);
+            for (const std::int32_t li0 : engine_->route_links(pp, pv)) {
+              const auto li = static_cast<std::size_t>(li0);
               const Weight depart = std::max(arrival, link_free_[li]);
               arrival = depart + arc.weight;
               link_free_[li] = arrival;
@@ -527,15 +520,14 @@ Weight DeltaEval::run_trial_scan() {
             // sets diverge.
             const NodeId old_pp = committed_host_during_trial(arc.pred_cluster);
             const NodeId old_pv = committed_host_during_trial(cluster_of[idx(v)]);
-            const std::size_t ro = idx(old_pp) * ns_ + idx(old_pv);
-            const std::uint32_t old_len =
-                engine_->route_offset_[ro + 1] - engine_->route_offset_[ro];
+            const auto old_len =
+                static_cast<std::uint32_t>(engine_->route_links(old_pp, old_pv).size());
             for (std::uint32_t k = 0; k < old_len; ++k) {
               link_dirty_stamp_[static_cast<std::size_t>(claim_links_[cursor + k])] = epoch_;
             }
             cursor += old_len;
-            for (std::uint32_t k = rlo; k < rhi; ++k) {
-              const auto li = static_cast<std::size_t>(engine_->route_links_[k]);
+            for (const std::int32_t li0 : engine_->route_links(pp, pv)) {
+              const auto li = static_cast<std::size_t>(li0);
               const Weight depart = std::max(arrival, link_free_[li]);
               arrival = depart + arc.weight;
               link_free_[li] = arrival;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <string_view>
 
 #include "graph/topological.hpp"
 
@@ -125,7 +127,6 @@ Weight EvalEngine::run_schedule(std::span<const NodeId> host_of, const EvalOptio
   if (contention) std::fill(ws.link_free.begin(), ws.link_free.end(), Weight{0});
 
   const Matrix<Weight>& hops = instance_.hops();
-  const std::size_t ns = idx(instance_.num_processors());
   Weight* const start = ws.start.data();
   Weight* const end = ws.end.data();
   Weight* const proc_free = ws.proc_free.data();
@@ -146,14 +147,10 @@ Weight EvalEngine::run_schedule(std::span<const NodeId> host_of, const EvalOptio
         if (contention) {
           // Store-and-forward along the pre-flattened route; each hop holds
           // its link exclusively for the message's full weight.
-          const std::size_t r = idx(pp) * ns + idx(pv);
-          const std::uint32_t rlo = route_offset_[r];
-          const std::uint32_t rhi = route_offset_[r + 1];
-          for (std::uint32_t k = rlo; k < rhi; ++k) {
-            const auto li = static_cast<std::size_t>(route_links_[k]);
-            const Weight depart = std::max(arrival, link_free[li]);
+          for (const std::int32_t li : route_links(pp, pv)) {
+            const Weight depart = std::max(arrival, link_free[static_cast<std::size_t>(li)]);
             arrival = depart + arc.weight;
-            link_free[li] = arrival;
+            link_free[static_cast<std::size_t>(li)] = arrival;
           }
         } else {
           arrival += arc.weight * hops(idx(pp), idx(pv));
@@ -174,6 +171,188 @@ Weight EvalEngine::run_schedule(std::span<const NodeId> host_of, const EvalOptio
 Weight EvalEngine::trial_total_time(std::span<const NodeId> host_of, const EvalOptions& options,
                                     EvalWorkspace& ws) const {
   return run_schedule(host_of, options, ws);
+}
+
+// The SoA batch kernel body. Every per-candidate value lives at
+// [entity * W + lane], so the lane loops below read and write contiguous
+// W-wide rows; with kCutoff == false the lane index is the loop counter
+// itself and the loops vectorize. With kCutoff == true lanes are fetched
+// through the live-lane list: a lane whose running makespan reaches the
+// shared cutoff is swapped out and costs nothing from that task on (its
+// state rows go stale, but no other lane ever reads them). Per-lane
+// arithmetic is exactly the scalar kernel's — arcs in CSR order, hops in
+// route order — so live lanes finish bit-identical to trial_total_time.
+template <bool kSerialize, bool kContention, bool kCutoff>
+void EvalEngine::soa_schedule(std::span<const std::vector<NodeId>> hosts, SoaWorkspace& ws,
+                              std::span<Weight> totals, Weight cutoff) const {
+  const std::size_t W = hosts.size();
+  const std::size_t np = idx(instance_.num_tasks());
+  const std::size_t ns = idx(instance_.num_processors());
+
+  if (ws.end.size() < np * W) ws.end.resize(np * W);
+  if (ws.host.size() < ns * W) ws.host.resize(ns * W);
+  for (std::size_t c = 0; c < ns; ++c) {
+    NodeId* const row = ws.host.data() + c * W;
+    for (std::size_t l = 0; l < W; ++l) row[l] = hosts[l][c];
+  }
+  if constexpr (kSerialize) ws.proc_free.assign(ns * W, Weight{0});
+  if constexpr (kContention) ws.link_free.assign(routing_->link_count() * W, Weight{0});
+  ws.total.assign(W, Weight{0});
+  std::size_t nlive = W;
+  std::uint32_t* lanes = nullptr;
+  if constexpr (kCutoff) {
+    ws.live.resize(W);
+    lanes = ws.live.data();
+    for (std::size_t l = 0; l < W; ++l) lanes[l] = static_cast<std::uint32_t>(l);
+  }
+
+  const Matrix<Weight>& hops = instance_.hops();
+  Weight* const end = ws.end.data();
+  const NodeId* const host = ws.host.data();
+  Weight* const proc_free = ws.proc_free.data();
+  Weight* const link_free = ws.link_free.data();
+  Weight* const total = ws.total.data();
+  const PredArc* const arcs = pred_arcs_.data();
+
+  for (const NodeId v : topo_order_) {
+    const NodeId* const hv = host + idx(cluster_of_[idx(v)]) * W;
+    Weight* const endv = end + idx(v) * W;  // start-time accumulator, then end
+    for (std::size_t k = 0; k < nlive; ++k) {
+      endv[kCutoff ? lanes[k] : k] = 0;
+    }
+    const std::uint32_t lo = pred_offset_[idx(v)];
+    const std::uint32_t hi = pred_offset_[idx(v) + 1];
+    for (std::uint32_t a = lo; a < hi; ++a) {
+      const PredArc& arc = arcs[a];
+      const Weight* const endp = end + idx(arc.pred) * W;
+      if (arc.weight <= 0) {
+        // Intra-cluster precedence: a pure max over two contiguous rows.
+        for (std::size_t k = 0; k < nlive; ++k) {
+          const std::size_t l = kCutoff ? lanes[k] : k;
+          endv[l] = std::max(endv[l], endp[l]);
+        }
+        continue;
+      }
+      const NodeId* const hp = host + idx(arc.pred_cluster) * W;
+      if constexpr (kContention) {
+        for (std::size_t k = 0; k < nlive; ++k) {
+          const std::size_t l = kCutoff ? lanes[k] : k;
+          Weight arrival = endp[l];
+          for (const std::int32_t li : route_links(hp[l], hv[l])) {
+            Weight& free = link_free[static_cast<std::size_t>(li) * W + l];
+            arrival = std::max(arrival, free) + arc.weight;
+            free = arrival;
+          }
+          endv[l] = std::max(endv[l], arrival);
+        }
+      } else {
+        for (std::size_t k = 0; k < nlive; ++k) {
+          const std::size_t l = kCutoff ? lanes[k] : k;
+          endv[l] = std::max(endv[l], endp[l] + arc.weight * hops(idx(hp[l]), idx(hv[l])));
+        }
+      }
+    }
+    const Weight nw = node_weight_[idx(v)];
+    if constexpr (kSerialize) {
+      for (std::size_t k = 0; k < nlive; ++k) {
+        const std::size_t l = kCutoff ? lanes[k] : k;
+        Weight& free = proc_free[idx(hv[l]) * W + l];
+        const Weight en = std::max(endv[l], free) + nw;
+        endv[l] = en;
+        free = en;
+        total[l] = std::max(total[l], en);
+      }
+    } else {
+      for (std::size_t k = 0; k < nlive; ++k) {
+        const std::size_t l = kCutoff ? lanes[k] : k;
+        const Weight en = endv[l] + nw;
+        endv[l] = en;
+        total[l] = std::max(total[l], en);
+      }
+    }
+    if constexpr (kCutoff) {
+      // The running makespan only grows, so a lane at or past the cutoff
+      // is certified ">= incumbent" and drops out of every later loop.
+      for (std::size_t k = 0; k < nlive;) {
+        const std::uint32_t l = lanes[k];
+        if (total[l] >= cutoff) {
+          totals[l] = total[l];
+          lanes[k] = lanes[--nlive];
+        } else {
+          ++k;
+        }
+      }
+      if (nlive == 0) return;
+    }
+  }
+  for (std::size_t k = 0; k < nlive; ++k) {
+    const std::size_t l = kCutoff ? lanes[k] : k;
+    totals[l] = total[l];
+  }
+}
+
+void EvalEngine::evaluate_batch_soa(std::span<const std::vector<NodeId>> hosts,
+                                    const EvalOptions& options, SoaWorkspace& ws,
+                                    std::span<Weight> totals, Weight cutoff) const {
+  if (totals.size() < hosts.size()) {
+    throw std::invalid_argument("evaluate_batch_soa: totals span too small");
+  }
+  const std::size_t ns = idx(instance_.num_processors());
+  for (const std::vector<NodeId>& host : hosts) {
+    if (host.size() != ns) {
+      throw std::invalid_argument("evaluate_batch_soa: candidate host map has the wrong size");
+    }
+  }
+  if (hosts.empty()) return;
+  if (options.link_contention) ensure_routing();
+  const int mode = (options.serialize_within_processor ? 1 : 0) |
+                   (options.link_contention ? 2 : 0) | (cutoff != kNoCutoff ? 4 : 0);
+  switch (mode) {
+    case 0: return soa_schedule<false, false, false>(hosts, ws, totals, cutoff);
+    case 1: return soa_schedule<true, false, false>(hosts, ws, totals, cutoff);
+    case 2: return soa_schedule<false, true, false>(hosts, ws, totals, cutoff);
+    case 3: return soa_schedule<true, true, false>(hosts, ws, totals, cutoff);
+    case 4: return soa_schedule<false, false, true>(hosts, ws, totals, cutoff);
+    case 5: return soa_schedule<true, false, true>(hosts, ws, totals, cutoff);
+    case 6: return soa_schedule<false, true, true>(hosts, ws, totals, cutoff);
+    default: return soa_schedule<true, true, true>(hosts, ws, totals, cutoff);
+  }
+}
+
+int EvalEngine::resolve_batch_width(int requested, const EvalOptions& options) const {
+  // Hard cap on any resolved width: wave state is W * per-lane bytes, so an
+  // absurd request (CLI typo, wild env var) must degrade to a big wave, not
+  // a multi-terabyte allocation.
+  constexpr int kMaxWidth = 4096;
+  if (requested > 0) return std::min(requested, kMaxWidth);
+  if (requested < 0) return 1;
+  // MIMDMAP_EVAL_WIDTH=<N> forces the width; "auto" (the CI matrix's other
+  // leg) or empty/unset defers to the footprint tuner below. Anything else
+  // is ignored rather than trusted.
+  if (const char* env = std::getenv("MIMDMAP_EVAL_WIDTH");
+      env != nullptr && *env != '\0' && std::string_view(env) != "auto") {
+    char* tail = nullptr;
+    const long v = std::strtol(env, &tail, 10);
+    if (tail != nullptr && *tail == '\0' && v > 0) {
+      return static_cast<int>(std::min<long>(v, kMaxWidth));
+    }
+  }
+  // Auto: fit one wave's per-lane state into a conservative cache budget
+  // (small enough to leave L2 room for the CSR arcs and hops matrix the
+  // walk streams alongside it). Per lane the wave keeps np end times, the
+  // transposed host map, and the mode tables.
+  std::size_t per_lane = idx(instance_.num_tasks()) * sizeof(Weight) +
+                         idx(instance_.num_processors()) * sizeof(NodeId);
+  if (options.serialize_within_processor) {
+    per_lane += idx(instance_.num_processors()) * sizeof(Weight);
+  }
+  if (options.link_contention) {
+    ensure_routing();
+    per_lane += routing_->link_count() * sizeof(Weight);
+  }
+  constexpr std::size_t kCacheBudget = 256 * 1024;
+  const std::size_t w = kCacheBudget / std::max<std::size_t>(1, per_lane);
+  return static_cast<int>(std::clamp<std::size_t>(w, 1, 32));
 }
 
 ScheduleResult EvalEngine::workspace_to_result(const EvalWorkspace& ws, Weight total) const {
@@ -271,16 +450,62 @@ int EvalEngine::resolve_num_threads(int requested, const EvalOptions& options) c
 void EvalEngine::batch_total_times(std::span<const std::vector<NodeId>> hosts,
                                    const EvalOptions& options, int num_threads,
                                    std::span<Weight> totals) const {
+  batch_total_times(hosts, options, num_threads, /*width=*/0, totals, kNoCutoff);
+}
+
+void EvalEngine::batch_total_times(std::span<const std::vector<NodeId>> hosts,
+                                   const EvalOptions& options, int num_threads, int width,
+                                   std::span<Weight> totals, Weight cutoff) const {
   if (totals.size() < hosts.size()) {
     throw std::invalid_argument("batch_total_times: totals span too small");
+  }
+  // All validation happens here, on the calling thread: waves dispatched to
+  // pool workers must not throw (ThreadPool contract), so a bad candidate
+  // has to be rejected before anything is posted.
+  const std::size_t ns = idx(instance_.num_processors());
+  for (const std::vector<NodeId>& host : hosts) {
+    if (host.size() != ns) {
+      throw std::invalid_argument("batch_total_times: candidate host map has the wrong size");
+    }
   }
   num_threads = resolve_num_threads(num_threads, options);
   // Contention tables are built once up front so pooled lanes never race on
   // first use (call_once would serialise them anyway; this keeps the lanes'
   // first trials warm).
   if (options.link_contention) ensure_routing();
-  for_each_parallel(hosts.size(), num_threads, [&](std::size_t i, EvalWorkspace& ws) {
-    totals[i] = trial_total_time(hosts[i], options, ws);
+  width = resolve_batch_width(width, options);
+  if (width <= 1) {
+    // Scalar fallback path (width 1 / MIMDMAP_EVAL_WIDTH=1): one trial per
+    // work item on the streaming kernel, exact totals even past the cutoff.
+    for_each_parallel(hosts.size(), num_threads, [&](std::size_t i, EvalWorkspace& ws) {
+      totals[i] = trial_total_time(hosts[i], options, ws);
+    });
+    return;
+  }
+  // SoA waves: each work item scores one wave of up to `width` candidates
+  // in a single topo walk (the tail wave is ragged). Waves are disjoint
+  // index ranges, so any lane assignment writes the same totals.
+  const auto wave = static_cast<std::size_t>(width);
+  const std::size_t waves = (hosts.size() + wave - 1) / wave;
+  const auto run_wave = [&](std::size_t w, SoaWorkspace& ws) {
+    const std::size_t begin = w * wave;
+    const std::size_t count = std::min(wave, hosts.size() - begin);
+    evaluate_batch_soa(hosts.subspan(begin, count), options, ws,
+                       totals.subspan(begin, count), cutoff);
+  };
+  int lanes = std::min(num_threads, pool_->lane_limit());
+  if (waves < static_cast<std::size_t>(std::numeric_limits<int>::max())) {
+    lanes = std::min(lanes, static_cast<int>(waves));
+  }
+  if (lanes < 2 || waves < 2) {
+    for (std::size_t w = 0; w < waves; ++w) run_wave(w, caller_soa_);
+    return;
+  }
+  if (lane_soa_.size() < static_cast<std::size_t>(lanes) - 1) {
+    lane_soa_.resize(static_cast<std::size_t>(lanes) - 1);
+  }
+  pool_->run_chunk(waves, lanes, [&](std::size_t w, int lane) {
+    run_wave(w, lane == 0 ? caller_soa_ : lane_soa_[static_cast<std::size_t>(lane - 1)]);
   });
 }
 

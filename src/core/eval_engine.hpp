@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -58,6 +59,24 @@ struct EvalWorkspace {
   std::vector<Weight> proc_free;
   std::vector<Weight> link_free;
 };
+
+/// Scratch buffers for one structure-of-arrays batch-evaluation lane
+/// (EvalEngine::evaluate_batch_soa). All per-candidate state is laid out
+/// `[entity][lane]` — `end[idx(task) * W + lane]`, `proc_free[idx(proc) * W
+/// + lane]`, `link_free[link * W + lane]` — so the kernel's inner loops run
+/// over contiguous lanes. Grown on demand and reused across waves; one
+/// workspace must never be shared by two concurrent evaluations.
+struct SoaWorkspace {
+  std::vector<Weight> end;        // [task][lane] end times
+  std::vector<NodeId> host;       // [cluster][lane] transposed candidates
+  std::vector<Weight> proc_free;  // [proc][lane] (serialize mode)
+  std::vector<Weight> link_free;  // [link][lane] (contention mode)
+  std::vector<Weight> total;      // [lane] running makespan
+  std::vector<std::uint32_t> live;  // live lane ids (early-exit compaction)
+};
+
+/// "No early exit" sentinel for the SoA kernel's cutoff parameter.
+inline constexpr Weight kNoCutoff = std::numeric_limits<Weight>::max();
 
 /// Tuning knobs for the incremental delta evaluator (see DeltaEval below).
 struct DeltaOptions {
@@ -166,9 +185,48 @@ class EvalEngine {
 
   /// Convenience batch used by the search loops: totals[i] =
   /// trial_total_time(hosts[i]). Deterministic for any thread count;
-  /// num_threads = 0 resolves via resolve_num_threads().
+  /// num_threads = 0 resolves via resolve_num_threads(). Candidates are
+  /// evaluated in SoA waves of resolve_batch_width(0) lanes.
   void batch_total_times(std::span<const std::vector<NodeId>> hosts, const EvalOptions& options,
                          int num_threads, std::span<Weight> totals) const;
+
+  /// Full form: `width` lanes per SoA wave (resolved via
+  /// resolve_batch_width; 1 keeps every candidate on the scalar trial
+  /// kernel) and an optional shared incumbent. With cutoff != kNoCutoff a
+  /// lane whose *partial* makespan already reaches the cutoff early-exits:
+  /// its reported total is then a certified lower bound >= cutoff on the
+  /// exact makespan (i.e. "cannot beat the incumbent") instead of the exact
+  /// value. Lanes reported below the cutoff are always exact, so
+  /// keep-iff-better scans make bit-identical decisions for every width,
+  /// thread count and cutoff.
+  void batch_total_times(std::span<const std::vector<NodeId>> hosts, const EvalOptions& options,
+                         int num_threads, int width, std::span<Weight> totals,
+                         Weight cutoff = kNoCutoff) const;
+
+  /// The SoA batch kernel: schedules all hosts.size() candidates in ONE
+  /// walk over the topological order and CSR predecessor arcs, with
+  /// lane-contiguous inner loops over the `[task][lane]` state arrays
+  /// (DESIGN.md 12). totals[l] receives candidate l's makespan —
+  /// bit-identical to trial_total_time(hosts[l]) / evaluate_reference —
+  /// except for lanes early-exited by `cutoff` (see batch_total_times
+  /// above), which report a lower bound >= cutoff. Runs on the calling
+  /// thread; concurrent callers must bring private workspaces. Zero heap
+  /// allocations once the workspace is warm.
+  void evaluate_batch_soa(std::span<const std::vector<NodeId>> hosts,
+                          const EvalOptions& options, SoaWorkspace& ws,
+                          std::span<Weight> totals, Weight cutoff = kNoCutoff) const;
+
+  /// Resolves a RefineOptions-style SoA wave width: values > 0 pass
+  /// through (capped at 4096 — wave state scales with W, so absurd
+  /// requests degrade instead of exhausting memory), negative values mean
+  /// 1 (scalar path), 0 means "auto" — the
+  /// MIMDMAP_EVAL_WIDTH environment variable when set to a positive
+  /// integer ("auto", empty and malformed values defer to the tuner),
+  /// else a width that fits the wave's per-lane state (end times
+  /// plus mode-dependent proc/link arrays) into a fixed L1/L2 cache budget
+  /// (DESIGN.md 12.2). Deterministic — no timing feeds into it — so any
+  /// resolved width yields bit-identical mapping results.
+  [[nodiscard]] int resolve_batch_width(int requested, const EvalOptions& options = {}) const;
 
  private:
   /// One pre-resolved precedence arc into a task.
@@ -199,11 +257,24 @@ class EvalEngine {
 
   void ensure_workspace(EvalWorkspace& ws, bool link_contention) const;
   void ensure_routing() const;
+  /// Pre-flattened link-index sequence of the fixed route pp -> pv.
+  /// ensure_routing() must have completed. Shared by the scalar kernel,
+  /// the SoA kernel and DeltaEval's claim replay so all three issue link
+  /// claims along byte-identical hop sequences.
+  [[nodiscard]] std::span<const std::int32_t> route_links(NodeId pp, NodeId pv) const noexcept {
+    const std::size_t r = idx(pp) * idx(instance_.num_processors()) + idx(pv);
+    return {route_links_.data() + route_offset_[r], route_offset_[r + 1] - route_offset_[r]};
+  }
   /// Shared kernel: schedules every task, filling ws.start / ws.end, and
   /// returns the makespan.
   Weight run_schedule(std::span<const NodeId> host_of, const EvalOptions& options,
                       EvalWorkspace& ws) const;
   ScheduleResult workspace_to_result(const EvalWorkspace& ws, Weight total) const;
+  /// Mode-specialized body of evaluate_batch_soa. kCutoff selects the
+  /// live-lane-compaction variant; without it the lane loops stay dense.
+  template <bool kSerialize, bool kContention, bool kCutoff>
+  void soa_schedule(std::span<const std::vector<NodeId>> hosts, SoaWorkspace& ws,
+                    std::span<Weight> totals, Weight cutoff) const;
 
   const MappingInstance& instance_;
   std::vector<NodeId> topo_order_;
@@ -227,6 +298,8 @@ class EvalEngine {
   std::shared_ptr<ThreadPool> pool_;  // shared, never null
   mutable EvalWorkspace caller_ws_;
   mutable std::vector<EvalWorkspace> lane_ws_;  // lane i >= 1 -> lane_ws_[i - 1]
+  mutable SoaWorkspace caller_soa_;
+  mutable std::vector<SoaWorkspace> lane_soa_;  // lane i >= 1 -> lane_soa_[i - 1]
 
   // Auto-thread calibration cache (resolve_num_threads). The pool-dispatch
   // sync overhead lives in the shared ThreadPool (measured once

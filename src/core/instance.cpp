@@ -1,10 +1,45 @@
 #include "core/instance.hpp"
 
+#include <atomic>
 #include <stdexcept>
 
 #include "graph/shortest_paths.hpp"
 
 namespace mimdmap {
+namespace {
+
+std::atomic<int> g_live_instances{0};
+std::atomic<int> g_peak_live_instances{0};
+
+void count_instance_up() noexcept {
+  const int now = g_live_instances.fetch_add(1, std::memory_order_relaxed) + 1;
+  int peak = g_peak_live_instances.load(std::memory_order_relaxed);
+  while (peak < now &&
+         !g_peak_live_instances.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+MappingInstance::LiveCounter::LiveCounter() noexcept { count_instance_up(); }
+MappingInstance::LiveCounter::LiveCounter(const LiveCounter&) noexcept { count_instance_up(); }
+MappingInstance::LiveCounter::LiveCounter(LiveCounter&&) noexcept { count_instance_up(); }
+MappingInstance::LiveCounter::~LiveCounter() {
+  g_live_instances.fetch_sub(1, std::memory_order_relaxed);
+}
+
+int MappingInstance::live_count() noexcept {
+  return g_live_instances.load(std::memory_order_relaxed);
+}
+
+int MappingInstance::peak_live_count() noexcept {
+  return g_peak_live_instances.load(std::memory_order_relaxed);
+}
+
+void MappingInstance::reset_peak_live_count() noexcept {
+  g_peak_live_instances.store(g_live_instances.load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+}
 
 MappingInstance::MappingInstance(TaskGraph problem, Clustering clustering, SystemGraph system,
                                  DistanceModel distance_model)

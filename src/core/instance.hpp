@@ -59,7 +59,27 @@ class MappingInstance {
     return clus_edge_(idx(from), idx(to));
   }
 
+  /// Process-wide count of currently-alive MappingInstance objects, and
+  /// its high-water mark since the last reset. The derived matrices make
+  /// instances the dominant memory of a batch, so these let tests pin the
+  /// peak footprint of deferred-build batches (MapJob::build) to the
+  /// runner concurrency instead of the batch size.
+  [[nodiscard]] static int live_count() noexcept;
+  [[nodiscard]] static int peak_live_count() noexcept;
+  /// Resets the high-water mark to the current live count.
+  static void reset_peak_live_count() noexcept;
+
  private:
+  /// Bumps the live/peak counters across every construction path.
+  struct LiveCounter {
+    LiveCounter() noexcept;
+    LiveCounter(const LiveCounter&) noexcept;
+    LiveCounter(LiveCounter&&) noexcept;
+    LiveCounter& operator=(const LiveCounter&) noexcept = default;
+    LiveCounter& operator=(LiveCounter&&) noexcept = default;
+    ~LiveCounter();
+  };
+  LiveCounter live_counter_;
   TaskGraph problem_;
   Clustering clustering_;
   SystemGraph system_;

@@ -33,6 +33,7 @@ MappingReport map_instance(const EvalEngine& engine, const MapperOptions& option
   report.refinement_trials = refined.trials_used;
   report.improvements = refined.improvements;
   report.delta = refined.delta;
+  report.eval_width = engine.resolve_batch_width(options.refine.eval_width, options.refine.eval);
   return report;
 }
 

@@ -48,6 +48,10 @@ struct MappingReport {
   /// Incremental-evaluation counters of the refinement stage (zero for the
   /// paper's whole-assignment re-placement, which runs on the full kernel).
   DeltaStats delta;
+  /// Resolved SoA wave width the refinement's candidate evaluation ran at
+  /// (EvalEngine::resolve_batch_width of RefineOptions::eval_width; 1 =
+  /// scalar kernel). Diagnostics only — results are width-invariant.
+  int eval_width = 1;
 
   [[nodiscard]] Weight total_time() const noexcept { return schedule.total_time; }
 

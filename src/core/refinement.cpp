@@ -73,9 +73,15 @@ RefineResult refine(const EvalEngine& engine, const IdealSchedule& ideal,
   // early termination skips the trailing chunks entirely. Every pinned
   // slot keeps its initial host and every free slot is rewritten each
   // trial, so recycling a scratch vector never leaks a previous candidate.
+  // A chunk is evaluated as SoA waves of `width` candidates (one topo walk
+  // per wave, per-lane early exit against the incumbent); 4 waves per lane
+  // keep the pool's work stealing fed. Width 1 degenerates to the scalar
+  // kernel, chunk size 1 when sequential (fully lazy).
   const int threads = std::max(1, engine.resolve_num_threads(options.num_threads, options.eval));
+  const int width = std::max(1, engine.resolve_batch_width(options.eval_width, options.eval));
   const std::size_t chunk_capacity =
-      threads > 1 ? static_cast<std::size_t>(threads) * 4 : std::size_t{1};
+      (threads > 1 ? static_cast<std::size_t>(threads) * 4 : std::size_t{1}) *
+      static_cast<std::size_t>(width);
   const std::vector<NodeId>& initial_host = initial.assignment.host_of_vector();
   std::vector<std::vector<NodeId>> chunk(chunk_capacity, initial_host);
   std::vector<Weight> totals(chunk_capacity, 0);
@@ -95,13 +101,19 @@ RefineResult refine(const EvalEngine& engine, const IdealSchedule& ideal,
       }
     }
 
-    // Step 4b: evaluate the chunk. Parallel mode fans the trials across the
-    // engine's persistent worker pool; sequential mode (chunk size 1)
-    // evaluates lazily so the early exit saves every skipped evaluation.
-    // Both orders of evaluation feed the same in-order scan below, so the
-    // accept sequence is bit-identical for any thread count.
-    engine.batch_total_times(std::span(chunk.data(), m), options.eval, threads,
-                             std::span(totals.data(), m));
+    // Step 4b: evaluate the chunk. Parallel mode fans SoA waves across the
+    // engine's persistent worker pool; sequential mode evaluates wave by
+    // wave so the early termination saves every skipped wave. The incumbent
+    // best is passed as the waves' shared cutoff: a lane that can no longer
+    // beat it early-exits and reports a certified ">= best" bound, which
+    // the in-order scan below rejects exactly as it would the exact value.
+    // The termination check stays exact too: while it is live, best is
+    // strictly above the lower bound (step 3 / 4c return on equality), so a
+    // lower-bound-reaching candidate is never cut off and a cut-off lane's
+    // bound can never equal the lower bound. Hence the whole scan is
+    // bit-identical for any thread count and width.
+    engine.batch_total_times(std::span(chunk.data(), m), options.eval, threads, width,
+                             std::span(totals.data(), m), best_total);
 
     for (std::size_t i = 0; i < m; ++i) {
       ++result.trials_used;

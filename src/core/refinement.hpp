@@ -59,6 +59,16 @@ struct RefineOptions {
   /// (EvalEngine::resolve_num_threads). Negative values and 1 run
   /// sequentially (chunk size 1, fully lazy).
   int num_threads = 1;
+
+  /// Candidates per SoA evaluation wave (EvalEngine::evaluate_batch_soa):
+  /// each wave scores its candidates in one walk over the topo order, with
+  /// per-lane early exit against the incumbent best. > 0 forces the width;
+  /// 0 means "auto" — the MIMDMAP_EVAL_WIDTH environment variable when
+  /// set, else a width fitted to the per-lane cache footprint
+  /// (EvalEngine::resolve_batch_width). Negative values and 1 keep every
+  /// candidate on the scalar trial kernel. The trial sequence, accept
+  /// stream and final report are bit-identical for every width.
+  int eval_width = 0;
 };
 
 struct RefineResult {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -11,8 +12,8 @@ namespace mimdmap {
 
 MapJobResult run_map_job(const MapJob& job, const std::shared_ptr<ThreadPool>& pool,
                          int lanes) {
-  if (job.instance == nullptr) {
-    throw std::invalid_argument("run_map_job: job has no instance");
+  if (job.instance == nullptr && !job.build) {
+    throw std::invalid_argument("run_map_job: job has neither an instance nor a builder");
   }
   using clock = std::chrono::steady_clock;
   const auto t0 = clock::now();
@@ -24,9 +25,22 @@ MapJobResult run_map_job(const MapJob& job, const std::shared_ptr<ThreadPool>& p
   // job's RefineOptions::num_threads in charge.
   if (lanes > 0) options.refine.num_threads = lanes;
 
-  const EvalEngine engine(*job.instance, pool);
+  // Deferred jobs materialize here and release at function exit — before
+  // the result reaches the caller — so the alive-instance footprint of a
+  // batch is one per busy runner.
+  std::optional<MappingInstance> owned;
+  const MappingInstance* instance = job.instance;
+  if (instance == nullptr) {
+    owned.emplace(job.build());
+    instance = &*owned;
+  }
+
+  const EvalEngine engine(*instance, pool);
   MapJobResult result;
   result.name = job.name;
+  result.system_name = instance->system().name();
+  result.np = instance->num_tasks();
+  result.ns = instance->num_processors();
   result.report = map_instance(engine, options);
   // Resolved width, not the request: with lanes == 0 the job's own setting
   // ran, which may itself have been 0 ("auto"); the resolution is cached
@@ -110,8 +124,8 @@ std::future<MapJobResult> MapService::enqueue_locked(QueuedJob queued, const cha
 }
 
 std::future<MapJobResult> MapService::submit(MapJob job) {
-  if (job.instance == nullptr) {
-    throw std::invalid_argument("MapService::submit: job has no instance");
+  if (job.instance == nullptr && !job.build) {
+    throw std::invalid_argument("MapService::submit: job has neither an instance nor a builder");
   }
   std::future<MapJobResult> future;
   {
@@ -132,8 +146,9 @@ std::vector<MapJobResult> MapService::map_batch(
   const std::size_t total = jobs.size();
 
   for (const MapJob& job : jobs) {
-    if (job.instance == nullptr) {
-      throw std::invalid_argument("MapService::map_batch: job has no instance");
+    if (job.instance == nullptr && !job.build) {
+      throw std::invalid_argument(
+          "MapService::map_batch: job has neither an instance nor a builder");
     }
   }
 

@@ -48,9 +48,18 @@
 namespace mimdmap {
 
 /// One mapping job request. The instance is borrowed and must stay alive
-/// until the job's result has been delivered.
+/// until the job's result has been delivered — or, for batches too big to
+/// materialize up front, `build` defers construction into the job itself.
 struct MapJob {
   const MappingInstance* instance = nullptr;
+  /// Deferred materialization (used when `instance` is null): the runner
+  /// invokes this at execution time and destroys the built instance before
+  /// the result is delivered, so a batch's peak instance count is bounded
+  /// by the number of concurrently-running jobs instead of the batch size
+  /// (ROADMAP "windowed suite building"). Must be a pure function of its
+  /// captures — it may run on any runner thread, and determinism of the
+  /// job result rests on it.
+  std::function<MappingInstance()> build;
   MapperOptions options;
   /// Nonzero overrides options.refine.seed — convenience for submitters
   /// that fan one configuration across many seeds.
@@ -72,6 +81,12 @@ struct MapJobResult {
   double wall_ms = 0.0;
   /// Inner lane budget the sharding policy granted this job.
   int lanes = 1;
+  /// Instance summary, filled by run_map_job — deferred-build jobs drop
+  /// the instance before delivering, so consumers (experiment tables) read
+  /// these instead of the instance.
+  std::string system_name;
+  NodeId np = 0;
+  NodeId ns = 0;
 };
 
 struct MapServiceOptions {

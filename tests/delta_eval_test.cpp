@@ -406,6 +406,99 @@ TEST(DeltaEvalTest, AnnealingMatchesPreDeltaRuns) {
   }
 }
 
+// --- mixed SoA-wave + delta-move loops ---------------------------------------
+
+/// One round-based search loop mixing both evaluation paths on one engine:
+/// each round scores a wave of whole-assignment candidates through the SoA
+/// batch kernel (with the incumbent as cutoff), folds improvements into the
+/// incumbent, then runs a burst of delta local moves (try_swap +
+/// commit-if-better) anchored at it. Records every decision the loop makes.
+struct MixedRunTrace {
+  std::vector<Weight> wave_accepted;   // totals accepted from wave phases
+  std::vector<int> wave_decisions;     // 1 accept / 0 reject, in trial order
+  std::vector<Weight> delta_accepted;  // totals committed by delta phases
+  std::vector<NodeId> final_host;
+  Weight final_total = 0;
+};
+
+MixedRunTrace run_mixed_loop(const EvalEngine& engine, const Assignment& start,
+                             const EvalOptions& mode, int width, std::uint64_t seed) {
+  const NodeId ns = engine.instance().num_processors();
+  Rng rng(seed);
+  std::vector<NodeId> best = start.host_of_vector();
+  Weight best_total = engine.trial_total_time(best, mode, engine.caller_workspace());
+  MixedRunTrace trace;
+  std::vector<std::vector<NodeId>> wave(9);
+  std::vector<Weight> totals(wave.size(), 0);
+  for (int round = 0; round < 6; ++round) {
+    // SoA candidate wave against the incumbent.
+    for (std::vector<NodeId>& host : wave) {
+      host = random_assignment(ns, rng).host_of_vector();
+    }
+    engine.batch_total_times(wave, mode, /*num_threads=*/1, width, totals, best_total);
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      const bool accept = totals[i] < best_total;
+      trace.wave_decisions.push_back(accept ? 1 : 0);
+      if (accept) {
+        best_total = totals[i];
+        best = wave[i];
+        trace.wave_accepted.push_back(totals[i]);
+      }
+    }
+    // Delta local moves anchored at the wave phase's incumbent.
+    DeltaEval delta = engine.begin_delta(best, mode);
+    for (int op = 0; op < 8; ++op) {
+      const NodeId c1 = static_cast<NodeId>(rng.uniform(0, ns - 1));
+      NodeId c2 = static_cast<NodeId>(rng.uniform(0, ns - 2));
+      if (c2 >= c1) ++c2;
+      const Weight t = delta.try_swap(c1, c2);
+      if (t < delta.committed_total()) {
+        delta.commit();
+        trace.delta_accepted.push_back(t);
+      }
+    }
+    best.assign(delta.committed_host().begin(), delta.committed_host().end());
+    best_total = delta.committed_total();
+  }
+  trace.final_host = best;
+  trace.final_total = best_total;
+  return trace;
+}
+
+TEST(DeltaEvalTest, MixedSoaWavesAndDeltaMovesMatchTheScalarPath) {
+  // Interleaving SoA candidate waves and delta local moves in one refine
+  // loop must leave the accept/reject stream and the final state
+  // bit-identical to the same loop on the pre-SoA scalar path (width 1,
+  // which evaluates every candidate exactly, no early exit).
+  for (std::uint64_t seed = 0; seed < 2; ++seed) {
+    Pipeline pl = build_pipeline(60, make_hypercube(3), seed + 50);
+    const EvalEngine engine(pl.instance);
+    for (const EvalOptions& mode : all_modes()) {
+      const MixedRunTrace scalar =
+          run_mixed_loop(engine, pl.initial.assignment, mode, /*width=*/1, seed * 7 + 1);
+      for (const int width : {2, 7, 32}) {
+        const MixedRunTrace soa =
+            run_mixed_loop(engine, pl.initial.assignment, mode, width, seed * 7 + 1);
+        const std::string what =
+            "seed=" + std::to_string(seed) + mode_name(mode) + " width=" + std::to_string(width);
+        EXPECT_EQ(soa.wave_decisions, scalar.wave_decisions) << what;
+        EXPECT_EQ(soa.wave_accepted, scalar.wave_accepted) << what;
+        EXPECT_EQ(soa.delta_accepted, scalar.delta_accepted) << what;
+        EXPECT_EQ(soa.final_host, scalar.final_host) << what;
+        EXPECT_EQ(soa.final_total, scalar.final_total) << what;
+      }
+      // The final state must also be exact against the reference oracle.
+      if (is_permutation(scalar.final_host)) {
+        EXPECT_EQ(scalar.final_total,
+                  evaluate_reference(pl.instance, Assignment::from_host_of(scalar.final_host),
+                                     mode)
+                      .total_time)
+            << mode_name(mode);
+      }
+    }
+  }
+}
+
 // --- satellite regressions ---------------------------------------------------
 
 TEST(DeltaEvalTest, TinyBatchesClampLanesToCount) {

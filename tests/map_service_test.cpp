@@ -212,6 +212,95 @@ TEST(MapServiceTest, ProgressCallbackSeesEveryJobOnce) {
   EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
 }
 
+TEST(MapServiceTest, WidthOneAndWideSoaWavesDeliverIdenticalBatches) {
+  // The pre-SoA path is the scalar width-1 kernel; every job of a batch
+  // forced onto it must be bit-identical to the same batch on wide SoA
+  // waves (mixed delta/SoA pipelines included — the serialize/contention
+  // jobs run delta-backed baselines next to the SoA-backed refinement).
+  Portfolio portfolio = make_portfolio();
+  auto with_width = [&](int width) {
+    std::vector<MapJob> jobs = portfolio.jobs;
+    for (MapJob& job : jobs) job.options.refine.eval_width = width;
+    MapServiceOptions options;
+    options.pool = std::make_shared<ThreadPool>(3);
+    MapService service(options);
+    return service.map_batch(std::move(jobs));
+  };
+  const auto scalar = with_width(1);
+  for (const int width : {7, 32}) {
+    const auto wide = with_width(width);
+    ASSERT_EQ(wide.size(), scalar.size());
+    for (std::size_t i = 0; i < wide.size(); ++i) {
+      expect_same_result(wide[i], scalar[i],
+                         "width=" + std::to_string(width) + ", job " + std::to_string(i));
+      EXPECT_EQ(wide[i].report.eval_width, width) << i;
+    }
+  }
+}
+
+TEST(MapServiceTest, DeferredBuildJobsMatchBorrowedInstances) {
+  // A job that materializes its instance inside the runner (MapJob::build)
+  // must deliver the exact result of the same job borrowing a caller-owned
+  // instance, and both must carry the instance summary.
+  Portfolio portfolio = make_portfolio();
+  MapService service;
+  for (std::size_t i = 0; i < portfolio.jobs.size(); ++i) {
+    const MapJob& borrowed = portfolio.jobs[i];
+    MapJob deferred = borrowed;
+    deferred.instance = nullptr;
+    const MappingInstance* source = borrowed.instance;
+    deferred.build = [source] { return *source; };  // deterministic rebuild
+    const MapJobResult a = service.submit(borrowed).get();
+    const MapJobResult b = service.submit(std::move(deferred)).get();
+    expect_same_result(b, a, "deferred job " + std::to_string(i));
+    EXPECT_EQ(a.system_name, source->system().name()) << i;
+    EXPECT_EQ(b.system_name, source->system().name()) << i;
+    EXPECT_EQ(b.np, source->num_tasks()) << i;
+    EXPECT_EQ(b.ns, source->num_processors()) << i;
+  }
+  MapJob empty;
+  EXPECT_THROW((void)service.submit(empty), std::invalid_argument);
+  EXPECT_THROW((void)run_map_job(empty), std::invalid_argument);
+}
+
+TEST(MapServiceTest, SuitePeakInstanceCountIsBoundedByConcurrency) {
+  // Windowed suite building: run_suite submits deferred-build jobs, so the
+  // peak number of alive MappingInstances during a 12-row suite must track
+  // the runner concurrency (2 here, plus one transient move-construction
+  // copy per runner), never the suite size.
+  std::vector<ExperimentConfig> configs;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    ExperimentConfig cfg;
+    cfg.topology = seed % 2 == 0 ? "hypercube-3" : "mesh-2x3";
+    cfg.workload.num_tasks = 30 + static_cast<NodeId>(seed % 3) * 5;
+    cfg.seed = seed;
+    cfg.random_trials = 3;
+    configs.push_back(cfg);
+  }
+  MapServiceOptions options;
+  options.pool = std::make_shared<ThreadPool>(3);
+  options.max_concurrent_jobs = 2;
+  MapService service(options);
+
+  const int before = MappingInstance::live_count();
+  MappingInstance::reset_peak_live_count();
+  const std::vector<ExperimentRow> rows = run_suite(configs, service);
+  ASSERT_EQ(rows.size(), configs.size());
+  EXPECT_LE(MappingInstance::peak_live_count() - before, 2 * service.max_concurrent_jobs());
+  EXPECT_EQ(MappingInstance::live_count(), before);  // nothing leaked
+
+  // The windowed rows still carry the instance metadata and match the
+  // serial path.
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ExperimentRow serial = run_experiment(configs[i], static_cast<int>(i) + 1);
+    EXPECT_EQ(rows[i].topology, serial.topology) << i;
+    EXPECT_EQ(rows[i].np, serial.np) << i;
+    EXPECT_EQ(rows[i].ns, serial.ns) << i;
+    EXPECT_EQ(rows[i].ours_total, serial.ours_total) << i;
+    EXPECT_EQ(rows[i].random_mean, serial.random_mean) << i;
+  }
+}
+
 TEST(MapServiceTest, ExperimentRequiresRandomBaseline) {
   // The legacy serial loop threw from evaluate_random_mappings when the
   // baseline was zeroed out; the batched protocol must not silently
