@@ -1,19 +1,26 @@
 // Delta-vs-full trial microbench (the PR acceptance numbers for the
-// incremental evaluator): on the 512-task / 8-processor layered-DAG
-// instance, measures ns/trial of the full zero-allocation kernel against
-// DeltaEval for single-cluster moves (try_move), cluster swaps (try_swap)
-// and a greedy accept-if-better loop (try_swap + commit), in the plain,
-// serialize and link-contention modes. Emits JSON (stdout or --out file)
-// recorded at the repo root as BENCH_delta.json; --smoke shrinks the
-// iteration counts for CI while still verifying delta/full bit-identity.
+// incremental evaluator): on 512-task / 8-processor layered-DAG instances,
+// measures ns/trial of the full zero-allocation kernel against the v1
+// (PR 2) and v2 (shift-compressed / verdict / link-bucketed, DESIGN.md 13)
+// delta engines for single-cluster moves (try_move), cluster swaps
+// (try_swap) and a greedy accept-if-better hill climb (the pairwise shape;
+// v2 rides the incumbent as its verdict cutoff there), in the plain,
+// serialize and link-contention modes across hypercube-3, mesh-2x4 and
+// star-8 interconnects. Emits JSON (stdout or --out file) recorded at the
+// repo root as BENCH_delta.json; --smoke shrinks the iteration counts for
+// CI while still verifying delta/full bit-identity for both engine
+// versions.
 #include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/strategies.hpp"
@@ -89,23 +96,43 @@ double time_ns_per_trial(const std::function<Weight(const MoveSpec&)>& trial,
   return dt / static_cast<double>(specs.size());
 }
 
+/// Best-of-N over independent repetitions, each with freshly built state
+/// (the factory returns a new trial closure per rep), so scheduler noise
+/// and thermal throttling cannot poison a single long measurement.
+double best_ns_per_trial(const std::function<std::function<Weight(const MoveSpec&)>()>& make,
+                         const std::vector<MoveSpec>& specs, Weight& checksum, int reps) {
+  double best = std::numeric_limits<double>::max();
+  for (int r = 0; r < reps; ++r) {
+    auto trial = make();
+    best = std::min(best, time_ns_per_trial(trial, specs, checksum));
+  }
+  return best;
+}
+
 struct OpResult {
   std::string topology;
   std::string mode;
   std::string op;
   double full_ns = 0;
-  double delta_ns = 0;
-  double avg_rescheduled = 0;
-  double avg_scanned = 0;
-  std::int64_t fallbacks = 0;
+  double v1_ns = 0;
+  double v2_ns = 0;
   std::int64_t trials = 0;
+  // v2 engine counters over the timed stream.
+  std::int64_t v2_shift_hits = 0;
+  std::int64_t v2_verdict_exits = 0;
+  std::int64_t v2_claims_skipped = 0;
+  std::int64_t v1_fallbacks = 0;
+  std::int64_t v2_fallbacks = 0;
 };
 
-std::string json_escape_free(double v) {
+std::string fmt(double v) {
   std::ostringstream os;
   os << v;
   return os.str();
 }
+
+constexpr DeltaOptions kV1{.version = 1};
+constexpr DeltaOptions kV2{.version = 2};
 
 int run(int argc, char** argv) {
   bool smoke = false;
@@ -134,9 +161,10 @@ int run(int argc, char** argv) {
       {"serialize", {.serialize_within_processor = true}, smoke ? 300 : 20000},
       {"link_contention", {.link_contention = true}, smoke ? 100 : 4000},
   };
-  // Two interconnects spanning the distance-structure spectrum: on the
-  // hypercube most moves change several hop distances, so the schedule
-  // suffix genuinely shifts (the incremental floor is the cascade size);
+  // Three interconnects spanning the distance-structure spectrum: on the
+  // hypercube and the mesh most moves change several hop distances, so the
+  // schedule suffix genuinely shifts (the v1 incremental floor was the
+  // cascade size — exactly what the v2 shift/verdict machinery attacks);
   // on the star all leaf<->leaf distances are equal, so most moves change
   // nothing and the delta path proves it in O(boundary arcs).
   struct Topo {
@@ -144,6 +172,7 @@ int run(int argc, char** argv) {
     SystemGraph sys;
   };
   const std::vector<Topo> topologies = {{"hypercube-3", make_hypercube(3)},
+                                        {"mesh-2x4", make_mesh(2, 4)},
                                         {"star-8", make_star(8)}};
 
   const Assignment start = Assignment::identity(ns);
@@ -154,28 +183,36 @@ int run(int argc, char** argv) {
   const MappingInstance inst = make_instance(np, ns, topo.sys);
   const EvalEngine engine(inst);
   for (const Mode& mode : modes) {
-    // Bit-identity spot check before timing anything.
+    // Bit-identity spot check of both engine versions — including verdict
+    // trials against a hill-climb incumbent — before timing anything.
     {
-      DeltaEval verify = engine.begin_delta(start, mode.eval);
+      DeltaEval v1 = engine.begin_delta(start, mode.eval, kV1);
+      DeltaEval v2 = engine.begin_delta(start, mode.eval, kV2);
       EvalWorkspace ws;
       std::vector<NodeId> host = start.host_of_vector();
+      Weight best = engine.trial_total_time(host, mode.eval, ws);
       Rng rng(7);
       for (int i = 0; i < (smoke ? 50 : 200); ++i) {
         const NodeId c1 = static_cast<NodeId>(rng.uniform(0, ns - 1));
         NodeId c2 = static_cast<NodeId>(rng.uniform(0, ns - 2));
         if (c2 >= c1) ++c2;
-        const Weight got = verify.try_swap(c1, c2);
+        const Weight got1 = v1.try_swap(c1, c2);
+        const Weight got2 = v2.try_swap(c1, c2, best);
         std::vector<NodeId> trial = host;
         std::swap(trial[idx(c1)], trial[idx(c2)]);
         const Weight want = engine.trial_total_time(trial, mode.eval, ws);
-        if (got != want) {
-          std::cerr << "MISMATCH mode=" << mode.name << " trial " << i << ": delta=" << got
-                    << " full=" << want << "\n";
+        const bool verdict_ok = got2 >= best && got2 <= want && want >= best;
+        if (got1 != want || (got2 != want && !verdict_ok)) {
+          std::cerr << "MISMATCH topo=" << topo.name << " mode=" << mode.name << " trial "
+                    << i << ": v1=" << got1 << " v2=" << got2 << " full=" << want
+                    << " best=" << best << "\n";
           return 1;
         }
-        if (i % 4 == 0) {
-          verify.commit();
+        if (got2 < best) {
+          v1.commit();
+          v2.commit();
           host = trial;
+          best = got2;
         }
       }
     }
@@ -185,118 +222,25 @@ int run(int argc, char** argv) {
     // Warm the kernel and the routing tables.
     for (int i = 0; i < 16; ++i) (void)engine.trial_total_time(host, mode.eval, ws);
 
-    // --- single-cluster move (the acceptance criterion) --------------------
-    {
+    const int reps = smoke ? 1 : 3;
+    const auto v2_counters = [](OpResult& r, const DeltaStats& s) {
+      r.v2_shift_hits = s.shift_fast_paths;
+      r.v2_verdict_exits = s.verdict_exits;
+      r.v2_claims_skipped = s.claims_skipped;
+      r.v2_fallbacks = s.full_fallbacks;
+    };
+
+    // --- single-cluster move / two-cluster swap (raw scoring streams) ------
+    const auto run_scoring = [&](const char* op, bool swap, std::uint64_t seed) {
       OpResult r;
       r.topology = topo.name;
       r.mode = mode.name;
-      r.op = "move1";
-      const auto specs = make_specs(ns, mode.iters, /*swap=*/false, 1001);
+      r.op = op;
+      const auto specs = make_specs(ns, mode.iters, swap, seed);
       r.trials = mode.iters;
-      r.full_ns = time_ns_per_trial(
-          [&](const MoveSpec& s) {
-            const NodeId saved = host[idx(s.a)];
-            host[idx(s.a)] = s.b;
-            const Weight t = engine.trial_total_time(host, mode.eval, ws);
-            host[idx(s.a)] = saved;
-            return t;
-          },
-          specs, checksum);
-      DeltaEval delta = engine.begin_delta(start, mode.eval);
-      r.delta_ns = time_ns_per_trial(
-          [&](const MoveSpec& s) { return delta.try_move(s.a, s.b); }, specs, checksum);
-      r.avg_rescheduled = static_cast<double>(delta.stats().tasks_rescheduled) /
-                          static_cast<double>(std::max<std::int64_t>(1, delta.stats().delta_trials));
-      r.avg_scanned = static_cast<double>(delta.stats().positions_scanned) /
-                      static_cast<double>(std::max<std::int64_t>(1, delta.stats().delta_trials));
-      r.fallbacks = delta.stats().full_fallbacks;
-      results.push_back(r);
-    }
-
-    // --- two-cluster swap --------------------------------------------------
-    {
-      OpResult r;
-      r.topology = topo.name;
-      r.mode = mode.name;
-      r.op = "swap";
-      const auto specs = make_specs(ns, mode.iters, /*swap=*/true, 2002);
-      r.trials = mode.iters;
-      r.full_ns = time_ns_per_trial(
-          [&](const MoveSpec& s) {
-            std::swap(host[idx(s.a)], host[idx(s.b)]);
-            const Weight t = engine.trial_total_time(host, mode.eval, ws);
-            std::swap(host[idx(s.a)], host[idx(s.b)]);
-            return t;
-          },
-          specs, checksum);
-      DeltaEval delta = engine.begin_delta(start, mode.eval);
-      r.delta_ns = time_ns_per_trial(
-          [&](const MoveSpec& s) { return delta.try_swap(s.a, s.b); }, specs, checksum);
-      r.avg_rescheduled = static_cast<double>(delta.stats().tasks_rescheduled) /
-                          static_cast<double>(std::max<std::int64_t>(1, delta.stats().delta_trials));
-      r.avg_scanned = static_cast<double>(delta.stats().positions_scanned) /
-                      static_cast<double>(std::max<std::int64_t>(1, delta.stats().delta_trials));
-      r.fallbacks = delta.stats().full_fallbacks;
-      results.push_back(r);
-    }
-
-    // --- greedy hill-climb: swap + commit-if-better (the pairwise shape) ---
-    {
-      OpResult r;
-      r.topology = topo.name;
-      r.mode = mode.name;
-      r.op = "swap_greedy";
-      const auto specs = make_specs(ns, mode.iters, /*swap=*/true, 3003);
-      r.trials = mode.iters;
-      // Zero-allocation baseline matching the pre-delta pairwise loop: one
-      // scratch host vector, swap in place, keep iff better else undo.
-      std::vector<NodeId> full_best = start.host_of_vector();
-      Weight full_best_total = engine.trial_total_time(full_best, mode.eval, ws);
-      r.full_ns = time_ns_per_trial(
-          [&](const MoveSpec& s) {
-            std::swap(full_best[idx(s.a)], full_best[idx(s.b)]);
-            const Weight t = engine.trial_total_time(full_best, mode.eval, ws);
-            if (t < full_best_total) {
-              full_best_total = t;
-            } else {
-              std::swap(full_best[idx(s.a)], full_best[idx(s.b)]);
-            }
-            return t;
-          },
-          specs, checksum);
-      DeltaEval delta = engine.begin_delta(start, mode.eval);
-      r.delta_ns = time_ns_per_trial(
-          [&](const MoveSpec& s) {
-            const Weight t = delta.try_swap(s.a, s.b);
-            if (t < delta.committed_total()) delta.commit();
-            return t;
-          },
-          specs, checksum);
-      r.avg_rescheduled = static_cast<double>(delta.stats().tasks_rescheduled) /
-                          static_cast<double>(std::max<std::int64_t>(1, delta.stats().delta_trials));
-      r.avg_scanned = static_cast<double>(delta.stats().positions_scanned) /
-                      static_cast<double>(std::max<std::int64_t>(1, delta.stats().delta_trials));
-      r.fallbacks = delta.stats().full_fallbacks;
-      results.push_back(r);
-    }
-
-    // --- the paper's pinned refinement move stream (star only) -------------
-    // The hub cluster is critical (every route crosses the hub) and stays
-    // pinned, as the paper's refinement pins critical abstract nodes; the
-    // search relocates leaf clusters across leaf processors, where all hop
-    // distances are equal — the distribution the delta evaluator's
-    // distance-change masks are built for.
-    if (topo.name == "star-8") {
-      const NodeId pinned = start.cluster_on(0);
-      const auto run_pinned = [&](const char* op, bool swap, std::uint64_t seed) {
-        OpResult r;
-        r.topology = topo.name;
-        r.mode = mode.name;
-        r.op = op;
-        const auto specs = make_pinned_specs(ns, mode.iters, swap, pinned, seed);
-        r.trials = mode.iters;
-        r.full_ns = time_ns_per_trial(
-            [&](const MoveSpec& s) {
+      r.full_ns = best_ns_per_trial(
+          [&]() -> std::function<Weight(const MoveSpec&)> {
+            return [&](const MoveSpec& s) {
               if (swap) {
                 std::swap(host[idx(s.a)], host[idx(s.b)]);
                 const Weight t = engine.trial_total_time(host, mode.eval, ws);
@@ -308,21 +252,123 @@ int run(int argc, char** argv) {
               const Weight t = engine.trial_total_time(host, mode.eval, ws);
               host[idx(s.a)] = saved;
               return t;
+            };
+          },
+          specs, checksum, reps);
+      std::shared_ptr<DeltaEval> delta;
+      const auto delta_factory = [&](const DeltaOptions& opt) {
+        return [&, opt]() -> std::function<Weight(const MoveSpec&)> {
+          delta = std::make_shared<DeltaEval>(engine.begin_delta(start, mode.eval, opt));
+          return [&, d = delta](const MoveSpec& s) {
+            return swap ? d->try_swap(s.a, s.b) : d->try_move(s.a, s.b);
+          };
+        };
+      };
+      r.v1_ns = best_ns_per_trial(delta_factory(kV1), specs, checksum, reps);
+      r.v1_fallbacks = delta->stats().full_fallbacks;
+      r.v2_ns = best_ns_per_trial(delta_factory(kV2), specs, checksum, reps);
+      v2_counters(r, delta->stats());
+      results.push_back(r);
+    };
+    run_scoring("move1", /*swap=*/false, 1001);
+    run_scoring("swap", /*swap=*/true, 2002);
+
+    // --- greedy hill climb: swap + commit-if-better (the pairwise shape) ---
+    // This is the acceptance stream: the search loops rewired onto the
+    // delta evaluator all run this accept rule, and v2 passes the
+    // incumbent as the verdict cutoff exactly as pairwise/annealing do.
+    {
+      OpResult r;
+      r.topology = topo.name;
+      r.mode = mode.name;
+      r.op = "swap_greedy";
+      const auto specs = make_specs(ns, mode.iters, /*swap=*/true, 3003);
+      r.trials = mode.iters;
+      // Zero-allocation baseline matching the pre-delta pairwise loop: one
+      // scratch host vector, swap in place, keep iff better else undo.
+      std::vector<NodeId> full_best;
+      Weight full_best_total = 0;
+      r.full_ns = best_ns_per_trial(
+          [&]() -> std::function<Weight(const MoveSpec&)> {
+            full_best = start.host_of_vector();
+            full_best_total = engine.trial_total_time(full_best, mode.eval, ws);
+            return [&](const MoveSpec& s) {
+              std::swap(full_best[idx(s.a)], full_best[idx(s.b)]);
+              const Weight t = engine.trial_total_time(full_best, mode.eval, ws);
+              if (t < full_best_total) {
+                full_best_total = t;
+              } else {
+                std::swap(full_best[idx(s.a)], full_best[idx(s.b)]);
+              }
+              return t;
+            };
+          },
+          specs, checksum, reps);
+      std::shared_ptr<DeltaEval> delta;
+      const auto climb_factory = [&](const DeltaOptions& opt, bool verdict) {
+        return [&, opt, verdict]() -> std::function<Weight(const MoveSpec&)> {
+          delta = std::make_shared<DeltaEval>(engine.begin_delta(start, mode.eval, opt));
+          return [&, d = delta, verdict](const MoveSpec& s) {
+            const Weight t = verdict ? d->try_swap(s.a, s.b, d->committed_total())
+                                     : d->try_swap(s.a, s.b);
+            if (t < d->committed_total()) d->commit();
+            return t;
+          };
+        };
+      };
+      r.v1_ns = best_ns_per_trial(climb_factory(kV1, false), specs, checksum, reps);
+      r.v1_fallbacks = delta->stats().full_fallbacks;
+      r.v2_ns = best_ns_per_trial(climb_factory(kV2, true), specs, checksum, reps);
+      v2_counters(r, delta->stats());
+      results.push_back(r);
+    }
+
+    // --- the paper's pinned refinement move stream (star only) -------------
+    // The hub cluster is critical (every route crosses the hub) and stays
+    // pinned, as the paper's refinement pins critical abstract nodes; the
+    // search relocates leaf clusters across leaf processors, where all hop
+    // distances are equal — the distribution the delta evaluator's
+    // distance-change masks are built for. These are the PR 2 headline
+    // streams: v2 must not regress them.
+    if (topo.name == "star-8") {
+      const NodeId pinned = start.cluster_on(0);
+      const auto run_pinned = [&](const char* op, bool swap, std::uint64_t seed) {
+        OpResult r;
+        r.topology = topo.name;
+        r.mode = mode.name;
+        r.op = op;
+        const auto specs = make_pinned_specs(ns, mode.iters, swap, pinned, seed);
+        r.trials = mode.iters;
+        r.full_ns = best_ns_per_trial(
+            [&]() -> std::function<Weight(const MoveSpec&)> {
+              return [&](const MoveSpec& s) {
+                if (swap) {
+                  std::swap(host[idx(s.a)], host[idx(s.b)]);
+                  const Weight t = engine.trial_total_time(host, mode.eval, ws);
+                  std::swap(host[idx(s.a)], host[idx(s.b)]);
+                  return t;
+                }
+                const NodeId saved = host[idx(s.a)];
+                host[idx(s.a)] = s.b;
+                const Weight t = engine.trial_total_time(host, mode.eval, ws);
+                host[idx(s.a)] = saved;
+                return t;
+              };
             },
-            specs, checksum);
-        DeltaEval delta = engine.begin_delta(start, mode.eval);
-        r.delta_ns = time_ns_per_trial(
-            [&](const MoveSpec& s) {
-              return swap ? delta.try_swap(s.a, s.b) : delta.try_move(s.a, s.b);
-            },
-            specs, checksum);
-        r.avg_rescheduled =
-            static_cast<double>(delta.stats().tasks_rescheduled) /
-            static_cast<double>(std::max<std::int64_t>(1, delta.stats().delta_trials));
-        r.avg_scanned =
-            static_cast<double>(delta.stats().positions_scanned) /
-            static_cast<double>(std::max<std::int64_t>(1, delta.stats().delta_trials));
-        r.fallbacks = delta.stats().full_fallbacks;
+            specs, checksum, reps);
+        std::shared_ptr<DeltaEval> delta;
+        const auto delta_factory = [&](const DeltaOptions& opt) {
+          return [&, opt]() -> std::function<Weight(const MoveSpec&)> {
+            delta = std::make_shared<DeltaEval>(engine.begin_delta(start, mode.eval, opt));
+            return [&, d = delta](const MoveSpec& s) {
+              return swap ? d->try_swap(s.a, s.b) : d->try_move(s.a, s.b);
+            };
+          };
+        };
+        r.v1_ns = best_ns_per_trial(delta_factory(kV1), specs, checksum, reps);
+        r.v1_fallbacks = delta->stats().full_fallbacks;
+        r.v2_ns = best_ns_per_trial(delta_factory(kV2), specs, checksum, reps);
+        v2_counters(r, delta->stats());
         results.push_back(r);
       };
       run_pinned("move1_pinned_hub", /*swap=*/false, 4004);
@@ -337,20 +383,32 @@ int run(int argc, char** argv) {
   os << "  \"instance\": {\"np\": " << np << ", \"ns\": " << ns
      << ", \"workload\": \"layered avg_out=1.5 seed=42\"},\n";
   os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  os << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
+  os << "  \"threads\": 1,\n";
   os << "  \"checksum\": " << checksum << ",\n";
   os << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const OpResult& r = results[i];
-    os << "    {\"topology\": \"" << r.topology << "\", \"mode\": \"" << r.mode << "\", \"op\": \"" << r.op << "\", \"trials\": "
-       << r.trials << ", \"full_ns_per_trial\": " << json_escape_free(r.full_ns)
-       << ", \"delta_ns_per_trial\": " << json_escape_free(r.delta_ns)
-       << ", \"speedup\": " << json_escape_free(r.full_ns / r.delta_ns)
-       << ", \"avg_tasks_rescheduled\": " << json_escape_free(r.avg_rescheduled)
-       << ", \"avg_positions_scanned\": " << json_escape_free(r.avg_scanned)
-       << ", \"full_fallbacks\": " << r.fallbacks << "}" << (i + 1 < results.size() ? "," : "")
-       << "\n";
+    // One composed label per stream, micro_soa-style, plus the structured
+    // fields it is composed from.
+    os << "    {\"name\": \"" << r.op << "/" << r.topology << "/" << r.mode << "\", "
+       << "\"topology\": \"" << r.topology << "\", \"mode\": \"" << r.mode
+       << "\", \"op\": \"" << r.op << "\", \"trials\": " << r.trials
+       << ", \"full_ns_per_trial\": " << fmt(r.full_ns)
+       << ", \"delta_v1_ns_per_trial\": " << fmt(r.v1_ns)
+       << ", \"delta_v2_ns_per_trial\": " << fmt(r.v2_ns)
+       << ", \"v2_speedup_vs_full\": " << fmt(r.full_ns / r.v2_ns)
+       << ", \"v2_speedup_vs_v1\": " << fmt(r.v1_ns / r.v2_ns)
+       << ", \"v2_shift_hits\": " << r.v2_shift_hits
+       << ", \"v2_verdict_exits\": " << r.v2_verdict_exits
+       << ", \"v2_claims_skipped\": " << r.v2_claims_skipped
+       << ", \"v1_full_fallbacks\": " << r.v1_fallbacks
+       << ", \"v2_full_fallbacks\": " << r.v2_fallbacks << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ],\n";
+  os << "  \"bit_identical\": true\n";
+  os << "}\n";
 
   if (!out_path.empty()) {
     std::ofstream f(out_path);

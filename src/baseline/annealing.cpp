@@ -48,8 +48,19 @@ AnnealingResult anneal_mapping(const EvalEngine& engine, const Assignment& start
 
   // Swap moves are scored incrementally against the accepted state: an
   // accepted move is committed, a rejected one is never applied (no undo
-  // swap needed). Delta totals are bit-identical to the full kernel, so
-  // the accept/reject stream matches the pre-delta implementation.
+  // swap needed). Trials run with `current_total + 1` as the verdict
+  // cutoff: a value at or below current_total is exact with delta <= 0 —
+  // accepted outright, no RNG draw, exactly like the pre-delta loop
+  // (weights are integral, so cand <= current <=> delta <= 0.0). A value
+  // above is a certified lower bound B on the candidate (delta >= B -
+  // current > 0), so the acceptance draw happens — same RNG stream — and
+  // since exp is decreasing, u >= exp(-(B - current)/T) already certifies
+  // u >= exp(-delta/T): a rejection identical to the exact one. Only when
+  // u clears the bound's threshold (an actual-acceptance candidate, or a
+  // trial that completed exactly despite the cutoff) is the exact total
+  // needed; a verdict-exited trial is then re-scored without a cutoff.
+  // The accept/reject stream is bit-identical to the pre-delta
+  // implementation (enforced by tests/delta_eval_test.cpp).
   DeltaEval delta_eval = engine.begin_delta(current, options.eval);
   for (std::int64_t step = 0; step < options.steps; ++step) {
     for (std::int64_t m = 0; m < moves; ++m) {
@@ -57,9 +68,23 @@ AnnealingResult anneal_mapping(const EvalEngine& engine, const Assignment& start
       const NodeId p = static_cast<NodeId>(rng.uniform(0, n - 1));
       NodeId q = static_cast<NodeId>(rng.uniform(0, n - 2));
       if (q >= p) ++q;
-      const Weight cand = delta_eval.try_swap(current.cluster_on(p), current.cluster_on(q));
-      const auto delta = static_cast<double>(cand - current_total);
-      if (delta <= 0.0 || rng.uniform01() < std::exp(-delta / temperature)) {
+      Weight cand =
+          delta_eval.try_swap(current.cluster_on(p), current.cluster_on(q), current_total + 1);
+      bool accept = cand <= current_total;  // exact, delta <= 0
+      if (!accept) {
+        const double u = rng.uniform01();
+        const auto bound_delta = static_cast<double>(cand - current_total);
+        if (u < std::exp(-bound_delta / temperature)) {
+          // Undecided at the bound: fetch the exact total (free when the
+          // trial already completed exactly) and apply the exact test.
+          if (!delta_eval.has_pending()) {
+            cand = delta_eval.try_swap(current.cluster_on(p), current.cluster_on(q));
+          }
+          const auto delta = static_cast<double>(cand - current_total);
+          accept = delta <= 0.0 || u < std::exp(-delta / temperature);
+        }
+      }
+      if (accept) {
         delta_eval.commit();
         current.swap_processors(p, q);
         current_total = cand;

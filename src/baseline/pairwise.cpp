@@ -62,9 +62,16 @@ RefineResult pairwise_exchange_refine(const EvalEngine& engine, const IdealSched
   Assignment best = result.assignment;
   Weight best_total = result.schedule.total_time;
   // Every trial is a two-cluster swap against the incumbent, so it runs on
-  // the incremental delta evaluator: accepted swaps are committed, rejected
-  // ones are simply never applied. Totals are bit-identical to the full
-  // kernel, so the accept sequence matches the pre-delta implementation.
+  // the incremental delta evaluator as a *verdict trial*: the accept test
+  // only needs `total < best_total`, so the incumbent rides along as the
+  // cutoff and a losing cascade stops at the first certified ">= best"
+  // end time. Values below the cutoff are exact and committable; values
+  // at or above it are rejected exactly as their exact totals would be.
+  // The termination check stays exact too: while the loop is live,
+  // best_total is strictly above the lower bound (the equality cases
+  // return), so a verdict bound >= best_total can never equal the lower
+  // bound and a lower-bound-reaching candidate is never cut off. Hence
+  // the accept stream matches the pre-delta implementation bit for bit.
   DeltaEval delta = engine.begin_delta(best, options.eval);
   bool improved_any = false;
   for (std::int64_t trial = 0; trial < budget; ++trial) {
@@ -74,7 +81,8 @@ RefineResult pairwise_exchange_refine(const EvalEngine& engine, const IdealSched
     if (j >= i) ++j;
     const NodeId pi = procs[static_cast<std::size_t>(i)];
     const NodeId pj = procs[static_cast<std::size_t>(j)];
-    const Weight cand_total = delta.try_swap(best.cluster_on(pi), best.cluster_on(pj));
+    const Weight cand_total =
+        delta.try_swap(best.cluster_on(pi), best.cluster_on(pj), best_total);
     if (options.use_termination_condition && cand_total == result.lower_bound) {
       best.swap_processors(pi, pj);
       result.assignment = best;
@@ -121,9 +129,12 @@ RefineResult pairwise_sweep_refine(const EvalEngine& engine, const IdealSchedule
   bool improved = true;
   bool improved_any = false;
   // Sweep trials are all swaps against the current assignment: score them
-  // incrementally, then re-score and commit the winning pair (the extra
-  // trial is not charged against the budget). The committed DeltaEval
-  // total is bit-identical to a full evaluation, so the schedule is only
+  // incrementally as verdict trials against the best total seen in the
+  // sweep (only strictly-better candidates matter, so a cascade that
+  // reaches the sweep incumbent stops early with a certified bound), then
+  // re-score exactly and commit the winning pair (the extra trial is not
+  // charged against the budget). The committed DeltaEval total is
+  // bit-identical to a full evaluation, so the schedule is only
   // materialized once, on exit.
   DeltaEval delta = engine.begin_delta(result.assignment, options.eval);
   Weight current_total = result.schedule.total_time;
@@ -136,7 +147,7 @@ RefineResult pairwise_sweep_refine(const EvalEngine& engine, const IdealSchedule
       for (std::size_t j = i + 1; j < procs.size() && result.trials_used < budget; ++j) {
         ++result.trials_used;
         const Weight t = delta.try_swap(result.assignment.cluster_on(procs[i]),
-                                        result.assignment.cluster_on(procs[j]));
+                                        result.assignment.cluster_on(procs[j]), best_total);
         if (t < best_total) {
           best_total = t;
           best_i = i;

@@ -22,9 +22,11 @@
 namespace mimdmap {
 
 /// Random-pair exchange under the same options/diagnostics as refine().
-/// Trials run on the engine's incremental delta evaluator (suffix
-/// rescheduling; bit-identical totals to the full kernel), with counters
-/// reported in RefineResult::delta.
+/// Trials run on the engine's incremental delta evaluator as *verdict
+/// trials* — the incumbent rides along as the cutoff, so a losing
+/// cascade stops at the first certified ">= best" bound while accepted
+/// totals stay exact (bit-identical accept streams to the full kernel);
+/// counters reported in RefineResult::delta.
 [[nodiscard]] RefineResult pairwise_exchange_refine(const EvalEngine& engine,
                                                     const IdealSchedule& ideal,
                                                     const InitialAssignmentResult& initial,

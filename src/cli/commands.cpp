@@ -218,6 +218,13 @@ int cmd_map(Flags& flags, std::ostream& out, std::ostream& err) {
      << (opts.refine.num_threads == 0 ? " (auto)" : "") << "\n";
   os << "eval width:         " << report.eval_width
      << (opts.refine.eval_width == 0 ? " (auto)" : "") << "\n";
+  if (report.delta.trials > 0) {
+    os << "delta trials:       " << report.delta.trials << " ("
+       << report.delta.delta_trials << " incremental, " << report.delta.full_fallbacks
+       << " full; " << report.delta.shift_fast_paths << " shift hits, "
+       << report.delta.verdict_exits << " verdict exits, " << report.delta.claims_skipped
+       << " claims skipped)\n";
+  }
   os << "optimal:            " << (report.reached_lower_bound ? "yes (termination condition)"
                                                               : "not proven") << "\n";
   os << "assignment (cluster on each processor): ";
@@ -350,7 +357,11 @@ int cmd_batch(Flags& flags, std::ostream& out, std::ostream& err) {
       "extended-critical", "random-trials", "random-seed"};
 
   // Instances live in a deque so MapJob pointers stay stable as lines are
-  // appended.
+  // appended. Manifests typically reuse a handful of machines, so the
+  // per-line topology tables (distance matrix + routing) come from one
+  // shared cache: repeated machines cost one build, and every job's engine
+  // adopts the shared routing instead of rebuilding it.
+  TopologyCache topo_cache;
   std::deque<MappingInstance> instances;
   std::vector<MapJob> jobs;
   std::istringstream manifest(slurp(manifest_path));
@@ -401,8 +412,9 @@ int cmd_batch(Flags& flags, std::ostream& out, std::ostream& err) {
     const DistanceModel model = manifest_bool(kv, "weighted-links")
                                     ? DistanceModel::kWeightedLinks
                                     : DistanceModel::kHops;
+    std::shared_ptr<const TopologyTables> tables = topo_cache.acquire(machine, model);
     instances.emplace_back(std::move(problem), std::move(clustering), std::move(machine),
-                           model);
+                           std::move(tables));
 
     MapJob job;
     job.instance = &instances.back();
@@ -465,8 +477,9 @@ int cmd_batch(Flags& flags, std::ostream& out, std::ostream& err) {
   std::ostringstream os;
   os << (csv ? table.to_csv() : table.to_string());
   os << "batch: " << total << " jobs, lane budget " << service.lane_budget()
-     << ", max concurrent " << service.max_concurrent_jobs() << ", wall " << std::fixed
-     << std::setprecision(1) << batch_ms << " ms\n";
+     << ", max concurrent " << service.max_concurrent_jobs() << ", topology cache "
+     << topo_cache.hits() << "/" << (topo_cache.hits() + topo_cache.misses())
+     << " hits, wall " << std::fixed << std::setprecision(1) << batch_ms << " ms\n";
   emit(flags, out, os.str());
   return 0;
 }

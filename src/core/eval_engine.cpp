@@ -14,6 +14,7 @@ namespace mimdmap {
 
 EvalEngine::EvalEngine(const MappingInstance& instance, std::shared_ptr<ThreadPool> pool)
     : instance_(instance), pool_(pool ? std::move(pool) : ThreadPool::shared()) {
+  if (instance.shared_tables()) adopt_topology(instance.shared_tables());
   const TaskGraph& problem = instance.problem();
   const auto order = topological_order(problem);
   if (!order) throw std::invalid_argument("evaluate: problem graph has a cycle");
@@ -53,10 +54,37 @@ EvalEngine::EvalEngine(const MappingInstance& instance, std::shared_ptr<ThreadPo
     succ_offset_[idx(v)] = static_cast<std::uint32_t>(succ_arcs_.size());
     for (const auto& [succ, edge_w] : problem.successors(v)) {
       (void)edge_w;
-      succ_arcs_.push_back({succ, cluster_of_[idx(succ)]});
+      succ_arcs_.push_back({succ, cluster_of_[idx(succ)], clus(idx(v), idx(succ))});
     }
   }
   succ_offset_[idx(np)] = static_cast<std::uint32_t>(succ_arcs_.size());
+
+  // Ancestor-cluster bitmasks (one forward pass over the predecessor CSR).
+  // With more than 64 clusters the masks degrade to all-ones, which only
+  // disables the certificate that reads them, never falsifies it.
+  reach_clusters_.assign(idx(np), ~std::uint64_t{0});
+  if (idx(instance.num_processors()) <= 64) {
+    for (const NodeId v : topo_order_) {
+      std::uint64_t mask = std::uint64_t{1} << idx(cluster_of_[idx(v)]);
+      for (std::uint32_t a = pred_offset_[idx(v)]; a < pred_offset_[idx(v) + 1]; ++a) {
+        mask |= reach_clusters_[idx(pred_arcs_[a].pred)];
+      }
+      reach_clusters_[idx(v)] = mask;
+    }
+  }
+
+  // Downstream node-weight potential (one reverse pass over the successor
+  // CSR): tail0_[v] = max over successors of (weight(succ) + tail0_[succ]).
+  tail0_.assign(idx(np), 0);
+  for (std::size_t i = topo_order_.size(); i-- > 0;) {
+    const NodeId v = topo_order_[i];
+    Weight t = 0;
+    for (std::uint32_t s = succ_offset_[idx(v)]; s < succ_offset_[idx(v) + 1]; ++s) {
+      const NodeId succ = succ_arcs_[s].succ;
+      t = std::max(t, node_weight_[idx(succ)] + tail0_[idx(succ)]);
+    }
+    tail0_[idx(v)] = t;
+  }
 
   // Per-cluster inter-cluster arc lists plus earliest member position —
   // the delta evaluator's seed scan touches exactly these arcs instead of
@@ -72,37 +100,79 @@ EvalEngine::EvalEngine(const MappingInstance& instance, std::shared_ptr<ThreadPo
     const NodeId cu = cluster_of_[idx(e.from)];
     const NodeId cv = cluster_of_[idx(e.to)];
     if (cu == cv) continue;
-    by_cluster[idx(cv)].push_back({e.to, topo_pos_[idx(e.to)], cu, true});
-    by_cluster[idx(cu)].push_back({e.to, topo_pos_[idx(e.to)], cv, false});
+    const Weight cw = clus(idx(e.from), idx(e.to));
+    by_cluster[idx(cv)].push_back({e.to, topo_pos_[idx(e.to)], cu, true, e.from, cw});
+    by_cluster[idx(cu)].push_back({e.to, topo_pos_[idx(e.to)], cv, false, e.from, cw});
   }
+  // Within each cluster, group the arcs by (other_cluster, incoming) so
+  // the delta engines can select whole groups off their per-cluster-pair
+  // distance-change masks (one branch per pair instead of per arc).
+  const std::size_t groups_per_cluster = 2 * idx(nc);
+  cluster_pair_offset_.assign(idx(nc) * groups_per_cluster + 1, 0);
+  cluster_pair_min_pos_.assign(idx(nc) * groups_per_cluster,
+                               static_cast<std::uint32_t>(idx(np)));
   cluster_arc_offset_.assign(idx(nc) + 1, 0);
   for (NodeId c = 0; c < nc; ++c) {
     cluster_arc_offset_[idx(c)] = static_cast<std::uint32_t>(cluster_arcs_.size());
-    cluster_arcs_.insert(cluster_arcs_.end(), by_cluster[idx(c)].begin(),
-                         by_cluster[idx(c)].end());
+    std::vector<ClusterArc>& list = by_cluster[idx(c)];
+    std::stable_sort(list.begin(), list.end(),
+                     [](const ClusterArc& a, const ClusterArc& b) {
+                       if (a.other_cluster != b.other_cluster) {
+                         return a.other_cluster < b.other_cluster;
+                       }
+                       return a.incoming < b.incoming;
+                     });
+    for (const ClusterArc& arc : list) {
+      const std::size_t g = idx(c) * groups_per_cluster + idx(arc.other_cluster) * 2 +
+                            (arc.incoming ? 1 : 0);
+      cluster_pair_min_pos_[g] = std::min(cluster_pair_min_pos_[g], arc.head_pos);
+    }
+    // Group offsets: count per group, then prefix-sum over this cluster's
+    // contiguous span (arcs are appended in sorted order right after).
+    const std::uint32_t base = static_cast<std::uint32_t>(cluster_arcs_.size());
+    std::size_t cursor = 0;
+    for (std::size_t g = 0; g < groups_per_cluster; ++g) {
+      cluster_pair_offset_[idx(c) * groups_per_cluster + g] =
+          base + static_cast<std::uint32_t>(cursor);
+      while (cursor < list.size()) {
+        const ClusterArc& arc = list[cursor];
+        const std::size_t ag = idx(arc.other_cluster) * 2 + (arc.incoming ? 1 : 0);
+        if (ag != g) break;
+        ++cursor;
+      }
+    }
+    cluster_arcs_.insert(cluster_arcs_.end(), list.begin(), list.end());
   }
   cluster_arc_offset_[idx(nc)] = static_cast<std::uint32_t>(cluster_arcs_.size());
+  cluster_pair_offset_.back() = static_cast<std::uint32_t>(cluster_arcs_.size());
 }
 
 EvalEngine::~EvalEngine() = default;
 
+void EvalEngine::adopt_topology(std::shared_ptr<const TopologyTables> tables) const {
+  if (tables == nullptr || routing_ptr_ != nullptr) return;  // already built/adopted
+  if (tables->ns != instance_.num_processors()) {
+    throw std::invalid_argument(
+        "adopt_topology: tables were built for a different machine size");
+  }
+  shared_tables_ = std::move(tables);
+}
+
 void EvalEngine::ensure_routing() const {
   std::call_once(routing_once_, [&] {
-    routing_ = std::make_unique<RoutingTable>(instance_.system());
-    const NodeId ns = instance_.num_processors();
-    route_offset_.assign(idx(ns) * idx(ns) + 1, 0);
-    std::vector<std::int32_t> links;
-    for (NodeId a = 0; a < ns; ++a) {
-      for (NodeId b = 0; b < ns; ++b) {
-        route_offset_[idx(a) * idx(ns) + idx(b)] = static_cast<std::uint32_t>(links.size());
-        const std::vector<NodeId> path = routing_->route(a, b);
-        for (std::size_t k = 0; k + 1 < path.size(); ++k) {
-          links.push_back(routing_->link_index(path[k], path[k + 1]));
-        }
-      }
+    if (shared_tables_) {
+      // Shared tables (TopologyCache): byte-identical to a private build,
+      // so adopters and self-builders issue identical claim sequences.
+      routing_ptr_ = &shared_tables_->routing;
+      route_offset_ptr_ = shared_tables_->route_offset.data();
+      route_links_ptr_ = shared_tables_->route_links.data();
+      return;
     }
-    route_offset_.back() = static_cast<std::uint32_t>(links.size());
-    route_links_ = std::move(links);
+    routing_ = std::make_unique<RoutingTable>(instance_.system());
+    flatten_routes(*routing_, route_offset_, route_links_);
+    routing_ptr_ = routing_.get();
+    route_offset_ptr_ = route_offset_.data();
+    route_links_ptr_ = route_links_.data();
   });
 }
 
@@ -112,8 +182,8 @@ void EvalEngine::ensure_workspace(EvalWorkspace& ws, bool link_contention) const
   if (ws.start.size() < np) ws.start.resize(np);
   if (ws.end.size() < np) ws.end.resize(np);
   if (ws.proc_free.size() < ns) ws.proc_free.resize(ns);
-  if (link_contention && ws.link_free.size() < routing_->link_count()) {
-    ws.link_free.resize(routing_->link_count());
+  if (link_contention && ws.link_free.size() < link_count()) {
+    ws.link_free.resize(link_count());
   }
 }
 
@@ -173,6 +243,76 @@ Weight EvalEngine::trial_total_time(std::span<const NodeId> host_of, const EvalO
   return run_schedule(host_of, options, ws);
 }
 
+Weight EvalEngine::run_schedule_verdict(std::span<const NodeId> host_of,
+                                        const EvalOptions& options, EvalWorkspace& ws,
+                                        Weight cutoff, const Weight* potential,
+                                        bool* certified, std::size_t* scheduled,
+                                        std::size_t start_pos) const {
+  const bool contention = options.link_contention;
+  const bool serialize = options.serialize_within_processor;
+  if (contention) ensure_routing();
+  ensure_workspace(ws, contention);
+  if (start_pos == 0) {
+    if (serialize) std::fill(ws.proc_free.begin(), ws.proc_free.end(), Weight{0});
+    if (contention) std::fill(ws.link_free.begin(), ws.link_free.end(), Weight{0});
+  }
+
+  const Matrix<Weight>& hops = instance_.hops();
+  Weight* const start = ws.start.data();
+  Weight* const end = ws.end.data();
+  Weight* const proc_free = ws.proc_free.data();
+  Weight* const link_free = ws.link_free.data();
+  const PredArc* const arcs = pred_arcs_.data();
+
+  Weight total = 0;
+  std::size_t done = 0;
+  const std::size_t np = topo_order_.size();
+  for (std::size_t pos = start_pos; pos < np; ++pos) {
+    const NodeId v = topo_order_[pos];
+    ++done;
+    const NodeId pv = host_of[idx(cluster_of_[idx(v)])];
+    Weight st = 0;
+    const std::uint32_t lo = pred_offset_[idx(v)];
+    const std::uint32_t hi = pred_offset_[idx(v) + 1];
+    for (std::uint32_t a = lo; a < hi; ++a) {
+      const PredArc& arc = arcs[a];
+      Weight arrival = end[idx(arc.pred)];
+      if (arc.weight > 0) {
+        const NodeId pp = host_of[idx(arc.pred_cluster)];
+        if (contention) {
+          for (const std::int32_t li : route_links(pp, pv)) {
+            const Weight depart = std::max(arrival, link_free[static_cast<std::size_t>(li)]);
+            arrival = depart + arc.weight;
+            link_free[static_cast<std::size_t>(li)] = arrival;
+          }
+        } else {
+          arrival += arc.weight * hops(idx(pp), idx(pv));
+        }
+      }
+      st = std::max(st, arrival);
+    }
+    if (serialize) st = std::max(st, proc_free[idx(pv)]);
+    start[idx(v)] = st;
+    const Weight en = st + node_weight_[idx(v)];
+    end[idx(v)] = en;
+    if (en + potential[idx(v)] >= cutoff) {
+      // en is exact and the potential schedule-independent for this
+      // trial, so the makespan is at least en + potential >= cutoff —
+      // certified without the schedule tail.
+      *certified = true;
+      if (scheduled != nullptr) *scheduled += done;
+      return en + potential[idx(v)];
+    }
+    if (serialize) proc_free[idx(pv)] = en;
+    total = std::max(total, en);
+  }
+  *certified = false;
+  if (scheduled != nullptr) *scheduled += done;
+  // A suffix launch computes the max over the suffix only; the caller
+  // folds in the untouched prefix's committed max.
+  return total;
+}
+
 // The SoA batch kernel body. Every per-candidate value lives at
 // [entity * W + lane], so the lane loops below read and write contiguous
 // W-wide rows; with kCutoff == false the lane index is the loop counter
@@ -196,7 +336,7 @@ void EvalEngine::soa_schedule(std::span<const std::vector<NodeId>> hosts, SoaWor
     for (std::size_t l = 0; l < W; ++l) row[l] = hosts[l][c];
   }
   if constexpr (kSerialize) ws.proc_free.assign(ns * W, Weight{0});
-  if constexpr (kContention) ws.link_free.assign(routing_->link_count() * W, Weight{0});
+  if constexpr (kContention) ws.link_free.assign(link_count() * W, Weight{0});
   ws.total.assign(W, Weight{0});
   std::size_t nlive = W;
   std::uint32_t* lanes = nullptr;
@@ -348,7 +488,7 @@ int EvalEngine::resolve_batch_width(int requested, const EvalOptions& options) c
   }
   if (options.link_contention) {
     ensure_routing();
-    per_lane += routing_->link_count() * sizeof(Weight);
+    per_lane += link_count() * sizeof(Weight);
   }
   constexpr std::size_t kCacheBudget = 256 * 1024;
   const std::size_t w = kCacheBudget / std::max<std::size_t>(1, per_lane);

@@ -86,8 +86,18 @@ struct DeltaOptions {
   /// 3x the per-task cost of the streaming kernel, so the break-even sits
   /// near a third of the graph). 0 forces every trial onto the full kernel
   /// (useful for testing); 1 disables the fallback. The result is
-  /// bit-identical either way.
+  /// bit-identical either way. Verdict trials (a cutoff was passed to
+  /// try_move/try_swap) fall back onto the *verdict* kernel instead — the
+  /// dense kernel with the same certified ">= cutoff" early exit.
   double fallback_fraction = 0.3;
+
+  /// Delta-engine generation: 2 is the shift-compressed engine
+  /// (DESIGN.md 13 — δ-shift markers, verdict trials, link-bucketed
+  /// contention claims), 1 the PR 2 suffix rescheduler retained as the
+  /// oracle fallback. 0 resolves through the MIMDMAP_DELTA_MODE
+  /// environment variable ("v1"/"1" or "v2"/"2"; default v2). Totals and
+  /// accept streams are bit-identical across versions.
+  int version = 0;
 };
 
 /// Counters accumulated by a DeltaEval across its lifetime.
@@ -98,6 +108,9 @@ struct DeltaStats {
   std::int64_t commits = 0;
   std::int64_t tasks_rescheduled = 0;  ///< recomputed tasks over all delta trials
   std::int64_t positions_scanned = 0;  ///< suffix positions visited (incl. clean)
+  std::int64_t shift_fast_paths = 0;   ///< v2: tasks closed by the δ-shift rule
+  std::int64_t verdict_exits = 0;      ///< v2: trials ended by a ">= cutoff" verdict
+  std::int64_t claims_skipped = 0;     ///< v2: committed link claims never replayed
 };
 
 class EvalEngine {
@@ -167,6 +180,17 @@ class EvalEngine {
 
   /// The worker pool this engine dispatches to (shared, never null).
   [[nodiscard]] const std::shared_ptr<ThreadPool>& pool() const noexcept { return pool_; }
+
+  /// Adopts shared topology tables (TopologyCache): contention-mode
+  /// evaluation then reads the shared RoutingTable and pre-flattened route
+  /// CSR instead of building private copies. Called automatically when the
+  /// instance carries shared tables; batch orchestrators (run_map_job)
+  /// call it for borrowed instances. Must happen before the first
+  /// contention-mode evaluation — once the private tables are built the
+  /// call is ignored. The tables must describe this instance's machine
+  /// (same processor count; TopologyCache keys guarantee structural
+  /// identity). Results are bit-identical with or without adoption.
+  void adopt_topology(std::shared_ptr<const TopologyTables> tables) const;
 
   /// Worker threads of the underlying shared pool spawned so far
   /// (diagnostics; the caller's own thread is not counted).
@@ -238,21 +262,29 @@ class EvalEngine {
 
   /// One pre-resolved successor arc (the delta evaluator's forward mirror
   /// of PredArc; inter-cluster iff succ_cluster != cluster_of(task)).
+  /// `weight` is clus_edge(task, succ) — the v2 delta engine's δ-shift
+  /// markers carry the successor's trial arrival, computed at mark time
+  /// from this weight and the hosts' hop distance.
   struct SuccArc {
     NodeId succ = 0;
     NodeId succ_cluster = 0;
+    Weight weight = 0;
   };
 
   /// One inter-cluster arc adjacent to a cluster, from that cluster's
   /// perspective — the delta evaluator's seed unit. `head` is the arc's
   /// receiver (the task whose start-time recurrence carries the cost term),
-  /// `other_cluster` the far endpoint's cluster, `incoming` whether the
-  /// cluster under consideration is the receiver side.
+  /// `tail` its sender, `weight` the clustered edge weight, `other_cluster`
+  /// the far endpoint's cluster, `incoming` whether the cluster under
+  /// consideration is the receiver side. tail/weight feed the v2 verdict
+  /// probe (lower-bound arrival over the re-costed arc).
   struct ClusterArc {
     NodeId head = 0;
     std::uint32_t head_pos = 0;  // topo position of head
     NodeId other_cluster = 0;
     bool incoming = false;
+    NodeId tail = 0;
+    Weight weight = 0;
   };
 
   void ensure_workspace(EvalWorkspace& ws, bool link_contention) const;
@@ -263,12 +295,33 @@ class EvalEngine {
   /// claims along byte-identical hop sequences.
   [[nodiscard]] std::span<const std::int32_t> route_links(NodeId pp, NodeId pv) const noexcept {
     const std::size_t r = idx(pp) * idx(instance_.num_processors()) + idx(pv);
-    return {route_links_.data() + route_offset_[r], route_offset_[r + 1] - route_offset_[r]};
+    return {route_links_ptr_ + route_offset_ptr_[r], route_offset_ptr_[r + 1] - route_offset_ptr_[r]};
   }
+  /// Link count of the routing tables; ensure_routing() must have completed.
+  [[nodiscard]] std::size_t link_count() const noexcept { return routing_ptr_->link_count(); }
   /// Shared kernel: schedules every task, filling ws.start / ws.end, and
   /// returns the makespan.
   Weight run_schedule(std::span<const NodeId> host_of, const EvalOptions& options,
                       EvalWorkspace& ws) const;
+  /// run_schedule with a certified early exit (the scalar sibling of the
+  /// SoA kernel's cutoff lanes): the moment a finalized end plus the
+  /// caller's downstream `potential` (a valid per-task lower bound on any
+  /// schedule's remaining path, e.g. tail0_ or DeltaEval's per-pair
+  /// potential) reaches `cutoff`, scheduling stops and the bound is
+  /// returned with *certified = true (the exact makespan can only be
+  /// larger; ws then holds a partial schedule). Otherwise the exact
+  /// makespan is returned with *certified = false and ws is fully filled,
+  /// bit-identical to run_schedule.
+  /// `start_pos` launches the kernel mid-order: the caller guarantees the
+  /// schedule of every position before it is already in ws (bit-identical
+  /// to what the kernel would have produced) along with the matching
+  /// proc_free/link_free running state — DeltaEval seeds these from its
+  /// committed schedule and checkpoints, since nothing before a trial's
+  /// anchor can change.
+  Weight run_schedule_verdict(std::span<const NodeId> host_of, const EvalOptions& options,
+                              EvalWorkspace& ws, Weight cutoff, const Weight* potential,
+                              bool* certified, std::size_t* scheduled = nullptr,
+                              std::size_t start_pos = 0) const;
   ScheduleResult workspace_to_result(const EvalWorkspace& ws, Weight total) const;
   /// Mode-specialized body of evaluate_batch_soa. kCutoff selects the
   /// live-lane-compaction variant; without it the lane loops stay dense.
@@ -285,15 +338,40 @@ class EvalEngine {
   std::vector<SuccArc> succ_arcs_;          // successors of v, edge-insertion order
   std::vector<std::uint32_t> cluster_arc_offset_;  // CSR over clusters:
   std::vector<ClusterArc> cluster_arcs_;           // inter-cluster arcs of cluster c
+  // Sub-CSR of cluster_arcs_: within cluster c the arcs are sorted by
+  // (other_cluster, incoming), and group (c, oc, incoming) spans
+  // [cluster_pair_offset_[g], cluster_pair_offset_[g + 1]) with
+  // g = c * 2 * ns + oc * 2 + incoming. The v2 delta engine selects whole
+  // groups off its distance-change masks instead of filtering arc by arc;
+  // cluster_pair_min_pos_[g] is the earliest head position in the group.
+  std::vector<std::uint32_t> cluster_pair_offset_;
+  std::vector<std::uint32_t> cluster_pair_min_pos_;
   std::vector<std::uint32_t> cluster_min_pos_;     // earliest member topo position
   std::vector<NodeId> cluster_of_;
   std::vector<Weight> node_weight_;
+  // tail0_[v]: largest sum of node weights along any v -> sink path,
+  // excluding v itself. Communication costs are nonnegative in every mode,
+  // so end(v) + tail0_[v] lower-bounds the makespan of ANY schedule — the
+  // v2 delta engine's verdict potential (a trial whose running end crosses
+  // cutoff - tail0 is certified hopeless long before the cascade tail).
+  std::vector<Weight> tail0_;
+  // reach_clusters_[v]: bitmask of the clusters of v and all its
+  // ancestors (all-ones when > 64 clusters). In plain mode a task whose
+  // mask excludes both moved clusters provably keeps its committed end —
+  // the v2 verdict probe's untouched-makespan-holder certificate.
+  std::vector<std::uint64_t> reach_clusters_;
 
   // Lazily built contention tables (plain evaluations never pay for them).
+  // When shared_tables_ is set (adopt_topology) the pointers alias the
+  // shared immutable tables and the private storage stays empty.
   mutable std::once_flag routing_once_;
+  mutable std::shared_ptr<const TopologyTables> shared_tables_;
   mutable std::unique_ptr<RoutingTable> routing_;
   mutable std::vector<std::uint32_t> route_offset_;  // CSR over (from * ns + to)
   mutable std::vector<std::int32_t> route_links_;    // link indices along each route
+  mutable const RoutingTable* routing_ptr_ = nullptr;
+  mutable const std::uint32_t* route_offset_ptr_ = nullptr;
+  mutable const std::int32_t* route_links_ptr_ = nullptr;
 
   std::shared_ptr<ThreadPool> pool_;  // shared, never null
   mutable EvalWorkspace caller_ws_;
@@ -340,8 +418,21 @@ class EvalEngine {
 ///    all tasks it falls back to the full kernel, so correctness never
 ///    depends on the widening analysis being tight.
 ///
+/// Version 2 (the default; DeltaOptions::version / MIMDMAP_DELTA_MODE)
+/// additionally breaks the dense-cascade floor three ways (DESIGN.md 13):
+/// δ-shift markers carry each changed predecessor's trial arrival to its
+/// successors, so a task inside a uniformly-shifted region closes in O(1)
+/// without rescanning its in-arcs (exact materialization at max-merge
+/// points where shifted and clean frontiers meet); verdict trials
+/// (try_move/try_swap with a cutoff) stop the moment the running result
+/// certifies ">= cutoff", skipping the cascade tail of rejected hill-climb
+/// candidates; and contention-mode claims are bucketed per link, so clean
+/// suffix positions skip untouched links wholesale instead of replaying
+/// every claim.
+///
 /// Totals are bit-identical to evaluate_reference() on the materialized
-/// assignment in every mode (enforced by tests/delta_eval_test.cpp).
+/// assignment in every mode and version (enforced by
+/// tests/delta_eval_test.cpp).
 /// Steady-state trials perform zero heap allocations; commits may allocate
 /// (they rebuild the contention claim tables).
 ///
@@ -366,10 +457,25 @@ class DeltaEval {
   /// other cluster keeps its committed host). The result may place two
   /// clusters on one processor — evaluation is well defined on any
   /// cluster -> processor map, not just permutations.
-  Weight try_move(NodeId cluster, NodeId processor);
+  Weight try_move(NodeId cluster, NodeId processor) {
+    return try_move(cluster, processor, kNoCutoff);
+  }
 
   /// Total time with clusters c1 and c2 exchanging their committed hosts.
-  Weight try_swap(NodeId c1, NodeId c2);
+  Weight try_swap(NodeId c1, NodeId c2) { return try_swap(c1, c2, kNoCutoff); }
+
+  /// Verdict trials (v2; hill-climb accept tests only need `total <
+  /// incumbent`): as above, but the trial may stop the moment its running
+  /// result is certified to reach `cutoff`. The returned value is the
+  /// exact total when it is below the cutoff; otherwise it is a certified
+  /// lower bound >= cutoff on the exact total (and may or may not be
+  /// exact). Only a trial that ran to completion is committable — after a
+  /// verdict exit has_pending() is false and commit() throws, which is
+  /// never hit by keep-iff-better loops (they only commit totals below
+  /// the incumbent they passed as the cutoff). Under version 1 the cutoff
+  /// is ignored and every total is exact. kNoCutoff disables the verdict.
+  Weight try_move(NodeId cluster, NodeId processor, Weight cutoff);
+  Weight try_swap(NodeId c1, NodeId c2, Weight cutoff);
 
   /// Folds the most recent try_move/try_swap into the committed state.
   /// Requires has_pending().
@@ -395,18 +501,55 @@ class DeltaEval {
     if (moved_count_ == 2 && c == moved_clusters_[1]) return moved_old_hosts_[1];
     return host_[idx(c)];
   }
-  Weight run_trial();          // scores host_ (holding trial hosts) vs committed state
-  Weight run_trial_plain();    // sparse bitmask-worklist path (no shared state)
-  Weight run_trial_scan();     // suffix-scan path (serialize / contention)
-  Weight run_full_trial();     // fallback: full kernel into full_ws_
-  std::size_t seed_dirty();    // marks the dirty seeds; returns scan anchor position
+  Weight run_trial(Weight cutoff);  // scores host_ (holding trial hosts) vs committed
+  Weight run_trial_plain();     // v1 sparse bitmask-worklist path (no shared state)
+  Weight run_trial_scan();      // v1 suffix-scan path (serialize / contention)
+  Weight run_trial_plain_v2();  // v2: δ-shift markers + verdict exits
+  Weight run_trial_scan_v2();   // v2: + link-bucketed claims (contention)
+  Weight run_full_trial();      // fallback: full kernel into full_ws_
+  /// v2 cutoff fallback: the dense kernel with certified early exit
+  /// (EvalEngine::run_schedule_verdict). Certified -> sets verdict_exit_
+  /// and leaves nothing pending; exact -> behaves like run_full_trial.
+  Weight run_verdict_full_trial();
+  std::size_t seed_dirty();     // marks the dirty seeds; returns scan anchor position
+
+  /// v2 cutoff flow, stage 1: computes the distance-change masks and
+  /// collects every cost-changed boundary-arc GROUP (the engine's
+  /// per-cluster-pair sub-CSR) into probe_groups_ WITHOUT touching any
+  /// dirty state, returning the scan anchor (np_ when the trial provably
+  /// equals the committed schedule). One branch per cluster pair instead
+  /// of per arc, and the cheap common case — a verdict — then leaves no
+  /// marks to clean up.
+  std::size_t collect_probe_groups();
+  /// v2 cutoff flow, stage 2: tries to certify "total >= cutoff" from
+  /// (a) the untouched prefix's committed end + tail0 potential and (b) a
+  /// read-only greedy walk down ONE path from the strongest re-costed
+  /// collected arc, accumulating exact lower-bound arrivals (comm costs
+  /// included) against the tail0 potential. Returns a certified bound
+  /// >= cutoff, or -1 when it cannot decide. O(collected arcs + DAG
+  /// depth); touches no trial state.
+  Weight verdict_probe(std::size_t anchor) const;
+  /// The probe's greedy downstream walk from task v with lower-bound
+  /// trial end b; returns a certified bound >= the trial cutoff, or -1.
+  /// Also re-run mid-cascade from the first exactly-recomputed task,
+  /// whose true end often clears what the probe's arc bounds could not.
+  Weight greedy_walk_bound(NodeId v, Weight b) const;
+  /// v2 cutoff flow, stage 3 (probe undecided): marks the collected
+  /// groups' heads dirty, exactly as seed_dirty would have.
+  void seed_from_collected();
   void apply_pending_hosts();
   void restore_committed_hosts();
   void rebuild_committed_aux();  // prefix max / max-holder count + contention claims
+  /// v2 contention: link `li` diverges from the committed claim stream at
+  /// bucket rank `rank` — record its live busy-until time and mark every
+  /// later committed claimant of the link dirty (they must recompute).
+  /// rank == -1 marks the whole bucket.
+  void make_link_dirty(std::size_t li, std::int64_t rank, Weight live);
 
   const EvalEngine* engine_;
   EvalOptions options_;
   DeltaOptions dopt_;
+  int version_ = 2;  // resolved engine generation (DeltaOptions::version)
   std::size_t np_ = 0;
   std::size_t ns_ = 0;
 
@@ -417,6 +560,42 @@ class DeltaEval {
   Weight committed_total_ = 0;
   std::size_t count_at_max_ = 0;        // tasks with end == committed_total_
   std::vector<Weight> prefix_max_end_;  // [i] = max end over topo positions [0, i)
+  // v2: [i] = max of end + tail0 over topo positions [0, i) — the verdict
+  // bound the untouched prefix alone certifies for any trial.
+  std::vector<Weight> prefix_max_bound_;
+  // v2 plain mode: ancestor-cluster masks of (up to a handful of) committed
+  // makespan holders — a holder whose mask excludes both moved clusters
+  // certifies total' >= committed total without any scan.
+  std::vector<std::uint64_t> holder_reach_;
+  // v2 verdict potentials. A trial moving only clusters {c1, c2} keeps
+  // the exact committed transmission cost on every arc not adjacent to
+  // them, so tail_pair(v) — the longest downstream path costing adjacent
+  // arcs 0 and everything else its committed cost — is a far stronger
+  // valid potential than the static node-weight-only tail0. Cached per
+  // unordered pair (direct-mapped, invalidated on commit);
+  // trial_potential_ points at the active potential for the running
+  // trial's verdict checks.
+  struct PairPotential {
+    std::uint32_t key = ~0u;
+    std::uint64_t commit_epoch = ~std::uint64_t{0};
+    std::vector<Weight> tail;    // per-task downstream potential
+    std::vector<Weight> prefix;  // [i] = max of end + tail over positions [0, i)
+  };
+  std::vector<PairPotential> pair_cache_;
+  std::uint64_t commit_epoch_ = 0;
+  const Weight* trial_potential_ = nullptr;
+  const Weight* trial_prefix_bound_ = nullptr;
+  // v2: committed running-state checkpoints every 64 positions (proc_free
+  // under serialize, link_free under contention), so a verdict-kernel
+  // launch from a trial's anchor replays at most 63 positions of prefix
+  // state instead of scheduling the whole prefix.
+  std::vector<Weight> proc_ckpt_;
+  std::vector<Weight> link_ckpt_;
+  /// Returns the pair potential for the current moved clusters (computing
+  /// or refreshing the cache slot as needed) and points
+  /// trial_prefix_bound_ at the matching prefix table; engine tail0 /
+  /// prefix_max_bound_ when disabled.
+  const Weight* pair_potential();
   // Committed link claims (contention mode): claim k of topo position p is
   // claim_links_/claim_values_[claim_pos_offset_[p] .. [p+1]) — the link it
   // lands on and the link's busy-until time after the claim, in the exact
@@ -424,6 +603,23 @@ class DeltaEval {
   std::vector<std::uint32_t> claim_pos_offset_;
   std::vector<std::int32_t> claim_links_;
   std::vector<Weight> claim_values_;
+  // v2: per-claim sender task and message weight — the pair potential's
+  // link-congestion floor attributes each claim's suffix load to the task
+  // whose message holds the link.
+  std::vector<NodeId> claim_senders_;
+  std::vector<Weight> claim_weights_;
+  // v2: the same committed claims bucketed by link (bucket entries of link
+  // l are [bucket_offset_[l], bucket_offset_[l+1]), in claim-stream order),
+  // so a link that diverges can mark exactly its later claimants dirty and
+  // clean positions skip untouched links wholesale. claim_bucket_rank_
+  // maps a global claim index to its rank inside its link's bucket — the
+  // entry at rank - 1 holds the link's committed busy-until time right
+  // before the claim.
+  std::vector<std::uint32_t> bucket_offset_;
+  std::vector<std::uint32_t> bucket_pos_;    // claiming task's topo position
+  std::vector<Weight> bucket_value_;         // busy-until after the claim
+  std::vector<std::uint32_t> bucket_claim_;  // global claim index (ascending)
+  std::vector<std::uint32_t> claim_bucket_rank_;
 
   // Epoch-stamped trial scratch (bumping epoch_ invalidates all of it),
   // plus the plain-mode dirty bitmask (self-cleaning: every set bit is
@@ -435,6 +631,14 @@ class DeltaEval {
   std::uint32_t epoch_ = 0;
   std::vector<std::uint64_t> dirty_bits_;    // plain mode, indexed by topo position
   std::vector<std::uint32_t> dirty_stamp_;   // scan modes: task must be recomputed
+                                             // (v2 plain: task was *seeded*)
+  // v2 δ-shift markers: a recomputed task whose end moved pushes its
+  // successors' trial arrivals here at mark time; a popped task whose
+  // marker max covers its committed start (or that heard from every
+  // predecessor) closes in O(1) without rescanning its in-arcs.
+  std::vector<std::uint32_t> marker_stamp_;
+  std::vector<Weight> marker_max_;
+  std::vector<std::uint32_t> marker_count_;
   std::vector<Weight> trial_start_;
   std::vector<Weight> trial_end_;
   std::vector<std::uint32_t> proc_dirty_stamp_;  // serialize widening
@@ -444,19 +648,23 @@ class DeltaEval {
   std::vector<NodeId> touched_;          // recomputed tasks of the pending trial
   std::vector<Weight> touched_old_end_;  // their committed end times (undo log)
   std::vector<unsigned char> in_changed_;   // per other-cluster distance-change
-  std::vector<unsigned char> out_changed_;  // masks of the current moved cluster
+  std::vector<unsigned char> out_changed_;  // masks, [mover * ns + other]
   std::size_t seed_count_ = 0;   // distinct tasks seeded by the current trial
   std::size_t scan_anchor_ = 0;  // earliest affected topo position of the trial
   bool conservative_ = false;    // adaptive: fallbacks dominate, skip the scan
+  std::vector<std::uint32_t> probe_groups_;  // v2 cutoff flow: changed arc groups
 
   // Pending trial bookkeeping.
   Pending pending_ = Pending::kNone;
+  Weight trial_cutoff_ = kNoCutoff;  // verdict threshold of the running trial
+  bool verdict_exit_ = false;        // current trial ended on a ">= cutoff" verdict
   int moved_count_ = 0;
   NodeId moved_clusters_[2] = {-1, -1};
   NodeId moved_old_hosts_[2] = {-1, -1};
   NodeId moved_new_hosts_[2] = {-1, -1};
   Weight pending_total_ = 0;
   EvalWorkspace full_ws_;  // holds the schedule of a full-fallback trial
+  std::size_t full_start_pos_ = 0;  // anchored-launch position of full_ws_'s content
 
   DeltaStats stats_;
 };

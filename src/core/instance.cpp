@@ -47,6 +47,27 @@ MappingInstance::MappingInstance(TaskGraph problem, Clustering clustering, Syste
       clustering_(std::move(clustering)),
       system_(std::move(system)),
       distance_model_(distance_model) {
+  init_derived();
+}
+
+MappingInstance::MappingInstance(TaskGraph problem, Clustering clustering, SystemGraph system,
+                                 std::shared_ptr<const TopologyTables> tables)
+    : problem_(std::move(problem)),
+      clustering_(std::move(clustering)),
+      system_(std::move(system)),
+      tables_(std::move(tables)) {
+  if (tables_ == nullptr) {
+    throw std::invalid_argument("MappingInstance: shared topology tables are null");
+  }
+  if (tables_->ns != system_.node_count()) {
+    throw std::invalid_argument(
+        "MappingInstance: shared topology tables were built for a different machine size");
+  }
+  distance_model_ = tables_->model;
+  init_derived();
+}
+
+void MappingInstance::init_derived() {
   problem_.validate();
   system_.validate();
   if (clustering_.num_tasks() != problem_.node_count()) {
@@ -58,8 +79,10 @@ MappingInstance::MappingInstance(TaskGraph problem, Clustering clustering, Syste
   }
   abstract_ = AbstractGraph(problem_, clustering_);
   clus_edge_ = clustered_edge_matrix(problem_, clustering_);
-  hops_ = distance_model_ == DistanceModel::kHops ? all_pairs_hops(system_)
-                                                  : floyd_warshall(system_);
+  if (tables_ == nullptr) {
+    hops_ = distance_model_ == DistanceModel::kHops ? all_pairs_hops(system_)
+                                                    : floyd_warshall(system_);
+  }
 }
 
 }  // namespace mimdmap

@@ -13,27 +13,30 @@
 //  * the system graph is connected.
 #pragma once
 
+#include <memory>
+
 #include "cluster/abstract_graph.hpp"
 #include "cluster/clustering.hpp"
 #include "graph/matrix.hpp"
 #include "graph/system_graph.hpp"
 #include "graph/task_graph.hpp"
+#include "graph/topology_cache.hpp"
 
 namespace mimdmap {
-
-/// How inter-processor distances are measured.
-enum class DistanceModel {
-  /// Hop counts (the paper's model: a k-hop message costs k * weight).
-  kHops,
-  /// Weighted shortest paths over the link weights (extension for
-  /// heterogeneous interconnects; reduces to kHops on unit links).
-  kWeightedLinks,
-};
 
 class MappingInstance {
  public:
   MappingInstance(TaskGraph problem, Clustering clustering, SystemGraph system,
                   DistanceModel distance_model = DistanceModel::kHops);
+
+  /// As above against pre-built shared topology tables (TopologyCache):
+  /// the instance reads its distance matrix from the tables instead of
+  /// recomputing it, and engines built on the instance adopt the shared
+  /// routing. The tables must have been built from a system graph
+  /// structurally identical to `system` (same node count, links and
+  /// weights — TopologyCache keys guarantee this).
+  MappingInstance(TaskGraph problem, Clustering clustering, SystemGraph system,
+                  std::shared_ptr<const TopologyTables> tables);
 
   [[nodiscard]] const TaskGraph& problem() const noexcept { return problem_; }
   [[nodiscard]] const Clustering& clustering() const noexcept { return clustering_; }
@@ -46,9 +49,18 @@ class MappingInstance {
   /// All-pairs distances in the system graph (paper's shortest matrix).
   /// Hop counts under DistanceModel::kHops, weighted path costs under
   /// kWeightedLinks.
-  [[nodiscard]] const Matrix<Weight>& hops() const noexcept { return hops_; }
+  [[nodiscard]] const Matrix<Weight>& hops() const noexcept {
+    return tables_ ? tables_->hops : hops_;
+  }
 
   [[nodiscard]] DistanceModel distance_model() const noexcept { return distance_model_; }
+
+  /// The shared topology tables this instance was built against, or null
+  /// when it computed its own matrices. Engines adopt the shared routing
+  /// from here (EvalEngine::adopt_topology).
+  [[nodiscard]] const std::shared_ptr<const TopologyTables>& shared_tables() const noexcept {
+    return tables_;
+  }
 
   [[nodiscard]] NodeId num_tasks() const noexcept { return problem_.node_count(); }
   [[nodiscard]] NodeId num_processors() const noexcept { return system_.node_count(); }
@@ -70,6 +82,10 @@ class MappingInstance {
   static void reset_peak_live_count() noexcept;
 
  private:
+  /// Shared construction tail: validation + derived matrices (the distance
+  /// matrix only when no shared tables were given).
+  void init_derived();
+
   /// Bumps the live/peak counters across every construction path.
   struct LiveCounter {
     LiveCounter() noexcept;
@@ -85,7 +101,8 @@ class MappingInstance {
   SystemGraph system_;
   AbstractGraph abstract_;
   Matrix<Weight> clus_edge_;
-  Matrix<Weight> hops_;
+  Matrix<Weight> hops_;  // unused when tables_ provides the matrix
+  std::shared_ptr<const TopologyTables> tables_;
   DistanceModel distance_model_ = DistanceModel::kHops;
 };
 

@@ -1,0 +1,102 @@
+// TopologyCache: shared, immutable per-topology evaluation tables.
+//
+// Every MappingInstance needs the all-pairs distance matrix of its system
+// graph, and every contention-mode EvalEngine needs a RoutingTable plus the
+// pre-flattened per-route link sequences. A batch (MapService manifest,
+// experiment suite) typically reuses a handful of machines across many
+// jobs, so rebuilding those tables per instance is pure waste. This module
+// factors them into one immutable bundle (TopologyTables) and a
+// process-safe cache (TopologyCache) keyed by the topology's structural
+// fingerprint, so jobs sharing a system graph share one build:
+//
+//  * MappingInstance accepts a shared TopologyTables and skips its own
+//    distance-matrix construction;
+//  * EvalEngine::ensure_routing adopts the shared routing + route CSR
+//    instead of rebuilding them (EvalEngine::adopt_topology);
+//  * MapService owns a TopologyCache and threads it through run_map_job,
+//    reporting per-job hits in MapJobResult::topology_cache_hit.
+//
+// Tables are immutable after construction and shared by const pointer, so
+// any number of concurrent engines may read them. Determinism: the tables
+// are a pure function of (system graph structure, distance model) — a
+// cache hit hands back byte-identical data to what a fresh build would
+// produce, so mapping results are unchanged by caching (enforced by
+// tests/map_service_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/matrix.hpp"
+#include "graph/routing.hpp"
+#include "graph/system_graph.hpp"
+#include "graph/types.hpp"
+
+namespace mimdmap {
+
+/// How inter-processor distances are measured.
+enum class DistanceModel {
+  /// Hop counts (the paper's model: a k-hop message costs k * weight).
+  kHops,
+  /// Weighted shortest paths over the link weights (extension for
+  /// heterogeneous interconnects; reduces to kHops on unit links).
+  kWeightedLinks,
+};
+
+/// Everything evaluation derives from a system graph alone: the all-pairs
+/// distance matrix (the paper's shortest[ns][ns]), the deterministic
+/// routing table, and every route pre-flattened to its link-index sequence
+/// (CSR over ordered processor pairs, the layout EvalEngine's kernels
+/// consume). Immutable after construction.
+struct TopologyTables {
+  TopologyTables(const SystemGraph& system, DistanceModel model);
+
+  DistanceModel model = DistanceModel::kHops;
+  NodeId ns = 0;
+  Matrix<Weight> hops;
+  RoutingTable routing;
+  std::vector<std::uint32_t> route_offset;  // CSR over (from * ns + to)
+  std::vector<std::int32_t> route_links;    // link indices along each route
+};
+
+/// Structural fingerprint of (system graph, distance model): node count
+/// plus the link list with weights in insertion order. Two graphs with the
+/// same fingerprint produce byte-identical TopologyTables.
+[[nodiscard]] std::string topology_fingerprint(const SystemGraph& system, DistanceModel model);
+
+/// Flattens every fixed route of `routing` into the link-index CSR the
+/// evaluation kernels consume (offsets over ordered processor pairs,
+/// from * ns + to). The ONE definition of this layout: TopologyTables and
+/// EvalEngine's private build both call it, so cache adopters and
+/// self-builders issue claims along byte-identical hop sequences by
+/// construction.
+void flatten_routes(const RoutingTable& routing, std::vector<std::uint32_t>& route_offset,
+                    std::vector<std::int32_t>& route_links);
+
+/// Thread-safe build-once cache of TopologyTables keyed by
+/// topology_fingerprint. Entries live for the cache's lifetime (a batch
+/// reuses a handful of machines, so the working set is tiny).
+class TopologyCache {
+ public:
+  /// Returns the shared tables for (system, model), building them on first
+  /// use. `hit`, when given, reports whether the tables already existed.
+  [[nodiscard]] std::shared_ptr<const TopologyTables> acquire(const SystemGraph& system,
+                                                              DistanceModel model,
+                                                              bool* hit = nullptr);
+
+  [[nodiscard]] std::int64_t hits() const;
+  [[nodiscard]] std::int64_t misses() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const TopologyTables>> entries_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace mimdmap

@@ -11,7 +11,7 @@
 namespace mimdmap {
 
 MapJobResult run_map_job(const MapJob& job, const std::shared_ptr<ThreadPool>& pool,
-                         int lanes) {
+                         int lanes, TopologyCache* topo_cache) {
   if (job.instance == nullptr && !job.build) {
     throw std::invalid_argument("run_map_job: job has neither an instance nor a builder");
   }
@@ -35,8 +35,24 @@ MapJobResult run_map_job(const MapJob& job, const std::shared_ptr<ThreadPool>& p
     instance = &*owned;
   }
 
+  // Topology-table sharing: instances already carrying shared tables (a
+  // cache-aware submitter, e.g. the CLI batch manifest) are adopted by the
+  // engine automatically and share everything including the distance
+  // matrix; otherwise the service cache supplies tables keyed by the
+  // machine's structure, so only the first job per topology builds the
+  // routing tables the engine adopts (the instance computed its own
+  // distance matrix before reaching this point — that part is only
+  // amortized by cache-aware construction).
+  bool cache_hit = false;
+  std::shared_ptr<const TopologyTables> tables = instance->shared_tables();
+  if (topo_cache != nullptr && tables == nullptr) {
+    tables = topo_cache->acquire(instance->system(), instance->distance_model(), &cache_hit);
+  }
+
   const EvalEngine engine(*instance, pool);
+  if (tables) engine.adopt_topology(tables);
   MapJobResult result;
+  result.topology_cache_hit = cache_hit;
   result.name = job.name;
   result.system_name = instance->system().name();
   result.np = instance->num_tasks();
@@ -96,7 +112,7 @@ void MapService::runner_main() {
     lock.unlock();
 
     try {
-      MapJobResult result = run_map_job(queued.job, pool_, lanes);
+      MapJobResult result = run_map_job(queued.job, pool_, lanes, &topo_cache_);
       if (queued.on_done) queued.on_done(result);
       queued.promise.set_value(std::move(result));
     } catch (...) {

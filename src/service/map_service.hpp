@@ -81,6 +81,16 @@ struct MapJobResult {
   double wall_ms = 0.0;
   /// Inner lane budget the sharding policy granted this job.
   int lanes = 1;
+  /// True iff the job's topology tables were served from an earlier job's
+  /// build in the service's TopologyCache instead of being rebuilt (false
+  /// when no cache was in play, or when this job was the first for its
+  /// topology). For jobs whose instance was built elsewhere, the hit
+  /// amortizes the routing tables the engine adopts; the instance's own
+  /// distance matrix was already built by then — full sharing (matrix
+  /// included) needs the instance constructed against cache tables, as
+  /// the CLI batch manifest does. Service-wide totals live on
+  /// MapService::topology_cache().
+  bool topology_cache_hit = false;
   /// Instance summary, filled by run_map_job — deferred-build jobs drop
   /// the instance before delivering, so consumers (experiment tables) read
   /// these instead of the instance.
@@ -112,10 +122,13 @@ struct BatchProgress {
 /// (run_experiment, benches) that must stay bit-identical to the batched
 /// path. lanes > 0 overrides the job's RefineOptions::num_threads (the
 /// service's sharding policy); lanes == 0 leaves the job's own setting in
-/// charge. Null pool acquires ThreadPool::shared().
+/// charge. Null pool acquires ThreadPool::shared(). `topo_cache`, when
+/// given, shares topology tables (distance matrix + routing) across jobs
+/// with structurally identical machines — results are bit-identical with
+/// or without it.
 [[nodiscard]] MapJobResult run_map_job(const MapJob& job,
                                        const std::shared_ptr<ThreadPool>& pool = nullptr,
-                                       int lanes = 0);
+                                       int lanes = 0, TopologyCache* topo_cache = nullptr);
 
 class MapService {
  public:
@@ -146,6 +159,13 @@ class MapService {
   [[nodiscard]] int max_concurrent_jobs() const noexcept { return max_runners_; }
   [[nodiscard]] const std::shared_ptr<ThreadPool>& pool() const noexcept { return pool_; }
 
+  /// Service-level topology-table cache: jobs sharing a system graph
+  /// (manifests and suites reuse a handful of machines) share one
+  /// distance-matrix + routing build (ROADMAP "topology-table cache").
+  /// Per-job hits are reported in MapJobResult::topology_cache_hit.
+  [[nodiscard]] TopologyCache& topology_cache() noexcept { return topo_cache_; }
+  [[nodiscard]] const TopologyCache& topology_cache() const noexcept { return topo_cache_; }
+
  private:
   struct QueuedJob {
     MapJob job;
@@ -160,6 +180,7 @@ class MapService {
   std::future<MapJobResult> enqueue_locked(QueuedJob queued, const char* caller);
 
   std::shared_ptr<ThreadPool> pool_;
+  TopologyCache topo_cache_;
   int lane_budget_ = 1;
   int max_runners_ = 1;
 

@@ -152,6 +152,88 @@ TEST(MapServiceTest, BatchIsBitIdenticalToSequentialForAnyLanesAndOrder) {
   }
 }
 
+TEST(MapServiceTest, TopologyCacheSharesTablesAcrossJobsBitIdentically) {
+  // Jobs reusing a machine must share one topology-table build through the
+  // service cache (ROADMAP open item) with per-job hits reported, and the
+  // cached path must stay bit-identical to the cache-free sequential path.
+  LayeredDagParams layered;
+  layered.num_tasks = 50;
+  std::deque<MappingInstance> instances;
+  std::vector<MapJob> jobs;
+  for (int i = 0; i < 6; ++i) {
+    TaskGraph problem = make_layered_dag(layered, 100 + static_cast<std::uint64_t>(i));
+    // Two distinct machines alternate, so both populate the cache once.
+    SystemGraph system = make_topology(i % 2 == 0 ? "hypercube-3" : "mesh-2x4");
+    Clustering clustering =
+        make_clustering("block", problem, system.node_count(), 1);
+    instances.emplace_back(std::move(problem), std::move(clustering), std::move(system));
+    MapJob job;
+    job.instance = &instances.back();
+    job.name = "cache-job-" + std::to_string(i);
+    job.options.refine.eval.link_contention = true;  // exercises shared routing
+    jobs.push_back(job);
+  }
+
+  std::vector<MapJobResult> uncached;
+  for (const MapJob& job : jobs) uncached.push_back(run_map_job(job));
+
+  MapServiceOptions opts;
+  opts.max_concurrent_jobs = 1;  // deterministic hit pattern: first per machine misses
+  MapService service(std::move(opts));
+  const std::vector<MapJobResult> cached = service.map_batch(jobs);
+
+  ASSERT_EQ(cached.size(), uncached.size());
+  int hits = 0;
+  for (std::size_t i = 0; i < cached.size(); ++i) {
+    expect_same_result(cached[i], uncached[i], "cache job " + std::to_string(i));
+    hits += cached[i].topology_cache_hit ? 1 : 0;
+  }
+  // 6 jobs over 2 machines: each machine builds once and hits thereafter.
+  EXPECT_EQ(hits, 4);
+  EXPECT_EQ(service.topology_cache().misses(), 2);
+  EXPECT_EQ(service.topology_cache().hits(), 4);
+  EXPECT_EQ(service.topology_cache().size(), 2u);
+  for (const MapJobResult& r : uncached) EXPECT_FALSE(r.topology_cache_hit);
+}
+
+TEST(MapServiceTest, InstancesBuiltOnSharedTablesMatchSelfBuiltOnes) {
+  // A MappingInstance constructed against TopologyCache tables (the CLI
+  // batch manifest path) must evaluate bit-identically to one that builds
+  // its own matrices, in every mode.
+  LayeredDagParams layered;
+  layered.num_tasks = 60;
+  TopologyCache cache;
+  for (const char* spec : {"hypercube-3", "mesh-2x4"}) {
+    TaskGraph problem = make_layered_dag(layered, 7);
+    SystemGraph system = make_topology(spec);
+    Clustering clustering = make_clustering("block", problem, system.node_count(), 1);
+    bool hit = true;
+    const auto tables = cache.acquire(system, DistanceModel::kHops, &hit);
+    EXPECT_FALSE(hit);
+    const MappingInstance shared(problem, clustering, system, tables);
+    const MappingInstance own(problem, clustering, system);
+    EXPECT_EQ(shared.hops(), own.hops()) << spec;
+    ASSERT_TRUE(shared.shared_tables() != nullptr);
+    MapJob job;
+    job.instance = &shared;
+    MapJob ref_job;
+    ref_job.instance = &own;
+    for (const bool contention : {false, true}) {
+      MapJob a = job;
+      MapJob b = ref_job;
+      a.options.refine.eval.link_contention = contention;
+      b.options.refine.eval.link_contention = contention;
+      const MapJobResult ra = run_map_job(a);
+      const MapJobResult rb = run_map_job(b);
+      expect_same_result(ra, rb, std::string(spec) + (contention ? " contention" : " plain"));
+    }
+  }
+  // Second acquire per machine is a hit.
+  bool hit = false;
+  (void)cache.acquire(make_topology("hypercube-3"), DistanceModel::kHops, &hit);
+  EXPECT_TRUE(hit);
+}
+
 TEST(MapServiceTest, SubmitDeliversFutureWithDiagnostics) {
   Portfolio portfolio = make_portfolio();
   MapService service;
