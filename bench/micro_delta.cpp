@@ -12,6 +12,7 @@
 // versions.
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -24,6 +25,7 @@
 #include <vector>
 
 #include "cluster/strategies.hpp"
+#include "core/cancellation.hpp"
 #include "core/eval_engine.hpp"
 #include "topology/topology.hpp"
 #include "workload/random_dag.hpp"
@@ -137,16 +139,28 @@ constexpr DeltaOptions kV2{.version = 2};
 int run(int argc, char** argv) {
   bool smoke = false;
   std::string out_path;
+  std::int64_t deadline_ms = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::atoll(argv[++i]);
     } else {
-      std::cerr << "usage: bench_micro_delta [--smoke] [--out file]\n";
+      std::cerr << "usage: bench_micro_delta [--smoke] [--deadline-ms N] [--out file]\n";
       return 2;
     }
   }
+
+  // Wall-clock budget for the whole bench (CI runs the smoke with a
+  // deadline to confirm the cancellation plumbing exits cleanly): polled
+  // between (topology, mode) sections, so an expired deadline ends the run
+  // at the next section boundary with whatever streams completed.
+  CancelSource deadline_source;
+  if (deadline_ms > 0) deadline_source.set_deadline_after_ms(deadline_ms);
+  const CancelToken deadline = deadline_ms > 0 ? deadline_source.token() : CancelToken{};
+  bool deadline_exit = false;
 
   const NodeId np = 512;
   const NodeId ns = 8;
@@ -180,9 +194,11 @@ int run(int argc, char** argv) {
   Weight checksum = 0;
 
   for (const Topo& topo : topologies) {
+  if (deadline.signalled()) break;
   const MappingInstance inst = make_instance(np, ns, topo.sys);
   const EvalEngine engine(inst);
   for (const Mode& mode : modes) {
+    if (deadline.signalled()) break;
     // Bit-identity spot check of both engine versions — including verdict
     // trials against a hill-climb incumbent — before timing anything.
     {
@@ -377,12 +393,15 @@ int run(int argc, char** argv) {
   }
   }
 
+  if (deadline.signalled()) deadline_exit = true;
+
   std::ostringstream os;
   os << "{\n";
   os << "  \"bench\": \"micro_delta\",\n";
   os << "  \"instance\": {\"np\": " << np << ", \"ns\": " << ns
      << ", \"workload\": \"layered avg_out=1.5 seed=42\"},\n";
   os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  os << "  \"deadline_exit\": " << (deadline_exit ? "true" : "false") << ",\n";
   os << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
   os << "  \"threads\": 1,\n";
   os << "  \"checksum\": " << checksum << ",\n";

@@ -12,6 +12,7 @@
 // for CI while keeping the per-candidate bit-identity check.
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -23,6 +24,7 @@
 
 #include "baseline/random_mapping.hpp"
 #include "cluster/strategies.hpp"
+#include "core/cancellation.hpp"
 #include "core/eval_engine.hpp"
 #include "topology/topology.hpp"
 #include "workload/random_dag.hpp"
@@ -53,16 +55,29 @@ struct ModeResult {
 int run(int argc, char** argv) {
   bool smoke = false;
   std::string out_path;
+  std::int64_t deadline_ms = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::atoll(argv[++i]);
     } else {
-      std::cerr << "usage: bench_micro_soa [--smoke] [--out file]\n";
+      std::cerr << "usage: bench_micro_soa [--smoke] [--deadline-ms N] [--out file]\n";
       return 2;
     }
   }
+
+  // Wall-clock budget for the whole bench (CI runs the smoke with a
+  // deadline to confirm the cancellation plumbing exits cleanly): the
+  // token is polled between timing sections and threaded into the
+  // cutoff-variant kernel calls, so an expired deadline ends the run at
+  // the next wave with whatever modes completed.
+  CancelSource deadline_source;
+  if (deadline_ms > 0) deadline_source.set_deadline_after_ms(deadline_ms);
+  const CancelToken deadline = deadline_ms > 0 ? deadline_source.token() : CancelToken{};
+  bool deadline_exit = false;
 
   const NodeId np = 512;
   const NodeId ns = 8;
@@ -85,6 +100,10 @@ int run(int argc, char** argv) {
   std::vector<ModeResult> results;
   Weight checksum = 0;
   for (const Mode& mode : modes) {
+    if (deadline.signalled()) {
+      deadline_exit = true;
+      break;
+    }
     Rng rng(7 + results.size());
     std::vector<std::vector<NodeId>> hosts;
     hosts.reserve(static_cast<std::size_t>(mode.candidates));
@@ -134,11 +153,12 @@ int run(int argc, char** argv) {
 
       t0 = clock::now();
       engine.batch_total_times(hosts, mode.eval, /*num_threads=*/1, /*width=*/0, totals,
-                               incumbent);
+                               incumbent, deadline);
       cutoff_ns = std::min(
           cutoff_ns, std::chrono::duration<double, std::nano>(clock::now() - t0).count() /
                          static_cast<double>(hosts.size()));
       checksum += totals.front() + totals.back();
+      if (deadline.signalled()) break;
     }
     r.scalar_ns = scalar_ns;
     r.soa_ns = soa_ns;
@@ -146,12 +166,15 @@ int run(int argc, char** argv) {
     results.push_back(r);
   }
 
+  if (deadline.signalled()) deadline_exit = true;
+
   std::ostringstream os;
   os << "{\n";
   os << "  \"bench\": \"micro_soa\",\n";
   os << "  \"instance\": {\"np\": " << np << ", \"ns\": " << ns
      << ", \"workload\": \"layered avg_out=1.5 seed=42\", \"topology\": \"hypercube-3\"},\n";
   os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  os << "  \"deadline_exit\": " << (deadline_exit ? "true" : "false") << ",\n";
   os << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
   os << "  \"threads\": 1,\n";
   os << "  \"checksum\": " << checksum << ",\n";

@@ -103,6 +103,7 @@ ExperimentRow make_row(const MapJobResult& result, std::string topology, NodeId 
   row.reached_lower_bound = report.reached_lower_bound;
   row.terminated_early = report.terminated_early;
   row.refinement_trials = report.refinement_trials;
+  row.status = result.status;
   return row;
 }
 
@@ -132,7 +133,19 @@ std::vector<ExperimentRow> run_suite(const std::vector<ExperimentConfig>& config
   std::vector<ExperimentRow> rows;
   rows.reserve(results.size());
   for (std::size_t i = 0; i < results.size(); ++i) {
-    rows.push_back(assemble_row(results[i], static_cast<int>(i) + 1));
+    // The service isolates job failures into statuses; for the experiment
+    // harness an errored row would silently corrupt the table, so failures
+    // surface as exceptions here (matching run_experiment's sequential
+    // semantics). Cancelled/deadline rows pass through as degraded data
+    // with the status recorded.
+    const MapJobResult& result = results[i];
+    if (result.status == MapStatus::kInvalidInput) {
+      throw std::invalid_argument("run_suite: " + result.name + ": " + result.error);
+    }
+    if (result.status == MapStatus::kInternalError) {
+      throw std::runtime_error("run_suite: " + result.name + ": " + result.error);
+    }
+    rows.push_back(assemble_row(result, static_cast<int>(i) + 1));
   }
   return rows;
 }

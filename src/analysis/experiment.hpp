@@ -65,6 +65,11 @@ struct ExperimentRow {
   bool reached_lower_bound = false;
   bool terminated_early = false;
   std::int64_t refinement_trials = 0;
+  /// kOk, or kCancelled / kDeadlineExceeded for a degraded row (the
+  /// mapping columns then reflect the best incumbent at the signal).
+  /// run_suite never returns error-status rows — a job that failed
+  /// (kInvalidInput / kInternalError) is rethrown as an exception.
+  MapStatus status = MapStatus::kOk;
 };
 
 /// Steps 1-5 of the protocol as one deferred-build MapService job: the

@@ -65,6 +65,16 @@ std::vector<ReplicatedRow> run_replicated_matrix(const std::vector<ExperimentCon
   }
   MapService service;
   const std::vector<MapJobResult> results = service.map_batch(std::move(jobs));
+  // Same policy as run_suite: service-isolated job failures must not
+  // silently become zeroed aggregate rows.
+  for (const MapJobResult& result : results) {
+    if (result.status == MapStatus::kInvalidInput) {
+      throw std::invalid_argument("run_replicated: " + result.name + ": " + result.error);
+    }
+    if (result.status == MapStatus::kInternalError) {
+      throw std::runtime_error("run_replicated: " + result.name + ": " + result.error);
+    }
+  }
 
   std::vector<ReplicatedRow> rows;
   rows.reserve(configs.size());

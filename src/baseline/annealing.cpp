@@ -62,8 +62,17 @@ AnnealingResult anneal_mapping(const EvalEngine& engine, const Assignment& start
   // The accept/reject stream is bit-identical to the pre-delta
   // implementation (enforced by tests/delta_eval_test.cpp).
   DeltaEval delta_eval = engine.begin_delta(current, options.eval);
-  for (std::int64_t step = 0; step < options.steps; ++step) {
+  bool stop = false;
+  for (std::int64_t step = 0; step < options.steps && !stop; ++step) {
     for (std::int64_t m = 0; m < moves; ++m) {
+      // Cancellation point: one counting poll per move, before the RNG
+      // draws, so cancelling after k polls leaves the exact state of an
+      // anneal truncated to its first k moves.
+      if (options.cancel.stop_requested()) {
+        result.status = options.cancel.status();
+        stop = true;
+        break;
+      }
       ++result.moves_tried;
       const NodeId p = static_cast<NodeId>(rng.uniform(0, n - 1));
       NodeId q = static_cast<NodeId>(rng.uniform(0, n - 2));

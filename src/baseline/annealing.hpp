@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "core/assignment.hpp"
+#include "core/cancellation.hpp"
 #include "core/eval_engine.hpp"
 #include "core/evaluation.hpp"
 #include "core/instance.hpp"
@@ -29,6 +30,11 @@ struct AnnealingOptions {
   std::int64_t steps = 60;
   std::uint64_t seed = 0xdecafbadULL;
   EvalOptions eval;
+  /// Cooperative cancellation / deadline, polled once per move (before the
+  /// RNG draws, so cancelling after k polls truncates the move stream to
+  /// exactly its first k moves). A tripped token stops the anneal and
+  /// returns the best assignment seen so far with status set.
+  CancelToken cancel;
 };
 
 struct AnnealingResult {
@@ -38,6 +44,10 @@ struct AnnealingResult {
   std::int64_t moves_accepted = 0;
   /// Incremental-evaluation counters (swap moves run on a DeltaEval).
   DeltaStats delta;
+  /// kOk for a full run; kCancelled / kDeadlineExceeded when
+  /// AnnealingOptions::cancel stopped the anneal — assignment/total_time
+  /// then hold the best state reached before the signal.
+  MapStatus status = MapStatus::kOk;
 };
 
 /// Anneals from the given starting assignment (typically the identity or

@@ -75,6 +75,13 @@ RefineResult pairwise_exchange_refine(const EvalEngine& engine, const IdealSched
   DeltaEval delta = engine.begin_delta(best, options.eval);
   bool improved_any = false;
   for (std::int64_t trial = 0; trial < budget; ++trial) {
+    // Cancellation point: one counting poll per move, BEFORE the RNG
+    // draws, so cancelling after k polls leaves the exact state of a run
+    // whose budget was k trials (tests/cancellation_test.cpp).
+    if (options.cancel.stop_requested()) {
+      result.status = options.cancel.status();
+      break;
+    }
     ++result.trials_used;
     const auto i = rng.uniform(0, m - 1);
     auto j = rng.uniform(0, m - 2);
@@ -128,6 +135,7 @@ RefineResult pairwise_sweep_refine(const EvalEngine& engine, const IdealSchedule
                                   : static_cast<std::int64_t>(instance.num_processors());
   bool improved = true;
   bool improved_any = false;
+  bool stop = false;
   // Sweep trials are all swaps against the current assignment: score them
   // incrementally as verdict trials against the best total seen in the
   // sweep (only strictly-better candidates matter, so a cascade that
@@ -143,8 +151,18 @@ RefineResult pairwise_sweep_refine(const EvalEngine& engine, const IdealSchedule
     std::size_t best_i = 0;
     std::size_t best_j = 0;
     Weight best_total = current_total;
-    for (std::size_t i = 0; i < procs.size() && result.trials_used < budget; ++i) {
-      for (std::size_t j = i + 1; j < procs.size() && result.trials_used < budget; ++j) {
+    for (std::size_t i = 0; i < procs.size() && result.trials_used < budget && !stop; ++i) {
+      for (std::size_t j = i + 1; j < procs.size() && result.trials_used < budget && !stop;
+           ++j) {
+        // Cancellation point (one counting poll per candidate move). The
+        // sweep's incumbent-so-far is the current assignment plus the best
+        // pending pair of this partial sweep; on cancel, fall through and
+        // apply it below exactly as a budget exhaustion mid-sweep would.
+        if (options.cancel.stop_requested()) {
+          result.status = options.cancel.status();
+          stop = true;
+          break;
+        }
         ++result.trials_used;
         const Weight t = delta.try_swap(result.assignment.cluster_on(procs[i]),
                                         result.assignment.cluster_on(procs[j]), best_total);

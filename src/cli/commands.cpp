@@ -1,21 +1,25 @@
 #include "cli/commands.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <deque>
 #include <fstream>
 #include <iomanip>
 #include <map>
 #include <ostream>
-#include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "analysis/gantt.hpp"
 #include "analysis/metrics.hpp"
 #include "analysis/table.hpp"
 #include "baseline/random_mapping.hpp"
+#include "cli/manifest.hpp"
 #include "cluster/cluster_io.hpp"
 #include "cluster/strategies.hpp"
+#include "core/cancellation.hpp"
 #include "core/eval_engine.hpp"
 #include "core/mapper.hpp"
 #include "core/validate.hpp"
@@ -197,7 +201,17 @@ int cmd_map(Flags& flags, std::ostream& out, std::ostream& err) {
   const bool show_gantt = flags.get_bool("gantt");
   const auto random_trials = flags.get_int("random-trials", 0);
   const std::uint64_t random_seed = flags.get_seed("random-seed", 99);
+  const std::int64_t deadline_ms = flags.get_int("deadline-ms", 0);
   if (const int rc = reject_unused(flags, err); rc != 0) return rc;
+
+  // Wall-clock budget: the pipeline polls the token cooperatively and, on
+  // expiry, ships the best incumbent it has with a degraded status instead
+  // of overrunning (core/cancellation.hpp).
+  CancelSource deadline_source;
+  if (deadline_ms > 0) {
+    deadline_source.set_deadline_after_ms(deadline_ms);
+    opts.refine.cancel = deadline_source.token();
+  }
 
   // One engine serves the whole command: the mapping pipeline, and the
   // random-mapping baseline below when requested.
@@ -227,6 +241,10 @@ int cmd_map(Flags& flags, std::ostream& out, std::ostream& err) {
   }
   os << "optimal:            " << (report.reached_lower_bound ? "yes (termination condition)"
                                                               : "not proven") << "\n";
+  if (report.status != MapStatus::kOk) {
+    os << "status:             " << to_string(report.status)
+       << " (degraded: best incumbent at the deadline)\n";
+  }
   os << "assignment (cluster on each processor): ";
   for (NodeId p = 0; p < instance.num_processors(); ++p) {
     os << (p == 0 ? "" : ",") << report.assignment.cluster_on(p);
@@ -300,45 +318,12 @@ int cmd_info(Flags& flags, std::ostream& out, std::ostream& err) {
 
 namespace {
 
-/// One manifest line parsed into key=value pairs (bare keys mean "true").
-std::map<std::string, std::string> parse_manifest_line(const std::string& line, int line_no) {
-  std::map<std::string, std::string> kv;
-  std::istringstream is(line);
-  std::string token;
-  while (is >> token) {
-    const auto eq = token.find('=');
-    const std::string key = token.substr(0, eq);
-    const std::string value = eq == std::string::npos ? "1" : token.substr(eq + 1);
-    if (key.empty() || !kv.emplace(key, value).second) {
-      throw std::invalid_argument("manifest line " + std::to_string(line_no) +
-                                  ": bad or duplicate token '" + token + "'");
-    }
-  }
-  return kv;
-}
+/// SIGINT flag for cmd_batch's cancel-and-drain path. The handler only
+/// sets the flag (async-signal-safe); a watcher thread does the actual
+/// cancellation.
+volatile std::sig_atomic_t g_batch_interrupted = 0;
 
-std::uint64_t manifest_seed(const std::map<std::string, std::string>& kv,
-                            const std::string& key, std::uint64_t fallback, int line_no) {
-  const auto it = kv.find(key);
-  if (it == kv.end()) return fallback;
-  const std::string& value = it->second;
-  // All-digits only: stoull alone would accept '5k' as 5 or wrap '-1'.
-  if (value.empty() || value.find_first_not_of("0123456789") != std::string::npos) {
-    throw std::invalid_argument("manifest line " + std::to_string(line_no) + ": " + key +
-                                "='" + value + "' is not a number");
-  }
-  try {
-    return std::stoull(value);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("manifest line " + std::to_string(line_no) + ": " + key +
-                                "='" + value + "' is out of range");
-  }
-}
-
-bool manifest_bool(const std::map<std::string, std::string>& kv, const std::string& key) {
-  const auto it = kv.find(key);
-  return it != kv.end() && it->second != "0" && it->second != "false";
-}
+void batch_sigint_handler(int) { g_batch_interrupted = 1; }
 
 }  // namespace
 
@@ -348,62 +333,32 @@ int cmd_batch(Flags& flags, std::ostream& out, std::ostream& err) {
   const int max_jobs = static_cast<int>(flags.get_int("jobs", 0));
   const bool live_progress = flags.get_bool("progress");
   const bool csv = flags.get_bool("csv");
+  const std::int64_t timeout_ms = flags.get_int("timeout", 0);
   if (const int rc = reject_unused(flags, err); rc != 0) return rc;
 
-  static const std::set<std::string> known_keys = {
-      "problem",       "system",      "spec",          "clustering",
-      "strategy",      "seed",        "name",          "trials",
-      "refine-seed",   "serialize",   "contention",    "weighted-links",
-      "extended-critical", "random-trials", "random-seed"};
-
-  // Instances live in a deque so MapJob pointers stay stable as lines are
-  // appended. Manifests typically reuse a handful of machines, so the
-  // per-line topology tables (distance matrix + routing) come from one
-  // shared cache: repeated machines cost one build, and every job's engine
-  // adopts the shared routing instead of rebuilding it.
+  // Structure first (cli/manifest.hpp: pure text -> validated specs),
+  // then resolution against the filesystem. Instances live in a deque so
+  // MapJob pointers stay stable as lines are appended. Manifests typically
+  // reuse a handful of machines, so the per-line topology tables (distance
+  // matrix + routing) come from one shared cache: repeated machines cost
+  // one build, and every job's engine adopts the shared routing instead of
+  // rebuilding it.
+  const std::vector<ManifestJobSpec> specs = parse_manifest(slurp(manifest_path));
+  if (specs.empty()) throw std::invalid_argument("manifest has no jobs");
   TopologyCache topo_cache;
   std::deque<MappingInstance> instances;
   std::vector<MapJob> jobs;
-  std::istringstream manifest(slurp(manifest_path));
-  std::string line;
-  int line_no = 0;
-  while (std::getline(manifest, line)) {
-    ++line_no;
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    const auto kv = parse_manifest_line(line, line_no);
-    for (const auto& [key, value] : kv) {
-      (void)value;
-      if (!known_keys.count(key)) {
-        throw std::invalid_argument("manifest line " + std::to_string(line_no) +
-                                    ": unknown key '" + key + "'");
-      }
-    }
+  for (const ManifestJobSpec& spec : specs) {
+    const auto& kv = spec.kv;
+    const int line_no = spec.line_no;
     const auto get = [&](const std::string& key, const std::string& fallback) {
       const auto it = kv.find(key);
       return it == kv.end() ? fallback : it->second;
     };
-    const auto require = [&](const std::string& key) {
-      const auto it = kv.find(key);
-      if (it == kv.end()) {
-        throw std::invalid_argument("manifest line " + std::to_string(line_no) +
-                                    ": missing required key '" + key + "'");
-      }
-      return it->second;
-    };
 
-    if (kv.count("system") && kv.count("spec")) {
-      throw std::invalid_argument("manifest line " + std::to_string(line_no) +
-                                  ": give either system= or spec=, not both");
-    }
-    if (kv.count("clustering") && (kv.count("strategy") || kv.count("seed"))) {
-      throw std::invalid_argument("manifest line " + std::to_string(line_no) +
-                                  ": clustering= conflicts with strategy=/seed=");
-    }
-    TaskGraph problem = task_graph_from_text(slurp(require("problem")));
+    TaskGraph problem = task_graph_from_text(slurp(kv.at("problem")));
     SystemGraph machine = kv.count("system") ? system_graph_from_text(slurp(kv.at("system")))
-                                             : make_topology(require("spec"));
+                                             : make_topology(kv.at("spec"));
     Clustering clustering =
         kv.count("clustering")
             ? clustering_from_text(slurp(kv.at("clustering")))
@@ -431,13 +386,15 @@ int cmd_batch(Flags& flags, std::ostream& out, std::ostream& err) {
     job.random_trials =
         static_cast<std::int64_t>(manifest_seed(kv, "random-trials", 0, line_no));
     job.random_seed = manifest_seed(kv, "random-seed", 99, line_no);
+    // Per-job wall budget; 0 defers to the batch-wide --timeout default.
+    job.deadline_ms = manifest_int(kv, "deadline-ms", 0, line_no);
     jobs.push_back(std::move(job));
   }
-  if (jobs.empty()) throw std::invalid_argument("manifest has no jobs");
 
   MapServiceOptions service_options;
   service_options.lanes = lanes;
   service_options.max_concurrent_jobs = max_jobs;
+  service_options.default_deadline_ms = timeout_ms;
   MapService service(std::move(service_options));
 
   std::function<void(const BatchProgress&)> progress;
@@ -451,18 +408,58 @@ int cmd_batch(Flags& flags, std::ostream& out, std::ostream& err) {
     };
   }
 
+  // SIGINT cancels in-flight work instead of killing the process: the
+  // handler sets a flag, the watcher calls cancel_all() — queued jobs
+  // drain with status cancelled, running jobs stop within one evaluation
+  // wave — and map_batch returns partial results, which are printed below
+  // with their per-job statuses.
+  g_batch_interrupted = 0;
+  std::atomic<bool> watcher_stop{false};
+  void (*previous_handler)(int) = std::signal(SIGINT, batch_sigint_handler);
+  std::thread watcher([&service, &watcher_stop, &err] {
+    bool cancelled = false;
+    while (!watcher_stop.load(std::memory_order_relaxed)) {
+      if (g_batch_interrupted != 0 && !cancelled) {
+        cancelled = true;
+        err << "\ninterrupt: cancelling batch, draining partial results...\n";
+        err.flush();
+        service.cancel_all();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
   using clock = std::chrono::steady_clock;
   const auto t0 = clock::now();
   const std::size_t total = jobs.size();
-  const std::vector<MapJobResult> results = service.map_batch(std::move(jobs), progress);
+  std::vector<MapJobResult> results;
+  try {
+    results = service.map_batch(std::move(jobs), progress);
+  } catch (...) {
+    watcher_stop.store(true, std::memory_order_relaxed);
+    watcher.join();
+    std::signal(SIGINT, previous_handler == SIG_ERR ? SIG_DFL : previous_handler);
+    throw;
+  }
+  watcher_stop.store(true, std::memory_order_relaxed);
+  watcher.join();
+  std::signal(SIGINT, previous_handler == SIG_ERR ? SIG_DFL : previous_handler);
+  const bool interrupted = g_batch_interrupted != 0;
   const double batch_ms =
       std::chrono::duration<double, std::milli>(clock::now() - t0).count();
 
   TextTable table({"job", "topology", "np", "ns", "lower_bound", "total", "pct", "optimal",
-                   "lanes", "ms"});
+                   "status", "lanes", "ms"});
+  std::size_t degraded = 0;
+  std::size_t failed = 0;
   for (std::size_t i = 0; i < results.size(); ++i) {
     const MapJobResult& r = results[i];
     const MappingInstance& inst = instances[i];
+    if (r.status == MapStatus::kCancelled || r.status == MapStatus::kDeadlineExceeded) {
+      ++degraded;
+    } else if (!r.ok()) {
+      ++failed;
+    }
     std::ostringstream ms;
     ms << std::fixed << std::setprecision(1) << r.wall_ms;
     table.add_row({r.name, inst.system().name(), std::to_string(inst.num_tasks()),
@@ -470,18 +467,22 @@ int cmd_batch(Flags& flags, std::ostream& out, std::ostream& err) {
                    std::to_string(r.report.lower_bound),
                    std::to_string(r.report.total_time()),
                    std::to_string(r.report.percent_over_lower_bound()),
-                   r.report.reached_lower_bound ? "yes" : "-", std::to_string(r.lanes),
-                   ms.str()});
+                   r.report.reached_lower_bound ? "yes" : "-", to_string(r.status),
+                   std::to_string(r.lanes), ms.str()});
   }
 
   std::ostringstream os;
   os << (csv ? table.to_csv() : table.to_string());
-  os << "batch: " << total << " jobs, lane budget " << service.lane_budget()
+  os << "batch: " << total << " jobs";
+  if (degraded > 0) os << ", " << degraded << " degraded (cancelled/deadline)";
+  if (failed > 0) os << ", " << failed << " failed";
+  os << ", lane budget " << service.lane_budget()
      << ", max concurrent " << service.max_concurrent_jobs() << ", topology cache "
      << topo_cache.hits() << "/" << (topo_cache.hits() + topo_cache.misses())
      << " hits, wall " << std::fixed << std::setprecision(1) << batch_ms << " ms\n";
+  if (interrupted) os << "batch interrupted: results above are partial\n";
   emit(flags, out, os.str());
-  return 0;
+  return failed > 0 ? 1 : 0;
 }
 
 std::string help_text() {
@@ -513,19 +514,25 @@ commands:
             [--width W (candidates per SoA wave; 0 = auto / MIMDMAP_EVAL_WIDTH)]
             [--contention] [--serialize] [--weighted-links] [--extended-critical] [--gantt]
             [--random-trials N --random-seed S]   (adds the paper's baseline)
+            [--deadline-ms MS]  (wall budget; on expiry prints the best
+                                 incumbent with a degraded status)
             [--out file]
   eval      evaluate an explicit assignment
             --problem file (--system file | --spec topo) --clustering file
             --assignment 0,2,3,1  [--contention] [--serialize] [--gantt]
   batch     map a manifest of instances concurrently (MapService)
             --manifest file  [--lanes L (0 = auto)] [--jobs J (0 = auto)]
-            [--progress] [--csv] [--out file]
+            [--timeout MS (per-job deadline default)] [--progress] [--csv]
+            [--out file]
+            SIGINT cancels in-flight jobs, drains, and prints partial
+            results with per-job statuses.
             manifest: one job per line of key=value tokens (# comments):
               problem=<file> (spec=<topo> | system=<file>)
               [clustering=<file> | strategy=<name> seed=<S>] [name=<label>]
               [trials=N] [refine-seed=S] [serialize] [contention]
               [weighted-links] [extended-critical]
               [random-trials=N] [random-seed=S]
+              [deadline-ms=MS (overrides --timeout; -1 = no deadline)]
   info      print statistics
             (--problem file | --system file | --spec topo)
   help      this text

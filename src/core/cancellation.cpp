@@ -1,0 +1,76 @@
+#include "core/cancellation.hpp"
+
+namespace mimdmap {
+
+const char* to_string(MapStatus status) noexcept {
+  switch (status) {
+    case MapStatus::kOk:
+      return "ok";
+    case MapStatus::kCancelled:
+      return "cancelled";
+    case MapStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case MapStatus::kInvalidInput:
+      return "invalid_input";
+    case MapStatus::kInternalError:
+      return "internal_error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// One tripped/deadline check over a single state node (no parent walk,
+/// no poll counting).
+bool node_signalled(const CancelShared& s) noexcept {
+  if (s.tripped.load(std::memory_order_acquire)) return true;
+  const std::int64_t deadline = s.deadline_ns.load(std::memory_order_relaxed);
+  if (deadline != CancelShared::kNoDeadline) {
+    const std::int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 std::chrono::steady_clock::now().time_since_epoch())
+                                 .count();
+    if (now >= deadline) {
+      // trip() is morally non-const state mutation, but every field is an
+      // atomic and the channel is designed for concurrent observers —
+      // detecting an expired deadline IS a state transition of the
+      // channel, whichever poller gets there first.
+      const_cast<CancelShared&>(s).trip(MapStatus::kDeadlineExceeded);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool CancelToken::signalled() const noexcept {
+  for (const CancelShared* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    if (node_signalled(*s)) return true;
+  }
+  return false;
+}
+
+bool CancelToken::stop_requested() const noexcept {
+  bool hit = false;
+  for (const CancelShared* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    if (node_signalled(*s)) {
+      hit = true;
+      continue;  // keep counting deeper nodes' poll budgets deterministic
+    }
+    const std::int64_t after = s->trip_after.load(std::memory_order_relaxed);
+    if (after >= 0) {
+      auto& counter = const_cast<CancelShared*>(s)->polls;
+      if (counter.fetch_add(1, std::memory_order_relaxed) >= after) {
+        const_cast<CancelShared*>(s)->trip(MapStatus::kCancelled);
+        hit = true;
+      }
+    }
+  }
+  return hit;
+}
+
+CancelSource::CancelSource(CancelToken parent) : state_(std::make_shared<CancelShared>()) {
+  state_->parent = std::move(parent.state_);
+}
+
+}  // namespace mimdmap

@@ -1,0 +1,161 @@
+// Cooperative cancellation, deadlines and the job-status taxonomy — the
+// fault-tolerance substrate under MapService (ROADMAP "MapService ->
+// mapping server": deadline-aware scheduling with cooperative
+// cancellation).
+//
+// Design constraints, in order:
+//
+//  * poll-only, no locks on the hot path: the refinement loops poll a
+//    CancelToken once per wave/move; an unset token costs one pointer
+//    null-check, a set one a relaxed atomic load (plus a steady_clock read
+//    only when a deadline is armed). Nothing here blocks, allocates after
+//    construction, or takes a mutex;
+//  * graceful degradation, never garbage: a tripped token makes the search
+//    loops stop *at the next poll* and return their best incumbent so far
+//    as a valid (degraded) result carrying a MapStatus — it never corrupts
+//    or truncates state mid-move. Jobs whose token never trips are
+//    bit-identical to a run without any token (polling reads nothing that
+//    feeds back into mapping decisions);
+//  * first cause wins: a token trips exactly once (cancel vs deadline race
+//    resolves to whichever CAS lands first) and the status is sticky;
+//  * deterministic test hook: CancelSource::cancel_after_polls(k) trips
+//    the token on its (k+1)-th *counting* poll — the refiners' documented
+//    per-move/per-wave poll points — so tests can cancel at an exact move
+//    index and compare against the truncated sequential run
+//    (tests/cancellation_test.cpp). The non-counting signalled() check
+//    used at finer granularity (inside SoA wave fan-out, pipeline stage
+//    boundaries) never consumes the counter.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+namespace mimdmap {
+
+/// Terminal status of a mapping job. Everything except kOk means the
+/// result is degraded: kCancelled / kDeadlineExceeded reports still carry
+/// the best incumbent found before the signal (valid, just not the full
+/// search), kInvalidInput / kInternalError reports carry no mapping at all
+/// (the error message says why).
+enum class MapStatus : std::uint8_t {
+  kOk = 0,
+  kCancelled,
+  kDeadlineExceeded,
+  kInvalidInput,
+  kInternalError,
+};
+
+[[nodiscard]] const char* to_string(MapStatus status) noexcept;
+
+/// Shared state behind a CancelSource and its tokens. All fields are
+/// atomics; polling never locks.
+struct CancelShared {
+  static constexpr std::int64_t kNoDeadline = std::numeric_limits<std::int64_t>::max();
+
+  std::atomic<bool> tripped{false};
+  std::atomic<std::uint8_t> reason{static_cast<std::uint8_t>(MapStatus::kOk)};
+  /// Absolute deadline in steady_clock nanoseconds-since-epoch.
+  std::atomic<std::int64_t> deadline_ns{kNoDeadline};
+  /// Deterministic trip: >= 0 arms "trip after this many counting polls".
+  std::atomic<std::int64_t> trip_after{-1};
+  std::atomic<std::int64_t> polls{0};
+  /// Chained parent (a service-level cancel_all token under a per-job
+  /// token, or a caller token under the service's per-job source). Set at
+  /// construction, immutable afterwards.
+  std::shared_ptr<const CancelShared> parent;
+
+  /// Trips with `cause` unless already tripped (first cause wins).
+  void trip(MapStatus cause) noexcept {
+    std::uint8_t expected = static_cast<std::uint8_t>(MapStatus::kOk);
+    reason.compare_exchange_strong(expected, static_cast<std::uint8_t>(cause),
+                                   std::memory_order_relaxed);
+    tripped.store(true, std::memory_order_release);
+  }
+};
+
+/// Poll-only view of a cancellation request. Default-constructed tokens
+/// are empty: they never trip and polling them is a single null check, so
+/// every options struct can carry one at zero cost to callers that never
+/// set it.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Counting poll — the refinement loops' documented cancellation points
+  /// (one per wave / move). Checks the deadline clock and the
+  /// cancel_after_polls counter, trips the shared state when either
+  /// fires, and returns whether the token has tripped.
+  [[nodiscard]] bool stop_requested() const noexcept;
+
+  /// Non-counting check: tripped flag + deadline clock only; never
+  /// consumes cancel_after_polls budget. Used at sub-wave granularity
+  /// (inside SoA wave fan-out) and at pipeline stage boundaries so the
+  /// deterministic counting contract stays "one poll per wave/move".
+  [[nodiscard]] bool signalled() const noexcept;
+
+  /// Why the token tripped; kOk while it has not.
+  [[nodiscard]] MapStatus status() const noexcept {
+    const CancelShared* s = state_.get();
+    while (s != nullptr) {
+      if (s->tripped.load(std::memory_order_acquire)) {
+        return static_cast<MapStatus>(s->reason.load(std::memory_order_relaxed));
+      }
+      s = s->parent.get();
+    }
+    return MapStatus::kOk;
+  }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<const CancelShared> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<const CancelShared> state_;
+};
+
+/// Owning side of a cancellation channel. Copyable (copies share the same
+/// channel); hand out token() to the job path.
+class CancelSource {
+ public:
+  /// A fresh channel, optionally chained under `parent`: tokens of this
+  /// source also trip when the parent trips (MapService chains its
+  /// per-job source under the submitter's token and its service-wide
+  /// cancel_all source).
+  explicit CancelSource(CancelToken parent = {});
+
+  [[nodiscard]] CancelToken token() const noexcept { return CancelToken(state_); }
+
+  /// Requests cancellation (status kCancelled unless something tripped
+  /// the channel first). Thread-safe, idempotent.
+  void request_cancel() const noexcept { state_->trip(MapStatus::kCancelled); }
+
+  /// Arms an absolute deadline; polls after this instant trip the token
+  /// with kDeadlineExceeded.
+  void set_deadline(std::chrono::steady_clock::time_point when) const noexcept {
+    state_->deadline_ns.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(when.time_since_epoch()).count(),
+        std::memory_order_relaxed);
+  }
+
+  /// Convenience: deadline `ms` milliseconds from now (ms <= 0 trips the
+  /// very next poll — an already-expired budget).
+  void set_deadline_after_ms(std::int64_t ms) const noexcept {
+    set_deadline(std::chrono::steady_clock::now() + std::chrono::milliseconds(ms));
+  }
+
+  /// Deterministic trip after exactly `polls` counting polls: the first
+  /// `polls` stop_requested() calls return false, every later one true.
+  /// Test/chaos hook; see the header comment.
+  void cancel_after_polls(std::int64_t polls) const noexcept {
+    state_->trip_after.store(polls, std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<CancelShared> state_;
+};
+
+}  // namespace mimdmap

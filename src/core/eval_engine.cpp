@@ -595,7 +595,8 @@ void EvalEngine::batch_total_times(std::span<const std::vector<NodeId>> hosts,
 
 void EvalEngine::batch_total_times(std::span<const std::vector<NodeId>> hosts,
                                    const EvalOptions& options, int num_threads, int width,
-                                   std::span<Weight> totals, Weight cutoff) const {
+                                   std::span<Weight> totals, Weight cutoff,
+                                   const CancelToken& cancel) const {
   if (totals.size() < hosts.size()) {
     throw std::invalid_argument("batch_total_times: totals span too small");
   }
@@ -617,8 +618,11 @@ void EvalEngine::batch_total_times(std::span<const std::vector<NodeId>> hosts,
   if (width <= 1) {
     // Scalar fallback path (width 1 / MIMDMAP_EVAL_WIDTH=1): one trial per
     // work item on the streaming kernel, exact totals even past the cutoff.
+    // A tripped cancel token turns the remaining trials into kNoCutoff
+    // sentinels ("cannot beat any incumbent") instead of scheduling them.
     for_each_parallel(hosts.size(), num_threads, [&](std::size_t i, EvalWorkspace& ws) {
-      totals[i] = trial_total_time(hosts[i], options, ws);
+      totals[i] =
+          cancel.signalled() ? kNoCutoff : trial_total_time(hosts[i], options, ws);
     });
     return;
   }
@@ -630,6 +634,13 @@ void EvalEngine::batch_total_times(std::span<const std::vector<NodeId>> hosts,
   const auto run_wave = [&](std::size_t w, SoaWorkspace& ws) {
     const std::size_t begin = w * wave;
     const std::size_t count = std::min(wave, hosts.size() - begin);
+    if (cancel.signalled()) {
+      // Cancellation latency bound: a signal lands within one wave — waves
+      // that have not started yet report the reject sentinel instead of
+      // evaluating.
+      std::fill_n(totals.begin() + static_cast<std::ptrdiff_t>(begin), count, kNoCutoff);
+      return;
+    }
     evaluate_batch_soa(hosts.subspan(begin, count), options, ws,
                        totals.subspan(begin, count), cutoff);
   };

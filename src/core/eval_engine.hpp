@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "core/assignment.hpp"
+#include "core/cancellation.hpp"
 #include "core/evaluation.hpp"
 #include "core/instance.hpp"
 #include "graph/routing.hpp"
@@ -223,9 +224,17 @@ class EvalEngine {
   /// value. Lanes reported below the cutoff are always exact, so
   /// keep-iff-better scans make bit-identical decisions for every width,
   /// thread count and cutoff.
+  ///
+  /// `cancel` bounds cancellation latency to ONE wave: each wave (and each
+  /// scalar trial on the width-1 path) makes a non-counting
+  /// CancelToken::signalled() check before evaluating and, once the token
+  /// has tripped, writes kNoCutoff into its lanes instead of scheduling —
+  /// a certified "cannot beat any incumbent" sentinel the caller's
+  /// keep-iff-better scan rejects like any cutoff bound. An untripped
+  /// token never changes any total (bit-identity preserved).
   void batch_total_times(std::span<const std::vector<NodeId>> hosts, const EvalOptions& options,
                          int num_threads, int width, std::span<Weight> totals,
-                         Weight cutoff = kNoCutoff) const;
+                         Weight cutoff = kNoCutoff, const CancelToken& cancel = {}) const;
 
   /// The SoA batch kernel: schedules all hosts.size() candidates in ONE
   /// walk over the topological order and CSR predecessor arcs, with

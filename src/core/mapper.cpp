@@ -25,6 +25,20 @@ MappingReport map_instance(const EvalEngine& engine, const MapperOptions& option
   report.initial_total =
       engine.evaluate(initial.assignment, options.refine.eval).total_time;
 
+  // Stage boundary: a signal that lands before refinement starts skips it
+  // entirely and ships the initial assignment as the (degraded but valid)
+  // final result. Non-counting poll — the deterministic per-move counters
+  // only start inside the refinement loops.
+  if (options.refine.cancel.signalled()) {
+    report.assignment = initial.assignment;
+    report.schedule = engine.evaluate(initial.assignment, options.refine.eval);
+    report.reached_lower_bound = report.schedule.total_time == report.lower_bound;
+    report.status = options.refine.cancel.status();
+    report.eval_width =
+        engine.resolve_batch_width(options.refine.eval_width, options.refine.eval);
+    return report;
+  }
+
   const RefineResult refined = refine(engine, report.ideal, initial, options.refine);
   report.assignment = refined.assignment;
   report.schedule = refined.schedule;
@@ -33,6 +47,7 @@ MappingReport map_instance(const EvalEngine& engine, const MapperOptions& option
   report.refinement_trials = refined.trials_used;
   report.improvements = refined.improvements;
   report.delta = refined.delta;
+  report.status = refined.status;
   report.eval_width = engine.resolve_batch_width(options.refine.eval_width, options.refine.eval);
   return report;
 }

@@ -52,6 +52,12 @@ struct MappingReport {
   /// (EvalEngine::resolve_batch_width of RefineOptions::eval_width; 1 =
   /// scalar kernel). Diagnostics only — results are width-invariant.
   int eval_width = 1;
+  /// kOk for a full pipeline run. kCancelled / kDeadlineExceeded when
+  /// MapperOptions::refine.cancel tripped mid-run: the report is then
+  /// degraded but valid — assignment/schedule hold the best incumbent the
+  /// refinement reached (or the initial assignment when the signal landed
+  /// before refinement started), never garbage.
+  MapStatus status = MapStatus::kOk;
 
   [[nodiscard]] Weight total_time() const noexcept { return schedule.total_time; }
 

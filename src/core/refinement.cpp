@@ -91,6 +91,14 @@ RefineResult refine(const EvalEngine& engine, const IdealSchedule& ideal,
   bool improved_any = false;
 
   for (std::int64_t done = 0; done < budget;) {
+    // Cancellation point (one counting poll per chunk; sequential mode's
+    // chunk is a single wave). A tripped token ends the search here with
+    // the incumbent-so-far — the epilogue below materializes it exactly as
+    // a budget exhaustion would.
+    if (options.cancel.stop_requested()) {
+      result.status = options.cancel.status();
+      break;
+    }
     const std::size_t m = static_cast<std::size_t>(
         std::min<std::int64_t>(static_cast<std::int64_t>(chunk_capacity), budget - done));
     for (std::size_t i = 0; i < m; ++i) {
@@ -113,7 +121,7 @@ RefineResult refine(const EvalEngine& engine, const IdealSchedule& ideal,
     // bound can never equal the lower bound. Hence the whole scan is
     // bit-identical for any thread count and width.
     engine.batch_total_times(std::span(chunk.data(), m), options.eval, threads, width,
-                             std::span(totals.data(), m), best_total);
+                             std::span(totals.data(), m), best_total, options.cancel);
 
     for (std::size_t i = 0; i < m; ++i) {
       ++result.trials_used;

@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "core/assignment.hpp"
+#include "core/cancellation.hpp"
 #include "core/eval_engine.hpp"
 #include "core/evaluation.hpp"
 #include "core/ideal_graph.hpp"
@@ -69,6 +70,15 @@ struct RefineOptions {
   /// candidate on the scalar trial kernel. The trial sequence, accept
   /// stream and final report are bit-identical for every width.
   int eval_width = 0;
+
+  /// Cooperative cancellation / deadline (core/cancellation.hpp). Polled
+  /// once per evaluation wave (refine) or per move (the local-move
+  /// refiners): a tripped token makes the loop stop at the next poll and
+  /// return the best incumbent found so far with RefineResult::status set
+  /// — a degraded but valid result, never garbage. An empty token (the
+  /// default) costs one null check per poll, and any run whose token never
+  /// trips is bit-identical to a run without one.
+  CancelToken cancel;
 };
 
 struct RefineResult {
@@ -89,6 +99,10 @@ struct RefineResult {
   /// whole-assignment re-placements stay on the batched full kernel and
   /// leave this zeroed.
   DeltaStats delta;
+  /// kOk for a full run; kCancelled / kDeadlineExceeded when
+  /// RefineOptions::cancel stopped the search early — assignment/schedule
+  /// then hold the best incumbent reached before the signal.
+  MapStatus status = MapStatus::kOk;
 };
 
 /// Runs the refinement procedure of section 4.3.3 from a given initial

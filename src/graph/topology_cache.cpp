@@ -1,6 +1,10 @@
 #include "graph/topology_cache.hpp"
 
 #include "graph/shortest_paths.hpp"
+// Dependency-free chaos-testing crosscut (service/fault_injection.hpp):
+// the cache fill is a shared-state failure point MapService must isolate,
+// so the harness plants its allocation-failure hook here.
+#include "service/fault_injection.hpp"
 
 namespace mimdmap {
 
@@ -62,6 +66,7 @@ std::shared_ptr<const TopologyTables> TopologyCache::acquire(const SystemGraph& 
   // otherwise race to duplicate the most expensive part of the job, and
   // the tables are small enough that serializing the build is the lesser
   // evil.
+  fault_point_topo_alloc();
   auto tables = std::make_shared<const TopologyTables>(system, model);
   entries_.emplace(key, tables);
   return tables;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/eval_engine.hpp"
+#include "service/fault_injection.hpp"
 
 namespace mimdmap {
 
@@ -25,12 +26,42 @@ MapJobResult run_map_job(const MapJob& job, const std::shared_ptr<ThreadPool>& p
   // job's RefineOptions::num_threads in charge.
   if (lanes > 0) options.refine.num_threads = lanes;
 
+  // Effective cancellation channel: the job's own token, with a local
+  // deadline chained on top when the job carries one. The service consumes
+  // deadline_ms at admission (queue wait counts against the budget) and
+  // hands the job over with deadline_ms < 0; a direct sequential caller's
+  // deadline starts here instead.
+  CancelToken cancel = job.cancel;
+  std::optional<CancelSource> deadline_source;
+  if (job.deadline_ms > 0) {
+    deadline_source.emplace(cancel);
+    deadline_source->set_deadline_after_ms(job.deadline_ms);
+    cancel = deadline_source->token();
+  }
+  options.refine.cancel = cancel;
+
+  MapJobResult result;
+  result.name = job.name;
+
+  // A signal that lands before execution starts (a cancelled or expired
+  // queued job) skips the job entirely: there is no incumbent to degrade
+  // to, so the report stays empty and only the status carries information.
+  if (cancel.signalled()) {
+    result.status = cancel.status();
+    result.report.status = result.status;
+    result.wall_ms = std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    return result;
+  }
+
+  fault_sleep_runner();
+
   // Deferred jobs materialize here and release at function exit — before
   // the result reaches the caller — so the alive-instance footprint of a
   // batch is one per busy runner.
   std::optional<MappingInstance> owned;
   const MappingInstance* instance = job.instance;
   if (instance == nullptr) {
+    fault_point_build();
     owned.emplace(job.build());
     instance = &*owned;
   }
@@ -51,13 +82,13 @@ MapJobResult run_map_job(const MapJob& job, const std::shared_ptr<ThreadPool>& p
 
   const EvalEngine engine(*instance, pool);
   if (tables) engine.adopt_topology(tables);
-  MapJobResult result;
   result.topology_cache_hit = cache_hit;
-  result.name = job.name;
   result.system_name = instance->system().name();
   result.np = instance->num_tasks();
   result.ns = instance->num_processors();
+  fault_point_mapper();
   result.report = map_instance(engine, options);
+  result.status = result.report.status;
   // Resolved width, not the request: with lanes == 0 the job's own setting
   // ran, which may itself have been 0 ("auto"); the resolution is cached
   // by now, so this is a lookup.
@@ -65,9 +96,11 @@ MapJobResult run_map_job(const MapJob& job, const std::shared_ptr<ThreadPool>& p
                      ? lanes
                      : engine.resolve_num_threads(options.refine.num_threads,
                                                   options.refine.eval);
-  if (job.random_trials > 0) {
+  if (job.random_trials > 0 && !cancel.signalled()) {
     // Same engine: the baseline replays on the already-warm tables instead
     // of building a second engine per job like the legacy serial loop did.
+    // Skipped when the job is already out of budget — the mapped result is
+    // the part worth shipping degraded; an unpaired baseline is not.
     result.random =
         evaluate_random_mappings(engine, job.random_trials, job.random_seed, options.refine.eval);
   }
@@ -81,6 +114,9 @@ MapService::MapService(MapServiceOptions options)
   lane_budget_ = std::max(1, lane_budget_);
   max_runners_ = options.max_concurrent_jobs > 0 ? options.max_concurrent_jobs : lane_budget_;
   max_runners_ = std::max(1, max_runners_);
+  max_queue_ = options.max_queue;
+  admission_ = options.admission;
+  default_deadline_ms_ = options.default_deadline_ms;
 }
 
 MapService::~MapService() {
@@ -89,6 +125,7 @@ MapService::~MapService() {
     shutdown_ = true;
   }
   work_cv_.notify_all();
+  space_cv_.notify_all();
   for (std::thread& t : runners_) t.join();
 }
 
@@ -110,24 +147,87 @@ void MapService::runner_main() {
     const int sharers = std::min(max_runners_, active_ + static_cast<int>(queue_.size()));
     const int lanes = std::max(1, lane_budget_ / std::max(1, sharers));
     lock.unlock();
+    space_cv_.notify_one();
 
+    // Error isolation: whatever the job does — invalid input, a throwing
+    // deferred build(), an injected fault, an allocation failure in the
+    // topology-cache fill — it is captured into this job's status and the
+    // runner lives on. The future always gets a value, never an exception,
+    // so one bad job cannot poison map_batch's drain or the progress
+    // stream for its siblings.
+    MapJobResult result;
     try {
-      MapJobResult result = run_map_job(queued.job, pool_, lanes, &topo_cache_);
-      if (queued.on_done) queued.on_done(result);
-      queued.promise.set_value(std::move(result));
+      result = run_map_job(queued.job, pool_, lanes, &topo_cache_);
+    } catch (const std::invalid_argument& e) {
+      result = MapJobResult{};
+      result.name = queued.job.name;
+      result.status = MapStatus::kInvalidInput;
+      result.error = e.what();
+    } catch (const std::exception& e) {
+      result = MapJobResult{};
+      result.name = queued.job.name;
+      result.status = MapStatus::kInternalError;
+      result.error = e.what();
     } catch (...) {
-      queued.promise.set_exception(std::current_exception());
+      result = MapJobResult{};
+      result.name = queued.job.name;
+      result.status = MapStatus::kInternalError;
+      result.error = "unknown exception";
     }
+    if (queued.on_done) {
+      // A throwing progress callback must not cost the job its result
+      // delivery (the batch would deadlock waiting on the future).
+      try {
+        queued.on_done(result);
+      } catch (...) {
+      }
+    }
+    queued.promise.set_value(std::move(result));
 
     lock.lock();
     --active_;
+    sources_.erase(queued.id);
   }
 }
 
-std::future<MapJobResult> MapService::enqueue_locked(QueuedJob queued, const char* caller) {
+std::future<MapJobResult> MapService::enqueue_locked(
+    std::unique_lock<std::mutex>& lock, MapJob job,
+    std::function<void(const MapJobResult&)> on_done, const char* caller, JobId* id_out) {
   if (shutdown_) {
     throw std::logic_error(std::string(caller) + ": service is shutting down");
   }
+  if (max_queue_ > 0 && queue_.size() >= max_queue_) {
+    if (admission_ == AdmissionPolicy::kReject) {
+      throw AdmissionRejectedError(std::string(caller) + ": admission queue is full (" +
+                                   std::to_string(max_queue_) + " jobs)");
+    }
+    // Backpressure: wait for a slot. The lock is released while waiting,
+    // so runners keep draining; a bulk enqueue that hits this loses its
+    // single-lock atomicity, which only affects lane sharding, never
+    // results.
+    space_cv_.wait(lock, [&] { return shutdown_ || queue_.size() < max_queue_; });
+    if (shutdown_) {
+      throw std::logic_error(std::string(caller) + ": service is shutting down");
+    }
+  }
+
+  QueuedJob queued;
+  queued.job = std::move(job);
+  queued.id = next_id_++;
+  queued.on_done = std::move(on_done);
+
+  // Per-job cancellation channel, chained under the submitter's token, with
+  // the queue-inclusive deadline armed now. The job carries the chained
+  // token from here on; deadline_ms is consumed.
+  CancelSource source(queued.job.cancel);
+  const std::int64_t deadline_ms =
+      queued.job.deadline_ms != 0 ? queued.job.deadline_ms : default_deadline_ms_;
+  if (deadline_ms > 0) source.set_deadline_after_ms(deadline_ms);
+  queued.job.cancel = source.token();
+  queued.job.deadline_ms = -1;
+  sources_.emplace(queued.id, std::move(source));
+
+  if (id_out != nullptr) *id_out = queued.id;
   queue_.push_back(std::move(queued));
   std::future<MapJobResult> future = queue_.back().promise.get_future();
   // Lazy runner spawn: one per job until the cap, so a service used for a
@@ -139,17 +239,77 @@ std::future<MapJobResult> MapService::enqueue_locked(QueuedJob queued, const cha
   return future;
 }
 
-std::future<MapJobResult> MapService::submit(MapJob job) {
+std::future<MapJobResult> MapService::submit(MapJob job, JobId* id) {
   if (job.instance == nullptr && !job.build) {
     throw std::invalid_argument("MapService::submit: job has neither an instance nor a builder");
   }
   std::future<MapJobResult> future;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    future = enqueue_locked(QueuedJob{std::move(job), {}, {}}, "MapService::submit");
+    std::unique_lock<std::mutex> lock(mutex_);
+    future = enqueue_locked(lock, std::move(job), {}, "MapService::submit", id);
   }
   work_cv_.notify_one();
   return future;
+}
+
+void MapService::deliver_cancelled(std::vector<QueuedJob>& drained) {
+  for (QueuedJob& queued : drained) {
+    MapJobResult result;
+    result.name = queued.job.name;
+    // First cause wins: a deadline that expired while the job sat queued
+    // beats the cancel that drained it.
+    result.status = queued.job.cancel.signalled() ? queued.job.cancel.status()
+                                                  : MapStatus::kCancelled;
+    if (result.status == MapStatus::kOk) result.status = MapStatus::kCancelled;
+    result.report.status = result.status;
+    if (queued.on_done) {
+      try {
+        queued.on_done(result);
+      } catch (...) {
+      }
+    }
+    queued.promise.set_value(std::move(result));
+  }
+  if (!drained.empty()) space_cv_.notify_all();
+}
+
+bool MapService::cancel(JobId id) {
+  std::vector<QueuedJob> drained;
+  bool found = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sources_.find(id);
+    if (it != sources_.end()) {
+      it->second.request_cancel();
+      found = true;
+    }
+    for (auto qit = queue_.begin(); qit != queue_.end(); ++qit) {
+      if (qit->id == id) {
+        drained.push_back(std::move(*qit));
+        queue_.erase(qit);
+        sources_.erase(id);
+        break;
+      }
+    }
+  }
+  deliver_cancelled(drained);
+  return found;
+}
+
+std::size_t MapService::cancel_all() {
+  std::vector<QueuedJob> drained;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, source] : sources_) source.request_cancel();
+    drained.reserve(queue_.size());
+    while (!queue_.empty()) {
+      sources_.erase(queue_.front().id);
+      drained.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+  deliver_cancelled(drained);
+  return drained.size();
 }
 
 std::vector<MapJobResult> MapService::map_batch(
@@ -170,17 +330,20 @@ std::vector<MapJobResult> MapService::map_batch(
 
   std::vector<std::future<MapJobResult>> futures;
   futures.reserve(jobs.size());
-  {
+  std::exception_ptr admission_error;
+  try {
     // One lock for the whole batch: the first runner must not pop a job
     // before the rest are queued, or the sharding policy would see an
-    // empty queue and grant the head job the full lane budget.
-    const std::lock_guard<std::mutex> lock(mutex_);
+    // empty queue and grant the head job the full lane budget. (A full
+    // admission queue under kBlock waives the atomicity — see
+    // enqueue_locked.)
+    std::unique_lock<std::mutex> lock(mutex_);
     for (MapJob& job : jobs) {
-      QueuedJob queued{std::move(job), {}, {}};
+      std::function<void(const MapJobResult&)> on_done;
       if (progress) {
-        // By value: if map_batch unwinds (a job threw), closures of
+        // By value: if map_batch unwinds (admission rejected), closures of
         // still-queued jobs must not dangle into the caller's frame.
-        queued.on_done = [state, total, progress](const MapJobResult& result) {
+        on_done = [state, total, progress](const MapJobResult& result) {
           const std::lock_guard<std::mutex> batch_lock(state->mutex);
           BatchProgress p;
           p.completed = ++state->completed;
@@ -189,25 +352,34 @@ std::vector<MapJobResult> MapService::map_batch(
           progress(p);
         };
       }
-      futures.push_back(enqueue_locked(std::move(queued), "MapService::map_batch"));
+      futures.push_back(
+          enqueue_locked(lock, std::move(job), std::move(on_done), "MapService::map_batch", nullptr));
+      if (max_queue_ > 0 && queue_.size() >= max_queue_) {
+        // The next enqueue would block holding every earlier job hostage;
+        // release the dam so runners start on what is already queued.
+        lock.unlock();
+        work_cv_.notify_all();
+        lock.lock();
+      }
     }
+  } catch (...) {
+    // Admission rejected (or shutdown) mid-batch: the jobs already
+    // admitted borrow caller-owned instances, so they must deliver before
+    // this frame unwinds.
+    admission_error = std::current_exception();
   }
   work_cv_.notify_all();
 
-  // Drain every future before rethrowing the first failure: submitted jobs
-  // borrow caller-owned instances, so map_batch must not unwind into the
-  // caller's frame while runners still execute against it.
+  // Drain every future before returning: submitted jobs borrow
+  // caller-owned instances, so map_batch must not unwind into the caller's
+  // frame while runners still execute against it. Per-job failures arrive
+  // as statuses inside the results, so the drain itself never throws.
   std::vector<MapJobResult> results;
   results.reserve(futures.size());
-  std::exception_ptr first_error;
   for (std::future<MapJobResult>& future : futures) {
-    try {
-      results.push_back(future.get());
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
+    results.push_back(future.get());
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (admission_error) std::rethrow_exception(admission_error);
   return results;
 }
 

@@ -28,6 +28,16 @@
 // mapping decisions. Hence any submission order, any concurrency level and
 // any lane sharding yield bit-identical per-job results
 // (tests/map_service_test.cpp enforces this against the sequential path).
+//
+// Fault tolerance (DESIGN.md section 15): every submitted job reaches
+// exactly one terminal MapStatus. Deadlines and cancellation are
+// cooperative (core/cancellation.hpp) — a cancelled or expired job stops
+// within one evaluation wave and delivers its best incumbent as a degraded
+// but valid result; a throwing build()/mapper is captured into
+// MapJobResult::status without poisoning the runner, the progress stream
+// or any other job; admission is optionally bounded (block or reject);
+// cancel(id)/cancel_all() drain queued-not-started jobs immediately and
+// signal running ones.
 #pragma once
 
 #include <condition_variable>
@@ -37,11 +47,14 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "baseline/random_mapping.hpp"
+#include "core/cancellation.hpp"
 #include "core/mapper.hpp"
 #include "service/thread_pool.hpp"
 
@@ -71,6 +84,16 @@ struct MapJob {
   /// with a random baseline).
   std::int64_t random_trials = 0;
   std::uint64_t random_seed = 99;
+  /// Per-job wall-clock budget, armed when the job is admitted (so queue
+  /// wait counts against it). > 0: that many milliseconds; 0: the
+  /// service's default_deadline_ms; < 0: explicitly no deadline even when
+  /// the service has a default. An expired job delivers its best incumbent
+  /// with status kDeadlineExceeded within one evaluation wave.
+  std::int64_t deadline_ms = 0;
+  /// Optional submitter-owned cancellation token; the service chains its
+  /// per-job source under it, so tripping it cancels this job wherever it
+  /// is (queued jobs are drained, running ones stop at the next poll).
+  CancelToken cancel;
 };
 
 struct MapJobResult {
@@ -97,6 +120,35 @@ struct MapJobResult {
   std::string system_name;
   NodeId np = 0;
   NodeId ns = 0;
+  /// The job's one terminal status. kOk: full result. kCancelled /
+  /// kDeadlineExceeded: report holds the best incumbent reached before the
+  /// signal (or a default report if the job never started). kInvalidInput /
+  /// kInternalError: the job threw; `error` says why and the report is
+  /// empty. Runner exceptions land here, never on the future.
+  MapStatus status = MapStatus::kOk;
+  /// Diagnostic message for the error statuses (exception what()).
+  std::string error;
+
+  [[nodiscard]] bool ok() const noexcept { return status == MapStatus::kOk; }
+};
+
+/// What submit() does when the admission queue is full (max_queue > 0).
+enum class AdmissionPolicy {
+  /// Block the submitter until a slot frees (backpressure). map_batch
+  /// degrades gracefully: once the cap forces a wait, the batch is no
+  /// longer enqueued atomically, so the sharding policy may grant the
+  /// first jobs wider lanes — results stay bit-identical regardless.
+  kBlock,
+  /// Throw AdmissionRejectedError from submit()/map_batch() (load
+  /// shedding).
+  kReject,
+};
+
+/// Thrown by submit()/map_batch() under AdmissionPolicy::kReject when the
+/// queue is at max_queue.
+class AdmissionRejectedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 struct MapServiceOptions {
@@ -107,6 +159,13 @@ struct MapServiceOptions {
   int max_concurrent_jobs = 0;
   /// Pool shared by every job's engine; null acquires ThreadPool::shared().
   std::shared_ptr<ThreadPool> pool;
+  /// Bound on queued-not-started jobs; 0 means unbounded (no admission
+  /// control, `admission` is irrelevant).
+  std::size_t max_queue = 0;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  /// Deadline applied to jobs that leave MapJob::deadline_ms == 0;
+  /// 0 means none.
+  std::int64_t default_deadline_ms = 0;
 };
 
 /// Snapshot handed to the map_batch progress callback after each job.
@@ -126,6 +185,14 @@ struct BatchProgress {
 /// given, shares topology tables (distance matrix + routing) across jobs
 /// with structurally identical machines — results are bit-identical with
 /// or without it.
+///
+/// Honors MapJob::cancel and (when > 0) MapJob::deadline_ms — the deadline
+/// is armed here, at execution start; the service arms queue-inclusive
+/// deadlines itself and hands the job over with deadline_ms consumed.
+/// Cancellation/deadline outcomes come back as MapJobResult::status;
+/// invalid jobs and runtime failures THROW (the MapService runner is the
+/// layer that captures those into status — sequential callers keep plain
+/// exception semantics).
 [[nodiscard]] MapJobResult run_map_job(const MapJob& job,
                                        const std::shared_ptr<ThreadPool>& pool = nullptr,
                                        int lanes = 0, TopologyCache* topo_cache = nullptr);
@@ -139,20 +206,43 @@ class MapService {
   MapService(const MapService&) = delete;
   MapService& operator=(const MapService&) = delete;
 
-  /// Enqueues one job; the future carries the result (or the job's
-  /// exception). Throws std::invalid_argument on a null instance.
-  [[nodiscard]] std::future<MapJobResult> submit(MapJob job);
+  /// Identifies a submitted job for cancel(); never reused within a
+  /// service.
+  using JobId = std::uint64_t;
+
+  /// Enqueues one job; the future always carries a result — job failures
+  /// are captured into MapJobResult::status/error, never set as the
+  /// future's exception. Throws std::invalid_argument synchronously on a
+  /// job with neither instance nor builder (a submitter bug, not a job
+  /// outcome), and AdmissionRejectedError when the queue is full under
+  /// AdmissionPolicy::kReject; blocks for space under kBlock. `id`, when
+  /// given, receives a handle for cancel().
+  [[nodiscard]] std::future<MapJobResult> submit(MapJob job, JobId* id = nullptr);
 
   /// Submits the whole batch and blocks until done, returning results in
   /// submission order (regardless of completion order). `progress`, when
   /// given, is invoked once per completed job from the completing runner
   /// thread — callbacks are serialized by the service, but must not call
-  /// back into it. When jobs fail, every job still runs to completion
-  /// before the first exception is rethrown (submitted jobs borrow
-  /// caller-owned instances, so no runner may outlive this call).
+  /// back into it (cancel()/cancel_all() from OTHER threads mid-batch is
+  /// fine and the intended SIGINT path: affected jobs come back with
+  /// cancelled statuses). Per-job failures come back as statuses in the
+  /// results, never as exceptions — every job reaches a terminal status
+  /// before this returns (submitted jobs borrow caller-owned instances, so
+  /// no runner may outlive this call).
   [[nodiscard]] std::vector<MapJobResult> map_batch(
       std::vector<MapJob> jobs,
       const std::function<void(const BatchProgress&)>& progress = nullptr);
+
+  /// Cancels one job: a queued-not-started job is drained immediately (its
+  /// future resolves with status kCancelled before this returns, on_done
+  /// included); a running one is signalled and stops at its next poll.
+  /// Returns false when the id is unknown or the job already delivered.
+  bool cancel(JobId id);
+
+  /// Cancels everything: drains the whole queue (delivering kCancelled
+  /// results) and signals every running job. Returns the number of jobs
+  /// drained from the queue.
+  std::size_t cancel_all();
 
   /// Total lane budget the sharding policy distributes.
   [[nodiscard]] int lane_budget() const noexcept { return lane_budget_; }
@@ -169,6 +259,7 @@ class MapService {
  private:
   struct QueuedJob {
     MapJob job;
+    JobId id = 0;
     std::promise<MapJobResult> promise;
     /// Invoked after the job completes, before the future resolves (so a
     /// batch's last callback always precedes map_batch returning).
@@ -176,18 +267,33 @@ class MapService {
   };
 
   void runner_main();
-  /// Pushes one job and tops up the runner count; mutex_ must be held.
-  std::future<MapJobResult> enqueue_locked(QueuedJob queued, const char* caller);
+  /// Admits one job (waiting or rejecting per the admission policy),
+  /// chains its cancel source, arms its deadline, pushes it and tops up
+  /// the runner count. `lock` must hold mutex_ and may be released while
+  /// blocked on queue space.
+  std::future<MapJobResult> enqueue_locked(std::unique_lock<std::mutex>& lock, MapJob job,
+                                           std::function<void(const MapJobResult&)> on_done,
+                                           const char* caller, JobId* id_out);
+  /// Resolves drained jobs with their token status (on_done first), then
+  /// pings the space cv. Call WITHOUT mutex_ held.
+  void deliver_cancelled(std::vector<QueuedJob>& drained);
 
   std::shared_ptr<ThreadPool> pool_;
   TopologyCache topo_cache_;
   int lane_budget_ = 1;
   int max_runners_ = 1;
+  std::size_t max_queue_ = 0;
+  AdmissionPolicy admission_ = AdmissionPolicy::kBlock;
+  std::int64_t default_deadline_ms_ = 0;
 
   std::mutex mutex_;
   std::condition_variable work_cv_;
+  std::condition_variable space_cv_;
   std::deque<QueuedJob> queue_;
   std::vector<std::thread> runners_;
+  /// Cancel channels of every admitted-but-not-delivered job.
+  std::unordered_map<JobId, CancelSource> sources_;
+  JobId next_id_ = 1;
   int active_ = 0;  // runners currently executing a job
   bool shutdown_ = false;
 };

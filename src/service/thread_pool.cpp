@@ -45,9 +45,21 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::drain(Chunk& chunk, int lane) {
   while (true) {
+    // Poisoned chunks stop handing out work; whoever set the flag owns the
+    // exception, everyone else just leaves.
+    if (chunk.error_claimed.load(std::memory_order_acquire)) break;
     const std::size_t i = chunk.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= chunk.count) break;
-    (*chunk.fn)(i, lane);
+    try {
+      (*chunk.fn)(i, lane);
+    } catch (...) {
+      bool expected = false;
+      if (chunk.error_claimed.compare_exchange_strong(expected, true,
+                                                      std::memory_order_acq_rel)) {
+        chunk.error = std::current_exception();
+      }
+      break;
+    }
   }
 }
 
@@ -116,9 +128,15 @@ void ThreadPool::run_chunk(std::size_t count, int max_lanes,
 
   drain(chunk, 0);  // the caller is lane 0 and always makes progress
 
-  std::unique_lock<std::mutex> lock(mutex_);
-  detach_locked(&chunk);  // stop admitting; workers already in keep going
-  chunk.done_cv.wait(lock, [&] { return chunk.attached == 0; });
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    detach_locked(&chunk);  // stop admitting; workers already in keep going
+    chunk.done_cv.wait(lock, [&] { return chunk.attached == 0; });
+  }
+  // Only now — with every lane detached and the chunk off active_ — may an
+  // fn exception escape; earlier it would leave this stack frame's Chunk
+  // dangling in the pool.
+  if (chunk.error) std::rethrow_exception(chunk.error);
 }
 
 int ThreadPool::thread_count() {

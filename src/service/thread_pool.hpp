@@ -30,16 +30,26 @@
 //    (EvalEngine::resolve_num_threads) in a batch of N engines no longer
 //    pays the measurement N times.
 //
-// Guarantees: run_chunk invokes fn exactly once per index; it returns only
-// after every invocation has finished; with max_lanes < 2 (or a
-// worker-less pool) it degenerates to an inline sequential loop, so a
-// caller that drives lane 0 always makes progress — nested run_chunk calls
-// cannot deadlock. fn must not throw.
+// Guarantees: run_chunk invokes fn at most once per index (exactly once
+// when no invocation throws); it returns only after every invocation has
+// finished; with max_lanes < 2 (or a worker-less pool) it degenerates to
+// an inline sequential loop, so a caller that drives lane 0 always makes
+// progress — nested run_chunk calls cannot deadlock.
+//
+// Exception safety: a throwing fn poisons its chunk — every lane stops
+// pulling indices (remaining indices are skipped), the first exception is
+// captured, and run_chunk rethrows it on the calling thread after all
+// lanes have detached. A worker that caught an exception survives and
+// moves on to other chunks; the pool itself is never poisoned. This
+// matters beyond hygiene: the caller's Chunk lives on its stack, so an
+// exception escaping through run_chunk while workers were still attached
+// would leave a dangling pointer in the pool.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -68,8 +78,10 @@ class ThreadPool {
   /// Runs fn(i, lane) for every i in [0, count) across the caller (lane 0)
   /// and up to max_lanes - 1 pooled workers (lanes 1..). Blocks until all
   /// indices are done. Iteration order across lanes is unspecified; fn
-  /// must only write per-index state and must not throw. Thread-safe:
-  /// concurrent chunks shard the pool via their lane budgets.
+  /// must only write per-index state. If fn throws, the chunk stops early
+  /// and the first exception is rethrown here after every lane has
+  /// detached (see the class comment). Thread-safe: concurrent chunks
+  /// shard the pool via their lane budgets.
   void run_chunk(std::size_t count, int max_lanes,
                  const std::function<void(std::size_t, int)>& fn);
 
@@ -96,6 +108,13 @@ class ThreadPool {
     int next_lane = 1;  // lane tickets; caller holds lane 0 (guarded by pool mutex)
     int attached = 0;   // workers currently draining (guarded by pool mutex)
     std::condition_variable done_cv;
+    /// Poison flag: set by the first lane whose fn threw; every lane stops
+    /// pulling indices once it is up.
+    std::atomic<bool> error_claimed{false};
+    /// The first exception. Written only by the error_claimed winner before
+    /// it re-enters the pool mutex, read by the caller after the done wait
+    /// — the mutex orders the two.
+    std::exception_ptr error;
   };
 
   void worker_main();

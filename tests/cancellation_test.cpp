@@ -1,0 +1,490 @@
+// Cooperative cancellation contracts (core/cancellation.hpp, ISSUE 6):
+//
+//  * the token primitive itself — empty tokens are free and never trip,
+//    first cause wins, parent chaining, the counting vs non-counting poll
+//    split, deadlines;
+//  * cancellation determinism — cancelling a refinement loop after exactly
+//    k counting polls leaves the bit-exact state of the same loop run with
+//    a budget of k moves/waves (the accept stream is a pure function of
+//    the RNG stream, so stopping early must equal never having scheduled
+//    the tail), across delta modes v1/v2 and SoA widths;
+//  * graceful degradation through the pipeline — cancelled/expired jobs
+//    return the best incumbent with the right status, valid assignments
+//    included, from refine() up through map_instance and MapService;
+//  * service-level cancel/deadline plumbing: queued-job draining,
+//    cancel_all, per-job and default deadlines.
+#include "core/cancellation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baseline/annealing.hpp"
+#include "baseline/pairwise.hpp"
+#include "cluster/strategies.hpp"
+#include "core/mapper.hpp"
+#include "core/refinement.hpp"
+#include "service/map_service.hpp"
+#include "topology/factory.hpp"
+#include "workload/structured.hpp"
+
+namespace mimdmap {
+namespace {
+
+MappingInstance make_instance(std::uint64_t seed = 7) {
+  const StructuredWeights sw{{1, 9}, {1, 9}, seed};
+  TaskGraph problem = make_diamond(6, 6, sw);
+  SystemGraph system = make_topology("mesh-2x4");
+  Clustering clustering = make_clustering("random", problem, system.node_count(), seed);
+  return MappingInstance(std::move(problem), std::move(clustering), std::move(system));
+}
+
+TEST(CancelTokenTest, EmptyTokenNeverTrips) {
+  const CancelToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_FALSE(token.signalled());
+  EXPECT_EQ(token.status(), MapStatus::kOk);
+}
+
+TEST(CancelTokenTest, RequestCancelTripsStickily) {
+  const CancelSource source;
+  const CancelToken token = source.token();
+  EXPECT_TRUE(token.valid());
+  EXPECT_FALSE(token.signalled());
+  EXPECT_EQ(token.status(), MapStatus::kOk);
+  source.request_cancel();
+  EXPECT_TRUE(token.signalled());
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_EQ(token.status(), MapStatus::kCancelled);
+  source.request_cancel();  // idempotent
+  EXPECT_EQ(token.status(), MapStatus::kCancelled);
+}
+
+TEST(CancelTokenTest, ExpiredDeadlineTripsWithDeadlineStatus) {
+  const CancelSource source;
+  source.set_deadline_after_ms(0);  // already expired
+  const CancelToken token = source.token();
+  EXPECT_TRUE(token.signalled());
+  EXPECT_EQ(token.status(), MapStatus::kDeadlineExceeded);
+}
+
+TEST(CancelTokenTest, FirstCauseWins) {
+  // Cancel lands before the (expired) deadline is ever polled: the status
+  // must stay kCancelled.
+  const CancelSource source;
+  source.request_cancel();
+  source.set_deadline_after_ms(0);
+  EXPECT_EQ(source.token().status(), MapStatus::kCancelled);
+}
+
+TEST(CancelTokenTest, CancelAfterPollsCountsOnlyCountingPolls) {
+  const CancelSource source;
+  source.cancel_after_polls(3);
+  const CancelToken token = source.token();
+  // signalled() is the non-counting check: it must never consume budget.
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(token.signalled());
+  EXPECT_FALSE(token.stop_requested());  // poll 1
+  EXPECT_FALSE(token.stop_requested());  // poll 2
+  EXPECT_FALSE(token.stop_requested());  // poll 3
+  EXPECT_TRUE(token.stop_requested());   // poll 4 trips
+  EXPECT_TRUE(token.signalled());
+  EXPECT_TRUE(token.stop_requested());  // sticky
+  EXPECT_EQ(token.status(), MapStatus::kCancelled);
+}
+
+TEST(CancelTokenTest, ChildTokenSeesParentTrip) {
+  const CancelSource parent;
+  const CancelSource child(parent.token());
+  const CancelToken token = child.token();
+  EXPECT_FALSE(token.signalled());
+  parent.request_cancel();
+  EXPECT_TRUE(token.signalled());
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_EQ(token.status(), MapStatus::kCancelled);
+  // The parent's own token is unaffected by child-side state.
+  EXPECT_TRUE(parent.token().signalled());
+}
+
+TEST(CancelTokenTest, ChildTripDoesNotPropagateUp) {
+  const CancelSource parent;
+  const CancelSource child(parent.token());
+  child.request_cancel();
+  EXPECT_TRUE(child.token().signalled());
+  EXPECT_FALSE(parent.token().signalled());
+}
+
+/// Everything that must be bit-identical between "cancelled after k polls"
+/// and "budget of k trials".
+void expect_same_refine(const RefineResult& cancelled, const RefineResult& budget,
+                        const std::string& what) {
+  EXPECT_EQ(cancelled.assignment, budget.assignment) << what;
+  EXPECT_EQ(cancelled.schedule.total_time, budget.schedule.total_time) << what;
+  EXPECT_EQ(cancelled.trials_used, budget.trials_used) << what;
+  EXPECT_EQ(cancelled.improvements, budget.improvements) << what;
+}
+
+TEST(CancellationDeterminismTest, PairwiseExchangeCancelAtMoveKEqualsBudgetK) {
+  const MappingInstance instance = make_instance();
+  const EvalEngine engine(instance);
+  const IdealSchedule ideal = compute_ideal_schedule(instance);
+  const CriticalInfo critical = find_critical(instance, ideal);
+  const InitialAssignmentResult initial = initial_assignment(instance, critical);
+
+  for (const char* mode : {"1", "2"}) {
+    setenv("MIMDMAP_DELTA_MODE", mode, 1);
+    for (const std::int64_t k : {0, 1, 7, 23}) {
+      RefineOptions budget_options;
+      budget_options.max_trials = k;
+      const RefineResult budget =
+          pairwise_exchange_refine(engine, ideal, initial, budget_options);
+      EXPECT_EQ(budget.status, MapStatus::kOk);
+      EXPECT_EQ(budget.trials_used, k);
+
+      RefineOptions cancel_options;
+      cancel_options.max_trials = 500;  // would run much further
+      const CancelSource source;
+      source.cancel_after_polls(k);
+      cancel_options.cancel = source.token();
+      const RefineResult cancelled =
+          pairwise_exchange_refine(engine, ideal, initial, cancel_options);
+      EXPECT_EQ(cancelled.status, MapStatus::kCancelled);
+      expect_same_refine(cancelled, budget,
+                         "exchange k=" + std::to_string(k) + " v" + mode);
+    }
+  }
+  unsetenv("MIMDMAP_DELTA_MODE");
+}
+
+TEST(CancellationDeterminismTest, PairwiseSweepCancelAtMoveKEqualsBudgetK) {
+  const MappingInstance instance = make_instance(11);
+  const EvalEngine engine(instance);
+  const IdealSchedule ideal = compute_ideal_schedule(instance);
+  const CriticalInfo critical = find_critical(instance, ideal);
+  const InitialAssignmentResult initial = initial_assignment(instance, critical);
+
+  for (const char* mode : {"1", "2"}) {
+    setenv("MIMDMAP_DELTA_MODE", mode, 1);
+    // The sweep may converge (full pass without improvement) before a
+    // fixed k of evaluations — pinning can leave few movable pairs — and a
+    // converged run ends kOk before the cancel poll ever fires. So probe
+    // the natural length first and cancel strictly inside it.
+    RefineOptions probe;
+    probe.max_trials = 500;
+    const RefineResult natural = pairwise_sweep_refine(engine, ideal, initial, probe);
+    ASSERT_GT(natural.trials_used, 2) << "instance too easy to exercise cancellation";
+    for (const std::int64_t k :
+         {std::int64_t{0}, std::int64_t{1}, natural.trials_used / 2, natural.trials_used - 1}) {
+      RefineOptions budget_options;
+      budget_options.max_trials = k;
+      const RefineResult budget = pairwise_sweep_refine(engine, ideal, initial, budget_options);
+      EXPECT_EQ(budget.status, MapStatus::kOk);
+
+      RefineOptions cancel_options;
+      cancel_options.max_trials = 500;
+      const CancelSource source;
+      source.cancel_after_polls(k);
+      cancel_options.cancel = source.token();
+      const RefineResult cancelled =
+          pairwise_sweep_refine(engine, ideal, initial, cancel_options);
+      EXPECT_EQ(cancelled.status, MapStatus::kCancelled);
+      expect_same_refine(cancelled, budget, "sweep k=" + std::to_string(k) + " v" + mode);
+    }
+  }
+  unsetenv("MIMDMAP_DELTA_MODE");
+}
+
+TEST(CancellationDeterminismTest, RefineCancelAtWaveKEqualsBudgetOfKWaves) {
+  const MappingInstance instance = make_instance(3);
+  const EvalEngine engine(instance);
+  const IdealSchedule ideal = compute_ideal_schedule(instance);
+  const CriticalInfo critical = find_critical(instance, ideal);
+  const InitialAssignmentResult initial = initial_assignment(instance, critical);
+
+  // Sequential refine polls once per chunk, and a sequential chunk is one
+  // wave of `width` candidates — so cancelling after k polls must equal a
+  // budget of k * width trials, for the scalar width, an explicit wide
+  // width and the auto-resolved width.
+  EvalOptions eval;
+  for (const int width : {1, 8, 0 /* auto */}) {
+    const int resolved = std::max(1, engine.resolve_batch_width(width, eval));
+    for (const std::int64_t k : {1, 3}) {
+      RefineOptions budget_options;
+      budget_options.num_threads = 1;
+      budget_options.eval_width = width;
+      budget_options.max_trials = k * resolved;
+      const RefineResult budget = refine(engine, ideal, initial, budget_options);
+      EXPECT_EQ(budget.status, MapStatus::kOk);
+
+      RefineOptions cancel_options = budget_options;
+      cancel_options.max_trials = k * resolved + 400;
+      const CancelSource source;
+      source.cancel_after_polls(k);
+      cancel_options.cancel = source.token();
+      const RefineResult cancelled = refine(engine, ideal, initial, cancel_options);
+      EXPECT_EQ(cancelled.status, MapStatus::kCancelled);
+      expect_same_refine(cancelled, budget,
+                         "refine width=" + std::to_string(width) + " (resolved " +
+                             std::to_string(resolved) + ") k=" + std::to_string(k));
+    }
+  }
+}
+
+TEST(CancellationDeterminismTest, UncancelledTokenLeavesRefineBitIdentical) {
+  // A token that never trips must not perturb anything — same RNG stream,
+  // same accept stream, same result as no token at all.
+  const MappingInstance instance = make_instance(5);
+  const EvalEngine engine(instance);
+  const IdealSchedule ideal = compute_ideal_schedule(instance);
+  const CriticalInfo critical = find_critical(instance, ideal);
+  const InitialAssignmentResult initial = initial_assignment(instance, critical);
+
+  RefineOptions plain;
+  plain.max_trials = 60;
+  const RefineResult without = refine(engine, ideal, initial, plain);
+
+  RefineOptions with = plain;
+  const CancelSource source;  // never tripped
+  with.cancel = source.token();
+  const RefineResult armed = refine(engine, ideal, initial, with);
+  EXPECT_EQ(armed.status, MapStatus::kOk);
+  expect_same_refine(armed, without, "armed-but-untripped token");
+
+  const RefineResult pairwise_without = pairwise_exchange_refine(engine, ideal, initial, plain);
+  const RefineResult pairwise_with = pairwise_exchange_refine(engine, ideal, initial, with);
+  expect_same_refine(pairwise_with, pairwise_without, "pairwise armed-but-untripped");
+}
+
+TEST(CancellationDeterminismTest, AnnealCancelAtMoveKEqualsTruncatedAnneal) {
+  const MappingInstance instance = make_instance(13);
+  const EvalEngine engine(instance);
+  const Assignment start = Assignment::identity(instance.num_processors());
+
+  // First k moves of a long anneal all happen inside step 0 (same
+  // temperature, same RNG stream), so they must equal a one-step anneal
+  // whose moves_per_step is exactly k.
+  const std::int64_t k = 17;
+  AnnealingOptions truncated;
+  truncated.steps = 1;
+  truncated.moves_per_step = k;
+  const AnnealingResult budget = anneal_mapping(engine, start, truncated);
+  EXPECT_EQ(budget.status, MapStatus::kOk);
+  EXPECT_EQ(budget.moves_tried, k);
+
+  AnnealingOptions long_run;
+  long_run.steps = 10;
+  long_run.moves_per_step = 40;
+  const CancelSource source;
+  source.cancel_after_polls(k);
+  long_run.cancel = source.token();
+  const AnnealingResult cancelled = anneal_mapping(engine, start, long_run);
+  EXPECT_EQ(cancelled.status, MapStatus::kCancelled);
+  EXPECT_EQ(cancelled.moves_tried, k);
+  EXPECT_EQ(cancelled.assignment, budget.assignment);
+  EXPECT_EQ(cancelled.total_time, budget.total_time);
+  EXPECT_EQ(cancelled.moves_accepted, budget.moves_accepted);
+}
+
+TEST(CancellationPipelineTest, PreTrippedTokenYieldsDegradedInitialAssignmentReport) {
+  const MappingInstance instance = make_instance(17);
+  MapperOptions options;
+  const CancelSource source;
+  source.request_cancel();
+  options.refine.cancel = source.token();
+
+  const MappingReport report = map_instance(instance, options);
+  EXPECT_EQ(report.status, MapStatus::kCancelled);
+  // Degraded but valid: the initial assignment ships as the final one.
+  EXPECT_TRUE(report.assignment.complete());
+  EXPECT_EQ(report.assignment, report.initial_assignment);
+  EXPECT_EQ(report.total_time(), report.initial_total);
+  EXPECT_EQ(report.refinement_trials, 0);
+}
+
+TEST(CancellationPipelineTest, MidRefineCancelShipsBestIncumbent) {
+  const MappingInstance instance = make_instance(19);
+  MapperOptions options;
+  options.refine.max_trials = 400;
+  const MappingReport full = map_instance(instance, options);
+
+  MapperOptions cancelled_options = options;
+  const CancelSource source;
+  source.cancel_after_polls(5);
+  cancelled_options.refine.cancel = source.token();
+  const MappingReport degraded = map_instance(instance, cancelled_options);
+  EXPECT_EQ(degraded.status, MapStatus::kCancelled);
+  EXPECT_TRUE(degraded.assignment.complete());
+  // The incumbent never regresses below the initial assignment, and a
+  // truncated search can never beat the full one (keep-iff-better).
+  EXPECT_LE(degraded.total_time(), degraded.initial_total);
+  EXPECT_GE(degraded.total_time(), full.total_time());
+}
+
+TEST(CancellationServiceTest, QueueInclusiveDeadlineExpiresWhileQueued) {
+  const MappingInstance instance = make_instance(23);
+  MapServiceOptions options;
+  options.max_concurrent_jobs = 1;
+  options.lanes = 1;
+  MapService service(options);
+
+  // Occupy the single runner so the deadline job sits in the queue past
+  // its budget: the deadline is armed at admission, so queue wait counts
+  // and the runner's pre-start check must deliver kDeadlineExceeded.
+  std::promise<void> gate;
+  std::shared_future<void> gate_future = gate.get_future().share();
+  MapJob slow;
+  slow.build = [&instance, gate_future] {
+    gate_future.wait();
+    return instance;
+  };
+  slow.name = "slow";
+  std::future<MapJobResult> slow_future = service.submit(std::move(slow));
+
+  MapJob doomed;
+  doomed.instance = &instance;
+  doomed.name = "doomed";
+  doomed.deadline_ms = 1;
+  std::future<MapJobResult> doomed_future = service.submit(std::move(doomed));
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.set_value();
+  const MapJobResult doomed_result = doomed_future.get();
+  EXPECT_EQ(doomed_result.status, MapStatus::kDeadlineExceeded);
+  EXPECT_EQ(doomed_result.name, "doomed");
+  EXPECT_EQ(slow_future.get().status, MapStatus::kOk);
+}
+
+TEST(CancellationServiceTest, ExplicitNoDeadlineOverridesServiceDefault) {
+  const MappingInstance instance = make_instance(23);
+  MapJob job;
+  job.instance = &instance;
+  job.name = "deadline-job";
+  job.options.refine.max_trials = 60;
+  const MapJobResult reference = run_map_job(job);
+  EXPECT_EQ(reference.status, MapStatus::kOk);
+
+  // A generous service default must not perturb results...
+  MapServiceOptions opts;
+  opts.default_deadline_ms = 60000;
+  MapService service(opts);
+  const MapJobResult with_default = service.submit(job).get();
+  EXPECT_EQ(with_default.status, MapStatus::kOk);
+  EXPECT_EQ(with_default.report.total_time(), reference.report.total_time());
+
+  // ...and deadline_ms = -1 explicitly opts a job out of it.
+  MapJob opted_out = job;
+  opted_out.deadline_ms = -1;
+  const MapJobResult no_deadline = service.submit(std::move(opted_out)).get();
+  EXPECT_EQ(no_deadline.status, MapStatus::kOk);
+  EXPECT_EQ(no_deadline.report.total_time(), reference.report.total_time());
+
+  // A submitter-side cancel before the runner starts: degraded, valid.
+  const CancelSource source;
+  source.request_cancel();
+  MapJob cancelled = job;
+  cancelled.cancel = source.token();
+  const MapJobResult result = service.submit(std::move(cancelled)).get();
+  EXPECT_EQ(result.status, MapStatus::kCancelled);
+  EXPECT_EQ(result.name, "deadline-job");
+}
+
+TEST(CancellationServiceTest, CancelDrainsQueuedJobAndSignalsRunning) {
+  const MappingInstance instance = make_instance(29);
+  // One runner: the first job occupies it, the second stays queued.
+  MapServiceOptions options;
+  options.max_concurrent_jobs = 1;
+  options.lanes = 1;
+  MapService service(options);
+
+  // A slow job: deferred build that waits until we let it proceed.
+  std::promise<void> gate;
+  std::shared_future<void> gate_future = gate.get_future().share();
+  MapJob slow;
+  slow.build = [&instance, gate_future] {
+    gate_future.wait();
+    return instance;
+  };
+  slow.name = "slow";
+  MapService::JobId slow_id = 0;
+  std::future<MapJobResult> slow_future = service.submit(std::move(slow), &slow_id);
+
+  MapJob queued;
+  queued.instance = &instance;
+  queued.name = "queued";
+  MapService::JobId queued_id = 0;
+  std::future<MapJobResult> queued_future = service.submit(std::move(queued), &queued_id);
+
+  // Drain the queued job while it has never started: its future must
+  // resolve promptly with kCancelled even though the runner is busy.
+  EXPECT_TRUE(service.cancel(queued_id));
+  const MapJobResult drained = queued_future.get();
+  EXPECT_EQ(drained.status, MapStatus::kCancelled);
+  EXPECT_EQ(drained.name, "queued");
+
+  gate.set_value();
+  const MapJobResult slow_result = slow_future.get();
+  EXPECT_EQ(slow_result.status, MapStatus::kOk);
+
+  // Unknown / already-delivered ids report false.
+  EXPECT_FALSE(service.cancel(queued_id));
+  EXPECT_FALSE(service.cancel(987654));
+}
+
+TEST(CancellationServiceTest, CancelAllDrainsQueueAndReportsStatuses) {
+  const MappingInstance instance = make_instance(31);
+  MapServiceOptions options;
+  options.max_concurrent_jobs = 1;
+  options.lanes = 1;
+  MapService service(options);
+
+  std::promise<void> gate;
+  std::shared_future<void> gate_future = gate.get_future().share();
+  std::promise<void> started;
+  MapJob slow;
+  slow.build = [&instance, gate_future, &started] {
+    started.set_value();
+    gate_future.wait();
+    return instance;
+  };
+  slow.name = "slow";
+  std::future<MapJobResult> slow_future = service.submit(std::move(slow));
+  // Wait until the runner has actually picked the slow job up — otherwise
+  // cancel_all() may still find it queued and drain 5 jobs, not 4.
+  started.get_future().wait();
+
+  std::vector<std::future<MapJobResult>> queued;
+  for (int i = 0; i < 4; ++i) {
+    MapJob job;
+    job.instance = &instance;
+    job.name = "queued-" + std::to_string(i);
+    queued.push_back(service.submit(std::move(job)));
+  }
+
+  EXPECT_EQ(service.cancel_all(), 4u);
+  for (std::future<MapJobResult>& f : queued) {
+    const MapJobResult r = f.get();
+    EXPECT_EQ(r.status, MapStatus::kCancelled);
+  }
+  gate.set_value();
+  // The running job was signalled; with the gate released it finishes as
+  // cancelled-degraded (the signal lands before the mapper starts) —
+  // either way it must deliver exactly one terminal status.
+  const MapJobResult slow_result = slow_future.get();
+  EXPECT_EQ(slow_result.status, MapStatus::kCancelled);
+}
+
+TEST(CancellationServiceTest, StatusTaxonomyStrings) {
+  EXPECT_STREQ(to_string(MapStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(MapStatus::kCancelled), "cancelled");
+  EXPECT_STREQ(to_string(MapStatus::kDeadlineExceeded), "deadline_exceeded");
+  EXPECT_STREQ(to_string(MapStatus::kInvalidInput), "invalid_input");
+  EXPECT_STREQ(to_string(MapStatus::kInternalError), "internal_error");
+}
+
+}  // namespace
+}  // namespace mimdmap

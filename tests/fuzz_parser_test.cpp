@@ -5,7 +5,9 @@
 
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "cli/manifest.hpp"
 #include "cluster/cluster_io.hpp"
 #include "graph/graph_io.hpp"
 #include "topology/topology.hpp"
@@ -90,6 +92,61 @@ TEST(FuzzParserTest, ClusteringParserNeverCrashes) {
     } catch (const std::out_of_range&) {
     }
   }
+}
+
+TEST(FuzzParserTest, BatchManifestParserNeverCrashes) {
+  // A representative valid manifest covering every known key family.
+  const std::string valid =
+      "# portfolio\n"
+      "problem=a.graph spec=hypercube-3 strategy=random seed=5 trials=40 name=j0\n"
+      "problem=b.graph system=m.graph clustering=b.clusters serialize deadline-ms=250\n"
+      "\n"
+      "problem=c.graph spec=mesh-2x4 contention random-trials=6 random-seed=9 "
+      "refine-seed=11 extended-critical weighted-links deadline-ms=-1\n";
+  ASSERT_EQ(cli::parse_manifest(valid).size(), 3u);
+
+  Rng rng(404);
+  int parsed = 0;
+  int rejected = 0;
+  for (int i = 0; i < 600; ++i) {
+    const std::string input = mutate(valid, rng, static_cast<int>(rng.uniform(1, 12)));
+    try {
+      const std::vector<cli::ManifestJobSpec> specs = cli::parse_manifest(input);
+      // Anything that parses must be structurally valid: line numbers
+      // positive and increasing, required keys present, numerics clean.
+      int last_line = 0;
+      for (const cli::ManifestJobSpec& spec : specs) {
+        EXPECT_GT(spec.line_no, last_line);
+        last_line = spec.line_no;
+        EXPECT_TRUE(spec.kv.count("problem"));
+        EXPECT_TRUE(spec.kv.count("spec") || spec.kv.count("system"));
+        EXPECT_NO_THROW((void)cli::manifest_seed(spec.kv, "seed", 1, spec.line_no));
+        EXPECT_NO_THROW((void)cli::manifest_int(spec.kv, "deadline-ms", 0, spec.line_no));
+      }
+      ++parsed;
+    } catch (const std::invalid_argument& e) {
+      // The error must name the offending line.
+      EXPECT_NE(std::string(e.what()).find("manifest line "), std::string::npos) << e.what();
+      ++rejected;
+    }
+  }
+  // Light mutations leave some manifests valid and break others; both
+  // paths must actually have run.
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(FuzzParserTest, ManifestGarbageRejectedCleanly) {
+  for (const char* junk :
+       {"problem", "problem=a", "problem=a spec=h spec=h", "problem=a system=s spec=h",
+        "problem=a spec=h clustering=c strategy=s", "problem=a spec=h seed=-1",
+        "problem=a spec=h trials=2x", "problem=a spec=h deadline-ms=fast",
+        "problem=a spec=h deadline-ms=", "spec=h", "=v problem=a spec=h",
+        "problem=a spec=h unknown-key=1", "problem=a spec=h seed=99999999999999999999999"}) {
+    EXPECT_THROW((void)cli::parse_manifest(junk), std::invalid_argument) << junk;
+  }
+  EXPECT_TRUE(cli::parse_manifest("").empty());
+  EXPECT_TRUE(cli::parse_manifest("# only comments\n\n  \t\n").empty());
 }
 
 TEST(FuzzParserTest, GarbageInputsRejectedCleanly) {

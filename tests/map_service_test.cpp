@@ -294,6 +294,56 @@ TEST(MapServiceTest, ProgressCallbackSeesEveryJobOnce) {
   EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
 }
 
+TEST(MapServiceTest, ThrowingJobIsIsolatedFromItsBatch) {
+  // Error-isolation contract (ISSUE 6): a job whose build() or body throws
+  // is captured into its own MapJobResult::status — the other N-1 jobs of
+  // the batch complete bit-identically to the sequential path, every job
+  // (failures included) appears in the progress stream exactly once, and
+  // map_batch itself never throws.
+  Portfolio portfolio = make_portfolio();
+  const auto sequential_pool = std::make_shared<ThreadPool>(0);
+  std::vector<MapJobResult> reference;
+  for (const MapJob& job : portfolio.jobs) {
+    reference.push_back(run_map_job(job, sequential_pool, 1));
+  }
+
+  std::vector<MapJob> jobs = portfolio.jobs;
+  MapJob crasher;
+  crasher.name = "crasher";
+  crasher.build = []() -> MappingInstance { throw std::runtime_error("kaboom"); };
+  jobs.insert(jobs.begin() + 2, std::move(crasher));
+  MapJob invalid;
+  invalid.name = "invalid";
+  invalid.build = []() -> MappingInstance { throw std::invalid_argument("bad spec"); };
+  jobs.push_back(std::move(invalid));
+
+  MapServiceOptions options;
+  options.pool = std::make_shared<ThreadPool>(3);
+  MapService service(options);
+  std::size_t callbacks = 0;
+  const auto results = service.map_batch(std::move(jobs), [&](const BatchProgress& p) {
+    ++callbacks;
+    ASSERT_NE(p.last, nullptr);
+  });
+
+  ASSERT_EQ(results.size(), portfolio.jobs.size() + 2);
+  EXPECT_EQ(callbacks, results.size());  // failures reach progress too
+
+  EXPECT_EQ(results[2].status, MapStatus::kInternalError);
+  EXPECT_EQ(results[2].error, "kaboom");
+  EXPECT_FALSE(results[2].ok());
+  EXPECT_EQ(results.back().status, MapStatus::kInvalidInput);
+  EXPECT_EQ(results.back().error, "bad spec");
+
+  // The survivors: results are in submission order, so skip the crasher's
+  // slot and compare the untouched jobs against the sequential reference.
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const std::size_t slot = i < 2 ? i : i + 1;
+    EXPECT_EQ(results[slot].status, MapStatus::kOk);
+    expect_same_result(results[slot], reference[i], "survivor " + std::to_string(i));
+  }
+}
+
 TEST(MapServiceTest, WidthOneAndWideSoaWavesDeliverIdenticalBatches) {
   // The pre-SoA path is the scalar width-1 kernel; every job of a batch
   // forced onto it must be bit-identical to the same batch on wide SoA

@@ -9,6 +9,8 @@
 
 #include <atomic>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -117,6 +119,82 @@ TEST(ThreadPoolTest, SharedPoolIsRefCountedProcessWide) {
   std::vector<int> hits(16, 0);
   a->run_chunk(hits.size(), a->lane_limit(), [&](std::size_t i, int) { ++hits[i]; });
   for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ThrowingBodyIsRethrownOnCallingThread) {
+  // Exception-safety contract (ISSUE 6 satellite): the first exception a
+  // chunk body throws — on whichever lane — poisons only that chunk, is
+  // rethrown from run_chunk on the calling thread, and never crashes a
+  // worker or leaks the in-flight indices.
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  const auto throwing = [&](std::size_t i, int) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    if (i == 7) throw std::runtime_error("lane boom");
+  };
+  EXPECT_THROW(
+      {
+        try {
+          pool.run_chunk(64, 4, throwing);
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "lane boom");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // The poisoned chunk stops early: index 7 always runs, but the full 64
+  // need not (and with >1 lane usually do not).
+  EXPECT_GE(calls.load(), 1);
+  EXPECT_LE(calls.load(), 64);
+}
+
+TEST(ThreadPoolTest, PoolSurvivesThrowingChunkAndKeepsServing) {
+  // After a poisoned chunk, the same pool must serve later chunks with the
+  // exactly-once guarantee intact — no stuck workers, no stale error.
+  ThreadPool pool(3);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(pool.run_chunk(100, 4,
+                                [&](std::size_t i, int) {
+                                  if (i % 9 == 0) throw std::runtime_error("boom");
+                                }),
+                 std::runtime_error);
+    std::vector<std::atomic<int>> hits(200);
+    pool.run_chunk(hits.size(), 4, [&](std::size_t i, int) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "round " << round << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, FirstExceptionWinsOnConcurrentThrows) {
+  // Every index throws; exactly one exception is claimed and rethrown —
+  // the others are swallowed with their lanes' remaining work.
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  try {
+    pool.run_chunk(32, 4, [&](std::size_t i, int) {
+      calls.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error("idx " + std::to_string(i));
+    });
+    FAIL() << "run_chunk must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("idx ", 0), 0u);
+  }
+  EXPECT_GE(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, SequentialModeRethrowsToo) {
+  ThreadPool pool(0);  // no workers: caller-only drain path
+  std::atomic<int> calls{0};
+  EXPECT_THROW(pool.run_chunk(10, 1,
+                              [&](std::size_t i, int) {
+                                calls.fetch_add(1);
+                                if (i == 3) throw std::runtime_error("seq boom");
+                              }),
+               std::runtime_error);
+  EXPECT_EQ(calls.load(), 4);  // indices 0..3, then the poisoned chunk stops
 }
 
 TEST(ThreadPoolTest, SyncOverheadCalibrationIsCachedAndSane) {
