@@ -1,0 +1,582 @@
+// Open-loop load generator for the streaming mapping daemon (ISSUE 7
+// acceptance numbers; recorded at the repo root as BENCH_serve.json).
+//
+// Drives the wire protocol over real Unix-domain sockets with a mixed
+// small/large job distribution at configured arrival rates, open-loop:
+// sends follow the schedule no matter how slowly answers arrive, so
+// latency under overload is measured instead of hidden (closed-loop
+// generators throttle themselves to the server's pace and report a
+// fiction). Phases:
+//
+//   1. rate sweep — two arrival rates (light ~0.4x and heavy ~3x the
+//      measured service rate) against the priority scheduler: per-class
+//      p50/p99 latency, jobs/sec, shed rate.
+//   2. priority-vs-FIFO — a saturating bulk backlog with interactive
+//      probes arriving on top, run once under SchedulerPolicy::kPriority
+//      and once under kFifo: the probes' p99 is the PR's headline number
+//      (small jobs pre-empt queued bulk work, so it must be decisively
+//      lower under priority).
+//   3. drain — a burst is submitted, op=drain mode=finish goes in
+//      mid-flight, and every accepted job must still deliver exactly one
+//      terminal frame before event=bye (drain loss is asserted zero).
+//
+// Default mode spawns an in-process MapServer on a temp socket (the
+// comparison phase needs to flip the scheduler policy). --socket PATH
+// drives an external daemon instead (CI smoke: `mimdmap_cli serve`
+// under ASan/TSan), skipping the comparison phase and draining the
+// daemon at the end; --smoke shrinks counts for CI. Exit is nonzero on
+// any lost or duplicated terminal frame, missed bye, or phase timeout.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/server.hpp"
+#include "service/wire.hpp"
+
+namespace {
+
+using namespace mimdmap;
+using clock_type = std::chrono::steady_clock;
+
+constexpr int kInteractive = 0;
+constexpr int kBulk = 1;
+
+struct JobRecord {
+  clock_type::time_point sent;
+  clock_type::time_point done;
+  int kind = kInteractive;
+  bool accepted = false;
+  bool shed = false;
+  bool errored = false;
+  int terminals = 0;  // result frames seen — must end at 1 for accepted jobs
+  std::string status;
+};
+
+/// One wire client: a socket, a sender, and a reader thread that parses
+/// every response frame and timestamps terminals.
+class Client {
+ public:
+  ~Client() { close(); }
+
+  bool connect_to(const std::string& socket_path) {
+    sockaddr_un addr{};
+    if (socket_path.size() >= sizeof(addr.sun_path)) return false;
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+    // The daemon may still be binding (CI starts it in the background).
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      if (fd_ < 0) return false;
+      if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+        reader_ = std::thread([this] { reader_main(); });
+        return true;
+      }
+      ::close(fd_);
+      fd_ = -1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    return false;
+  }
+
+  bool send_line(const std::string& line) {
+    const char* p = line.data();
+    std::size_t left = line.size();
+    while (left > 0) {
+      const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Registers the id as in-flight, then sends. Returns false on a dead
+  /// socket (the record is marked errored so accounting stays closed).
+  bool submit(const std::string& id, int kind, const std::string& frame) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      JobRecord& rec = records_[id];
+      rec.sent = clock_type::now();
+      rec.kind = kind;
+    }
+    if (send_line(frame)) return true;
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_[id].errored = true;
+    return false;
+  }
+
+  /// True when every submitted id has one answer: a result for accepted
+  /// jobs, overloaded/error otherwise.
+  bool all_answered() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, rec] : records_) {
+      if (rec.accepted && rec.terminals == 0) return false;
+      if (!rec.accepted && !rec.shed && !rec.errored && rec.terminals == 0) return false;
+    }
+    return true;
+  }
+
+  bool wait_answered(std::chrono::seconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return cv_.wait_for(lock, timeout, [this] {
+      for (const auto& [id, rec] : records_) {
+        if (rec.accepted && rec.terminals == 0) return false;
+        if (!rec.accepted && !rec.shed && !rec.errored && rec.terminals == 0) return false;
+      }
+      return true;
+    });
+  }
+
+  bool wait_bye(std::chrono::seconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return cv_.wait_for(lock, timeout, [this] { return got_bye_; });
+  }
+
+  [[nodiscard]] bool got_bye() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return got_bye_;
+  }
+
+  std::map<std::string, JobRecord> snapshot() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {records_.begin(), records_.end()};
+  }
+
+  void close() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+    if (reader_.joinable()) reader_.join();
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  void reader_main() {
+    serve::FrameReader frames;
+    char buf[4096];
+    while (true) {
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n == 0) break;
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (const serve::FrameReader::Line& line : frames.feed(buf, static_cast<std::size_t>(n))) {
+        if (!line.ok() || line.text.empty()) continue;
+        handle_frame(line.text);
+      }
+    }
+    cv_.notify_all();
+  }
+
+  void handle_frame(const std::string& text) {
+    std::map<std::string, std::string> kv;
+    try {
+      kv = serve::parse_response(text);
+    } catch (const std::exception&) {
+      return;  // not this bench's concern; the fuzz tests own malformed frames
+    }
+    const std::string& event = kv.at("event");
+    const auto id_it = kv.find("id");
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (event == "bye") {
+      got_bye_ = true;
+    } else if (id_it != kv.end()) {
+      JobRecord& rec = records_[id_it->second];
+      if (event == "accepted") {
+        rec.accepted = true;
+      } else if (event == "result") {
+        rec.done = clock_type::now();
+        ++rec.terminals;
+        const auto status_it = kv.find("status");
+        if (status_it != kv.end()) rec.status = status_it->second;
+      } else if (event == "overloaded") {
+        rec.shed = true;
+      } else if (event == "error") {
+        rec.errored = true;
+      }
+    }
+    cv_.notify_all();
+  }
+
+  int fd_ = -1;
+  std::thread reader_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<std::string, JobRecord> records_;
+  bool got_bye_ = false;
+};
+
+std::string interactive_request(const std::string& id) {
+  return "id=" + id + " gen=diamond gen-a=4 gen-b=4 spec=mesh-2x2 seed=7\n";
+}
+
+std::string bulk_request(const std::string& id, std::uint64_t seed) {
+  // ~2000 tasks, bounded refinement: tens of milliseconds per job, so a
+  // dozen queued behind one runner is a real backlog for the probes to
+  // jump, while a full phase still drains in seconds. Classified bulk by
+  // size (well past bulk_job_tasks).
+  return "id=" + id + " gen=layered gen-a=2000 gen-b=20 gen-seed=" + std::to_string(seed) +
+         " spec=hypercube-3 seed=11 trials=20000\n";
+}
+
+double percentile(std::vector<double> values, double pct) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double idx = pct * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double ms_between(clock_type::time_point a, clock_type::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+struct PhaseStats {
+  std::string name;
+  double rate_hz = 0.0;
+  int sent = 0;
+  int accepted = 0;
+  int results = 0;
+  int shed = 0;
+  int lost = 0;        // accepted jobs with no terminal frame
+  int duplicated = 0;  // accepted jobs with more than one
+  double elapsed_ms = 0.0;
+  double jobs_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double interactive_p50_ms = 0.0;
+  double interactive_p99_ms = 0.0;
+  double bulk_p99_ms = 0.0;
+  bool bye = false;
+};
+
+void account(const std::map<std::string, JobRecord>& records, PhaseStats& stats) {
+  std::vector<double> all;
+  std::vector<double> interactive;
+  std::vector<double> bulk;
+  for (const auto& [id, rec] : records) {
+    ++stats.sent;
+    if (rec.shed) ++stats.shed;
+    if (rec.accepted) ++stats.accepted;
+    if (rec.accepted && rec.terminals == 0) ++stats.lost;
+    if (rec.terminals > 1) ++stats.duplicated;
+    if (rec.accepted && rec.terminals >= 1) {
+      ++stats.results;
+      const double latency = ms_between(rec.sent, rec.done);
+      all.push_back(latency);
+      (rec.kind == kInteractive ? interactive : bulk).push_back(latency);
+    }
+  }
+  stats.p50_ms = percentile(all, 0.50);
+  stats.p99_ms = percentile(all, 0.99);
+  stats.interactive_p50_ms = percentile(interactive, 0.50);
+  stats.interactive_p99_ms = percentile(interactive, 0.99);
+  stats.bulk_p99_ms = percentile(bulk, 0.99);
+  if (stats.elapsed_ms > 0.0) {
+    stats.jobs_per_sec = static_cast<double>(stats.results) / (stats.elapsed_ms / 1000.0);
+  }
+}
+
+/// Open-loop mixed load at `rate_hz` across two client connections.
+/// When `drain` is set, an op=drain mode=finish frame follows the last
+/// send and the phase waits for event=bye on both connections.
+PhaseStats run_rate_phase(const std::string& socket_path, const std::string& name,
+                          double rate_hz, int total_jobs, bool drain,
+                          std::chrono::seconds timeout) {
+  PhaseStats stats;
+  stats.name = name;
+  stats.rate_hz = rate_hz;
+  Client clients[2];
+  for (Client& client : clients) {
+    if (!client.connect_to(socket_path)) {
+      std::cerr << "serve_load: cannot connect to " << socket_path << "\n";
+      stats.lost = total_jobs;  // poisons the run
+      return stats;
+    }
+  }
+
+  const auto interval =
+      std::chrono::duration_cast<clock_type::duration>(std::chrono::duration<double>(1.0 / rate_hz));
+  const auto t0 = clock_type::now();
+  auto next = t0;
+  for (int i = 0; i < total_jobs; ++i) {
+    std::this_thread::sleep_until(next);
+    next += interval;
+    Client& client = clients[i % 2];
+    const std::string id = name + "-" + std::to_string(i);
+    // Every 5th job is bulk (20%), the rest are small interactive ones.
+    if (i % 5 == 4) {
+      client.submit(id, kBulk, bulk_request(id, static_cast<std::uint64_t>(i) + 1));
+    } else {
+      client.submit(id, kInteractive, interactive_request(id));
+    }
+  }
+  bool ok = true;
+  if (drain) {
+    clients[0].send_line("op=drain mode=finish\n");
+    ok = clients[0].wait_bye(timeout) && clients[1].wait_bye(timeout);
+    stats.bye = clients[0].got_bye() && clients[1].got_bye();
+  } else {
+    ok = clients[0].wait_answered(timeout) && clients[1].wait_answered(timeout);
+  }
+  stats.elapsed_ms = ms_between(t0, clock_type::now());
+  if (!ok) std::cerr << "serve_load: phase '" << name << "' timed out\n";
+  for (Client& client : clients) {
+    const auto records = client.snapshot();
+    account(records, stats);
+    client.close();
+  }
+  return stats;
+}
+
+/// Saturating backlog + interactive probes (the scheduler A/B): `backlog`
+/// bulk jobs submitted back to back, then `probes` small jobs arrive on
+/// top. Returns the probes' latency distribution.
+PhaseStats run_backlog_phase(const std::string& socket_path, const std::string& name,
+                             int backlog, int probes, bool drain,
+                             std::chrono::seconds timeout) {
+  PhaseStats stats;
+  stats.name = name;
+  Client client;
+  if (!client.connect_to(socket_path)) {
+    std::cerr << "serve_load: cannot connect to " << socket_path << "\n";
+    stats.lost = backlog + probes;
+    return stats;
+  }
+  const auto t0 = clock_type::now();
+  for (int i = 0; i < backlog; ++i) {
+    const std::string id = name + "-bulk-" + std::to_string(i);
+    client.submit(id, kBulk, bulk_request(id, static_cast<std::uint64_t>(i) + 101));
+  }
+  // Let the head of the backlog start before the probes arrive — the
+  // probes then compete with QUEUED bulk work, which is the scheduling
+  // decision under test (a running job is never pre-empted).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  for (int i = 0; i < probes; ++i) {
+    const std::string id = name + "-probe-" + std::to_string(i);
+    client.submit(id, kInteractive, interactive_request(id));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  bool ok = true;
+  if (drain) {
+    client.send_line("op=drain mode=finish\n");
+    ok = client.wait_bye(timeout);
+    stats.bye = client.got_bye();
+  } else {
+    ok = client.wait_answered(timeout);
+  }
+  stats.elapsed_ms = ms_between(t0, clock_type::now());
+  if (!ok) std::cerr << "serve_load: phase '" << name << "' timed out\n";
+  account(client.snapshot(), stats);
+  client.close();
+  return stats;
+}
+
+std::unique_ptr<serve::MapServer> start_server(const std::string& socket_path, bool fifo,
+                                               std::size_t max_queue) {
+  serve::ServerOptions options;
+  options.service.scheduler = fifo ? SchedulerPolicy::kFifo : SchedulerPolicy::kPriority;
+  options.service.max_queue = max_queue;
+  auto server = std::make_unique<serve::MapServer>(std::move(options));
+  server->listen_unix(socket_path);
+  return server;
+}
+
+void emit_phase(std::ostream& os, const PhaseStats& s, const char* indent) {
+  os << indent << "{\n";
+  os << indent << "  \"phase\": \"" << s.name << "\",\n";
+  os << indent << "  \"rate_hz\": " << s.rate_hz << ",\n";
+  os << indent << "  \"sent\": " << s.sent << ",\n";
+  os << indent << "  \"accepted\": " << s.accepted << ",\n";
+  os << indent << "  \"results\": " << s.results << ",\n";
+  os << indent << "  \"shed\": " << s.shed << ",\n";
+  os << indent << "  \"shed_rate\": "
+     << (s.sent > 0 ? static_cast<double>(s.shed) / static_cast<double>(s.sent) : 0.0)
+     << ",\n";
+  os << indent << "  \"lost_terminals\": " << s.lost << ",\n";
+  os << indent << "  \"duplicate_terminals\": " << s.duplicated << ",\n";
+  os << indent << "  \"jobs_per_sec\": " << s.jobs_per_sec << ",\n";
+  os << indent << "  \"p50_ms\": " << s.p50_ms << ",\n";
+  os << indent << "  \"p99_ms\": " << s.p99_ms << ",\n";
+  os << indent << "  \"interactive_p50_ms\": " << s.interactive_p50_ms << ",\n";
+  os << indent << "  \"interactive_p99_ms\": " << s.interactive_p99_ms << ",\n";
+  os << indent << "  \"bulk_p99_ms\": " << s.bulk_p99_ms << "\n";
+  os << indent << "}";
+}
+
+int run(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path;
+  std::string external_socket;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      external_socket = argv[++i];
+    } else {
+      std::cerr << "usage: bench_serve_load [--smoke] [--socket path] [--out file]\n";
+      return 2;
+    }
+  }
+  const bool external = !external_socket.empty();
+  const std::chrono::seconds timeout(smoke ? 60 : 180);
+
+  // Calibrate the mean service time so arrival rates track the host
+  // instead of hardcoding milliseconds measured on one machine.
+  std::string socket_path = external_socket;
+  std::unique_ptr<serve::MapServer> server;
+  if (!external) {
+    socket_path = "/tmp/mimdmap_serve_load_" + std::to_string(::getpid()) + ".sock";
+    server = start_server(socket_path, /*fifo=*/false, /*max_queue=*/24);
+  }
+  double mean_ms = 0.0;
+  {
+    Client probe;
+    if (!probe.connect_to(socket_path)) {
+      std::cerr << "serve_load: cannot connect to " << socket_path << "\n";
+      return 1;
+    }
+    const auto t0 = clock_type::now();
+    probe.submit("warm-b", kBulk, bulk_request("warm-b", 7));
+    probe.submit("warm-i", kInteractive, interactive_request("warm-i"));
+    if (!probe.wait_answered(timeout)) {
+      std::cerr << "serve_load: warmup timed out\n";
+      return 1;
+    }
+    const auto records = probe.snapshot();
+    double bulk_ms = 1.0;
+    double small_ms = 0.5;
+    for (const auto& [id, rec] : records) {
+      if (rec.terminals == 0) continue;
+      (rec.kind == kBulk ? bulk_ms : small_ms) = ms_between(rec.sent, rec.done);
+    }
+    (void)t0;
+    mean_ms = std::max(0.5, 0.2 * bulk_ms + 0.8 * small_ms);
+    probe.close();
+  }
+  const double service_rate_hz = 1000.0 / mean_ms;
+  const double light_rate = std::max(2.0, 0.4 * service_rate_hz);
+  const double heavy_rate = std::max(8.0, 3.0 * service_rate_hz);
+  const int rate_jobs = smoke ? 30 : 150;
+
+  std::vector<PhaseStats> phases;
+  phases.push_back(run_rate_phase(socket_path, "light", light_rate, rate_jobs,
+                                  /*drain=*/false, timeout));
+  phases.push_back(run_rate_phase(socket_path, "heavy", heavy_rate, rate_jobs,
+                                  /*drain=*/false, timeout));
+  // Drain phase: a burst goes in, drain lands mid-flight, zero loss comes
+  // out. In external mode this is also what shuts the daemon down (CI
+  // then asserts its exit status).
+  PhaseStats drain_stats = run_backlog_phase(socket_path, "drain", smoke ? 4 : 8,
+                                             smoke ? 4 : 8, /*drain=*/true, timeout);
+  if (server) {
+    server->wait();
+    server.reset();
+  }
+
+  // Scheduler A/B needs to flip a server-side policy, so it only runs
+  // against in-process servers.
+  PhaseStats priority_stats;
+  PhaseStats fifo_stats;
+  const int backlog = smoke ? 5 : 12;
+  const int probes = smoke ? 5 : 15;
+  if (!external) {
+    server = start_server(socket_path, /*fifo=*/false, /*max_queue=*/256);
+    priority_stats = run_backlog_phase(socket_path, "priority", backlog, probes,
+                                       /*drain=*/true, timeout);
+    server->wait();
+    server = start_server(socket_path, /*fifo=*/true, /*max_queue=*/256);
+    fifo_stats = run_backlog_phase(socket_path, "fifo", backlog, probes,
+                                   /*drain=*/true, timeout);
+    server->wait();
+    server.reset();
+    ::unlink(socket_path.c_str());
+  }
+
+  bool clean = drain_stats.bye && drain_stats.lost == 0 && drain_stats.duplicated == 0;
+  for (const PhaseStats& s : phases) {
+    clean = clean && s.lost == 0 && s.duplicated == 0;
+  }
+  if (!external) {
+    clean = clean && priority_stats.bye && priority_stats.lost == 0 && fifo_stats.bye &&
+            fifo_stats.lost == 0;
+  }
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"bench\": \"serve_load\",\n";
+  os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  os << "  \"external_daemon\": " << (external ? "true" : "false") << ",\n";
+  os << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
+  os << "  \"calibrated_mean_service_ms\": " << mean_ms << ",\n";
+  os << "  \"rates\": [\n";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    emit_phase(os, phases[i], "    ");
+    os << (i + 1 < phases.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n";
+  os << "  \"drain\": ";
+  emit_phase(os, drain_stats, "  ");
+  os << ",\n";
+  os << "  \"drain_bye\": " << (drain_stats.bye ? "true" : "false") << ",\n";
+  if (!external) {
+    os << "  \"priority_vs_fifo\": {\n";
+    os << "    \"backlog_bulk_jobs\": " << backlog << ",\n";
+    os << "    \"interactive_probes\": " << probes << ",\n";
+    os << "    \"priority_interactive_p50_ms\": " << priority_stats.interactive_p50_ms
+       << ",\n";
+    os << "    \"priority_interactive_p99_ms\": " << priority_stats.interactive_p99_ms
+       << ",\n";
+    os << "    \"fifo_interactive_p50_ms\": " << fifo_stats.interactive_p50_ms << ",\n";
+    os << "    \"fifo_interactive_p99_ms\": " << fifo_stats.interactive_p99_ms << ",\n";
+    os << "    \"priority_wins\": "
+       << (priority_stats.interactive_p99_ms < fifo_stats.interactive_p99_ms ? "true"
+                                                                             : "false")
+       << "\n";
+    os << "  },\n";
+  }
+  os << "  \"zero_lost_terminals\": " << (clean ? "true" : "false") << "\n";
+  os << "}\n";
+
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    if (!f) {
+      std::cerr << "cannot open " << out_path << "\n";
+      return 1;
+    }
+    f << os.str();
+  }
+  std::cout << os.str();
+  if (!clean) {
+    std::cerr << "serve_load: TERMINAL FRAME INVARIANT VIOLATED (see json above)\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

@@ -27,6 +27,7 @@
 #include "graph/shortest_paths.hpp"
 #include "graph/topological.hpp"
 #include "service/map_service.hpp"
+#include "service/server.hpp"
 #include "topology/factory.hpp"
 #include "workload/random_dag.hpp"
 #include "workload/structured.hpp"
@@ -480,9 +481,129 @@ int cmd_batch(Flags& flags, std::ostream& out, std::ostream& err) {
      << ", max concurrent " << service.max_concurrent_jobs() << ", topology cache "
      << topo_cache.hits() << "/" << (topo_cache.hits() + topo_cache.misses())
      << " hits, wall " << std::fixed << std::setprecision(1) << batch_ms << " ms\n";
+  // Scheduler observability (same counters the serve stats frame exposes):
+  // how long work waited per priority lane, and whether admission shed.
+  const ServiceStats sched = service.stats();
+  os << "scheduler:";
+  for (const ServiceStats::PriorityLane& lane : sched.priorities) {
+    const double avg =
+        lane.started > 0 ? lane.total_wait_ms / static_cast<double>(lane.started) : 0.0;
+    os << " prio " << lane.priority << ": " << lane.started << " started, wait avg "
+       << std::setprecision(1) << avg << " ms max " << lane.max_wait_ms << " ms;";
+  }
+  os << " shed " << sched.shed << ", cancelled in queue " << sched.cancelled_queued << "\n"
+     << std::defaultfloat << std::setprecision(6);
   if (interrupted) os << "batch interrupted: results above are partial\n";
   emit(flags, out, os.str());
+  // Exit contract (tests/cli_test.cpp): jobs that FAILED (invalid_input /
+  // internal_error) make the batch exit nonzero; jobs merely degraded by
+  // the wall budget or an interrupt (cancelled / deadline_exceeded) do
+  // not — a --timeout batch that ran out of time still succeeded at
+  // delivering its incumbents.
   return failed > 0 ? 1 : 0;
+}
+
+namespace {
+
+volatile std::sig_atomic_t g_serve_signal = 0;
+
+void serve_signal_handler(int) { g_serve_signal = g_serve_signal + 1; }
+
+}  // namespace
+
+int cmd_serve(Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::string socket_path = flags.get_string("socket", "");
+  const bool stdio = flags.get_bool("stdio");
+  const bool quiet = flags.get_bool("quiet");
+  const std::string drain_flag = flags.get_string("drain-mode", "finish");
+
+  serve::ServerOptions options;
+  options.service.lanes = static_cast<int>(flags.get_int("lanes", 0));
+  options.service.max_concurrent_jobs = static_cast<int>(flags.get_int("jobs", 0));
+  options.service.max_queue = static_cast<std::size_t>(flags.get_int("queue", 0));
+  options.service.default_deadline_ms = flags.get_int("timeout", 0);
+  options.service.max_inflight_per_client =
+      static_cast<int>(flags.get_int("max-inflight", 0));
+  options.service.max_queued_size_hint =
+      static_cast<std::uint64_t>(flags.get_int("queue-tasks", 0));
+  if (flags.get_bool("fifo")) options.service.scheduler = SchedulerPolicy::kFifo;
+  options.log = quiet ? nullptr : &err;
+  if (const int rc = reject_unused(flags, err); rc != 0) return rc;
+
+  if (socket_path.empty() == !stdio) {
+    throw std::invalid_argument("serve needs exactly one of --socket <path> or --stdio");
+  }
+  const serve::DrainMode drain_mode = [&] {
+    if (drain_flag == "finish") return serve::DrainMode::kFinish;
+    if (drain_flag == "cancel") return serve::DrainMode::kCancel;
+    throw std::invalid_argument("--drain-mode must be finish or cancel");
+  }();
+
+  serve::MapServer server(std::move(options));
+
+  // First SIGTERM/SIGINT drains per --drain-mode; a second escalates to
+  // cancelling whatever is still in flight (results arrive degraded but
+  // every accepted job still gets its terminal frame). SIGPIPE is ignored
+  // so a vanished stdio peer surfaces as a write error, not process death.
+  g_serve_signal = 0;
+  void (*prev_int)(int) = std::signal(SIGINT, serve_signal_handler);
+  void (*prev_term)(int) = std::signal(SIGTERM, serve_signal_handler);
+  void (*prev_pipe)(int) = std::signal(SIGPIPE, SIG_IGN);
+  std::atomic<bool> watcher_stop{false};
+  std::thread watcher([&server, &watcher_stop, &err, drain_mode, quiet] {
+    int handled = 0;
+    while (!watcher_stop.load(std::memory_order_relaxed)) {
+      const int seen = g_serve_signal;
+      if (seen > handled) {
+        if (handled == 0) {
+          if (!quiet) err << "serve: signal received, draining\n";
+          server.request_drain(drain_mode);
+        } else {
+          if (!quiet) err << "serve: second signal, cancelling in-flight jobs\n";
+          (void)server.service().cancel_all();
+        }
+        handled = seen;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  int rc = 0;
+  try {
+    if (stdio) {
+      server.serve_fd(0, 1);
+      // stdin closed (or drain): nothing more can arrive — finish what was
+      // accepted and flush.
+      server.request_drain(serve::DrainMode::kFinish);
+    } else {
+      server.listen_unix(socket_path);
+    }
+    server.wait();
+  } catch (const std::exception& e) {
+    err << "serve: fatal: " << e.what() << "\n";
+    server.request_drain(serve::DrainMode::kCancel);
+    server.wait();
+    rc = 1;
+  }
+  watcher_stop.store(true, std::memory_order_relaxed);
+  watcher.join();
+  std::signal(SIGINT, prev_int == SIG_ERR ? SIG_DFL : prev_int);
+  std::signal(SIGTERM, prev_term == SIG_ERR ? SIG_DFL : prev_term);
+  std::signal(SIGPIPE, prev_pipe == SIG_ERR ? SIG_DFL : prev_pipe);
+
+  const serve::ServerStats stats = server.stats();
+  out << "serve: " << stats.connections_opened << " connections, " << stats.accepted
+      << " accepted, " << stats.terminal_frames << " results, " << stats.shed << " shed, "
+      << stats.parse_errors << " protocol errors, " << stats.disconnect_cancels
+      << " disconnect cancels\n";
+  // The invariant the whole design hangs on — if it ever fails in the
+  // field, say so loudly and exit nonzero so supervisors notice.
+  if (stats.terminal_frames != stats.accepted) {
+    err << "serve: TERMINAL FRAME MISMATCH: accepted " << stats.accepted << " vs results "
+        << stats.terminal_frames << "\n";
+    rc = 1;
+  }
+  return rc;
 }
 
 std::string help_text() {
@@ -533,6 +654,25 @@ commands:
               [weighted-links] [extended-critical]
               [random-trials=N] [random-seed=S]
               [deadline-ms=MS (overrides --timeout; -1 = no deadline)]
+  serve     run the streaming mapping daemon (warm MapService, shared
+            thread pool + topology cache across all clients)
+            (--socket /path/to.sock | --stdio)
+            [--lanes L] [--jobs J] [--queue N (shed beyond; default 256)]
+            [--queue-tasks T (shed when queued size hints exceed T)]
+            [--timeout MS (default per-job deadline)]
+            [--max-inflight N (per-client running-job cap)]
+            [--fifo (disable the priority scheduler; for A/B benching)]
+            [--drain-mode finish|cancel] [--quiet]
+            protocol: newline-framed key=value frames (manifest grammar).
+            requests:  [op=submit] problem=<file>|gen=<kind> gen-a/gen-b/
+                       gen-seed spec=|system= [id=] [priority=] [size-hint=]
+                       [deadline-ms=] + all batch manifest keys
+                       op=cancel id=... | op=stats | op=ping |
+                       op=drain [mode=finish|cancel]
+            responses: event=accepted|result|overloaded|error|stats|pong|
+                       draining|bye
+            SIGTERM/SIGINT drains per --drain-mode (second signal cancels
+            in-flight); every accepted job gets exactly one result frame.
   info      print statistics
             (--problem file | --system file | --spec topo)
   help      this text
@@ -552,6 +692,7 @@ int run(int argc, const char* const* argv, std::ostream& out, std::ostream& err)
     if (command == "cluster") return cmd_cluster(flags, out, err);
     if (command == "map") return cmd_map(flags, out, err);
     if (command == "batch") return cmd_batch(flags, out, err);
+    if (command == "serve") return cmd_serve(flags, out, err);
     if (command == "eval") return cmd_eval(flags, out, err);
     if (command == "info") return cmd_info(flags, out, err);
     if (command == "help" || command == "--help") {

@@ -117,6 +117,12 @@ MapService::MapService(MapServiceOptions options)
   max_queue_ = options.max_queue;
   admission_ = options.admission;
   default_deadline_ms_ = options.default_deadline_ms;
+  scheduler_ = options.scheduler;
+  small_job_tasks_ = options.small_job_tasks;
+  bulk_job_tasks_ = options.bulk_job_tasks;
+  interactive_deadline_ms_ = options.interactive_deadline_ms;
+  max_inflight_per_client_ = std::max(0, options.max_inflight_per_client);
+  max_queued_size_hint_ = options.max_queued_size_hint;
 }
 
 MapService::~MapService() {
@@ -129,17 +135,67 @@ MapService::~MapService() {
   for (std::thread& t : runners_) t.join();
 }
 
+std::map<MapService::SchedKey, MapService::QueuedJob>::iterator
+MapService::pop_candidate_locked() {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    const std::uint64_t client = it->second.job.client_id;
+    if (client != 0 && max_inflight_per_client_ > 0) {
+      const auto cit = clients_.find(client);
+      // The cap counts RUNNING jobs only: a capped client always has a
+      // job on a runner, so progress (and eventual eligibility of its
+      // queued backlog) is guaranteed even at shutdown.
+      if (cit != clients_.end() && cit->second.running >= max_inflight_per_client_) {
+        continue;
+      }
+    }
+    return it;
+  }
+  return queue_.end();
+}
+
+MapService::QueuedJob MapService::extract_locked(std::map<SchedKey, QueuedJob>::iterator it) {
+  QueuedJob queued = std::move(it->second);
+  queue_index_.erase(queued.id);
+  queued_size_sum_ -= std::min(queued_size_sum_, queued.job.size_hint);
+  rank_floor_ = std::max(rank_floor_, it->first.fair_rank);
+  queue_.erase(it);
+  const auto cit = clients_.find(queued.job.client_id);
+  if (cit != clients_.end() && cit->second.queued > 0) --cit->second.queued;
+  return queued;
+}
+
+void MapService::release_client_locked(std::uint64_t client_id) {
+  const auto it = clients_.find(client_id);
+  if (it == clients_.end()) return;
+  if (it->second.running > 0) --it->second.running;
+  if (it->second.forgotten && it->second.running == 0 && it->second.queued == 0) {
+    clients_.erase(it);
+  }
+}
+
 void MapService::runner_main() {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (shutdown_) return;  // drained: queued jobs finish even on shutdown
+    work_cv_.wait(lock, [&] {
+      return (shutdown_ && queue_.empty()) || pop_candidate_locked() != queue_.end();
+    });
+    const auto candidate = pop_candidate_locked();
+    if (candidate == queue_.end()) {
+      if (shutdown_ && queue_.empty()) return;  // drained: queued jobs finish even on shutdown
       continue;
     }
-    QueuedJob queued = std::move(queue_.front());
-    queue_.pop_front();
+    QueuedJob queued = extract_locked(candidate);
     ++active_;
+    const auto cit = clients_.find(queued.job.client_id);
+    if (cit != clients_.end()) ++cit->second.running;
+    // Scheduler observability: admission -> start wait, per priority.
+    const double wait_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - queued.admitted)
+                               .count();
+    PriorityAgg& agg = priority_stats_[queued.job.priority];
+    ++agg.started;
+    agg.total_wait_ms += wait_ms;
+    agg.max_wait_ms = std::max(agg.max_wait_ms, wait_ms);
     // Sharding policy: split the lane budget across everything running or
     // about to run. Small jobs flood the runners and each maps with one
     // lane; a job starting into an empty service (a lone submission, or
@@ -174,6 +230,7 @@ void MapService::runner_main() {
       result.status = MapStatus::kInternalError;
       result.error = "unknown exception";
     }
+    result.queue_ms = wait_ms;
     if (queued.on_done) {
       // A throwing progress callback must not cost the job its result
       // delivery (the batch would deadlock waiting on the future).
@@ -186,7 +243,11 @@ void MapService::runner_main() {
 
     lock.lock();
     --active_;
+    ++stat_completed_;
     sources_.erase(queued.id);
+    release_client_locked(queued.job.client_id);
+    // A freed client slot may make a passed-over queued job eligible.
+    if (max_inflight_per_client_ > 0) work_cv_.notify_all();
   }
 }
 
@@ -196,16 +257,29 @@ std::future<MapJobResult> MapService::enqueue_locked(
   if (shutdown_) {
     throw std::logic_error(std::string(caller) + ": service is shutting down");
   }
-  if (max_queue_ > 0 && queue_.size() >= max_queue_) {
+  // Admission bounds: queue depth and the queued-size estimate. A lone
+  // oversized job is always admitted into an EMPTY queue — the size bound
+  // sheds load, it must not make a job undeliverable at any queue state.
+  const auto over_limit = [&] {
+    if (max_queue_ > 0 && queue_.size() >= max_queue_) return true;
+    if (max_queued_size_hint_ > 0 && !queue_.empty() &&
+        queued_size_sum_ + job.size_hint > max_queued_size_hint_) {
+      return true;
+    }
+    return false;
+  };
+  if (over_limit()) {
     if (admission_ == AdmissionPolicy::kReject) {
+      ++stat_shed_;
       throw AdmissionRejectedError(std::string(caller) + ": admission queue is full (" +
-                                   std::to_string(max_queue_) + " jobs)");
+                                   std::to_string(queue_.size()) + " jobs, " +
+                                   std::to_string(queued_size_sum_) + " queued tasks)");
     }
     // Backpressure: wait for a slot. The lock is released while waiting,
     // so runners keep draining; a bulk enqueue that hits this loses its
     // single-lock atomicity, which only affects lane sharding, never
     // results.
-    space_cv_.wait(lock, [&] { return shutdown_ || queue_.size() < max_queue_; });
+    space_cv_.wait(lock, [&] { return shutdown_ || !over_limit(); });
     if (shutdown_) {
       throw std::logic_error(std::string(caller) + ": service is shutting down");
     }
@@ -215,6 +289,7 @@ std::future<MapJobResult> MapService::enqueue_locked(
   queued.job = std::move(job);
   queued.id = next_id_++;
   queued.on_done = std::move(on_done);
+  queued.admitted = std::chrono::steady_clock::now();
 
   // Per-job cancellation channel, chained under the submitter's token, with
   // the queue-inclusive deadline armed now. The job carries the chained
@@ -227,9 +302,59 @@ std::future<MapJobResult> MapService::enqueue_locked(
   queued.job.deadline_ms = -1;
   sources_.emplace(queued.id, std::move(source));
 
+  // Urgency key (DESIGN.md 16.2). Everything is computed at admission and
+  // immutable after: scheduling order never feeds back into job results,
+  // so any pop order yields bit-identical per-job outputs.
+  SchedKey key;
+  key.seq = next_seq_++;
+  key.deadline_ns = CancelShared::kNoDeadline;
+  ClientState& client = clients_[queued.job.client_id];
+  client.forgotten = false;
+  ++client.submitted;
+  ++client.queued;
+  if (scheduler_ == SchedulerPolicy::kPriority) {
+    key.priority = queued.job.priority;
+    // Urgency class: tight wall budgets and small jobs are interactive,
+    // large jobs bulk, unknown sizes normal. The deadline test uses the
+    // REQUESTED budget, not the clock — admission-order deterministic.
+    if (deadline_ms > 0 && deadline_ms <= interactive_deadline_ms_) {
+      key.klass = 0;
+    } else if (queued.job.size_hint == 0) {
+      key.klass = 1;
+    } else if (queued.job.size_hint <= small_job_tasks_) {
+      key.klass = 0;
+    } else if (queued.job.size_hint >= bulk_job_tasks_) {
+      key.klass = 2;
+    } else {
+      key.klass = 1;
+    }
+    if (deadline_ms > 0) {
+      key.deadline_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              (queued.admitted + std::chrono::milliseconds(deadline_ms)).time_since_epoch())
+              .count();
+    }
+    // Start-time fair queuing: each client's next job ranks one past its
+    // previous, floored at the rank of the last job popped — so a client
+    // waking from idle competes level with the backlog's head instead of
+    // carrying unbounded credit, and a flooding client's queue interleaves
+    // one-per-round with everyone else's.
+    key.fair_rank = std::max(client.next_rank, rank_floor_);
+    client.next_rank = key.fair_rank + 1;
+  } else {
+    key.priority = 0;
+    key.klass = 1;
+    key.fair_rank = 0;
+  }
+
   if (id_out != nullptr) *id_out = queued.id;
-  queue_.push_back(std::move(queued));
-  std::future<MapJobResult> future = queue_.back().promise.get_future();
+  queued_size_sum_ += queued.job.size_hint;
+  ++stat_submitted_;
+  const JobId id = queued.id;
+  queue_index_.emplace(id, key);
+  auto [it, inserted] = queue_.emplace(std::move(key), std::move(queued));
+  (void)inserted;  // seq is unique, keys never collide
+  std::future<MapJobResult> future = it->second.promise.get_future();
   // Lazy runner spawn: one per job until the cap, so a service used for a
   // single submission never fields an idle army.
   const int wanted = std::min(max_runners_, active_ + static_cast<int>(queue_.size()));
@@ -239,14 +364,15 @@ std::future<MapJobResult> MapService::enqueue_locked(
   return future;
 }
 
-std::future<MapJobResult> MapService::submit(MapJob job, JobId* id) {
+std::future<MapJobResult> MapService::submit(MapJob job, JobId* id,
+                                             std::function<void(const MapJobResult&)> on_done) {
   if (job.instance == nullptr && !job.build) {
     throw std::invalid_argument("MapService::submit: job has neither an instance nor a builder");
   }
   std::future<MapJobResult> future;
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    future = enqueue_locked(lock, std::move(job), {}, "MapService::submit", id);
+    future = enqueue_locked(lock, std::move(job), std::move(on_done), "MapService::submit", id);
   }
   work_cv_.notify_one();
   return future;
@@ -283,16 +409,18 @@ bool MapService::cancel(JobId id) {
       it->second.request_cancel();
       found = true;
     }
-    for (auto qit = queue_.begin(); qit != queue_.end(); ++qit) {
-      if (qit->id == id) {
-        drained.push_back(std::move(*qit));
-        queue_.erase(qit);
+    const auto idx = queue_index_.find(id);
+    if (idx != queue_index_.end()) {
+      const auto qit = queue_.find(idx->second);
+      if (qit != queue_.end()) {
+        drained.push_back(extract_locked(qit));
         sources_.erase(id);
-        break;
+        ++stat_cancelled_queued_;
       }
     }
   }
   deliver_cancelled(drained);
+  if (!drained.empty()) work_cv_.notify_all();
   return found;
 }
 
@@ -303,13 +431,48 @@ std::size_t MapService::cancel_all() {
     for (auto& [id, source] : sources_) source.request_cancel();
     drained.reserve(queue_.size());
     while (!queue_.empty()) {
-      sources_.erase(queue_.front().id);
-      drained.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+      QueuedJob queued = extract_locked(queue_.begin());
+      sources_.erase(queued.id);
+      ++stat_cancelled_queued_;
+      drained.push_back(std::move(queued));
     }
   }
   deliver_cancelled(drained);
+  if (!drained.empty()) work_cv_.notify_all();
   return drained.size();
+}
+
+ServiceStats MapService::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats s;
+  s.submitted = stat_submitted_;
+  s.completed = stat_completed_;
+  s.shed = stat_shed_;
+  s.cancelled_queued = stat_cancelled_queued_;
+  s.queue_depth = queue_.size();
+  s.queued_size_hint = queued_size_sum_;
+  s.active = active_;
+  s.priorities.reserve(priority_stats_.size());
+  for (const auto& [priority, agg] : priority_stats_) {
+    s.priorities.push_back({priority, agg.started, agg.total_wait_ms, agg.max_wait_ms});
+  }
+  for (const auto& [client_id, state] : clients_) {
+    if (client_id == 0) continue;  // the anonymous shared stream is not a client
+    s.clients.push_back({client_id, state.queued + state.running, state.submitted});
+  }
+  return s;
+}
+
+void MapService::forget_client(std::uint64_t client_id) {
+  if (client_id == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = clients_.find(client_id);
+  if (it == clients_.end()) return;
+  if (it->second.queued == 0 && it->second.running == 0) {
+    clients_.erase(it);
+  } else {
+    it->second.forgotten = true;
+  }
 }
 
 std::vector<MapJobResult> MapService::map_batch(

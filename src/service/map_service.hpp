@@ -40,10 +40,11 @@
 // signal running ones.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <map>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -94,6 +95,18 @@ struct MapJob {
   /// per-job source under it, so tripping it cancels this job wherever it
   /// is (queued jobs are drained, running ones stop at the next poll).
   CancelToken cancel;
+  /// Scheduling priority under SchedulerPolicy::kPriority: lower runs
+  /// first, negatives allowed (more urgent than default work). Ignored
+  /// under kFifo.
+  int priority = 0;
+  /// Estimated job size (task count) for the size-aware urgency classes
+  /// and the queued-memory shed bound; 0 = unknown (treated as normal).
+  std::uint64_t size_hint = 0;
+  /// Fairness domain: jobs sharing a nonzero client_id round-robin against
+  /// other clients (per-client fair-queuing rank) and count against
+  /// MapServiceOptions::max_inflight_per_client. 0 = the anonymous shared
+  /// stream (legacy batch path: plain FIFO among themselves, no cap).
+  std::uint64_t client_id = 0;
 };
 
 struct MapJobResult {
@@ -128,6 +141,9 @@ struct MapJobResult {
   MapStatus status = MapStatus::kOk;
   /// Diagnostic message for the error statuses (exception what()).
   std::string error;
+  /// Milliseconds the job waited between admission and execution start
+  /// (0 for direct run_map_job callers — there is no queue).
+  double queue_ms = 0.0;
 
   [[nodiscard]] bool ok() const noexcept { return status == MapStatus::kOk; }
 };
@@ -145,10 +161,51 @@ enum class AdmissionPolicy {
 };
 
 /// Thrown by submit()/map_batch() under AdmissionPolicy::kReject when the
-/// queue is at max_queue.
+/// queue is at max_queue (or over the queued-size bound). Retryable: the
+/// serving layer answers `overloaded` with a backoff hint instead of
+/// failing the job.
 class AdmissionRejectedError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// How queued-not-started jobs are ordered (DESIGN.md section 16.2).
+enum class SchedulerPolicy {
+  /// Urgency-ordered: (priority, urgency class, per-client fair rank,
+  /// deadline, arrival). The urgency class is size- and deadline-aware —
+  /// small jobs and jobs with tight wall budgets classify as interactive
+  /// and pre-empt queued bulk work; the fair rank interleaves clients so a
+  /// greedy client cannot starve the rest. Jobs with equal keys keep
+  /// arrival order, so equal-priority single-client traffic degrades to
+  /// FIFO exactly.
+  kPriority,
+  /// Strict arrival order (the pre-PR7 queue, kept for A/B benching).
+  kFifo,
+};
+
+/// Scheduler observability snapshot (MapService::stats()). Counters are
+/// cumulative over the service lifetime, gauges are instantaneous.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  // terminal results delivered by runners
+  std::uint64_t shed = 0;       // admissions rejected (queue/size bounds)
+  std::uint64_t cancelled_queued = 0;  // drained before starting
+  std::size_t queue_depth = 0;
+  std::uint64_t queued_size_hint = 0;  // sum of size hints waiting
+  int active = 0;
+  struct PriorityLane {
+    int priority = 0;
+    std::uint64_t started = 0;    // jobs popped at this priority
+    double total_wait_ms = 0.0;   // admission -> execution start
+    double max_wait_ms = 0.0;
+  };
+  std::vector<PriorityLane> priorities;  // ascending priority
+  struct ClientGauge {
+    std::uint64_t client_id = 0;
+    int inflight = 0;             // queued + running right now
+    std::uint64_t submitted = 0;
+  };
+  std::vector<ClientGauge> clients;  // ascending client_id, excludes 0
 };
 
 struct MapServiceOptions {
@@ -166,6 +223,24 @@ struct MapServiceOptions {
   /// Deadline applied to jobs that leave MapJob::deadline_ms == 0;
   /// 0 means none.
   std::int64_t default_deadline_ms = 0;
+  SchedulerPolicy scheduler = SchedulerPolicy::kPriority;
+  /// Urgency-class thresholds on MapJob::size_hint (task-count estimate):
+  /// <= small_job_tasks classifies interactive, >= bulk_job_tasks bulk,
+  /// everything else (and unknown 0) normal.
+  std::uint64_t small_job_tasks = 64;
+  std::uint64_t bulk_job_tasks = 256;
+  /// Jobs whose requested wall budget (deadline_ms) is positive and at
+  /// most this classify interactive regardless of size — a caller that
+  /// can only wait a moment is interactive by definition.
+  std::int64_t interactive_deadline_ms = 1000;
+  /// Per-client cap on in-flight (queued + running) jobs; a client at the
+  /// cap has further queued jobs passed over until one delivers. 0 = no
+  /// cap; client_id 0 is never capped.
+  int max_inflight_per_client = 0;
+  /// Shed bound on the sum of queued size hints (a proxy for the memory
+  /// the queue would pin once built); 0 = unbounded. Enforced like
+  /// max_queue under the same AdmissionPolicy.
+  std::uint64_t max_queued_size_hint = 0;
 };
 
 /// Snapshot handed to the map_batch progress callback after each job.
@@ -216,8 +291,14 @@ class MapService {
   /// job with neither instance nor builder (a submitter bug, not a job
   /// outcome), and AdmissionRejectedError when the queue is full under
   /// AdmissionPolicy::kReject; blocks for space under kBlock. `id`, when
-  /// given, receives a handle for cancel().
-  [[nodiscard]] std::future<MapJobResult> submit(MapJob job, JobId* id = nullptr);
+  /// given, receives a handle for cancel(). `on_done`, when given, fires
+  /// exactly once with the terminal result, before the future resolves,
+  /// from the delivering thread (the serving layer streams result frames
+  /// from it without a waiter thread per job) — it must not call back
+  /// into the service.
+  [[nodiscard]] std::future<MapJobResult> submit(
+      MapJob job, JobId* id = nullptr,
+      std::function<void(const MapJobResult&)> on_done = {});
 
   /// Submits the whole batch and blocks until done, returning results in
   /// submission order (regardless of completion order). `progress`, when
@@ -248,6 +329,18 @@ class MapService {
   [[nodiscard]] int lane_budget() const noexcept { return lane_budget_; }
   [[nodiscard]] int max_concurrent_jobs() const noexcept { return max_runners_; }
   [[nodiscard]] const std::shared_ptr<ThreadPool>& pool() const noexcept { return pool_; }
+  [[nodiscard]] SchedulerPolicy scheduler() const noexcept { return scheduler_; }
+
+  /// Scheduler observability snapshot: queue depth, shed count,
+  /// per-priority wait times, per-client in-flight gauges. Safe to call
+  /// from any thread at any time.
+  [[nodiscard]] ServiceStats stats() const;
+
+  /// Drops the fairness/cap bookkeeping of a client once its in-flight
+  /// count reaches zero (immediately, or deferred to its last delivery).
+  /// The serving layer calls this on disconnect so a long-lived daemon's
+  /// client table tracks live connections, not history.
+  void forget_client(std::uint64_t client_id);
 
   /// Service-level topology-table cache: jobs sharing a system graph
   /// (manifests and suites reuse a handful of machines) share one
@@ -257,6 +350,26 @@ class MapService {
   [[nodiscard]] const TopologyCache& topology_cache() const noexcept { return topo_cache_; }
 
  private:
+  /// Total order of the urgency queue. Lexicographic: priority, urgency
+  /// class (0 interactive / 1 normal / 2 bulk), per-client fair rank,
+  /// armed deadline, arrival sequence (unique — ties impossible). Under
+  /// kFifo everything but seq is pinned to one value.
+  struct SchedKey {
+    int priority = 0;
+    int klass = 1;
+    std::uint64_t fair_rank = 0;
+    std::int64_t deadline_ns = 0;
+    std::uint64_t seq = 0;
+
+    bool operator<(const SchedKey& o) const noexcept {
+      if (priority != o.priority) return priority < o.priority;
+      if (klass != o.klass) return klass < o.klass;
+      if (fair_rank != o.fair_rank) return fair_rank < o.fair_rank;
+      if (deadline_ns != o.deadline_ns) return deadline_ns < o.deadline_ns;
+      return seq < o.seq;
+    }
+  };
+
   struct QueuedJob {
     MapJob job;
     JobId id = 0;
@@ -264,16 +377,34 @@ class MapService {
     /// Invoked after the job completes, before the future resolves (so a
     /// batch's last callback always precedes map_batch returning).
     std::function<void(const MapJobResult&)> on_done;
+    std::chrono::steady_clock::time_point admitted;
+  };
+
+  /// Fairness/cap bookkeeping per client_id (0 = the shared anonymous
+  /// stream: ranked like any client but never capped, never forgotten).
+  struct ClientState {
+    int queued = 0;
+    int running = 0;  // the in-flight cap counts these only
+    std::uint64_t submitted = 0;
+    std::uint64_t next_rank = 0;
+    bool forgotten = false;  // erase when queued + running reaches 0
   };
 
   void runner_main();
   /// Admits one job (waiting or rejecting per the admission policy),
-  /// chains its cancel source, arms its deadline, pushes it and tops up
-  /// the runner count. `lock` must hold mutex_ and may be released while
-  /// blocked on queue space.
+  /// chains its cancel source, arms its deadline, keys it into the
+  /// urgency queue and tops up the runner count. `lock` must hold mutex_
+  /// and may be released while blocked on queue space.
   std::future<MapJobResult> enqueue_locked(std::unique_lock<std::mutex>& lock, MapJob job,
                                            std::function<void(const MapJobResult&)> on_done,
                                            const char* caller, JobId* id_out);
+  /// Picks the most urgent queued job whose client is under the in-flight
+  /// cap; end() when nothing is eligible (queue may still be non-empty).
+  std::map<SchedKey, QueuedJob>::iterator pop_candidate_locked();
+  /// Removes one queued entry, maintaining the id index and size sum.
+  QueuedJob extract_locked(std::map<SchedKey, QueuedJob>::iterator it);
+  /// Releases a client slot after delivery; erases forgotten clients.
+  void release_client_locked(std::uint64_t client_id);
   /// Resolves drained jobs with their token status (on_done first), then
   /// pings the space cv. Call WITHOUT mutex_ held.
   void deliver_cancelled(std::vector<QueuedJob>& drained);
@@ -285,17 +416,44 @@ class MapService {
   std::size_t max_queue_ = 0;
   AdmissionPolicy admission_ = AdmissionPolicy::kBlock;
   std::int64_t default_deadline_ms_ = 0;
+  SchedulerPolicy scheduler_ = SchedulerPolicy::kPriority;
+  std::uint64_t small_job_tasks_ = 64;
+  std::uint64_t bulk_job_tasks_ = 256;
+  std::int64_t interactive_deadline_ms_ = 1000;
+  int max_inflight_per_client_ = 0;
+  std::uint64_t max_queued_size_hint_ = 0;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable space_cv_;
-  std::deque<QueuedJob> queue_;
+  std::map<SchedKey, QueuedJob> queue_;
+  /// id -> queue key, for cancel() without a scan.
+  std::unordered_map<JobId, SchedKey> queue_index_;
   std::vector<std::thread> runners_;
   /// Cancel channels of every admitted-but-not-delivered job.
   std::unordered_map<JobId, CancelSource> sources_;
+  std::map<std::uint64_t, ClientState> clients_;
   JobId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
+  /// Fair rank of the most recently popped job — the floor newly-arriving
+  /// clients start at, so an idle client re-enters level with the head of
+  /// the backlog instead of with infinite credit (start-time fair
+  /// queuing).
+  std::uint64_t rank_floor_ = 0;
+  std::uint64_t queued_size_sum_ = 0;
   int active_ = 0;  // runners currently executing a job
   bool shutdown_ = false;
+  // Cumulative scheduler counters (stats()).
+  std::uint64_t stat_submitted_ = 0;
+  std::uint64_t stat_completed_ = 0;
+  std::uint64_t stat_shed_ = 0;
+  std::uint64_t stat_cancelled_queued_ = 0;
+  struct PriorityAgg {
+    std::uint64_t started = 0;
+    double total_wait_ms = 0.0;
+    double max_wait_ms = 0.0;
+  };
+  std::map<int, PriorityAgg> priority_stats_;
 };
 
 }  // namespace mimdmap

@@ -1,0 +1,717 @@
+#include "service/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "cli/manifest.hpp"
+#include "cluster/cluster_io.hpp"
+#include "cluster/strategies.hpp"
+#include "core/eval_engine.hpp"
+#include "graph/graph_io.hpp"
+#include "topology/factory.hpp"
+#include "workload/random_dag.hpp"
+#include "workload/structured.hpp"
+
+namespace mimdmap::serve {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::invalid_argument("cannot open input file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+TaskGraph build_problem(const std::map<std::string, std::string>& kv) {
+  const auto gen_it = kv.find("gen");
+  if (gen_it == kv.end()) return task_graph_from_text(slurp(kv.at("problem")));
+  const auto a = static_cast<NodeId>(cli::manifest_seed(kv, "gen-a", 4, 0));
+  const auto b = static_cast<NodeId>(cli::manifest_seed(kv, "gen-b", 4, 0));
+  const std::uint64_t seed = cli::manifest_seed(kv, "gen-seed", 1, 0);
+  const StructuredWeights weights{{1, 9}, {1, 9}, seed};
+  const std::string& kind = gen_it->second;
+  if (kind == "diamond") return make_diamond(a, b, weights);
+  if (kind == "fork-join") return make_fork_join(a, b, weights);
+  if (kind == "pipeline") return make_pipeline(a, weights);
+  LayeredDagParams params;
+  params.num_tasks = a;
+  params.num_layers = b;
+  params.node_weight = weights.node_weight;
+  params.edge_weight = weights.edge_weight;
+  return make_layered_dag(params, seed);
+}
+
+/// Deferred per-job materialization: runs on whichever runner executes the
+/// job, so a missing file or malformed graph is that job's
+/// invalid_input/internal_error result — never a connection error, never a
+/// server crash. Pure function of (kv, cache): the cache returns
+/// bit-identical tables for a repeated machine, so determinism of the job
+/// result is preserved.
+MappingInstance build_instance(const std::map<std::string, std::string>& kv,
+                               TopologyCache& topo_cache) {
+  TaskGraph problem = build_problem(kv);
+  SystemGraph machine = kv.count("system") ? system_graph_from_text(slurp(kv.at("system")))
+                                           : make_topology(kv.at("spec"));
+  const auto get = [&](const std::string& key, const std::string& fallback) {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  };
+  Clustering clustering =
+      kv.count("clustering")
+          ? clustering_from_text(slurp(kv.at("clustering")))
+          : make_clustering(get("strategy", "block"), problem, machine.node_count(),
+                            cli::manifest_seed(kv, "seed", 1, 0));
+  const DistanceModel model = cli::manifest_bool(kv, "weighted-links")
+                                  ? DistanceModel::kWeightedLinks
+                                  : DistanceModel::kHops;
+  std::shared_ptr<const TopologyTables> tables = topo_cache.acquire(machine, model);
+  return MappingInstance(std::move(problem), std::move(clustering), std::move(machine),
+                         std::move(tables));
+}
+
+/// WireRequest -> MapJob with the exact engine-option mapping of the batch
+/// manifest (same keys, same defaults — one grammar, one semantics).
+MapJob make_job(const WireRequest& request, std::uint64_t client_id, CancelToken cancel,
+                TopologyCache* topo_cache) {
+  MapJob job;
+  const auto kv = std::make_shared<const std::map<std::string, std::string>>(request.kv);
+  job.build = [kv, topo_cache] { return build_instance(*kv, *topo_cache); };
+  job.options.refine.eval.serialize_within_processor = cli::manifest_bool(*kv, "serialize");
+  job.options.refine.eval.link_contention = cli::manifest_bool(*kv, "contention");
+  job.options.refine.seed =
+      cli::manifest_seed(*kv, "refine-seed", 0x9e3779b97f4a7c15ULL, 0);
+  job.options.refine.max_trials = static_cast<std::int64_t>(
+      cli::manifest_seed(*kv, "trials", static_cast<std::uint64_t>(-1), 0));
+  job.options.critical.propagate_through_intra_cluster =
+      cli::manifest_bool(*kv, "extended-critical");
+  job.random_trials =
+      static_cast<std::int64_t>(cli::manifest_seed(*kv, "random-trials", 0, 0));
+  job.random_seed = cli::manifest_seed(*kv, "random-seed", 99, 0);
+  job.deadline_ms = request.deadline_ms;
+  job.cancel = std::move(cancel);
+  job.priority = request.priority;
+  job.size_hint = request.size_hint;
+  job.client_id = client_id;
+  return job;
+}
+
+}  // namespace
+
+/// One client. The mutex guards every field below it AND every byte
+/// written to write_fd — frames from the reader (accepted, error,
+/// overloaded, pong, stats) and from runner threads (result) interleave
+/// whole-frame, never mid-line. Closing/teardown also happens under it, so
+/// no write can race a close onto a recycled fd number.
+struct MapServer::Connection {
+  std::uint64_t client_id = 0;
+  /// Chained under every job this connection submits: tripping it (peer
+  /// vanished, drain kCancel) cancels them all wherever they are.
+  CancelSource cancel;
+
+  std::mutex mutex;
+  int read_fd = -1;
+  int write_fd = -1;
+  bool owns_fd = false;  // accepted socket: closed by the server side
+  /// Peer unreachable (write failed / reader saw EOF) — all further
+  /// writes are dropped. Terminal frames are still COUNTED for the
+  /// invariant; they just have nowhere to go.
+  bool dead = false;
+  bool abandoned = false;   // disconnect cancellation already ran
+  bool bye_sent = false;    // drain teardown said goodbye; reader exits
+  std::uint64_t auto_tag = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t terminals = 0;
+  /// Live jobs: tag -> service id. Entries leave in deliver_result.
+  std::unordered_map<std::string, MapService::JobId> jobs;
+
+  /// Writes one complete frame; false = peer gone (and dead is latched).
+  /// send() with MSG_NOSIGNAL on sockets; plain write() for pipes, where
+  /// the CLI ignores SIGPIPE.
+  bool write_frame_locked(const std::string& frame) {
+    if (dead || write_fd < 0) return false;
+    const char* p = frame.data();
+    std::size_t left = frame.size();
+    while (left > 0) {
+      ssize_t n = ::send(write_fd, p, left, MSG_NOSIGNAL);
+      if (n < 0 && errno == ENOTSOCK) n = ::write(write_fd, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        dead = true;
+        return false;
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool write_frame(const std::string& frame) {
+    std::lock_guard<std::mutex> lock(mutex);
+    return write_frame_locked(frame);
+  }
+
+  void close_fds_locked() {
+    if (owns_fd && read_fd >= 0) ::close(read_fd);
+    read_fd = -1;
+    write_fd = -1;
+    dead = true;
+  }
+};
+
+MapServer::MapServer(ServerOptions options) : options_(std::move(options)) {
+  MapServiceOptions service_options = options_.service;
+  // The accept loop must never block on a full queue: shed instead. A
+  // daemon without an explicit bound still gets one — unbounded admission
+  // would turn overload into unbounded memory, the opposite of shedding.
+  service_options.admission = AdmissionPolicy::kReject;
+  if (service_options.max_queue == 0) service_options.max_queue = 256;
+  service_ = std::make_unique<MapService>(std::move(service_options));
+}
+
+MapServer::~MapServer() {
+  request_drain(DrainMode::kCancel);
+  wait();
+  if (drainer_.joinable()) drainer_.join();
+}
+
+void MapServer::listen_unix(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("unusable socket path '" + socket_path + "'");
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("socket(): ") + std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(socket_path.c_str());  // stale socket from a crashed daemon
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw std::runtime_error("bind(" + socket_path + "): " + std::strerror(saved));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw std::runtime_error("listen(" + socket_path + "): " + std::strerror(saved));
+  }
+  listen_fd_ = fd;
+  socket_path_ = socket_path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    threads_.emplace_back([this] { accept_main(); });
+  }
+  log_line("listening on " + socket_path);
+}
+
+void MapServer::accept_main() {
+  // Poll with a short timeout instead of blocking in accept(): the drain
+  // flag is observed within ~100ms without signals or self-pipes.
+  while (!draining_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, 100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN) continue;
+      break;
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      // Drain raced the accept: one answer, never served.
+      const std::string frame = overloaded_frame("-", -1);
+      (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      break;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->read_fd = fd;
+    conn->write_fd = fd;
+    conn->owns_fd = true;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      conn->client_id = next_client_id_++;
+      connections_.push_back(conn);
+      ++stats_.connections_opened;
+      threads_.emplace_back([this, conn] { connection_main(conn); });
+    }
+    log_line("client " + std::to_string(conn->client_id) + " connected");
+  }
+}
+
+void MapServer::serve_fd(int read_fd, int write_fd) {
+  auto conn = std::make_shared<Connection>();
+  conn->read_fd = read_fd;
+  conn->write_fd = write_fd;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    conn->client_id = next_client_id_++;
+    connections_.push_back(conn);
+    ++stats_.connections_opened;
+  }
+  log_line("client " + std::to_string(conn->client_id) + " connected (fd pair)");
+  connection_main(conn);
+}
+
+void MapServer::connection_main(const std::shared_ptr<Connection>& conn) {
+  FrameReader reader(options_.max_line_bytes);
+  char buf[4096];
+  bool drain_exit = false;
+  bool half_close = false;  // pipe pair: EOF on input is not a disconnect
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    half_close = conn->read_fd != conn->write_fd;
+  }
+  while (true) {
+    int read_fd = -1;
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      if (conn->bye_sent) {
+        // Teardown already flushed the last result and said bye — this is
+        // a drain exit, NOT a disconnect: the client's jobs (there are
+        // none left) must not be cancelled and teardown owns the fd.
+        drain_exit = true;
+        break;
+      }
+      if (conn->dead) break;  // writes failed: the peer is gone
+      read_fd = conn->read_fd;
+    }
+    pollfd pfd{};
+    pfd.fd = read_fd;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, 100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) continue;
+    if ((pfd.revents & POLLNVAL) != 0) break;
+    const ssize_t n = ::read(read_fd, buf, sizeof(buf));
+    if (n == 0) {
+      // EOF. On a duplex socket the peer is gone — disconnect path below.
+      // On a distinct read/write pair (stdio) a closed stdin only means
+      // "no more requests": live jobs must still flush their results out
+      // the write side, so the reader retires WITHOUT abandoning and the
+      // caller (cmd_serve) drains.
+      if (half_close) {
+        if (const std::optional<FrameReader::Line> last = reader.finish()) {
+          handle_line(conn, *last);
+        }
+        drain_exit = true;
+        log_line("client " + std::to_string(conn->client_id) +
+                 " input closed (write side stays open for results)");
+      }
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (const FrameReader::Line& line : reader.feed(buf, static_cast<std::size_t>(n))) {
+      handle_line(conn, line);
+    }
+  }
+  if (!drain_exit) {
+    // Disconnect: a truncated trailing frame must not execute half a
+    // request — it is reported (to a peer that likely can't hear) and
+    // dropped; then every live job of this client is cancelled.
+    if (const std::optional<FrameReader::Line> last = reader.finish()) {
+      handle_line(conn, *last);
+    }
+    abandon_connection(conn);
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      conn->close_fds_locked();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.connections_closed;
+      connections_.erase(
+          std::remove_if(connections_.begin(), connections_.end(),
+                         [&](const std::shared_ptr<Connection>& c) { return c == conn; }),
+          connections_.end());
+    }
+    drain_cv_.notify_all();
+  }
+  log_line("client " + std::to_string(conn->client_id) +
+           (drain_exit ? " released (drain)" : " disconnected"));
+}
+
+void MapServer::handle_line(const std::shared_ptr<Connection>& conn,
+                            const FrameReader::Line& line) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.frames_read;
+  }
+  if (!line.ok()) {
+    const char* reason = line.overflow  ? "line exceeds the frame byte cap"
+                         : line.reject ? "frame contains NUL bytes"
+                                       : "truncated frame at end of stream";
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.parse_errors;
+    }
+    conn->write_frame(error_frame("", reason));
+    return;
+  }
+  // Blank lines and #-comments are free (humans drive this over nc/socat).
+  const std::size_t first = line.text.find_first_not_of(" \t");
+  if (first == std::string::npos || line.text[first] == '#') return;
+  handle_request(conn, line.text);
+}
+
+void MapServer::handle_request(const std::shared_ptr<Connection>& conn,
+                               const std::string& line) {
+  WireRequest request;
+  try {
+    request = parse_request(line);
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.parse_errors;
+    }
+    // Best effort: echo the id when one survives tokenization, so the
+    // client can match the reject to its request.
+    std::string id;
+    try {
+      const auto kv = cli::parse_manifest_line(line, 0);
+      const auto it = kv.find("id");
+      if (it != kv.end()) id = escape(it->second);
+    } catch (...) {
+    }
+    conn->write_frame(error_frame(id, e.what()));
+    return;
+  }
+
+  switch (request.op) {
+    case RequestOp::kSubmit:
+      submit_request(conn, std::move(request));
+      return;
+    case RequestOp::kCancel: {
+      MapService::JobId job_id = 0;
+      bool known = false;
+      {
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        const auto it = conn->jobs.find(request.id);
+        if (it != conn->jobs.end()) {
+          known = true;
+          job_id = it->second;
+        }
+      }
+      if (!known) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.parse_errors;
+      }
+      if (known) {
+        // No ack frame: the job's terminal result (status=cancelled, or
+        // whatever beat the cancel) IS the answer — anything else would
+        // break exactly-one-terminal-frame. Runs outside the connection
+        // lock because a queued job delivers synchronously through
+        // on_done, which takes it.
+        (void)service_->cancel(job_id);
+      } else {
+        conn->write_frame(error_frame(request.id, "unknown or already finished job id"));
+      }
+      return;
+    }
+    case RequestOp::kStats:
+      conn->write_frame(build_stats_frame());
+      return;
+    case RequestOp::kPing:
+      conn->write_frame(pong_frame());
+      return;
+    case RequestOp::kDrain:
+      conn->write_frame(draining_frame());
+      request_drain(request.drain_finish ? DrainMode::kFinish : DrainMode::kCancel);
+      return;
+  }
+}
+
+void MapServer::submit_request(const std::shared_ptr<Connection>& conn,
+                               WireRequest&& request) {
+  MapJob job = make_job(request, conn->client_id, conn->cancel.token(),
+                        &service_->topology_cache());
+
+  // The lock is held across the admission call AND the accepted frame so
+  // no runner can slip a result frame in between (on_done takes this
+  // lock). Holding a lock over submit is safe precisely because admission
+  // is kReject: it never blocks. Lock order: connection -> service.
+  std::unique_lock<std::mutex> lock(conn->mutex);
+  const std::string tag =
+      request.id.empty() ? "j" + std::to_string(++conn->auto_tag) : request.id;
+  if (conn->jobs.count(tag) != 0) {
+    {
+      std::lock_guard<std::mutex> slock(mutex_);
+      ++stats_.parse_errors;
+    }
+    conn->write_frame_locked(error_frame(tag, "duplicate job id"));
+    return;
+  }
+  job.name = tag;
+
+  // Order matters: outstanding is raised BEFORE the drain check, and
+  // wait() reads it AFTER raising the drain flag (both seq_cst). Either
+  // this submit sees the flag and sheds, or wait() sees the job and waits
+  // for its terminal frame — an accepted job can never slip past teardown.
+  outstanding_.fetch_add(1);
+  if (draining_.load()) {
+    outstanding_.fetch_sub(1);
+    {
+      std::lock_guard<std::mutex> slock(mutex_);
+      ++stats_.shed;
+    }
+    conn->write_frame_locked(overloaded_frame(tag, -1));
+    drain_cv_.notify_all();
+    return;
+  }
+
+  MapService::JobId job_id = 0;
+  try {
+    std::shared_ptr<Connection> self = conn;
+    std::string tag_copy = tag;
+    (void)service_->submit(std::move(job), &job_id,
+                           [this, self = std::move(self),
+                            tag_copy = std::move(tag_copy)](const MapJobResult& result) {
+                             deliver_result(self, tag_copy, result);
+                           });
+  } catch (const AdmissionRejectedError&) {
+    outstanding_.fetch_sub(1);
+    {
+      std::lock_guard<std::mutex> slock(mutex_);
+      ++stats_.shed;
+    }
+    conn->write_frame_locked(overloaded_frame(tag, retry_hint_ms()));
+    return;
+  } catch (const std::exception& e) {
+    // Submitter-contract violations (no instance/builder) can't happen —
+    // make_job always sets build — but captured anyway: one error frame,
+    // the connection lives.
+    outstanding_.fetch_sub(1);
+    {
+      std::lock_guard<std::mutex> slock(mutex_);
+      ++stats_.parse_errors;
+    }
+    conn->write_frame_locked(error_frame(tag, e.what()));
+    return;
+  }
+
+  conn->jobs.emplace(tag, job_id);
+  ++conn->accepted;
+  {
+    std::lock_guard<std::mutex> slock(mutex_);
+    ++stats_.accepted;
+  }
+  conn->write_frame_locked(accepted_frame(tag, job_id, service_->stats().queue_depth));
+}
+
+void MapServer::deliver_result(const std::shared_ptr<Connection>& conn,
+                               const std::string& tag, const MapJobResult& result) {
+  note_wall_ms(result.wall_ms);
+  ResultFrame frame;
+  frame.id = tag;
+  frame.status = to_string(result.status);
+  frame.total = result.report.total_time();
+  frame.lower_bound = result.report.lower_bound;
+  frame.pct = result.report.percent_over_lower_bound();
+  frame.trials = result.report.refinement_trials;
+  frame.wall_ms = result.wall_ms;
+  frame.queue_ms = result.queue_ms;
+  frame.lanes = result.lanes;
+  frame.error = result.error;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->jobs.erase(tag);
+    ++conn->terminals;
+    (void)conn->write_frame_locked(result_frame(frame));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.terminal_frames;
+  }
+  outstanding_.fetch_sub(1);
+  drain_cv_.notify_all();
+}
+
+void MapServer::abandon_connection(const std::shared_ptr<Connection>& conn) {
+  std::vector<MapService::JobId> live;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (conn->abandoned) return;
+    conn->abandoned = true;
+    conn->dead = true;  // nothing written to a vanished peer
+    live.reserve(conn->jobs.size());
+    for (const auto& [tag, id] : conn->jobs) live.push_back(id);
+  }
+  std::size_t cancelled = 0;
+  if (!live.empty()) {
+    // Trip the connection source first (running jobs observe it at their
+    // next poll), then drain the queued ones — each still produces its
+    // one terminal frame, counted against a peer that left.
+    conn->cancel.request_cancel();
+    for (const MapService::JobId id : live) {
+      if (service_->cancel(id)) ++cancelled;
+    }
+  }
+  if (cancelled > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.disconnect_cancels += cancelled;
+  }
+  service_->forget_client(conn->client_id);
+}
+
+void MapServer::request_drain(DrainMode mode) {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) return;
+  drain_cancel_.store(mode == DrainMode::kCancel);
+  log_line(mode == DrainMode::kCancel ? "drain requested (cancel in-flight)"
+                                      : "drain requested (finish in-flight)");
+  if (mode == DrainMode::kCancel) {
+    std::vector<std::shared_ptr<Connection>> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      snapshot = connections_;
+    }
+    for (const std::shared_ptr<Connection>& conn : snapshot) conn->cancel.request_cancel();
+    (void)service_->cancel_all();
+  }
+  // The winning caller owns spawning the drainer — possibly from a reader
+  // thread (op=drain): the drainer later joins that reader, never itself.
+  drainer_ = std::thread([this] { drain_main(); });
+  drain_cv_.notify_all();
+}
+
+void MapServer::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drain_cv_.wait(lock, [this] { return drained_; });
+}
+
+void MapServer::drain_main() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drain_cv_.wait(lock, [this] { return outstanding_.load() == 0; });
+  std::vector<std::shared_ptr<Connection>> conns = connections_;
+  connections_.clear();
+  std::vector<std::thread> threads = std::move(threads_);
+  threads_.clear();
+  stats_.connections_closed += conns.size();
+  lock.unlock();
+
+  // Goodbyes go out while readers may still be polling; bye_sent makes
+  // them exit (within one poll tick) without the disconnect path, so no
+  // spurious cancellation and no frame after bye.
+  for (const std::shared_ptr<Connection>& conn : conns) {
+    std::lock_guard<std::mutex> clock(conn->mutex);
+    (void)conn->write_frame_locked(bye_frame(conn->accepted, conn->terminals));
+    conn->bye_sent = true;
+    conn->dead = true;
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  for (const std::shared_ptr<Connection>& conn : conns) {
+    std::lock_guard<std::mutex> clock(conn->mutex);
+    conn->close_fds_locked();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(socket_path_.c_str());
+  }
+  log_line("drain complete");
+  {
+    std::lock_guard<std::mutex> relock(mutex_);
+    drained_ = true;
+  }
+  drain_cv_.notify_all();
+}
+
+ServerStats MapServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::int64_t MapServer::retry_hint_ms() const {
+  const ServiceStats s = service_->stats();
+  const std::int64_t wall_ms =
+      std::max<std::int64_t>(1, ewma_wall_us_.load(std::memory_order_relaxed) / 1000);
+  const int runners = std::max(1, service_->max_concurrent_jobs());
+  const auto backlog = static_cast<std::int64_t>(s.queue_depth) + s.active;
+  const std::int64_t hint = backlog * wall_ms / runners;
+  return std::clamp(hint, options_.min_retry_ms, options_.max_retry_ms);
+}
+
+void MapServer::note_wall_ms(double wall_ms) {
+  const auto us = static_cast<std::int64_t>(wall_ms * 1000.0);
+  // Lossy under concurrent updates by design — the EWMA feeds an advisory
+  // backoff hint, not a correctness decision.
+  const std::int64_t prev = ewma_wall_us_.load(std::memory_order_relaxed);
+  const std::int64_t next = prev == 0 ? us : (prev * 7 + us) / 8;
+  ewma_wall_us_.store(next, std::memory_order_relaxed);
+}
+
+std::string MapServer::build_stats_frame() const {
+  const ServiceStats s = service_->stats();
+  ServerStats server;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    server = stats_;
+  }
+  std::vector<std::pair<std::string, std::string>> fields;
+  const auto add = [&fields](const char* key, auto value) {
+    fields.emplace_back(key, std::to_string(value));
+  };
+  add("connections", server.connections_opened - server.connections_closed);
+  add("accepted", server.accepted);
+  add("results", server.terminal_frames);
+  add("outstanding", outstanding_.load());
+  add("shed", server.shed);
+  add("parse-errors", server.parse_errors);
+  add("disconnect-cancels", server.disconnect_cancels);
+  add("queue-depth", s.queue_depth);
+  add("queued-size", s.queued_size_hint);
+  add("active", s.active);
+  add("service-submitted", s.submitted);
+  add("service-completed", s.completed);
+  add("service-shed", s.shed);
+  add("cancelled-queued", s.cancelled_queued);
+  for (const ServiceStats::PriorityLane& lane : s.priorities) {
+    const std::string prefix = "prio" + std::to_string(lane.priority);
+    fields.emplace_back(prefix + "-started", std::to_string(lane.started));
+    const double avg = lane.started > 0 ? lane.total_wait_ms / static_cast<double>(lane.started)
+                                        : 0.0;
+    std::ostringstream wait;
+    wait << avg << "/" << lane.max_wait_ms;
+    fields.emplace_back(prefix + "-wait-ms", wait.str());
+  }
+  for (const ServiceStats::ClientGauge& client : s.clients) {
+    fields.emplace_back("client" + std::to_string(client.client_id) + "-inflight",
+                        std::to_string(client.inflight));
+  }
+  return stats_frame(fields);
+}
+
+void MapServer::log_line(const std::string& text) const {
+  if (options_.log == nullptr) return;
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  *options_.log << "serve: " << text << "\n";
+  options_.log->flush();
+}
+
+}  // namespace mimdmap::serve

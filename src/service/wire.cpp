@@ -1,0 +1,326 @@
+#include "service/wire.hpp"
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "cli/manifest.hpp"
+
+namespace mimdmap::serve {
+namespace {
+
+[[nodiscard]] bool needs_escape(unsigned char c) {
+  return c <= 0x20 || c == 0x7f || c == '%' || c == '=';
+}
+
+[[nodiscard]] char hex_digit(unsigned v) {
+  return static_cast<char>(v < 10 ? '0' + v : 'a' + (v - 10));
+}
+
+[[nodiscard]] int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Keys a submit request may carry: the batch-manifest keys (same engine
+/// options, same numeric rules) plus the serve extensions.
+const std::set<std::string>& submit_keys() {
+  static const std::set<std::string> keys = {
+      // manifest family (cli/manifest.cpp known_keys)
+      "problem", "system", "spec", "clustering", "strategy", "seed", "name", "trials",
+      "refine-seed", "serialize", "contention", "weighted-links", "extended-critical",
+      "random-trials", "random-seed", "deadline-ms",
+      // serve extensions
+      "op", "id", "priority", "size-hint",
+      // generated workloads (no server-side files needed)
+      "gen", "gen-a", "gen-b", "gen-seed"};
+  return keys;
+}
+
+[[noreturn]] void fail(const std::string& what) { throw std::invalid_argument(what); }
+
+/// `id` values travel unescaped inside frames, so they must be clean
+/// tokens: non-empty handled by callers; no bytes the framing reserves.
+void check_id(const std::string& id) {
+  for (const char c : id) {
+    if (needs_escape(static_cast<unsigned char>(c))) {
+      fail("id contains reserved or control characters");
+    }
+  }
+  if (id.size() > 256) fail("id longer than 256 bytes");
+}
+
+}  // namespace
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    const auto uc = static_cast<unsigned char>(c);
+    if (needs_escape(uc)) {
+      out.push_back('%');
+      out.push_back(hex_digit(uc >> 4));
+      out.push_back(hex_digit(uc & 0xf));
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string unescape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '%' && i + 2 < text.size()) {
+      const int hi = hex_value(text[i + 1]);
+      const int lo = hex_value(text[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(text[i]);
+  }
+  return out;
+}
+
+FrameReader::FrameReader(std::size_t max_line_bytes)
+    : max_line_bytes_(max_line_bytes == 0 ? 1 : max_line_bytes) {}
+
+std::vector<FrameReader::Line> FrameReader::feed(const char* data, std::size_t size) {
+  std::vector<Line> lines;
+  for (std::size_t i = 0; i < size; ++i) {
+    const char c = data[i];
+    if (c == '\n') {
+      Line line;
+      if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+      line.text = std::move(partial_);
+      line.overflow = partial_overflow_;
+      line.reject = partial_nul_;
+      partial_.clear();
+      partial_overflow_ = false;
+      partial_nul_ = false;
+      lines.push_back(std::move(line));
+      continue;
+    }
+    if (c == '\0') partial_nul_ = true;
+    if (partial_.size() >= max_line_bytes_) {
+      // Overflow: keep the capped prefix for diagnostics, drop the rest of
+      // the line — memory stays bounded no matter how long the client
+      // rants; the next '\n' resyncs.
+      partial_overflow_ = true;
+      continue;
+    }
+    partial_.push_back(c);
+  }
+  return lines;
+}
+
+std::optional<FrameReader::Line> FrameReader::finish() {
+  if (partial_.empty() && !partial_overflow_ && !partial_nul_) return std::nullopt;
+  Line line;
+  line.text = std::move(partial_);
+  line.overflow = partial_overflow_;
+  line.reject = partial_nul_;
+  line.truncated = true;
+  partial_.clear();
+  partial_overflow_ = false;
+  partial_nul_ = false;
+  return line;
+}
+
+const char* to_string(RequestOp op) noexcept {
+  switch (op) {
+    case RequestOp::kSubmit:
+      return "submit";
+    case RequestOp::kCancel:
+      return "cancel";
+    case RequestOp::kStats:
+      return "stats";
+    case RequestOp::kPing:
+      return "ping";
+    case RequestOp::kDrain:
+      return "drain";
+  }
+  return "unknown";
+}
+
+std::uint64_t gen_size_estimate(const std::map<std::string, std::string>& kv) {
+  const auto it = kv.find("gen");
+  if (it == kv.end()) return 0;
+  const std::uint64_t a = cli::manifest_seed(kv, "gen-a", 4, 0);
+  const std::uint64_t b = cli::manifest_seed(kv, "gen-b", 4, 0);
+  const std::string& kind = it->second;
+  if (kind == "diamond") return a * b + 2;       // rows x cols grid + source/sink
+  if (kind == "layered") return a;               // a tasks over b layers
+  if (kind == "fork-join") return a * b + b + 1; // a-wide stages + joins
+  if (kind == "pipeline") return a;
+  return 0;  // validated upstream; unreachable for accepted requests
+}
+
+WireRequest parse_request(const std::string& line) {
+  if (line.find('\0') != std::string::npos) fail("frame contains NUL bytes");
+  // One grammar for everything framed: the fuzzed manifest tokenizer.
+  const std::map<std::string, std::string> kv = cli::parse_manifest_line(line, 0);
+  if (kv.empty()) fail("empty frame");
+
+  WireRequest request;
+  request.kv = kv;
+  const auto op_it = kv.find("op");
+  const std::string op = op_it == kv.end() ? "submit" : op_it->second;
+  if (op == "submit") {
+    request.op = RequestOp::kSubmit;
+  } else if (op == "cancel") {
+    request.op = RequestOp::kCancel;
+  } else if (op == "stats") {
+    request.op = RequestOp::kStats;
+  } else if (op == "ping") {
+    request.op = RequestOp::kPing;
+  } else if (op == "drain") {
+    request.op = RequestOp::kDrain;
+  } else {
+    fail("unknown op '" + op + "'");
+  }
+
+  const auto id_it = kv.find("id");
+  if (id_it != kv.end()) {
+    request.id = id_it->second;
+    check_id(request.id);
+  }
+
+  switch (request.op) {
+    case RequestOp::kSubmit: {
+      for (const auto& [key, value] : kv) {
+        (void)value;
+        if (!submit_keys().count(key)) fail("unknown key '" + key + "'");
+      }
+      const bool has_problem = kv.count("problem") != 0;
+      const bool has_gen = kv.count("gen") != 0;
+      if (has_problem && has_gen) fail("give either problem= or gen=, not both");
+      if (!has_problem && !has_gen) fail("missing required key 'problem' (or 'gen')");
+      if (has_gen) {
+        const std::string& kind = kv.at("gen");
+        if (kind != "diamond" && kind != "layered" && kind != "fork-join" &&
+            kind != "pipeline") {
+          fail("unknown gen workload '" + kind + "'");
+        }
+        const std::uint64_t a = cli::manifest_seed(kv, "gen-a", 4, 0);
+        const std::uint64_t b = cli::manifest_seed(kv, "gen-b", 4, 0);
+        (void)cli::manifest_seed(kv, "gen-seed", 1, 0);
+        if (a == 0 || b == 0) fail("gen dimensions must be positive");
+        if (a > 100000 || b > 100000 || a * b > 1000000) {
+          fail("gen workload too large (limit 1e6 tasks)");
+        }
+      } else if (kv.count("gen-a") || kv.count("gen-b") || kv.count("gen-seed")) {
+        fail("gen-a=/gen-b=/gen-seed= require gen=");
+      }
+      if (kv.count("system") && kv.count("spec")) {
+        fail("give either system= or spec=, not both");
+      }
+      if (!kv.count("system") && !kv.count("spec")) {
+        fail("missing required key 'spec' (or 'system')");
+      }
+      if (kv.count("clustering") && (kv.count("strategy") || kv.count("seed"))) {
+        fail("clustering= conflicts with strategy=/seed=");
+      }
+      // Numerics up front, exactly like the manifest validator: a bad value
+      // is a protocol error before the job exists.
+      (void)cli::manifest_seed(kv, "seed", 1, 0);
+      (void)cli::manifest_seed(kv, "refine-seed", 0, 0);
+      (void)cli::manifest_seed(kv, "trials", 0, 0);
+      (void)cli::manifest_seed(kv, "random-trials", 0, 0);
+      (void)cli::manifest_seed(kv, "random-seed", 0, 0);
+      request.deadline_ms = cli::manifest_int(kv, "deadline-ms", 0, 0);
+      request.priority = static_cast<int>(cli::manifest_int(kv, "priority", 0, 0));
+      if (request.priority < -1000000 || request.priority > 1000000) {
+        fail("priority out of range");
+      }
+      request.size_hint = cli::manifest_seed(kv, "size-hint", 0, 0);
+      if (request.size_hint == 0) request.size_hint = gen_size_estimate(kv);
+      break;
+    }
+    case RequestOp::kCancel:
+      if (request.id.empty()) fail("cancel needs id=");
+      break;
+    case RequestOp::kDrain: {
+      const auto mode_it = kv.find("mode");
+      const std::string mode = mode_it == kv.end() ? "finish" : mode_it->second;
+      if (mode == "finish") {
+        request.drain_finish = true;
+      } else if (mode == "cancel") {
+        request.drain_finish = false;
+      } else {
+        fail("drain mode must be finish or cancel");
+      }
+      break;
+    }
+    case RequestOp::kStats:
+    case RequestOp::kPing:
+      break;
+  }
+  return request;
+}
+
+std::string accepted_frame(const std::string& id, std::uint64_t seq,
+                           std::size_t queue_depth) {
+  std::ostringstream os;
+  os << "event=accepted id=" << id << " seq=" << seq << " queue=" << queue_depth << "\n";
+  return os.str();
+}
+
+std::string result_frame(const ResultFrame& frame) {
+  std::ostringstream os;
+  os << "event=result id=" << frame.id << " status=" << frame.status;
+  if (frame.error.empty()) {
+    os << " total=" << frame.total << " lower-bound=" << frame.lower_bound
+       << " pct=" << frame.pct << " trials=" << frame.trials;
+  } else {
+    os << " error=" << escape(frame.error);
+  }
+  os << " wall-ms=" << frame.wall_ms << " queue-ms=" << frame.queue_ms
+     << " lanes=" << frame.lanes << "\n";
+  return os.str();
+}
+
+std::string overloaded_frame(const std::string& id, std::int64_t retry_ms) {
+  std::ostringstream os;
+  os << "event=overloaded id=" << id << " status=overloaded retry-ms=" << retry_ms << "\n";
+  return os.str();
+}
+
+std::string error_frame(const std::string& id, const std::string& reason) {
+  std::ostringstream os;
+  os << "event=error id=" << (id.empty() ? "-" : id)
+     << " status=invalid_input error=" << escape(reason) << "\n";
+  return os.str();
+}
+
+std::string pong_frame() { return "event=pong\n"; }
+
+std::string stats_frame(const std::vector<std::pair<std::string, std::string>>& fields) {
+  std::ostringstream os;
+  os << "event=stats";
+  for (const auto& [key, value] : fields) os << " " << key << "=" << escape(value);
+  os << "\n";
+  return os.str();
+}
+
+std::string draining_frame() { return "event=draining\n"; }
+
+std::string bye_frame(std::uint64_t accepted, std::uint64_t terminal_frames) {
+  std::ostringstream os;
+  os << "event=bye accepted=" << accepted << " results=" << terminal_frames << "\n";
+  return os.str();
+}
+
+std::map<std::string, std::string> parse_response(const std::string& line) {
+  const std::map<std::string, std::string> kv = cli::parse_manifest_line(line, 0);
+  if (!kv.count("event")) throw std::invalid_argument("response frame has no event=");
+  return kv;
+}
+
+}  // namespace mimdmap::serve

@@ -1,0 +1,160 @@
+// Wire protocol of the mapping daemon (`mimdmap_cli serve`): newline-framed
+// key=value request and response frames over a byte stream (Unix-domain
+// socket or a stdin/stdout pipe).
+//
+// The request grammar deliberately reuses the fuzzed batch-manifest
+// tokenizer (cli/manifest.hpp: whitespace-separated key=value tokens, bare
+// key means "1") — one grammar, one fuzz target, one set of structural
+// checks. On top of it this layer adds:
+//
+//  * FrameReader — incremental line extraction with a hard per-line byte
+//    cap. An oversized line is reported as ONE overflow record and the
+//    reader resyncs at the next '\n', so a hostile client costs bounded
+//    memory and exactly one `invalid_input` answer, never a stalled or
+//    crashed server. Embedded NUL bytes poison the line (reported via
+//    Line::reject) instead of silently truncating downstream C-string
+//    handling. A trailing un-terminated partial line at EOF is flagged
+//    truncated — a dropped connection mid-frame must not execute half a
+//    request.
+//  * parse_request — tokenized line -> validated WireRequest (op dispatch,
+//    known-key check, submit structural rules mirroring the manifest, all
+//    numeric fields range-checked). Throws std::invalid_argument with a
+//    human-readable reason; the server turns that into an `event=error`
+//    frame and keeps serving.
+//  * response frame builders — the server's only output surface, so the
+//    exactly-one-terminal-frame invariant is auditable in one place.
+//    Free-text fields (error messages, names) are percent-escaped: frames
+//    stay one-line whitespace-separated key=value, always reparsable.
+//
+// Frames (see DESIGN.md section 16 for the full grammar):
+//   client -> server: op=submit|cancel|stats|ping|drain + keys
+//   server -> client: event=accepted|result|overloaded|error|stats|pong|
+//                     draining|bye + keys
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mimdmap::serve {
+
+/// Percent-escapes whitespace, '%', '=', and control bytes so any string
+/// can travel as one key=value token. unescape() inverts it (lenient:
+/// malformed escapes pass through verbatim — responses are for humans and
+/// dashboards, not another security boundary).
+[[nodiscard]] std::string escape(const std::string& text);
+[[nodiscard]] std::string unescape(const std::string& text);
+
+/// Incremental newline framing with a per-line byte cap.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_line_bytes = 64 * 1024);
+
+  struct Line {
+    std::string text;
+    /// Line exceeded max_line_bytes; text holds a truncated prefix for
+    /// diagnostics. The reader has already resynced to the next '\n'.
+    bool overflow = false;
+    /// Line contained a NUL byte (text preserved verbatim otherwise).
+    bool reject = false;
+    /// EOF arrived mid-line (finish() only): a truncated frame.
+    bool truncated = false;
+
+    [[nodiscard]] bool ok() const noexcept { return !overflow && !reject && !truncated; }
+  };
+
+  /// Feeds a chunk; returns every line completed by it ('\n' stripped,
+  /// one trailing '\r' stripped — CRLF tolerated).
+  [[nodiscard]] std::vector<Line> feed(const char* data, std::size_t size);
+
+  /// Flushes the trailing partial line at EOF, if any (flagged truncated;
+  /// empty partials yield nullopt).
+  [[nodiscard]] std::optional<Line> finish();
+
+  [[nodiscard]] std::size_t max_line_bytes() const noexcept { return max_line_bytes_; }
+
+ private:
+  std::size_t max_line_bytes_;
+  std::string partial_;
+  bool partial_overflow_ = false;
+  bool partial_nul_ = false;
+};
+
+enum class RequestOp : std::uint8_t { kSubmit, kCancel, kStats, kPing, kDrain };
+
+[[nodiscard]] const char* to_string(RequestOp op) noexcept;
+
+/// One parsed and structurally validated request frame.
+struct WireRequest {
+  RequestOp op = RequestOp::kPing;
+  /// Client-chosen job tag (echoed on every frame about this job). Empty
+  /// for ops that do not target a job; the server assigns one for submits
+  /// that omit it.
+  std::string id;
+  /// Submit payload: the manifest-grammar keys plus the serve extensions,
+  /// validated but unresolved (file IO and graph building happen on the
+  /// runner, where failures degrade to per-job statuses).
+  std::map<std::string, std::string> kv;
+  /// Parsed serve-extension fields (defaults when absent).
+  int priority = 0;               // lower runs first; negatives allowed
+  std::uint64_t size_hint = 0;    // estimated task count; 0 = unknown
+  std::int64_t deadline_ms = 0;   // 0 = server default, < 0 = explicitly none
+  /// drain only: finish in-flight work (true) or cancel it (false).
+  bool drain_finish = true;
+};
+
+/// Tokenizes one frame line with the manifest grammar and validates it.
+/// Throws std::invalid_argument on: unknown op, unknown key, missing or
+/// conflicting submit keys (problem=/gen= + spec=/system=, clustering vs
+/// strategy/seed), malformed numerics, NUL bytes, empty line.
+[[nodiscard]] WireRequest parse_request(const std::string& line);
+
+/// Submit-request workload: either problem=<path> (server-side file, as in
+/// the batch manifest) or gen=<kind> with gen-a=/gen-b=/gen-seed= —
+/// diamond (a x b), layered (a tasks, b layers), fork-join (a wide, b
+/// stages), pipeline (length a). Returns the estimated task count of a
+/// gen= spec (its size_hint default), 0 for file-backed problems.
+[[nodiscard]] std::uint64_t gen_size_estimate(const std::map<std::string, std::string>& kv);
+
+// -- Response frames ------------------------------------------------------
+// Every builder returns one complete '\n'-terminated frame.
+
+[[nodiscard]] std::string accepted_frame(const std::string& id, std::uint64_t seq,
+                                         std::size_t queue_depth);
+/// THE terminal frame: exactly one per accepted job.
+struct ResultFrame {
+  std::string id;
+  std::string status;  // to_string(MapStatus)
+  std::int64_t total = 0;
+  std::int64_t lower_bound = 0;
+  std::int64_t pct = 0;
+  std::int64_t trials = 0;
+  double wall_ms = 0.0;
+  double queue_ms = 0.0;
+  int lanes = 0;
+  std::string error;  // escaped on emit; empty = omitted
+};
+[[nodiscard]] std::string result_frame(const ResultFrame& frame);
+/// Load-shed answer: retryable, with an advisory client backoff.
+/// retry_ms < 0 means "do not retry here" (the server is draining).
+[[nodiscard]] std::string overloaded_frame(const std::string& id, std::int64_t retry_ms);
+/// Protocol-level reject (parse/validation failure, unknown cancel id...).
+/// Not terminal for any accepted job — the offending frame never became one.
+[[nodiscard]] std::string error_frame(const std::string& id, const std::string& reason);
+[[nodiscard]] std::string pong_frame();
+/// Observability snapshot (`op=stats` answer): event=stats followed by the
+/// given fields in order. Values are escaped.
+[[nodiscard]] std::string stats_frame(
+    const std::vector<std::pair<std::string, std::string>>& fields);
+[[nodiscard]] std::string draining_frame();
+[[nodiscard]] std::string bye_frame(std::uint64_t accepted, std::uint64_t terminal_frames);
+
+/// Parses a response frame into its key=value map (event= included).
+/// Throws std::invalid_argument on grammar violations — clients (the load
+/// generator, tests) use this, the server never parses its own output.
+[[nodiscard]] std::map<std::string, std::string> parse_response(const std::string& line);
+
+}  // namespace mimdmap::serve

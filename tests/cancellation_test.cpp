@@ -335,15 +335,22 @@ TEST(CancellationServiceTest, QueueInclusiveDeadlineExpiresWhileQueued) {
   // Occupy the single runner so the deadline job sits in the queue past
   // its budget: the deadline is armed at admission, so queue wait counts
   // and the runner's pre-start check must deliver kDeadlineExceeded.
+  // Wait until the blocker is actually executing before submitting the
+  // doomed job — its tight wall budget classifies it interactive, so if
+  // both sat queued the priority scheduler would (correctly) start it
+  // first and it would finish inside its budget.
   std::promise<void> gate;
   std::shared_future<void> gate_future = gate.get_future().share();
+  std::promise<void> slow_started;
   MapJob slow;
-  slow.build = [&instance, gate_future] {
+  slow.build = [&instance, &slow_started, gate_future] {
+    slow_started.set_value();
     gate_future.wait();
     return instance;
   };
   slow.name = "slow";
   std::future<MapJobResult> slow_future = service.submit(std::move(slow));
+  slow_started.get_future().wait();
 
   MapJob doomed;
   doomed.instance = &instance;

@@ -10,8 +10,22 @@
 #include <string>
 #include <vector>
 
+#include "service/fault_injection.hpp"
+
 namespace mimdmap::cli {
 namespace {
+
+/// Arms a fault configuration for the duration of a scope.
+class FaultScope {
+ public:
+  explicit FaultScope(const FaultConfig& config) : previous_(set_fault_config(config)) {}
+  ~FaultScope() { set_fault_config(previous_); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  FaultConfig previous_;
+};
 
 /// Runs a command line (already split into tokens) and captures output.
 struct CliResult {
@@ -287,6 +301,86 @@ TEST(CliTest, BatchRejectsBadManifest) {
   const CliResult conflict = run_cli({"batch", "--manifest", manifest.path()});
   EXPECT_EQ(conflict.code, 1);
   EXPECT_NE(conflict.err.find("conflicts"), std::string::npos);
+}
+
+TEST(CliTest, BatchExitCodeFailsOnBrokenJobsOnly) {
+  // The batch exit contract (DESIGN.md 16): jobs that END BROKEN
+  // (invalid_input / internal_error) make the batch exit nonzero; a batch
+  // where every job delivered ok exits zero. A manifest referencing a
+  // missing problem file fails eagerly (exit 1) before any job runs.
+  TempFile prog("exit_prog.txt");
+  ASSERT_EQ(run_cli({"generate", "--workload", "layered", "--tasks", "40", "--seed", "3",
+                     "--out", prog.path()})
+                .code,
+            0);
+  TempFile manifest("exit_manifest.txt");
+  {
+    std::ofstream m(manifest.path());
+    m << "problem=/nonexistent/broken.graph spec=mesh-2x2 name=broken\n";
+  }
+  const CliResult missing = run_cli({"batch", "--manifest", manifest.path()});
+  EXPECT_EQ(missing.code, 1);
+  EXPECT_NE(missing.err.find("cannot open"), std::string::npos);
+
+  {
+    std::ofstream m(manifest.path());
+    m << "problem=" << prog.path() << " spec=hypercube-3 strategy=block name=doomed\n";
+  }
+  // A job that runs but ends internal_error (the mapper faulted): nonzero.
+  {
+    FaultConfig always;
+    always.mapper_throw = 1.0;
+    const FaultScope scope(always);
+    const CliResult faulted = run_cli({"batch", "--manifest", manifest.path()});
+    EXPECT_EQ(faulted.code, 1) << faulted.err;
+    EXPECT_NE(faulted.out.find("internal_error"), std::string::npos) << faulted.out;
+    EXPECT_NE(faulted.out.find("1 failed"), std::string::npos) << faulted.out;
+  }
+
+  const CliResult clean = run_cli({"batch", "--manifest", manifest.path()});
+  EXPECT_EQ(clean.code, 0) << clean.err;
+  // The scheduler observability summary rides along on every batch.
+  EXPECT_NE(clean.out.find("scheduler:"), std::string::npos);
+  EXPECT_NE(clean.out.find("prio 0:"), std::string::npos);
+}
+
+TEST(CliTest, BatchTimeoutDegradationExitsZero) {
+  // Jobs stopped by the wall budget deliver degraded-but-valid incumbents
+  // (deadline_exceeded) — the batch DID what was asked, so exit 0.
+  TempFile prog("timeout_prog.txt");
+  ASSERT_EQ(run_cli({"generate", "--workload", "layered", "--tasks", "300", "--seed", "7",
+                     "--out", prog.path()})
+                .code,
+            0);
+  TempFile manifest("timeout_manifest.txt");
+  {
+    std::ofstream m(manifest.path());
+    m << "problem=" << prog.path()
+      << " spec=hypercube-3 strategy=block trials=2000000 name=slowpoke\n";
+  }
+  const CliResult r = run_cli({"batch", "--manifest", manifest.path(), "--timeout", "1"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("deadline_exceeded"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("degraded"), std::string::npos) << r.out;
+}
+
+TEST(CliTest, ServeRequiresExactlyOneTransport) {
+  const CliResult neither = run_cli({"serve"});
+  EXPECT_NE(neither.code, 0);
+  EXPECT_NE(neither.err.find("--socket"), std::string::npos);
+
+  const CliResult both = run_cli({"serve", "--socket", "/tmp/x.sock", "--stdio"});
+  EXPECT_NE(both.code, 0);
+
+  const CliResult bad_mode =
+      run_cli({"serve", "--socket", "/tmp/x.sock", "--drain-mode", "sideways"});
+  EXPECT_NE(bad_mode.code, 0);
+  EXPECT_NE(bad_mode.err.find("drain-mode"), std::string::npos);
+
+  // The serve section is documented.
+  const CliResult help = run_cli({"help"});
+  EXPECT_NE(help.out.find("serve"), std::string::npos);
+  EXPECT_NE(help.out.find("op=drain"), std::string::npos);
 }
 
 TEST(CliTest, MapIsDeterministic) {

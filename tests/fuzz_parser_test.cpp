@@ -3,6 +3,8 @@
 // std::invalid_argument — never crash, hang or corrupt memory.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -10,6 +12,7 @@
 #include "cli/manifest.hpp"
 #include "cluster/cluster_io.hpp"
 #include "graph/graph_io.hpp"
+#include "service/wire.hpp"
 #include "topology/topology.hpp"
 #include "workload/random_dag.hpp"
 #include "workload/rng.hpp"
@@ -147,6 +150,116 @@ TEST(FuzzParserTest, ManifestGarbageRejectedCleanly) {
   }
   EXPECT_TRUE(cli::parse_manifest("").empty());
   EXPECT_TRUE(cli::parse_manifest("# only comments\n\n  \t\n").empty());
+}
+
+TEST(FuzzParserTest, WireFrameReaderNeverCrashesOnHostileStreams) {
+  // The serve wire reader against adversarial byte streams: oversized
+  // lines, embedded NULs, interleaved garbage, truncated trailing frames —
+  // fed in randomly-sized chunks. Invariants: every surfaced line is
+  // bounded by the byte cap, ok() lines are NUL-free, a stream that ends
+  // mid-line yields exactly one truncated record, and reassembling the
+  // surfaced text never loses a byte of any in-cap line.
+  Rng rng(0x11fe);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t cap = static_cast<std::size_t>(rng.uniform(4, 64));
+    serve::FrameReader reader(cap);
+
+    std::string stream;
+    const int pieces = static_cast<int>(rng.uniform(1, 12));
+    for (int p = 0; p < pieces; ++p) {
+      switch (rng.uniform(0, 4)) {
+        case 0:
+          stream += "op=ping\n";
+          break;
+        case 1:  // oversized: blows the cap, must cost one overflow record
+          stream += std::string(cap * 3, 'x') + "\n";
+          break;
+        case 2:  // NUL poison
+          stream += std::string("id=a") + '\0' + "b\n";
+          break;
+        case 3: {  // random garbage bytes (newlines included)
+          const int len = static_cast<int>(rng.uniform(0, 20));
+          for (int i = 0; i < len; ++i) {
+            stream += static_cast<char>(rng.uniform(0, 255));
+          }
+          stream += '\n';
+          break;
+        }
+        default:  // trailing partial (only matters when it lands last)
+          stream += "gen=diamond gen-a=3";
+          break;
+      }
+    }
+
+    std::vector<serve::FrameReader::Line> lines;
+    std::size_t off = 0;
+    while (off < stream.size()) {
+      const std::size_t chunk = std::min(
+          stream.size() - off, static_cast<std::size_t>(rng.uniform(1, 16)));
+      for (serve::FrameReader::Line& line : reader.feed(stream.data() + off, chunk)) {
+        lines.push_back(std::move(line));
+      }
+      off += chunk;
+    }
+    std::optional<serve::FrameReader::Line> tail = reader.finish();
+    if (tail.has_value()) {
+      EXPECT_TRUE(tail->truncated);
+      lines.push_back(std::move(*tail));
+    }
+
+    for (const serve::FrameReader::Line& line : lines) {
+      EXPECT_LE(line.text.size(), cap);  // bounded memory even on overflow
+      if (line.ok()) {
+        EXPECT_EQ(line.text.find('\0'), std::string::npos);
+        EXPECT_EQ(line.text.find('\n'), std::string::npos);
+      }
+    }
+    // Overflow resync: the reader surfaced at least one record per piece
+    // that ended in '\n' is too strong (garbage may contain newlines), but
+    // the line count can never exceed the newline count plus the tail.
+    const auto newlines = static_cast<std::size_t>(
+        std::count(stream.begin(), stream.end(), '\n'));
+    EXPECT_LE(lines.size(), newlines + 1);
+  }
+}
+
+TEST(FuzzParserTest, WireRequestParserNeverCrashes) {
+  // Mutations of valid frames of every op: parse_request either returns a
+  // structurally valid request or throws std::invalid_argument — the
+  // server's error-frame path. Nothing else may escape.
+  const std::vector<std::string> valid = {
+      "id=a gen=diamond gen-a=5 gen-b=4 gen-seed=3 spec=mesh-2x2 seed=7 trials=40 "
+      "priority=-3 size-hint=22 deadline-ms=250",
+      "problem=a.graph system=m.graph clustering=c.clusters serialize contention "
+      "random-trials=6 random-seed=9 refine-seed=11 extended-critical weighted-links",
+      "op=cancel id=j7",
+      "op=stats",
+      "op=ping",
+      "op=drain mode=cancel",
+  };
+  Rng rng(0x3142);
+  int parsed = 0;
+  int rejected = 0;
+  for (int i = 0; i < 900; ++i) {
+    const std::string& base = valid[static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(valid.size()) - 1))];
+    const std::string input = mutate(base, rng, static_cast<int>(rng.uniform(1, 10)));
+    try {
+      const serve::WireRequest request = serve::parse_request(input);
+      // Whatever parses must be inside the validated envelope.
+      EXPECT_GE(request.priority, -1000000);
+      EXPECT_LE(request.priority, 1000000);
+      if (request.op == serve::RequestOp::kSubmit && request.kv.count("gen")) {
+        EXPECT_LE(serve::gen_size_estimate(request.kv), 1000000u + 1000000u);
+      }
+      if (request.op == serve::RequestOp::kCancel) EXPECT_FALSE(request.id.empty());
+      ++parsed;
+    } catch (const std::invalid_argument&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
 }
 
 TEST(FuzzParserTest, GarbageInputsRejectedCleanly) {

@@ -9,10 +9,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <numeric>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/experiment.hpp"
@@ -464,6 +468,272 @@ TEST(MapServiceTest, RunSuiteMatchesSerialRunExperiment) {
     EXPECT_EQ(batched[i].refinement_trials, serial.refinement_trials) << i;
     EXPECT_EQ(batched[i].improvement, serial.improvement) << i;
   }
+}
+
+/// Small instance for the scheduler-order tests (cheap to build per job).
+MappingInstance tiny_instance(std::uint64_t seed) {
+  const StructuredWeights sw{{1, 9}, {1, 9}, seed};
+  TaskGraph problem = make_diamond(4, 4, sw);
+  SystemGraph system = make_topology("mesh-2x2");
+  Clustering clustering = make_clustering("block", problem, system.node_count(), seed);
+  return MappingInstance(std::move(problem), std::move(clustering), std::move(system));
+}
+
+/// A job that records its execution start into `order` (under `m`), used
+/// to observe the urgency queue's pop order through a single runner.
+MapJob recording_job(const std::string& name, std::mutex& m,
+                     std::vector<std::string>& order, std::uint64_t seed) {
+  MapJob job;
+  job.name = name;
+  job.options.refine.max_trials = 10;
+  job.build = [name, &m, &order, seed] {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      order.push_back(name);
+    }
+    return tiny_instance(seed);
+  };
+  return job;
+}
+
+/// A job that blocks the (single) runner until `release` is satisfied,
+/// signalling `started` once it is actually executing — so every job
+/// submitted afterwards is key-ordered in the queue, not racing the pop.
+MapJob blocker_job(std::promise<void>& started, std::shared_future<void> release) {
+  MapJob job;
+  job.name = "blocker";
+  job.options.refine.max_trials = 10;
+  job.build = [&started, release] {
+    started.set_value();
+    release.wait();
+    return tiny_instance(1);
+  };
+  return job;
+}
+
+TEST(MapServiceTest, PrioritySchedulerStaysBitIdenticalUnderShuffledUrgency) {
+  // The tentpole determinism claim (DESIGN.md 16.2): priorities, size
+  // hints, client ids and submission order steer WHEN a job runs, never
+  // WHAT it computes — per-job results stay bit-identical to the
+  // sequential single-threaded path.
+  Portfolio portfolio = make_portfolio();
+  const auto sequential_pool = std::make_shared<ThreadPool>(0);
+  std::vector<MapJobResult> reference;
+  for (const MapJob& job : portfolio.jobs) {
+    reference.push_back(run_map_job(job, sequential_pool, 1));
+  }
+
+  MapServiceOptions options;
+  options.pool = std::make_shared<ThreadPool>(3);
+  options.max_inflight_per_client = 1;  // the cap must not change results
+  MapService service(options);
+
+  std::vector<MapJob> jobs = portfolio.jobs;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].priority = static_cast<int>(i % 3) - 1;
+    jobs[i].size_hint = i % 2 == 0 ? 8 : 2000;
+    jobs[i].client_id = i % 2 + 1;
+  }
+  std::vector<std::size_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::reverse(order.begin(), order.end());
+  std::vector<std::future<MapJobResult>> futures(jobs.size());
+  for (const std::size_t i : order) futures[i] = service.submit(jobs[i]);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const MapJobResult result = futures[i].get();
+    EXPECT_EQ(result.status, MapStatus::kOk) << i;
+    expect_same_result(result, reference[i], "urgent job " + std::to_string(i));
+  }
+}
+
+TEST(MapServiceTest, UrgencyQueueOrdersPriorityClassThenArrival) {
+  // One runner, gated: everything below is queued before the first pop, so
+  // the observed start order IS the scheduler's total order. Expected key
+  // order (DESIGN.md 16.2): priority first, then the size/deadline urgency
+  // class, then arrival; equal keys keep submission order exactly.
+  MapServiceOptions options;
+  options.max_concurrent_jobs = 1;
+  options.lanes = 1;
+  options.interactive_deadline_ms = 60'000;  // won't expire under CI load
+  MapService service(options);
+
+  std::mutex m;
+  std::vector<std::string> order;
+  std::promise<void> started;
+  std::promise<void> release;
+  auto blocker_future = service.submit(blocker_job(started, release.get_future().share()));
+  started.get_future().wait();
+
+  const auto submit = [&](const std::string& name, int priority, std::uint64_t size_hint,
+                          std::int64_t deadline_ms) {
+    MapJob job = recording_job(name, m, order, 7);
+    job.priority = priority;
+    job.size_hint = size_hint;
+    job.deadline_ms = deadline_ms;
+    return service.submit(std::move(job));
+  };
+  std::vector<std::future<MapJobResult>> futures;
+  futures.push_back(submit("bulk", 0, 1000, -1));             // class 2, arrives first
+  futures.push_back(submit("small", 0, 8, -1));               // class 0 by size
+  futures.push_back(submit("tight-deadline", 0, 100, 50'000));  // class 0 by budget
+  futures.push_back(submit("urgent", -1, 1000, -1));          // priority beats class
+  futures.push_back(submit("normal-a", 0, 100, -1));          // class 1, arrival kept
+  futures.push_back(submit("normal-b", 0, 100, -1));
+
+  release.set_value();
+  EXPECT_EQ(blocker_future.get().status, MapStatus::kOk);
+  for (std::future<MapJobResult>& f : futures) EXPECT_EQ(f.get().status, MapStatus::kOk);
+
+  const std::vector<std::string> want = {"urgent", "small", "tight-deadline",
+                                         "normal-a", "normal-b", "bulk"};
+  EXPECT_EQ(order, want);
+
+  // The per-priority wait-time lanes saw both priorities. (The completed
+  // counter is bumped after the future resolves — settle first.)
+  for (int i = 0; i < 500 && service.stats().completed < 7; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const ServiceStats stats = service.stats();
+  ASSERT_EQ(stats.priorities.size(), 2u);
+  EXPECT_EQ(stats.priorities[0].priority, -1);
+  EXPECT_EQ(stats.priorities[0].started, 1u);
+  EXPECT_EQ(stats.priorities[1].priority, 0);
+  EXPECT_EQ(stats.priorities[1].started, 6u);
+  EXPECT_GE(stats.priorities[1].max_wait_ms, 0.0);
+  EXPECT_EQ(stats.completed, 7u);
+}
+
+TEST(MapServiceTest, FairQueuingPreventsGreedyClientStarvation) {
+  // Client 1 floods three jobs before client 2 submits one; start-time
+  // fair queuing must interleave client 2's job right after client 1's
+  // first, not behind the whole backlog.
+  MapServiceOptions options;
+  options.max_concurrent_jobs = 1;
+  options.lanes = 1;
+  MapService service(options);
+
+  std::mutex m;
+  std::vector<std::string> order;
+  std::promise<void> started;
+  std::promise<void> release;
+  auto blocker_future = service.submit(blocker_job(started, release.get_future().share()));
+  started.get_future().wait();
+
+  std::vector<std::future<MapJobResult>> futures;
+  for (int i = 0; i < 3; ++i) {
+    MapJob job = recording_job("greedy-" + std::to_string(i), m, order, 7);
+    job.client_id = 1;
+    futures.push_back(service.submit(std::move(job)));
+  }
+  MapJob victim = recording_job("victim", m, order, 7);
+  victim.client_id = 2;
+  futures.push_back(service.submit(std::move(victim)));
+
+  release.set_value();
+  EXPECT_EQ(blocker_future.get().status, MapStatus::kOk);
+  for (std::future<MapJobResult>& f : futures) EXPECT_EQ(f.get().status, MapStatus::kOk);
+
+  const std::vector<std::string> want = {"greedy-0", "victim", "greedy-1", "greedy-2"};
+  EXPECT_EQ(order, want);
+}
+
+TEST(MapServiceTest, InflightCapPassesOverSaturatedClient) {
+  // Two runners, client 1 capped at one in-flight job: while its first job
+  // occupies runner 1, its urgent second job must be passed over so client
+  // 2's job runs on runner 2 — and the passed-over job runs only after the
+  // first delivers.
+  MapServiceOptions options;
+  options.pool = std::make_shared<ThreadPool>(2);
+  options.max_concurrent_jobs = 2;
+  options.max_inflight_per_client = 1;
+  MapService service(options);
+
+  std::mutex m;
+  std::vector<std::string> order;
+  std::promise<void> started;
+  std::promise<void> release;
+  MapJob hog = blocker_job(started, release.get_future().share());
+  hog.client_id = 1;
+  auto hog_future = service.submit(std::move(hog));
+  started.get_future().wait();
+
+  MapJob capped = recording_job("capped", m, order, 7);
+  capped.client_id = 1;
+  capped.priority = -5;  // most urgent in the queue — only the cap holds it
+  auto capped_future = service.submit(std::move(capped));
+
+  MapJob other = recording_job("other", m, order, 7);
+  other.client_id = 2;
+  auto other_future = service.submit(std::move(other));
+
+  // Client 2's job completes while client 1 is still gated.
+  EXPECT_EQ(other_future.get().status, MapStatus::kOk);
+  {
+    std::lock_guard<std::mutex> lock(m);
+    EXPECT_EQ(order, std::vector<std::string>{"other"});
+  }
+  // The gauges see the saturated client: one running (capped counts
+  // running only) plus one queued.
+  const ServiceStats mid = service.stats();
+  bool found_client1 = false;
+  for (const ServiceStats::ClientGauge& client : mid.clients) {
+    if (client.client_id == 1) {
+      found_client1 = true;
+      EXPECT_EQ(client.inflight, 2);  // 1 running + 1 queued
+      EXPECT_EQ(client.submitted, 2u);
+    }
+  }
+  EXPECT_TRUE(found_client1);
+
+  release.set_value();
+  EXPECT_EQ(hog_future.get().status, MapStatus::kOk);
+  EXPECT_EQ(capped_future.get().status, MapStatus::kOk);
+  {
+    std::lock_guard<std::mutex> lock(m);
+    EXPECT_EQ(order, (std::vector<std::string>{"other", "capped"}));
+  }
+
+  // forget_client drops the fairness bookkeeping once idle (the serving
+  // layer calls this on disconnect). Client slots are released after the
+  // futures resolve, so give the runners a beat to retire.
+  for (int i = 0; i < 500; ++i) {
+    service.forget_client(1);
+    service.forget_client(2);
+    if (service.stats().clients.empty()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(service.stats().clients.empty());
+}
+
+TEST(MapServiceTest, FifoPolicyKeepsStrictArrivalOrder) {
+  // The A/B control for the bench: under kFifo, priorities, sizes and
+  // clients are all ignored — strict submission order.
+  MapServiceOptions options;
+  options.max_concurrent_jobs = 1;
+  options.lanes = 1;
+  options.scheduler = SchedulerPolicy::kFifo;
+  MapService service(options);
+
+  std::mutex m;
+  std::vector<std::string> order;
+  std::promise<void> started;
+  std::promise<void> release;
+  auto blocker_future = service.submit(blocker_job(started, release.get_future().share()));
+  started.get_future().wait();
+
+  std::vector<std::future<MapJobResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    MapJob job = recording_job("fifo-" + std::to_string(i), m, order, 7);
+    job.priority = -i;          // would reorder under kPriority
+    job.size_hint = i % 2 == 0 ? 2000 : 4;
+    job.client_id = static_cast<std::uint64_t>(i % 2) + 1;
+    futures.push_back(service.submit(std::move(job)));
+  }
+  release.set_value();
+  EXPECT_EQ(blocker_future.get().status, MapStatus::kOk);
+  for (std::future<MapJobResult>& f : futures) EXPECT_EQ(f.get().status, MapStatus::kOk);
+  const std::vector<std::string> want = {"fifo-0", "fifo-1", "fifo-2", "fifo-3"};
+  EXPECT_EQ(order, want);
 }
 
 TEST(MapServiceTest, ReplicatedSuiteMatchesSingleRows) {
