@@ -28,6 +28,8 @@
 #include <thread>
 #include <vector>
 
+#include "suite.hpp"
+
 #include "cluster/strategies.hpp"
 #include "service/map_service.hpp"
 #include "topology/factory.hpp"
@@ -184,7 +186,7 @@ int run(int argc, char** argv) {
   // interpretable next to the host's core count and the lane budget the
   // service actually granted — single-core recordings sit near 1x by
   // construction.
-  os << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
+  os << "  " << bench::host_json() << ",\n";
   os << "  \"lane_budget\": " << lane_budget << ",\n";
   os << "  \"sequential_ms\": " << sequential_ms << ",\n";
   os << "  \"service_ms\": " << service_ms << ",\n";

@@ -24,6 +24,8 @@
 #include <thread>
 #include <vector>
 
+#include "suite.hpp"
+
 #include "cluster/strategies.hpp"
 #include "core/cancellation.hpp"
 #include "core/eval_engine.hpp"
@@ -402,7 +404,7 @@ int run(int argc, char** argv) {
      << ", \"workload\": \"layered avg_out=1.5 seed=42\"},\n";
   os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
   os << "  \"deadline_exit\": " << (deadline_exit ? "true" : "false") << ",\n";
-  os << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
+  os << "  " << bench::host_json() << ",\n";
   os << "  \"threads\": 1,\n";
   os << "  \"checksum\": " << checksum << ",\n";
   os << "  \"results\": [\n";

@@ -30,6 +30,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "suite.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -530,7 +532,7 @@ int run(int argc, char** argv) {
   os << "  \"bench\": \"serve_load\",\n";
   os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
   os << "  \"external_daemon\": " << (external ? "true" : "false") << ",\n";
-  os << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
+  os << "  " << bench::host_json() << ",\n";
   os << "  \"calibrated_mean_service_ms\": " << mean_ms << ",\n";
   os << "  \"rates\": [\n";
   for (std::size_t i = 0; i < phases.size(); ++i) {

@@ -12,11 +12,23 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/experiment.hpp"
 
 namespace mimdmap::bench {
+
+/// Shared `"host": {...}` JSON fragment for every BENCH_*.json: the facts
+/// needed to decide whether two recordings are comparable at all.
+/// MIMDMAP_BUILD_TYPE and MIMDMAP_COMMIT are baked in by CMake as PUBLIC
+/// compile definitions on the mimdmap target, so every bench that links
+/// the library agrees on provenance.
+inline std::string host_json() {
+  return std::string("\"host\": {\"hardware_concurrency\": ") +
+         std::to_string(std::thread::hardware_concurrency()) +
+         ", \"build_type\": \"" MIMDMAP_BUILD_TYPE "\", \"commit\": \"" MIMDMAP_COMMIT "\"}";
+}
 
 /// One experiment per topology spec, np cycling over the paper's range.
 inline std::vector<ExperimentConfig> make_suite(const std::vector<std::string>& topologies,

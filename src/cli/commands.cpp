@@ -26,6 +26,8 @@
 #include "graph/graph_io.hpp"
 #include "graph/shortest_paths.hpp"
 #include "graph/topological.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/map_service.hpp"
 #include "service/server.hpp"
 #include "topology/factory.hpp"
@@ -89,6 +91,27 @@ EvalOptions eval_options(Flags& flags) {
   opts.link_contention = flags.get_bool("contention");
   return opts;
 }
+
+/// --trace out.json support: construct at command entry (enables the
+/// tracer when the flag is present), call write() after the work — the
+/// Chrome trace JSON lands in the given file, loadable in Perfetto.
+class TraceFile {
+ public:
+  explicit TraceFile(Flags& flags) : path_(flags.get_string("trace", "")) {
+    if (!path_.empty()) obs::tracer().enable();
+  }
+
+  void write() {
+    if (path_.empty()) return;
+    std::ofstream file(path_);
+    if (!file) throw std::invalid_argument("cannot open trace file '" + path_ + "'");
+    obs::tracer().export_chrome_json(file);
+    obs::tracer().disable();
+  }
+
+ private:
+  std::string path_;
+};
 
 }  // namespace
 
@@ -174,6 +197,10 @@ int cmd_cluster(Flags& flags, std::ostream& out, std::ostream& err) {
 }
 
 int cmd_map(Flags& flags, std::ostream& out, std::ostream& err) {
+  TraceFile trace(flags);
+  obs::Span cmd_span("map_command", "cli");
+
+  obs::Span load_span("load_inputs", "cli");
   TaskGraph problem = load_problem(flags);
   SystemGraph machine = load_system(flags);
 
@@ -184,10 +211,13 @@ int cmd_map(Flags& flags, std::ostream& out, std::ostream& err) {
     return make_clustering(flags.get_string("strategy", "block"), problem,
                            machine.node_count(), flags.get_seed("seed", 1));
   }();
+  load_span.end();
 
   const DistanceModel model = flags.get_bool("weighted-links")
                                   ? DistanceModel::kWeightedLinks
                                   : DistanceModel::kHops;
+  obs::Span build_span("build_instance", "cli", "np",
+                       static_cast<std::int64_t>(problem.node_count()));
   const MappingInstance instance(std::move(problem), std::move(clustering),
                                  std::move(machine), model);
 
@@ -217,6 +247,7 @@ int cmd_map(Flags& flags, std::ostream& out, std::ostream& err) {
   // One engine serves the whole command: the mapping pipeline, and the
   // random-mapping baseline below when requested.
   const EvalEngine engine(instance);
+  build_span.end();
   const MappingReport report = map_instance(engine, opts);
 
   std::ostringstream os;
@@ -252,6 +283,7 @@ int cmd_map(Flags& flags, std::ostream& out, std::ostream& err) {
   }
   os << "\n";
   if (random_trials > 0) {
+    const obs::Span random_span("random_baseline", "cli", "trials", random_trials);
     const RandomMappingStats random =
         evaluate_random_mappings(engine, random_trials, random_seed, opts.refine.eval);
     os << "random mapping mean over " << random_trials << " trials: " << random.mean()
@@ -262,6 +294,8 @@ int cmd_map(Flags& flags, std::ostream& out, std::ostream& err) {
     os << "\n" << render_gantt(instance, report.assignment, report.schedule);
   }
   emit(flags, out, os.str());
+  cmd_span.end();
+  trace.write();
   return 0;
 }
 
@@ -329,6 +363,8 @@ void batch_sigint_handler(int) { g_batch_interrupted = 1; }
 }  // namespace
 
 int cmd_batch(Flags& flags, std::ostream& out, std::ostream& err) {
+  TraceFile trace(flags);
+  obs::Span cmd_span("batch_command", "cli");
   const std::string manifest_path = flags.require_string("manifest");
   const int lanes = static_cast<int>(flags.get_int("lanes", 0));
   const int max_jobs = static_cast<int>(flags.get_int("jobs", 0));
@@ -400,10 +436,15 @@ int cmd_batch(Flags& flags, std::ostream& out, std::ostream& err) {
 
   std::function<void(const BatchProgress&)> progress;
   if (live_progress) {
-    progress = [&err](const BatchProgress& p) {
+    // Live scheduler gauges from the registry (the same series op=metrics
+    // exposes): queued-not-started and on-a-runner right now.
+    obs::Gauge& queue_gauge = obs::registry().gauge("mimdmap_service_queue_depth");
+    obs::Gauge& active_gauge = obs::registry().gauge("mimdmap_service_active_jobs");
+    progress = [&err, &queue_gauge, &active_gauge](const BatchProgress& p) {
       err << "\r[" << p.completed << "/" << p.total << "] " << p.last->name << " ("
-          << std::fixed << std::setprecision(1) << p.last->wall_ms << " ms)    "
-          << std::defaultfloat << std::setprecision(6);
+          << std::fixed << std::setprecision(1) << p.last->wall_ms << " ms)"
+          << " queue=" << queue_gauge.value() << " inflight=" << active_gauge.value()
+          << "    " << std::defaultfloat << std::setprecision(6);
       if (p.completed == p.total) err << "\n";
       err.flush();
     };
@@ -495,6 +536,8 @@ int cmd_batch(Flags& flags, std::ostream& out, std::ostream& err) {
      << std::defaultfloat << std::setprecision(6);
   if (interrupted) os << "batch interrupted: results above are partial\n";
   emit(flags, out, os.str());
+  cmd_span.end();
+  trace.write();
   // Exit contract (tests/cli_test.cpp): jobs that FAILED (invalid_input /
   // internal_error) make the batch exit nonzero; jobs merely degraded by
   // the wall budget or an interrupt (cancelled / deadline_exceeded) do
@@ -515,6 +558,7 @@ int cmd_serve(Flags& flags, std::ostream& out, std::ostream& err) {
   const std::string socket_path = flags.get_string("socket", "");
   const bool stdio = flags.get_bool("stdio");
   const bool quiet = flags.get_bool("quiet");
+  const bool metrics_dump = flags.get_bool("metrics-dump");
   const std::string drain_flag = flags.get_string("drain-mode", "finish");
 
   serve::ServerOptions options;
@@ -603,6 +647,9 @@ int cmd_serve(Flags& flags, std::ostream& out, std::ostream& err) {
         << stats.terminal_frames << "\n";
     rc = 1;
   }
+  // Final registry exposition (counters/gauges/histograms of every layer
+  // this process touched) — same text `op=metrics` serves live.
+  if (metrics_dump) out << obs::registry().render_prometheus();
   return rc;
 }
 
@@ -637,6 +684,7 @@ commands:
             [--random-trials N --random-seed S]   (adds the paper's baseline)
             [--deadline-ms MS]  (wall budget; on expiry prints the best
                                  incumbent with a degraded status)
+            [--trace out.json]  (Chrome trace-event spans; open in Perfetto)
             [--out file]
   eval      evaluate an explicit assignment
             --problem file (--system file | --spec topo) --clustering file
@@ -644,6 +692,7 @@ commands:
   batch     map a manifest of instances concurrently (MapService)
             --manifest file  [--lanes L (0 = auto)] [--jobs J (0 = auto)]
             [--timeout MS (per-job deadline default)] [--progress] [--csv]
+            [--trace out.json (per-job span trace; open in Perfetto)]
             [--out file]
             SIGINT cancels in-flight jobs, drains, and prints partial
             results with per-job statuses.
@@ -663,14 +712,15 @@ commands:
             [--max-inflight N (per-client running-job cap)]
             [--fifo (disable the priority scheduler; for A/B benching)]
             [--drain-mode finish|cancel] [--quiet]
+            [--metrics-dump (print the metrics registry exposition on exit)]
             protocol: newline-framed key=value frames (manifest grammar).
             requests:  [op=submit] problem=<file>|gen=<kind> gen-a/gen-b/
                        gen-seed spec=|system= [id=] [priority=] [size-hint=]
                        [deadline-ms=] + all batch manifest keys
-                       op=cancel id=... | op=stats | op=ping |
-                       op=drain [mode=finish|cancel]
-            responses: event=accepted|result|overloaded|error|stats|pong|
-                       draining|bye
+                       op=cancel id=... | op=stats | op=metrics |
+                       op=ping | op=drain [mode=finish|cancel]
+            responses: event=accepted|result|overloaded|error|stats|
+                       metrics|pong|draining|bye
             SIGTERM/SIGINT drains per --drain-mode (second signal cancels
             in-flight); every accepted job gets exactly one result frame.
   info      print statistics

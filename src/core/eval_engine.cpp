@@ -9,6 +9,7 @@
 #include <string_view>
 
 #include "graph/topological.hpp"
+#include "obs/trace.hpp"
 
 namespace mimdmap {
 
@@ -634,6 +635,7 @@ void EvalEngine::batch_total_times(std::span<const std::vector<NodeId>> hosts,
   const auto run_wave = [&](std::size_t w, SoaWorkspace& ws) {
     const std::size_t begin = w * wave;
     const std::size_t count = std::min(wave, hosts.size() - begin);
+    const obs::Span span("soa_wave", "eval", "width", static_cast<std::int64_t>(count));
     if (cancel.signalled()) {
       // Cancellation latency bound: a signal lands within one wave — waves
       // that have not started yet report the reject sentinel instead of

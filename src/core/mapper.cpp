@@ -1,5 +1,7 @@
 #include "core/mapper.hpp"
 
+#include "obs/trace.hpp"
+
 namespace mimdmap {
 
 std::int64_t MappingReport::percent_over_lower_bound() const {
@@ -15,15 +17,23 @@ MappingReport map_instance(const MappingInstance& instance, const MapperOptions&
 MappingReport map_instance(const EvalEngine& engine, const MapperOptions& options) {
   const MappingInstance& instance = engine.instance();
   MappingReport report;
-  report.ideal = compute_ideal_schedule(instance);
+  {
+    const obs::Span span("ideal_schedule", "mapper");
+    report.ideal = compute_ideal_schedule(instance);
+  }
   report.lower_bound = report.ideal.lower_bound;
-  report.critical = find_critical(instance, report.ideal, options.critical);
+  {
+    const obs::Span span("find_critical", "mapper");
+    report.critical = find_critical(instance, report.ideal, options.critical);
+  }
 
+  obs::Span initial_span("initial_assignment", "mapper");
   const InitialAssignmentResult initial = initial_assignment(instance, report.critical);
   report.initial_assignment = initial.assignment;
   report.pinned = initial.pinned;
   report.initial_total =
       engine.evaluate(initial.assignment, options.refine.eval).total_time;
+  initial_span.end();
 
   // Stage boundary: a signal that lands before refinement starts skips it
   // entirely and ships the initial assignment as the (degraded but valid)
@@ -39,6 +49,7 @@ MappingReport map_instance(const EvalEngine& engine, const MapperOptions& option
     return report;
   }
 
+  const obs::Span refine_span("refine", "mapper");
   const RefineResult refined = refine(engine, report.ideal, initial, options.refine);
   report.assignment = refined.assignment;
   report.schedule = refined.schedule;

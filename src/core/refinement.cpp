@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "workload/rng.hpp"
 
 namespace mimdmap {
@@ -120,6 +121,8 @@ RefineResult refine(const EvalEngine& engine, const IdealSchedule& ideal,
     // lower-bound-reaching candidate is never cut off and a cut-off lane's
     // bound can never equal the lower bound. Hence the whole scan is
     // bit-identical for any thread count and width.
+    const obs::Span chunk_span("refine_chunk", "mapper", "candidates",
+                               static_cast<std::int64_t>(m));
     engine.batch_total_times(std::span(chunk.data(), m), options.eval, threads, width,
                              std::span(totals.data(), m), best_total, options.cancel);
 

@@ -1,6 +1,8 @@
 #include "graph/topology_cache.hpp"
 
 #include "graph/shortest_paths.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 // Dependency-free chaos-testing crosscut (service/fault_injection.hpp):
 // the cache fill is a shared-state failure point MapService must isolate,
 // so the harness plants its allocation-failure hook here.
@@ -52,15 +54,23 @@ std::string topology_fingerprint(const SystemGraph& system, DistanceModel model)
 
 std::shared_ptr<const TopologyTables> TopologyCache::acquire(const SystemGraph& system,
                                                              DistanceModel model, bool* hit) {
+  static obs::Counter& hit_counter =
+      obs::registry().counter("mimdmap_topo_cache_hits_total");
+  static obs::Counter& miss_counter =
+      obs::registry().counter("mimdmap_topo_cache_misses_total");
+  const obs::Span span("topo_acquire", "cache", "nodes",
+                       static_cast<std::int64_t>(system.node_count()));
   const std::string key = topology_fingerprint(system, model);
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     ++hits_;
+    hit_counter.inc();
     if (hit != nullptr) *hit = true;
     return it->second;
   }
   ++misses_;
+  miss_counter.inc();
   if (hit != nullptr) *hit = false;
   // Built under the lock: concurrent first requests for one topology would
   // otherwise race to duplicate the most expensive part of the job, and

@@ -1,0 +1,208 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace mimdmap::obs {
+
+unsigned thread_shard() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned shard = next.fetch_add(1, std::memory_order_relaxed);
+  return shard;
+}
+
+void Histogram::record(std::int64_t value) noexcept {
+  const std::uint64_t v = value > 0 ? static_cast<std::uint64_t>(value) : 0;
+  Shard& shard = shards_[thread_shard() & (shards_.size() - 1)];
+  shard.buckets[static_cast<std::size_t>(bucket_of(v))].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t seen = shard.max.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !shard.max.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+int Histogram::bucket_of(std::uint64_t v) noexcept {
+  constexpr std::uint64_t kLinearLimit = std::uint64_t{1} << kSubBits;
+  if (v < kLinearLimit) return static_cast<int>(v);  // small values exact
+  const int msb = 63 - std::countl_zero(v);
+  const int sub = static_cast<int>((v >> (msb - kSubBits)) & (kLinearLimit - 1));
+  return ((msb - kSubBits + 1) << kSubBits) + sub;
+}
+
+double Histogram::bucket_mid(int bucket) noexcept {
+  constexpr int kSub = 1 << kSubBits;
+  if (bucket < kSub) return static_cast<double>(bucket);  // exact small values
+  const int msb = (bucket >> kSubBits) + kSubBits - 1;
+  const int sub = bucket & (kSub - 1);
+  const double lower = std::ldexp(static_cast<double>(kSub + sub), msb - kSubBits);
+  const double width = std::ldexp(1.0, msb - kSubBits);
+  return lower + width / 2.0;
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  std::array<std::uint64_t, kBuckets> merged{};
+  Snapshot snap;
+  for (const Shard& shard : shards_) {
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    snap.max = std::max(snap.max, shard.max.load(std::memory_order_relaxed));
+    for (int b = 0; b < kBuckets; ++b) {
+      merged[static_cast<std::size_t>(b)] +=
+          shard.buckets[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+    }
+  }
+  if (snap.count == 0) return snap;
+
+  const auto quantile = [&](double q) {
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(snap.count)));
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += merged[static_cast<std::size_t>(b)];
+      if (seen >= rank) return bucket_mid(b);
+    }
+    return static_cast<double>(snap.max);
+  };
+  snap.p50 = quantile(0.50);
+  snap.p95 = quantile(0.95);
+  snap.p99 = quantile(0.99);
+  return snap;
+}
+
+Registry& Registry::instance() {
+  static Registry* const registry = new Registry();  // immortal: references never dangle
+  return *registry;
+}
+
+namespace {
+
+std::string render_labels(const std::vector<Label>& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    out += labels[i].second;
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Inserts extra label pairs before the closing brace (or creates the
+/// braces) — used for the quantile series of histograms.
+std::string with_label(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return "{" + extra + "}";
+  return labels.substr(0, labels.size() - 1) + "," + extra + "}";
+}
+
+}  // namespace
+
+Registry::Entry& Registry::find_or_create(Kind kind, const std::string& name,
+                                          std::vector<Label>&& labels) {
+  std::string rendered = render_labels(labels);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Entry>& entry : entries_) {
+    if (entry->name == name && entry->labels == rendered) {
+      return *entry;  // kind mismatches return the existing instrument's entry
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = kind;
+  entry->name = name;
+  entry->labels = std::move(rendered);
+  switch (kind) {
+    case Kind::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& Registry::counter(const std::string& name, std::vector<Label> labels) {
+  Entry& entry = find_or_create(Kind::kCounter, name, std::move(labels));
+  return *entry.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, std::vector<Label> labels) {
+  Entry& entry = find_or_create(Kind::kGauge, name, std::move(labels));
+  return *entry.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<Label> labels) {
+  Entry& entry = find_or_create(Kind::kHistogram, name, std::move(labels));
+  return *entry.histogram;
+}
+
+std::string Registry::render_prometheus() const {
+  struct Line {
+    std::string series;
+    std::string value;
+  };
+  // Snapshot under the lock, render outside it (exposition is cold, but
+  // the instruments it reads stay hot).
+  std::vector<Line> lines;
+  std::vector<std::pair<std::string, const char*>> types;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::unique_ptr<Entry>& entry : entries_) {
+      const auto number = [](double v) {
+        std::ostringstream os;
+        os << v;
+        return os.str();
+      };
+      switch (entry->kind) {
+        case Kind::kCounter:
+          types.emplace_back(entry->name, "counter");
+          lines.push_back({entry->name + entry->labels,
+                           std::to_string(entry->counter->value())});
+          break;
+        case Kind::kGauge:
+          types.emplace_back(entry->name, "gauge");
+          lines.push_back({entry->name + entry->labels,
+                           std::to_string(entry->gauge->value())});
+          break;
+        case Kind::kHistogram: {
+          types.emplace_back(entry->name, "summary");
+          const Histogram::Snapshot snap = entry->histogram->snapshot();
+          lines.push_back({entry->name + "_count" + entry->labels,
+                           std::to_string(snap.count)});
+          lines.push_back({entry->name + "_sum" + entry->labels,
+                           std::to_string(snap.sum)});
+          lines.push_back({entry->name + "_max" + entry->labels,
+                           std::to_string(snap.max)});
+          lines.push_back({entry->name + with_label(entry->labels, "quantile=\"0.5\""),
+                           number(snap.p50)});
+          lines.push_back({entry->name + with_label(entry->labels, "quantile=\"0.95\""),
+                           number(snap.p95)});
+          lines.push_back({entry->name + with_label(entry->labels, "quantile=\"0.99\""),
+                           number(snap.p99)});
+          break;
+        }
+      }
+    }
+  }
+  std::sort(lines.begin(), lines.end(),
+            [](const Line& a, const Line& b) { return a.series < b.series; });
+  std::sort(types.begin(), types.end());
+  types.erase(std::unique(types.begin(), types.end()), types.end());
+
+  std::ostringstream os;
+  for (const auto& [name, type] : types) os << "# TYPE " << name << " " << type << "\n";
+  for (const Line& line : lines) os << line.series << " " << line.value << "\n";
+  return os.str();
+}
+
+}  // namespace mimdmap::obs

@@ -1,0 +1,192 @@
+// Process-wide metrics registry: the ONE place every layer reports to.
+//
+// PRs 3-7 grew a serving stack whose observability was fragmented one-off
+// structs — DeltaStats on reports, ServiceStats behind `op=stats`, ad-hoc
+// `scheduler:` summary lines. This module unifies them behind a single
+// lock-light registry of named instruments that any subsystem can bump on
+// its hot path and any consumer (the `op=metrics` wire frame, `serve
+// --metrics-dump`, the batch progress line, tests) can read as one
+// consistent exposition:
+//
+//  * Counter — monotonic, sharded across cache-line-padded per-thread
+//    cells: add() is one relaxed fetch_add on the caller's shard, so
+//    concurrent writers never contend on a line; value() sums the shards
+//    (reads are rare, writes are hot);
+//  * Gauge — instantaneous int64, set/add (low-rate: queue depths,
+//    in-flight jobs, pool width);
+//  * Histogram — log-bucketed (4 sub-buckets per octave, <= 12.5%
+//    relative error) with the same per-shard cells, exact count/sum/max,
+//    and p50/p95/p99 extraction from the merged buckets;
+//  * Registry — name -> instrument, created on first use and immortal
+//    (callers cache references in function-local statics, so steady-state
+//    lookups cost nothing and registration takes the mutex exactly once);
+//  * render_prometheus() — text exposition in `name{label="v"} value`
+//    lines (counters/gauges one line each; histograms expose _count,
+//    _sum, _max and quantile series), the payload behind `op=metrics`.
+//
+// Determinism contract: instruments are write-only from the algorithms'
+// point of view — nothing in the library reads a metric to make a
+// decision, so accept streams and mapping results are bit-identical with
+// or without observers. Overhead budget: a counter bump is one relaxed
+// atomic add; a histogram record is two adds and a CAS-max; neither
+// appears inside per-candidate kernel loops (instrumentation sits at
+// chunk/wave/job granularity — see DESIGN.md section 17).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mimdmap::obs {
+
+/// Small dense shard index of the calling thread (stable for the thread's
+/// lifetime, assigned on first use). Counters and histograms hash it into
+/// their cell arrays so concurrent writers land on distinct cache lines.
+[[nodiscard]] unsigned thread_shard() noexcept;
+
+/// Shards per instrument. Power of two; more than typical core counts is
+/// wasted padding, fewer serializes writers — 16 covers the pools this
+/// code fields while keeping each counter at one page worth of cells.
+inline constexpr unsigned kShards = 16;
+
+/// Monotonic counter. add() never contends across threads (per-shard
+/// relaxed atomics); value() is a 16-load sum.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[thread_shard() & (kShards - 1)].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Cell& cell : cells_) total += cell.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kShards> cells_;
+};
+
+/// Instantaneous value (queue depth, active jobs, pool width). Single
+/// atomic — gauges are updated at scheduling granularity, not in kernels.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept { value_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Log-bucketed latency/size histogram. record() is wait-free (two relaxed
+/// adds on the caller's shard plus a relaxed CAS-max); quantiles come from
+/// the merged bucket array with <= 12.5% relative error (4 sub-buckets per
+/// octave), count/sum/max are exact.
+class Histogram {
+ public:
+  /// Sub-octave resolution: each power-of-two range splits into
+  /// 2^kSubBits linear buckets.
+  static constexpr int kSubBits = 2;
+  static constexpr int kBuckets = (64 - kSubBits) * (1 << kSubBits) + (1 << kSubBits);
+
+  void record(std::int64_t value) noexcept;
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  /// Merges the shards and extracts the summary quantiles.
+  [[nodiscard]] Snapshot snapshot() const noexcept;
+
+  /// Bucket index of a value (clamped at 0). Exposed for tests.
+  [[nodiscard]] static int bucket_of(std::uint64_t v) noexcept;
+  /// Representative value (bucket midpoint) of a bucket index.
+  [[nodiscard]] static double bucket_mid(int bucket) noexcept;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint32_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+  };
+  std::array<Shard, 8> shards_;  // histograms are bigger than counters; fewer shards
+};
+
+/// One label pair baked into a series name at registration time
+/// (`name{op="submit"}`). Labels identify distinct instruments — there is
+/// no dynamic-label lookup on the hot path.
+using Label = std::pair<std::string, std::string>;
+
+/// The process-wide instrument registry. Instruments are created on first
+/// request for a (name, labels) series and live forever; references stay
+/// valid for the process lifetime, so callers cache them in function-local
+/// statics and pay the mutex only once per call site.
+class Registry {
+ public:
+  static Registry& instance();
+
+  [[nodiscard]] Counter& counter(const std::string& name, std::vector<Label> labels = {});
+  [[nodiscard]] Gauge& gauge(const std::string& name, std::vector<Label> labels = {});
+  [[nodiscard]] Histogram& histogram(const std::string& name, std::vector<Label> labels = {});
+
+  /// Text exposition: `# TYPE` headers plus one `series value` line per
+  /// counter/gauge and _count/_sum/_max/quantile lines per histogram,
+  /// sorted by series name (stable output for tests and diffing).
+  [[nodiscard]] std::string render_prometheus() const;
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  Registry() = default;
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind = Kind::kCounter;
+    std::string name;    // base name, no labels
+    std::string labels;  // rendered `{k="v",...}` or empty
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(Kind kind, const std::string& name, std::vector<Label>&& labels);
+
+  mutable std::mutex mutex_;
+  /// Registration order; render_prometheus() sorts by series at dump
+  /// time (dumps are cold, registration is once per call site).
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+/// Shorthand for the singleton.
+[[nodiscard]] inline Registry& registry() { return Registry::instance(); }
+
+}  // namespace mimdmap::obs

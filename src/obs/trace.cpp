@@ -1,0 +1,182 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+
+namespace mimdmap::obs {
+
+std::atomic<bool> g_trace_enabled{false};
+
+namespace {
+
+std::int64_t steady_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer* const tracer = new Tracer();  // immortal: rings never dangle
+  return *tracer;
+}
+
+Tracer::Tracer() {
+  epoch_ns_ = steady_now_ns();
+  // Opt-in from the environment so CI and ad-hoc runs can trace any
+  // command without a flag.
+  const char* env = std::getenv("MIMDMAP_TRACE");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+    g_trace_enabled.store(true, std::memory_order_relaxed);
+  }
+}
+
+std::int64_t Tracer::now_ns() noexcept {
+  return steady_now_ns() - instance().epoch_ns_;
+}
+
+void Tracer::enable(std::size_t events_per_thread) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = events_per_thread > 0 ? events_per_thread : 1;
+    for (const std::shared_ptr<Ring>& ring : rings_) {
+      ring->slots.assign(capacity_, TraceEvent{});
+      ring->head.store(0, std::memory_order_relaxed);
+    }
+    epoch_ns_ = steady_now_ns();
+  }
+  g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { g_trace_enabled.store(false, std::memory_order_relaxed); }
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::shared_ptr<Ring>& ring : rings_) {
+    ring->slots.assign(ring->slots.size(), TraceEvent{});
+    ring->head.store(0, std::memory_order_relaxed);
+  }
+}
+
+Tracer::Ring* Tracer::ring_for_this_thread() {
+  // The shared_ptr keeps the ring alive in rings_ past thread exit; the
+  // thread_local caches the raw pointer so steady-state recording takes
+  // no lock. One cache per (thread, tracer) pair — the tracer is a
+  // process singleton so a plain pointer cache is safe.
+  thread_local Ring* cached = nullptr;
+  if (cached != nullptr) return cached;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto ring = std::make_shared<Ring>();
+  ring->slots.assign(capacity_, TraceEvent{});
+  ring->tid = static_cast<int>(rings_.size());
+  rings_.push_back(ring);
+  cached = ring.get();
+  return cached;
+}
+
+void Tracer::record(const TraceEvent& ev) {
+  if (!g_trace_enabled.load(std::memory_order_relaxed)) return;
+  Ring* ring = ring_for_this_thread();
+  const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  ring->slots[head % ring->slots.size()] = ev;
+  ring->head.store(head + 1, std::memory_order_relaxed);
+}
+
+std::size_t Tracer::event_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const std::shared_ptr<Ring>& ring : rings_) {
+    total += static_cast<std::size_t>(std::min<std::uint64_t>(
+        ring->head.load(std::memory_order_relaxed), ring->slots.size()));
+  }
+  return total;
+}
+
+std::uint64_t Tracer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const std::shared_ptr<Ring>& ring : rings_) {
+    const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+    if (head > ring->slots.size()) total += head - ring->slots.size();
+  }
+  return total;
+}
+
+namespace {
+
+void append_json_string(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';  // span names are literals; control bytes never expected
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Tracer::export_chrome_json(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::shared_ptr<Ring>& ring : rings_) {
+    const std::uint64_t size = ring->slots.size();
+    const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+    const std::uint64_t held = std::min<std::uint64_t>(head, size);
+    const std::uint64_t start = head - held;
+    for (std::uint64_t i = start; i < head; ++i) {
+      const TraceEvent& ev = ring->slots[i % size];
+      if (ev.name == nullptr) continue;
+      if (!first) os << ",";
+      first = false;
+      // Chrome trace "X" = complete event; ts/dur in microseconds
+      // (fractional accepted by Perfetto, keeps ns precision).
+      os << "{\"name\":";
+      append_json_string(os, ev.name);
+      os << ",\"cat\":";
+      append_json_string(os, ev.cat != nullptr ? ev.cat : "default");
+      os << ",\"ph\":\"X\",\"pid\":1,\"tid\":" << ring->tid;
+      os << ",\"ts\":" << static_cast<double>(ev.start_ns) / 1000.0;
+      const std::int64_t dur = ev.end_ns > ev.start_ns ? ev.end_ns - ev.start_ns : 0;
+      os << ",\"dur\":" << static_cast<double>(dur) / 1000.0;
+      if (ev.arg_name != nullptr) {
+        os << ",\"args\":{";
+        append_json_string(os, ev.arg_name);
+        os << ":" << ev.arg << "}";
+      }
+      os << "}";
+    }
+  }
+  os << "]}";
+}
+
+std::string Tracer::export_chrome_json() const {
+  std::ostringstream os;
+  export_chrome_json(os);
+  return os.str();
+}
+
+void Span::begin(const char* name, const char* cat) noexcept {
+  ev_.name = name;
+  ev_.cat = cat;
+  ev_.start_ns = Tracer::now_ns();
+  live_ = true;
+}
+
+void Span::end() noexcept {
+  if (!live_) return;
+  live_ = false;
+  ev_.end_ns = Tracer::now_ns();
+  Tracer::instance().record(ev_);
+}
+
+}  // namespace mimdmap::obs

@@ -1,0 +1,157 @@
+// Per-job span tracing: bounded per-thread rings + Chrome trace export.
+//
+// Every interesting stage of a job's life — admission, queue wait, build,
+// topology-cache lookup, mapper stages, refinement chunks, SoA waves,
+// pool lane activity — is wrapped in a Span. Spans record into a bounded
+// per-thread ring buffer (drop-oldest, so a long-running daemon never
+// grows without bound) and export as Chrome trace-event JSON that loads
+// directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Cost contract: when tracing is disabled (the default), constructing a
+// Span is ONE relaxed atomic load and a branch — no clock read, no TLS
+// ring lookup, nothing. Enabled, a span is two steady_clock reads plus a
+// ring slot write. Nothing in the library reads trace state to make a
+// decision, so accept streams and mapping results stay bit-identical
+// traced or not.
+//
+// Span names and categories are `const char*` by design: callers pass
+// string literals (static storage), the ring stores the pointers, and
+// export dereferences them. Dynamic context goes in the single numeric
+// arg (job id, chunk index, wave width).
+//
+// Lifecycle: Tracer::instance().enable() before the work, export_chrome_json()
+// after it quiesces (rings are owned by the tracer, so threads may have
+// exited by then; concurrent recording during export yields torn-but-
+// structurally-valid output). Setting MIMDMAP_TRACE=1 in the environment
+// enables tracing at startup — used by CI to measure the enabled path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mimdmap::obs {
+
+/// The single global gate. Extern so the disabled check inlines to one
+/// relaxed load at every span site.
+extern std::atomic<bool> g_trace_enabled;
+
+/// One completed span. Name/category must point at static storage.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  const char* arg_name = nullptr;  ///< optional numeric arg key (static storage)
+  std::int64_t arg = 0;
+};
+
+/// Process-wide trace collector. Threads record into their own bounded
+/// ring (registered on first use, owned here so export survives thread
+/// exit); export merges all rings into one Chrome trace-event JSON.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Start collecting. Clears prior events. `events_per_thread` bounds
+  /// each ring; when full, the oldest events are overwritten.
+  void enable(std::size_t events_per_thread = 16384);
+  void disable();
+  /// Drop all recorded events (rings stay registered).
+  void clear();
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return g_trace_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Monotonic timestamp in ns since the tracer's epoch (enable() time).
+  [[nodiscard]] static std::int64_t now_ns() noexcept;
+
+  /// Append a completed event to the calling thread's ring. No-op when
+  /// disabled. Used directly for cross-thread spans (queue wait starts on
+  /// the admitting thread, ends on the runner).
+  void record(const TraceEvent& ev);
+
+  /// Events currently held across all rings (post-drop).
+  [[nodiscard]] std::size_t event_count() const;
+  /// Total events overwritten by ring wrap since enable().
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Chrome trace-event JSON (`{"traceEvents":[...]}`), one complete
+  /// "X" (duration) event per span, tid = recording thread's index.
+  void export_chrome_json(std::ostream& os) const;
+  [[nodiscard]] std::string export_chrome_json() const;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+ private:
+  Tracer();
+
+  struct Ring {
+    std::vector<TraceEvent> slots;
+    /// Monotonic write index; slot = head % slots.size(). head > size
+    /// means the oldest (head - size) events were overwritten. Atomic so
+    /// the counters (event_count/dropped) read a sane value concurrently
+    /// with recording; slot payloads are only read after quiescence (the
+    /// export contract in the header comment).
+    std::atomic<std::uint64_t> head{0};
+    int tid = 0;
+  };
+
+  Ring* ring_for_this_thread();
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Ring>> rings_;
+  std::size_t capacity_ = 16384;
+  std::int64_t epoch_ns_ = 0;
+};
+
+/// RAII span: construct at stage entry, destruct (or end()) at exit.
+/// Disabled cost: one relaxed load + branch in the ctor, same in the dtor.
+class Span {
+ public:
+  /// `name`/`cat` must be string literals (or otherwise static).
+  explicit Span(const char* name, const char* cat = "job") noexcept {
+    if (g_trace_enabled.load(std::memory_order_relaxed)) begin(name, cat);
+  }
+  Span(const char* name, const char* cat, const char* arg_name,
+       std::int64_t arg) noexcept {
+    if (g_trace_enabled.load(std::memory_order_relaxed)) {
+      begin(name, cat);
+      ev_.arg_name = arg_name;
+      ev_.arg = arg;
+    }
+  }
+  ~Span() { end(); }
+
+  /// Attach the numeric arg after construction (e.g. once a result size
+  /// is known). No-op if the span is not live.
+  void set_arg(const char* arg_name, std::int64_t arg) noexcept {
+    if (live_) {
+      ev_.arg_name = arg_name;
+      ev_.arg = arg;
+    }
+  }
+
+  /// Close the span early (idempotent).
+  void end() noexcept;
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(const char* name, const char* cat) noexcept;
+
+  TraceEvent ev_;
+  bool live_ = false;
+};
+
+/// Shorthand for the singleton.
+[[nodiscard]] inline Tracer& tracer() { return Tracer::instance(); }
+
+}  // namespace mimdmap::obs

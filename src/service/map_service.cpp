@@ -7,9 +7,53 @@
 #include <utility>
 
 #include "core/eval_engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/fault_injection.hpp"
 
 namespace mimdmap {
+
+namespace {
+
+/// Registry instruments for the scheduler, resolved once. Gauges use
+/// add() so concurrent services (tests spin up several) stay additive.
+struct ServiceMetrics {
+  obs::Counter& submitted =
+      obs::registry().counter("mimdmap_service_jobs_submitted_total");
+  obs::Counter& completed =
+      obs::registry().counter("mimdmap_service_jobs_completed_total");
+  obs::Counter& shed = obs::registry().counter("mimdmap_service_jobs_shed_total");
+  obs::Counter& cancelled_queued =
+      obs::registry().counter("mimdmap_service_jobs_cancelled_queued_total");
+  obs::Gauge& queue_depth = obs::registry().gauge("mimdmap_service_queue_depth");
+  obs::Gauge& active = obs::registry().gauge("mimdmap_service_active_jobs");
+  obs::Histogram& queue_wait =
+      obs::registry().histogram("mimdmap_service_queue_wait_us");
+  obs::Histogram& wall = obs::registry().histogram("mimdmap_service_job_wall_us");
+};
+
+ServiceMetrics& service_metrics() {
+  static ServiceMetrics metrics;
+  return metrics;
+}
+
+/// Fold the per-search delta-engine counters of a delivered report into
+/// process-wide totals (the per-report DeltaStats stays on the report).
+void fold_delta_stats(const MappingReport& report) {
+  static obs::Counter& trials =
+      obs::registry().counter("mimdmap_delta_trials_total");
+  static obs::Counter& commits =
+      obs::registry().counter("mimdmap_delta_commits_total");
+  static obs::Counter& fallbacks =
+      obs::registry().counter("mimdmap_delta_full_fallbacks_total");
+  if (report.delta.trials > 0) trials.add(static_cast<std::uint64_t>(report.delta.trials));
+  if (report.delta.commits > 0) commits.add(static_cast<std::uint64_t>(report.delta.commits));
+  if (report.delta.full_fallbacks > 0) {
+    fallbacks.add(static_cast<std::uint64_t>(report.delta.full_fallbacks));
+  }
+}
+
+}  // namespace
 
 MapJobResult run_map_job(const MapJob& job, const std::shared_ptr<ThreadPool>& pool,
                          int lanes, TopologyCache* topo_cache) {
@@ -55,16 +99,23 @@ MapJobResult run_map_job(const MapJob& job, const std::shared_ptr<ThreadPool>& p
 
   fault_sleep_runner();
 
+  obs::Span job_span("job", "job");
+
   // Deferred jobs materialize here and release at function exit — before
   // the result reaches the caller — so the alive-instance footprint of a
   // batch is one per busy runner.
   std::optional<MappingInstance> owned;
   const MappingInstance* instance = job.instance;
   if (instance == nullptr) {
+    const obs::Span build_span("build", "job");
+    const auto b0 = clock::now();
     fault_point_build();
     owned.emplace(job.build());
     instance = &*owned;
+    result.stages.build_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - b0).count();
   }
+  job_span.set_arg("np", static_cast<std::int64_t>(instance->num_tasks()));
 
   // Topology-table sharing: instances already carrying shared tables (a
   // cache-aware submitter, e.g. the CLI batch manifest) are adopted by the
@@ -77,7 +128,10 @@ MapJobResult run_map_job(const MapJob& job, const std::shared_ptr<ThreadPool>& p
   bool cache_hit = false;
   std::shared_ptr<const TopologyTables> tables = instance->shared_tables();
   if (topo_cache != nullptr && tables == nullptr) {
+    const auto c0 = clock::now();
     tables = topo_cache->acquire(instance->system(), instance->distance_model(), &cache_hit);
+    result.stages.topo_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - c0).count();
   }
 
   const EvalEngine engine(*instance, pool);
@@ -87,7 +141,14 @@ MapJobResult run_map_job(const MapJob& job, const std::shared_ptr<ThreadPool>& p
   result.np = instance->num_tasks();
   result.ns = instance->num_processors();
   fault_point_mapper();
-  result.report = map_instance(engine, options);
+  {
+    const obs::Span map_span("mapper", "job");
+    const auto m0 = clock::now();
+    result.report = map_instance(engine, options);
+    result.stages.map_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - m0).count();
+  }
+  fold_delta_stats(result.report);
   result.status = result.report.status;
   // Resolved width, not the request: with lanes == 0 the job's own setting
   // ran, which may itself have been 0 ("auto"); the resolution is cached
@@ -101,8 +162,12 @@ MapJobResult run_map_job(const MapJob& job, const std::shared_ptr<ThreadPool>& p
     // of building a second engine per job like the legacy serial loop did.
     // Skipped when the job is already out of budget — the mapped result is
     // the part worth shipping degraded; an unpaired baseline is not.
+    const obs::Span random_span("random_baseline", "job", "trials", job.random_trials);
+    const auto r0 = clock::now();
     result.random =
         evaluate_random_mappings(engine, job.random_trials, job.random_seed, options.refine.eval);
+    result.stages.random_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - r0).count();
   }
   result.wall_ms = std::chrono::duration<double, std::milli>(clock::now() - t0).count();
   return result;
@@ -159,6 +224,7 @@ MapService::QueuedJob MapService::extract_locked(std::map<SchedKey, QueuedJob>::
   queued_size_sum_ -= std::min(queued_size_sum_, queued.job.size_hint);
   rank_floor_ = std::max(rank_floor_, it->first.fair_rank);
   queue_.erase(it);
+  service_metrics().queue_depth.add(-1);
   const auto cit = clients_.find(queued.job.client_id);
   if (cit != clients_.end() && cit->second.queued > 0) --cit->second.queued;
   return queued;
@@ -196,6 +262,20 @@ void MapService::runner_main() {
     ++agg.started;
     agg.total_wait_ms += wait_ms;
     agg.max_wait_ms = std::max(agg.max_wait_ms, wait_ms);
+    service_metrics().active.add(1);
+    service_metrics().queue_wait.record(static_cast<std::int64_t>(wait_ms * 1000.0));
+    if (obs::tracer().enabled()) {
+      // The wait spans admission (another thread) to this pop; recorded
+      // here as an explicit-time event ending now.
+      obs::TraceEvent ev;
+      ev.name = "queue_wait";
+      ev.cat = "service";
+      ev.end_ns = obs::Tracer::now_ns();
+      ev.start_ns = ev.end_ns - static_cast<std::int64_t>(wait_ms * 1e6);
+      ev.arg_name = "priority";
+      ev.arg = queued.job.priority;
+      obs::tracer().record(ev);
+    }
     // Sharding policy: split the lane budget across everything running or
     // about to run. Small jobs flood the runners and each maps with one
     // lane; a job starting into an empty service (a lone submission, or
@@ -231,6 +311,7 @@ void MapService::runner_main() {
       result.error = "unknown exception";
     }
     result.queue_ms = wait_ms;
+    service_metrics().wall.record(static_cast<std::int64_t>(result.wall_ms * 1000.0));
     if (queued.on_done) {
       // A throwing progress callback must not cost the job its result
       // delivery (the batch would deadlock waiting on the future).
@@ -240,6 +321,9 @@ void MapService::runner_main() {
       }
     }
     queued.promise.set_value(std::move(result));
+
+    service_metrics().active.add(-1);
+    service_metrics().completed.inc();
 
     lock.lock();
     --active_;
@@ -268,9 +352,11 @@ std::future<MapJobResult> MapService::enqueue_locked(
     }
     return false;
   };
+  const obs::Span admission_span("admission", "service");
   if (over_limit()) {
     if (admission_ == AdmissionPolicy::kReject) {
       ++stat_shed_;
+      service_metrics().shed.inc();
       throw AdmissionRejectedError(std::string(caller) + ": admission queue is full (" +
                                    std::to_string(queue_.size()) + " jobs, " +
                                    std::to_string(queued_size_sum_) + " queued tasks)");
@@ -350,6 +436,8 @@ std::future<MapJobResult> MapService::enqueue_locked(
   if (id_out != nullptr) *id_out = queued.id;
   queued_size_sum_ += queued.job.size_hint;
   ++stat_submitted_;
+  service_metrics().submitted.inc();
+  service_metrics().queue_depth.add(1);
   const JobId id = queued.id;
   queue_index_.emplace(id, key);
   auto [it, inserted] = queue_.emplace(std::move(key), std::move(queued));
@@ -416,6 +504,7 @@ bool MapService::cancel(JobId id) {
         drained.push_back(extract_locked(qit));
         sources_.erase(id);
         ++stat_cancelled_queued_;
+        service_metrics().cancelled_queued.inc();
       }
     }
   }
@@ -434,6 +523,7 @@ std::size_t MapService::cancel_all() {
       QueuedJob queued = extract_locked(queue_.begin());
       sources_.erase(queued.id);
       ++stat_cancelled_queued_;
+      service_metrics().cancelled_queued.inc();
       drained.push_back(std::move(queued));
     }
   }

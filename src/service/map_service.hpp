@@ -144,6 +144,16 @@ struct MapJobResult {
   /// Milliseconds the job waited between admission and execution start
   /// (0 for direct run_map_job callers — there is no queue).
   double queue_ms = 0.0;
+  /// Per-stage wall breakdown of run_map_job, always filled (a handful of
+  /// clock reads per job). Stages not taken (no deferred build, no random
+  /// trials) stay 0; wall_ms - sum(stages) is orchestration overhead.
+  struct StageTimings {
+    double build_ms = 0.0;   ///< deferred-instance materialization
+    double topo_ms = 0.0;    ///< topology-table acquire (cache hit or build)
+    double map_ms = 0.0;     ///< map_instance: schedule + assign + refine
+    double random_ms = 0.0;  ///< random-baseline replay
+  };
+  StageTimings stages;
 
   [[nodiscard]] bool ok() const noexcept { return status == MapStatus::kOk; }
 };

@@ -19,12 +19,66 @@
 #include "cluster/strategies.hpp"
 #include "core/eval_engine.hpp"
 #include "graph/graph_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "topology/factory.hpp"
 #include "workload/random_dag.hpp"
 #include "workload/structured.hpp"
 
 namespace mimdmap::serve {
 namespace {
+
+/// Registry instruments for the wire layer, resolved once. The per-op
+/// latency histograms measure handle_request dispatch (parse excluded),
+/// i.e. the server-side cost of answering each op.
+struct ServerMetrics {
+  obs::Counter& frames = obs::registry().counter("mimdmap_server_frames_read_total");
+  obs::Counter& parse_errors =
+      obs::registry().counter("mimdmap_server_parse_errors_total");
+  obs::Counter& accepted = obs::registry().counter("mimdmap_server_accepted_total");
+  obs::Counter& terminals =
+      obs::registry().counter("mimdmap_server_terminal_frames_total");
+  obs::Counter& shed = obs::registry().counter("mimdmap_server_shed_total");
+  obs::Counter& disconnect_cancels =
+      obs::registry().counter("mimdmap_server_disconnect_cancels_total");
+  obs::Counter& connections =
+      obs::registry().counter("mimdmap_server_connections_total");
+  obs::Histogram& op_submit =
+      obs::registry().histogram("mimdmap_wire_request_us", {{"op", "submit"}});
+  obs::Histogram& op_cancel =
+      obs::registry().histogram("mimdmap_wire_request_us", {{"op", "cancel"}});
+  obs::Histogram& op_stats =
+      obs::registry().histogram("mimdmap_wire_request_us", {{"op", "stats"}});
+  obs::Histogram& op_metrics =
+      obs::registry().histogram("mimdmap_wire_request_us", {{"op", "metrics"}});
+  obs::Histogram& op_ping =
+      obs::registry().histogram("mimdmap_wire_request_us", {{"op", "ping"}});
+  obs::Histogram& op_drain =
+      obs::registry().histogram("mimdmap_wire_request_us", {{"op", "drain"}});
+
+  obs::Histogram& for_op(RequestOp op) noexcept {
+    switch (op) {
+      case RequestOp::kSubmit:
+        return op_submit;
+      case RequestOp::kCancel:
+        return op_cancel;
+      case RequestOp::kStats:
+        return op_stats;
+      case RequestOp::kMetrics:
+        return op_metrics;
+      case RequestOp::kPing:
+        return op_ping;
+      case RequestOp::kDrain:
+        return op_drain;
+    }
+    return op_ping;
+  }
+};
+
+ServerMetrics& server_metrics() {
+  static ServerMetrics metrics;
+  return metrics;
+}
 
 std::string slurp(const std::string& path) {
   std::ifstream file(path);
@@ -251,6 +305,7 @@ void MapServer::accept_main() {
       conn->client_id = next_client_id_++;
       connections_.push_back(conn);
       ++stats_.connections_opened;
+      server_metrics().connections.inc();
       threads_.emplace_back([this, conn] { connection_main(conn); });
     }
     log_line("client " + std::to_string(conn->client_id) + " connected");
@@ -266,6 +321,7 @@ void MapServer::serve_fd(int read_fd, int write_fd) {
     conn->client_id = next_client_id_++;
     connections_.push_back(conn);
     ++stats_.connections_opened;
+    server_metrics().connections.inc();
   }
   log_line("client " + std::to_string(conn->client_id) + " connected (fd pair)");
   connection_main(conn);
@@ -361,6 +417,7 @@ void MapServer::handle_line(const std::shared_ptr<Connection>& conn,
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.frames_read;
   }
+  server_metrics().frames.inc();
   if (!line.ok()) {
     const char* reason = line.overflow  ? "line exceeds the frame byte cap"
                          : line.reject ? "frame contains NUL bytes"
@@ -369,6 +426,7 @@ void MapServer::handle_line(const std::shared_ptr<Connection>& conn,
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.parse_errors;
     }
+    server_metrics().parse_errors.inc();
     conn->write_frame(error_frame("", reason));
     return;
   }
@@ -388,6 +446,7 @@ void MapServer::handle_request(const std::shared_ptr<Connection>& conn,
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.parse_errors;
     }
+    server_metrics().parse_errors.inc();
     // Best effort: echo the id when one survives tokenization, so the
     // client can match the reject to its request.
     std::string id;
@@ -401,9 +460,19 @@ void MapServer::handle_request(const std::shared_ptr<Connection>& conn,
     return;
   }
 
+  // Per-op wire latency: dispatch cost of a validated request (submit
+  // measures admission + accepted-frame, not job execution).
+  const auto op_t0 = std::chrono::steady_clock::now();
+  const auto record_op = [&] {
+    server_metrics().for_op(request.op).record(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - op_t0)
+            .count());
+  };
   switch (request.op) {
     case RequestOp::kSubmit:
       submit_request(conn, std::move(request));
+      record_op();
       return;
     case RequestOp::kCancel: {
       MapService::JobId job_id = 0;
@@ -430,17 +499,25 @@ void MapServer::handle_request(const std::shared_ptr<Connection>& conn,
       } else {
         conn->write_frame(error_frame(request.id, "unknown or already finished job id"));
       }
+      record_op();
       return;
     }
     case RequestOp::kStats:
       conn->write_frame(build_stats_frame());
+      record_op();
+      return;
+    case RequestOp::kMetrics:
+      conn->write_frame(metrics_frame(obs::registry().render_prometheus()));
+      record_op();
       return;
     case RequestOp::kPing:
       conn->write_frame(pong_frame());
+      record_op();
       return;
     case RequestOp::kDrain:
       conn->write_frame(draining_frame());
       request_drain(request.drain_finish ? DrainMode::kFinish : DrainMode::kCancel);
+      record_op();
       return;
   }
 }
@@ -462,6 +539,7 @@ void MapServer::submit_request(const std::shared_ptr<Connection>& conn,
       std::lock_guard<std::mutex> slock(mutex_);
       ++stats_.parse_errors;
     }
+    server_metrics().parse_errors.inc();
     conn->write_frame_locked(error_frame(tag, "duplicate job id"));
     return;
   }
@@ -478,6 +556,7 @@ void MapServer::submit_request(const std::shared_ptr<Connection>& conn,
       std::lock_guard<std::mutex> slock(mutex_);
       ++stats_.shed;
     }
+    server_metrics().shed.inc();
     conn->write_frame_locked(overloaded_frame(tag, -1));
     drain_cv_.notify_all();
     return;
@@ -498,6 +577,7 @@ void MapServer::submit_request(const std::shared_ptr<Connection>& conn,
       std::lock_guard<std::mutex> slock(mutex_);
       ++stats_.shed;
     }
+    server_metrics().shed.inc();
     conn->write_frame_locked(overloaded_frame(tag, retry_hint_ms()));
     return;
   } catch (const std::exception& e) {
@@ -509,6 +589,7 @@ void MapServer::submit_request(const std::shared_ptr<Connection>& conn,
       std::lock_guard<std::mutex> slock(mutex_);
       ++stats_.parse_errors;
     }
+    server_metrics().parse_errors.inc();
     conn->write_frame_locked(error_frame(tag, e.what()));
     return;
   }
@@ -519,6 +600,7 @@ void MapServer::submit_request(const std::shared_ptr<Connection>& conn,
     std::lock_guard<std::mutex> slock(mutex_);
     ++stats_.accepted;
   }
+  server_metrics().accepted.inc();
   conn->write_frame_locked(accepted_frame(tag, job_id, service_->stats().queue_depth));
 }
 
@@ -546,6 +628,7 @@ void MapServer::deliver_result(const std::shared_ptr<Connection>& conn,
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.terminal_frames;
   }
+  server_metrics().terminals.inc();
   outstanding_.fetch_sub(1);
   drain_cv_.notify_all();
 }
@@ -571,8 +654,11 @@ void MapServer::abandon_connection(const std::shared_ptr<Connection>& conn) {
     }
   }
   if (cancelled > 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stats_.disconnect_cancels += cancelled;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.disconnect_cancels += cancelled;
+    }
+    server_metrics().disconnect_cancels.add(cancelled);
   }
   service_->forget_client(conn->client_id);
 }
@@ -691,6 +777,9 @@ std::string MapServer::build_stats_frame() const {
   add("service-completed", s.completed);
   add("service-shed", s.shed);
   add("cancelled-queued", s.cancelled_queued);
+  add("topo-hits", service_->topology_cache().hits());
+  add("topo-misses", service_->topology_cache().misses());
+  add("pool-lanes", service_->pool()->lane_limit());
   for (const ServiceStats::PriorityLane& lane : s.priorities) {
     const std::string prefix = "prio" + std::to_string(lane.priority);
     fields.emplace_back(prefix + "-started", std::to_string(lane.started));

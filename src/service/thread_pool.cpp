@@ -4,9 +4,28 @@
 #include <chrono>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mimdmap {
 
 namespace {
+
+/// Registry instruments, resolved once (references are immortal).
+struct PoolMetrics {
+  obs::Counter& chunks = obs::registry().counter("mimdmap_pool_chunks_total");
+  obs::Counter& sequential =
+      obs::registry().counter("mimdmap_pool_chunks_sequential_total");
+  obs::Counter& joins = obs::registry().counter("mimdmap_pool_worker_joins_total");
+  obs::Counter& stolen = obs::registry().counter("mimdmap_pool_indices_stolen_total");
+  obs::Counter& poisoned = obs::registry().counter("mimdmap_pool_chunks_poisoned_total");
+  obs::Gauge& threads = obs::registry().gauge("mimdmap_pool_threads");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics metrics;
+  return metrics;
+}
 
 int auto_worker_count() noexcept {
   const unsigned hc = std::thread::hardware_concurrency();
@@ -32,7 +51,12 @@ std::shared_ptr<ThreadPool> ThreadPool::shared() {
 }
 
 ThreadPool::ThreadPool(int workers)
-    : max_workers_(workers < 0 ? auto_worker_count() : workers) {}
+    : max_workers_(workers < 0 ? auto_worker_count() : workers) {
+  // Register the pool series eagerly so `op=metrics` exposes them (as
+  // zeros) even before the first chunk runs — a dump that omits a series
+  // is indistinguishable from a dump that never knew it.
+  (void)pool_metrics();
+}
 
 ThreadPool::~ThreadPool() {
   {
@@ -44,12 +68,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::drain(Chunk& chunk, int lane) {
+  const obs::Span span("pool_drain", "pool", "lane", lane);
+  std::uint64_t pulled = 0;  // folded into the steal counter once, on exit
   while (true) {
     // Poisoned chunks stop handing out work; whoever set the flag owns the
     // exception, everyone else just leaves.
     if (chunk.error_claimed.load(std::memory_order_acquire)) break;
     const std::size_t i = chunk.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= chunk.count) break;
+    ++pulled;
     try {
       (*chunk.fn)(i, lane);
     } catch (...) {
@@ -57,10 +84,14 @@ void ThreadPool::drain(Chunk& chunk, int lane) {
       if (chunk.error_claimed.compare_exchange_strong(expected, true,
                                                       std::memory_order_acq_rel)) {
         chunk.error = std::current_exception();
+        pool_metrics().poisoned.inc();
       }
       break;
     }
   }
+  // Lane 0 is the caller's own work; anything a pooled worker pulled was
+  // "stolen" from the sequential baseline.
+  if (lane != 0 && pulled > 0) pool_metrics().stolen.add(pulled);
 }
 
 void ThreadPool::detach_locked(Chunk* chunk) {
@@ -85,6 +116,7 @@ void ThreadPool::worker_main() {
     const int lane = chunk->next_lane++;
     ++chunk->attached;
     ++attached_total_;
+    pool_metrics().joins.inc();
     if (chunk->next_lane >= chunk->max_lanes) detach_locked(chunk);
     lock.unlock();
     drain(*chunk, lane);
@@ -102,9 +134,11 @@ void ThreadPool::run_chunk(std::size_t count, int max_lanes,
     max_lanes = std::min(max_lanes, static_cast<int>(count));
   }
   if (max_lanes < 2) {
+    pool_metrics().sequential.inc();
     for (std::size_t i = 0; i < count; ++i) fn(i, 0);
     return;
   }
+  pool_metrics().chunks.inc();
 
   Chunk chunk;
   chunk.fn = &fn;
@@ -123,6 +157,7 @@ void ThreadPool::run_chunk(std::size_t count, int max_lanes,
     while (static_cast<int>(threads_.size()) < target) {
       threads_.emplace_back([this] { worker_main(); });
     }
+    pool_metrics().threads.set(static_cast<std::int64_t>(threads_.size()));
   }
   work_cv_.notify_all();
 

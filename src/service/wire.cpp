@@ -141,6 +141,8 @@ const char* to_string(RequestOp op) noexcept {
       return "cancel";
     case RequestOp::kStats:
       return "stats";
+    case RequestOp::kMetrics:
+      return "metrics";
     case RequestOp::kPing:
       return "ping";
     case RequestOp::kDrain:
@@ -178,6 +180,8 @@ WireRequest parse_request(const std::string& line) {
     request.op = RequestOp::kCancel;
   } else if (op == "stats") {
     request.op = RequestOp::kStats;
+  } else if (op == "metrics") {
+    request.op = RequestOp::kMetrics;
   } else if (op == "ping") {
     request.op = RequestOp::kPing;
   } else if (op == "drain") {
@@ -259,6 +263,7 @@ WireRequest parse_request(const std::string& line) {
       break;
     }
     case RequestOp::kStats:
+    case RequestOp::kMetrics:
     case RequestOp::kPing:
       break;
   }
@@ -307,6 +312,10 @@ std::string stats_frame(const std::vector<std::pair<std::string, std::string>>& 
   for (const auto& [key, value] : fields) os << " " << key << "=" << escape(value);
   os << "\n";
   return os.str();
+}
+
+std::string metrics_frame(const std::string& exposition) {
+  return "event=metrics data=" + escape(exposition) + "\n";
 }
 
 std::string draining_frame() { return "event=draining\n"; }

@@ -83,7 +83,7 @@ class FrameReader {
   bool partial_nul_ = false;
 };
 
-enum class RequestOp : std::uint8_t { kSubmit, kCancel, kStats, kPing, kDrain };
+enum class RequestOp : std::uint8_t { kSubmit, kCancel, kStats, kMetrics, kPing, kDrain };
 
 [[nodiscard]] const char* to_string(RequestOp op) noexcept;
 
@@ -149,6 +149,10 @@ struct ResultFrame {
 /// given fields in order. Values are escaped.
 [[nodiscard]] std::string stats_frame(
     const std::vector<std::pair<std::string, std::string>>& fields);
+/// Full registry exposition (`op=metrics` answer): one frame whose data=
+/// value is the percent-escaped multi-line Prometheus text — clients
+/// unescape() it back into `name{label=...} value` lines.
+[[nodiscard]] std::string metrics_frame(const std::string& exposition);
 [[nodiscard]] std::string draining_frame();
 [[nodiscard]] std::string bye_frame(std::uint64_t accepted, std::uint64_t terminal_frames);
 

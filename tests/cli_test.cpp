@@ -160,6 +160,68 @@ TEST(CliTest, MapExtensionsFlagsAccepted) {
   ASSERT_EQ(r.code, 0) << r.err;
 }
 
+TEST(CliTest, MapTraceWritesChromeTraceJson) {
+  TempFile prog("trace_prog.txt");
+  ASSERT_EQ(run_cli({"generate", "--workload", "layered", "--tasks", "60", "--seed", "7",
+                     "--out", prog.path()})
+                .code,
+            0);
+  TempFile trace("trace_map.json");
+  const CliResult r = run_cli({"map", "--problem", prog.path(), "--spec", "hypercube-3",
+                               "--strategy", "block", "--trace", trace.path()});
+  ASSERT_EQ(r.code, 0) << r.err;
+
+  const std::string json = trace.read();
+  ASSERT_FALSE(json.empty());
+  // Perfetto-loadable Chrome trace: complete events covering the whole
+  // command and the mapper stages inside it.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"map_command\""), std::string::npos);
+  EXPECT_NE(json.find("\"ideal_schedule\""), std::string::npos);
+  EXPECT_NE(json.find("\"initial_assignment\""), std::string::npos);
+  EXPECT_NE(json.find("\"refine\""), std::string::npos);
+  std::int64_t depth = 0;
+  for (const char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+
+  // Tracing must not perturb the mapping: a traced and an untraced run
+  // print identical reports.
+  const CliResult plain = run_cli({"map", "--problem", prog.path(), "--spec", "hypercube-3",
+                                   "--strategy", "block"});
+  ASSERT_EQ(plain.code, 0) << plain.err;
+  EXPECT_EQ(r.out, plain.out);
+}
+
+TEST(CliTest, BatchTraceWritesJobSpans) {
+  TempFile prog("trace_batch_prog.txt");
+  ASSERT_EQ(run_cli({"generate", "--workload", "diamond", "--rows", "3", "--cols", "3",
+                     "--out", prog.path()})
+                .code,
+            0);
+  TempFile manifest("trace_batch_manifest.txt");
+  {
+    std::ofstream m(manifest.path());
+    m << "problem=" << prog.path() << " spec=ring-4 strategy=block name=a\n";
+    m << "problem=" << prog.path() << " spec=mesh-2x2 strategy=block name=b\n";
+  }
+  TempFile trace("trace_batch.json");
+  const CliResult r = run_cli({"batch", "--manifest", manifest.path(), "--lanes", "2",
+                               "--trace", trace.path()});
+  ASSERT_EQ(r.code, 0) << r.err;
+  const std::string json = trace.read();
+  EXPECT_NE(json.find("\"batch_command\""), std::string::npos);
+  // Per-job lifecycle spans from the service layer: admission on the
+  // submitting thread, the job envelope plus queue wait on the runner.
+  EXPECT_NE(json.find("\"admission\""), std::string::npos);
+  EXPECT_NE(json.find("\"job\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue_wait\""), std::string::npos);
+}
+
 TEST(CliTest, EvalExplicitAssignment) {
   TempFile prog("prog4.txt");
   TempFile parts("parts4.txt");
@@ -238,6 +300,9 @@ TEST(CliTest, BatchMapsManifestConcurrently) {
   EXPECT_NE(r.out.find("star-8"), std::string::npos);
   EXPECT_NE(r.out.find("batch: 2 jobs"), std::string::npos);
   EXPECT_NE(r.err.find("[2/2]"), std::string::npos);  // live progress line
+  // The progress line carries live scheduler gauges from the registry.
+  EXPECT_NE(r.err.find("queue="), std::string::npos);
+  EXPECT_NE(r.err.find("inflight="), std::string::npos);
 
   // Mapping output must not depend on the lane budget or the run: compare
   // the CSV result columns (everything except the lanes/ms diagnostics and

@@ -251,6 +251,12 @@ TEST(MapServiceTest, SubmitDeliversFutureWithDiagnostics) {
   // The paper's refinement runs on the full kernel, so the delta counters
   // ride along zeroed — present for the local-move refiners.
   EXPECT_EQ(result.report.delta.trials, 0);
+  // Per-stage timings are stamped on every job: each stage is bounded by
+  // the job wall and the mapper stage actually did work.
+  EXPECT_GE(result.stages.topo_ms, 0.0);
+  EXPECT_GT(result.stages.map_ms, 0.0);
+  EXPECT_GT(result.stages.random_ms, 0.0);
+  EXPECT_LE(result.stages.map_ms, result.wall_ms);
 }
 
 TEST(MapServiceTest, SeedFieldOverridesRefineSeed) {

@@ -1,0 +1,288 @@
+// Contracts of the observability layer (src/obs/): counters stay exact
+// under concurrent sharded increments, histogram quantiles land inside the
+// log-bucket error bound, the Prometheus exposition is well-formed and
+// sorted, and the tracer's per-thread rings drop the OLDEST events when
+// full while exporting parseable, properly nested Chrome trace JSON.
+//
+// The registry and tracer are process-wide singletons shared with every
+// other test in this binary, so assertions are written delta-style
+// (value-after minus value-before) and tracing is always re-disabled on
+// exit — no test here may perturb another.
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mimdmap::obs {
+namespace {
+
+// -- Counter ---------------------------------------------------------------
+
+TEST(ObsCounterTest, ConcurrentIncrementsAreExact) {
+  Counter& counter = registry().counter("obs_test_counter_exact_total");
+  const std::uint64_t before = counter.value();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value() - before, std::uint64_t{kThreads} * kPerThread);
+}
+
+TEST(ObsCounterTest, RegistryReturnsSameInstrumentForSameSeries) {
+  Counter& a = registry().counter("obs_test_counter_identity_total");
+  Counter& b = registry().counter("obs_test_counter_identity_total");
+  EXPECT_EQ(&a, &b);
+  // Different labels are a different series, hence a different instrument.
+  Counter& c = registry().counter("obs_test_counter_identity_total", {{"op", "x"}});
+  EXPECT_NE(&a, &c);
+  Counter& d = registry().counter("obs_test_counter_identity_total", {{"op", "x"}});
+  EXPECT_EQ(&c, &d);
+}
+
+TEST(ObsGaugeTest, SetAndAdd) {
+  Gauge& gauge = registry().gauge("obs_test_gauge");
+  gauge.set(42);
+  EXPECT_EQ(gauge.value(), 42);
+  gauge.add(-2);
+  EXPECT_EQ(gauge.value(), 40);
+  gauge.set(0);
+}
+
+// -- Histogram -------------------------------------------------------------
+
+TEST(ObsHistogramTest, BucketMidRoundTripsWithinBound) {
+  // With 4 sub-buckets per octave a bucket spans at most a 1.25x ratio, so
+  // the geometric midpoint is within ~12.5% of any member value.
+  for (const std::int64_t v :
+       {std::int64_t{1}, std::int64_t{3}, std::int64_t{7}, std::int64_t{100},
+        std::int64_t{999}, std::int64_t{123456}, std::int64_t{987654321}}) {
+    const int bucket = Histogram::bucket_of(v);
+    const double mid = Histogram::bucket_mid(bucket);
+    EXPECT_NEAR(mid, static_cast<double>(v), 0.13 * static_cast<double>(v))
+        << "value " << v << " bucket " << bucket;
+  }
+}
+
+TEST(ObsHistogramTest, ConcurrentRecordsCountExactlyAndQuantilesConverge) {
+  Histogram& histogram = registry().histogram("obs_test_hist_us");
+  const Histogram::Snapshot before = histogram.snapshot();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      // Uniform 1..1000: true p50 = 500, p95 = 950, p99 = 990.
+      for (int i = 0; i < kPerThread; ++i) histogram.record(1 + (i % 1000));
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const Histogram::Snapshot after = histogram.snapshot();
+  EXPECT_EQ(after.count - before.count, std::uint64_t{kThreads} * kPerThread);
+  EXPECT_GE(after.max, 1000u);
+  // Log buckets guarantee <= ~12.5% relative error on any quantile.
+  EXPECT_NEAR(after.p50, 500.0, 70.0);
+  EXPECT_NEAR(after.p95, 950.0, 125.0);
+  EXPECT_NEAR(after.p99, 990.0, 130.0);
+}
+
+TEST(ObsHistogramTest, NegativeValuesClampToZeroBucket) {
+  Histogram& histogram = registry().histogram("obs_test_hist_negative_us");
+  histogram.record(-5);
+  const Histogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.max, 0u);
+}
+
+// -- Exposition ------------------------------------------------------------
+
+TEST(ObsRegistryTest, ExpositionIsSortedTypedAndLabeled) {
+  registry().counter("obs_test_expo_b_total").add(7);
+  registry().counter("obs_test_expo_a_total", {{"op", "ping"}}).add(3);
+  registry().gauge("obs_test_expo_gauge").set(11);
+  registry().histogram("obs_test_expo_us").record(50);
+
+  const std::string text = registry().render_prometheus();
+  EXPECT_NE(text.find("# TYPE obs_test_expo_b_total counter"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_expo_b_total 7"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_expo_a_total{op=\"ping\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_expo_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_expo_gauge 11"), std::string::npos);
+  // Histograms expose _count/_sum/_max plus quantile series.
+  EXPECT_NE(text.find("obs_test_expo_us_count 1"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_expo_us_sum 50"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_expo_us{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_expo_us{quantile=\"0.99\"}"), std::string::npos);
+
+  // Data lines (non-comment) must come out sorted: dashboards diff dumps.
+  std::istringstream lines(text);
+  std::string line;
+  std::string previous;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_LE(previous, line);
+    previous = line;
+  }
+}
+
+// -- Tracer ----------------------------------------------------------------
+
+/// Re-disables tracing and clears the rings however the test exits.
+class TraceGuard {
+ public:
+  TraceGuard() = default;
+  ~TraceGuard() {
+    tracer().disable();
+    tracer().clear();
+  }
+};
+
+TEST(ObsTraceTest, DisabledTracerRecordsNothing) {
+  TraceGuard guard;
+  tracer().disable();
+  tracer().clear();
+  const std::size_t before = tracer().event_count();
+  {
+    const Span span("obs_test_disabled", "test");
+  }
+  EXPECT_EQ(tracer().event_count(), before);
+}
+
+TEST(ObsTraceTest, SpansRecordWithArgsAndNesting) {
+  TraceGuard guard;
+  tracer().enable(64);
+  {
+    Span outer("obs_test_outer", "test");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      const Span inner("obs_test_inner", "test", "np", 17);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    outer.set_arg("jobs", 3);
+    outer.end();
+  }
+  EXPECT_EQ(tracer().event_count(), 2u);
+  EXPECT_EQ(tracer().dropped(), 0u);
+
+  const std::string json = tracer().export_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test_outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test_inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"np\":17"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\":3"), std::string::npos);
+
+  // Structural check: Chrome complete events, balanced braces/brackets, no
+  // trailing comma before a closer (the classic hand-rolled-JSON bug).
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  std::int64_t braces = 0;
+  std::int64_t brackets = 0;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    if (c == ',') {
+      ASSERT_LT(i + 1, json.size());
+      EXPECT_NE(json[i + 1], '}');
+      EXPECT_NE(json[i + 1], ']');
+    }
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ObsTraceTest, SpanDurationsNestInsideParent) {
+  TraceGuard guard;
+  tracer().enable(64);
+  {
+    const Span outer("obs_test_nest_outer", "test");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      const Span inner("obs_test_nest_inner", "test");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  // The inner span ends (and is recorded) first, the outer second.
+  EXPECT_EQ(tracer().event_count(), 2u);
+  const std::string json = tracer().export_chrome_json();
+  const std::size_t inner_pos = json.find("\"obs_test_nest_inner\"");
+  const std::size_t outer_pos = json.find("\"obs_test_nest_outer\"");
+  ASSERT_NE(inner_pos, std::string::npos);
+  ASSERT_NE(outer_pos, std::string::npos);
+  EXPECT_LT(inner_pos, outer_pos);  // ring preserves completion order
+}
+
+TEST(ObsTraceTest, BoundedRingDropsOldestAndCountsDrops) {
+  TraceGuard guard;
+  constexpr std::size_t kCapacity = 8;
+  tracer().enable(kCapacity);
+  for (int i = 0; i < 20; ++i) {
+    const Span span("obs_test_fill", "test", "i", i);
+  }
+  EXPECT_EQ(tracer().event_count(), kCapacity);
+  EXPECT_EQ(tracer().dropped(), 20u - kCapacity);
+
+  // The survivors are the NEWEST capacity events: i = 12..19.
+  const std::string json = tracer().export_chrome_json();
+  EXPECT_EQ(json.find("\"i\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"i\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"i\":19"), std::string::npos);
+}
+
+TEST(ObsTraceTest, ExplicitTimeEventsExportVerbatim) {
+  TraceGuard guard;
+  tracer().enable(64);
+  TraceEvent event;
+  event.name = "obs_test_queue_wait";
+  event.cat = "service";
+  event.end_ns = Tracer::now_ns();
+  event.start_ns = event.end_ns - 5'000'000;  // 5 ms synthesized wait
+  event.arg_name = "priority";
+  event.arg = -2;
+  tracer().record(event);
+  const std::string json = tracer().export_chrome_json();
+  EXPECT_NE(json.find("\"obs_test_queue_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"priority\":-2"), std::string::npos);
+  // dur is ~5000 us; assert the field exists and is positive.
+  const std::size_t dur_pos = json.find("\"dur\":");
+  ASSERT_NE(dur_pos, std::string::npos);
+  EXPECT_NE(json[dur_pos + 6], '-');
+}
+
+TEST(ObsTraceTest, ConcurrentSpansLandInPerThreadRings) {
+  TraceGuard guard;
+  tracer().enable(1024);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const Span span("obs_test_mt", "test");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(tracer().event_count(), static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(tracer().dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace mimdmap::obs

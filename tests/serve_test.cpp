@@ -19,6 +19,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -435,6 +436,48 @@ TEST(ServeTest, StatsFrameReportsSchedulerObservability) {
   EXPECT_EQ(stats.at("prio2-started"), "1");
   EXPECT_TRUE(stats.count("prio2-wait-ms"));
   EXPECT_TRUE(stats.count("queue-depth"));
+  // Cache and pool observability ride on the same frame: the fast job's
+  // topology was a miss (fresh cache) and the pool granted >= 1 lane.
+  EXPECT_TRUE(stats.count("topo-hits"));
+  EXPECT_GE(std::stoll(stats.at("topo-misses")), 1);
+  EXPECT_GE(std::stoll(stats.at("pool-lanes")), 1);
+}
+
+TEST(ServeTest, MetricsFrameExposesRegistryAcrossLayers) {
+  PipeHarness h;
+  h.client().send_line(std::string("id=m1 ") + kFastJob);
+  h.client().expect_event("accepted");
+  h.client().expect_event("result");
+  (void)settled_stats(h.server(), 1);
+
+  h.client().send_line("op=metrics");
+  const auto frame = h.client().expect_event("metrics");
+  ASSERT_TRUE(frame.count("data"));
+  const std::string text = unescape(frame.at("data"));
+
+  // One exposition, every layer: wire, scheduler, pool, cache — counters,
+  // gauges, and at least one latency histogram with quantile series.
+  EXPECT_NE(text.find("mimdmap_server_accepted_total"), std::string::npos);
+  EXPECT_NE(text.find("mimdmap_server_frames_read_total"), std::string::npos);
+  EXPECT_NE(text.find("mimdmap_service_jobs_completed_total"), std::string::npos);
+  EXPECT_NE(text.find("mimdmap_service_queue_depth"), std::string::npos);
+  EXPECT_NE(text.find("mimdmap_pool_chunks_total"), std::string::npos);
+  EXPECT_NE(text.find("mimdmap_topo_cache_misses_total"), std::string::npos);
+  EXPECT_NE(text.find("mimdmap_wire_request_us_count{op=\"submit\"}"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(text.find("# TYPE"), std::string::npos);
+
+  // Registry values agree with the server's own ledger (both saw >= the
+  // one accepted job; other tests in this process may have added more).
+  std::istringstream lines(text);
+  std::string line;
+  long long accepted_total = -1;
+  while (std::getline(lines, line)) {
+    if (line.rfind("mimdmap_server_accepted_total ", 0) == 0) {
+      accepted_total = std::stoll(line.substr(line.find(' ') + 1));
+    }
+  }
+  EXPECT_GE(accepted_total, 1);
 }
 
 TEST(ServeTest, OverloadShedsWithBackoffHint) {
