@@ -31,7 +31,6 @@ namespace {
 /// critical set, so only step 3 (communication intensity) acts.
 InitialAssignmentResult intensity_only_initial(const MappingInstance& inst) {
   CriticalInfo empty;
-  empty.crit_edge = Matrix<Weight>::square(idx(inst.num_tasks()), 0);
   empty.c_abs_edge = Matrix<Weight>::square(idx(inst.num_processors()), 0);
   empty.critical_degree.assign(idx(inst.num_processors()), 0);
   return initial_assignment(inst, empty);

@@ -1,0 +1,173 @@
+// Multilevel coarsen–map–refine vs the flat paper pipeline at huge np
+// (the PR acceptance numbers for the multilevel mapper): on random
+// layered-DAG instances at np in {10k, 100k, 500k} over a 64-processor
+// hypercube, runs the multilevel pipeline, then gives the flat pipeline
+// the SAME wall budget (deadline token -> best incumbent at the signal)
+// and compares final makespans. Also records total build+map wall time
+// per np so near-linear scaling is visible (ms_per_kilo_task). Emits JSON
+// (stdout or --out file) recorded at the repo root as
+// BENCH_multilevel.json; --smoke shrinks the sizes for CI.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "suite.hpp"
+
+#include "cluster/strategies.hpp"
+#include "core/cancellation.hpp"
+#include "core/mapper.hpp"
+#include "topology/topology.hpp"
+#include "workload/random_dag.hpp"
+
+namespace {
+
+using namespace mimdmap;
+
+struct SizeResult {
+  NodeId np = 0;
+  double build_ms = 0;        // instance + engine construction
+  double ml_wall_ms = 0;      // multilevel map_instance wall time
+  double flat_wall_ms = 0;    // flat run under the equal budget
+  Weight lower_bound = 0;
+  Weight ml_total = 0;
+  Weight flat_total = 0;      // best incumbent at the shared budget
+  bool flat_degraded = false; // flat hit the deadline before finishing
+  std::size_t levels = 0;
+  std::int64_t ml_trials = 0;
+  std::string level_chain;    // "np@level..." for the report
+};
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+int run(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_micro_multilevel [--smoke] [--out file]\n";
+      return 2;
+    }
+  }
+
+  const NodeId ns = 64;
+  const SystemGraph system = make_hypercube(6);
+  const std::vector<NodeId> sizes =
+      smoke ? std::vector<NodeId>{2000, 10000}
+            : std::vector<NodeId>{10000, 100000, 500000};
+  using clock = std::chrono::steady_clock;
+
+  std::vector<SizeResult> results;
+  for (const NodeId np : sizes) {
+    SizeResult r;
+    r.np = np;
+
+    LayeredDagParams p;
+    p.num_tasks = np;
+    p.num_layers = std::max<NodeId>(16, np / 50);
+    p.avg_out_degree = 2.0;
+    auto t0 = clock::now();
+    TaskGraph g = make_layered_dag(p, 1234 + np);
+    // Locality-preserving clustering (contiguous blocks): the realistic
+    // regime for huge instances, and the one where within-cluster
+    // coarsening has material intra-cluster structure to contract —
+    // random clustering leaves only ~1/ns of the edges inside clusters.
+    Clustering c = block_clustering(g, ns);
+    const MappingInstance inst(std::move(g), std::move(c), system);
+    const EvalEngine engine(inst);
+    r.build_ms = ms_since(t0);
+
+    // Multilevel first: its wall time defines the shared budget.
+    MapperOptions ml;
+    ml.multilevel.enabled = true;
+    t0 = clock::now();
+    const MappingReport ml_report = map_instance(engine, ml);
+    r.ml_wall_ms = ms_since(t0);
+    r.lower_bound = ml_report.lower_bound;
+    r.ml_total = ml_report.total_time();
+    r.levels = ml_report.levels.size();
+    r.ml_trials = ml_report.refinement_trials;
+    for (const MultilevelLevelStats& lvl : ml_report.levels) {
+      if (!r.level_chain.empty()) r.level_chain += " -> ";
+      r.level_chain += std::to_string(lvl.np) + "@L" + std::to_string(lvl.level);
+    }
+
+    // Flat pipeline under the exact same wall budget: on expiry it ships
+    // its best incumbent with a degraded status — the honest "what would
+    // you have gotten for the same time" comparator.
+    MapperOptions flat;
+    CancelSource budget;
+    budget.set_deadline_after_ms(
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(r.ml_wall_ms)));
+    flat.refine.cancel = budget.token();
+    t0 = clock::now();
+    const MappingReport flat_report = map_instance(engine, flat);
+    r.flat_wall_ms = ms_since(t0);
+    r.flat_total = flat_report.total_time();
+    r.flat_degraded = flat_report.status != MapStatus::kOk;
+
+    results.push_back(r);
+    std::cerr << "np=" << np << " build=" << r.build_ms << "ms ml=" << r.ml_total << " ("
+              << r.ml_wall_ms << "ms, " << r.levels << " levels) flat=" << r.flat_total
+              << " (" << r.flat_wall_ms << "ms" << (r.flat_degraded ? ", degraded" : "")
+              << ") lb=" << r.lower_bound << "\n";
+  }
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"bench\": \"micro_multilevel\",\n";
+  os << "  \"instance\": {\"ns\": " << ns
+     << ", \"workload\": \"layered avg_out=2.0 block clustering\", \"topology\": "
+        "\"hypercube-6\"},\n";
+  os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  os << "  " << bench::host_json() << ",\n";
+  os << "  \"protocol\": \"multilevel first; flat replays with the multilevel wall time as "
+        "its deadline (equal wall budget)\",\n";
+  os << "  \"results\": [\n";
+  bool ml_never_worse = true;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SizeResult& r = results[i];
+    if (r.ml_total > r.flat_total) ml_never_worse = false;
+    os << "    {\"np\": " << r.np << ", \"build_ms\": " << r.build_ms
+       << ", \"ml_wall_ms\": " << r.ml_wall_ms << ", \"ml_ms_per_kilo_task\": "
+       << (r.ml_wall_ms + r.build_ms) * 1000.0 / static_cast<double>(r.np)
+       << ", \"levels\": " << r.levels << ", \"level_chain\": \"" << r.level_chain
+       << "\", \"ml_trials\": " << r.ml_trials << ", \"lower_bound\": " << r.lower_bound
+       << ", \"ml_total\": " << r.ml_total << ", \"flat_total_equal_budget\": "
+       << r.flat_total << ", \"flat_wall_ms\": " << r.flat_wall_ms
+       << ", \"flat_degraded\": " << (r.flat_degraded ? "true" : "false")
+       << ", \"ml_not_worse\": " << (r.ml_total <= r.flat_total ? "true" : "false") << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"ml_never_worse_at_equal_budget\": " << (ml_never_worse ? "true" : "false")
+     << "\n";
+  os << "}\n";
+
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    if (!f) {
+      std::cerr << "cannot open " << out_path << "\n";
+      return 1;
+    }
+    f << os.str();
+  }
+  std::cout << os.str();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

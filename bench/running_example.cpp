@@ -62,8 +62,8 @@ int main() {
   check(report.lower_bound == 14, "lower bound is 14");
   check(report.ideal.latest_tasks == std::vector<NodeId>({8, 10}),
         "latest tasks are 9 and 11 (paper numbering)");
-  check(report.critical.crit_edge(6, 8) == 2, "e79 is critical with weight 2");
-  check(report.critical.crit_edge(4, 8) == 0, "e59 is not critical");
+  check(report.critical.critical_weight(6, 8) == 2, "e79 is critical with weight 2");
+  check(report.critical.critical_weight(4, 8) == 0, "e59 is not critical");
   check(report.critical.c_abs_edge(0, 2) == 6,
         "one critical abstract edge group, weight 6, touching cluster 0");
 

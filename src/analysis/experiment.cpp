@@ -155,19 +155,37 @@ std::vector<ExperimentRow> run_suite(const std::vector<ExperimentConfig>& config
   return run_suite(configs, service);
 }
 
+namespace {
+
+/// A degraded row's mapping columns hold the best incumbent at the cancel
+/// or deadline signal, not a completed run — analysis output marks them
+/// instead of silently mixing them with finished rows.
+bool is_degraded(const ExperimentRow& row) { return row.status != MapStatus::kOk; }
+
+}  // namespace
+
 std::string format_paper_table(const std::vector<ExperimentRow>& rows) {
   TextTable table({"expts", "our approach", "random", "improvement"});
+  std::size_t degraded = 0;
   for (const ExperimentRow& row : rows) {
-    table.add_row({std::to_string(row.id), std::to_string(row.ours_pct),
-                   std::to_string(row.random_pct), std::to_string(row.improvement)});
+    const char* mark = is_degraded(row) ? "*" : "";
+    if (is_degraded(row)) ++degraded;
+    table.add_row({std::to_string(row.id) + mark, std::to_string(row.ours_pct) + mark,
+                   std::to_string(row.random_pct), std::to_string(row.improvement) + mark});
   }
-  return table.to_string();
+  std::string out = table.to_string();
+  if (degraded > 0) {
+    out += "* " + std::to_string(degraded) +
+           " degraded row(s) (cancelled/deadline): best incumbent at the signal, not a "
+           "completed mapping\n";
+  }
+  return out;
 }
 
 std::string format_csv(const std::vector<ExperimentRow>& rows) {
   TextTable table({"expt", "topology", "np", "ns", "lower_bound", "ours_total", "random_mean",
                    "ours_pct", "random_pct", "improvement", "reached_lb", "terminated_early",
-                   "refine_trials"});
+                   "refine_trials", "status"});
   for (const ExperimentRow& row : rows) {
     std::ostringstream mean;
     mean << row.random_mean;
@@ -176,7 +194,7 @@ std::string format_csv(const std::vector<ExperimentRow>& rows) {
                    std::to_string(row.ours_total), mean.str(), std::to_string(row.ours_pct),
                    std::to_string(row.random_pct), std::to_string(row.improvement),
                    row.reached_lower_bound ? "1" : "0", row.terminated_early ? "1" : "0",
-                   std::to_string(row.refinement_trials)});
+                   std::to_string(row.refinement_trials), to_string(row.status)});
   }
   return table.to_csv();
 }
@@ -192,13 +210,27 @@ std::string render_figure(const std::vector<ExperimentRow>& rows) {
 
 std::string summarize_suite(const std::vector<ExperimentRow>& rows) {
   if (rows.empty()) return "(no experiments)\n";
-  std::int64_t min_impr = rows.front().improvement;
-  std::int64_t max_impr = rows.front().improvement;
+  // Degraded rows (cancelled/deadline incumbents) are counted but kept out
+  // of the aggregates — mixing partial mappings into the means would skew
+  // the paper-protocol numbers without any visible trace.
+  std::int64_t min_impr = 0;
+  std::int64_t max_impr = 0;
   std::int64_t sum_ours = 0;
   std::int64_t sum_random = 0;
   std::size_t lb_hits = 0;
   std::size_t early = 0;
+  std::int64_t complete = 0;
+  std::size_t degraded = 0;
   for (const ExperimentRow& row : rows) {
+    if (is_degraded(row)) {
+      ++degraded;
+      continue;
+    }
+    if (complete == 0) {
+      min_impr = row.improvement;
+      max_impr = row.improvement;
+    }
+    ++complete;
     min_impr = std::min(min_impr, row.improvement);
     max_impr = std::max(max_impr, row.improvement);
     sum_ours += row.ours_pct;
@@ -208,10 +240,17 @@ std::string summarize_suite(const std::vector<ExperimentRow>& rows) {
   }
   const auto n = static_cast<std::int64_t>(rows.size());
   std::ostringstream os;
-  os << "experiments: " << n << ", mean ours: " << sum_ours / n
-     << "%, mean random: " << sum_random / n << "%, improvement: " << min_impr << ".."
-     << max_impr << " points, reached lower bound: " << lb_hits << "/" << n
-     << ", early termination: " << early << "/" << n << "\n";
+  if (complete == 0) {
+    os << "experiments: " << n << ", all " << degraded
+       << " degraded (cancelled/deadline) — no completed rows to aggregate\n";
+    return os.str();
+  }
+  os << "experiments: " << n << ", mean ours: " << sum_ours / complete
+     << "%, mean random: " << sum_random / complete << "%, improvement: " << min_impr << ".."
+     << max_impr << " points, reached lower bound: " << lb_hits << "/" << complete
+     << ", early termination: " << early << "/" << complete;
+  if (degraded > 0) os << ", degraded (excluded): " << degraded << "/" << n;
+  os << "\n";
   return os.str();
 }
 

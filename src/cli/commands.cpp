@@ -228,6 +228,9 @@ int cmd_map(Flags& flags, std::ostream& out, std::ostream& err) {
   opts.refine.num_threads = static_cast<int>(flags.get_int("threads", 1));
   opts.refine.eval_width = static_cast<int>(flags.get_int("width", 0));
   opts.critical.propagate_through_intra_cluster = flags.get_bool("extended-critical");
+  opts.multilevel.enabled = flags.get_bool("multilevel");
+  opts.multilevel.coarsen_target = static_cast<NodeId>(flags.get_int("coarsen-target", 0));
+  opts.multilevel.level_trials = flags.get_int("level-trials", -1);
 
   const bool show_gantt = flags.get_bool("gantt");
   const auto random_trials = flags.get_int("random-trials", 0);
@@ -270,6 +273,18 @@ int cmd_map(Flags& flags, std::ostream& out, std::ostream& err) {
        << " full; " << report.delta.shift_fast_paths << " shift hits, "
        << report.delta.verdict_exits << " verdict exits, " << report.delta.claims_skipped
        << " claims skipped)\n";
+  }
+  if (report.delta.potential_cache_disabled > 0) {
+    os << "potential cache:    disabled/bypassed on " << report.delta.potential_cache_disabled
+       << " lookups (weaker tail0 verdicts; tune MIMDMAP_DELTA_CACHE)\n";
+  }
+  if (!report.levels.empty()) {
+    os << "multilevel:         " << report.levels.size() << " stages (coarsest first)\n";
+    for (const MultilevelLevelStats& lvl : report.levels) {
+      os << "  level " << lvl.level << ": np=" << lvl.np << " edges=" << lvl.edges
+         << " trials=" << lvl.trials << " improvements=" << lvl.improvements << " total "
+         << lvl.total_before << " -> " << lvl.total_after << " (" << lvl.ms << " ms)\n";
+    }
   }
   os << "optimal:            " << (report.reached_lower_bound ? "yes (termination condition)"
                                                               : "not proven") << "\n";
@@ -420,6 +435,10 @@ int cmd_batch(Flags& flags, std::ostream& out, std::ostream& err) {
                                                 line_no));
     job.options.critical.propagate_through_intra_cluster =
         manifest_bool(kv, "extended-critical");
+    job.options.multilevel.enabled = manifest_bool(kv, "multilevel");
+    job.options.multilevel.coarsen_target =
+        static_cast<NodeId>(manifest_int(kv, "coarsen-target", 0, line_no));
+    job.options.multilevel.level_trials = manifest_int(kv, "level-trials", -1, line_no);
     job.random_trials =
         static_cast<std::int64_t>(manifest_seed(kv, "random-trials", 0, line_no));
     job.random_seed = manifest_seed(kv, "random-seed", 99, line_no);
@@ -497,18 +516,25 @@ int cmd_batch(Flags& flags, std::ostream& out, std::ostream& err) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     const MapJobResult& r = results[i];
     const MappingInstance& inst = instances[i];
+    // Guard the quality columns on the job status: a degraded row's total
+    // is the best incumbent at the signal (marked "*"), a failed row has no
+    // mapping at all ("-") — neither may masquerade as a completed pct.
+    std::string total = std::to_string(r.report.total_time());
+    std::string pct = std::to_string(r.report.percent_over_lower_bound());
     if (r.status == MapStatus::kCancelled || r.status == MapStatus::kDeadlineExceeded) {
       ++degraded;
+      total += "*";
+      pct += "*";
     } else if (!r.ok()) {
       ++failed;
+      total = "-";
+      pct = "-";
     }
     std::ostringstream ms;
     ms << std::fixed << std::setprecision(1) << r.wall_ms;
     table.add_row({r.name, inst.system().name(), std::to_string(inst.num_tasks()),
                    std::to_string(inst.num_processors()),
-                   std::to_string(r.report.lower_bound),
-                   std::to_string(r.report.total_time()),
-                   std::to_string(r.report.percent_over_lower_bound()),
+                   std::to_string(r.report.lower_bound), total, pct,
                    r.report.reached_lower_bound ? "yes" : "-", to_string(r.status),
                    std::to_string(r.lanes), ms.str()});
   }
@@ -516,7 +542,9 @@ int cmd_batch(Flags& flags, std::ostream& out, std::ostream& err) {
   std::ostringstream os;
   os << (csv ? table.to_csv() : table.to_string());
   os << "batch: " << total << " jobs";
-  if (degraded > 0) os << ", " << degraded << " degraded (cancelled/deadline)";
+  if (degraded > 0) {
+    os << ", " << degraded << " degraded (cancelled/deadline; * = incumbent at the signal)";
+  }
   if (failed > 0) os << ", " << failed << " failed";
   os << ", lane budget " << service.lane_budget()
      << ", max concurrent " << service.max_concurrent_jobs() << ", topology cache "
@@ -682,6 +710,9 @@ commands:
             [--width W (candidates per SoA wave; 0 = auto / MIMDMAP_EVAL_WIDTH)]
             [--contention] [--serialize] [--weighted-links] [--extended-critical] [--gantt]
             [--random-trials N --random-seed S]   (adds the paper's baseline)
+            [--multilevel]      (coarsen-map-refine for huge instances)
+            [--coarsen-target N (stop coarsening at N tasks; 0 = auto)]
+            [--level-trials K   (refinement trials per uncoarsen level; -1 = ns)]
             [--deadline-ms MS]  (wall budget; on expiry prints the best
                                  incumbent with a degraded status)
             [--trace out.json]  (Chrome trace-event spans; open in Perfetto)
@@ -701,6 +732,7 @@ commands:
               [clustering=<file> | strategy=<name> seed=<S>] [name=<label>]
               [trials=N] [refine-seed=S] [serialize] [contention]
               [weighted-links] [extended-critical]
+              [multilevel] [coarsen-target=N] [level-trials=K]
               [random-trials=N] [random-seed=S]
               [deadline-ms=MS (overrides --timeout; -1 = no deadline)]
   serve     run the streaming mapping daemon (warm MapService, shared

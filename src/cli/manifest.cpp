@@ -16,7 +16,8 @@ const std::set<std::string>& known_keys() {
       "problem",       "system",      "spec",          "clustering",
       "strategy",      "seed",        "name",          "trials",
       "refine-seed",   "serialize",   "contention",    "weighted-links",
-      "extended-critical", "random-trials", "random-seed", "deadline-ms"};
+      "extended-critical", "random-trials", "random-seed", "deadline-ms",
+      "multilevel",    "coarsen-target", "level-trials"};
   return keys;
 }
 
@@ -111,6 +112,8 @@ std::vector<ManifestJobSpec> parse_manifest(const std::string& text) {
     (void)manifest_seed(spec.kv, "random-trials", 0, line_no);
     (void)manifest_seed(spec.kv, "random-seed", 0, line_no);
     (void)manifest_int(spec.kv, "deadline-ms", 0, line_no);
+    (void)manifest_seed(spec.kv, "coarsen-target", 0, line_no);
+    (void)manifest_int(spec.kv, "level-trials", -1, line_no);
     specs.push_back(std::move(spec));
   }
   return specs;

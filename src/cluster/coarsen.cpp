@@ -1,0 +1,150 @@
+#include "cluster/coarsen.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+
+namespace mimdmap {
+
+namespace {
+
+constexpr NodeId kUnmatched = std::numeric_limits<NodeId>::max();
+
+struct MatchCandidate {
+  NodeId from = 0;
+  NodeId to = 0;
+  Weight weight = 0;
+};
+
+/// Result of one heavy-edge matching + contraction pass.
+struct PassResult {
+  TaskGraph graph;
+  std::vector<NodeId> cluster_of;
+  std::vector<NodeId> parent;
+  NodeId merges = 0;
+};
+
+/// One deterministic matching pass over `graph`: contracts up to
+/// `merge_budget` disjoint same-cluster edges satisfying the cycle-safety
+/// degree rule, heaviest first.
+PassResult matching_pass(const TaskGraph& graph, const std::vector<NodeId>& cluster_of,
+                         NodeId merge_budget) {
+  const NodeId n = graph.node_count();
+
+  std::vector<MatchCandidate> candidates;
+  candidates.reserve(graph.edge_count() / 4 + 1);
+  for (const TaskEdge& e : graph.edges()) {
+    if (cluster_of[idx(e.from)] != cluster_of[idx(e.to)]) continue;
+    // Degrees at pass start; see the header's cycle-safety argument.
+    if (graph.in_degree(e.to) != 1 && graph.out_degree(e.from) != 1) continue;
+    candidates.push_back({e.from, e.to, e.weight});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const MatchCandidate& a, const MatchCandidate& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+
+  // partner[v] = the node v is merged with (kUnmatched if v stays single).
+  std::vector<NodeId> partner(idx(n), kUnmatched);
+  PassResult result;
+  for (const MatchCandidate& c : candidates) {
+    if (result.merges >= merge_budget) break;
+    if (partner[idx(c.from)] != kUnmatched || partner[idx(c.to)] != kUnmatched) continue;
+    partner[idx(c.from)] = c.to;
+    partner[idx(c.to)] = c.from;
+    ++result.merges;
+  }
+  if (result.merges == 0) return result;
+
+  // Assign coarse ids in ascending fine-id order (deterministic: a pair
+  // takes the id slot of its lower member).
+  result.parent.assign(idx(n), kUnmatched);
+  NodeId next = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (result.parent[idx(v)] != kUnmatched) continue;  // higher half of a pair
+    result.parent[idx(v)] = next;
+    const NodeId mate = partner[idx(v)];
+    if (mate != kUnmatched) result.parent[idx(mate)] = next;
+    ++next;
+  }
+
+  // Coarse nodes: weights sum over members.
+  std::vector<Weight> coarse_weight(idx(next), 0);
+  result.cluster_of.assign(idx(next), 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId cv = result.parent[idx(v)];
+    coarse_weight[idx(cv)] += graph.node_weight(v);
+    result.cluster_of[idx(cv)] = cluster_of[idx(v)];
+  }
+  for (const Weight w : coarse_weight) result.graph.add_node(w);
+
+  // Coarse edges: aggregate parallel fine edges, drop the (intra-cluster)
+  // contracted edges. First-seen insertion order keeps output deterministic.
+  std::unordered_map<std::uint64_t, std::size_t> edge_index;
+  edge_index.reserve(graph.edge_count());
+  std::vector<TaskEdge> coarse_edges;
+  coarse_edges.reserve(graph.edge_count());
+  for (const TaskEdge& e : graph.edges()) {
+    const NodeId cf = result.parent[idx(e.from)];
+    const NodeId ct = result.parent[idx(e.to)];
+    if (cf == ct) continue;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(cf) << 32) | static_cast<std::uint64_t>(ct);
+    const auto [it, inserted] = edge_index.emplace(key, coarse_edges.size());
+    if (inserted) {
+      coarse_edges.push_back({cf, ct, e.weight});
+    } else {
+      coarse_edges[it->second].weight += e.weight;
+    }
+  }
+  for (const TaskEdge& e : coarse_edges) result.graph.add_edge(e.from, e.to, e.weight);
+
+  return result;
+}
+
+}  // namespace
+
+std::vector<NodeId> CoarseningHierarchy::project_to_coarsest() const {
+  if (levels.empty()) return {};
+  std::vector<NodeId> projected = levels.front().parent;
+  for (std::size_t k = 1; k < levels.size(); ++k) {
+    const std::vector<NodeId>& parent = levels[k].parent;
+    for (NodeId& p : projected) p = parent[idx(p)];
+  }
+  return projected;
+}
+
+CoarseningHierarchy coarsen_hierarchy(const TaskGraph& problem, const Clustering& clustering,
+                                      const CoarsenOptions& options) {
+  CoarseningHierarchy hierarchy;
+  const NodeId nc = clustering.num_clusters();
+  const NodeId target = options.target > 0
+                            ? options.target
+                            : std::max<NodeId>(8 * std::max<NodeId>(nc, 1), 64);
+
+  const TaskGraph* graph = &problem;
+  const std::vector<NodeId>* cluster_of = &clustering.cluster_map();
+  for (int level = 0; level < options.max_levels; ++level) {
+    const NodeId n = graph->node_count();
+    if (n <= target) break;
+    PassResult pass = matching_pass(*graph, *cluster_of, n - target);
+    if (pass.merges == 0) break;
+    pass.graph.validate();  // fail fast if contraction ever broke acyclicity
+
+    const bool stalled =
+        static_cast<double>(pass.merges) < options.min_reduction * static_cast<double>(n);
+    hierarchy.levels.push_back(
+        {std::move(pass.graph), Clustering(std::move(pass.cluster_of), nc),
+         std::move(pass.parent)});
+    if (stalled) break;
+    graph = &hierarchy.levels.back().graph;
+    cluster_of = &hierarchy.levels.back().clustering.cluster_map();
+  }
+  return hierarchy;
+}
+
+}  // namespace mimdmap

@@ -1,0 +1,87 @@
+// Within-cluster task-graph coarsening for the multilevel mapper
+// (DESIGN.md section 18).
+//
+// The mapping search space is the cluster -> processor assignment, so the
+// hierarchy coarsens *inside* clusters only: heavy-edge matching contracts
+// task pairs that share a cluster, never across clusters. Every level is
+// therefore a valid MappingInstance over the SAME ns clusters — a coarse
+// assignment IS a fine assignment (projection is the identity on host_of),
+// and per-cluster compute (summed node weights) and per-cluster-pair
+// communication (summed inter-cluster edge weights) are preserved exactly
+// at every level. Refinement during uncoarsening re-scores the same moves
+// against progressively finer (more exact) schedules.
+//
+// DAG safety: contracting a simultaneous matching can create cycles even
+// when every matched edge connects adjacent topological levels (two pairs
+// with crossing edges already close a 2-cycle). We therefore only contract
+// edge (u, v) when in_degree(v) == 1 or out_degree(u) == 1, degrees taken
+// at pass start. Proof sketch: a cycle through contracted pairs must enter
+// some pair externally at v (impossible when u is v's only predecessor) or
+// leave it externally from u (impossible when v is u's only successor);
+// with the rule, every cycle segment through a pair lifts to a path in the
+// fine graph via the contracted edge, so a coarse cycle would imply a fine
+// cycle. Matching passes are fully deterministic (weight-descending with
+// id tie-breaks), so hierarchies — and everything mapped on them — are
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/clustering.hpp"
+#include "graph/task_graph.hpp"
+
+namespace mimdmap {
+
+struct CoarsenOptions {
+  /// Stop once a level's task count is <= target. 0 = auto:
+  /// max(8 * num_clusters, 64). Matching can stall above the target when
+  /// clusters run out of contractible internal edges — the hierarchy then
+  /// simply ends earlier.
+  NodeId target = 0;
+  /// Hard cap on hierarchy depth (levels below the original).
+  int max_levels = 32;
+  /// A pass that shrinks the node count by less than this fraction ends
+  /// the hierarchy (diminishing returns). Kept small by default: the
+  /// degree rule contracts long chains one pair per pass, so useful
+  /// hierarchies often build through several low-yield passes.
+  double min_reduction = 0.02;
+};
+
+/// One coarse level produced by a matching pass over the previous level.
+struct CoarseLevel {
+  /// Coarse problem graph: merged node weights are sums, parallel edges
+  /// between merged endpoints aggregate their weights, and the contracted
+  /// (intra-cluster) edge disappears — exactly the weight it contributed
+  /// to the clustered problem graph (zero).
+  TaskGraph graph;
+  /// Induced partition: a merged node belongs to its members' (shared)
+  /// cluster, so num_clusters is identical at every level.
+  Clustering clustering;
+  /// parent[fine] = coarse node holding fine task `fine`, where fine ids
+  /// are the previous level's node ids (the original problem's for the
+  /// first level).
+  std::vector<NodeId> parent;
+};
+
+struct CoarseningHierarchy {
+  /// Finest-to-coarsest. Empty = the trivial hierarchy (target >= np or no
+  /// contractible edge): the multilevel mapper then degenerates to the
+  /// flat pipeline bit-for-bit.
+  std::vector<CoarseLevel> levels;
+
+  [[nodiscard]] bool trivial() const noexcept { return levels.empty(); }
+  [[nodiscard]] const CoarseLevel& coarsest() const { return levels.back(); }
+
+  /// Composes the per-level parent maps: original task -> coarsest node.
+  [[nodiscard]] std::vector<NodeId> project_to_coarsest() const;
+};
+
+/// Builds the level hierarchy by repeated deterministic heavy-edge
+/// within-cluster matching passes (see file comment). Every level's graph
+/// is validated acyclic.
+[[nodiscard]] CoarseningHierarchy coarsen_hierarchy(const TaskGraph& problem,
+                                                    const Clustering& clustering,
+                                                    const CoarsenOptions& options = {});
+
+}  // namespace mimdmap

@@ -4,15 +4,21 @@
 
 namespace mimdmap {
 
+Weight CriticalInfo::critical_weight(NodeId from, NodeId to) const {
+  for (const TaskEdge& e : critical_edges) {
+    if (e.from == from && e.to == to) return e.weight;
+  }
+  return 0;
+}
+
 CriticalInfo find_critical(const MappingInstance& instance, const IdealSchedule& ideal,
                            const CriticalOptions& options) {
   const TaskGraph& problem = instance.problem();
-  const Matrix<Weight>& clus = instance.clus_edge();
+  const Clustering& clustering = instance.clustering();
   const NodeId np = problem.node_count();
   const NodeId na = instance.num_processors();
 
   CriticalInfo info;
-  info.crit_edge = Matrix<Weight>::square(idx(np), 0);
   info.c_abs_edge = Matrix<Weight>::square(idx(na), 0);
   info.critical_degree.assign(idx(na), 0);
 
@@ -29,15 +35,15 @@ CriticalInfo find_critical(const MappingInstance& instance, const IdealSchedule&
     const NodeId i = worklist.back();
     worklist.pop_back();
     for (const auto& [j, prob_w] : problem.predecessors(i)) {
-      const Weight cw = clus(idx(j), idx(i));
+      const Weight cw = clustering.same_cluster(j, i) ? 0 : prob_w;
       if (cw > 0) {
         // Inter-cluster edge: critical iff i_edge[j][i] == clus_edge[j][i],
         // i.e. end[j] + cw == start[i] (zero slack).
         if (ideal.end[idx(j)] + cw == ideal.start[idx(i)]) {
-          if (info.crit_edge(idx(j), idx(i)) == 0) {
-            info.crit_edge(idx(j), idx(i)) = cw;
-            info.critical_edges.push_back(TaskEdge{j, i, cw});
-          }
+          // Each node i is popped at most once (in_ls guards every push)
+          // and predecessors are duplicate-free, so edge (j, i) is examined
+          // exactly once — no dedup needed.
+          info.critical_edges.push_back(TaskEdge{j, i, cw});
           if (!in_ls[idx(j)]) {
             in_ls[idx(j)] = 1;
             worklist.push_back(j);
@@ -56,7 +62,6 @@ CriticalInfo find_critical(const MappingInstance& instance, const IdealSchedule&
   }
 
   // Algorithms II-III: aggregate to abstract edges and critical degrees.
-  const Clustering& clustering = instance.clustering();
   for (const TaskEdge& e : info.critical_edges) {
     const NodeId ca = clustering.cluster_of(e.from);
     const NodeId cb = clustering.cluster_of(e.to);

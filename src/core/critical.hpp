@@ -39,12 +39,14 @@ struct CriticalOptions {
 };
 
 struct CriticalInfo {
-  /// crit_edge[np][np] (paper Fig. 22-c): the clustered weight where the
-  /// edge is critical, 0 elsewhere.
-  Matrix<Weight> crit_edge;
-
   /// The critical problem edges as a list (from, to, clustered weight).
   std::vector<TaskEdge> critical_edges;
+
+  /// The clustered weight where edge (from, to) is critical, 0 elsewhere —
+  /// the lookup the paper's dense crit_edge[np][np] matrix (Fig. 22-c)
+  /// provided, backed by the edge list so huge instances never pay np^2
+  /// cells. O(|critical_edges|); diagnostics/tests only.
+  [[nodiscard]] Weight critical_weight(NodeId from, NodeId to) const;
 
   /// c_abs_edge[na][na] (paper Fig. 20-b, first na columns): summed
   /// critical problem-edge weight between each pair of clusters.

@@ -70,6 +70,59 @@ int resolve_delta_version(int requested) {
   return 2;
 }
 
+/// Resolves DeltaOptions::potential_cache_slots / potential_cache_max_np.
+/// -1 defers to MIMDMAP_DELTA_CACHE: "off" (cache disabled), "<slots>" or
+/// "<slots>,<max_np>" (max_np 0 = no ceiling); malformed values are
+/// ignored rather than trusted. Defaults: 64 slots, 100000 ceiling.
+struct DeltaCacheConfig {
+  std::size_t slots = 64;
+  std::size_t max_np = 100000;
+};
+
+DeltaCacheConfig resolve_delta_cache(int slots, std::int64_t max_np) {
+  DeltaCacheConfig cfg;
+  bool env_parsed = false;
+  DeltaCacheConfig env_cfg;
+  if (slots < 0 || max_np < 0) {
+    if (const char* env = std::getenv("MIMDMAP_DELTA_CACHE");
+        env != nullptr && *env != '\0') {
+      const std::string_view v(env);
+      if (v == "off") {
+        env_cfg.slots = 0;
+        env_parsed = true;
+      } else {
+        char* tail = nullptr;
+        const long s = std::strtol(env, &tail, 10);
+        if (tail != nullptr && s >= 0) {
+          if (*tail == '\0') {
+            env_cfg.slots = static_cast<std::size_t>(s);
+            env_parsed = true;
+          } else if (*tail == ',') {
+            char* tail2 = nullptr;
+            const long m = std::strtol(tail + 1, &tail2, 10);
+            if (tail2 != nullptr && *tail2 == '\0' && m >= 0) {
+              env_cfg.slots = static_cast<std::size_t>(s);
+              env_cfg.max_np = static_cast<std::size_t>(m);
+              env_parsed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+  if (slots >= 0) {
+    cfg.slots = static_cast<std::size_t>(slots);
+  } else if (env_parsed) {
+    cfg.slots = env_cfg.slots;
+  }
+  if (max_np >= 0) {
+    cfg.max_np = static_cast<std::size_t>(max_np);
+  } else if (env_parsed) {
+    cfg.max_np = env_cfg.max_np;
+  }
+  return cfg;
+}
+
 }  // namespace
 
 DeltaEval::DeltaEval(const EvalEngine& engine, std::span<const NodeId> host_of,
@@ -88,6 +141,10 @@ DeltaEval::DeltaEval(const EvalEngine& engine, std::span<const NodeId> host_of,
       throw std::invalid_argument("begin_delta: host map is incomplete");
     }
   }
+  const DeltaCacheConfig cache = resolve_delta_cache(delta_options.potential_cache_slots,
+                                                     delta_options.potential_cache_max_np);
+  cache_slots_ = cache.slots;
+  cache_max_np_ = cache.max_np;
   host_.assign(host_of.begin(), host_of.end());
   if (options_.link_contention) engine_->ensure_routing();
 
@@ -523,9 +580,13 @@ void DeltaEval::seed_from_collected() {
 }
 
 const Weight* DeltaEval::pair_potential() {
-  // Giant graphs would make the cache slots themselves the memory hog;
-  // the static tail0 potential is always valid, just weaker.
-  if (np_ > 100000) {
+  // Disabled (0 slots) or bypassed (np above the configured ceiling —
+  // giant graphs would make the cache slots themselves the memory hog):
+  // the static tail0 potential is always valid, just weaker. Counted so
+  // the degradation is observable (CLI map stats / MappingReport) instead
+  // of a silent cliff.
+  if (cache_slots_ == 0 || (cache_max_np_ > 0 && np_ > cache_max_np_)) {
+    ++stats_.potential_cache_disabled;
     trial_prefix_bound_ = prefix_max_bound_.data();
     return engine_->tail0_.data();
   }
@@ -535,7 +596,7 @@ const Weight* DeltaEval::pair_potential() {
   if (a > b) std::swap(a, b);
   const std::uint32_t key = a * static_cast<std::uint32_t>(ns_) + b;
   if (pair_cache_.empty()) {
-    pair_cache_.resize(std::min<std::size_t>(ns_ * ns_, 64));
+    pair_cache_.resize(std::min<std::size_t>(ns_ * ns_, cache_slots_));
   }
   PairPotential& slot = pair_cache_[key % pair_cache_.size()];
   if (slot.key == key && slot.commit_epoch == commit_epoch_) {

@@ -25,7 +25,6 @@ EvalEngine::EvalEngine(const MappingInstance& instance, std::shared_ptr<ThreadPo
   node_weight_ = problem.node_weights();
 
   const NodeId np = problem.node_count();
-  const Matrix<Weight>& clus = instance.clus_edge();
   std::size_t total_arcs = 0;
   for (NodeId v = 0; v < np; ++v) total_arcs += problem.predecessors(v).size();
   pred_arcs_.reserve(total_arcs);
@@ -34,9 +33,11 @@ EvalEngine::EvalEngine(const MappingInstance& instance, std::shared_ptr<ThreadPo
     pred_offset_[idx(v)] = static_cast<std::uint32_t>(pred_arcs_.size());
     // Same edge-insertion order as TaskGraph::predecessors(v) — the legacy
     // evaluation's iteration order, which link_contention results depend on.
+    // Clustered weight straight off the adjacency (0 intra-cluster) keeps
+    // construction free of the dense np x np clus_edge matrix.
     for (const auto& [pred, edge_w] : problem.predecessors(v)) {
-      (void)edge_w;
-      pred_arcs_.push_back({pred, cluster_of_[idx(pred)], clus(idx(pred), idx(v))});
+      const NodeId pc = cluster_of_[idx(pred)];
+      pred_arcs_.push_back({pred, pc, pc == cluster_of_[idx(v)] ? 0 : edge_w});
     }
   }
   pred_offset_[idx(np)] = static_cast<std::uint32_t>(pred_arcs_.size());
@@ -54,8 +55,8 @@ EvalEngine::EvalEngine(const MappingInstance& instance, std::shared_ptr<ThreadPo
   for (NodeId v = 0; v < np; ++v) {
     succ_offset_[idx(v)] = static_cast<std::uint32_t>(succ_arcs_.size());
     for (const auto& [succ, edge_w] : problem.successors(v)) {
-      (void)edge_w;
-      succ_arcs_.push_back({succ, cluster_of_[idx(succ)], clus(idx(v), idx(succ))});
+      const NodeId sc = cluster_of_[idx(succ)];
+      succ_arcs_.push_back({succ, sc, sc == cluster_of_[idx(v)] ? 0 : edge_w});
     }
   }
   succ_offset_[idx(np)] = static_cast<std::uint32_t>(succ_arcs_.size());
@@ -101,7 +102,7 @@ EvalEngine::EvalEngine(const MappingInstance& instance, std::shared_ptr<ThreadPo
     const NodeId cu = cluster_of_[idx(e.from)];
     const NodeId cv = cluster_of_[idx(e.to)];
     if (cu == cv) continue;
-    const Weight cw = clus(idx(e.from), idx(e.to));
+    const Weight cw = e.weight;  // inter-cluster: clustered weight == edge weight
     by_cluster[idx(cv)].push_back({e.to, topo_pos_[idx(e.to)], cu, true, e.from, cw});
     by_cluster[idx(cu)].push_back({e.to, topo_pos_[idx(e.to)], cv, false, e.from, cw});
   }
@@ -493,6 +494,14 @@ int EvalEngine::resolve_batch_width(int requested, const EvalOptions& options) c
   }
   constexpr std::size_t kCacheBudget = 256 * 1024;
   const std::size_t w = kCacheBudget / std::max<std::size_t>(1, per_lane);
+  // Huge instances: once a single lane outgrows the whole budget the
+  // quotient collapses to 0, and the old clamp quietly degraded that to
+  // width 1 — discarding the SoA walk amortization exactly where it pays
+  // most (one CSR stream per wave serves every lane regardless of np, and
+  // cache residency is already lost either way). Hold a floor width
+  // instead; the fix is behavior-neutral for results (width invariance).
+  constexpr std::size_t kHugeInstanceFloor = 8;
+  if (w == 0) return static_cast<int>(kHugeInstanceFloor);
   return static_cast<int>(std::clamp<std::size_t>(w, 1, 32));
 }
 

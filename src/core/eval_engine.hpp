@@ -99,6 +99,24 @@ struct DeltaOptions {
   /// environment variable ("v1"/"1" or "v2"/"2"; default v2). Totals and
   /// accept streams are bit-identical across versions.
   int version = 0;
+
+  /// Slots of the v2 per-pair potential cache (direct-mapped; DESIGN.md
+  /// 13.3). > 0 explicit, 0 disables the cache outright, -1 (default)
+  /// resolves through MIMDMAP_DELTA_CACHE ("slots" / "slots,max_np" /
+  /// "off"), else 64. Every configuration is bit-identical on accept
+  /// streams — a weaker potential only loosens certified bounds of
+  /// rejected trials, never an accepted total.
+  int potential_cache_slots = -1;
+
+  /// Task-count ceiling above which the cache is bypassed (each slot
+  /// stores two np-sized tables, so giant graphs would make the slots
+  /// themselves the memory hog). > 0 explicit, 0 removes the ceiling, -1
+  /// (default) resolves through MIMDMAP_DELTA_CACHE's second field, else
+  /// 100000. Bypassed lookups fall back to the static tail0 potential —
+  /// always valid, just weaker — and are counted in
+  /// DeltaStats::potential_cache_disabled so the degradation is visible
+  /// instead of silent.
+  std::int64_t potential_cache_max_np = -1;
 };
 
 /// Counters accumulated by a DeltaEval across its lifetime.
@@ -112,6 +130,11 @@ struct DeltaStats {
   std::int64_t shift_fast_paths = 0;   ///< v2: tasks closed by the δ-shift rule
   std::int64_t verdict_exits = 0;      ///< v2: trials ended by a ">= cutoff" verdict
   std::int64_t claims_skipped = 0;     ///< v2: committed link claims never replayed
+  /// v2: pair-potential lookups served by the static tail0 fallback
+  /// because the cache is disabled (slots == 0) or bypassed (np above the
+  /// configured ceiling). Nonzero means the verdicts ran on the weaker
+  /// potential — tune DeltaOptions / MIMDMAP_DELTA_CACHE to re-enable.
+  std::int64_t potential_cache_disabled = 0;
 };
 
 class EvalEngine {
@@ -591,6 +614,10 @@ class DeltaEval {
     std::vector<Weight> prefix;  // [i] = max of end + tail over positions [0, i)
   };
   std::vector<PairPotential> pair_cache_;
+  // Resolved cache configuration (DeltaOptions::potential_cache_* plus the
+  // MIMDMAP_DELTA_CACHE env fallback; resolved once at construction).
+  std::size_t cache_slots_ = 64;
+  std::size_t cache_max_np_ = 100000;  // 0 = no ceiling
   std::uint64_t commit_epoch_ = 0;
   const Weight* trial_potential_ = nullptr;
   const Weight* trial_prefix_bound_ = nullptr;

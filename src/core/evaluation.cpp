@@ -47,7 +47,6 @@ ScheduleResult evaluate_reference(const MappingInstance& instance, const Assignm
   check_assignment(instance, assignment);
   const TaskGraph& problem = instance.problem();
   const Clustering& clustering = instance.clustering();
-  const Matrix<Weight>& clus = instance.clus_edge();
   const Matrix<Weight>& hops = instance.hops();
 
   const auto order = topological_order(problem);
@@ -75,7 +74,7 @@ ScheduleResult evaluate_reference(const MappingInstance& instance, const Assignm
     for (const auto& [pred, w] : problem.predecessors(v)) {
       // Communication cost: clustered weight times hop distance between the
       // hosting processors (0 for intra-cluster precedences).
-      const Weight cw = clus(idx(pred), idx(v));
+      const Weight cw = clustering.same_cluster(pred, v) ? 0 : w;
       Weight arrival = r.end[idx(pred)];
       if (cw > 0) {
         const NodeId pp = assignment.host_of(clustering.cluster_of(pred));

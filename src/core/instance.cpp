@@ -41,6 +41,15 @@ void MappingInstance::reset_peak_live_count() noexcept {
                               std::memory_order_relaxed);
 }
 
+const Matrix<Weight>& MappingInstance::clus_edge() const {
+  const std::lock_guard<std::mutex> lock(*clus_edge_mutex_);
+  if (!clus_edge_built_) {
+    clus_edge_ = clustered_edge_matrix(problem_, clustering_);
+    clus_edge_built_ = true;
+  }
+  return clus_edge_;
+}
+
 MappingInstance::MappingInstance(TaskGraph problem, Clustering clustering, SystemGraph system,
                                  DistanceModel distance_model)
     : problem_(std::move(problem)),
@@ -78,7 +87,6 @@ void MappingInstance::init_derived() {
         "MappingInstance: cluster count must equal processor count (na == ns)");
   }
   abstract_ = AbstractGraph(problem_, clustering_);
-  clus_edge_ = clustered_edge_matrix(problem_, clustering_);
   if (tables_ == nullptr) {
     hops_ = distance_model_ == DistanceModel::kHops ? all_pairs_hops(system_)
                                                     : floyd_warshall(system_);

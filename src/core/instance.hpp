@@ -2,8 +2,10 @@
 //
 // Bundles the paper's inputs — problem graph Gp, clustering (defining the
 // clustered problem graph Gc and abstract graph Ga), and system graph Gs —
-// together with the derived matrices every algorithm consumes:
-// clus_edge[np][np] (Fig. 19-a) and shortest[ns][ns] (Fig. 21-b).
+// together with the derived tables the algorithms consume: the ns x ns
+// distance matrix shortest[ns][ns] (Fig. 21-b) eagerly, and the paper's
+// dense clus_edge[np][np] (Fig. 19-a) lazily — hot paths derive clustered
+// weights from the adjacency lists, so np-scale memory stays O(V + E).
 //
 // Construction validates the paper's structural preconditions:
 //  * the problem graph is a DAG with positive weights,
@@ -14,6 +16,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "cluster/abstract_graph.hpp"
 #include "cluster/clustering.hpp"
@@ -43,8 +46,13 @@ class MappingInstance {
   [[nodiscard]] const SystemGraph& system() const noexcept { return system_; }
   [[nodiscard]] const AbstractGraph& abstract() const noexcept { return abstract_; }
 
-  /// Clustered-problem-graph edge matrix (paper's clus_edge).
-  [[nodiscard]] const Matrix<Weight>& clus_edge() const noexcept { return clus_edge_; }
+  /// Clustered-problem-graph edge matrix (paper's clus_edge). Dense
+  /// np x np, built lazily on first call (thread-safe) — every hot path
+  /// reads clustered weights straight off the problem adjacency lists
+  /// (clustered weight = 0 intra-cluster, edge weight otherwise), so huge
+  /// instances never materialize the np^2 cells. The matrix remains for
+  /// the paper-faithful oracles and small-instance diagnostics.
+  [[nodiscard]] const Matrix<Weight>& clus_edge() const;
 
   /// All-pairs distances in the system graph (paper's shortest matrix).
   /// Hop counts under DistanceModel::kHops, weighted path costs under
@@ -66,9 +74,10 @@ class MappingInstance {
   [[nodiscard]] NodeId num_processors() const noexcept { return system_.node_count(); }
 
   /// Clustered communication weight between two tasks (0 when they share a
-  /// cluster or are not connected).
+  /// cluster or are not connected). O(out-degree of `from`); search loops
+  /// should resolve weights from adjacency iteration instead.
   [[nodiscard]] Weight clustered_weight(NodeId from, NodeId to) const {
-    return clus_edge_(idx(from), idx(to));
+    return clustering_.same_cluster(from, to) ? 0 : problem_.edge_weight(from, to);
   }
 
   /// Process-wide count of currently-alive MappingInstance objects, and
@@ -100,7 +109,12 @@ class MappingInstance {
   Clustering clustering_;
   SystemGraph system_;
   AbstractGraph abstract_;
-  Matrix<Weight> clus_edge_;
+  // Lazy clus_edge storage. The mutex lives behind a shared_ptr so the
+  // instance stays copyable/movable; copies share the lock but carry their
+  // own (possibly already-built) matrix.
+  mutable std::shared_ptr<std::mutex> clus_edge_mutex_ = std::make_shared<std::mutex>();
+  mutable bool clus_edge_built_ = false;
+  mutable Matrix<Weight> clus_edge_;
   Matrix<Weight> hops_;  // unused when tables_ provides the matrix
   std::shared_ptr<const TopologyTables> tables_;
   DistanceModel distance_model_ = DistanceModel::kHops;

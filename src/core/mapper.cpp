@@ -15,6 +15,11 @@ MappingReport map_instance(const MappingInstance& instance, const MapperOptions&
 }
 
 MappingReport map_instance(const EvalEngine& engine, const MapperOptions& options) {
+  if (options.multilevel.enabled) return map_multilevel(engine, options);
+  return detail::map_flat(engine, options);
+}
+
+MappingReport detail::map_flat(const EvalEngine& engine, const MapperOptions& options) {
   const MappingInstance& instance = engine.instance();
   MappingReport report;
   {

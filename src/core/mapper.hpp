@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/critical.hpp"
 #include "core/eval_engine.hpp"
@@ -23,9 +24,48 @@
 
 namespace mimdmap {
 
+/// Multilevel coarsen–map–refine (DESIGN.md section 18): coarsen the task
+/// graph *within clusters* (cluster/coarsen.hpp), run the flat pipeline on
+/// the coarsest graph, then uncoarsen level by level, locally refining the
+/// assignment on each level's delta evaluator. Because coarsening never
+/// crosses clusters, every level shares the original ns clusters and the
+/// coarse assignment projects down as the identity on host_of.
+struct MultilevelOptions {
+  /// Master switch. Off = the flat paper pipeline, untouched.
+  bool enabled = false;
+  /// Coarsening stop size (tasks); 0 = auto (max(8 * ns, 64)). A target
+  /// >= np yields the trivial hierarchy, which reproduces the flat
+  /// pipeline bit-for-bit (test-enforced).
+  NodeId coarsen_target = 0;
+  /// Per-level refinement trial budget during uncoarsening; -1 = ns per
+  /// level (the paper's flat budget applied at each level).
+  std::int64_t level_trials = -1;
+  /// Coarsening pass caps (CoarsenOptions).
+  int max_levels = 32;
+  double min_reduction = 0.02;
+};
+
+/// Per-level diagnostics of a multilevel run, in execution order: the
+/// coarsest level (mapped by the flat pipeline) first, level 0 (the
+/// original problem) last.
+struct MultilevelLevelStats {
+  /// 0 = original problem; k = k-th coarse level below it.
+  int level = 0;
+  NodeId np = 0;            ///< tasks in this level's graph
+  std::size_t edges = 0;    ///< edges in this level's graph
+  std::int64_t trials = 0;  ///< refinement trials spent at this level
+  std::int64_t improvements = 0;
+  /// Level-graph makespan before/after this level's refinement (for the
+  /// coarsest level: initial-assignment total vs mapped total).
+  Weight total_before = 0;
+  Weight total_after = 0;
+  double ms = 0.0;  ///< wall time of the level's map/refine stage
+};
+
 struct MapperOptions {
   CriticalOptions critical;
   RefineOptions refine;
+  MultilevelOptions multilevel;
 };
 
 /// Everything the pipeline produced, for inspection and reporting.
@@ -58,6 +98,10 @@ struct MappingReport {
   /// refinement reached (or the initial assignment when the signal landed
   /// before refinement started), never garbage.
   MapStatus status = MapStatus::kOk;
+  /// Per-level diagnostics of a multilevel run, coarsest first, level 0
+  /// last. Empty for flat runs and for multilevel runs whose hierarchy was
+  /// trivial (those take the flat path bit-for-bit).
+  std::vector<MultilevelLevelStats> levels;
 
   [[nodiscard]] Weight total_time() const noexcept { return schedule.total_time; }
 
@@ -73,7 +117,21 @@ struct MappingReport {
 /// As above, reusing a caller-owned evaluation engine (and its worker pool)
 /// across the whole pipeline — the entry point for callers that map one
 /// instance repeatedly or follow up with baselines on the same engine.
+/// Dispatches to the multilevel pipeline when options.multilevel.enabled.
 [[nodiscard]] MappingReport map_instance(const EvalEngine& engine,
                                          const MapperOptions& options = {});
+
+/// The multilevel coarsen–map–refine pipeline (core/multilevel.cpp). Called
+/// by map_instance when options.multilevel.enabled; exposed for tests. A
+/// trivial hierarchy (coarsen_target >= np, or nothing contractible) falls
+/// through to the flat pipeline on the caller's engine, bit-for-bit.
+[[nodiscard]] MappingReport map_multilevel(const EvalEngine& engine,
+                                           const MapperOptions& options = {});
+
+namespace detail {
+/// The flat (paper) pipeline, never dispatching on multilevel — the shared
+/// backend of map_instance and map_multilevel's coarsest-level map.
+[[nodiscard]] MappingReport map_flat(const EvalEngine& engine, const MapperOptions& options);
+}  // namespace detail
 
 }  // namespace mimdmap

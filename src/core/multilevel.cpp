@@ -1,0 +1,186 @@
+// Multilevel coarsen–map–refine pipeline (DESIGN.md section 18).
+//
+//   coarsen within clusters (cluster/coarsen.hpp)
+//     -> flat paper pipeline on the coarsest graph
+//     -> uncoarsen level by level, each level locally refined on its own
+//        delta evaluator (verdict trials, pairwise_exchange_refine)
+//     -> final assignment scored on the caller's level-0 engine
+//
+// Every level shares the original ns clusters (coarsening never crosses
+// cluster boundaries), so the cluster -> processor assignment projects
+// down unchanged between levels; only the evaluation graph refines.
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "baseline/pairwise.hpp"
+#include "cluster/coarsen.hpp"
+#include "core/mapper.hpp"
+#include "obs/trace.hpp"
+
+namespace mimdmap {
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+void accumulate(DeltaStats& into, const DeltaStats& from) {
+  into.trials += from.trials;
+  into.delta_trials += from.delta_trials;
+  into.full_fallbacks += from.full_fallbacks;
+  into.commits += from.commits;
+  into.tasks_rescheduled += from.tasks_rescheduled;
+  into.positions_scanned += from.positions_scanned;
+  into.shift_fast_paths += from.shift_fast_paths;
+  into.verdict_exits += from.verdict_exits;
+  into.claims_skipped += from.claims_skipped;
+  into.potential_cache_disabled += from.potential_cache_disabled;
+}
+
+}  // namespace
+
+MappingReport map_multilevel(const EvalEngine& engine, const MapperOptions& options) {
+  const MappingInstance& instance = engine.instance();
+
+  CoarsenOptions coarsen_options;
+  coarsen_options.target = options.multilevel.coarsen_target;
+  coarsen_options.max_levels = options.multilevel.max_levels;
+  coarsen_options.min_reduction = options.multilevel.min_reduction;
+
+  CoarseningHierarchy hierarchy;
+  {
+    const obs::Span span("coarsen", "mapper", "np", instance.num_tasks());
+    hierarchy = coarsen_hierarchy(instance.problem(), instance.clustering(), coarsen_options);
+  }
+  // Trivial hierarchy (target >= np or nothing contractible): the flat
+  // pipeline on the caller's engine, bit-for-bit.
+  if (hierarchy.trivial()) return detail::map_flat(engine, options);
+
+  // Per-level instances share the caller's topology (tables when present,
+  // otherwise the same distance model) and worker pool.
+  const auto make_level_instance = [&instance](const CoarseLevel& level) {
+    if (instance.shared_tables()) {
+      return MappingInstance(level.graph, level.clustering, instance.system(),
+                             instance.shared_tables());
+    }
+    return MappingInstance(level.graph, level.clustering, instance.system(),
+                           instance.distance_model());
+  };
+
+  MappingReport report;
+  const int num_coarse = static_cast<int>(hierarchy.levels.size());
+  report.levels.reserve(static_cast<std::size_t>(num_coarse) + 1);
+
+  // Level-0 diagnostics up front, exactly like the flat pipeline's opening
+  // stages — the lower bound is level-invariant in spirit but only exact
+  // here, and report consumers expect ideal/critical of the real problem.
+  {
+    const obs::Span span("ideal_schedule", "mapper");
+    report.ideal = compute_ideal_schedule(instance);
+  }
+  report.lower_bound = report.ideal.lower_bound;
+  {
+    const obs::Span span("find_critical", "mapper");
+    report.critical = find_critical(instance, report.ideal, options.critical);
+  }
+  report.eval_width = engine.resolve_batch_width(options.refine.eval_width, options.refine.eval);
+
+  // 1. Map the coarsest graph with the full paper pipeline.
+  Assignment host;
+  MapStatus status = MapStatus::kOk;
+  {
+    const CoarseLevel& coarsest = hierarchy.coarsest();
+    const obs::Span span("map_coarse", "mapper", "np", coarsest.graph.node_count());
+    const auto start = std::chrono::steady_clock::now();
+    const MappingInstance coarse_instance = make_level_instance(coarsest);
+    const EvalEngine coarse_engine(coarse_instance, engine.pool());
+    MapperOptions coarse_options = options;
+    coarse_options.multilevel.enabled = false;
+    const MappingReport coarse = detail::map_flat(coarse_engine, coarse_options);
+    host = coarse.assignment;
+    status = coarse.status;
+    report.refinement_trials += coarse.refinement_trials;
+    report.improvements += coarse.improvements;
+    accumulate(report.delta, coarse.delta);
+    report.levels.push_back({num_coarse, coarsest.graph.node_count(),
+                             coarsest.graph.edge_count(), coarse.refinement_trials,
+                             coarse.improvements, coarse.initial_total,
+                             coarse.schedule.total_time, elapsed_ms(start)});
+  }
+
+  // The multilevel "initial assignment": the coarse mapping projected to
+  // level 0 (identity on host_of), scored exactly on the caller's engine.
+  report.initial_assignment = host;
+  report.pinned.assign(idx(instance.num_processors()), false);
+  report.initial_total = engine.evaluate(host, options.refine.eval).total_time;
+
+  // 2. Uncoarsen: refine the projected assignment at every finer level on
+  // that level's delta evaluator. Level k (k >= 1) is hierarchy.levels[k-1];
+  // level 0 is the caller's instance/engine.
+  bool base_refined = false;
+  for (int level = num_coarse - 1; level >= 0 && status == MapStatus::kOk; --level) {
+    // Stage boundary between levels: a tripped token ships the current
+    // projection (valid at every level) scored at level 0 below.
+    if (options.refine.cancel.signalled()) {
+      status = options.refine.cancel.status();
+      break;
+    }
+    const obs::Span span("uncoarsen_refine", "mapper", "level", level);
+    const auto start = std::chrono::steady_clock::now();
+
+    std::optional<MappingInstance> level_instance;
+    std::optional<EvalEngine> level_engine;
+    const EvalEngine* eng = &engine;
+    if (level > 0) {
+      level_instance.emplace(make_level_instance(hierarchy.levels[static_cast<std::size_t>(level - 1)]));
+      level_engine.emplace(*level_instance, engine.pool());
+      eng = &*level_engine;
+    }
+
+    const IdealSchedule level_ideal =
+        level > 0 ? compute_ideal_schedule(eng->instance()) : report.ideal;
+    InitialAssignmentResult projected;
+    projected.assignment = host;
+    projected.pinned.assign(idx(instance.num_processors()), false);
+
+    RefineOptions level_options = options.refine;
+    level_options.max_trials = options.multilevel.level_trials;
+    level_options.respect_pinned = false;
+    // Decorrelate the per-level trial streams deterministically.
+    level_options.seed =
+        options.refine.seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(level + 1);
+
+    const RefineResult refined = pairwise_exchange_refine(*eng, level_ideal, projected, level_options);
+    host = refined.assignment;
+    status = refined.status;
+    report.refinement_trials += refined.trials_used;
+    report.improvements += refined.improvements;
+    accumulate(report.delta, refined.delta);
+    report.levels.push_back({level, eng->instance().num_tasks(),
+                             eng->instance().problem().edge_count(), refined.trials_used,
+                             refined.improvements, refined.initial_total,
+                             refined.schedule.total_time, elapsed_ms(start)});
+    if (level == 0 && status == MapStatus::kOk) {
+      base_refined = true;
+      report.assignment = refined.assignment;
+      report.schedule = refined.schedule;
+      report.terminated_early = refined.terminated_early;
+    }
+  }
+
+  // Cancelled (or base level reported a tripped token mid-refine): the
+  // incumbent projection is still a complete, valid assignment — score it
+  // exactly at level 0 and ship it degraded, never garbage.
+  if (!base_refined) {
+    report.assignment = host;
+    report.schedule = engine.evaluate(host, options.refine.eval);
+  }
+  report.reached_lower_bound = report.schedule.total_time == report.lower_bound;
+  report.status = status;
+  return report;
+}
+
+}  // namespace mimdmap

@@ -47,7 +47,8 @@ std::vector<std::string> schedule_violations(const MappingInstance& instance,
   // Precedence + minimum communication.
   for (const TaskEdge& e : problem.edges()) {
     Weight comm = 0;
-    const Weight cw = instance.clus_edge()(idx(e.from), idx(e.to));
+    const Weight cw =
+        instance.clustering().same_cluster(e.from, e.to) ? 0 : e.weight;
     if (cw > 0) {
       const NodeId pa = assignment.host_of(instance.clustering().cluster_of(e.from));
       const NodeId pb = assignment.host_of(instance.clustering().cluster_of(e.to));

@@ -150,6 +150,10 @@ MapJob make_job(const WireRequest& request, std::uint64_t client_id, CancelToken
       cli::manifest_seed(*kv, "trials", static_cast<std::uint64_t>(-1), 0));
   job.options.critical.propagate_through_intra_cluster =
       cli::manifest_bool(*kv, "extended-critical");
+  job.options.multilevel.enabled = cli::manifest_bool(*kv, "multilevel");
+  job.options.multilevel.coarsen_target =
+      static_cast<NodeId>(cli::manifest_seed(*kv, "coarsen-target", 0, 0));
+  job.options.multilevel.level_trials = cli::manifest_int(*kv, "level-trials", -1, 0);
   job.random_trials =
       static_cast<std::int64_t>(cli::manifest_seed(*kv, "random-trials", 0, 0));
   job.random_seed = cli::manifest_seed(*kv, "random-seed", 99, 0);

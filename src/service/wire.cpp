@@ -31,7 +31,8 @@ const std::set<std::string>& submit_keys() {
       // manifest family (cli/manifest.cpp known_keys)
       "problem", "system", "spec", "clustering", "strategy", "seed", "name", "trials",
       "refine-seed", "serialize", "contention", "weighted-links", "extended-critical",
-      "random-trials", "random-seed", "deadline-ms",
+      "random-trials", "random-seed", "deadline-ms", "multilevel", "coarsen-target",
+      "level-trials",
       // serve extensions
       "op", "id", "priority", "size-hint",
       // generated workloads (no server-side files needed)
@@ -238,6 +239,8 @@ WireRequest parse_request(const std::string& line) {
       (void)cli::manifest_seed(kv, "trials", 0, 0);
       (void)cli::manifest_seed(kv, "random-trials", 0, 0);
       (void)cli::manifest_seed(kv, "random-seed", 0, 0);
+      (void)cli::manifest_seed(kv, "coarsen-target", 0, 0);
+      (void)cli::manifest_int(kv, "level-trials", -1, 0);
       request.deadline_ms = cli::manifest_int(kv, "deadline-ms", 0, 0);
       request.priority = static_cast<int>(cli::manifest_int(kv, "priority", 0, 0));
       if (request.priority < -1000000 || request.priority > 1000000) {

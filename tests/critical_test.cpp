@@ -35,9 +35,9 @@ TEST(CriticalTest, RunningExamplePaperAlgorithm) {
   EXPECT_EQ(to_set(info.critical_edges), expected);
 
   // e79 carries weight 2 in crit_edge (Fig. 22-c semantics).
-  EXPECT_EQ(info.crit_edge(6, 8), 2);
+  EXPECT_EQ(info.critical_weight(6, 8), 2);
   // e59 is not critical (the text's counter-example).
-  EXPECT_EQ(info.crit_edge(4, 8), 0);
+  EXPECT_EQ(info.critical_weight(4, 8), 0);
 }
 
 TEST(CriticalTest, RunningExampleAbstractAggregation) {

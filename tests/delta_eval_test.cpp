@@ -760,5 +760,125 @@ TEST(DeltaEvalTest, StatsCountersAreCoherent) {
   EXPECT_GT(delta.stats().positions_scanned, 0);
 }
 
+// --- Satellite: the potential-cache np ceiling must be configurable and
+// visible (DeltaStats::potential_cache_disabled), and crossing it must
+// never change an accept stream — the weaker tail0 potential only loosens
+// certified bounds of *rejected* verdict trials.
+
+/// One deterministic verdict-trial hill climb; returns the accept stream
+/// (committed totals in order) and the evaluator's final stats.
+std::pair<std::vector<Weight>, DeltaStats> verdict_climb(const EvalEngine& engine,
+                                                         const DeltaOptions& delta_options) {
+  const NodeId ns = engine.instance().num_processors();
+  Rng rng(4242);
+  std::vector<NodeId> host = random_assignment(ns, rng).host_of_vector();
+  DeltaEval delta = engine.begin_delta(host, EvalOptions{}, delta_options);
+  Weight best = delta.committed_total();
+  std::vector<Weight> accepts;
+  for (int op = 0; op < 120; ++op) {
+    const NodeId c1 = static_cast<NodeId>(rng.uniform(0, ns - 1));
+    NodeId c2 = static_cast<NodeId>(rng.uniform(0, ns - 2));
+    if (c2 >= c1) ++c2;
+    const Weight t = delta.try_swap(c1, c2, best);
+    if (t < best) {
+      delta.commit();
+      best = t;
+      accepts.push_back(t);
+    } else {
+      delta.revert();
+    }
+  }
+  return {std::move(accepts), delta.stats()};
+}
+
+TEST(DeltaEvalTest, PotentialCacheCeilingIsConfigurableCountedAndAcceptInvariant) {
+  LayeredDagParams p;
+  p.num_tasks = 70;
+  const TaskGraph g = make_layered_dag(p, 31);
+  const MappingInstance inst(g, random_clustering(g, 8, 7), make_hypercube(3));
+  const EvalEngine engine(inst);
+
+  DeltaOptions with_cache;
+  with_cache.version = 2;
+  const auto [accepts_cached, stats_cached] = verdict_climb(engine, with_cache);
+  EXPECT_EQ(stats_cached.potential_cache_disabled, 0);
+
+  // np (70) just above a tiny explicit ceiling: the cache is bypassed, the
+  // bypass is counted, and the accept stream is bit-identical.
+  DeltaOptions bypassed = with_cache;
+  bypassed.potential_cache_max_np = 1;
+  const auto [accepts_bypassed, stats_bypassed] = verdict_climb(engine, bypassed);
+  EXPECT_GT(stats_bypassed.potential_cache_disabled, 0);
+  EXPECT_EQ(accepts_bypassed, accepts_cached);
+
+  // slots = 0 disables the cache outright — same contract.
+  DeltaOptions disabled = with_cache;
+  disabled.potential_cache_slots = 0;
+  const auto [accepts_disabled, stats_disabled] = verdict_climb(engine, disabled);
+  EXPECT_GT(stats_disabled.potential_cache_disabled, 0);
+  EXPECT_EQ(accepts_disabled, accepts_cached);
+
+  // 0 removes the ceiling entirely.
+  DeltaOptions no_ceiling = with_cache;
+  no_ceiling.potential_cache_max_np = 0;
+  const auto [accepts_unbounded, stats_unbounded] = verdict_climb(engine, no_ceiling);
+  EXPECT_EQ(stats_unbounded.potential_cache_disabled, 0);
+  EXPECT_EQ(accepts_unbounded, accepts_cached);
+}
+
+TEST(DeltaEvalTest, PotentialCacheEnvOverride) {
+  LayeredDagParams p;
+  p.num_tasks = 60;
+  const TaskGraph g = make_layered_dag(p, 17);
+  const MappingInstance inst(g, random_clustering(g, 8, 3), make_hypercube(3));
+  const EvalEngine engine(inst);
+
+  const char* ambient = std::getenv("MIMDMAP_DELTA_CACHE");
+  const std::string saved = ambient == nullptr ? "" : ambient;
+  struct RestoreEnv {
+    const std::string* saved;
+    ~RestoreEnv() {
+      if (saved->empty()) {
+        unsetenv("MIMDMAP_DELTA_CACHE");
+      } else {
+        setenv("MIMDMAP_DELTA_CACHE", saved->c_str(), 1);
+      }
+    }
+  } restore{&saved};
+
+  DeltaOptions v2;
+  v2.version = 2;
+  unsetenv("MIMDMAP_DELTA_CACHE");
+  const auto [accepts_default, stats_default] = verdict_climb(engine, v2);
+  EXPECT_EQ(stats_default.potential_cache_disabled, 0);
+
+  // "off" disables via the environment; accept stream unchanged.
+  setenv("MIMDMAP_DELTA_CACHE", "off", 1);
+  const auto [accepts_off, stats_off] = verdict_climb(engine, v2);
+  EXPECT_GT(stats_off.potential_cache_disabled, 0);
+  EXPECT_EQ(accepts_off, accepts_default);
+
+  // "slots,max_np" with a ceiling below np bypasses the cache.
+  setenv("MIMDMAP_DELTA_CACHE", "64,10", 1);
+  const auto [accepts_low, stats_low] = verdict_climb(engine, v2);
+  EXPECT_GT(stats_low.potential_cache_disabled, 0);
+  EXPECT_EQ(accepts_low, accepts_default);
+
+  // Explicit DeltaOptions values beat the environment.
+  setenv("MIMDMAP_DELTA_CACHE", "64,10", 1);
+  DeltaOptions explicit_wins = v2;
+  explicit_wins.potential_cache_slots = 64;
+  explicit_wins.potential_cache_max_np = 100000;
+  const auto [accepts_explicit, stats_explicit] = verdict_climb(engine, explicit_wins);
+  EXPECT_EQ(stats_explicit.potential_cache_disabled, 0);
+  EXPECT_EQ(accepts_explicit, accepts_default);
+
+  // Malformed values are ignored (defaults apply).
+  setenv("MIMDMAP_DELTA_CACHE", "bogus", 1);
+  const auto [accepts_bogus, stats_bogus] = verdict_climb(engine, v2);
+  EXPECT_EQ(stats_bogus.potential_cache_disabled, 0);
+  EXPECT_EQ(accepts_bogus, accepts_default);
+}
+
 }  // namespace
 }  // namespace mimdmap

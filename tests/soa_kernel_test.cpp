@@ -339,6 +339,37 @@ TEST(SoaKernelTest, ResolveBatchWidthHonorsRequestEnvAndFootprint) {
   EXPECT_EQ(engine.resolve_batch_width(0, EvalOptions{}), plain);  // deterministic
 }
 
+TEST(SoaKernelTest, ResolveBatchWidthKeepsLanesOnHugeInstances) {
+  // Regression: at np >= ~32k one lane's SoA state exceeds the cache
+  // budget, and the auto width used to collapse to 1 — serializing the
+  // refinement waves exactly where parallel lanes matter most. The floor
+  // keeps huge instances on a useful wave width.
+  LayeredDagParams p;
+  p.num_tasks = 40000;
+  p.num_layers = 200;
+  const TaskGraph g = make_layered_dag(p, 21);
+  const MappingInstance inst(g, random_clustering(g, 8, 2), make_hypercube(3));
+  const EvalEngine engine(inst);
+
+  const char* ambient = std::getenv("MIMDMAP_EVAL_WIDTH");
+  const std::string saved = ambient == nullptr ? "" : ambient;
+  struct RestoreEnv {
+    const std::string* saved;
+    ~RestoreEnv() {
+      if (saved->empty()) {
+        unsetenv("MIMDMAP_EVAL_WIDTH");
+      } else {
+        setenv("MIMDMAP_EVAL_WIDTH", saved->c_str(), 1);
+      }
+    }
+  } restore{&saved};
+  unsetenv("MIMDMAP_EVAL_WIDTH");
+
+  EXPECT_GE(engine.resolve_batch_width(0), 8);
+  EXPECT_GE(engine.resolve_batch_width(0, EvalOptions{.link_contention = true}), 8);
+  EXPECT_LE(engine.resolve_batch_width(0), 32);
+}
+
 TEST(SoaKernelTest, RejectsBadArguments) {
   TaskGraph g(4);
   g.add_edge(0, 1, 1);
