@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""CI crash-recovery smoke for `mimdmap_cli serve --journal` (ISSUE 10).
+
+Starts a journaled daemon on a Unix socket, submits a mixed workload of
+fast and deliberately slow jobs, waits for every accepted frame, then
+SIGKILLs the daemon mid-flight. A restart on the same journal directory
+must replay the unfinished jobs through the normal scheduler: the smoke
+polls op=stats until journal-pending and outstanding both reach zero,
+asserts at least one job was replayed and that every accepted job got
+exactly one terminal frame, then drains. The daemon's own exit status
+enforces accepted == terminal_frames a second time.
+
+Usage: crash_smoke.py <path-to-mimdmap_cli> [socket] [journal-dir]
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+CLI = sys.argv[1]
+SOCK = sys.argv[2] if len(sys.argv) > 2 else "/tmp/mimdmap-crash.sock"
+JDIR = sys.argv[3] if len(sys.argv) > 3 else "/tmp/mimdmap-crash-wal"
+
+
+def start_daemon():
+    return subprocess.Popen(
+        [CLI, "serve", "--socket", SOCK, "--journal", JDIR,
+         "--journal-fsync", "always", "--cache-bytes", "1048576", "--quiet"]
+    )
+
+
+def connect(timeout=60.0):
+    deadline = time.time() + timeout
+    while True:
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            s.connect(SOCK)
+            return s
+        except OSError:
+            s.close()
+            if time.time() > deadline:
+                raise SystemExit(f"crash smoke: daemon never bound {SOCK}")
+            time.sleep(0.05)
+
+
+def frames(sock_file):
+    for line in sock_file:
+        line = line.strip()
+        if line:
+            yield dict(kv.split("=", 1) for kv in line.split(" "))
+
+
+if os.path.exists(SOCK):
+    os.unlink(SOCK)
+
+# Phase 1: journaled daemon, mixed workload, kill -9 mid-flight. The slow
+# jobs carry a deadline so a sanitizer-slowed replay still terminates.
+daemon = start_daemon()
+sock = connect()
+reader = sock.makefile("r")
+fast = "gen=diamond gen-a=4 gen-b=4 spec=mesh-2x2 trials=200"
+slow = ("gen=layered gen-a=400 gen-b=10 gen-seed=1 spec=hypercube-3 "
+        "trials=50000 deadline-ms=60000")
+jobs = [f"id=fast-{i} {fast} seed={i + 1}" for i in range(4)]
+jobs += [f"id=slow-{i} {slow} seed={i + 1}" for i in range(4)]
+sock.sendall("".join(j + "\n" for j in jobs).encode())
+accepted = 0
+for frame in frames(reader):
+    event = frame.get("event")
+    if event == "accepted":
+        accepted += 1
+        if accepted == len(jobs):
+            break
+    elif event in ("overloaded", "error"):
+        raise SystemExit(f"crash smoke: unexpected frame during submit: {frame}")
+print(f"phase 1: {accepted} jobs accepted and journaled, SIGKILL mid-flight")
+daemon.send_signal(signal.SIGKILL)
+daemon.wait()
+sock.close()
+
+# Phase 2: restart on the same journal; recovery replays the unfinished
+# tail. Poll op=stats until the backlog settles.
+daemon = start_daemon()
+sock = connect()
+reader = sock.makefile("r")
+deadline = time.time() + 240
+stats = {}
+while True:
+    sock.sendall(b"op=stats\n")
+    stats = next(f for f in frames(reader) if f.get("event") == "stats")
+    if stats.get("journal-pending") == "0" and stats.get("outstanding") == "0":
+        break
+    if time.time() > deadline:
+        raise SystemExit(f"crash smoke: recovery never settled: {stats}")
+    time.sleep(0.5)
+
+replayed = int(stats.get("replayed", "0"))
+assert replayed >= 1, f"crash smoke: nothing was replayed after kill -9: {stats}"
+assert int(stats.get("journal-recovered", "0")) >= 1, stats
+assert stats["accepted"] == stats["results"], (
+    f"crash smoke: accepted != terminal frames after recovery: {stats}")
+print(f"phase 2: recovery settled, replayed={replayed} "
+      f"accepted={stats['accepted']} results={stats['results']} "
+      f"cached-results={stats.get('cached-results', '0')}")
+
+# Drain shuts the daemon down; its exit code re-asserts the invariant.
+sock.sendall(b"op=drain\n")
+for frame in frames(reader):
+    if frame.get("event") == "bye":
+        break
+sock.close()
+code = daemon.wait(timeout=120)
+assert code == 0, f"crash smoke: restarted daemon exited {code}"
+print("crash-recovery smoke OK")

@@ -66,6 +66,7 @@ struct JobRecord {
   bool accepted = false;
   bool shed = false;
   bool errored = false;
+  bool cached = false;  // terminal frame carried cached=1 (result cache hit)
   int terminals = 0;  // result frames seen — must end at 1 for accepted jobs
   std::string status;
 };
@@ -210,6 +211,8 @@ class Client {
         ++rec.terminals;
         const auto status_it = kv.find("status");
         if (status_it != kv.end()) rec.status = status_it->second;
+        const auto cached_it = kv.find("cached");
+        if (cached_it != kv.end() && cached_it->second == "1") rec.cached = true;
       } else if (event == "overloaded") {
         rec.shed = true;
       } else if (event == "error") {
@@ -396,13 +399,72 @@ PhaseStats run_backlog_phase(const std::string& socket_path, const std::string& 
 }
 
 std::unique_ptr<serve::MapServer> start_server(const std::string& socket_path, bool fifo,
-                                               std::size_t max_queue) {
+                                               std::size_t max_queue,
+                                               std::uint64_t cache_bytes = 0) {
   serve::ServerOptions options;
   options.service.scheduler = fifo ? SchedulerPolicy::kFifo : SchedulerPolicy::kPriority;
   options.service.max_queue = max_queue;
+  options.cache_bytes = cache_bytes;
   auto server = std::make_unique<serve::MapServer>(std::move(options));
   server->listen_unix(socket_path);
   return server;
+}
+
+/// Idempotent result-cache phase: one warm run of a fixed request, then
+/// `repeats` identical-fingerprint submits (distinct ids). Against a
+/// --cache-bytes daemon every repeat answers cached=1 without touching the
+/// pool — the p50/p99 here is pure wire + cache-lookup latency.
+struct CachePhaseStats {
+  int repeats = 0;
+  int cached_hits = 0;
+  int lost = 0;
+  double warm_ms = 0.0;
+  double hit_p50_ms = 0.0;
+  double hit_p99_ms = 0.0;
+};
+
+CachePhaseStats run_cache_phase(const std::string& socket_path, int repeats,
+                                std::chrono::seconds timeout) {
+  CachePhaseStats stats;
+  stats.repeats = repeats;
+  Client client;
+  if (!client.connect_to(socket_path)) {
+    std::cerr << "serve_load: cannot connect to " << socket_path << "\n";
+    stats.lost = repeats;
+    return stats;
+  }
+  // Warm run: the first submit of this fingerprint actually maps.
+  client.submit("cache-warm", kInteractive, interactive_request("cache-warm"));
+  if (!client.wait_answered(timeout)) {
+    std::cerr << "serve_load: cache warm run timed out\n";
+    stats.lost = repeats;
+    return stats;
+  }
+  {
+    const auto records = client.snapshot();
+    const auto it = records.find("cache-warm");
+    if (it != records.end() && it->second.terminals > 0) {
+      stats.warm_ms = ms_between(it->second.sent, it->second.done);
+    }
+  }
+  for (int i = 0; i < repeats; ++i) {
+    const std::string id = "cache-hit-" + std::to_string(i);
+    client.submit(id, kInteractive, interactive_request(id));
+  }
+  if (!client.wait_answered(timeout)) std::cerr << "serve_load: cache phase timed out\n";
+  std::vector<double> latencies;
+  for (const auto& [id, rec] : client.snapshot()) {
+    if (id == "cache-warm") continue;
+    if (rec.accepted && rec.terminals == 0) ++stats.lost;
+    if (rec.terminals >= 1 && rec.cached) {
+      ++stats.cached_hits;
+      latencies.push_back(ms_between(rec.sent, rec.done));
+    }
+  }
+  stats.hit_p50_ms = percentile(latencies, 0.50);
+  stats.hit_p99_ms = percentile(latencies, 0.99);
+  client.close();
+  return stats;
 }
 
 void emit_phase(std::ostream& os, const PhaseStats& s, const char* indent) {
@@ -503,8 +565,10 @@ int run(int argc, char** argv) {
   // against in-process servers.
   PhaseStats priority_stats;
   PhaseStats fifo_stats;
+  CachePhaseStats cache_stats;
   const int backlog = smoke ? 5 : 12;
   const int probes = smoke ? 5 : 15;
+  const int cache_repeats = smoke ? 20 : 100;
   if (!external) {
     server = start_server(socket_path, /*fifo=*/false, /*max_queue=*/256);
     priority_stats = run_backlog_phase(socket_path, "priority", backlog, probes,
@@ -513,6 +577,13 @@ int run(int argc, char** argv) {
     server = start_server(socket_path, /*fifo=*/true, /*max_queue=*/256);
     fifo_stats = run_backlog_phase(socket_path, "fifo", backlog, probes,
                                    /*drain=*/true, timeout);
+    server->wait();
+    // Result-cache phase needs a cache-enabled server-side policy, so it
+    // also only runs in-process.
+    server = start_server(socket_path, /*fifo=*/false, /*max_queue=*/256,
+                          /*cache_bytes=*/1u << 20);
+    cache_stats = run_cache_phase(socket_path, cache_repeats, timeout);
+    server->request_drain(serve::DrainMode::kFinish);
     server->wait();
     server.reset();
     ::unlink(socket_path.c_str());
@@ -525,6 +596,8 @@ int run(int argc, char** argv) {
   if (!external) {
     clean = clean && priority_stats.bye && priority_stats.lost == 0 && fifo_stats.bye &&
             fifo_stats.lost == 0;
+    // Every repeat of an identical fingerprint must hit (and nothing lost).
+    clean = clean && cache_stats.lost == 0 && cache_stats.cached_hits == cache_repeats;
   }
 
   std::ostringstream os;
@@ -558,6 +631,14 @@ int run(int argc, char** argv) {
        << (priority_stats.interactive_p99_ms < fifo_stats.interactive_p99_ms ? "true"
                                                                              : "false")
        << "\n";
+    os << "  },\n";
+    os << "  \"result_cache\": {\n";
+    os << "    \"repeats\": " << cache_stats.repeats << ",\n";
+    os << "    \"cached_hits\": " << cache_stats.cached_hits << ",\n";
+    os << "    \"lost\": " << cache_stats.lost << ",\n";
+    os << "    \"warm_run_ms\": " << cache_stats.warm_ms << ",\n";
+    os << "    \"cache_hit_p50_ms\": " << cache_stats.hit_p50_ms << ",\n";
+    os << "    \"cache_hit_p99_ms\": " << cache_stats.hit_p99_ms << "\n";
     os << "  },\n";
   }
   os << "  \"zero_lost_terminals\": " << (clean ? "true" : "false") << "\n";

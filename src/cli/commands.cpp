@@ -1,8 +1,14 @@
 #include "cli/commands.hpp"
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstring>
 #include <deque>
 #include <fstream>
 #include <iomanip>
@@ -459,10 +465,12 @@ int cmd_batch(Flags& flags, std::ostream& out, std::ostream& err) {
     // exposes): queued-not-started and on-a-runner right now.
     obs::Gauge& queue_gauge = obs::registry().gauge("mimdmap_service_queue_depth");
     obs::Gauge& active_gauge = obs::registry().gauge("mimdmap_service_active_jobs");
-    progress = [&err, &queue_gauge, &active_gauge](const BatchProgress& p) {
+    obs::Rate& rate_gauge = obs::registry().rate("mimdmap_service_jobs_per_sec");
+    progress = [&err, &queue_gauge, &active_gauge, &rate_gauge](const BatchProgress& p) {
       err << "\r[" << p.completed << "/" << p.total << "] " << p.last->name << " ("
           << std::fixed << std::setprecision(1) << p.last->wall_ms << " ms)"
           << " queue=" << queue_gauge.value() << " inflight=" << active_gauge.value()
+          << " " << rate_gauge.per_second() << " jobs/s"
           << "    " << std::defaultfloat << std::setprecision(6);
       if (p.completed == p.total) err << "\n";
       err.flush();
@@ -600,6 +608,14 @@ int cmd_serve(Flags& flags, std::ostream& out, std::ostream& err) {
       static_cast<std::uint64_t>(flags.get_int("queue-tasks", 0));
   if (flags.get_bool("fifo")) options.service.scheduler = SchedulerPolicy::kFifo;
   options.log = quiet ? nullptr : &err;
+  options.journal_dir = flags.get_string("journal", "");
+  options.journal_fsync =
+      serve::parse_fsync_policy(flags.get_string("journal-fsync", "batch"));
+  options.journal_repair = flags.get_bool("journal-repair");
+  options.cache_bytes = static_cast<std::uint64_t>(flags.get_int("cache-bytes", 0));
+  if (const std::int64_t rotate = flags.get_int("journal-rotate-bytes", 0); rotate > 0) {
+    options.journal_rotate_bytes = static_cast<std::uint64_t>(rotate);
+  }
   if (const int rc = reject_unused(flags, err); rc != 0) return rc;
 
   if (socket_path.empty() == !stdio) {
@@ -667,7 +683,10 @@ int cmd_serve(Flags& flags, std::ostream& out, std::ostream& err) {
   out << "serve: " << stats.connections_opened << " connections, " << stats.accepted
       << " accepted, " << stats.terminal_frames << " results, " << stats.shed << " shed, "
       << stats.parse_errors << " protocol errors, " << stats.disconnect_cancels
-      << " disconnect cancels\n";
+      << " disconnect cancels";
+  if (stats.replayed > 0) out << ", " << stats.replayed << " replayed";
+  if (stats.cached_results > 0) out << ", " << stats.cached_results << " cached";
+  out << "\n";
   // The invariant the whole design hangs on — if it ever fails in the
   // field, say so loudly and exit nonzero so supervisors notice.
   if (stats.terminal_frames != stats.accepted) {
@@ -679,6 +698,165 @@ int cmd_serve(Flags& flags, std::ostream& out, std::ostream& err) {
   // this process touched) — same text `op=metrics` serves live.
   if (metrics_dump) out << obs::registry().render_prometheus();
   return rc;
+}
+
+namespace {
+
+/// Blocking Unix-socket connect; -1 on failure (caller retries).
+int client_connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool client_send(int fd, const std::string& line) {
+  const std::string framed = line + "\n";
+  const char* p = framed.data();
+  std::size_t left = framed.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+int cmd_client(Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::string socket_path = flags.require_string("socket");
+  const std::string request = flags.get_string("request", "");
+  const std::string manifest_path = flags.get_string("manifest", "");
+  serve::RetryPolicy policy;
+  policy.max_attempts = static_cast<int>(flags.get_int("retries", policy.max_attempts));
+  policy.base_ms = flags.get_int("base-ms", policy.base_ms);
+  policy.cap_ms = flags.get_int("cap-ms", policy.cap_ms);
+  policy.seed = static_cast<std::uint64_t>(flags.get_int("seed", 0));
+  const bool quiet = flags.get_bool("quiet");
+  if (const int rc = reject_unused(flags, err); rc != 0) return rc;
+  if (request.empty() == manifest_path.empty()) {
+    throw std::invalid_argument("client needs exactly one of --request or --manifest");
+  }
+  if (policy.max_attempts < 1) throw std::invalid_argument("--retries must be >= 1");
+
+  std::vector<std::string> lines;
+  if (!request.empty()) {
+    lines.push_back(request);
+  } else {
+    std::istringstream file(slurp(manifest_path));
+    std::string line;
+    while (std::getline(file, line)) {
+      const std::size_t start = line.find_first_not_of(" \t\r");
+      if (start == std::string::npos || line[start] == '#') continue;
+      lines.push_back(line);
+    }
+  }
+  if (lines.empty()) throw std::invalid_argument("no requests to send");
+
+  // Requests are validated locally first: a typo costs an error here, not
+  // a round of retries against the daemon.
+  for (const std::string& line : lines) (void)serve::parse_request(line);
+
+  int failed = 0;
+  int fd = -1;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    bool terminal = false;
+    // Retry loop: overloaded answers and dropped connections are both
+    // retryable — resubmission is idempotent by fingerprint, so a result
+    // the daemon already computed comes back cached=1 instead of
+    // re-running the mapper. Everything else is final on first answer.
+    for (int attempt = 1; attempt <= policy.max_attempts && !terminal; ++attempt) {
+      std::int64_t hint_ms = 0;
+      const auto backoff = [&] {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(policy.delay_ms(attempt, hint_ms)));
+      };
+      if (fd < 0) fd = client_connect(socket_path);
+      if (fd < 0) {
+        if (!quiet) err << "client: connect failed, retrying\n";
+        backoff();
+        continue;
+      }
+      if (!client_send(fd, line)) {
+        ::close(fd);
+        fd = -1;
+        if (!quiet) err << "client: send failed, reconnecting\n";
+        backoff();
+        continue;
+      }
+      serve::FrameReader reader;
+      bool disconnected = false;
+      while (!terminal && !disconnected) {
+        char buf[4096];
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) {
+          ::close(fd);
+          fd = -1;
+          disconnected = true;
+          break;
+        }
+        for (const serve::FrameReader::Line& frame :
+             reader.feed(buf, static_cast<std::size_t>(n))) {
+          if (!frame.ok()) continue;
+          std::map<std::string, std::string> kv;
+          try {
+            kv = serve::parse_response(frame.text);
+          } catch (const std::exception&) {
+            continue;  // not ours to enforce; wait for a terminal frame
+          }
+          const std::string& event = kv["event"];
+          if (event == "accepted") continue;
+          if (event == "overloaded") {
+            hint_ms = kv.count("retry-ms") ? std::strtoll(kv["retry-ms"].c_str(), nullptr, 10)
+                                           : 0;
+            if (hint_ms < 0) {
+              // Drain sentinel: the daemon is going away, stop retrying.
+              err << "client: server draining, giving up on request " << (i + 1) << "\n";
+              attempt = policy.max_attempts;
+            } else if (!quiet) {
+              err << "client: overloaded, retry " << attempt << "/"
+                  << (policy.max_attempts - 1) << " after "
+                  << policy.delay_ms(attempt, hint_ms) << " ms\n";
+            }
+            disconnected = true;  // leave the read loop, back off, resubmit
+            break;
+          }
+          if (event == "result" || event == "error") {
+            out << frame.text << "\n";
+            terminal = true;
+            const std::string status = kv.count("status") ? kv["status"] : "";
+            if (event == "error" || status == "invalid_input" ||
+                status == "internal_error") {
+              ++failed;
+            }
+            break;
+          }
+        }
+      }
+      if (!terminal && attempt < policy.max_attempts) backoff();
+    }
+    if (!terminal) {
+      err << "client: request " << (i + 1) << " got no terminal frame after "
+          << policy.max_attempts << " attempt(s)\n";
+      ++failed;
+    }
+  }
+  if (fd >= 0) ::close(fd);
+  return failed > 0 ? 1 : 0;
 }
 
 std::string help_text() {
@@ -745,6 +923,18 @@ commands:
             [--fifo (disable the priority scheduler; for A/B benching)]
             [--drain-mode finish|cancel] [--quiet]
             [--metrics-dump (print the metrics registry exposition on exit)]
+            [--journal DIR (write-ahead request journal: accepted submits
+                            are logged before the accepted frame; on
+                            restart, unfinished ones replay with
+                            replayed=1 results)]
+            [--journal-fsync always|batch|none (durability vs throughput;
+                            default batch)]
+            [--journal-repair (truncate a corrupt journal record instead
+                            of refusing to start)]
+            [--journal-rotate-bytes N (compact once idle and larger)]
+            [--cache-bytes N (idempotent result cache budget; repeat
+                            identical-fingerprint submits answer cached=1
+                            without re-running; 0 = off)]
             protocol: newline-framed key=value frames (manifest grammar).
             requests:  [op=submit] problem=<file>|gen=<kind> gen-a/gen-b/
                        gen-seed spec=|system= [id=] [priority=] [size-hint=]
@@ -755,6 +945,15 @@ commands:
                        metrics|pong|draining|bye
             SIGTERM/SIGINT drains per --drain-mode (second signal cancels
             in-flight); every accepted job gets exactly one result frame.
+  client    submit requests to a running daemon with retry/backoff
+            --socket /path/to.sock (--request "LINE" | --manifest file)
+            [--retries N (total tries; default 5)] [--base-ms MS]
+            [--cap-ms MS] [--seed S (jitter stream)] [--quiet]
+            Overloaded answers honor the server's retry-ms hint under a
+            capped exponential backoff with deterministic jitter; dropped
+            connections reconnect and resubmit (idempotent by fingerprint
+            against a --cache-bytes daemon). Prints each terminal frame;
+            exits nonzero if any request fails.
   info      print statistics
             (--problem file | --system file | --spec topo)
   help      this text
@@ -775,6 +974,7 @@ int run(int argc, const char* const* argv, std::ostream& out, std::ostream& err)
     if (command == "map") return cmd_map(flags, out, err);
     if (command == "batch") return cmd_batch(flags, out, err);
     if (command == "serve") return cmd_serve(flags, out, err);
+    if (command == "client") return cmd_client(flags, out, err);
     if (command == "eval") return cmd_eval(flags, out, err);
     if (command == "info") return cmd_info(flags, out, err);
     if (command == "help" || command == "--help") {

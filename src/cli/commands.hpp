@@ -30,6 +30,7 @@ int cmd_cluster(Flags& flags, std::ostream& out, std::ostream& err);
 int cmd_map(Flags& flags, std::ostream& out, std::ostream& err);
 int cmd_batch(Flags& flags, std::ostream& out, std::ostream& err);
 int cmd_serve(Flags& flags, std::ostream& out, std::ostream& err);
+int cmd_client(Flags& flags, std::ostream& out, std::ostream& err);
 int cmd_eval(Flags& flags, std::ostream& out, std::ostream& err);
 int cmd_info(Flags& flags, std::ostream& out, std::ostream& err);
 

@@ -43,7 +43,19 @@ double Histogram::bucket_mid(int bucket) noexcept {
   return lower + width / 2.0;
 }
 
-Histogram::Snapshot Histogram::snapshot() const noexcept {
+double Histogram::bucket_le(int bucket) noexcept {
+  constexpr int kSub = 1 << kSubBits;
+  if (bucket < kSub) return static_cast<double>(bucket);  // bucket holds exactly v
+  const int msb = (bucket >> kSubBits) + kSubBits - 1;
+  const int sub = bucket & (kSub - 1);
+  const double lower = std::ldexp(static_cast<double>(kSub + sub), msb - kSubBits);
+  const double width = std::ldexp(1.0, msb - kSubBits);
+  // Recorded values are integers, so the last value of [lower, lower+width)
+  // is lower + width - 1.
+  return lower + width - 1.0;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
   std::array<std::uint64_t, kBuckets> merged{};
   Snapshot snap;
   for (const Shard& shard : shards_) {
@@ -56,6 +68,11 @@ Histogram::Snapshot Histogram::snapshot() const noexcept {
     }
   }
   if (snap.count == 0) return snap;
+
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = merged[static_cast<std::size_t>(b)];
+    if (n > 0) snap.buckets.emplace_back(bucket_le(b), n);
+  }
 
   const auto quantile = [&](double q) {
     const auto rank = static_cast<std::uint64_t>(
@@ -71,6 +88,33 @@ Histogram::Snapshot Histogram::snapshot() const noexcept {
   snap.p95 = quantile(0.95);
   snap.p99 = quantile(0.99);
   return snap;
+}
+
+void Rate::record_at(std::uint64_t n, std::int64_t second) noexcept {
+  if (second < 0) second = 0;
+  Slot& slot = slots_[static_cast<std::size_t>(second % kSlots)];
+  if (slot.second.load(std::memory_order_relaxed) != second) {
+    // Recycle the slot for the new second. Two threads racing this reset
+    // may drop a few events — acceptable for a display instrument.
+    slot.second.store(second, std::memory_order_relaxed);
+    slot.count.store(0, std::memory_order_relaxed);
+  }
+  slot.count.fetch_add(n, std::memory_order_relaxed);
+}
+
+double Rate::per_second_at(std::int64_t second) const noexcept {
+  std::uint64_t total = 0;
+  std::int64_t earliest = second + 1;
+  for (const Slot& slot : slots_) {
+    const std::int64_t s = slot.second.load(std::memory_order_relaxed);
+    if (s < 0 || s > second || s <= second - kWindowSeconds) continue;
+    total += slot.count.load(std::memory_order_relaxed);
+    earliest = std::min(earliest, s);
+  }
+  if (total == 0) return 0.0;
+  const std::int64_t span =
+      std::clamp<std::int64_t>(second - earliest + 1, 1, kWindowSeconds);
+  return static_cast<double>(total) / static_cast<double>(span);
 }
 
 Registry& Registry::instance() {
@@ -126,6 +170,9 @@ Registry::Entry& Registry::find_or_create(Kind kind, const std::string& name,
     case Kind::kHistogram:
       entry->histogram = std::make_unique<Histogram>();
       break;
+    case Kind::kRate:
+      entry->rate = std::make_unique<Rate>();
+      break;
   }
   entries_.push_back(std::move(entry));
   return *entries_.back();
@@ -144,6 +191,11 @@ Gauge& Registry::gauge(const std::string& name, std::vector<Label> labels) {
 Histogram& Registry::histogram(const std::string& name, std::vector<Label> labels) {
   Entry& entry = find_or_create(Kind::kHistogram, name, std::move(labels));
   return *entry.histogram;
+}
+
+Rate& Registry::rate(const std::string& name, std::vector<Label> labels) {
+  Entry& entry = find_or_create(Kind::kRate, name, std::move(labels));
+  return *entry.rate;
 }
 
 std::string Registry::render_prometheus() const {
@@ -189,8 +241,26 @@ std::string Registry::render_prometheus() const {
                            number(snap.p95)});
           lines.push_back({entry->name + with_label(entry->labels, "quantile=\"0.99\""),
                            number(snap.p99)});
+          // Native Prometheus cumulative buckets alongside the summary:
+          // only occupied edges plus the mandatory +Inf, so a sparse
+          // histogram costs a handful of lines, not kBuckets.
+          std::uint64_t cumulative = 0;
+          for (const auto& [le, bucket_count] : snap.buckets) {
+            cumulative += bucket_count;
+            lines.push_back(
+                {entry->name + "_bucket" +
+                     with_label(entry->labels, "le=\"" + number(le) + "\""),
+                 std::to_string(cumulative)});
+          }
+          lines.push_back({entry->name + "_bucket" +
+                               with_label(entry->labels, "le=\"+Inf\""),
+                           std::to_string(snap.count)});
           break;
         }
+        case Kind::kRate:
+          types.emplace_back(entry->name, "gauge");
+          lines.push_back({entry->name + entry->labels, number(entry->rate->per_second())});
+          break;
       }
     }
   }

@@ -35,6 +35,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -117,14 +118,22 @@ class Histogram {
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
+    /// Non-empty buckets in ascending order as (inclusive upper bound,
+    /// per-bucket count) — the exposition turns these into cumulative
+    /// Prometheus `_bucket{le="..."}` series. Only occupied buckets are
+    /// kept so a sparse histogram stays a short vector, not 252 entries.
+    std::vector<std::pair<double, std::uint64_t>> buckets;
   };
   /// Merges the shards and extracts the summary quantiles.
-  [[nodiscard]] Snapshot snapshot() const noexcept;
+  [[nodiscard]] Snapshot snapshot() const;
 
   /// Bucket index of a value (clamped at 0). Exposed for tests.
   [[nodiscard]] static int bucket_of(std::uint64_t v) noexcept;
   /// Representative value (bucket midpoint) of a bucket index.
   [[nodiscard]] static double bucket_mid(int bucket) noexcept;
+  /// Inclusive upper bound of a bucket (the Prometheus `le` edge): the
+  /// largest integer value that bucket_of() maps to this bucket.
+  [[nodiscard]] static double bucket_le(int bucket) noexcept;
 
   Histogram() = default;
   Histogram(const Histogram&) = delete;
@@ -138,6 +147,49 @@ class Histogram {
     std::atomic<std::uint64_t> max{0};
   };
   std::array<Shard, 8> shards_;  // histograms are bigger than counters; fewer shards
+};
+
+/// Windowed event rate (jobs/sec on the batch progress line): record()
+/// drops events into per-second ring slots and per_second() averages the
+/// trailing window, so consumers read a live rate without diffing counter
+/// snapshots themselves. The explicit-time overloads (`*_at`) exist for
+/// deterministic tests; production callers use the steady-clock versions.
+/// Slot recycling is lossy under a same-slot write race by design — the
+/// instrument feeds a progress line, not a correctness decision.
+class Rate {
+ public:
+  /// Averaging window. Slots must exceed it so the current (partial)
+  /// second never evicts a second still inside the window.
+  static constexpr int kWindowSeconds = 10;
+  static constexpr int kSlots = 16;
+
+  void record(std::uint64_t n = 1) noexcept { record_at(n, now_seconds()); }
+  void record_at(std::uint64_t n, std::int64_t second) noexcept;
+
+  /// Events per second over the trailing window ending at `second`
+  /// (inclusive). Averages over the occupied span, not the full window,
+  /// so a burst that started two seconds ago reads as its true rate.
+  [[nodiscard]] double per_second() const noexcept {
+    return per_second_at(now_seconds());
+  }
+  [[nodiscard]] double per_second_at(std::int64_t second) const noexcept;
+
+  Rate() = default;
+  Rate(const Rate&) = delete;
+  Rate& operator=(const Rate&) = delete;
+
+ private:
+  [[nodiscard]] static std::int64_t now_seconds() noexcept {
+    return std::chrono::duration_cast<std::chrono::seconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  struct alignas(64) Slot {
+    std::atomic<std::int64_t> second{-1};
+    std::atomic<std::uint64_t> count{0};
+  };
+  std::array<Slot, kSlots> slots_;
 };
 
 /// One label pair baked into a series name at registration time
@@ -156,10 +208,13 @@ class Registry {
   [[nodiscard]] Counter& counter(const std::string& name, std::vector<Label> labels = {});
   [[nodiscard]] Gauge& gauge(const std::string& name, std::vector<Label> labels = {});
   [[nodiscard]] Histogram& histogram(const std::string& name, std::vector<Label> labels = {});
+  [[nodiscard]] Rate& rate(const std::string& name, std::vector<Label> labels = {});
 
   /// Text exposition: `# TYPE` headers plus one `series value` line per
-  /// counter/gauge and _count/_sum/_max/quantile lines per histogram,
-  /// sorted by series name (stable output for tests and diffing).
+  /// counter/gauge/rate (rates render as gauges of their current
+  /// per-second value), and _count/_sum/_max/quantile lines plus
+  /// cumulative `_bucket{le="..."}` series per histogram, sorted by
+  /// series name (stable output for tests and diffing).
   [[nodiscard]] std::string render_prometheus() const;
 
   Registry(const Registry&) = delete;
@@ -168,7 +223,7 @@ class Registry {
  private:
   Registry() = default;
 
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kHistogram, kRate };
   struct Entry {
     Kind kind = Kind::kCounter;
     std::string name;    // base name, no labels
@@ -176,6 +231,7 @@ class Registry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<Rate> rate;
   };
 
   Entry& find_or_create(Kind kind, const std::string& name, std::vector<Label>&& labels);

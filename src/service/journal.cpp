@@ -1,0 +1,415 @@
+#include "service/journal.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "cli/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "service/wire.hpp"
+
+namespace mimdmap::serve {
+namespace {
+
+/// Registry instruments for the durability layer, resolved once.
+struct JournalMetrics {
+  obs::Counter& appends = obs::registry().counter("mimdmap_journal_appends_total");
+  obs::Counter& fsyncs = obs::registry().counter("mimdmap_journal_fsyncs_total");
+  obs::Counter& recovered =
+      obs::registry().counter("mimdmap_journal_recovered_records_total");
+  obs::Counter& torn_bytes =
+      obs::registry().counter("mimdmap_journal_torn_tail_bytes_total");
+  obs::Counter& repaired =
+      obs::registry().counter("mimdmap_journal_repaired_records_total");
+  obs::Counter& rotations = obs::registry().counter("mimdmap_journal_rotations_total");
+};
+
+JournalMetrics& journal_metrics() {
+  static JournalMetrics metrics;
+  return metrics;
+}
+
+constexpr const char* kSegmentPrefix = "wal-";
+constexpr const char* kSegmentSuffix = ".log";
+
+[[nodiscard]] std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    table[n] = c;
+  }
+  return table;
+}
+
+[[nodiscard]] std::uint32_t read_le32(const unsigned char* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+void write_le32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+[[nodiscard]] std::string slurp_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("journal: cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+void write_all(int fd, const char* data, std::size_t size, const std::string& what) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("journal: write(" + what + "): " + std::strerror(errno));
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::uint32_t journal_crc32(const void* data, std::size_t size) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  return crc ^ 0xffffffffu;
+}
+
+FsyncPolicy parse_fsync_policy(const std::string& text) {
+  if (text == "always") return FsyncPolicy::kAlways;
+  if (text == "batch") return FsyncPolicy::kBatch;
+  if (text == "none") return FsyncPolicy::kNone;
+  throw std::invalid_argument("fsync policy must be always, batch, or none (got '" +
+                              text + "')");
+}
+
+const char* to_string(FsyncPolicy policy) noexcept {
+  switch (policy) {
+    case FsyncPolicy::kAlways:
+      return "always";
+    case FsyncPolicy::kBatch:
+      return "batch";
+    case FsyncPolicy::kNone:
+      return "none";
+  }
+  return "unknown";
+}
+
+std::string encode_entry(const JournalEntry& entry) {
+  std::ostringstream os;
+  os << "type=" << (entry.kind == JournalEntry::Kind::kAccepted ? "accepted" : "result")
+     << " jid=" << entry.jid;
+  if (!entry.id.empty()) os << " id=" << escape(entry.id);
+  if (!entry.fingerprint.empty()) os << " fingerprint=" << escape(entry.fingerprint);
+  if (entry.client != 0) os << " client=" << entry.client;
+  if (entry.kind == JournalEntry::Kind::kAccepted) {
+    os << " request=" << escape(entry.request);
+    return os.str();
+  }
+  os << " status=" << escape(entry.status) << " total=" << entry.total
+     << " lower-bound=" << entry.lower_bound << " pct=" << entry.pct
+     << " trials=" << entry.trials << " wall-ms=" << entry.wall_ms
+     << " lanes=" << entry.lanes;
+  if (!entry.error.empty()) os << " error=" << escape(entry.error);
+  if (entry.replayed) os << " replayed=1";
+  if (entry.cached) os << " cached=1";
+  return os.str();
+}
+
+std::optional<JournalEntry> decode_entry(const std::string& payload) {
+  std::map<std::string, std::string> kv;
+  try {
+    kv = cli::parse_manifest_line(payload, 0);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  const auto get = [&kv](const char* key) -> std::string {
+    const auto it = kv.find(key);
+    return it == kv.end() ? std::string() : it->second;
+  };
+  JournalEntry entry;
+  const std::string type = get("type");
+  if (type == "accepted") {
+    entry.kind = JournalEntry::Kind::kAccepted;
+  } else if (type == "result") {
+    entry.kind = JournalEntry::Kind::kResult;
+  } else {
+    return std::nullopt;
+  }
+  try {
+    entry.jid = cli::manifest_seed(kv, "jid", 0, 0);
+    entry.client = cli::manifest_seed(kv, "client", 0, 0);
+    entry.id = unescape(get("id"));
+    entry.fingerprint = unescape(get("fingerprint"));
+    if (entry.kind == JournalEntry::Kind::kAccepted) {
+      if (!kv.count("request")) return std::nullopt;
+      entry.request = unescape(kv.at("request"));
+      return entry;
+    }
+    entry.status = unescape(get("status"));
+    if (entry.status.empty()) return std::nullopt;
+    entry.total = cli::manifest_int(kv, "total", 0, 0);
+    entry.lower_bound = cli::manifest_int(kv, "lower-bound", 0, 0);
+    entry.pct = cli::manifest_int(kv, "pct", 0, 0);
+    entry.trials = cli::manifest_int(kv, "trials", 0, 0);
+    entry.lanes = static_cast<int>(cli::manifest_int(kv, "lanes", 0, 0));
+    entry.replayed = cli::manifest_bool(kv, "replayed");
+    entry.cached = cli::manifest_bool(kv, "cached");
+    const std::string wall = get("wall-ms");
+    if (!wall.empty()) {
+      char* end = nullptr;
+      const double value = std::strtod(wall.c_str(), &end);
+      if (end != nullptr && *end == '\0') entry.wall_ms = value;
+    }
+    entry.error = unescape(get("error"));
+  } catch (const std::exception&) {
+    return std::nullopt;  // malformed numerics — a record we refuse, not a crash
+  }
+  return entry;
+}
+
+Journal::Journal(std::string dir, FsyncPolicy policy, bool repair)
+    : dir_(std::move(dir)), policy_(policy) {
+  if (dir_.empty()) throw std::invalid_argument("journal: empty directory path");
+  if (::mkdir(dir_.c_str(), 0777) != 0 && errno != EEXIST) {
+    throw std::runtime_error("journal: mkdir(" + dir_ + "): " + std::strerror(errno));
+  }
+  scan_existing(repair);
+}
+
+Journal::~Journal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    if (policy_ != FsyncPolicy::kNone && unsynced_appends_ > 0) {
+      (void)::fsync(fd_);
+    }
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string Journal::segment_path(std::uint64_t seq) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%s%06llu%s", kSegmentPrefix,
+                static_cast<unsigned long long>(seq), kSegmentSuffix);
+  return dir_ + "/" + name;
+}
+
+void Journal::sync_dir() const {
+  // Directory fsync makes segment creation/removal itself durable; best
+  // effort (some filesystems refuse O_RDONLY directory fsync).
+  const int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+void Journal::open_segment_locked(std::uint64_t seq, bool truncate_existing) {
+  if (fd_ >= 0) ::close(fd_);
+  const std::string path = segment_path(seq);
+  int flags = O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC;
+  if (truncate_existing) flags |= O_TRUNC;
+  fd_ = ::open(path.c_str(), flags, 0666);
+  if (fd_ < 0) {
+    throw std::runtime_error("journal: open(" + path + "): " + std::strerror(errno));
+  }
+  seq_ = seq;
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  segment_bytes_ = end > 0 ? static_cast<std::uint64_t>(end) : 0;
+}
+
+void Journal::scan_existing(bool repair) {
+  std::vector<std::uint64_t> seqs;
+  if (DIR* d = ::opendir(dir_.c_str())) {
+    while (const dirent* ent = ::readdir(d)) {
+      const std::string name = ent->d_name;
+      if (name.size() <= std::strlen(kSegmentPrefix) + std::strlen(kSegmentSuffix)) {
+        continue;
+      }
+      if (name.rfind(kSegmentPrefix, 0) != 0) continue;
+      if (name.compare(name.size() - std::strlen(kSegmentSuffix),
+                       std::string::npos, kSegmentSuffix) != 0) {
+        continue;
+      }
+      const std::string digits = name.substr(
+          std::strlen(kSegmentPrefix),
+          name.size() - std::strlen(kSegmentPrefix) - std::strlen(kSegmentSuffix));
+      if (digits.empty() || digits.find_first_not_of("0123456789") != std::string::npos) {
+        continue;
+      }
+      seqs.push_back(std::strtoull(digits.c_str(), nullptr, 10));
+    }
+    ::closedir(d);
+  } else {
+    throw std::runtime_error("journal: opendir(" + dir_ + "): " + std::strerror(errno));
+  }
+  std::sort(seqs.begin(), seqs.end());
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool stop_after_repair = false;
+  for (std::size_t si = 0; si < seqs.size() && !stop_after_repair; ++si) {
+    const bool last_segment = si + 1 == seqs.size();
+    const std::string path = segment_path(seqs[si]);
+    const std::string data = slurp_file(path);
+    std::size_t offset = 0;
+    while (offset < data.size()) {
+      const std::size_t remaining = data.size() - offset;
+      const auto* bytes =
+          reinterpret_cast<const unsigned char*>(data.data()) + offset;
+      std::uint32_t length = 0;
+      bool bad = false;         // structurally bad record starting here
+      bool reaches_eof = true;  // the bad extent runs to the physical tail
+      if (remaining < 8) {
+        bad = true;
+      } else {
+        length = read_le32(bytes);
+        if (length > kMaxRecordBytes) {
+          bad = true;
+          reaches_eof = true;  // length is garbage; extent unknowable
+        } else if (remaining < 8 + static_cast<std::size_t>(length)) {
+          bad = true;
+        } else {
+          const std::uint32_t want = read_le32(bytes + 4);
+          const std::uint32_t got = journal_crc32(data.data() + offset + 8, length);
+          if (want != got) {
+            bad = true;
+            reaches_eof = offset + 8 + length >= data.size();
+          }
+        }
+      }
+      if (!bad) {
+        recovered_.emplace_back(data.data() + offset + 8, length);
+        ++stats_.recovered_records;
+        journal_metrics().recovered.inc();
+        offset += 8 + length;
+        continue;
+      }
+      if (last_segment && reaches_eof) {
+        // Torn tail: the daemon died mid-append. Truncate and move on.
+        const std::uint64_t torn = data.size() - offset;
+        if (::truncate(path.c_str(), static_cast<off_t>(offset)) != 0) {
+          throw std::runtime_error("journal: truncate(" + path +
+                                   "): " + std::strerror(errno));
+        }
+        stats_.torn_tail_bytes += torn;
+        journal_metrics().torn_bytes.add(static_cast<std::int64_t>(torn));
+        break;
+      }
+      if (!repair) {
+        throw JournalError("journal: corrupt record in " + path + " at offset " +
+                           std::to_string(offset) +
+                           " (re-run with --journal-repair to truncate it)");
+      }
+      // Repair: keep the intact prefix, drop this record, the rest of the
+      // segment, and every later segment — a conservative, auditable cut.
+      if (::truncate(path.c_str(), static_cast<off_t>(offset)) != 0) {
+        throw std::runtime_error("journal: truncate(" + path +
+                                 "): " + std::strerror(errno));
+      }
+      for (std::size_t di = si + 1; di < seqs.size(); ++di) {
+        (void)::unlink(segment_path(seqs[di]).c_str());
+      }
+      ++stats_.repaired_records;
+      journal_metrics().repaired.inc();
+      seqs.resize(si + 1);
+      stop_after_repair = true;
+      break;
+    }
+  }
+  sync_dir();
+  open_segment_locked(seqs.empty() ? 1 : seqs.back(), false);
+}
+
+void Journal::append(const std::string& payload) {
+  std::string record;
+  record.reserve(payload.size() + 8);
+  write_le32(record, static_cast<std::uint32_t>(payload.size()));
+  write_le32(record, journal_crc32(payload.data(), payload.size()));
+  record += payload;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_all(fd_, record.data(), record.size(), segment_path(seq_));
+  segment_bytes_ += record.size();
+  ++stats_.appends;
+  ++unsynced_appends_;
+  journal_metrics().appends.inc();
+  if (policy_ == FsyncPolicy::kAlways ||
+      (policy_ == FsyncPolicy::kBatch && unsynced_appends_ >= kBatchAppends)) {
+    fsync_locked();
+  }
+}
+
+void Journal::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (policy_ != FsyncPolicy::kNone && unsynced_appends_ > 0) fsync_locked();
+}
+
+void Journal::fsync_locked() {
+  if (fd_ < 0) return;
+  if (::fsync(fd_) != 0 && errno != EINVAL && errno != EROFS) {
+    throw std::runtime_error("journal: fsync(" + segment_path(seq_) +
+                             "): " + std::strerror(errno));
+  }
+  unsynced_appends_ = 0;
+  ++stats_.fsyncs;
+  journal_metrics().fsyncs.inc();
+}
+
+void Journal::compact(const std::vector<std::string>& live) {
+  obs::Span span("journal_compact", "serve", "live_records",
+                 static_cast<std::int64_t>(live.size()));
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t old_seq = seq_;
+  open_segment_locked(seq_ + 1, /*truncate_existing=*/true);
+  for (const std::string& payload : live) {
+    std::string record;
+    record.reserve(payload.size() + 8);
+    write_le32(record, static_cast<std::uint32_t>(payload.size()));
+    write_le32(record, journal_crc32(payload.data(), payload.size()));
+    record += payload;
+    write_all(fd_, record.data(), record.size(), segment_path(seq_));
+    segment_bytes_ += record.size();
+  }
+  if (policy_ != FsyncPolicy::kNone) fsync_locked();
+  // Old segments disappear only after the replacement is durable.
+  for (std::uint64_t seq = 1; seq <= old_seq; ++seq) {
+    (void)::unlink(segment_path(seq).c_str());
+  }
+  sync_dir();
+  ++stats_.rotations;
+  journal_metrics().rotations.inc();
+}
+
+std::uint64_t Journal::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return segment_bytes_;
+}
+
+JournalStats Journal::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace mimdmap::serve

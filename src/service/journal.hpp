@@ -1,0 +1,173 @@
+// Write-ahead request journal of the mapping daemon (DESIGN.md section 19).
+//
+// The serve daemon's durability layer: every accepted submit is appended to
+// an on-disk log BEFORE the client sees `event=accepted`, and every terminal
+// result is appended before (well, atomically around) its `event=result`
+// frame. After a crash (`kill -9`, OOM, power loss) the restarted daemon
+// replays the log: accepted-but-unfinished requests re-enter the normal
+// scheduler and produce terminal results marked `replayed=1`, and journaled
+// ok results warm the fingerprint result cache — no accepted job is ever
+// silently lost.
+//
+// Record format (binary framing over the text wire encoding):
+//
+//   [u32 length LE] [u32 crc32(payload) LE] [payload bytes]
+//
+// The payload is ONE line of the existing key=value wire grammar (the same
+// fuzzed manifest tokenizer, values percent-escaped with serve::escape), so
+// the journal inherits the protocol's parsing and fuzz coverage:
+//
+//   type=accepted jid=7 id=alpha client=3 fingerprint=1f2e... request=<esc>
+//   type=result   jid=7 id=alpha fingerprint=1f2e... status=ok total=120 ...
+//
+// Crash-consistency rules on open:
+//  * a record that runs past the end of the LAST segment (incomplete
+//    header, short payload, or a CRC mismatch on the physically final
+//    record) is a torn tail from a mid-write crash: silently truncated.
+//  * any other bad record (CRC mismatch, absurd length, mid-file) is
+//    corruption: the constructor throws JournalError unless `repair` is
+//    set, in which case the segment is truncated at the bad record, later
+//    segments are dropped, and recovery proceeds with the intact prefix.
+//
+// Segments are `wal-<seq>.log` files inside the journal directory. Once
+// every journaled job is terminal the server compacts: live state (cached
+// ok results) is rewritten into a fresh segment and the old ones are
+// unlinked, so the journal's steady-state size tracks the cache, not the
+// daemon's lifetime traffic.
+//
+// Fsync policy trades durability for append latency:
+//   always — fsync after every append (no accepted job lost, ever)
+//   batch  — fsync every kBatchAppends appends and on flush/compact/close
+//   none   — rely on the OS page cache (crash may lose the tail)
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mimdmap::serve {
+
+enum class FsyncPolicy : std::uint8_t { kAlways, kBatch, kNone };
+
+/// Parses "always" | "batch" | "none"; throws std::invalid_argument.
+[[nodiscard]] FsyncPolicy parse_fsync_policy(const std::string& text);
+[[nodiscard]] const char* to_string(FsyncPolicy policy) noexcept;
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over `size` bytes. Table
+/// based, self-contained — the journal must not grow a zlib dependency.
+[[nodiscard]] std::uint32_t journal_crc32(const void* data, std::size_t size) noexcept;
+
+/// One decoded journal record. `kAccepted` records carry the original
+/// submit line (re-parseable by parse_request); `kResult` records carry
+/// the terminal frame fields so recovery can warm the result cache and
+/// close the accepted promise without re-running anything.
+struct JournalEntry {
+  enum class Kind : std::uint8_t { kAccepted, kResult };
+  Kind kind = Kind::kAccepted;
+  /// Server-assigned journal job id: unique across clients (client tags
+  /// are only unique per connection), pairs accepted <-> result records.
+  std::uint64_t jid = 0;
+  std::string id;           // client-visible job tag
+  std::string fingerprint;  // canonical request fingerprint (wire.hpp)
+  std::uint64_t client = 0; // originating client id (diagnostics only)
+  std::string request;      // kAccepted: the original submit line, verbatim
+
+  // kResult fields (mirror wire::ResultFrame).
+  std::string status;
+  std::int64_t total = 0;
+  std::int64_t lower_bound = 0;
+  std::int64_t pct = 0;
+  std::int64_t trials = 0;
+  double wall_ms = 0.0;
+  int lanes = 0;
+  std::string error;
+  bool replayed = false;
+  bool cached = false;
+};
+
+/// Entry -> one key=value payload line (no trailing newline).
+[[nodiscard]] std::string encode_entry(const JournalEntry& entry);
+/// Payload line -> entry. Returns nullopt on anything malformed — decoding
+/// must never throw or crash, whatever the fuzzer left on disk.
+[[nodiscard]] std::optional<JournalEntry> decode_entry(const std::string& payload);
+
+struct JournalStats {
+  std::uint64_t appends = 0;          // records appended this process
+  std::uint64_t fsyncs = 0;
+  std::uint64_t recovered_records = 0;  // CRC-valid records scanned at open
+  std::uint64_t skipped_records = 0;    // CRC-valid but undecodable payloads
+  std::uint64_t torn_tail_bytes = 0;    // silently truncated at open
+  std::uint64_t repaired_records = 0;   // dropped by --journal-repair
+  std::uint64_t rotations = 0;          // compactions
+};
+
+/// Corrupt non-tail record found at open without repair enabled.
+class JournalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Append-only CRC-framed record log over one directory of segments.
+/// Thread-safe: append/flush/compact serialize on an internal mutex.
+class Journal {
+ public:
+  /// Opens (creating the directory if needed), scans existing segments,
+  /// truncates a torn tail, and throws JournalError on a corrupt non-tail
+  /// record unless `repair` truncates it away. After construction,
+  /// recovered() holds every surviving payload in append order.
+  Journal(std::string dir, FsyncPolicy policy, bool repair);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Appends one payload record and applies the fsync policy. Throws
+  /// std::runtime_error on IO failure.
+  void append(const std::string& payload);
+
+  /// Forces any batched writes to disk (no-op under kNone).
+  void flush();
+
+  /// Rewrites the journal as one fresh segment containing exactly `live`
+  /// (the warm-cache state worth keeping) and unlinks all old segments.
+  /// Callers must ensure no journaled job is still in flight.
+  void compact(const std::vector<std::string>& live);
+
+  /// Payloads recovered at open, in append order.
+  [[nodiscard]] const std::vector<std::string>& recovered() const noexcept {
+    return recovered_;
+  }
+
+  /// Bytes in the current (appendable) segment.
+  [[nodiscard]] std::uint64_t bytes() const;
+
+  [[nodiscard]] JournalStats stats() const;
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// Records per fsync under FsyncPolicy::kBatch.
+  static constexpr std::uint64_t kBatchAppends = 32;
+  /// Sanity bound on one record's payload; larger lengths are corruption.
+  static constexpr std::uint32_t kMaxRecordBytes = 16u * 1024 * 1024;
+
+ private:
+  [[nodiscard]] std::string segment_path(std::uint64_t seq) const;
+  void open_segment_locked(std::uint64_t seq, bool truncate_existing);
+  void scan_existing(bool repair);
+  void fsync_locked();
+  void sync_dir() const;
+
+  std::string dir_;
+  FsyncPolicy policy_;
+  mutable std::mutex mutex_;
+  int fd_ = -1;                 // current segment, O_APPEND
+  std::uint64_t seq_ = 1;       // current segment sequence number
+  std::uint64_t segment_bytes_ = 0;
+  std::uint64_t unsynced_appends_ = 0;
+  std::vector<std::string> recovered_;
+  JournalStats stats_;
+};
+
+}  // namespace mimdmap::serve

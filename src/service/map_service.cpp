@@ -30,6 +30,9 @@ struct ServiceMetrics {
   obs::Histogram& queue_wait =
       obs::registry().histogram("mimdmap_service_queue_wait_us");
   obs::Histogram& wall = obs::registry().histogram("mimdmap_service_job_wall_us");
+  /// Windowed completion rate: the batch progress line (and any metrics
+  /// consumer) reads jobs/sec live instead of diffing counter snapshots.
+  obs::Rate& jobs_per_sec = obs::registry().rate("mimdmap_service_jobs_per_sec");
 };
 
 ServiceMetrics& service_metrics() {
@@ -324,6 +327,7 @@ void MapService::runner_main() {
 
     service_metrics().active.add(-1);
     service_metrics().completed.inc();
+    service_metrics().jobs_per_sec.record();
 
     lock.lock();
     --active_;

@@ -1,0 +1,92 @@
+#include "service/result_cache.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace mimdmap::serve {
+namespace {
+
+/// Registry instruments, resolved once; shared across server instances
+/// (tests run several), so assertions on them must be delta-style.
+struct CacheMetrics {
+  obs::Counter& hits = obs::registry().counter("mimdmap_result_cache_hits_total");
+  obs::Counter& misses = obs::registry().counter("mimdmap_result_cache_misses_total");
+  obs::Counter& evictions =
+      obs::registry().counter("mimdmap_result_cache_evictions_total");
+  obs::Gauge& entries = obs::registry().gauge("mimdmap_result_cache_entries");
+  obs::Gauge& bytes = obs::registry().gauge("mimdmap_result_cache_bytes");
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics metrics;
+  return metrics;
+}
+
+[[nodiscard]] std::uint64_t entry_bytes(const std::string& fingerprint) {
+  return fingerprint.size() + ResultCache::kEntryOverheadBytes;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::uint64_t max_bytes) : max_bytes_(max_bytes) {}
+
+std::optional<CachedResult> ResultCache::lookup(const std::string& fingerprint) {
+  if (!enabled()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(fingerprint);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    cache_metrics().misses.inc();
+    return std::nullopt;
+  }
+  lru_.splice(lru_.end(), lru_, it->second);  // bump to most-recently-used
+  ++stats_.hits;
+  cache_metrics().hits.inc();
+  return it->second->second;
+}
+
+void ResultCache::insert(const std::string& fingerprint, const CachedResult& result) {
+  if (!enabled()) return;
+  const std::uint64_t cost = entry_bytes(fingerprint);
+  if (cost > max_bytes_) return;  // would evict everything and still not fit
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(fingerprint);
+  if (it != index_.end()) {
+    it->second->second = result;
+    lru_.splice(lru_.end(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_back(fingerprint, result);
+  index_.emplace(fingerprint, std::prev(lru_.end()));
+  bytes_ += cost;
+  evict_to_budget_locked();
+  stats_.entries = index_.size();
+  stats_.bytes = bytes_;
+  cache_metrics().entries.set(static_cast<std::int64_t>(index_.size()));
+  cache_metrics().bytes.set(static_cast<std::int64_t>(bytes_));
+}
+
+void ResultCache::evict_to_budget_locked() {
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    const auto& victim = lru_.front();
+    bytes_ -= entry_bytes(victim.first);
+    index_.erase(victim.first);
+    lru_.pop_front();
+    ++stats_.evictions;
+    cache_metrics().evictions.inc();
+  }
+}
+
+std::vector<std::pair<std::string, CachedResult>> ResultCache::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {lru_.begin(), lru_.end()};
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ResultCacheStats out = stats_;
+  out.entries = index_.size();
+  out.bytes = bytes_;
+  return out;
+}
+
+}  // namespace mimdmap::serve

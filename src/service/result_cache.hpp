@@ -1,0 +1,89 @@
+// Idempotent result cache of the mapping daemon (DESIGN.md section 19).
+//
+// The TopologyCache pattern one level up: completed `status=ok` mapping
+// results are kept under their canonical request fingerprint
+// (wire.hpp request_fingerprint — problem source + engine options + seed),
+// so a repeat submit with an identical fingerprint is answered as a
+// `cached=1` terminal frame straight from memory, never touching the pool.
+// That is what makes client-side resubmission after a disconnect or an
+// `event=overloaded` shed safe AND cheap: retrying an already-computed job
+// costs one map lookup.
+//
+// Bounded LRU with a byte budget: every insert charges the fingerprint plus
+// a fixed per-entry footprint, and least-recently-used entries are evicted
+// until the budget holds. A budget of 0 disables the cache entirely.
+//
+// Thread-safe; hit/miss/eviction counts are mirrored into the metrics
+// registry (mimdmap_result_cache_*) and into local stats for `op=stats`.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace mimdmap::serve {
+
+/// The cacheable portion of a terminal result (mirrors wire::ResultFrame
+/// minus the per-delivery fields: id, wall/queue times, flags).
+struct CachedResult {
+  std::string status;  // always "ok" today; kept for forward compatibility
+  std::int64_t total = 0;
+  std::int64_t lower_bound = 0;
+  std::int64_t pct = 0;
+  std::int64_t trials = 0;
+  int lanes = 0;
+};
+
+struct ResultCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+};
+
+class ResultCache {
+ public:
+  /// max_bytes == 0 disables the cache (lookup always misses without
+  /// counting, insert is a no-op).
+  explicit ResultCache(std::uint64_t max_bytes);
+
+  [[nodiscard]] bool enabled() const noexcept { return max_bytes_ > 0; }
+  [[nodiscard]] std::uint64_t max_bytes() const noexcept { return max_bytes_; }
+
+  /// Hit bumps the entry to most-recently-used.
+  [[nodiscard]] std::optional<CachedResult> lookup(const std::string& fingerprint);
+
+  /// Inserts (or refreshes) and evicts LRU entries past the byte budget.
+  /// Oversized single entries are simply not retained.
+  void insert(const std::string& fingerprint, const CachedResult& result);
+
+  /// All live entries, LRU-first — the warm state a journal compaction
+  /// rewrites so the next recovery starts with the cache it had.
+  [[nodiscard]] std::vector<std::pair<std::string, CachedResult>> snapshot() const;
+
+  [[nodiscard]] ResultCacheStats stats() const;
+
+  /// Fixed accounting charge per entry on top of the fingerprint bytes
+  /// (list/map nodes, the CachedResult itself).
+  static constexpr std::uint64_t kEntryOverheadBytes = 160;
+
+ private:
+  void evict_to_budget_locked();
+
+  std::uint64_t max_bytes_;
+  mutable std::mutex mutex_;
+  /// LRU order: front = least recently used, back = most recent.
+  std::list<std::pair<std::string, CachedResult>> lru_;
+  std::unordered_map<std::string, std::list<std::pair<std::string, CachedResult>>::iterator>
+      index_;
+  std::uint64_t bytes_ = 0;
+  ResultCacheStats stats_;
+};
+
+}  // namespace mimdmap::serve

@@ -228,7 +228,8 @@ struct MapServer::Connection {
   }
 };
 
-MapServer::MapServer(ServerOptions options) : options_(std::move(options)) {
+MapServer::MapServer(ServerOptions options)
+    : options_(std::move(options)), cache_(options_.cache_bytes) {
   MapServiceOptions service_options = options_.service;
   // The accept loop must never block on a full queue: shed instead. A
   // daemon without an explicit bound still gets one — unbounded admission
@@ -236,6 +237,14 @@ MapServer::MapServer(ServerOptions options) : options_(std::move(options)) {
   service_options.admission = AdmissionPolicy::kReject;
   if (service_options.max_queue == 0) service_options.max_queue = 256;
   service_ = std::make_unique<MapService>(std::move(service_options));
+  if (!options_.journal_dir.empty()) {
+    // Throws JournalError on a corrupt non-tail record unless
+    // options_.journal_repair truncates it — refusing to start beats
+    // silently serving with holes in the durability story.
+    journal_ = std::make_unique<Journal>(options_.journal_dir, options_.journal_fsync,
+                                         options_.journal_repair);
+    recover_from_journal();
+  }
 }
 
 MapServer::~MapServer() {
@@ -475,7 +484,7 @@ void MapServer::handle_request(const std::shared_ptr<Connection>& conn,
   };
   switch (request.op) {
     case RequestOp::kSubmit:
-      submit_request(conn, std::move(request));
+      submit_request(conn, std::move(request), line);
       record_op();
       return;
     case RequestOp::kCancel: {
@@ -527,7 +536,12 @@ void MapServer::handle_request(const std::shared_ptr<Connection>& conn,
 }
 
 void MapServer::submit_request(const std::shared_ptr<Connection>& conn,
-                               WireRequest&& request) {
+                               WireRequest&& request, const std::string& raw_line) {
+  // The fingerprint (which may hash problem files) is computed before any
+  // lock — it is pure input work, and only when durability wants it.
+  JobTicket ticket;
+  if (durable()) ticket.fingerprint = request_fingerprint(request.kv);
+
   MapJob job = make_job(request, conn->client_id, conn->cancel.token(),
                         &service_->topology_cache());
 
@@ -566,14 +580,71 @@ void MapServer::submit_request(const std::shared_ptr<Connection>& conn,
     return;
   }
 
+  // Idempotent repeat: an identical fingerprint with a cached ok result is
+  // answered accepted + cached=1 result immediately — the pool, the queue
+  // and the scheduler are never touched. Both frames ride the same lock
+  // hold, so nothing can interleave between promise and redemption.
+  if (!ticket.fingerprint.empty()) {
+    if (const std::optional<CachedResult> hit = cache_.lookup(ticket.fingerprint)) {
+      ticket.jid = next_jid_.fetch_add(1);
+      ResultFrame frame;
+      frame.id = tag;
+      frame.status = hit->status;
+      frame.total = hit->total;
+      frame.lower_bound = hit->lower_bound;
+      frame.pct = hit->pct;
+      frame.trials = hit->trials;
+      frame.lanes = hit->lanes;
+      frame.fingerprint = ticket.fingerprint;
+      frame.cached = true;
+      if (journal_) {
+        // Uniform WAL discipline even for hits: accepted before the
+        // accepted frame, result right behind it — a crash between the
+        // two replays into another cache hit.
+        JournalEntry acc;
+        acc.kind = JournalEntry::Kind::kAccepted;
+        acc.jid = ticket.jid;
+        acc.id = tag;
+        acc.fingerprint = ticket.fingerprint;
+        acc.client = conn->client_id;
+        acc.request = raw_line;
+        try {
+          std::lock_guard<std::mutex> jlock(journal_mutex_);
+          journal_->append(encode_entry(acc));
+          ++journal_pending_;
+          journal_result_locked(ticket, frame, /*cached=*/true);
+        } catch (const std::exception& e) {
+          log_line(std::string("journal append failed (serving anyway): ") + e.what());
+        }
+      }
+      ++conn->accepted;
+      ++conn->terminals;
+      {
+        std::lock_guard<std::mutex> slock(mutex_);
+        ++stats_.accepted;
+        ++stats_.terminal_frames;
+        ++stats_.cached_results;
+      }
+      server_metrics().accepted.inc();
+      server_metrics().terminals.inc();
+      outstanding_.fetch_sub(1);
+      (void)conn->write_frame_locked(accepted_frame(
+          tag, ticket.jid, service_->stats().queue_depth, ticket.fingerprint));
+      (void)conn->write_frame_locked(result_frame(frame));
+      drain_cv_.notify_all();
+      return;
+    }
+  }
+
   MapService::JobId job_id = 0;
   try {
     std::shared_ptr<Connection> self = conn;
     std::string tag_copy = tag;
+    if (journal_) ticket.jid = next_jid_.fetch_add(1);
     (void)service_->submit(std::move(job), &job_id,
-                           [this, self = std::move(self),
-                            tag_copy = std::move(tag_copy)](const MapJobResult& result) {
-                             deliver_result(self, tag_copy, result);
+                           [this, self = std::move(self), tag_copy = std::move(tag_copy),
+                            ticket](const MapJobResult& result) {
+                             deliver_result(self, tag_copy, ticket, result);
                            });
   } catch (const AdmissionRejectedError&) {
     outstanding_.fetch_sub(1);
@@ -582,7 +653,12 @@ void MapServer::submit_request(const std::shared_ptr<Connection>& conn,
       ++stats_.shed;
     }
     server_metrics().shed.inc();
-    conn->write_frame_locked(overloaded_frame(tag, retry_hint_ms()));
+    // Deterministic per-client jitter: synchronized clients shed in the
+    // same overload event back off at spread-out times instead of
+    // re-stampeding in lockstep (the hint itself is backlog-global).
+    conn->write_frame_locked(overloaded_frame(
+        tag, jittered_retry_ms(retry_hint_ms(), conn->client_id, options_.min_retry_ms,
+                               options_.max_retry_ms)));
     return;
   } catch (const std::exception& e) {
     // Submitter-contract violations (no instance/builder) can't happen —
@@ -598,6 +674,28 @@ void MapServer::submit_request(const std::shared_ptr<Connection>& conn,
     return;
   }
 
+  if (journal_) {
+    // WAL: the accepted record is durable (per policy) BEFORE the client
+    // sees event=accepted. The job may already be running, but its
+    // on_done blocks on conn->mutex (held here), so the result record
+    // cannot precede this accepted record in the journal.
+    JournalEntry acc;
+    acc.kind = JournalEntry::Kind::kAccepted;
+    acc.jid = ticket.jid;
+    acc.id = tag;
+    acc.fingerprint = ticket.fingerprint;
+    acc.client = conn->client_id;
+    acc.request = raw_line;
+    try {
+      std::lock_guard<std::mutex> jlock(journal_mutex_);
+      journal_->append(encode_entry(acc));
+      ++journal_pending_;
+    } catch (const std::exception& e) {
+      log_line(std::string("journal append failed (serving anyway): ") + e.what());
+      ticket.jid = 0;  // its result record would dangle; skip it too
+    }
+  }
+
   conn->jobs.emplace(tag, job_id);
   ++conn->accepted;
   {
@@ -605,14 +703,16 @@ void MapServer::submit_request(const std::shared_ptr<Connection>& conn,
     ++stats_.accepted;
   }
   server_metrics().accepted.inc();
-  conn->write_frame_locked(accepted_frame(tag, job_id, service_->stats().queue_depth));
+  conn->write_frame_locked(
+      accepted_frame(tag, job_id, service_->stats().queue_depth, ticket.fingerprint));
 }
 
 void MapServer::deliver_result(const std::shared_ptr<Connection>& conn,
-                               const std::string& tag, const MapJobResult& result) {
+                               const std::string& tag, const JobTicket& ticket,
+                               const MapJobResult& result) {
   note_wall_ms(result.wall_ms);
   ResultFrame frame;
-  frame.id = tag;
+  frame.id = ticket.display_id.empty() ? tag : ticket.display_id;
   frame.status = to_string(result.status);
   frame.total = result.report.total_time();
   frame.lower_bound = result.report.lower_bound;
@@ -622,19 +722,296 @@ void MapServer::deliver_result(const std::shared_ptr<Connection>& conn,
   frame.queue_ms = result.queue_ms;
   frame.lanes = result.lanes;
   frame.error = result.error;
+  frame.fingerprint = ticket.fingerprint;
+  frame.replayed = ticket.replayed;
+
+  // Fill the cache before the frame goes out: a client retrying the same
+  // fingerprint right after this result hits. Only clean ok results are
+  // idempotent (degraded/cancelled/error outcomes must re-run).
+  if (cache_.enabled() && !ticket.fingerprint.empty() &&
+      result.status == MapStatus::kOk && result.error.empty()) {
+    CachedResult entry;
+    entry.status = frame.status;
+    entry.total = frame.total;
+    entry.lower_bound = frame.lower_bound;
+    entry.pct = frame.pct;
+    entry.trials = frame.trials;
+    entry.lanes = frame.lanes;
+    cache_.insert(ticket.fingerprint, entry);
+  }
   {
     std::lock_guard<std::mutex> lock(conn->mutex);
     conn->jobs.erase(tag);
     ++conn->terminals;
+    if (journal_ && ticket.jid != 0) {
+      try {
+        std::lock_guard<std::mutex> jlock(journal_mutex_);
+        journal_result_locked(ticket, frame, /*cached=*/false);
+      } catch (const std::exception& e) {
+        log_line(std::string("journal append failed (delivering anyway): ") + e.what());
+      }
+    }
     (void)conn->write_frame_locked(result_frame(frame));
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.terminal_frames;
+    if (ticket.replayed) ++stats_.replayed;
   }
   server_metrics().terminals.inc();
   outstanding_.fetch_sub(1);
   drain_cv_.notify_all();
+}
+
+void MapServer::journal_result_locked(const JobTicket& ticket, const ResultFrame& frame,
+                                      bool cached) {
+  JournalEntry rec;
+  rec.kind = JournalEntry::Kind::kResult;
+  rec.jid = ticket.jid;
+  rec.id = frame.id;
+  rec.fingerprint = ticket.fingerprint;
+  rec.status = frame.status;
+  rec.total = frame.total;
+  rec.lower_bound = frame.lower_bound;
+  rec.pct = frame.pct;
+  rec.trials = frame.trials;
+  rec.wall_ms = frame.wall_ms;
+  rec.lanes = frame.lanes;
+  rec.error = frame.error;
+  rec.replayed = ticket.replayed;
+  rec.cached = cached;
+  journal_->append(encode_entry(rec));
+  if (journal_pending_ > 0) --journal_pending_;
+  maybe_compact_locked();
+}
+
+void MapServer::maybe_compact_locked() {
+  if (journal_pending_ != 0) return;  // an accepted record would be dropped
+  if (journal_->bytes() < options_.journal_rotate_bytes) return;
+  // Live state worth carrying across the rotation: the cache contents as
+  // jid=0 result records, so the next recovery warm-loads the same cache.
+  std::vector<std::string> live;
+  for (const auto& [fingerprint, cached] : cache_.snapshot()) {
+    JournalEntry rec;
+    rec.kind = JournalEntry::Kind::kResult;
+    rec.jid = 0;
+    rec.fingerprint = fingerprint;
+    rec.status = cached.status;
+    rec.total = cached.total;
+    rec.lower_bound = cached.lower_bound;
+    rec.pct = cached.pct;
+    rec.trials = cached.trials;
+    rec.lanes = cached.lanes;
+    live.push_back(encode_entry(rec));
+  }
+  journal_->compact(live);
+  log_line("journal compacted (" + std::to_string(live.size()) + " live records)");
+}
+
+void MapServer::recover_from_journal() {
+  obs::Span span("journal_recover", "serve", "records",
+                 static_cast<std::int64_t>(journal_->recovered().size()));
+
+  // One pass over the recovered payloads: pair accepted records with their
+  // terminal records by jid, warm the cache from every clean ok result
+  // (including jid=0 compaction snapshots), and keep the unfinished
+  // accepted records in journal order for replay.
+  std::vector<JournalEntry> accepted;
+  std::unordered_map<std::uint64_t, std::size_t> accepted_by_jid;
+  std::unordered_map<std::uint64_t, bool> done;
+  std::uint64_t max_jid = 0;
+  std::uint64_t undecodable = 0;
+  for (const std::string& payload : journal_->recovered()) {
+    const std::optional<JournalEntry> entry = decode_entry(payload);
+    if (!entry) {
+      ++undecodable;
+      continue;
+    }
+    max_jid = std::max(max_jid, entry->jid);
+    if (entry->kind == JournalEntry::Kind::kAccepted) {
+      // First record wins: a duplicate jid (hand-edited or replayed
+      // journal) must not double-submit the job.
+      if (accepted_by_jid.emplace(entry->jid, accepted.size()).second) {
+        accepted.push_back(*entry);
+      }
+    } else {
+      if (entry->jid != 0) done[entry->jid] = true;
+      if (cache_.enabled() && !entry->fingerprint.empty() && entry->status == "ok" &&
+          entry->error.empty()) {
+        CachedResult warm;
+        warm.status = entry->status;
+        warm.total = entry->total;
+        warm.lower_bound = entry->lower_bound;
+        warm.pct = entry->pct;
+        warm.trials = entry->trials;
+        warm.lanes = entry->lanes;
+        cache_.insert(entry->fingerprint, warm);
+      }
+    }
+  }
+  next_jid_.store(max_jid + 1);
+
+  std::vector<const JournalEntry*> todo;
+  for (const JournalEntry& entry : accepted) {
+    if (done.count(entry.jid) == 0) todo.push_back(&entry);
+  }
+  {
+    std::lock_guard<std::mutex> jlock(journal_mutex_);
+    journal_pending_ = static_cast<std::int64_t>(todo.size());
+  }
+  if (undecodable > 0) {
+    log_line("journal recovery: skipped " + std::to_string(undecodable) +
+             " undecodable record(s)");
+  }
+  if (todo.empty()) {
+    if (!journal_->recovered().empty()) {
+      log_line("journal recovery: all " + std::to_string(accepted.size()) +
+               " journaled job(s) already terminal");
+    }
+    return;
+  }
+
+  // Replayed jobs belong to a synthetic connection whose peer is gone by
+  // definition: frames are counted for the exactly-one-terminal-frame
+  // invariant but written nowhere, and drain teardown accounts for it like
+  // any other connection.
+  recovery_conn_ = std::make_shared<Connection>();
+  recovery_conn_->client_id = 0;
+  recovery_conn_->dead = true;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    connections_.push_back(recovery_conn_);
+    ++stats_.connections_opened;
+  }
+  server_metrics().connections.inc();
+  log_line("journal recovery: replaying " + std::to_string(todo.size()) +
+           " unfinished job(s)");
+  for (const JournalEntry* entry : todo) replay_entry(*entry);
+}
+
+void MapServer::replay_entry(const JournalEntry& entry) {
+  JobTicket ticket;
+  ticket.fingerprint = entry.fingerprint;
+  ticket.jid = entry.jid;
+  ticket.replayed = true;
+  ticket.display_id = entry.id;
+  // Unique internal tag: two clients may have used the same tag ("j1" is
+  // every auto-tagged client's first job). The terminal frame still shows
+  // the original tag via display_id.
+  const std::string tag = "recover-" + std::to_string(entry.jid);
+
+  const auto fail_inline = [&](const std::string& reason) {
+    // The journaled request can no longer run (unparsable after a repair,
+    // or admission rejected with no inline fallback). Close its promise
+    // with a synthetic internal_error terminal record — the invariant is
+    // one terminal per accepted, not one success.
+    ResultFrame frame;
+    frame.id = ticket.display_id;
+    frame.status = "internal_error";
+    frame.fingerprint = ticket.fingerprint;
+    frame.replayed = true;
+    frame.error = reason;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.accepted;
+      ++stats_.terminal_frames;
+      ++stats_.replayed;
+    }
+    server_metrics().accepted.inc();
+    server_metrics().terminals.inc();
+    try {
+      std::lock_guard<std::mutex> jlock(journal_mutex_);
+      journal_result_locked(ticket, frame, /*cached=*/false);
+    } catch (const std::exception& e) {
+      log_line(std::string("journal append failed during recovery: ") + e.what());
+    }
+    log_line("journal recovery: jid " + std::to_string(entry.jid) +
+             " closed with internal_error (" + reason + ")");
+  };
+
+  WireRequest request;
+  try {
+    request = parse_request(entry.request);
+  } catch (const std::exception& e) {
+    fail_inline(std::string("journaled request no longer parses: ") + e.what());
+    return;
+  }
+
+  // Cache hit during replay: redeem the journaled promise from the cache
+  // (an identical-fingerprint job completed before the crash, or the warm
+  // load above already has the answer). No pool work, no frame to a peer —
+  // just the terminal record that closes the jid.
+  if (const std::optional<CachedResult> hit = cache_.lookup(ticket.fingerprint)) {
+    ResultFrame frame;
+    frame.id = ticket.display_id;
+    frame.status = hit->status;
+    frame.total = hit->total;
+    frame.lower_bound = hit->lower_bound;
+    frame.pct = hit->pct;
+    frame.trials = hit->trials;
+    frame.lanes = hit->lanes;
+    frame.fingerprint = ticket.fingerprint;
+    frame.cached = true;
+    frame.replayed = true;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.accepted;
+      ++stats_.terminal_frames;
+      ++stats_.replayed;
+      ++stats_.cached_results;
+    }
+    server_metrics().accepted.inc();
+    server_metrics().terminals.inc();
+    try {
+      std::lock_guard<std::mutex> jlock(journal_mutex_);
+      journal_result_locked(ticket, frame, /*cached=*/true);
+    } catch (const std::exception& e) {
+      log_line(std::string("journal append failed during recovery: ") + e.what());
+    }
+    return;
+  }
+
+  MapJob job = make_job(request, /*client_id=*/0, recovery_conn_->cancel.token(),
+                        &service_->topology_cache());
+  job.name = tag;
+  outstanding_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.accepted;
+  }
+  server_metrics().accepted.inc();
+  std::shared_ptr<Connection> self = recovery_conn_;
+  try {
+    MapService::JobId job_id = 0;
+    (void)service_->submit(std::move(job), &job_id,
+                           [this, self, tag, ticket](const MapJobResult& result) {
+                             deliver_result(self, tag, ticket, result);
+                           });
+    std::lock_guard<std::mutex> lock(recovery_conn_->mutex);
+    recovery_conn_->jobs.emplace(tag, job_id);
+    ++recovery_conn_->accepted;
+  } catch (const AdmissionRejectedError&) {
+    // A crash backlog larger than the admission queue must still drain:
+    // run the job inline on this (startup) thread instead of dropping it.
+    MapJob inline_job = make_job(request, /*client_id=*/0, recovery_conn_->cancel.token(),
+                                 &service_->topology_cache());
+    inline_job.name = tag;
+    {
+      std::lock_guard<std::mutex> lock(recovery_conn_->mutex);
+      ++recovery_conn_->accepted;
+    }
+    const MapJobResult result = run_map_job(inline_job, service_->pool(),
+                                            service_->lane_budget(),
+                                            &service_->topology_cache());
+    deliver_result(recovery_conn_, tag, ticket, result);
+  } catch (const std::exception& e) {
+    outstanding_.fetch_sub(1);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --stats_.accepted;
+    }
+    fail_inline(std::string("replay submit failed: ") + e.what());
+  }
 }
 
 void MapServer::abandon_connection(const std::shared_ptr<Connection>& conn) {
@@ -784,6 +1161,29 @@ std::string MapServer::build_stats_frame() const {
   add("topo-hits", service_->topology_cache().hits());
   add("topo-misses", service_->topology_cache().misses());
   add("pool-lanes", service_->pool()->lane_limit());
+  add("replayed", server.replayed);
+  add("cached-results", server.cached_results);
+  if (cache_.enabled()) {
+    const ResultCacheStats c = cache_.stats();
+    add("cache-hits", c.hits);
+    add("cache-misses", c.misses);
+    add("cache-evictions", c.evictions);
+    add("cache-entries", c.entries);
+    add("cache-bytes", c.bytes);
+  }
+  if (journal_) {
+    const JournalStats j = journal_->stats();
+    std::int64_t pending = 0;
+    {
+      std::lock_guard<std::mutex> jlock(journal_mutex_);
+      pending = journal_pending_;
+    }
+    add("journal-pending", pending);
+    add("journal-appends", j.appends);
+    add("journal-recovered", j.recovered_records);
+    add("journal-rotations", j.rotations);
+    add("journal-bytes", journal_->bytes());
+  }
   for (const ServiceStats::PriorityLane& lane : s.priorities) {
     const std::string prefix = "prio" + std::to_string(lane.priority);
     fields.emplace_back(prefix + "-started", std::to_string(lane.started));

@@ -53,7 +53,9 @@
 #include <thread>
 #include <vector>
 
+#include "service/journal.hpp"
 #include "service/map_service.hpp"
+#include "service/result_cache.hpp"
 #include "service/wire.hpp"
 
 namespace mimdmap::serve {
@@ -79,6 +81,23 @@ struct ServerOptions {
   /// Optional log sink for connection lifecycle lines (the CLI passes
   /// stderr); null = silent.
   std::ostream* log = nullptr;
+
+  // -- Durability (DESIGN.md section 19) ----------------------------------
+  /// Write-ahead journal directory; empty = no journal. With a journal,
+  /// accepted submits are logged before the accepted frame and the
+  /// constructor replays accepted-but-unfinished requests from a previous
+  /// run (results marked replayed=1). A corrupt non-tail record makes the
+  /// constructor throw JournalError unless journal_repair truncates it.
+  std::string journal_dir;
+  FsyncPolicy journal_fsync = FsyncPolicy::kBatch;
+  bool journal_repair = false;
+  /// Byte budget of the idempotent result cache (0 = disabled): repeat
+  /// submits with an identical fingerprint answer cached=1 terminal
+  /// frames without touching the pool.
+  std::uint64_t cache_bytes = 0;
+  /// Compact the journal (rewrite live cache state, drop old segments)
+  /// once every journaled job is terminal and the segment exceeds this.
+  std::uint64_t journal_rotate_bytes = 1u << 20;
 };
 
 /// Monotonic server-side counters (all frames ever written / read).
@@ -91,6 +110,8 @@ struct ServerStats {
   std::uint64_t terminal_frames = 0;  // event=result frames (incl. to dead peers)
   std::uint64_t shed = 0;           // event=overloaded answers
   std::uint64_t disconnect_cancels = 0;  // jobs cancelled by a vanished client
+  std::uint64_t replayed = 0;       // journal-recovered jobs brought to terminal
+  std::uint64_t cached_results = 0; // terminal frames served from the result cache
 };
 
 class MapServer {
@@ -136,18 +157,29 @@ class MapServer {
  private:
   struct Connection;
 
+  /// Per-job durability context captured into the on_done closure: what
+  /// deliver_result needs to journal the terminal record, fill the cache,
+  /// and flag the frame — without any lookup.
+  struct JobTicket {
+    std::string fingerprint;  // empty when durability is off
+    std::uint64_t jid = 0;    // journal job id; 0 = not journaled
+    bool replayed = false;    // job re-submitted from the journal
+    std::string display_id;   // original client tag of a replayed job
+  };
+
   void accept_main();
   /// Reader loop of one connection; returns when the peer closes, read
   /// fails, or the server drains.
   void connection_main(const std::shared_ptr<Connection>& conn);
   void handle_line(const std::shared_ptr<Connection>& conn, const FrameReader::Line& line);
   void handle_request(const std::shared_ptr<Connection>& conn, const std::string& line);
-  void submit_request(const std::shared_ptr<Connection>& conn, WireRequest&& request);
+  void submit_request(const std::shared_ptr<Connection>& conn, WireRequest&& request,
+                      const std::string& raw_line);
   /// on_done of every accepted job: writes THE terminal frame (even to a
   /// dead peer — the invariant is counted, not best-effort) and retires
   /// the job from the drain count.
   void deliver_result(const std::shared_ptr<Connection>& conn, const std::string& tag,
-                      const MapJobResult& result);
+                      const JobTicket& ticket, const MapJobResult& result);
   /// Cancels every live job of the connection and forgets its client
   /// state (disconnect path). Idempotent.
   void abandon_connection(const std::shared_ptr<Connection>& conn);
@@ -162,10 +194,40 @@ class MapServer {
   [[nodiscard]] std::string build_stats_frame() const;
   void log_line(const std::string& text) const;
 
+  /// Durability is on when either the journal or the cache is configured;
+  /// fingerprints are computed (and echoed on frames) only then, so plain
+  /// daemons keep byte-identical wire output.
+  [[nodiscard]] bool durable() const noexcept {
+    return journal_ != nullptr || cache_.enabled();
+  }
+  /// Constructor tail when journal_dir is set: scans the recovered
+  /// records, warms the cache from journaled ok results, and re-submits
+  /// every accepted-but-unfinished request through the normal scheduler.
+  void recover_from_journal();
+  void replay_entry(const JournalEntry& entry);
+  /// Appends a terminal record and, when every journaled job is terminal
+  /// and the segment is large, compacts. Caller holds journal_mutex_.
+  void journal_result_locked(const JobTicket& ticket, const ResultFrame& frame,
+                             bool cached);
+  void maybe_compact_locked();
+
   ServerOptions options_;
   std::unique_ptr<MapService> service_;
   std::string socket_path_;
   int listen_fd_ = -1;
+
+  /// Durability state. journal_mutex_ serializes the append/pending/
+  /// compact protocol (lock order: connection -> journal; the journal's
+  /// own mutex nests innermost). journal_pending_ counts journaled jobs
+  /// whose terminal record is not yet written — compaction requires zero.
+  std::unique_ptr<Journal> journal_;
+  ResultCache cache_;
+  mutable std::mutex journal_mutex_;
+  std::int64_t journal_pending_ = 0;
+  std::atomic<std::uint64_t> next_jid_{1};
+  /// Synthetic connection owning replayed jobs: its peer is gone by
+  /// definition, so frames are counted but written nowhere.
+  std::shared_ptr<Connection> recovery_conn_;
 
   std::atomic<bool> draining_{false};
   std::atomic<bool> drain_cancel_{false};

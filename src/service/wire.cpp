@@ -1,5 +1,7 @@
 #include "service/wire.hpp"
 
+#include <algorithm>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -152,6 +154,98 @@ const char* to_string(RequestOp op) noexcept {
   return "unknown";
 }
 
+std::uint64_t fnv1a64(const std::string& text) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+/// splitmix64 finalizer: turns sequential ids into well-spread words.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Scales `value` into [75%, 125%] by hash word `h` (51 steps of 1%).
+[[nodiscard]] std::int64_t spread_25pct(std::int64_t value, std::uint64_t h) noexcept {
+  return value * static_cast<std::int64_t>(75 + h % 51) / 100;
+}
+
+/// Keys that do not change the mapping computation: identity, labels,
+/// scheduling niceties. Everything else a submit may carry participates
+/// in the fingerprint.
+[[nodiscard]] bool delivery_only_key(const std::string& key) noexcept {
+  return key == "op" || key == "id" || key == "name" || key == "priority" ||
+         key == "size-hint" || key == "deadline-ms";
+}
+
+/// File-backed keys fingerprint by content: the job's result depends on
+/// the bytes, not the path.
+[[nodiscard]] bool file_backed_key(const std::string& key) noexcept {
+  return key == "problem" || key == "system" || key == "clustering";
+}
+
+[[nodiscard]] std::string hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string request_fingerprint(const std::map<std::string, std::string>& kv) {
+  // std::map iterates sorted, so the canonical string is order-independent
+  // of how the client typed the line.
+  std::string canonical;
+  for (const auto& [key, value] : kv) {
+    if (delivery_only_key(key)) continue;
+    canonical += key;
+    canonical += '=';
+    if (file_backed_key(key)) {
+      std::ifstream file(value, std::ios::binary);
+      if (file) {
+        std::ostringstream content;
+        content << file.rdbuf();
+        canonical += "content:" + hex16(fnv1a64(content.str()));
+      } else {
+        canonical += "path:" + value;
+      }
+    } else {
+      canonical += value;
+    }
+    canonical += '\n';
+  }
+  return hex16(fnv1a64(canonical));
+}
+
+std::int64_t jittered_retry_ms(std::int64_t hint_ms, std::uint64_t client_id,
+                               std::int64_t min_ms, std::int64_t max_ms) noexcept {
+  if (hint_ms <= 0) return hint_ms;  // "do not retry" sentinels pass through
+  const std::int64_t spread = spread_25pct(hint_ms, mix64(client_id));
+  return std::clamp(std::max<std::int64_t>(1, spread), min_ms, max_ms);
+}
+
+std::int64_t RetryPolicy::delay_ms(int attempt, std::int64_t server_hint_ms) const noexcept {
+  if (attempt < 1) attempt = 1;
+  std::int64_t backoff = base_ms;
+  for (int i = 1; i < attempt && backoff < cap_ms; ++i) backoff *= 2;
+  backoff = std::min(backoff, cap_ms);
+  std::int64_t delay = std::max(backoff, server_hint_ms);
+  delay = spread_25pct(delay, mix64(seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(attempt)));
+  return std::max<std::int64_t>(1, delay);
+}
+
 std::uint64_t gen_size_estimate(const std::map<std::string, std::string>& kv) {
   const auto it = kv.find("gen");
   if (it == kv.end()) return 0;
@@ -274,9 +368,11 @@ WireRequest parse_request(const std::string& line) {
 }
 
 std::string accepted_frame(const std::string& id, std::uint64_t seq,
-                           std::size_t queue_depth) {
+                           std::size_t queue_depth, const std::string& fingerprint) {
   std::ostringstream os;
-  os << "event=accepted id=" << id << " seq=" << seq << " queue=" << queue_depth << "\n";
+  os << "event=accepted id=" << id << " seq=" << seq << " queue=" << queue_depth;
+  if (!fingerprint.empty()) os << " fingerprint=" << fingerprint;
+  os << "\n";
   return os.str();
 }
 
@@ -290,7 +386,11 @@ std::string result_frame(const ResultFrame& frame) {
     os << " error=" << escape(frame.error);
   }
   os << " wall-ms=" << frame.wall_ms << " queue-ms=" << frame.queue_ms
-     << " lanes=" << frame.lanes << "\n";
+     << " lanes=" << frame.lanes;
+  if (!frame.fingerprint.empty()) os << " fingerprint=" << frame.fingerprint;
+  if (frame.cached) os << " cached=1";
+  if (frame.replayed) os << " replayed=1";
+  os << "\n";
   return os.str();
 }
 

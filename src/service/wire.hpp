@@ -119,11 +119,61 @@ struct WireRequest {
 /// gen= spec (its size_hint default), 0 for file-backed problems.
 [[nodiscard]] std::uint64_t gen_size_estimate(const std::map<std::string, std::string>& kv);
 
+/// FNV-1a 64-bit over `text` — the hash under fingerprints and the
+/// deterministic jitters below. Exposed for tests.
+[[nodiscard]] std::uint64_t fnv1a64(const std::string& text) noexcept;
+
+/// Canonical request fingerprint: a 16-hex-digit digest over the sorted
+/// mapping-relevant submit keys (problem source + engine options + seed).
+/// Delivery-only keys — op, id, name, priority, size-hint, deadline-ms —
+/// are excluded: two submits that differ only in those produce the same
+/// ok mapping, so they share a fingerprint (and a cache slot). For the
+/// file-backed keys (problem=/system=/clustering=) the file CONTENT is
+/// hashed when readable (same bytes at a different path still hit; a
+/// rewritten file misses), the path literal otherwise. Client and server
+/// compute the identical value from the same kv map, which is what makes
+/// resubmission after a disconnect idempotent.
+[[nodiscard]] std::string request_fingerprint(
+    const std::map<std::string, std::string>& kv);
+
+/// Deterministic per-client spreading of a retry-ms hint: scales `hint_ms`
+/// into [75%, 125%] by a hash of `client_id`, clamped to [min_ms, max_ms].
+/// Synchronized clients shed in the same overload event get distinct
+/// backoffs and do not re-stampede in lockstep; the same client always
+/// gets the same spread for the same hint (testable, reproducible).
+[[nodiscard]] std::int64_t jittered_retry_ms(std::int64_t hint_ms,
+                                             std::uint64_t client_id,
+                                             std::int64_t min_ms,
+                                             std::int64_t max_ms) noexcept;
+
+/// Client-side retry schedule for submits answered with `event=overloaded`
+/// (or lost to a disconnect): capped exponential backoff that honors the
+/// server's retry-ms hint, plus deterministic jitter from `seed` so a
+/// fleet of clients with distinct seeds spreads out while each individual
+/// schedule is reproducible. Resubmission is safe because requests are
+/// idempotent by fingerprint — a journaled/cached server answers a repeat
+/// with the cached terminal result instead of re-running the mapper.
+struct RetryPolicy {
+  int max_attempts = 5;        // total tries, including the first
+  std::int64_t base_ms = 50;   // backoff before the first retry
+  std::int64_t cap_ms = 5000;  // exponential ceiling
+  std::uint64_t seed = 0;      // jitter stream; same seed = same schedule
+
+  /// Backoff before retry number `attempt` (1-based), given the server's
+  /// hint (<= 0 = none). max(hint, base * 2^(attempt-1) capped), then
+  /// jittered into [75%, 125%]; always >= 1.
+  [[nodiscard]] std::int64_t delay_ms(int attempt, std::int64_t server_hint_ms) const noexcept;
+};
+
 // -- Response frames ------------------------------------------------------
 // Every builder returns one complete '\n'-terminated frame.
 
+/// `fingerprint` is appended only when non-empty (the server sets it when
+/// durability — journal or cache — is enabled), so plain daemons emit
+/// byte-identical frames to previous releases.
 [[nodiscard]] std::string accepted_frame(const std::string& id, std::uint64_t seq,
-                                         std::size_t queue_depth);
+                                         std::size_t queue_depth,
+                                         const std::string& fingerprint = {});
 /// THE terminal frame: exactly one per accepted job.
 struct ResultFrame {
   std::string id;
@@ -136,6 +186,11 @@ struct ResultFrame {
   double queue_ms = 0.0;
   int lanes = 0;
   std::string error;  // escaped on emit; empty = omitted
+  /// Durability keys, all omitted when unset (frames unchanged for
+  /// servers without a journal or cache):
+  std::string fingerprint;  // canonical request fingerprint
+  bool cached = false;      // served from the result cache, pool untouched
+  bool replayed = false;    // re-executed from the journal after a crash
 };
 [[nodiscard]] std::string result_frame(const ResultFrame& frame);
 /// Load-shed answer: retryable, with an advisory client backoff.

@@ -27,9 +27,12 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <future>
 #include <map>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -37,6 +40,7 @@
 #include <vector>
 
 #include "cluster/strategies.hpp"
+#include "service/journal.hpp"
 #include "service/map_service.hpp"
 #include "service/server.hpp"
 #include "service/wire.hpp"
@@ -476,6 +480,146 @@ TEST(ChaosTest, ServeStormKeepsExactlyOneTerminalFramePerAcceptedJob) {
   EXPECT_EQ(stats.connections_opened, 3u);
   EXPECT_EQ(stats.connections_closed, 3u);
   EXPECT_GT(faulted, 0) << "storm produced only clean results - mix too tame";
+}
+
+TEST(ChaosTest, ServeStormWithJournalLosesNoAcceptedJob) {
+  // ISSUE 10 tentpole: the same serve storm, but with the write-ahead
+  // journal and the fingerprint result cache armed. On top of the
+  // frame-level invariants above, the reopened journal must pair EVERY
+  // accepted record with exactly one terminal result record — durability
+  // may not lose or duplicate an accepted job even while faults fire, a
+  // client dies mid-stream, and repeats get short-circuited by the cache.
+  FaultConfig faults;
+  faults.build_throw = 0.15;
+  faults.mapper_throw = 0.10;
+  faults.topo_alloc_fail = 0.05;
+  faults.slow_runner_ms = 1;
+  faults.seed = 0x77a1d;
+  const FaultScope scope(faults);
+
+  const std::string journal_dir = ::testing::TempDir() + "mimdmap_chaos_journal_" +
+                                  std::to_string(::getpid());
+  for (std::uint64_t seq = 1; seq <= 8; ++seq) {
+    char name[32];
+    std::snprintf(name, sizeof name, "wal-%06llu.log",
+                  static_cast<unsigned long long>(seq));
+    (void)::unlink((journal_dir + "/" + name).c_str());
+  }
+  (void)::rmdir(journal_dir.c_str());
+
+  serve::ServerOptions options;
+  options.service.max_concurrent_jobs = 3;
+  options.service.max_queue = 8;
+  options.journal_dir = journal_dir;
+  // Fsync discipline is journal_test's concern; the storm cares about
+  // record completeness, so skip the syncs and keep the mix fast.
+  options.journal_fsync = serve::FsyncPolicy::kNone;
+  options.cache_bytes = 1u << 20;
+  serve::MapServer server(std::move(options));
+
+  constexpr int kClients = 3;
+  constexpr int kJobsPer = 14;
+  int client_fd[kClients];
+  std::vector<std::thread> serving;
+  for (int c = 0; c < kClients; ++c) {
+    int sv[2] = {-1, -1};
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    client_fd[c] = sv[1];
+    const int server_fd = sv[0];
+    serving.emplace_back([&server, server_fd] {
+      server.serve_fd(server_fd, server_fd);
+      ::close(server_fd);
+    });
+  }
+
+  std::vector<std::thread> submitters;
+  std::atomic<int> lines_sent{0};
+  for (int c = 0; c < kClients; ++c) {
+    submitters.emplace_back([c, fd = client_fd[c], &lines_sent] {
+      Rng rng(0xd00d00 + static_cast<std::uint64_t>(c));
+      const int jobs = c == 2 ? kJobsPer / 2 : kJobsPer;
+      for (int j = 0; j < jobs; ++j) {
+        const std::string id = "d" + std::to_string(c) + "-j" + std::to_string(j);
+        std::string line = "id=" + id + " ";
+        switch (j == 0 ? 2 : rng.uniform(0, 5)) {
+          case 0:
+            line += "gen=layered gen-a=400 gen-b=10 gen-seed=" +
+                    std::to_string(rng.uniform(1, 99)) +
+                    " spec=hypercube-3 seed=11 trials=3000";
+            break;
+          case 1:
+            line += "gen=diamond gen-a=4 gen-b=4 spec=mesh-2x2 seed=" +
+                    std::to_string(rng.uniform(1, 99)) + " deadline-ms=1";
+            break;
+          case 2:
+            line += "problem=/nonexistent/storm.graph spec=mesh-2x2";
+            break;
+          default:
+            // A deliberately narrow seed range so the storm replays
+            // identical fingerprints and exercises journaled cache hits.
+            line += "gen=diamond gen-a=4 gen-b=4 spec=" +
+                    std::string(rng.uniform(0, 1) == 0 ? "mesh-2x2" : "hypercube-3") +
+                    " seed=" + std::to_string(rng.uniform(1, 5)) + " trials=200";
+            break;
+        }
+        send_line(fd, line);
+        ++lines_sent;
+        if (rng.uniform(0, 3) == 0 && j > 0) {
+          send_line(fd, "op=cancel id=d" + std::to_string(c) + "-j" +
+                            std::to_string(rng.uniform(0, j - 1)));
+          ++lines_sent;
+        }
+      }
+      if (c == 2) ::close(fd);
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+
+  for (int spin = 0; spin < 10000 && server.stats().frames_read <
+                                         static_cast<std::uint64_t>(lines_sent.load());
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  server.request_drain(serve::DrainMode::kFinish);
+  server.wait();
+  for (std::thread& t : serving) t.join();
+
+  for (const int c : {0, 1}) {
+    const ClientTally tally = read_until_bye(client_fd[c]);
+    EXPECT_TRUE(tally.bye) << "client " << c;
+    std::set<std::string> result_ids;
+    for (const auto& [id, status] : tally.results) result_ids.insert(id);
+    EXPECT_EQ(result_ids, tally.accepted) << "client " << c;
+    ::close(client_fd[c]);
+  }
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, stats.terminal_frames);
+  EXPECT_GT(stats.accepted, 0u);
+
+  // The durability contract, log-side: reopen the journal and pair the
+  // records. Every accepted jid has exactly one result, no orphans.
+  serve::Journal journal(journal_dir, serve::FsyncPolicy::kNone, /*repair=*/false);
+  std::set<std::uint64_t> accepted_jids;
+  std::map<std::uint64_t, int> result_counts;
+  for (const std::string& payload : journal.recovered()) {
+    const std::optional<serve::JournalEntry> entry = serve::decode_entry(payload);
+    ASSERT_TRUE(entry.has_value()) << payload;
+    if (entry->kind == serve::JournalEntry::Kind::kAccepted) {
+      EXPECT_TRUE(accepted_jids.insert(entry->jid).second)
+          << "duplicate accepted record for jid " << entry->jid;
+    } else if (entry->jid != 0) {  // jid 0 = compaction cache snapshot
+      ++result_counts[entry->jid];
+    }
+  }
+  EXPECT_EQ(accepted_jids.size(), stats.accepted);
+  for (const std::uint64_t jid : accepted_jids) {
+    EXPECT_EQ(result_counts[jid], 1) << "accepted jid " << jid << " lost or duplicated";
+  }
+  for (const auto& [jid, count] : result_counts) {
+    EXPECT_EQ(accepted_jids.count(jid), 1u) << "orphan result for jid " << jid;
+  }
 }
 
 TEST(ChaosTest, ParseFaultSpecRoundTripsAndRejectsGarbage) {

@@ -3,13 +3,18 @@
 // std::invalid_argument — never crash, hang or corrupt memory.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "cli/manifest.hpp"
+#include "service/journal.hpp"
 #include "cluster/cluster_io.hpp"
 #include "graph/graph_io.hpp"
 #include "service/wire.hpp"
@@ -260,6 +265,141 @@ TEST(FuzzParserTest, WireRequestParserNeverCrashes) {
   }
   EXPECT_GT(parsed, 0);
   EXPECT_GT(rejected, 0);
+}
+
+// -- journal record grammar (service/journal.hpp) --------------------------
+
+/// A small valid journal on disk: accepted/result pairs plus an unfinished
+/// accepted record — the shape recovery actually sees.
+std::string write_journal_fixture(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "mimdmap_fuzz_journal_" + tag + "_" +
+                          std::to_string(::getpid());
+  for (std::uint64_t seq = 1; seq <= 4; ++seq) {
+    char name[32];
+    std::snprintf(name, sizeof name, "wal-%06llu.log",
+                  static_cast<unsigned long long>(seq));
+    (void)::unlink((dir + "/" + name).c_str());
+  }
+  (void)::rmdir(dir.c_str());
+  serve::Journal journal(dir, serve::FsyncPolicy::kNone, false);
+  for (int i = 0; i < 6; ++i) {
+    serve::JournalEntry acc;
+    acc.kind = serve::JournalEntry::Kind::kAccepted;
+    acc.jid = static_cast<std::uint64_t>(i + 1);
+    acc.id = "j" + std::to_string(i);
+    acc.fingerprint = "00112233445566" + std::to_string(10 + i);
+    acc.client = 1;
+    acc.request = "gen=diamond gen-a=3 gen-b=3 spec=mesh-2x2 seed=" + std::to_string(i);
+    journal.append(encode_entry(acc));
+    if (i % 2 == 0) {
+      serve::JournalEntry res;
+      res.kind = serve::JournalEntry::Kind::kResult;
+      res.jid = acc.jid;
+      res.id = acc.id;
+      res.fingerprint = acc.fingerprint;
+      res.status = "ok";
+      res.total = 100 + i;
+      res.trials = 7;
+      journal.append(encode_entry(res));
+    }
+  }
+  journal.flush();
+  return dir;
+}
+
+TEST(FuzzParserTest, JournalOpenSurvivesArbitraryCorruption) {
+  // Whatever a crash, a bit rot, or a vandal leaves in the segment file,
+  // opening must either succeed (clean repair/truncation) or throw
+  // JournalError — never crash, never loop, never return garbage records.
+  const std::string dir = write_journal_fixture("mutate");
+  const std::string path = dir + "/wal-000001.log";
+  std::string pristine;
+  {
+    std::ifstream file(path, std::ios::binary);
+    pristine.assign(std::istreambuf_iterator<char>(file),
+                    std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(pristine.empty());
+
+  Rng rng(505);
+  int clean_opens = 0;
+  int refused = 0;
+  for (int round = 0; round < 300; ++round) {
+    std::string bytes = pristine;
+    const int kind = static_cast<int>(rng.uniform(0, 3));
+    if (kind == 0) {
+      // Truncation at an arbitrary byte (torn tail at any depth).
+      bytes.resize(static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(bytes.size()))));
+    } else if (kind == 1) {
+      // Bit flips anywhere: header, CRC, payload.
+      for (int flips = static_cast<int>(rng.uniform(1, 8)); flips > 0; --flips) {
+        const auto pos = static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(bytes.size()) - 1));
+        bytes[pos] = static_cast<char>(bytes[pos] ^ (1 << rng.uniform(0, 7)));
+      }
+    } else if (kind == 2) {
+      // Duplicated whole file (duplicate + interleaved records with
+      // repeated jids — recovery must not double-submit).
+      bytes += pristine;
+    } else {
+      // Random garbage appended after the valid records.
+      for (int extra = static_cast<int>(rng.uniform(1, 64)); extra > 0; --extra) {
+        bytes.push_back(static_cast<char>(rng.uniform(0, 255)));
+      }
+    }
+    {
+      std::ofstream file(path, std::ios::binary | std::ios::trunc);
+      file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    // Strict open: clean success or JournalError, nothing else.
+    try {
+      serve::Journal strict(dir, serve::FsyncPolicy::kNone, false);
+      ++clean_opens;
+      for (const std::string& payload : strict.recovered()) {
+        (void)serve::decode_entry(payload);  // must never throw/crash
+      }
+    } catch (const serve::JournalError&) {
+      ++refused;
+    }
+    // Repair open: must ALWAYS succeed, whatever the damage.
+    {
+      std::ofstream file(path, std::ios::binary | std::ios::trunc);
+      file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    serve::Journal repaired(dir, serve::FsyncPolicy::kNone, true);
+    for (const std::string& payload : repaired.recovered()) {
+      (void)serve::decode_entry(payload);
+    }
+  }
+  // Both verdicts must actually occur across 300 rounds — truncations and
+  // appended garbage mostly repair as torn tails, mid-file flips refuse.
+  EXPECT_GT(clean_opens, 0);
+  EXPECT_GT(refused, 0);
+}
+
+TEST(FuzzParserTest, JournalPayloadDecoderNeverCrashes) {
+  // Textual mutation of a valid payload line: decode_entry returns an
+  // entry or nullopt, never throws (it guards the manifest tokenizer).
+  serve::JournalEntry entry;
+  entry.kind = serve::JournalEntry::Kind::kResult;
+  entry.jid = 42;
+  entry.id = "alpha";
+  entry.fingerprint = "0123456789abcdef";
+  entry.status = "ok";
+  entry.total = 1234;
+  entry.wall_ms = 1.25;
+  entry.error = "spaces and = signs";
+  const std::string valid = serve::encode_entry(entry);
+  Rng rng(606);
+  int decoded = 0;
+  for (int i = 0; i < 500; ++i) {
+    const std::string input = mutate(valid, rng, static_cast<int>(rng.uniform(1, 10)));
+    std::optional<serve::JournalEntry> result;
+    EXPECT_NO_THROW(result = serve::decode_entry(input)) << input;
+    if (result) ++decoded;
+  }
+  EXPECT_GT(decoded, 0) << "light mutations should leave some payloads decodable";
 }
 
 TEST(FuzzParserTest, GarbageInputsRejectedCleanly) {

@@ -1,0 +1,329 @@
+// Unit tests of the durability primitives under `mimdmap_cli serve
+// --journal`: the CRC-framed write-ahead journal (service/journal.hpp) —
+// record encoding, torn-tail truncation, corruption refusal vs repair,
+// compaction — plus the canonical request fingerprint and the client/server
+// retry-jitter helpers from service/wire.hpp the journaled idempotency
+// story leans on.
+#include "service/journal.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "service/wire.hpp"
+
+namespace mimdmap::serve {
+namespace {
+
+std::string temp_journal_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "mimdmap_journal_" + tag + "_" +
+                          std::to_string(::getpid());
+  // Start from a clean slate: earlier runs of this test may have left
+  // segments behind.
+  for (std::uint64_t seq = 1; seq <= 8; ++seq) {
+    char name[32];
+    std::snprintf(name, sizeof name, "wal-%06llu.log",
+                  static_cast<unsigned long long>(seq));
+    (void)::unlink((dir + "/" + name).c_str());
+  }
+  (void)::rmdir(dir.c_str());
+  return dir;
+}
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  EXPECT_TRUE(file.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(file),
+                     std::istreambuf_iterator<char>());
+}
+
+void dump_file(const std::string& path, const std::string& bytes) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(file.good()) << path;
+}
+
+std::string first_segment(const std::string& dir) { return dir + "/wal-000001.log"; }
+
+TEST(JournalTest, Crc32MatchesKnownVectors) {
+  // The catalogue value for "123456789" under CRC-32/ISO-HDLC.
+  EXPECT_EQ(journal_crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(journal_crc32("", 0), 0x00000000u);
+  const std::uint32_t a = journal_crc32("type=accepted jid=1", 19);
+  std::string flipped = "type=accepted jid=2";
+  EXPECT_NE(a, journal_crc32(flipped.data(), flipped.size()));
+}
+
+TEST(JournalTest, ParseFsyncPolicy) {
+  EXPECT_EQ(parse_fsync_policy("always"), FsyncPolicy::kAlways);
+  EXPECT_EQ(parse_fsync_policy("batch"), FsyncPolicy::kBatch);
+  EXPECT_EQ(parse_fsync_policy("none"), FsyncPolicy::kNone);
+  EXPECT_THROW((void)parse_fsync_policy("sometimes"), std::invalid_argument);
+  EXPECT_STREQ(to_string(FsyncPolicy::kAlways), "always");
+}
+
+TEST(JournalTest, EntryEncodeDecodeRoundTrips) {
+  JournalEntry accepted;
+  accepted.kind = JournalEntry::Kind::kAccepted;
+  accepted.jid = 7;
+  accepted.id = "alpha tag";  // whitespace must survive escaping
+  accepted.fingerprint = "1f2e3d4c5b6a7988";
+  accepted.client = 3;
+  accepted.request = "id=alpha gen=diamond gen-a=3 gen-b=3 spec=mesh-2x2 seed=5";
+  const auto decoded = decode_entry(encode_entry(accepted));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kind, JournalEntry::Kind::kAccepted);
+  EXPECT_EQ(decoded->jid, 7u);
+  EXPECT_EQ(decoded->id, accepted.id);
+  EXPECT_EQ(decoded->fingerprint, accepted.fingerprint);
+  EXPECT_EQ(decoded->client, 3u);
+  EXPECT_EQ(decoded->request, accepted.request);
+
+  JournalEntry result;
+  result.kind = JournalEntry::Kind::kResult;
+  result.jid = 7;
+  result.id = "alpha tag";
+  result.fingerprint = accepted.fingerprint;
+  result.status = "ok";
+  result.total = 120;
+  result.lower_bound = 100;
+  result.pct = 20;
+  result.trials = 64;
+  result.wall_ms = 1.5;
+  result.lanes = 4;
+  result.error = "a message with spaces";
+  result.replayed = true;
+  result.cached = true;
+  const auto r = decode_entry(encode_entry(result));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->kind, JournalEntry::Kind::kResult);
+  EXPECT_EQ(r->status, "ok");
+  EXPECT_EQ(r->total, 120);
+  EXPECT_EQ(r->lower_bound, 100);
+  EXPECT_EQ(r->pct, 20);
+  EXPECT_EQ(r->trials, 64);
+  EXPECT_EQ(r->lanes, 4);
+  EXPECT_EQ(r->error, result.error);
+  EXPECT_TRUE(r->replayed);
+  EXPECT_TRUE(r->cached);
+}
+
+TEST(JournalTest, DecodeRejectsGarbageWithoutThrowing) {
+  EXPECT_FALSE(decode_entry("").has_value());
+  EXPECT_FALSE(decode_entry("jid=1").has_value());              // no type
+  EXPECT_FALSE(decode_entry("type=elephant jid=1").has_value());
+  EXPECT_FALSE(decode_entry("type=accepted jid=1").has_value());  // no request
+  EXPECT_FALSE(decode_entry("type=result jid=1").has_value());    // no status
+  EXPECT_FALSE(decode_entry("type=accepted type=accepted").has_value());  // dup key
+  EXPECT_FALSE(decode_entry(std::string("type=\0accepted", 14)).has_value());
+}
+
+TEST(JournalTest, AppendReopenRecoversInOrder) {
+  const std::string dir = temp_journal_dir("roundtrip");
+  std::vector<std::string> payloads;
+  {
+    Journal journal(dir, FsyncPolicy::kAlways, false);
+    EXPECT_TRUE(journal.recovered().empty());
+    for (int i = 0; i < 10; ++i) {
+      payloads.push_back("type=accepted jid=" + std::to_string(i + 1) +
+                         " request=gen%3Ddiamond");
+      journal.append(payloads.back());
+    }
+    EXPECT_EQ(journal.stats().appends, 10u);
+    EXPECT_GT(journal.bytes(), 0u);
+  }
+  Journal reopened(dir, FsyncPolicy::kBatch, false);
+  EXPECT_EQ(reopened.recovered(), payloads);
+  EXPECT_EQ(reopened.stats().recovered_records, 10u);
+  EXPECT_EQ(reopened.stats().torn_tail_bytes, 0u);
+}
+
+TEST(JournalTest, TornTailIsSilentlyTruncated) {
+  const std::string dir = temp_journal_dir("torn");
+  {
+    Journal journal(dir, FsyncPolicy::kAlways, false);
+    journal.append("type=accepted jid=1 request=a");
+    journal.append("type=accepted jid=2 request=b");
+  }
+  // Chop bytes off the tail — a crash mid-write leaves exactly this.
+  const std::string path = first_segment(dir);
+  std::string bytes = slurp_file(path);
+  ASSERT_GT(bytes.size(), 5u);
+  dump_file(path, bytes.substr(0, bytes.size() - 5));
+
+  Journal reopened(dir, FsyncPolicy::kAlways, false);  // no repair needed
+  ASSERT_EQ(reopened.recovered().size(), 1u);
+  EXPECT_EQ(reopened.recovered()[0], "type=accepted jid=1 request=a");
+  EXPECT_GT(reopened.stats().torn_tail_bytes, 0u);
+
+  // The truncation is durable: appends after it extend a clean log.
+  reopened.append("type=accepted jid=3 request=c");
+  Journal again(dir, FsyncPolicy::kAlways, false);
+  ASSERT_EQ(again.recovered().size(), 2u);
+  EXPECT_EQ(again.recovered()[1], "type=accepted jid=3 request=c");
+}
+
+TEST(JournalTest, CorruptMiddleRecordRefusesWithoutRepair) {
+  const std::string dir = temp_journal_dir("corrupt");
+  std::size_t first_record_bytes = 0;
+  {
+    Journal journal(dir, FsyncPolicy::kAlways, false);
+    journal.append("type=accepted jid=1 request=a");
+    first_record_bytes = journal.bytes();
+    journal.append("type=accepted jid=2 request=b");
+    journal.append("type=accepted jid=3 request=c");
+  }
+  // Flip one payload byte of the MIDDLE record: CRC-bad but not a tail.
+  const std::string path = first_segment(dir);
+  std::string bytes = slurp_file(path);
+  ASSERT_GT(bytes.size(), first_record_bytes + 10);
+  bytes[first_record_bytes + 9] ^= 0x40;
+  dump_file(path, bytes);
+
+  EXPECT_THROW({ Journal refused(dir, FsyncPolicy::kAlways, false); }, JournalError);
+
+  // Repair keeps the intact prefix and truncates from the bad record on.
+  Journal repaired(dir, FsyncPolicy::kAlways, true);
+  ASSERT_EQ(repaired.recovered().size(), 1u);
+  EXPECT_EQ(repaired.recovered()[0], "type=accepted jid=1 request=a");
+  EXPECT_GT(repaired.stats().repaired_records, 0u);
+}
+
+TEST(JournalTest, CompactRewritesLiveStateAndDropsHistory) {
+  const std::string dir = temp_journal_dir("compact");
+  Journal journal(dir, FsyncPolicy::kBatch, false);
+  for (int i = 0; i < 50; ++i) {
+    journal.append("type=accepted jid=" + std::to_string(i + 1) + " request=x");
+  }
+  const std::uint64_t before = journal.bytes();
+  journal.compact({"type=result jid=0 fingerprint=abcd status=ok total=10"});
+  EXPECT_LT(journal.bytes(), before);
+  EXPECT_EQ(journal.stats().rotations, 1u);
+  // The old segment is gone; a reopen sees only the live record.
+  struct stat st {};
+  EXPECT_NE(::stat(first_segment(dir).c_str(), &st), 0);
+  journal.append("type=accepted jid=51 request=y");
+  journal.flush();
+
+  Journal reopened(dir, FsyncPolicy::kBatch, false);
+  ASSERT_EQ(reopened.recovered().size(), 2u);
+  EXPECT_EQ(reopened.recovered()[0],
+            "type=result jid=0 fingerprint=abcd status=ok total=10");
+  EXPECT_EQ(reopened.recovered()[1], "type=accepted jid=51 request=y");
+}
+
+// -- fingerprint ----------------------------------------------------------
+
+std::map<std::string, std::string> kv_of(const std::string& line) {
+  return parse_request(line).kv;
+}
+
+TEST(FingerprintTest, StableAcrossDeliveryOnlyKeys) {
+  const std::string base = "gen=diamond gen-a=3 gen-b=3 spec=mesh-2x2 seed=5";
+  const std::string fp = request_fingerprint(kv_of(base));
+  EXPECT_EQ(fp.size(), 16u);
+  // id / priority / size-hint / deadline-ms affect delivery, not the
+  // mapping: same fingerprint, same cache slot.
+  EXPECT_EQ(request_fingerprint(kv_of("id=alpha " + base)), fp);
+  EXPECT_EQ(request_fingerprint(kv_of("priority=3 " + base)), fp);
+  EXPECT_EQ(request_fingerprint(kv_of("size-hint=100 " + base)), fp);
+  EXPECT_EQ(request_fingerprint(kv_of("deadline-ms=500 " + base)), fp);
+  // Mapping-relevant keys change it.
+  EXPECT_NE(request_fingerprint(
+                kv_of("gen=diamond gen-a=3 gen-b=3 spec=mesh-2x2 seed=6")),
+            fp);
+  EXPECT_NE(request_fingerprint(
+                kv_of("gen=diamond gen-a=3 gen-b=3 spec=hypercube-3 seed=5")),
+            fp);
+  EXPECT_NE(request_fingerprint(
+                kv_of(base + " trials=9")),
+            fp);
+}
+
+TEST(FingerprintTest, FileBackedKeysHashContentNotPath) {
+  const std::string a = ::testing::TempDir() + "fp_problem_a.txt";
+  const std::string b = ::testing::TempDir() + "fp_problem_b.txt";
+  dump_file(a, "tasks 2\n0 1\n1 1\nedges 1\n0 1 1\n");
+  dump_file(b, "tasks 2\n0 1\n1 1\nedges 1\n0 1 1\n");
+  std::map<std::string, std::string> kv_a{{"problem", a}, {"spec", "mesh-2x2"}};
+  std::map<std::string, std::string> kv_b{{"problem", b}, {"spec", "mesh-2x2"}};
+  // Same bytes at a different path: same fingerprint.
+  EXPECT_EQ(request_fingerprint(kv_a), request_fingerprint(kv_b));
+  // Rewritten content: different fingerprint.
+  dump_file(b, "tasks 2\n0 1\n1 2\nedges 1\n0 1 1\n");
+  EXPECT_NE(request_fingerprint(kv_a), request_fingerprint(kv_b));
+  // Unreadable file: the path literal stands in (still deterministic).
+  std::map<std::string, std::string> kv_missing{
+      {"problem", ::testing::TempDir() + "fp_nonexistent.txt"}, {"spec", "mesh-2x2"}};
+  EXPECT_EQ(request_fingerprint(kv_missing), request_fingerprint(kv_missing));
+  (void)::unlink(a.c_str());
+  (void)::unlink(b.c_str());
+}
+
+// -- retry jitter (S2: shed hints must not re-stampede in lockstep) -------
+
+TEST(RetryJitterTest, SpreadsClientsDeterministically) {
+  const std::int64_t hint = 1000;
+  std::set<std::int64_t> distinct;
+  for (std::uint64_t client = 1; client <= 20; ++client) {
+    const std::int64_t jittered = jittered_retry_ms(hint, client, 10, 2000);
+    // Pinned envelope: [75%, 125%] of the hint, inside the clamps.
+    EXPECT_GE(jittered, 750);
+    EXPECT_LE(jittered, 1250);
+    // Deterministic per client: the same client always backs off the same.
+    EXPECT_EQ(jittered, jittered_retry_ms(hint, client, 10, 2000));
+    distinct.insert(jittered);
+  }
+  // The whole point: 20 synchronized clients must NOT get one constant
+  // hint. Demand a healthy spread, not just "two values".
+  EXPECT_GE(distinct.size(), 8u) << "jitter collapsed";
+  // Clamps still bind.
+  EXPECT_EQ(jittered_retry_ms(1, 123, 10, 2000), 10);
+  EXPECT_LE(jittered_retry_ms(5000, 7, 10, 2000), 2000);
+  // Sentinel passthrough: -1 means "draining, do not retry" and must
+  // survive un-jittered.
+  EXPECT_EQ(jittered_retry_ms(-1, 9, 10, 2000), -1);
+  EXPECT_EQ(jittered_retry_ms(0, 9, 10, 2000), 0);
+}
+
+TEST(RetryPolicyTest, ExponentialCappedAndHintHonoring) {
+  RetryPolicy policy;
+  policy.base_ms = 100;
+  policy.cap_ms = 1000;
+  policy.seed = 42;
+  std::int64_t prev = 0;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    const std::int64_t d = policy.delay_ms(attempt, 0);
+    EXPECT_GE(d, 1);
+    // Jitter is ±25% around base*2^(attempt-1) capped at cap_ms.
+    const std::int64_t nominal = std::min<std::int64_t>(
+        policy.cap_ms, policy.base_ms * (std::int64_t{1} << (attempt - 1)));
+    EXPECT_GE(d, nominal * 3 / 4);
+    EXPECT_LE(d, nominal * 5 / 4);
+    EXPECT_EQ(d, policy.delay_ms(attempt, 0)) << "schedule must be reproducible";
+    if (attempt <= 3) EXPECT_GE(d, prev * 3 / 4);  // roughly growing
+    prev = d;
+  }
+  // A server hint larger than the backoff wins (then jitters).
+  const std::int64_t hinted = policy.delay_ms(1, 5000);
+  EXPECT_GE(hinted, 5000 * 3 / 4);
+  // Distinct seeds, distinct schedules (fleet spread).
+  RetryPolicy other = policy;
+  other.seed = 43;
+  bool differs = false;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    if (other.delay_ms(attempt, 0) != policy.delay_ms(attempt, 0)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace mimdmap::serve

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -107,6 +108,101 @@ TEST(ObsHistogramTest, NegativeValuesClampToZeroBucket) {
   const Histogram::Snapshot snap = histogram.snapshot();
   EXPECT_EQ(snap.count, 1u);
   EXPECT_EQ(snap.max, 0u);
+}
+
+TEST(ObsHistogramTest, SnapshotBucketsAreAscendingAndSumToCount) {
+  Histogram& histogram = registry().histogram("obs_test_hist_buckets_us");
+  const std::vector<std::int64_t> values = {1, 3, 3, 50, 900, 900, 900, 40000};
+  for (const std::int64_t v : values) histogram.record(v);
+  const Histogram::Snapshot snap = histogram.snapshot();
+  ASSERT_FALSE(snap.buckets.empty());
+  std::uint64_t total = 0;
+  double prev_le = -1.0;
+  for (const auto& [le, count] : snap.buckets) {
+    EXPECT_GT(le, prev_le) << "bucket bounds must be strictly ascending";
+    EXPECT_GT(count, 0u) << "only occupied buckets are exported";
+    prev_le = le;
+    total += count;
+  }
+  EXPECT_EQ(total, values.size());
+  // Every recorded value is <= the largest exported bound.
+  EXPECT_GE(snap.buckets.back().first, 40000.0);
+}
+
+TEST(ObsHistogramTest, PrometheusBucketSeriesAreCumulative) {
+  Histogram& histogram =
+      registry().histogram("obs_test_hist_cumulative_us", {{"op", "bucketed"}});
+  for (int i = 0; i < 32; ++i) histogram.record(i * 100);
+  const std::string text = registry().render_prometheus();
+
+  // Cumulative _bucket{le="..."} lines plus the mandatory +Inf whose value
+  // equals _count — native Prometheus histogram exposition. The renderer
+  // sorts series lexicographically for diffable dumps, so order the
+  // buckets by their numeric bound before checking monotonicity.
+  const std::string bucket_prefix = "obs_test_hist_cumulative_us_bucket{op=\"bucketed\",le=\"";
+  std::istringstream lines(text);
+  std::string line;
+  std::vector<std::pair<double, std::uint64_t>> buckets;  // (le, cumulative)
+  std::uint64_t inf_value = 0;
+  bool saw_inf = false;
+  while (std::getline(lines, line)) {
+    if (line.compare(0, bucket_prefix.size(), bucket_prefix) != 0) continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos);
+    const std::uint64_t value = std::stoull(line.substr(space + 1));
+    const std::string le = line.substr(bucket_prefix.size(),
+                                       line.find('"', bucket_prefix.size()) -
+                                           bucket_prefix.size());
+    if (le == "+Inf") {
+      saw_inf = true;
+      inf_value = value;
+    } else {
+      buckets.emplace_back(std::stod(le), value);
+    }
+  }
+  std::sort(buckets.begin(), buckets.end());
+  ASSERT_GE(buckets.size(), 3u) << "expected several occupied buckets";
+  std::uint64_t previous = 0;
+  for (const auto& [le, cumulative] : buckets) {
+    EXPECT_GE(cumulative, previous) << "cumulative counts must be monotone at le=" << le;
+    previous = cumulative;
+  }
+  EXPECT_TRUE(saw_inf);
+  EXPECT_EQ(inf_value, 32u);
+  EXPECT_LE(previous, inf_value);
+  // The summary series survive alongside the buckets.
+  EXPECT_NE(text.find("obs_test_hist_cumulative_us_count{op=\"bucketed\"} 32"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_hist_cumulative_us{op=\"bucketed\",quantile=\"0.5\"}"),
+            std::string::npos);
+}
+
+// -- Rate ------------------------------------------------------------------
+
+TEST(ObsRateTest, WindowedAverageIsDeterministicUnderExplicitClock) {
+  Rate rate;
+  // 3 events in each of seconds 100..104: a 5-second occupied span.
+  for (std::int64_t second = 100; second < 105; ++second) {
+    for (int i = 0; i < 3; ++i) rate.record_at(1, second);
+  }
+  EXPECT_DOUBLE_EQ(rate.per_second_at(104), 15.0 / 5.0);
+  // An idle tail dilutes the average over the widened span.
+  EXPECT_LT(rate.per_second_at(108), 3.0);
+  // Everything older than the window ages out entirely.
+  EXPECT_DOUBLE_EQ(rate.per_second_at(104 + Rate::kWindowSeconds + 1), 0.0);
+  // A fresh burst in one second averages over a span of one.
+  Rate burst;
+  burst.record_at(7, 42);
+  EXPECT_DOUBLE_EQ(burst.per_second_at(42), 7.0);
+}
+
+TEST(ObsRateTest, RegistryExposesRateAsGauge) {
+  Rate& rate = registry().rate("obs_test_rate_jobs_per_sec");
+  rate.record();
+  EXPECT_EQ(&rate, &registry().rate("obs_test_rate_jobs_per_sec"));
+  const std::string text = registry().render_prometheus();
+  EXPECT_NE(text.find("# TYPE obs_test_rate_jobs_per_sec gauge"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_rate_jobs_per_sec "), std::string::npos);
 }
 
 // -- Exposition ------------------------------------------------------------

@@ -681,5 +681,129 @@ TEST(ServeTest, HalfClosedPipePairStillFlushesResults) {
   ::close(out_pipe[1]);
 }
 
+// -- durability: result cache + frame byte-identity -----------------------
+
+TEST(ServeTest, RepeatFingerprintServesCachedWithoutRerunning) {
+  ServerOptions options;
+  options.cache_bytes = 1u << 20;  // cache only, no journal
+  PipeHarness h(std::move(options));
+
+  h.client().send_line(std::string("id=first ") + kFastJob);
+  auto accepted = h.client().expect_event("accepted");
+  const std::string fp = accepted.at("fingerprint");
+  EXPECT_EQ(fp.size(), 16u);
+  const auto first = h.client().expect_event("result");
+  EXPECT_EQ(first.at("status"), "ok");
+  EXPECT_EQ(first.count("cached"), 0u);
+
+  // Identical request, different tag: same fingerprint, cached answer,
+  // identical mapping numbers — and the scheduler never sees job two.
+  const std::uint64_t submitted_before = h.server().service().stats().submitted;
+  h.client().send_line(std::string("id=second ") + kFastJob);
+  accepted = h.client().expect_event("accepted");
+  EXPECT_EQ(accepted.at("fingerprint"), fp);
+  const auto second = h.client().expect_event("result");
+  EXPECT_EQ(second.at("id"), "second");
+  EXPECT_EQ(second.at("cached"), "1");
+  EXPECT_EQ(second.at("status"), "ok");
+  EXPECT_EQ(second.at("total"), first.at("total"));
+  EXPECT_EQ(second.at("trials"), first.at("trials"));
+  EXPECT_EQ(h.server().service().stats().submitted, submitted_before);
+
+  // A different seed is a different fingerprint: no false sharing.
+  h.client().send_line("id=third gen=diamond gen-a=3 gen-b=3 spec=mesh-2x2 seed=6");
+  accepted = h.client().expect_event("accepted");
+  EXPECT_NE(accepted.at("fingerprint"), fp);
+  EXPECT_EQ(h.client().expect_event("result").count("cached"), 0u);
+
+  const ServerStats stats = settled_stats(h.server(), 3);
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.terminal_frames, 3u);  // cache hits keep the invariant
+  EXPECT_EQ(stats.cached_results, 1u);
+
+  // op=stats exposes the cache counters.
+  h.client().send_line("op=stats");
+  const auto frame = h.client().expect_event("stats");
+  EXPECT_EQ(frame.at("cache-hits"), "1");
+  EXPECT_EQ(frame.at("cached-results"), "1");
+}
+
+TEST(ServeTest, UncachedFramesAreByteIdenticalWithDurabilityEnabled) {
+  // The acceptance gate: enabling journal+cache must not change a single
+  // byte of a plain (uncached) accept/result stream except the documented
+  // fingerprint= addition — totals, trials, statuses identical.
+  const std::string line = std::string("id=same ") + kFastJob;
+  std::map<std::string, std::string> plain_result;
+  {
+    PipeHarness plain;
+    plain.client().send_line(line);
+    const auto accepted = plain.client().expect_event("accepted");
+    // A plain daemon computes no fingerprints and emits none.
+    EXPECT_EQ(accepted.count("fingerprint"), 0u);
+    plain_result = plain.client().expect_event("result");
+    EXPECT_EQ(plain_result.count("fingerprint"), 0u);
+    EXPECT_EQ(plain_result.count("cached"), 0u);
+    EXPECT_EQ(plain_result.count("replayed"), 0u);
+  }
+
+  const std::string dir = ::testing::TempDir() + "mimdmap_serve_identity_" +
+                          std::to_string(::getpid());
+  for (std::uint64_t seq = 1; seq <= 4; ++seq) {
+    char name[32];
+    std::snprintf(name, sizeof name, "wal-%06llu.log",
+                  static_cast<unsigned long long>(seq));
+    (void)::unlink((dir + "/" + name).c_str());
+  }
+  (void)::rmdir(dir.c_str());
+  ServerOptions options;
+  options.journal_dir = dir;
+  options.cache_bytes = 1u << 20;
+  PipeHarness durable(std::move(options));
+  durable.client().send_line(line);
+  const auto accepted = durable.client().expect_event("accepted");
+  EXPECT_EQ(accepted.count("fingerprint"), 1u);
+  const auto durable_result = durable.client().expect_event("result");
+  // Field-for-field identity on everything the plain stream carries.
+  for (const auto& [key, value] : plain_result) {
+    if (key == "wall-ms" || key == "queue-ms") continue;  // timing, not payload
+    EXPECT_EQ(durable_result.at(key), value) << "key " << key;
+  }
+}
+
+TEST(ServeTest, ShedRetryHintsAreJitteredPerClient) {
+  // Live regression for the constant-hint bug: distinct clients shed in
+  // the same overload event must see distinct retry-ms values (the pure
+  // spread properties are pinned in journal_test.cpp RetryJitterTest).
+  ServerOptions options;
+  options.service.max_concurrent_jobs = 1;
+  options.service.max_queue = 1;
+  options.min_retry_ms = 10;
+  options.max_retry_ms = 2000;
+  PipeHarness h(std::move(options));
+
+  // Fill the single runner + the single queue slot.
+  h.client().send_line(std::string("id=s0 ") + kSlowJob);
+  h.client().expect_event("accepted");
+  h.client().send_line(std::string("id=s1 ") + kSlowJob);
+  h.client().expect_event("accepted");
+
+  // Everything further sheds. One connection = one client id, so repeat
+  // sheds from this client carry the SAME jittered hint (deterministic)…
+  h.client().send_line(std::string("id=s2 ") + kFastJob);
+  const auto shed1 = h.client().expect_event("overloaded");
+  h.client().send_line(std::string("id=s3 ") + kFastJob);
+  const auto shed2 = h.client().expect_event("overloaded");
+  const std::int64_t hint1 = std::stoll(shed1.at("retry-ms"));
+  EXPECT_GT(hint1, 0);
+  // …as long as the backlog didn't move between the two sheds (it can't:
+  // kSlowJob runs ~50 ms and both sheds are back-to-back). Identical
+  // backlog + identical client => identical jittered hint.
+  EXPECT_EQ(hint1, std::stoll(shed2.at("retry-ms")));
+
+  // Drain cancels the two slow jobs; their terminals settle the counters.
+  h.server().request_drain(DrainMode::kCancel);
+  h.server().wait();
+}
+
 }  // namespace
 }  // namespace mimdmap::serve
